@@ -1,0 +1,201 @@
+//! Simulated kernel compilers: Halide, TVM, and RAKE, for the
+//! single-kernel comparisons of Figure 7 and Table III.
+//!
+//! All three generate DSP code through LLVM on real hardware, so their
+//! packing treats every soft dependency as hard; none performs global
+//! layout planning (inputs arrive in the framework's row-major form and
+//! must be gathered into whichever layout their kernel consumes); they
+//! differ in instruction selection and schedule tuning:
+//!
+//! * **Halide** — schedules the loop nest but vectorizes with the plain
+//!   widening multiply (`vmpy`), no unroll auto-tuning;
+//! * **TVM** — auto-tuned schedules (moderate unrolling) but a fixed
+//!   library lowering, `vrmpy` when the reduction is a multiple of 4;
+//! * **RAKE** — program-synthesis instruction selection: maximizes MACs
+//!   per instruction on the inner loop in isolation, which per Table III
+//!   prefers `vrmpy` for large reductions and `vmpy` otherwise, blind to
+//!   padding/layout cost.
+
+use gcd2_cgraph::GemmDims;
+use gcd2_kernels::{adaptive_unroll, CostModel, SimdInstr, UnrollConfig};
+use gcd2_tensor::{transform_cycles, Layout};
+use gcd2_vliw::{Packer, SoftDepPolicy};
+
+/// A compiler entry in the Figure 7 / Table III comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelCompiler {
+    /// Halide (V12).
+    Halide,
+    /// TVM (V0.8).
+    Tvm,
+    /// RAKE (synthesis-based instruction selection).
+    Rake,
+    /// GCD_b — GCD2's tensor-compiler optimizations (layout + instruction
+    /// selection + unrolling) without the SDA packer.
+    GcdB,
+    /// Full GCD2.
+    Gcd2,
+}
+
+impl KernelCompiler {
+    /// All compilers in Figure 7 order.
+    pub const ALL: [KernelCompiler; 5] = [
+        KernelCompiler::Halide,
+        KernelCompiler::Tvm,
+        KernelCompiler::Rake,
+        KernelCompiler::GcdB,
+        KernelCompiler::Gcd2,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelCompiler::Halide => "Halide",
+            KernelCompiler::Tvm => "TVM",
+            KernelCompiler::Rake => "RAKE",
+            KernelCompiler::GcdB => "GCD_b",
+            KernelCompiler::Gcd2 => "GCD2",
+        }
+    }
+
+    /// The instruction the compiler selects for a GEMM-shaped kernel.
+    pub fn select_instruction(self, gemm: &GemmDims, model: &CostModel) -> SimdInstr {
+        match self {
+            KernelCompiler::Halide => SimdInstr::Vmpy,
+            KernelCompiler::Tvm => {
+                if gemm.k.is_multiple_of(4) {
+                    SimdInstr::Vrmpy
+                } else {
+                    SimdInstr::Vmpy
+                }
+            }
+            KernelCompiler::Rake => {
+                // Synthesis maximizes per-instruction reduction work in
+                // isolation: deep reductions lower to the reducing
+                // multiply (padding K to 4 as needed), shallow ones to
+                // the widening multiply — reproducing RAKE's Table III
+                // choices (vrmpy, vmpy, vrmpy).
+                if gemm.k >= 96 {
+                    SimdInstr::Vrmpy
+                } else {
+                    SimdInstr::Vmpy
+                }
+            }
+            KernelCompiler::GcdB | KernelCompiler::Gcd2 => SimdInstr::ALL
+                .into_iter()
+                .min_by_key(|&i| model.gemm_cycles_adaptive(gemm, i))
+                .expect("non-empty candidates"),
+        }
+    }
+
+    /// The unroll configuration the compiler reaches.
+    pub fn unroll(self, gemm: &GemmDims, instr: SimdInstr) -> UnrollConfig {
+        match self {
+            KernelCompiler::Halide => UnrollConfig::NONE,
+            KernelCompiler::Tvm | KernelCompiler::Rake => UnrollConfig::new(4, 1),
+            KernelCompiler::GcdB | KernelCompiler::Gcd2 => adaptive_unroll(gemm, instr),
+        }
+    }
+
+    /// Whether the compiler can accept input in an arbitrary layout
+    /// (GCD2's layouts are planned globally; the others gather from the
+    /// framework's row-major interchange form).
+    pub fn has_layout_freedom(self) -> bool {
+        matches!(self, KernelCompiler::GcdB | KernelCompiler::Gcd2)
+    }
+
+    /// The cost model (packing policy) the compiler schedules with.
+    pub fn cost_model(self) -> CostModel {
+        match self {
+            KernelCompiler::Gcd2 => CostModel::new(),
+            _ => CostModel::with_packer(Packer::new().with_policy(SoftDepPolicy::SoftToHard)),
+        }
+    }
+}
+
+/// The outcome of compiling one kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelResult {
+    /// Chosen instruction.
+    pub instr: SimdInstr,
+    /// Total cycles (input gather + kernel).
+    pub cycles: u64,
+    /// Dynamic packets issued over the whole kernel execution
+    /// (Figure 7 right: fewer packets = denser VLIW schedules).
+    pub packets: u64,
+}
+
+/// Compiles a GEMM-shaped kernel (e.g. one Conv2d after im2col) with the
+/// given compiler and reports cycles and packet counts.
+pub fn compile_kernel(compiler: KernelCompiler, gemm: &GemmDims) -> KernelResult {
+    let model = compiler.cost_model();
+    let instr = compiler.select_instruction(gemm, &model);
+    let unroll = compiler.unroll(gemm, instr);
+    let mut cycles = model.gemm_cycles(gemm, instr, unroll);
+    if !compiler.has_layout_freedom() {
+        cycles += transform_cycles(gemm.m, gemm.k, Layout::RowMajor, instr.layout());
+    }
+    let program = model.pack_program(&gcd2_kernels::timing_blocks(gemm, instr, unroll));
+    KernelResult { instr, cycles, packets: program.packets_issued() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The first Table III row: 7x7 stem conv of ResNet-50.
+    fn stem_conv() -> GemmDims {
+        GemmDims::new(112 * 112, 3 * 49, 64)
+    }
+
+    #[test]
+    fn gcd2_beats_every_baseline_on_the_stem_conv() {
+        let g = stem_conv();
+        let gcd2 = compile_kernel(KernelCompiler::Gcd2, &g);
+        for c in [KernelCompiler::Halide, KernelCompiler::Tvm, KernelCompiler::Rake] {
+            let r = compile_kernel(c, &g);
+            assert!(
+                gcd2.cycles < r.cycles,
+                "{}: {} vs GCD2 {}",
+                c.name(),
+                r.cycles,
+                gcd2.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn table3_instruction_choices_differ_from_rake() {
+        // 7x7: K = 147 is not a multiple of 4 — GCD2 avoids the padded
+        // reducing multiply; RAKE's local synthesis picks by reduction
+        // throughput.
+        let model = CostModel::new();
+        let g = stem_conv();
+        let ours = KernelCompiler::Gcd2.select_instruction(&g, &model);
+        assert_ne!(ours, SimdInstr::Vrmpy, "odd K should avoid vrmpy: {ours}");
+    }
+
+    #[test]
+    fn gcdb_isolates_tensor_optimizations() {
+        let g = GemmDims::new(56 * 56, 64, 64);
+        let full = compile_kernel(KernelCompiler::Gcd2, &g);
+        let tensor_only = compile_kernel(KernelCompiler::GcdB, &g);
+        // Same instruction selection; packing makes full GCD2 at least
+        // as fast.
+        assert_eq!(full.instr, tensor_only.instr);
+        assert!(full.cycles <= tensor_only.cycles);
+    }
+
+    #[test]
+    fn gcd2_packs_fewer_packets_than_halide() {
+        let g = GemmDims::new(28 * 28, 128 * 9, 128);
+        let halide = compile_kernel(KernelCompiler::Halide, &g);
+        let gcd2 = compile_kernel(KernelCompiler::Gcd2, &g);
+        assert!(
+            gcd2.packets < halide.packets,
+            "gcd2 {} vs halide {}",
+            gcd2.packets,
+            halide.packets
+        );
+    }
+}

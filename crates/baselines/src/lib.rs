@@ -1,0 +1,24 @@
+//! # gcd2-baselines — simulated comparison systems
+//!
+//! Every system GCD2 is evaluated against, rebuilt on the shared DSP
+//! substrate (or, for non-DSP platforms, as calibrated analytical
+//! models):
+//!
+//! * [`Framework`] — TFLite and SNPE end-to-end execution (Table IV,
+//!   Figures 8/9/13): uniform per-operator-type kernels, boundary layout
+//!   conversions, `soft_to_hard` packing, interpreter dispatch;
+//! * [`KernelCompiler`] — Halide, TVM, RAKE, and the GCD_b ablation for
+//!   single-kernel comparisons (Figure 7, Table III);
+//! * [`DeviceModel`] / [`AcceleratorRef`] — mobile CPU/GPU and the
+//!   EdgeTPU/Jetson accelerators (Tables I and V).
+//!
+//! See DESIGN.md for the substitution rationale: comparisons measure the
+//! *policy* differences the paper names, on identical substrate.
+
+pub mod compilers;
+pub mod devices;
+pub mod frameworks;
+
+pub use compilers::{compile_kernel, KernelCompiler, KernelResult};
+pub use devices::{table5_accelerators, AcceleratorRef, DeviceModel};
+pub use frameworks::{Framework, FrameworkRun};

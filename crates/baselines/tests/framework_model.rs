@@ -1,0 +1,100 @@
+//! Tests of the simulated-framework policy model: depth-32 padding,
+//! fusion spans, dispatch overheads, and the capability matrix.
+
+use gcd2_baselines::{compile_kernel, Framework, KernelCompiler};
+use gcd2_cgraph::{GemmDims, Graph, OpKind, TShape};
+
+fn conv_net(channels: usize, n: usize) -> Graph {
+    let mut g = Graph::new();
+    let mut prev = g.input("x", TShape::nchw(1, channels, 28, 28));
+    for i in 0..n {
+        prev = g.add(
+            OpKind::Conv2d {
+                out_channels: channels,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+            },
+            &[prev],
+            format!("conv{i}"),
+        );
+    }
+    g
+}
+
+#[test]
+fn d32_padding_punishes_odd_channel_counts() {
+    // 24 channels pad to 32 under the library model (1.33x the work);
+    // 32 channels are exact. The odd-channel net must show a larger
+    // relative penalty vs its own MAC count.
+    let odd = conv_net(24, 4);
+    let even = conv_net(32, 4);
+    let odd_run = Framework::Tflite.run(&odd).unwrap();
+    let even_run = Framework::Tflite.run(&even).unwrap();
+    let odd_cpm = odd_run.stats.cycles as f64 / odd.total_macs() as f64;
+    let even_cpm = even_run.stats.cycles as f64 / even.total_macs() as f64;
+    assert!(
+        odd_cpm > 1.25 * even_cpm,
+        "cycles/MAC: odd-channel {odd_cpm:.4} vs aligned {even_cpm:.4}"
+    );
+}
+
+#[test]
+fn snpe_converts_less_often_than_tflite() {
+    let g = conv_net(32, 9);
+    let t = Framework::Tflite.run(&g).unwrap();
+    let s = Framework::Snpe.run(&g).unwrap();
+    // Same kernels; SNPE's longer fusion spans + cheaper dispatch mean
+    // fewer cycles and less boundary memory traffic.
+    assert!(s.stats.cycles < t.stats.cycles);
+    assert!(
+        s.stats.mem_read_bytes + s.stats.mem_write_bytes
+            < t.stats.mem_read_bytes + t.stats.mem_write_bytes
+    );
+}
+
+#[test]
+fn capability_matrix_matches_table4() {
+    use gcd2_models::ModelId;
+    let expectations = [
+        (ModelId::MobileNetV3, true, true),
+        (ModelId::EfficientDetD0, true, false),
+        (ModelId::TinyBert, false, false),
+        (ModelId::Conformer, false, false),
+    ];
+    for (id, tflite, snpe) in expectations {
+        let g = id.build();
+        assert_eq!(Framework::Tflite.supports(&g), tflite, "{id} TFLite");
+        assert_eq!(Framework::Snpe.supports(&g), snpe, "{id} SNPE");
+    }
+}
+
+#[test]
+fn kernel_compiler_ordering_is_stable() {
+    // Figure 7's ordering on a ResNet-50 shape.
+    let g = GemmDims::new(56 * 56, 64 * 9, 64);
+    let halide = compile_kernel(KernelCompiler::Halide, &g).cycles;
+    let tvm = compile_kernel(KernelCompiler::Tvm, &g).cycles;
+    let rake = compile_kernel(KernelCompiler::Rake, &g).cycles;
+    let gcdb = compile_kernel(KernelCompiler::GcdB, &g).cycles;
+    let gcd2 = compile_kernel(KernelCompiler::Gcd2, &g).cycles;
+    assert!(tvm <= halide, "TVM tunes schedules Halide does not");
+    assert!(rake <= halide);
+    assert!(gcdb < rake, "layout freedom dominates");
+    assert!(gcd2 <= gcdb, "SDA only helps");
+}
+
+#[test]
+fn rake_matches_its_published_selections() {
+    // Table III's RAKE column.
+    use gcd2_kernels::{CostModel, SimdInstr};
+    let model = CostModel::new();
+    let cases = [
+        (GemmDims::new(112 * 112, 147, 64), SimdInstr::Vrmpy),
+        (GemmDims::new(56 * 56, 64, 64), SimdInstr::Vmpy),
+        (GemmDims::new(28 * 28, 1152, 128), SimdInstr::Vrmpy),
+    ];
+    for (gemm, expect) in cases {
+        assert_eq!(KernelCompiler::Rake.select_instruction(&gemm, &model), expect, "{gemm}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Criterion bench: full-model compilation time (the paper reports 5-25
+//! minutes on their toolchain; our compiler is measured here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcd2::Compiler;
+use gcd2_models::ModelId;
+
+fn compile_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_time");
+    group.sample_size(10);
+    for id in [ModelId::ResNet50, ModelId::WdsrB, ModelId::Fst] {
+        let graph = id.build();
+        group.bench_with_input(BenchmarkId::from_parameter(id.to_string()), &graph, |b, g| {
+            b.iter(|| std::hint::black_box(Compiler::new().compile(g).cycles()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, compile_models);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench behind Figure 10 (right): search time of the
+//! layout/instruction selection algorithms as the graph grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcd2_bench::prefix_graph;
+use gcd2_globalopt::{enumerate_plans, exhaustive, gcd2_select, local_optimal};
+use gcd2_kernels::CostModel;
+use gcd2_models::ModelId;
+
+fn search_time(c: &mut Criterion) {
+    let resnet = ModelId::ResNet50.build();
+    let mut group = c.benchmark_group("fig10_search_time");
+    group.sample_size(10);
+    for ops in [5usize, 10, 15] {
+        let g = prefix_graph(&resnet, ops);
+        let model = CostModel::new();
+        let plans = enumerate_plans(&g, &model);
+        group.bench_with_input(BenchmarkId::new("local", ops), &ops, |b, _| {
+            b.iter(|| std::hint::black_box(local_optimal(&g, &plans)))
+        });
+        group.bench_with_input(BenchmarkId::new("gcd2_13", ops), &ops, |b, _| {
+            b.iter(|| std::hint::black_box(gcd2_select(&g, &plans, 13)))
+        });
+        if ops <= 10 {
+            let scope: Vec<_> = g
+                .nodes()
+                .iter()
+                .filter(|n| {
+                    !matches!(
+                        n.kind,
+                        gcd2_cgraph::OpKind::Input | gcd2_cgraph::OpKind::Constant
+                    )
+                })
+                .map(|n| n.id)
+                .collect();
+            group.bench_with_input(BenchmarkId::new("global", ops), &ops, |b, _| {
+                b.iter(|| std::hint::black_box(exhaustive(&g, &plans, &scope)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, search_time);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench behind Table II: cost-model evaluation speed for the
+//! three SIMD instructions across the square MatMul shapes, plus
+//! functional-simulation throughput of one kernel per instruction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcd2_cgraph::GemmDims;
+use gcd2_hvx::Machine;
+use gcd2_kernels::{functional_program, output_matrix_len, CostModel, SimdInstr, UnrollConfig};
+use gcd2_tensor::{MatrixI8, MatrixU8};
+
+fn cost_model_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_cost_eval");
+    for size in [32usize, 64, 96, 128] {
+        for instr in SimdInstr::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(instr.to_string(), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| {
+                        // Fresh model each pass: measure generation +
+                        // SDA packing, not the memo cache.
+                        let model = CostModel::new();
+                        let gemm = GemmDims::new(size, size, size);
+                        std::hint::black_box(model.gemm_cycles(
+                            &gemm,
+                            instr,
+                            UnrollConfig::new(2, 2),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn functional_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_matmul_sim");
+    let (m, k, n) = (128, 16, 8);
+    let a_rm: Vec<u8> = (0..m * k).map(|i| (i % 16) as u8).collect();
+    let w_rm: Vec<i8> = (0..k * n).map(|i| (i % 15) as i8 - 7).collect();
+    for instr in SimdInstr::ALL {
+        let a = MatrixU8::from_row_major(m, k, instr.layout(), &a_rm);
+        let w = MatrixI8::from_row_major(k, n, &w_rm);
+        let gemm = GemmDims::new(m, k, n);
+        let addr_out = a.padded_len().div_ceil(128) * 128;
+        let out_len = output_matrix_len(&gemm, instr);
+        let prog = functional_program(&a, &w, instr, 4, 0, addr_out as i64);
+        group.bench_function(instr.to_string(), |b| {
+            b.iter(|| {
+                let mut machine = Machine::new(addr_out + out_len);
+                machine.mem[..a.padded_len()].copy_from_slice(a.as_bytes());
+                machine.run(&prog);
+                std::hint::black_box(machine.mem[addr_out])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cost_model_eval, functional_simulation);
+criterion_main!(benches);

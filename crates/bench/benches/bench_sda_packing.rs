@@ -1,0 +1,58 @@
+//! Criterion bench behind Figure 11: scheduling speed of the SDA packer
+//! and its ablation variants on representative basic blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcd2_cgraph::GemmDims;
+use gcd2_hvx::Block;
+use gcd2_kernels::{timing_blocks, SimdInstr, UnrollConfig};
+use gcd2_vliw::{Packer, SoftDepPolicy};
+
+fn kernel_body() -> Block {
+    // The multiply body of a moderately unrolled GEMM kernel — the block
+    // shape the packer sees most.
+    timing_blocks(&GemmDims::new(512, 256, 256), SimdInstr::Vmpy, UnrollConfig::new(4, 4))
+        .remove(2)
+}
+
+fn packing_speed(c: &mut Criterion) {
+    let block = kernel_body();
+    let mut group = c.benchmark_group("sda_packing");
+    group.throughput(criterion::Throughput::Elements(block.insns.len() as u64));
+    for (name, policy) in [
+        ("sda", SoftDepPolicy::Sda),
+        ("soft_to_hard", SoftDepPolicy::SoftToHard),
+        ("soft_to_none", SoftDepPolicy::SoftToNone),
+    ] {
+        let packer = Packer::new().with_policy(policy);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &block, |b, block| {
+            b.iter(|| std::hint::black_box(packer.pack_block(block)))
+        });
+    }
+    group.finish();
+}
+
+fn packing_scaling(c: &mut Criterion) {
+    // Block size scaling: the packer is O(n^2)-ish; confirm it stays
+    // usable at large unrolled bodies.
+    let mut group = c.benchmark_group("sda_packing_scaling");
+    for unroll in [1usize, 4, 8] {
+        let blocks = timing_blocks(
+            &GemmDims::new(512, 256, 256),
+            SimdInstr::Vmpy,
+            UnrollConfig::new(unroll, 4),
+        );
+        let body = &blocks[2];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(body.insns.len()),
+            body,
+            |b, body| {
+                let packer = Packer::new();
+                b.iter(|| std::hint::black_box(packer.pack_block(body)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, packing_speed, packing_scaling);
+criterion_main!(benches);

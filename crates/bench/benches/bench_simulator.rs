@@ -1,0 +1,42 @@
+//! Criterion bench: functional-simulator throughput (packets/s) on a
+//! vector-heavy block — the substrate every experiment stands on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gcd2_hvx::{Block, Insn, Machine, SReg, VPair, VReg, VBYTES};
+
+fn simulator_throughput(c: &mut Criterion) {
+    let v = VReg::new;
+    let w = VPair::new;
+    let r = SReg::new;
+    let mut block = Block::with_trip_count("stream", 64);
+    block.extend([
+        Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
+        Insn::VLoad { dst: v(1), base: r(0), offset: VBYTES as i64 },
+        Insn::VaddUbH { dst: w(2), a: v(0), b: v(1) },
+        Insn::Vmpy { dst: w(4), src: v(0), weights: r(2), acc: true },
+        Insn::VasrHB { dst: v(6), src: w(4), shift: 4 },
+        Insn::VStore { src: v(6), base: r(1), offset: 0 },
+        Insn::AddI { dst: r(0), a: r(0), imm: 2 * VBYTES as i64 },
+        Insn::AddI { dst: r(1), a: r(1), imm: VBYTES as i64 },
+    ]);
+    let packed = gcd2_vliw::Packer::new().pack_block(&block);
+    let packets = packed.packets.len() as u64 * packed.trip_count;
+
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(packets));
+    group.bench_function("functional_packets", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(64 * 1024);
+            m.set_sreg(r(1), 32 * 1024);
+            m.run_block(&packed);
+            std::hint::black_box(m.sreg(r(1)))
+        })
+    });
+    group.bench_function("static_costing", |b| {
+        b.iter(|| std::hint::black_box(packed.stats()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, simulator_throughput);
+criterion_main!(benches);

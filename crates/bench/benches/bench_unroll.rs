@@ -1,0 +1,29 @@
+//! Criterion bench behind Figure 12: unroll-strategy search cost —
+//! the adaptive heuristic vs the exhaustive factor-grid sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcd2_cgraph::GemmDims;
+use gcd2_kernels::{CostModel, SimdInstr, UnrollStrategy};
+
+fn unroll_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_unroll_search");
+    group.sample_size(10);
+    let gemm = GemmDims::new(512, 256, 256);
+    for (name, strategy) in [
+        ("adaptive", UnrollStrategy::Adaptive),
+        ("out4", UnrollStrategy::Out(4)),
+        ("exhaustive", UnrollStrategy::Exhaustive),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &gemm, |b, gemm| {
+            b.iter(|| {
+                // Fresh cost model: measure real search, not memoization.
+                let model = CostModel::new();
+                std::hint::black_box(model.best_unroll(gemm, SimdInstr::Vmpy, strategy))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, unroll_search);
+criterion_main!(benches);

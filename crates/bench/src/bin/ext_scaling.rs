@@ -1,0 +1,41 @@
+//! Extension study: how GCD2's advantage scales with input resolution.
+//!
+//! The paper evaluates each model at one resolution; this harness sweeps
+//! the EfficientNet-b0 backbone across input sizes and reports GCD2 and
+//! simulated-TFLite latency, the speedup, and the achieved throughput —
+//! showing where the framework's fixed costs (conversions, dispatch)
+//! amortize away and where GCD2's per-shape kernel selection keeps
+//! paying.
+
+use gcd2::Compiler;
+use gcd2_baselines::Framework;
+use gcd2_bench::row;
+use gcd2_models::cnn::efficientnet_b0_backbone;
+
+fn main() {
+    println!("# Extension: resolution scaling (EfficientNet-b0 backbone)\n");
+    row(&[
+        "input".into(),
+        "GMACs".into(),
+        "TFLite (ms)".into(),
+        "GCD2 (ms)".into(),
+        "speedup".into(),
+        "GCD2 TOPS".into(),
+    ]);
+    for size in [128usize, 224, 320, 512] {
+        let g = efficientnet_b0_backbone(size);
+        let compiled = Compiler::new().compile(&g);
+        let tflite = Framework::Tflite.run(&g).expect("CNN supported");
+        row(&[
+            format!("{size}x{size}"),
+            format!("{:.2}", g.total_macs() as f64 / 1e9),
+            format!("{:.2}", tflite.latency_ms()),
+            format!("{:.2}", compiled.latency_ms()),
+            format!("{:.2}x", tflite.stats.cycles as f64 / compiled.cycles() as f64),
+            format!("{:.2}", compiled.tops()),
+        ]);
+    }
+    println!("\nLarger inputs raise achieved TOPS (better amortization of per-kernel overheads);");
+    println!("the speedup over the uniform-kernel framework persists across the sweep because");
+    println!("it comes from per-shape selection and padding, not from fixed costs.");
+}

@@ -1,0 +1,57 @@
+//! Figure 12: unrolling analysis — (a) factor sweep of the Out and Mid
+//! strategies on a single MatMul kernel against the adaptive GCD2
+//! setting and the exhaustive search; (b) strategy comparison across the
+//! 8 ResNet-50 kernels.
+
+use gcd2_bench::{resnet_conv_kernels, row};
+use gcd2_cgraph::GemmDims;
+use gcd2_kernels::{
+    adaptive_unroll, CostModel, SimdInstr, UnrollConfig, UnrollStrategy, UNROLL_CANDIDATES,
+};
+use std::time::Instant;
+
+fn main() {
+    let model = CostModel::new();
+    let instr = SimdInstr::Vmpy;
+
+    println!("# Figure 12 (a): unroll-factor sweep on one MatMul kernel\n");
+    let gemm = GemmDims::new(512, 256, 256);
+    let none = model.gemm_cycles(&gemm, instr, UnrollConfig::NONE) as f64;
+    row(&["factor".into(), "Out (n-unroll) speedup".into(), "Mid (k-unroll) speedup".into()]);
+    for &f in &UNROLL_CANDIDATES {
+        let out = model.gemm_cycles(&gemm, instr, UnrollConfig::new(f, 1)) as f64;
+        let mid = model.gemm_cycles(&gemm, instr, UnrollConfig::new(1, f)) as f64;
+        row(&[f.to_string(), format!("{:.2}", none / out), format!("{:.2}", none / mid)]);
+    }
+    let adaptive = adaptive_unroll(&gemm, instr);
+    let (best_cfg, best) = model.best_unroll(&gemm, instr, UnrollStrategy::Exhaustive);
+    println!(
+        "\nGCD2 adaptive setting: {adaptive} -> {:.2}x | exhaustive best: {best_cfg} -> {:.2}x",
+        none / model.gemm_cycles(&gemm, instr, adaptive) as f64,
+        none / best as f64,
+    );
+
+    println!("\n# Figure 12 (b): strategies across the 8 ResNet-50 kernels (speedup over no unrolling)\n");
+    let kernels = resnet_conv_kernels();
+    let mut header = vec!["Strategy".to_string()];
+    header.extend((0..kernels.len()).map(|i| format!("O{}", i + 1)));
+    header.push("search time".into());
+    row(&header);
+    for (label, strategy) in [
+        ("Out(4)", UnrollStrategy::Out(4)),
+        ("Mid(4)", UnrollStrategy::Mid(4)),
+        ("Exhaustive", UnrollStrategy::Exhaustive),
+        ("GCD2 adaptive", UnrollStrategy::Adaptive),
+    ] {
+        let mut cells = vec![label.to_string()];
+        let t0 = Instant::now();
+        for g in &kernels {
+            let base = model.gemm_cycles(g, instr, UnrollConfig::NONE) as f64;
+            let (_, c) = model.best_unroll(g, instr, strategy);
+            cells.push(format!("{:.2}", base / c as f64));
+        }
+        cells.push(format!("{:.2}s", t0.elapsed().as_secs_f64()));
+        row(&cells);
+    }
+    println!("\nPaper: exhaustive best is 4-4; GCD2's adaptive choice matches it within noise while avoiding the >3 min/kernel search; too-large factors regress via register spills.");
+}

@@ -1,0 +1,57 @@
+//! Figure 8: DSP utilization and memory bandwidth of TFLite and SNPE
+//! relative to GCD2 on five representative models.
+
+use gcd2::Compiler;
+use gcd2_baselines::Framework;
+use gcd2_bench::{representative_models, row};
+use gcd2_hvx::ExecStats;
+
+/// Issue-slot throughput: instructions issued per cycle (busy-ness, the
+/// profiler-style utilization proxy; idle dispatch/conversion cycles
+/// count against it).
+fn util(stats: &ExecStats) -> f64 {
+    stats.insns as f64 / stats.cycles as f64
+}
+
+/// Effective bandwidth: *useful* (logical tensor) bytes moved per cycle.
+/// Padded/duplicated traffic does not count, so wasted work lowers the
+/// score rather than inflating it.
+fn effective_bw(graph: &gcd2_cgraph::Graph, cycles: u64) -> f64 {
+    let logical: u64 = graph.nodes().iter().map(|n| n.shape.elems() as u64).sum();
+    2.0 * logical as f64 / cycles as f64
+}
+
+fn main() {
+    println!("# Figure 8: utilization & effective memory bandwidth (normalized to GCD2 = 100%)\n");
+    row(&[
+        "Model".into(),
+        "TFLite util %".into(),
+        "SNPE util %".into(),
+        "GCD2 util %".into(),
+        "TFLite bw %".into(),
+        "SNPE bw %".into(),
+        "GCD2 bw %".into(),
+    ]);
+    for id in representative_models() {
+        let g = id.build();
+        let gcd2 = Compiler::new().compile(&g);
+        let stats = gcd2.stats();
+        let g_util = util(&stats);
+        let g_bw = effective_bw(&g, stats.cycles);
+        let t = Framework::Tflite.run(&g).expect("supported");
+        let s = Framework::Snpe.run(&g).expect("supported");
+        row(&[
+            id.to_string(),
+            format!("{:.0}", 100.0 * util(&t.stats) / g_util),
+            format!("{:.0}", 100.0 * util(&s.stats) / g_util),
+            "100".into(),
+            format!("{:.0}", 100.0 * effective_bw(&g, t.stats.cycles) / g_bw),
+            format!("{:.0}", 100.0 * effective_bw(&g, s.stats.cycles) / g_bw),
+            "100".into(),
+        ]);
+    }
+    println!("\nPaper: TFLite reaches 88-93% and SNPE 89-95% of GCD2's utilization; bandwidth 86-93% / 90-94%.");
+    println!("Absolute GCD2 effective throughput on ResNet-50 (Section V-B peak discussion):");
+    let m = Compiler::new().compile(&gcd2_models::ModelId::ResNet50.build());
+    println!("  {:.2} TOPS achieved (paper: up to 1.51 TOPS of the 3.7 TOPS practical peak).", m.tops());
+}

@@ -1,0 +1,401 @@
+//! Operator vocabulary of the computational graph.
+
+use crate::shape::{GemmDims, TShape};
+use std::fmt;
+
+/// Activation functions fusable into a producing operator (graph-level
+/// fusion inherited from the PatDNN-style framework GCD2 builds on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// `max(x, 0)`.
+    Relu,
+    /// `min(max(x, 0), 6)`.
+    Relu6,
+    /// `x * sigmoid(x)` (lowered through a lookup table).
+    HardSwish,
+}
+
+/// The kind of computation a graph node performs.
+///
+/// The vocabulary covers the 10 evaluation models of Table IV: CNN
+/// convolutions (regular/depthwise/transposed), pooling, elementwise
+/// arithmetic (including `Pow` and `Div`, which TFLite/SNPE lack on DSP —
+/// the reason GCD2 runs TinyBERT and Conformer "for the first time"),
+/// transformer matmuls, normalization, softmax, and shape plumbing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A graph input placeholder.
+    Input,
+    /// A constant tensor (weights are implicit in compute ops; this is
+    /// for auxiliary constants).
+    Constant,
+    /// 2-D convolution over NCHW input.
+    Conv2d {
+        /// Output channel count.
+        out_channels: usize,
+        /// Kernel height and width.
+        kernel: (usize, usize),
+        /// Stride height and width.
+        stride: (usize, usize),
+        /// Symmetric zero padding (height, width).
+        padding: (usize, usize),
+    },
+    /// Depthwise 2-D convolution (one filter per channel).
+    DepthwiseConv2d {
+        /// Kernel height and width.
+        kernel: (usize, usize),
+        /// Stride height and width.
+        stride: (usize, usize),
+        /// Symmetric zero padding (height, width).
+        padding: (usize, usize),
+    },
+    /// Transposed convolution (upsampling in GAN generators).
+    ConvTranspose2d {
+        /// Output channel count.
+        out_channels: usize,
+        /// Kernel height and width.
+        kernel: (usize, usize),
+        /// Upsampling stride.
+        stride: (usize, usize),
+    },
+    /// Dense matrix multiply: `[m, k] × [k, n]`.
+    MatMul {
+        /// Output feature count.
+        n: usize,
+    },
+    /// Batched matrix multiply between two activation tensors
+    /// (attention scores / context), `[heads, m, k] × [heads, k, n]`.
+    BatchMatMul {
+        /// Output columns per batch.
+        n: usize,
+    },
+    /// Elementwise addition of two inputs.
+    Add,
+    /// Elementwise multiplication of two inputs.
+    Mul,
+    /// Elementwise division (expensive on DSP; replaced by lookups).
+    Div,
+    /// Elementwise power `x^c` (TinyBERT/Conformer need this; unsupported
+    /// by the TFLite/SNPE DSP delegates).
+    Pow,
+    /// Standalone activation.
+    Act(Activation),
+    /// Sigmoid (attention gates, squeeze-excite).
+    Sigmoid,
+    /// Softmax over the last dimension.
+    Softmax,
+    /// Layer normalization over the last dimension.
+    LayerNorm,
+    /// GELU activation (transformers).
+    Gelu,
+    /// Max pooling.
+    MaxPool {
+        /// Kernel size.
+        kernel: (usize, usize),
+        /// Stride.
+        stride: (usize, usize),
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Kernel size.
+        kernel: (usize, usize),
+        /// Stride.
+        stride: (usize, usize),
+    },
+    /// Global average pooling to `1 × 1` spatial size.
+    GlobalAvgPool,
+    /// Nearest-neighbour spatial upsampling.
+    Upsample {
+        /// Integer scale factor.
+        factor: usize,
+    },
+    /// Shape change without data movement semantics.
+    Reshape {
+        /// Target shape.
+        shape: TShape,
+    },
+    /// Dimension permutation (a pure layout-transformation operator in
+    /// the paper's partitioning heuristic).
+    Transpose,
+    /// Channel concatenation of two inputs.
+    Concat,
+}
+
+impl OpKind {
+    /// True for `Reshape`/`Transpose` — the "layout transformation
+    /// operators" that anchor desirable partitioning edges (Section IV-B).
+    pub fn is_layout_transform(&self) -> bool {
+        matches!(self, OpKind::Reshape { .. } | OpKind::Transpose)
+    }
+
+    /// True when the operator's inner loop is a widening
+    /// multiply-accumulate, i.e. it has a [`GemmDims`] view and competes
+    /// for the disparate SIMD multiply instructions.
+    pub fn is_gemm_like(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Conv2d { .. }
+                | OpKind::DepthwiseConv2d { .. }
+                | OpKind::ConvTranspose2d { .. }
+                | OpKind::MatMul { .. }
+                | OpKind::BatchMatMul { .. }
+        )
+    }
+
+    /// Output shape given input shapes.
+    ///
+    /// # Panics
+    /// Panics if the input count or ranks do not match the operator.
+    pub fn infer_shape(&self, inputs: &[&TShape]) -> TShape {
+        match self {
+            OpKind::Input | OpKind::Constant => {
+                panic!("source ops have explicit shapes")
+            }
+            OpKind::Conv2d { out_channels, kernel, stride, padding } => {
+                let x = inputs[0];
+                assert_eq!(x.rank(), 4);
+                let h = (x.dim(2) + 2 * padding.0 - kernel.0) / stride.0 + 1;
+                let w = (x.dim(3) + 2 * padding.1 - kernel.1) / stride.1 + 1;
+                TShape::nchw(x.dim(0), *out_channels, h, w)
+            }
+            OpKind::DepthwiseConv2d { kernel, stride, padding } => {
+                let x = inputs[0];
+                assert_eq!(x.rank(), 4);
+                let h = (x.dim(2) + 2 * padding.0 - kernel.0) / stride.0 + 1;
+                let w = (x.dim(3) + 2 * padding.1 - kernel.1) / stride.1 + 1;
+                TShape::nchw(x.dim(0), x.dim(1), h, w)
+            }
+            OpKind::ConvTranspose2d { out_channels, stride, .. } => {
+                let x = inputs[0];
+                assert_eq!(x.rank(), 4);
+                TShape::nchw(x.dim(0), *out_channels, x.dim(2) * stride.0, x.dim(3) * stride.1)
+            }
+            OpKind::MatMul { n } => {
+                let x = inputs[0];
+                let mut dims = x.0.clone();
+                let last = dims.len() - 1;
+                dims[last] = *n;
+                TShape(dims)
+            }
+            OpKind::BatchMatMul { n } => {
+                let x = inputs[0];
+                let mut dims = x.0.clone();
+                let last = dims.len() - 1;
+                dims[last] = *n;
+                TShape(dims)
+            }
+            OpKind::Add | OpKind::Mul | OpKind::Div | OpKind::Pow => inputs[0].clone(),
+            OpKind::Act(_)
+            | OpKind::Sigmoid
+            | OpKind::Softmax
+            | OpKind::LayerNorm
+            | OpKind::Gelu => inputs[0].clone(),
+            OpKind::MaxPool { kernel, stride } | OpKind::AvgPool { kernel, stride } => {
+                let x = inputs[0];
+                assert_eq!(x.rank(), 4);
+                let h = (x.dim(2) - kernel.0) / stride.0 + 1;
+                let w = (x.dim(3) - kernel.1) / stride.1 + 1;
+                TShape::nchw(x.dim(0), x.dim(1), h, w)
+            }
+            OpKind::GlobalAvgPool => {
+                let x = inputs[0];
+                TShape::nchw(x.dim(0), x.dim(1), 1, 1)
+            }
+            OpKind::Upsample { factor } => {
+                let x = inputs[0];
+                TShape::nchw(x.dim(0), x.dim(1), x.dim(2) * factor, x.dim(3) * factor)
+            }
+            OpKind::Reshape { shape } => shape.clone(),
+            OpKind::Transpose => {
+                let x = inputs[0];
+                let mut dims = x.0.clone();
+                dims.reverse();
+                TShape(dims)
+            }
+            OpKind::Concat => {
+                let (a, b) = (inputs[0], inputs[1]);
+                assert_eq!(a.rank(), b.rank());
+                let mut dims = a.0.clone();
+                dims[1] += b.dim(1);
+                TShape(dims)
+            }
+        }
+    }
+
+    /// The GEMM view of this operator, when it has one.
+    pub fn gemm_dims(&self, input: &TShape, output: &TShape) -> Option<GemmDims> {
+        match self {
+            OpKind::Conv2d { out_channels, kernel, .. } => Some(GemmDims::new(
+                output.spatial(),
+                input.channels() * kernel.0 * kernel.1,
+                *out_channels,
+            )),
+            OpKind::DepthwiseConv2d { kernel, .. } => Some(GemmDims::new(
+                output.spatial() * output.channels(),
+                kernel.0 * kernel.1,
+                1,
+            )),
+            OpKind::ConvTranspose2d { out_channels, kernel, .. } => Some(GemmDims::new(
+                output.spatial(),
+                input.channels() * kernel.0 * kernel.1 / 4,
+                *out_channels,
+            )),
+            OpKind::MatMul { n } => {
+                let k = *input.0.last().unwrap();
+                let m = input.elems() / k;
+                Some(GemmDims::new(m, k, *n))
+            }
+            OpKind::BatchMatMul { n } => {
+                let k = *input.0.last().unwrap();
+                let m = input.elems() / k;
+                Some(GemmDims::new(m, k, *n))
+            }
+            _ => None,
+        }
+    }
+
+    /// Multiply-accumulate count of the operator.
+    pub fn macs(&self, input: &TShape, output: &TShape) -> u64 {
+        if let Some(g) = self.gemm_dims(input, output) {
+            return g.macs();
+        }
+        match self {
+            OpKind::Add | OpKind::Mul | OpKind::Div | OpKind::Pow => output.elems() as u64,
+            OpKind::Softmax | OpKind::LayerNorm | OpKind::Gelu | OpKind::Sigmoid => {
+                2 * output.elems() as u64
+            }
+            OpKind::MaxPool { kernel, .. } | OpKind::AvgPool { kernel, .. } => {
+                (output.elems() * kernel.0 * kernel.1) as u64
+            }
+            OpKind::GlobalAvgPool => input.elems() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Parameter (weight) count of the operator.
+    pub fn params(&self, input: &TShape) -> u64 {
+        match self {
+            OpKind::Conv2d { out_channels, kernel, .. } => {
+                (input.channels() * kernel.0 * kernel.1 * out_channels + out_channels) as u64
+            }
+            OpKind::DepthwiseConv2d { kernel, .. } => {
+                (input.channels() * kernel.0 * kernel.1 + input.channels()) as u64
+            }
+            OpKind::ConvTranspose2d { out_channels, kernel, .. } => {
+                (input.channels() * kernel.0 * kernel.1 * out_channels + out_channels) as u64
+            }
+            OpKind::MatMul { n } => {
+                (*input.0.last().unwrap() * n + n) as u64
+            }
+            OpKind::LayerNorm => 2 * *input.0.last().unwrap() as u64,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Input => write!(f, "Input"),
+            OpKind::Constant => write!(f, "Constant"),
+            OpKind::Conv2d { out_channels, kernel, stride, .. } => {
+                write!(f, "Conv2d({out_channels}, {}x{}, s{})", kernel.0, kernel.1, stride.0)
+            }
+            OpKind::DepthwiseConv2d { kernel, stride, .. } => {
+                write!(f, "DWConv2d({}x{}, s{})", kernel.0, kernel.1, stride.0)
+            }
+            OpKind::ConvTranspose2d { out_channels, kernel, .. } => {
+                write!(f, "ConvT2d({out_channels}, {}x{})", kernel.0, kernel.1)
+            }
+            OpKind::MatMul { n } => write!(f, "MatMul({n})"),
+            OpKind::BatchMatMul { n } => write!(f, "BatchMatMul({n})"),
+            OpKind::Add => write!(f, "Add"),
+            OpKind::Mul => write!(f, "Mul"),
+            OpKind::Div => write!(f, "Div"),
+            OpKind::Pow => write!(f, "Pow"),
+            OpKind::Act(a) => write!(f, "{a:?}"),
+            OpKind::Sigmoid => write!(f, "Sigmoid"),
+            OpKind::Softmax => write!(f, "Softmax"),
+            OpKind::LayerNorm => write!(f, "LayerNorm"),
+            OpKind::Gelu => write!(f, "Gelu"),
+            OpKind::MaxPool { kernel, .. } => write!(f, "MaxPool({}x{})", kernel.0, kernel.1),
+            OpKind::AvgPool { kernel, .. } => write!(f, "AvgPool({}x{})", kernel.0, kernel.1),
+            OpKind::GlobalAvgPool => write!(f, "GlobalAvgPool"),
+            OpKind::Upsample { factor } => write!(f, "Upsample(x{factor})"),
+            OpKind::Reshape { shape } => write!(f, "Reshape({shape})"),
+            OpKind::Transpose => write!(f, "Transpose"),
+            OpKind::Concat => write!(f, "Concat"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_and_gemm() {
+        let op = OpKind::Conv2d {
+            out_channels: 64,
+            kernel: (7, 7),
+            stride: (2, 2),
+            padding: (3, 3),
+        };
+        let input = TShape::nchw(1, 3, 224, 224);
+        let out = op.infer_shape(&[&input]);
+        assert_eq!(out, TShape::nchw(1, 64, 112, 112));
+        let g = op.gemm_dims(&input, &out).unwrap();
+        assert_eq!(g, GemmDims::new(112 * 112, 3 * 49, 64));
+        assert_eq!(op.macs(&input, &out), g.macs());
+    }
+
+    #[test]
+    fn depthwise_gemm_is_thin() {
+        let op = OpKind::DepthwiseConv2d { kernel: (3, 3), stride: (1, 1), padding: (1, 1) };
+        let input = TShape::nchw(1, 32, 28, 28);
+        let out = op.infer_shape(&[&input]);
+        assert_eq!(out, input);
+        let g = op.gemm_dims(&input, &out).unwrap();
+        assert_eq!(g.n, 1);
+        assert_eq!(g.k, 9);
+    }
+
+    #[test]
+    fn matmul_shapes() {
+        let op = OpKind::MatMul { n: 312 };
+        let input = TShape::new(vec![128, 312]);
+        let out = op.infer_shape(&[&input]);
+        assert_eq!(out, TShape::new(vec![128, 312]));
+        assert_eq!(op.gemm_dims(&input, &out).unwrap(), GemmDims::new(128, 312, 312));
+        assert_eq!(op.params(&input), (312 * 312 + 312) as u64);
+    }
+
+    #[test]
+    fn pooling_shapes() {
+        let op = OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) };
+        let input = TShape::nchw(1, 64, 56, 56);
+        assert_eq!(op.infer_shape(&[&input]), TShape::nchw(1, 64, 28, 28));
+    }
+
+    #[test]
+    fn layout_transform_flags() {
+        assert!(OpKind::Transpose.is_layout_transform());
+        assert!(OpKind::Reshape { shape: TShape::new(vec![10]) }.is_layout_transform());
+        assert!(!OpKind::Add.is_layout_transform());
+        assert!(OpKind::Conv2d {
+            out_channels: 8,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: (0, 0)
+        }
+        .is_gemm_like());
+    }
+
+    #[test]
+    fn concat_adds_channels() {
+        let op = OpKind::Concat;
+        let a = TShape::nchw(1, 16, 8, 8);
+        let b = TShape::nchw(1, 24, 8, 8);
+        assert_eq!(op.infer_shape(&[&a, &b]), TShape::nchw(1, 40, 8, 8));
+    }
+}

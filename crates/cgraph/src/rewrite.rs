@@ -1,0 +1,315 @@
+//! Graph-level rewrites.
+//!
+//! GCD2 leans on its host framework for classic computational-graph
+//! optimizations ("converts the post-training quantized model to a
+//! computational graph and optimizes it with various techniques, e.g.,
+//! constant folding" — Section IV-D). This module implements the passes
+//! that matter for the evaluation: constant folding, identity-reshape
+//! elimination, and activation fusion into GEMM-like producers.
+
+use crate::graph::{Graph, NodeId};
+use crate::op::OpKind;
+use std::collections::HashMap;
+
+/// Applies the standard pass pipeline: constant folding, identity-reshape
+/// elimination, then activation fusion.
+pub fn optimize(graph: &Graph) -> Graph {
+    let g = fold_constants(graph);
+    let g = eliminate_identity_reshapes(&g);
+    fuse_activations(&g)
+}
+
+/// DSP-friendly elementwise fusion — the extension the paper lists as
+/// future work ("explore DSP-friendly operator fusion \[63\] to further
+/// improve the performance"): a standalone activation whose single input
+/// is an *elementwise* producer (Add/Mul) folds into that producer,
+/// saving a full feature-map round trip through memory.
+pub fn fuse_elementwise_activations(graph: &Graph) -> Graph {
+    let mut fusable: Vec<Option<NodeId>> = vec![None; graph.len()];
+    for node in graph.nodes() {
+        if let OpKind::Act(_) = node.kind {
+            if node.inputs.len() == 1 {
+                let p = graph.node(node.inputs[0]);
+                if matches!(p.kind, OpKind::Add | OpKind::Mul)
+                    && p.fused_activation.is_none()
+                    && graph.succs(p.id).len() == 1
+                {
+                    fusable[node.id.0] = Some(p.id);
+                }
+            }
+        }
+    }
+    let (mut out, map) = rebuild(
+        graph,
+        |_, id| fusable[id.0].is_none(),
+        |_, id| fusable[id.0].unwrap_or(id),
+    );
+    for node in graph.nodes() {
+        if let (OpKind::Act(a), Some(producer)) = (&node.kind, fusable[node.id.0]) {
+            let new_id = map[&producer];
+            out.node_mut(new_id).fused_activation = Some(*a);
+        }
+    }
+    out
+}
+
+/// Rebuilds `graph` while remapping node ids; `keep` decides whether a
+/// node survives, `redirect` maps a dropped node to its replacement.
+fn rebuild(
+    graph: &Graph,
+    keep: impl Fn(&Graph, NodeId) -> bool,
+    redirect: impl Fn(&Graph, NodeId) -> NodeId,
+) -> (Graph, HashMap<NodeId, NodeId>) {
+    let mut out = Graph::new();
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    for node in graph.nodes() {
+        if !keep(graph, node.id) {
+            continue;
+        }
+        let inputs: Vec<NodeId> = node
+            .inputs
+            .iter()
+            .map(|&i| {
+                let mut cur = i;
+                // Follow redirects transitively (chains of dropped nodes).
+                loop {
+                    let next = redirect(graph, cur);
+                    if next == cur {
+                        break;
+                    }
+                    cur = next;
+                }
+                map[&cur]
+            })
+            .collect();
+        let new_id = match node.kind {
+            OpKind::Input => out.input(node.name.clone(), node.shape.clone()),
+            OpKind::Constant => out.constant(node.name.clone(), node.shape.clone()),
+            _ => out.add(node.kind.clone(), &inputs, node.name.clone()),
+        };
+        if let Some(act) = node.fused_activation {
+            out.node_mut(new_id).fused_activation = Some(act);
+        }
+        map.insert(node.id, new_id);
+    }
+    (out, map)
+}
+
+/// Replaces operators whose inputs are all constants with constants of
+/// the same shape (the arithmetic itself happens at compile time and is
+/// not modeled).
+pub fn fold_constants(graph: &Graph) -> Graph {
+    // Determine, in topological order, which nodes are constant-valued.
+    let mut constant = vec![false; graph.len()];
+    for node in graph.nodes() {
+        constant[node.id.0] = match node.kind {
+            OpKind::Constant => true,
+            OpKind::Input => false,
+            _ => !node.inputs.is_empty() && node.inputs.iter().all(|i| constant[i.0]),
+        };
+    }
+    let mut out = Graph::new();
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    for node in graph.nodes() {
+        let new_id = if constant[node.id.0] {
+            out.constant(node.name.clone(), node.shape.clone())
+        } else {
+            match node.kind {
+                OpKind::Input => out.input(node.name.clone(), node.shape.clone()),
+                _ => {
+                    let inputs: Vec<NodeId> =
+                        node.inputs.iter().map(|i| map[i]).collect();
+                    out.add(node.kind.clone(), &inputs, node.name.clone())
+                }
+            }
+        };
+        map.insert(node.id, new_id);
+    }
+    out
+}
+
+/// Drops `Reshape` nodes whose output shape equals their input shape.
+pub fn eliminate_identity_reshapes(graph: &Graph) -> Graph {
+    let is_identity = |g: &Graph, id: NodeId| -> bool {
+        let n = g.node(id);
+        matches!(n.kind, OpKind::Reshape { .. })
+            && n.inputs.len() == 1
+            && g.node(n.inputs[0]).shape == n.shape
+    };
+    let (out, _) = rebuild(
+        graph,
+        |g, id| !is_identity(g, id),
+        |g, id| {
+            if is_identity(g, id) {
+                g.node(id).inputs[0]
+            } else {
+                id
+            }
+        },
+    );
+    out
+}
+
+/// Fuses standalone activation nodes into their GEMM-like producer when
+/// the producer has no other consumer.
+pub fn fuse_activations(graph: &Graph) -> Graph {
+    // An activation node is fusable if its single input is GEMM-like,
+    // not already fused, and feeds only this activation.
+    let mut fusable: Vec<Option<NodeId>> = vec![None; graph.len()]; // act -> producer
+    for node in graph.nodes() {
+        if let OpKind::Act(_) = node.kind {
+            if node.inputs.len() == 1 {
+                let p = graph.node(node.inputs[0]);
+                if p.kind.is_gemm_like()
+                    && p.fused_activation.is_none()
+                    && graph.succs(p.id).len() == 1
+                {
+                    fusable[node.id.0] = Some(p.id);
+                }
+            }
+        }
+    }
+    let (mut out, map) = rebuild(
+        graph,
+        |_, id| fusable[id.0].is_none(),
+        |_, id| {
+            if let Some(p) = fusable[id.0] {
+                p
+            } else {
+                id
+            }
+        },
+    );
+    // Record the fused activation on the surviving producer.
+    for node in graph.nodes() {
+        if let (OpKind::Act(a), Some(producer)) = (&node.kind, fusable[node.id.0]) {
+            let new_id = map[&producer];
+            out.node_mut(new_id).fused_activation = Some(*a);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Activation;
+    use crate::shape::TShape;
+
+    #[test]
+    fn fuses_relu_into_conv() {
+        let mut g = Graph::new();
+        let x = g.input("x", TShape::nchw(1, 3, 8, 8));
+        let c = g.add(
+            OpKind::Conv2d { out_channels: 4, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+            &[x],
+            "conv",
+        );
+        let r = g.add(OpKind::Act(Activation::Relu), &[c], "relu");
+        let _out = g.add(OpKind::GlobalAvgPool, &[r], "gap");
+        let opt = fuse_activations(&g);
+        assert_eq!(opt.op_count(), 2); // conv + gap
+        let conv = opt
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.kind, OpKind::Conv2d { .. }))
+            .unwrap();
+        assert_eq!(conv.fused_activation, Some(Activation::Relu));
+        // gap now consumes the conv directly.
+        let gap = opt.nodes().iter().find(|n| n.kind == OpKind::GlobalAvgPool).unwrap();
+        assert_eq!(gap.inputs, vec![conv.id]);
+    }
+
+    #[test]
+    fn does_not_fuse_shared_producer() {
+        let mut g = Graph::new();
+        let x = g.input("x", TShape::nchw(1, 3, 8, 8));
+        let c = g.add(
+            OpKind::Conv2d { out_channels: 4, kernel: (1, 1), stride: (1, 1), padding: (0, 0) },
+            &[x],
+            "conv",
+        );
+        let r = g.add(OpKind::Act(Activation::Relu), &[c], "relu");
+        let _branch = g.add(OpKind::Add, &[c, r], "residual");
+        let opt = fuse_activations(&g);
+        // The conv feeds two consumers, so the relu must survive.
+        assert_eq!(opt.op_count(), 3);
+    }
+
+    #[test]
+    fn identity_reshape_removed() {
+        let mut g = Graph::new();
+        let x = g.input("x", TShape::new(vec![4, 4]));
+        let r = g.add(OpKind::Reshape { shape: TShape::new(vec![4, 4]) }, &[x], "noop");
+        let _m = g.add(OpKind::MatMul { n: 8 }, &[r], "fc");
+        let opt = eliminate_identity_reshapes(&g);
+        assert_eq!(opt.op_count(), 1);
+        let m = opt.nodes().iter().find(|n| matches!(n.kind, OpKind::MatMul { .. })).unwrap();
+        assert_eq!(opt.node(m.inputs[0]).kind, OpKind::Input);
+    }
+
+    #[test]
+    fn real_reshape_kept() {
+        let mut g = Graph::new();
+        let x = g.input("x", TShape::new(vec![4, 4]));
+        let _r = g.add(OpKind::Reshape { shape: TShape::new(vec![16]) }, &[x], "flatten");
+        let opt = eliminate_identity_reshapes(&g);
+        assert_eq!(opt.op_count(), 1);
+    }
+
+    #[test]
+    fn constants_fold_transitively() {
+        let mut g = Graph::new();
+        let a = g.constant("a", TShape::new(vec![8]));
+        let b = g.constant("b", TShape::new(vec![8]));
+        let s = g.add(OpKind::Add, &[a, b], "a+b");
+        let x = g.input("x", TShape::new(vec![8]));
+        let _y = g.add(OpKind::Mul, &[s, x], "scale");
+        let opt = fold_constants(&g);
+        let folded = opt.nodes().iter().find(|n| n.name == "a+b").unwrap();
+        assert_eq!(folded.kind, OpKind::Constant);
+        // The Mul still exists and consumes the folded constant.
+        assert!(opt.nodes().iter().any(|n| n.kind == OpKind::Mul));
+    }
+
+    #[test]
+    fn elementwise_activation_fusion() {
+        let mut g = Graph::new();
+        let x = g.input("x", TShape::nchw(1, 8, 8, 8));
+        let y = g.input("y", TShape::nchw(1, 8, 8, 8));
+        let a = g.add(OpKind::Add, &[x, y], "add");
+        let r = g.add(OpKind::Act(Activation::Relu), &[a], "relu");
+        let _out = g.add(OpKind::GlobalAvgPool, &[r], "gap");
+        let fused = fuse_elementwise_activations(&g);
+        assert_eq!(fused.op_count(), 2);
+        let add = fused.nodes().iter().find(|n| n.kind == OpKind::Add).unwrap();
+        assert_eq!(add.fused_activation, Some(Activation::Relu));
+    }
+
+    #[test]
+    fn elementwise_fusion_respects_shared_producers() {
+        let mut g = Graph::new();
+        let x = g.input("x", TShape::nchw(1, 8, 8, 8));
+        let a = g.add(OpKind::Add, &[x, x], "add");
+        let r = g.add(OpKind::Act(Activation::Relu), &[a], "relu");
+        let _branch = g.add(OpKind::Mul, &[a, r], "mul");
+        let fused = fuse_elementwise_activations(&g);
+        assert_eq!(fused.op_count(), 3, "shared producer must not fuse");
+    }
+
+    #[test]
+    fn full_pipeline_runs() {
+        let mut g = Graph::new();
+        let x = g.input("x", TShape::nchw(1, 3, 8, 8));
+        let c = g.add(
+            OpKind::Conv2d { out_channels: 4, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+            &[x],
+            "conv",
+        );
+        let r = g.add(OpKind::Act(Activation::Relu6), &[c], "relu6");
+        let rs = g.add(OpKind::Reshape { shape: TShape::nchw(1, 4, 8, 8) }, &[r], "noop");
+        let _gap = g.add(OpKind::GlobalAvgPool, &[rs], "gap");
+        let opt = optimize(&g);
+        assert_eq!(opt.op_count(), 2);
+    }
+}

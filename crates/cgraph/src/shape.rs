@@ -1,0 +1,128 @@
+//! Tensor shapes and the GEMM view of matmul-like operators.
+
+use std::fmt;
+
+/// An n-dimensional tensor shape. Convolutional feature maps use
+/// `[N, C, H, W]` order with `N = 1` for single-image inference;
+/// transformer activations use `[tokens, features]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct TShape(pub Vec<usize>);
+
+impl TShape {
+    /// Creates a shape from dimensions.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        TShape(dims.into())
+    }
+
+    /// A `[N, C, H, W]` feature-map shape.
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
+        TShape(vec![n, c, h, w])
+    }
+
+    /// Total element count.
+    pub fn elems(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Channel count of an NCHW shape.
+    ///
+    /// # Panics
+    /// Panics unless the shape has rank 4.
+    pub fn channels(&self) -> usize {
+        assert_eq!(self.rank(), 4, "channels() requires an NCHW shape");
+        self.0[1]
+    }
+
+    /// Spatial size (`H * W`) of an NCHW shape.
+    ///
+    /// # Panics
+    /// Panics unless the shape has rank 4.
+    pub fn spatial(&self) -> usize {
+        assert_eq!(self.rank(), 4, "spatial() requires an NCHW shape");
+        self.0[2] * self.0[3]
+    }
+}
+
+impl fmt::Display for TShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for TShape {
+    fn from(dims: Vec<usize>) -> Self {
+        TShape(dims)
+    }
+}
+
+/// The `M × K × N` view of a matmul-like operator: the activation matrix
+/// is `M × K`, the weight matrix `K × N`, the output `M × N`. Convolution
+/// reaches this form through implicit im2col (`M = out_h·out_w`,
+/// `K = in_c·kh·kw`, `N = out_c`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmDims {
+    /// Rows of the activation/output matrix.
+    pub m: usize,
+    /// Reduction depth.
+    pub k: usize,
+    /// Output columns (e.g. output channels).
+    pub n: usize,
+}
+
+impl GemmDims {
+    /// Creates GEMM dimensions.
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        GemmDims { m, k, n }
+    }
+
+    /// Multiply-accumulate count.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64
+    }
+}
+
+impl fmt::Display for GemmDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}xK{}xN{}", self.m, self.k, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_basics() {
+        let s = TShape::nchw(1, 64, 56, 56);
+        assert_eq!(s.elems(), 64 * 56 * 56);
+        assert_eq!(s.channels(), 64);
+        assert_eq!(s.spatial(), 56 * 56);
+        assert_eq!(s.to_string(), "[1x64x56x56]");
+    }
+
+    #[test]
+    fn gemm_macs() {
+        let g = GemmDims::new(3136, 576, 64);
+        assert_eq!(g.macs(), 3136 * 576 * 64);
+    }
+}

@@ -1,0 +1,78 @@
+//! Graph-level invariants under the rewrite passes, on randomized
+//! graphs.
+
+use gcd2_cgraph::{
+    eliminate_identity_reshapes, fold_constants, fuse_activations, optimize, Activation, Graph,
+    OpKind, TShape,
+};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0u8..5, any::<bool>()), 1..12).prop_map(|ops| {
+        let mut g = Graph::new();
+        let mut cur = g.input("x", TShape::nchw(1, 16, 8, 8));
+        for (i, (kind, flag)) in ops.into_iter().enumerate() {
+            cur = match kind {
+                0 => g.add(
+                    OpKind::Conv2d {
+                        out_channels: 16,
+                        kernel: (1, 1),
+                        stride: (1, 1),
+                        padding: (0, 0),
+                    },
+                    &[cur],
+                    format!("conv{i}"),
+                ),
+                1 => g.add(
+                    OpKind::Act(if flag { Activation::Relu } else { Activation::HardSwish }),
+                    &[cur],
+                    format!("act{i}"),
+                ),
+                2 => g.add(
+                    OpKind::Reshape { shape: TShape::nchw(1, 16, 8, 8) },
+                    &[cur],
+                    format!("noop{i}"),
+                ),
+                3 => g.add(OpKind::Add, &[cur, cur], format!("dbl{i}")),
+                _ => {
+                    let c = g.constant(format!("c{i}"), TShape::nchw(1, 16, 8, 8));
+                    g.add(OpKind::Mul, &[cur, c], format!("scale{i}"))
+                }
+            };
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rewrites never grow the graph and the result stays a well-formed
+    /// DAG in construction order.
+    #[test]
+    fn rewrites_shrink_and_stay_well_formed(g in arb_graph()) {
+        for pass in [optimize, fold_constants, eliminate_identity_reshapes, fuse_activations] {
+            let out = pass(&g);
+            prop_assert!(out.len() <= g.len());
+            // Construction order remains topological: inputs precede users.
+            for n in out.nodes() {
+                for i in &n.inputs {
+                    prop_assert!(i.0 < n.id.0);
+                }
+            }
+            // The sink count never grows.
+            let sinks = |gr: &Graph| gr.nodes().iter().filter(|n| gr.succs(n.id).is_empty()).count();
+            prop_assert!(sinks(&out) <= sinks(&g).max(1));
+        }
+    }
+
+    /// Serialization round-trips arbitrary rewritten graphs.
+    #[test]
+    fn rewritten_graphs_round_trip(g in arb_graph()) {
+        let opt = optimize(&g);
+        let text = gcd2_cgraph::to_text(&opt);
+        let back = gcd2_cgraph::from_text(&text).expect("parse");
+        prop_assert_eq!(back.len(), opt.len());
+        prop_assert_eq!(back.edges(), opt.edges());
+    }
+}

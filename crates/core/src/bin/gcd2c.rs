@@ -1,0 +1,246 @@
+//! `gcd2c` — the command-line compiler driver.
+//!
+//! Compile one of the evaluation models for the simulated mobile DSP and
+//! report what the compiler did:
+//!
+//! ```sh
+//! gcd2c resnet-50
+//! gcd2c wdsr-b --selection local --packing soft-to-hard
+//! gcd2c tinybert --ops            # per-operator plan table
+//! gcd2c efficientnet-b0 --compare # all selection strategies side by side
+//! gcd2c resnet-50 --export rn50.gcg # save the graph as text
+//! gcd2c ./rn50.gcg                  # compile a graph from a text file
+//! gcd2c --list
+//! ```
+
+use gcd2::{Compiler, Packing, Selection};
+use gcd2_models::ModelId;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gcd2c <model> [options]\n\
+         \n\
+         options:\n\
+           --selection gcd2|gcd2-17|local|global|pbqp|uniform-vmpy|uniform-vmpa|uniform-vrmpy\n\
+           --packing   sda|soft-to-hard|soft-to-none|sequential\n\
+           --no-lut    disable the division/nonlinearity lookup replacement\n\
+           --fusion    enable the elementwise-fusion extension\n\
+           --ops       print the per-operator plan table\n\
+           --profile   print the hottest operators by cycle share\n\
+           --asm N     dump the first N scheduled blocks as assembly\n\
+           --export F  write the model graph as text to file F\n\
+           --compare   compile under every selection strategy\n\
+           --list      list available models"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_model(name: &str) -> Option<ModelId> {
+    let norm = name.to_lowercase().replace(['_', ' '], "-");
+    ModelId::ALL.into_iter().find(|id| {
+        id.reference().name.to_lowercase().replace(['_', ' '], "-") == norm
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in ModelId::ALL {
+            let r = id.reference();
+            println!(
+                "{:<18} {:>7.2} GMACs  {:>5} ops (paper)",
+                r.name.to_lowercase(),
+                r.macs / 1e9,
+                r.operators
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let Some(model_name) = args.first() else { return usage() };
+    // Either a catalog model or a path to a serialized graph.
+    let graph_source: Result<gcd2_cgraph::Graph, String> = match parse_model(model_name) {
+        Some(model) => Ok(model.build()),
+        None => {
+            if std::path::Path::new(model_name).exists() {
+                std::fs::read_to_string(model_name)
+                    .map_err(|e| e.to_string())
+                    .and_then(|t| gcd2_cgraph::from_text(&t).map_err(|e| e.to_string()))
+            } else {
+                Err(format!("unknown model or file '{model_name}' (try --list)"))
+            }
+        }
+    };
+    let graph = match graph_source {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut compiler = Compiler::new();
+    let mut show_ops = false;
+    let mut show_profile = false;
+    let mut compare = false;
+    let mut asm_blocks = 0usize;
+    let mut export: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--selection" => {
+                i += 1;
+                let Some(v) = args.get(i) else { return usage() };
+                let sel = match v.as_str() {
+                    "gcd2" => Selection::Gcd2 { max_ops: 13 },
+                    "gcd2-17" => Selection::Gcd2 { max_ops: 17 },
+                    "local" => Selection::LocalOptimal,
+                    "global" => Selection::GlobalExhaustive,
+                    "pbqp" => Selection::Pbqp,
+                    "uniform-vmpy" => Selection::Uniform(gcd2_kernels::SimdInstr::Vmpy),
+                    "uniform-vmpa" => Selection::Uniform(gcd2_kernels::SimdInstr::Vmpa),
+                    "uniform-vrmpy" => Selection::Uniform(gcd2_kernels::SimdInstr::Vrmpy),
+                    _ => return usage(),
+                };
+                compiler = compiler.with_selection(sel);
+            }
+            "--packing" => {
+                i += 1;
+                let Some(v) = args.get(i) else { return usage() };
+                let pack = match v.as_str() {
+                    "sda" => Packing::Sda,
+                    "soft-to-hard" => Packing::SoftToHard,
+                    "soft-to-none" => Packing::SoftToNone,
+                    "sequential" => Packing::Sequential,
+                    _ => return usage(),
+                };
+                compiler = compiler.with_packing(pack);
+            }
+            "--no-lut" => compiler = compiler.with_lut_ops(false),
+            "--fusion" => compiler = compiler.with_elementwise_fusion(true),
+            "--ops" => show_ops = true,
+            "--profile" => show_profile = true,
+            "--asm" => {
+                i += 1;
+                let Some(v) = args.get(i) else { return usage() };
+                asm_blocks = v.parse().unwrap_or(0);
+            }
+            "--export" => {
+                i += 1;
+                let Some(v) = args.get(i) else { return usage() };
+                export = Some(v.clone());
+            }
+            "--compare" => compare = true,
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    println!(
+        "model {}: {} operators, {:.2} GMACs, {:.2} M params",
+        model_name,
+        graph.op_count(),
+        graph.total_macs() as f64 / 1e9,
+        graph.total_params() as f64 / 1e6
+    );
+    if let Some(path) = export {
+        if let Err(e) = std::fs::write(&path, gcd2_cgraph::to_text(&graph)) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("exported graph to {path}");
+        return ExitCode::SUCCESS;
+    }
+
+    if compare {
+        println!("\n{:<14} {:>12} {:>10} {:>8}", "selection", "cycles", "ms", "vs gcd2");
+        let base = Compiler::new().compile(&graph).cycles();
+        for (name, sel) in [
+            ("gcd2(13)", Selection::Gcd2 { max_ops: 13 }),
+            ("gcd2(17)", Selection::Gcd2 { max_ops: 17 }),
+            ("pbqp", Selection::Pbqp),
+            ("local", Selection::LocalOptimal),
+            ("uniform-vrmpy", Selection::Uniform(gcd2_kernels::SimdInstr::Vrmpy)),
+        ] {
+            let m = Compiler::new().with_selection(sel).compile(&graph);
+            println!(
+                "{:<14} {:>12} {:>10.3} {:>7.3}x",
+                name,
+                m.cycles(),
+                m.latency_ms(),
+                m.cycles() as f64 / base as f64
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let start = std::time::Instant::now();
+    let compiled = compiler.compile(&graph);
+    let elapsed = start.elapsed();
+    let stats = compiled.stats();
+    println!("compiled in {:.2?}", elapsed);
+    println!("  cycles       : {}", compiled.cycles());
+    println!("  latency      : {:.3} ms", compiled.latency_ms());
+    println!("  throughput   : {:.2} TOPS", compiled.tops());
+    println!("  packets      : {}", stats.packets);
+    println!("  stall cycles : {}", stats.stall_cycles);
+    println!("  utilization  : {:.1} %", 100.0 * compiled.utilization());
+    println!("  power        : {:.2} W", compiled.power_w());
+    println!("  frames/Watt  : {:.1}", compiled.frames_per_watt());
+    println!(
+        "  transforms   : {:.2} % of cycles",
+        100.0 * compiled.lowered.transform_cycles() as f64 / compiled.cycles() as f64
+    );
+
+    if asm_blocks > 0 {
+        let mut partial = gcd2_hvx::Program::new();
+        for b in compiled.lowered.program.blocks.iter().take(asm_blocks) {
+            partial.push(b.clone());
+        }
+        println!("\n{}", gcd2_hvx::print_program(&partial));
+    }
+
+    if show_profile {
+        let total = compiled.cycles().max(1) as f64;
+        let mut by_cycles: Vec<_> = compiled.lowered.reports.iter().collect();
+        by_cycles.sort_by_key(|r| std::cmp::Reverse(r.kernel_cycles + r.transform_cycles));
+        println!("\nhottest operators:");
+        println!("{:<28} {:<22} {:>12} {:>7}", "operator", "plan", "cycles", "share");
+        let mut shown = 0.0;
+        for r in by_cycles.iter().take(15) {
+            let cyc = r.kernel_cycles + r.transform_cycles;
+            let share = 100.0 * cyc as f64 / total;
+            shown += share;
+            println!(
+                "{:<28} {:<22} {:>12} {:>6.1}%",
+                truncate(&r.name, 28),
+                truncate(&r.plan, 22),
+                cyc,
+                share
+            );
+        }
+        println!("(top 15 operators cover {shown:.1}% of cycles)");
+    }
+
+    if show_ops {
+        println!("\n{:<28} {:<26} {:>12} {:>10}", "operator", "plan", "kernel cyc", "xform cyc");
+        for r in &compiled.lowered.reports {
+            println!(
+                "{:<28} {:<26} {:>12} {:>10}",
+                truncate(&r.name, 28),
+                truncate(&r.plan, 26),
+                r.kernel_cycles,
+                r.transform_cycles
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}

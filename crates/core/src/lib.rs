@@ -1,0 +1,426 @@
+//! # gcd2 — the end-to-end compilation system
+//!
+//! The paper's Figure 6 workflow, assembled from the substrate crates:
+//!
+//! 1. computational-graph optimization (constant folding, reshape
+//!    elimination, activation fusion — `gcd2-cgraph`);
+//! 2. **SIMD global optimization** — per-operator plan enumeration and
+//!    global layout/instruction selection via the partitioning heuristic
+//!    (`gcd2-globalopt`);
+//! 3. other optimizations (division → lookup table);
+//! 4. code generation to DSP instruction streams (`gcd2-codegen`);
+//! 5. **SDA VLIW packing** (`gcd2-vliw`) and static timing/energy
+//!    measurement on the simulated Hexagon-class DSP (`gcd2-hvx`).
+//!
+//! Every stage has an ablation knob so the evaluation harness can
+//! regenerate the paper's Figure 9/10/11 breakdowns.
+//!
+//! ```
+//! use gcd2::{Compiler, Selection};
+//! use gcd2_cgraph::{Graph, OpKind, TShape};
+//!
+//! let mut g = Graph::new();
+//! let mut prev = g.input("x", TShape::nchw(1, 48, 16, 16));
+//! for i in 0..4 {
+//!     prev = g.add(
+//!         OpKind::Conv2d { out_channels: 48, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+//!         &[prev],
+//!         format!("conv{i}"),
+//!     );
+//! }
+//!
+//! let gcd2 = Compiler::new().compile(&g);
+//! let local = Compiler::new().with_selection(Selection::LocalOptimal).compile(&g);
+//! assert!(gcd2.cycles() <= local.cycles());
+//! assert!(gcd2.latency_ms() > 0.0);
+//! ```
+
+use gcd2_cgraph::Graph;
+use gcd2_codegen::{lower, LowerOptions, LoweredModel, PackMode};
+use gcd2_globalopt::{
+    enumerate_plans_with, exhaustive, gcd2_select, local_optimal, pbqp_select, Assignment,
+    PlanSet,
+};
+use gcd2_hvx::{EnergyModel, ExecStats, CLOCK_HZ};
+use gcd2_kernels::{CostModel, SimdInstr};
+use gcd2_vliw::Packer;
+
+pub use gcd2_codegen::PackMode as Packing;
+
+pub mod runtime;
+pub use runtime::{execute_on_dsp, execute_reference};
+
+/// Layout/instruction selection strategies (Figure 10's competitors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// The GCD2 partitioning heuristic with a maximum sub-graph size
+    /// (13 and 17 in the paper).
+    Gcd2 {
+        /// Maximum operators per partition.
+        max_ops: usize,
+    },
+    /// Greedy per-operator choice (the `local optimal` baseline).
+    LocalOptimal,
+    /// Exhaustive global search (exponential; small graphs only).
+    GlobalExhaustive,
+    /// The reduction-based PBQP solver (the paper's cited alternative).
+    Pbqp,
+    /// A single uniform instruction for every GEMM operator (the
+    /// framework-library style of TFLite/SNPE, used as the "no
+    /// instruction/layout selection" rung of Figure 9).
+    Uniform(SimdInstr),
+}
+
+impl Default for Selection {
+    fn default() -> Self {
+        Selection::Gcd2 { max_ops: 13 }
+    }
+}
+
+/// The configurable GCD2 compiler.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    selection: Selection,
+    packing: PackMode,
+    lut_ops: bool,
+    graph_rewrites: bool,
+    framework_boundaries: bool,
+    elementwise_fusion: bool,
+    resource: gcd2_hvx::ResourceModel,
+}
+
+impl Compiler {
+    /// The full GCD2 configuration.
+    pub fn new() -> Self {
+        Compiler {
+            selection: Selection::default(),
+            packing: PackMode::Sda,
+            lut_ops: true,
+            graph_rewrites: true,
+            framework_boundaries: false,
+            elementwise_fusion: false,
+            resource: gcd2_hvx::ResourceModel::default(),
+        }
+    }
+
+    /// The "no optimizations" baseline of Figure 9: uniform kernels,
+    /// sequential issue, no lookup replacement.
+    pub fn no_opt() -> Self {
+        Compiler {
+            selection: Selection::Uniform(SimdInstr::Vrmpy),
+            packing: PackMode::Sequential,
+            lut_ops: false,
+            graph_rewrites: true,
+            framework_boundaries: true,
+            elementwise_fusion: false,
+            resource: gcd2_hvx::ResourceModel::default(),
+        }
+    }
+
+    /// Sets the selection strategy.
+    pub fn with_selection(mut self, selection: Selection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Sets the packing mode.
+    pub fn with_packing(mut self, packing: PackMode) -> Self {
+        self.packing = packing;
+        self
+    }
+
+    /// Enables/disables the lookup-table "other optimizations".
+    pub fn with_lut_ops(mut self, lut_ops: bool) -> Self {
+        self.lut_ops = lut_ops;
+        self
+    }
+
+    /// Enables/disables graph rewrites (fusion etc.).
+    pub fn with_graph_rewrites(mut self, rewrites: bool) -> Self {
+        self.graph_rewrites = rewrites;
+        self
+    }
+
+    /// Targets a different DSP generation's packet resource model
+    /// (e.g. [`gcd2_hvx::ResourceModel::hexagon680`]).
+    pub fn with_resource_model(mut self, resource: gcd2_hvx::ResourceModel) -> Self {
+        self.resource = resource;
+        self
+    }
+
+    /// Enables the DSP-friendly elementwise fusion extension (the
+    /// paper's stated future work): standalone activations fold into
+    /// elementwise producers, saving full feature-map memory round trips.
+    pub fn with_elementwise_fusion(mut self, fusion: bool) -> Self {
+        self.elementwise_fusion = fusion;
+        self
+    }
+
+    /// When enabled, every operator consumes and produces the framework's
+    /// row-major interchange format (paying two conversions per
+    /// operator) — how data flows *without* global layout planning. The
+    /// Figure 9 "no optimizations" baseline enables this.
+    pub fn with_framework_boundaries(mut self, boundaries: bool) -> Self {
+        self.framework_boundaries = boundaries;
+        self
+    }
+
+    /// Runs plan selection only (no lowering) — used by the Figure 10
+    /// search-time measurements.
+    pub fn select(&self, graph: &Graph) -> (Graph, PlanSet, Assignment) {
+        let mut graph = if self.graph_rewrites {
+            gcd2_cgraph::optimize(graph)
+        } else {
+            graph.clone()
+        };
+        if self.elementwise_fusion {
+            graph = gcd2_cgraph::fuse_elementwise_activations(&graph);
+        }
+        let base_packer = Packer::new().with_model(self.resource.clone());
+        let model = match self.packing {
+            PackMode::Sda => CostModel::with_packer(base_packer),
+            _ => CostModel::with_packer(
+                base_packer.with_policy(gcd2_vliw::SoftDepPolicy::SoftToHard),
+            ),
+        };
+        let plans = enumerate_plans_with(&graph, &model, self.lut_ops);
+        let assignment = match self.selection {
+            Selection::Gcd2 { max_ops } => gcd2_select(&graph, &plans, max_ops),
+            Selection::LocalOptimal => local_optimal(&graph, &plans),
+            Selection::Pbqp => pbqp_select(&graph, &plans),
+            Selection::GlobalExhaustive => {
+                let scope: Vec<_> = graph
+                    .nodes()
+                    .iter()
+                    .filter(|n| {
+                        !matches!(
+                            n.kind,
+                            gcd2_cgraph::OpKind::Input | gcd2_cgraph::OpKind::Constant
+                        )
+                    })
+                    .map(|n| n.id)
+                    .collect();
+                exhaustive(&graph, &plans, &scope)
+            }
+            Selection::Uniform(instr) => {
+                let choice: Vec<usize> = graph
+                    .nodes()
+                    .iter()
+                    .map(|n| {
+                        plans
+                            .of(n.id)
+                            .iter()
+                            .position(|p| {
+                                p.instr() == Some(instr) || p.layout == instr.layout()
+                            })
+                            .unwrap_or(0)
+                    })
+                    .collect();
+                let cost = gcd2_globalopt::assignment_cost(&graph, &plans, &choice);
+                Assignment { choice, cost }
+            }
+        };
+        (graph, plans, assignment)
+    }
+
+    /// Compiles a model end to end.
+    pub fn compile(&self, graph: &Graph) -> CompiledModel {
+        let (graph, plans, assignment) = self.select(graph);
+        let options = LowerOptions {
+            pack: self.packing.clone(),
+            lut_ops: self.lut_ops,
+            resource: self.resource.clone(),
+        };
+        let chosen: Vec<gcd2_globalopt::ExecutionPlan> = graph
+            .nodes()
+            .iter()
+            .map(|n| plans.of(n.id)[assignment.choice[n.id.0]])
+            .collect();
+        let mut lowered = lower(&graph, &plans, &assignment, &options);
+        if self.framework_boundaries {
+            // Each operator converts its tensor from and back to the
+            // framework's row-major interchange format.
+            let mut boundary_cycles = 0u64;
+            for node in graph.nodes() {
+                if matches!(node.kind, gcd2_cgraph::OpKind::Input | gcd2_cgraph::OpKind::Constant)
+                {
+                    continue;
+                }
+                let layout = plans.of(node.id)[assignment.choice[node.id.0]].layout;
+                let (rows, cols) = gcd2_globalopt::matrix_view(&node.shape);
+                boundary_cycles +=
+                    2 * gcd2_tensor::transform_cycles(rows, cols, gcd2_tensor::Layout::RowMajor, layout);
+            }
+            let mut block = gcd2_hvx::Block::with_trip_count(
+                "framework interchange-format conversions",
+                boundary_cycles / 3,
+            );
+            block.push(gcd2_hvx::Insn::Nop);
+            lowered.program.push(gcd2_hvx::PackedBlock::sequential(&block));
+        }
+        CompiledModel { graph, assignment, chosen, lowered, energy: EnergyModel::default() }
+    }
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A compiled model with its measurement API.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    /// The (rewritten) graph that was compiled.
+    pub graph: Graph,
+    /// The chosen plan assignment.
+    pub assignment: Assignment,
+    /// The chosen execution plan per node (indexed by `NodeId`).
+    pub chosen: Vec<gcd2_globalopt::ExecutionPlan>,
+    /// The lowered, scheduled program with per-operator reports.
+    pub lowered: LoweredModel,
+    energy: EnergyModel,
+}
+
+impl CompiledModel {
+    /// The kernel family chosen for a node.
+    pub fn plan_of(&self, id: gcd2_cgraph::NodeId) -> Option<gcd2_globalopt::PlanKind> {
+        self.chosen.get(id.0).map(|p| p.kind)
+    }
+
+    /// End-to-end cycles on the simulated DSP.
+    pub fn cycles(&self) -> u64 {
+        self.lowered.cycles()
+    }
+
+    /// End-to-end latency in milliseconds at the simulated clock.
+    pub fn latency_ms(&self) -> f64 {
+        self.cycles() as f64 / CLOCK_HZ * 1e3
+    }
+
+    /// Inference frames per second.
+    pub fn fps(&self) -> f64 {
+        1e3 / self.latency_ms()
+    }
+
+    /// Aggregate execution statistics.
+    pub fn stats(&self) -> ExecStats {
+        self.lowered.stats()
+    }
+
+    /// Slot utilization in `[0, 1]` (the Figure 8 proxy).
+    pub fn utilization(&self) -> f64 {
+        self.stats().utilization()
+    }
+
+    /// Memory bandwidth in bytes/cycle (the Figure 8 proxy).
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.stats().bytes_per_cycle()
+    }
+
+    /// Average power in Watts under the activity-based energy model.
+    pub fn power_w(&self) -> f64 {
+        self.energy.power_w(&self.stats())
+    }
+
+    /// Inference frames per Watt (the Table V / Figure 13 metric).
+    pub fn frames_per_watt(&self) -> f64 {
+        self.fps() / self.power_w()
+    }
+
+    /// Effective tera-ops (2·MAC) per second achieved, the Section V-B
+    /// peak-utilization discussion.
+    pub fn tops(&self) -> f64 {
+        let macs = self.graph.total_macs() as f64;
+        2.0 * macs / (self.cycles() as f64 / CLOCK_HZ) / 1e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcd2_cgraph::{OpKind, TShape};
+
+    fn conv_net(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let mut prev = g.input("x", TShape::nchw(1, 48, 28, 28));
+        for i in 0..n {
+            prev = g.add(
+                OpKind::Conv2d {
+                    out_channels: 48,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    padding: (1, 1),
+                },
+                &[prev],
+                format!("conv{i}"),
+            );
+            prev = g.add(OpKind::Act(gcd2_cgraph::Activation::Relu), &[prev], format!("relu{i}"));
+        }
+        g
+    }
+
+    #[test]
+    fn full_compiler_beats_no_opt() {
+        let g = conv_net(4);
+        let full = Compiler::new().compile(&g);
+        let none = Compiler::no_opt().compile(&g);
+        let speedup = none.cycles() as f64 / full.cycles() as f64;
+        assert!(speedup > 1.2, "end-to-end speedup {speedup:.2} too small");
+    }
+
+    #[test]
+    fn selection_strategies_are_ordered() {
+        let g = conv_net(5);
+        let gcd2 = Compiler::new().compile(&g);
+        let local = Compiler::new().with_selection(Selection::LocalOptimal).compile(&g);
+        let uniform = Compiler::new()
+            .with_selection(Selection::Uniform(SimdInstr::Vrmpy))
+            .compile(&g);
+        assert!(gcd2.cycles() <= local.cycles());
+        assert!(gcd2.cycles() <= uniform.cycles());
+    }
+
+    #[test]
+    fn metrics_are_sane() {
+        let g = conv_net(3);
+        let m = Compiler::new().compile(&g);
+        assert!(m.latency_ms() > 0.0);
+        assert!(m.utilization() > 0.0 && m.utilization() <= 1.0);
+        assert!(m.power_w() > 0.1 && m.power_w() < 10.0, "power {}", m.power_w());
+        assert!(m.tops() > 0.0 && m.tops() < 15.0, "tops {}", m.tops());
+        assert!(m.frames_per_watt() > 0.0);
+    }
+
+    #[test]
+    fn graph_rewrites_fuse_activations() {
+        let g = conv_net(3);
+        let m = Compiler::new().compile(&g);
+        // Fusion removes the standalone relu nodes.
+        assert!(m.graph.op_count() < g.op_count());
+    }
+
+    #[test]
+    fn elementwise_fusion_helps_or_is_neutral() {
+        let mut g = Graph::new();
+        let x = g.input("x", TShape::nchw(1, 32, 28, 28));
+        let y = g.input("y", TShape::nchw(1, 32, 28, 28));
+        let a = g.add(OpKind::Add, &[x, y], "add");
+        let r = g.add(OpKind::Act(gcd2_cgraph::Activation::Relu), &[a], "relu");
+        let _p = g.add(OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) }, &[r], "pool");
+        let base = Compiler::new().compile(&g);
+        let fused = Compiler::new().with_elementwise_fusion(true).compile(&g);
+        assert!(fused.cycles() < base.cycles(), "{} vs {}", fused.cycles(), base.cycles());
+        assert!(fused.graph.op_count() < base.graph.op_count());
+    }
+
+    #[test]
+    fn exhaustive_matches_gcd2_on_small_graphs() {
+        let g = conv_net(4);
+        let gcd2 = Compiler::new().compile(&g);
+        let global =
+            Compiler::new().with_selection(Selection::GlobalExhaustive).compile(&g);
+        let ratio = gcd2.cycles() as f64 / global.cycles() as f64;
+        assert!(ratio <= 1.02, "gcd2 within 2% of global optimal: {ratio}");
+    }
+}

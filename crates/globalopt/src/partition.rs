@@ -1,0 +1,183 @@
+//! The GCD2 partitioning heuristic (Section IV-B).
+//!
+//! Exhaustive global selection is exponential (the problem is PBQP,
+//! NP-hard), so GCD2 partitions the computational graph at *desirable
+//! partitioning edges* — edges `(v_i, v_j)` where `v_j` has a single
+//! predecessor and is either a layout-transformation operator or the
+//! transformation along the edge is *profitable* — and solves each
+//! partition independently. When no desirable edge appears before the
+//! partition reaches its size bound, a complementary cut is inserted
+//! (the paper's "complementary edges"). `GCD2(13)` and `GCD2(17)` in
+//! Figure 10 are this algorithm with `max_ops` 13 and 17.
+
+use crate::plan::{Assignment, ExecutionPlan, PlanSet};
+use crate::solve::{local_optimal, refine_scope};
+use gcd2_cgraph::{Graph, NodeId, OpKind};
+use gcd2_tensor::transform_cycles;
+
+/// True when edge `(prod, cons)` is a desirable partitioning edge.
+///
+/// `cons` must have exactly one predecessor, and either be a layout
+/// transformation operator (`Reshape`/`Transpose`) or admit a profitable
+/// transformation: some plan of `cons` is cheaper than its
+/// matching-layout plan by more than the transform cost.
+pub fn is_desirable_edge(graph: &Graph, plans: &PlanSet, prod: NodeId, cons: NodeId) -> bool {
+    if graph.preds(cons) != [prod] {
+        return false;
+    }
+    let cons_node = graph.node(cons);
+    if cons_node.kind.is_layout_transform() {
+        return true;
+    }
+    is_profitable_transform(graph, plans, prod, cons)
+}
+
+/// "A transformation along an edge is considered profitable if the
+/// reduction in execution time of the successor operator with the
+/// transformed layout is higher than the cost of the data transformation
+/// itself."
+fn is_profitable_transform(graph: &Graph, plans: &PlanSet, prod: NodeId, cons: NodeId) -> bool {
+    let (rows, cols) = crate::plan::matrix_view(&graph.node(prod).shape);
+    // The consumer's cost if it keeps each producer layout vs. the best
+    // transformed alternative.
+    for from in plans.of(prod).iter().map(|p| p.layout) {
+        let stay: Option<&ExecutionPlan> =
+            plans.of(cons).iter().find(|p| p.layout == from);
+        let stay_cost = match stay {
+            Some(p) => p.cost,
+            None => continue,
+        };
+        for p in plans.of(cons) {
+            if p.layout == from {
+                continue;
+            }
+            let tc = transform_cycles(rows, cols, from, p.layout);
+            if p.cost + tc < stay_cost {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Splits the operator nodes of `graph` (topological order) into
+/// partitions of at most `max_ops` nodes, cutting preferentially at
+/// desirable partitioning edges.
+pub fn partition(graph: &Graph, plans: &PlanSet, max_ops: usize) -> Vec<Vec<NodeId>> {
+    assert!(max_ops >= 1, "partitions must hold at least one operator");
+    let mut parts: Vec<Vec<NodeId>> = Vec::new();
+    let mut cur: Vec<NodeId> = Vec::new();
+    for node in graph.nodes() {
+        if matches!(node.kind, OpKind::Input | OpKind::Constant) {
+            continue;
+        }
+        // Cut before this node if it is the consumer of a desirable edge
+        // from inside the current partition, or the partition is full.
+        let desirable_cut = graph
+            .preds(node.id)
+            .iter()
+            .any(|&p| cur.contains(&p) && is_desirable_edge(graph, plans, p, node.id));
+        if !cur.is_empty() && (desirable_cut || cur.len() >= max_ops) {
+            parts.push(std::mem::take(&mut cur));
+        }
+        cur.push(node.id);
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+/// The full GCD2 layout/instruction selection: partition, then solve
+/// each partition exhaustively (with pruning) in topological order,
+/// propagating decided plans forward.
+pub fn gcd2_select(graph: &Graph, plans: &PlanSet, max_ops: usize) -> Assignment {
+    let mut assignment = local_optimal(graph, plans);
+    let mut cost = assignment.cost;
+    for part in partition(graph, plans, max_ops) {
+        cost = refine_scope(graph, plans, &part, &mut assignment.choice);
+    }
+    Assignment { cost, choice: assignment.choice }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::enumerate_plans;
+    use crate::solve::exhaustive;
+    use gcd2_cgraph::TShape;
+    use gcd2_kernels::CostModel;
+
+    fn conv_chain(n: usize, channels: usize) -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let mut prev = g.input("x", TShape::nchw(1, channels, 16, 16));
+        let mut chain = Vec::new();
+        for i in 0..n {
+            prev = g.add(
+                OpKind::Conv2d {
+                    out_channels: channels,
+                    kernel: (1, 1),
+                    stride: (1, 1),
+                    padding: (0, 0),
+                },
+                &[prev],
+                format!("conv{i}"),
+            );
+            chain.push(prev);
+        }
+        (g, chain)
+    }
+
+    #[test]
+    fn partitions_respect_size_bound() {
+        let (g, _) = conv_chain(20, 32);
+        let plans = enumerate_plans(&g, &CostModel::new());
+        for max in [1, 4, 13, 17] {
+            for part in partition(&g, &plans, max) {
+                assert!(part.len() <= max);
+                assert!(!part.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_all_operators() {
+        let (g, _) = conv_chain(11, 32);
+        let plans = enumerate_plans(&g, &CostModel::new());
+        let parts = partition(&g, &plans, 4);
+        let covered: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(covered, g.op_count());
+    }
+
+    #[test]
+    fn gcd2_close_to_global_optimal() {
+        // Figure 10 (a): GCD2(13) is nearly identical to global optimal.
+        let (g, chain) = conv_chain(10, 48);
+        let plans = enumerate_plans(&g, &CostModel::new());
+        let global = exhaustive(&g, &plans, &chain);
+        let local = local_optimal(&g, &plans);
+        let gcd2 = gcd2_select(&g, &plans, 13);
+        assert!(gcd2.cost <= local.cost);
+        assert!(
+            gcd2.cost as f64 <= global.cost as f64 * 1.05,
+            "gcd2 {} vs global {}",
+            gcd2.cost,
+            global.cost
+        );
+    }
+
+    #[test]
+    fn reshape_edges_are_desirable() {
+        let mut g = Graph::new();
+        let x = g.input("x", TShape::nchw(1, 32, 8, 8));
+        let c = g.add(
+            OpKind::Conv2d { out_channels: 32, kernel: (1, 1), stride: (1, 1), padding: (0, 0) },
+            &[x],
+            "conv",
+        );
+        let rs = g.add(OpKind::Reshape { shape: TShape::new(vec![64, 32]) }, &[c], "flatten");
+        let plans = enumerate_plans(&g, &CostModel::new());
+        assert!(is_desirable_edge(&g, &plans, c, rs));
+        assert!(!is_desirable_edge(&g, &plans, x, c) || true); // no panic
+    }
+}

@@ -1,0 +1,126 @@
+//! Activity-based energy/power model for the simulated DSP.
+//!
+//! The paper reports power via the Android system interface and the
+//! Snapdragon Profiler; our substitute charges a per-instruction energy by
+//! functional unit plus a static leakage term per cycle, yielding total
+//! energy, average power, and frames-per-Watt. Constants are chosen so
+//! that a fully-utilized DSP draws on the order of 2–3 W at 1 GHz, the
+//! envelope the paper reports for DSP solutions (Figure 13, Table V).
+
+use crate::stats::{ExecStats, CLOCK_HZ};
+
+/// Per-unit dynamic energy (picojoules per instruction) and static power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Vector memory access energy (pJ); scalar accesses charge 1/4.
+    pub mem_pj: f64,
+    /// Vector multiply energy (pJ).
+    pub vmpy_pj: f64,
+    /// Vector shift energy (pJ).
+    pub vshift_pj: f64,
+    /// Vector permute/lookup energy (pJ).
+    pub vperm_pj: f64,
+    /// Vector ALU energy (pJ).
+    pub valu_pj: f64,
+    /// Scalar ALU energy (pJ).
+    pub salu_pj: f64,
+    /// Static/leakage energy per cycle (pJ).
+    pub static_pj_per_cycle: f64,
+}
+
+impl EnergyModel {
+    /// The default model for the simulated Hexagon-698-like DSP.
+    ///
+    /// Constants are expressed per *simulator packet-cycle*, which the
+    /// calibrated [`CLOCK_HZ`] maps to real time; they are chosen so a
+    /// fully-busy DSP draws 1–3 W and a multiply-heavy full model about
+    /// 1.1 W — the envelope of the paper's Figure 13.
+    pub fn hexagon698() -> Self {
+        EnergyModel {
+            mem_pj: 52.0,
+            vmpy_pj: 82.0,
+            vshift_pj: 28.0,
+            vperm_pj: 33.0,
+            valu_pj: 26.0,
+            salu_pj: 3.5,
+            static_pj_per_cycle: 40.0,
+        }
+    }
+
+    /// Total energy in picojoules for a run.
+    pub fn energy_pj(&self, stats: &ExecStats) -> f64 {
+        let [mem, vmpy, vshift, vperm, valu, salu] = stats.unit_insns;
+        mem as f64 * self.mem_pj
+            + vmpy as f64 * self.vmpy_pj
+            + vshift as f64 * self.vshift_pj
+            + vperm as f64 * self.vperm_pj
+            + valu as f64 * self.valu_pj
+            + salu as f64 * self.salu_pj
+            + stats.cycles as f64 * self.static_pj_per_cycle
+    }
+
+    /// Average power in Watts over the run at [`CLOCK_HZ`].
+    pub fn power_w(&self, stats: &ExecStats) -> f64 {
+        if stats.cycles == 0 {
+            return 0.0;
+        }
+        let seconds = stats.cycles as f64 / CLOCK_HZ;
+        self.energy_pj(stats) * 1e-12 / seconds
+    }
+
+    /// Inference frames per Watt for a run that computes one frame
+    /// (`fps / power`, the paper's FPW metric).
+    pub fn frames_per_watt(&self, stats: &ExecStats) -> f64 {
+        let joules = self.energy_pj(stats) * 1e-12;
+        if joules == 0.0 {
+            return 0.0;
+        }
+        1.0 / joules
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::hexagon698()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_dsp_draws_watts() {
+        // Fully packed multiply-heavy workload: ~4 insns/packet, packets
+        // take ~4 cycles.
+        let stats = ExecStats {
+            cycles: 4_000_000,
+            packets: 1_000_000,
+            insns: 4_000_000,
+            unit_insns: [1_000_000, 1_000_000, 500_000, 0, 500_000, 1_000_000],
+            ..Default::default()
+        };
+        let m = EnergyModel::default();
+        let p = m.power_w(&stats);
+        assert!(p > 0.5 && p < 5.0, "power {p} W outside mobile-DSP envelope");
+    }
+
+    #[test]
+    fn idle_cycles_cost_static_energy_only() {
+        let stats = ExecStats { cycles: 1000, ..Default::default() };
+        let m = EnergyModel::default();
+        assert!((m.energy_pj(&stats) - 40.0 * 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fpw_inverse_of_energy() {
+        let stats = ExecStats {
+            cycles: 1_000_000,
+            unit_insns: [0, 1_000_000, 0, 0, 0, 0],
+            ..Default::default()
+        };
+        let m = EnergyModel::default();
+        let e_j = m.energy_pj(&stats) * 1e-12;
+        assert!((m.frames_per_watt(&stats) - 1.0 / e_j).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,176 @@
+//! Register newtypes for the simulated HVX-like DSP.
+//!
+//! The machine has 32 scalar registers (`R0..R31`, 64-bit in the simulator,
+//! 32-bit semantics for packed weight bytes) and 32 vector registers
+//! (`V0..V31`, each [`VBYTES`] = 128 bytes wide, i.e. 1024 bits like the
+//! Hexagon 698 HVX). Adjacent even/odd vector registers can be addressed as
+//! a *vector pair* (`W0 = V1:V0`, `W2 = V3:V2`, ...), matching Hexagon's
+//! `Vdd` pair operands.
+
+use std::fmt;
+
+/// Width of one vector register in bytes (1024 bits).
+pub const VBYTES: usize = 128;
+/// Number of 16-bit lanes in one vector register.
+pub const HLANES: usize = VBYTES / 2;
+/// Number of 32-bit lanes in one vector register.
+pub const WLANES: usize = VBYTES / 4;
+/// Number of vector registers.
+pub const NUM_VREGS: u8 = 32;
+/// Number of scalar registers.
+pub const NUM_SREGS: u8 = 32;
+
+/// A scalar register `R0..R31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SReg(u8);
+
+impl SReg {
+    /// Creates a scalar register handle.
+    ///
+    /// # Panics
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < NUM_SREGS, "scalar register index {index} out of range");
+        SReg(index)
+    }
+
+    /// The register index (0..32).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for SReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A vector register `V0..V31` (128 bytes wide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(u8);
+
+impl VReg {
+    /// Creates a vector register handle.
+    ///
+    /// # Panics
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < NUM_VREGS, "vector register index {index} out of range");
+        VReg(index)
+    }
+
+    /// The register index (0..32).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A vector register pair `W(n/2) = V(n+1):V(n)`, `n` even.
+///
+/// Pairs hold 256 bytes and are the destination of the widening multiply
+/// instructions (`vmpy`, `vmpa`, `vtmpy`) and the source of narrowing
+/// shifts. `lo()` is the even register, `hi()` the odd one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VPair(u8);
+
+impl VPair {
+    /// Creates a pair rooted at an even vector register index.
+    ///
+    /// # Panics
+    /// Panics if `even_index` is odd or `>= 32`.
+    pub fn new(even_index: u8) -> Self {
+        assert!(even_index < NUM_VREGS, "vector pair index {even_index} out of range");
+        assert!(even_index.is_multiple_of(2), "vector pair must be rooted at an even register");
+        VPair(even_index)
+    }
+
+    /// The low (even) register of the pair.
+    pub fn lo(self) -> VReg {
+        VReg(self.0)
+    }
+
+    /// The high (odd) register of the pair.
+    pub fn hi(self) -> VReg {
+        VReg(self.0 + 1)
+    }
+
+    /// The even root index.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for VPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0 / 2)
+    }
+}
+
+/// Any architectural register, used by dependence analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reg {
+    /// A scalar register.
+    S(SReg),
+    /// A vector register (pairs are expanded into their two halves).
+    V(VReg),
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::S(r) => write!(f, "{r}"),
+            Reg::V(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl From<SReg> for Reg {
+    fn from(r: SReg) -> Self {
+        Reg::S(r)
+    }
+}
+
+impl From<VReg> for Reg {
+    fn from(r: VReg) -> Self {
+        Reg::V(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_halves() {
+        let w = VPair::new(4);
+        assert_eq!(w.lo(), VReg::new(4));
+        assert_eq!(w.hi(), VReg::new(5));
+        assert_eq!(w.to_string(), "w2");
+    }
+
+    #[test]
+    #[should_panic(expected = "even register")]
+    fn odd_pair_rejected() {
+        let _ = VPair::new(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vreg_out_of_range() {
+        let _ = VReg::new(32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SReg::new(7).to_string(), "r7");
+        assert_eq!(VReg::new(31).to_string(), "v31");
+        assert_eq!(Reg::from(SReg::new(1)).to_string(), "r1");
+    }
+}

@@ -1,0 +1,142 @@
+//! Execution statistics: the simulator's stand-in for the Snapdragon
+//! Profiler counters the paper reports (Figures 8, 9, 13).
+
+use crate::insn::Unit;
+use crate::packet::ResourceModel;
+
+/// Converts simulator packet-cycles into wall time.
+///
+/// This is *not* a physical clock frequency: the timing model issues one
+/// non-overlapping packet per "cycle" step, bundling away the real
+/// Hexagon 698's pipelined packet issue and its multiple 1024-bit MAC
+/// arrays. The scale is calibrated once so that the simulated GCD2
+/// ResNet-50 latency lands at the paper's measured 7.1 ms; all
+/// comparisons in the evaluation are ratios, which the calibration does
+/// not affect.
+pub const CLOCK_HZ: f64 = 46.0e9;
+
+/// Counters accumulated over a (simulated or statically-costed) run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    /// Total cycles, including stalls.
+    pub cycles: u64,
+    /// Stall cycles caused by intra-packet soft dependencies.
+    pub stall_cycles: u64,
+    /// Packets issued.
+    pub packets: u64,
+    /// Instructions issued.
+    pub insns: u64,
+    /// Bytes read from memory.
+    pub mem_read_bytes: u64,
+    /// Bytes written to memory.
+    pub mem_write_bytes: u64,
+    /// Instructions issued per functional unit:
+    /// `[Mem, VMpy, VShift, VPerm, VAlu, SAlu]`.
+    pub unit_insns: [u64; 6],
+}
+
+/// Index into [`ExecStats::unit_insns`] for a unit.
+pub fn unit_index(unit: Unit) -> usize {
+    match unit {
+        Unit::Mem => 0,
+        Unit::VMpy => 1,
+        Unit::VShift => 2,
+        Unit::VPerm => 3,
+        Unit::VAlu => 4,
+        Unit::SAlu => 5,
+    }
+}
+
+impl ExecStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `other` into `self` (e.g. accumulating per-operator runs).
+    pub fn accumulate(&mut self, other: &ExecStats) {
+        self.cycles += other.cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.packets += other.packets;
+        self.insns += other.insns;
+        self.mem_read_bytes += other.mem_read_bytes;
+        self.mem_write_bytes += other.mem_write_bytes;
+        for (a, b) in self.unit_insns.iter_mut().zip(other.unit_insns.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Returns `self` scaled by a repetition count (a loop executed
+    /// `times` times).
+    pub fn scaled(&self, times: u64) -> ExecStats {
+        let mut s = *self;
+        s.cycles *= times;
+        s.stall_cycles *= times;
+        s.packets *= times;
+        s.insns *= times;
+        s.mem_read_bytes *= times;
+        s.mem_write_bytes *= times;
+        for u in &mut s.unit_insns {
+            *u *= times;
+        }
+        s
+    }
+
+    /// Slot utilization in `[0, 1]`: issued instructions over available
+    /// packet slots (the profiler-style "DSP utilization" proxy).
+    pub fn utilization(&self) -> f64 {
+        if self.packets == 0 {
+            return 0.0;
+        }
+        self.insns as f64 / (self.packets as f64 * ResourceModel::MAX_SLOTS as f64)
+    }
+
+    /// Average memory bandwidth in bytes per cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (self.mem_read_bytes + self.mem_write_bytes) as f64 / self.cycles as f64
+    }
+
+    /// Wall time in milliseconds at [`CLOCK_HZ`].
+    pub fn latency_ms(&self) -> f64 {
+        self.cycles as f64 / CLOCK_HZ * 1e3
+    }
+
+    /// Number of multiply instructions issued (throughput accounting).
+    pub fn multiply_insns(&self) -> u64 {
+        self.unit_insns[unit_index(Unit::VMpy)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_and_scale() {
+        let mut a = ExecStats { cycles: 10, packets: 2, insns: 6, ..Default::default() };
+        let b = ExecStats { cycles: 5, packets: 1, insns: 4, ..Default::default() };
+        a.accumulate(&b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.utilization(), 10.0 / 12.0);
+        let s = a.scaled(3);
+        assert_eq!(s.cycles, 45);
+        assert_eq!(s.packets, 9);
+    }
+
+    #[test]
+    fn bandwidth() {
+        let s = ExecStats { cycles: 100, mem_read_bytes: 256, mem_write_bytes: 144, ..Default::default() };
+        assert!((s.bytes_per_cycle() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = ExecStats::new();
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.bytes_per_cycle(), 0.0);
+        assert_eq!(s.latency_ms(), 0.0);
+    }
+}

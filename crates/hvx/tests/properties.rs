@@ -1,0 +1,88 @@
+//! Property tests on the DSP substrate's invariants.
+
+use gcd2_hvx::{
+    classify, Block, DepKind, Insn, Lane, Machine, PackedBlock, Packet, SReg, VPair, VReg,
+};
+use proptest::prelude::*;
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    (0u8..10, 0u8..6, 0u8..4, any::<bool>()).prop_map(|(kind, a, b, acc)| {
+        let v = |i: u8| VReg::new(i % 30);
+        let w = |i: u8| VPair::new((i % 14) * 2);
+        let r = |i: u8| SReg::new(i % 10);
+        match kind {
+            0 => Insn::Vmpy { dst: w(a), src: v(b + 8), weights: r(b), acc },
+            1 => Insn::Vmpa { dst: v(a), src: v(b + 8), weights: r(b), acc },
+            2 => Insn::Vrmpy { dst: v(a), src: v(b + 8), weights: r(b), acc },
+            3 => Insn::Vadd { lane: Lane::H, dst: v(a), a: v(b), b: v(b + 1) },
+            4 => Insn::VasrHB { dst: v(a), src: w(b), shift: 3 },
+            5 => Insn::VLoad { dst: v(a), base: r(b), offset: (a as i64) * 128 },
+            6 => Insn::VStore { src: v(a), base: r(b), offset: (a as i64) * 128 },
+            7 => Insn::AddI { dst: r(a % 4), a: r(a % 4), imm: 128 },
+            // Loaded values land in high registers so they never become
+            // base addresses (the machine traps out-of-bounds accesses).
+            8 => Insn::Ld { dst: SReg::new(16 + (a % 8)), base: r(b), offset: 8 },
+            _ => Insn::VshuffB { dst: w(a), src: w(b) },
+        }
+    })
+}
+
+proptest! {
+    /// Packet cost is bounded below by its longest instruction and above
+    /// by the fully serialized sum.
+    #[test]
+    fn packet_cost_bounds(insns in proptest::collection::vec(arb_insn(), 1..5)) {
+        let p = Packet::from_insns(insns.clone());
+        let max_lat = insns.iter().map(Insn::latency).max().unwrap();
+        let sum_lat: u32 = insns.iter().map(Insn::latency).sum();
+        prop_assert!(p.cycles() >= max_lat);
+        prop_assert!(p.cycles() <= sum_lat + insns.len() as u32);
+        prop_assert_eq!(p.stall_cycles(), p.cycles() - max_lat);
+    }
+
+    /// Dependence classification is deterministic and self-conflicting
+    /// instructions (same insn twice) are never independent unless they
+    /// write nothing.
+    #[test]
+    fn classification_properties(a in arb_insn(), b in arb_insn()) {
+        prop_assert_eq!(classify(&a, &b), classify(&a, &b));
+        let self_dep = classify(&a, &a);
+        if !a.defs().is_empty() {
+            // An instruction re-run depends on itself (WAW at least).
+            prop_assert!(self_dep != DepKind::None);
+        }
+    }
+
+    /// The functional machine is deterministic: running the same program
+    /// twice from the same state produces identical memory and registers.
+    #[test]
+    fn machine_determinism(insns in proptest::collection::vec(arb_insn(), 1..12), trips in 1u64..4) {
+        let mut block = Block::with_trip_count("p", trips);
+        block.extend(insns);
+        let packed = PackedBlock::sequential(&block);
+        let run = || {
+            let mut m = Machine::new(16 * 1024);
+            for i in 0..10 {
+                m.set_sreg(SReg::new(i), 1024 + 256 * i as i64);
+            }
+            for i in 0..16 * 1024 {
+                m.mem[i] = (i % 251) as u8;
+            }
+            m.run_block(&packed);
+            (m.mem.clone(), (0..10).map(|i| m.sreg(SReg::new(i))).collect::<Vec<_>>())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Static stats algebra: scaled() distributes over accumulate().
+    #[test]
+    fn stats_scaling(trips in 1u64..20, insns in proptest::collection::vec(arb_insn(), 1..8)) {
+        let mut b1 = Block::with_trip_count("a", 1);
+        b1.extend(insns);
+        let once = PackedBlock::sequential(&b1).stats();
+        let mut bn = b1.clone();
+        bn.trip_count = trips;
+        let many = PackedBlock::sequential(&bn).stats();
+        prop_assert_eq!(many, once.scaled(trips));
+    }
+}

@@ -1,0 +1,209 @@
+//! Convolution-specific kernels.
+//!
+//! Regular convolutions reach the GEMM kernels through implicit im2col
+//! (the [`gcd2_cgraph::GemmDims`] view); the extra address generation of
+//! non-1×1 kernels is charged by [`im2col_overhead_cycles`]. Depthwise
+//! convolutions additionally have a dedicated `vtmpy` (3-tap sliding
+//! multiply) kernel — a second instruction choice alongside the generic
+//! GEMM path, exactly the kind of disparate-instruction trade-off the
+//! paper exploits.
+
+use gcd2_cgraph::GemmDims;
+use gcd2_hvx::{Block, Insn, SReg, VPair, VReg, VBYTES};
+use gcd2_tensor::{Layout, MatrixI8, MatrixU8};
+
+fn v(i: u8) -> VReg {
+    VReg::new(i)
+}
+fn w(i: u8) -> VPair {
+    VPair::new(i)
+}
+fn r(i: u8) -> SReg {
+    SReg::new(i)
+}
+
+/// Extra cycles for implicit im2col address generation: zero for 1×1
+/// kernels (the feature map already is the GEMM matrix), proportional to
+/// the gathered volume otherwise.
+pub fn im2col_overhead_cycles(gemm: &GemmDims, kernel: (usize, usize)) -> u64 {
+    if kernel == (1, 1) {
+        return 0;
+    }
+    // Two extra address-gen cycles per gathered vector.
+    ((gemm.m * gemm.k).div_ceil(VBYTES) as u64) * 2
+}
+
+/// Emits the depthwise 3-tap `vtmpy` kernel for `out_elems` outputs with
+/// a `kh`-row kernel: per output vector, load the sliding pair, apply
+/// `kh` accumulating 3-tap multiplies, requantize, store.
+pub fn depthwise_vtmpy_blocks(out_elems: usize, kh: usize) -> Vec<Block> {
+    let mut body = Block::with_trip_count(
+        format!("dwconv/vtmpy {kh}x3 x{out_elems}"),
+        out_elems.div_ceil(VBYTES) as u64,
+    );
+    for row in 0..kh {
+        body.push(Insn::VLoad { dst: v(0), base: r(0), offset: (row * 4 * VBYTES) as i64 });
+        body.push(Insn::VLoad {
+            dst: v(1),
+            base: r(0),
+            offset: (row * 4 * VBYTES + VBYTES) as i64,
+        });
+        body.push(Insn::Ld { dst: r(3), base: r(1), offset: (row * 8) as i64 });
+        body.push(Insn::Vtmpy { dst: w(4), src: w(0), weights: r(3), acc: row > 0 });
+    }
+    body.push(Insn::VasrHB { dst: v(6), src: w(4), shift: 6 });
+    body.push(Insn::VStore { src: v(6), base: r(2), offset: 0 });
+    body.push(Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 });
+    body.push(Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 });
+    vec![body]
+}
+
+/// Host-side im2col: lowers a CHW feature map to the GEMM activation
+/// matrix (`out_spatial × C·kh·kw`) consumed by the matmul kernels, with
+/// zero padding. Out-of-range taps read 0 (the additive identity of the
+/// quantized MACs).
+///
+/// # Panics
+/// Panics if `input.len() != c * h * w` or the convolution does not fit.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_chw(
+    input: &[u8],
+    c: usize,
+    h: usize,
+    w: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+    layout: Layout,
+) -> MatrixU8 {
+    assert_eq!(input.len(), c * h * w, "input size mismatch");
+    let (kh, kw) = kernel;
+    let out_h = (h + 2 * padding.0 - kh) / stride.0 + 1;
+    let out_w = (w + 2 * padding.1 - kw) / stride.1 + 1;
+    MatrixU8::from_fn(out_h * out_w, c * kh * kw, layout, |o, col| {
+        let (oy, ox) = (o / out_w, o % out_w);
+        let ch = col / (kh * kw);
+        let (dy, dx) = ((col % (kh * kw)) / kw, col % kw);
+        let y = (oy * stride.0 + dy) as isize - padding.0 as isize;
+        let x = (ox * stride.1 + dx) as isize - padding.1 as isize;
+        if y < 0 || x < 0 || y as usize >= h || x as usize >= w {
+            0
+        } else {
+            input[ch * h * w + y as usize * w + x as usize]
+        }
+    })
+}
+
+/// The GEMM weight matrix of a convolution: `C·kh·kw × out_c`, with the
+/// same column order [`im2col_chw`] produces.
+pub fn conv_weights_as_gemm(
+    weights: &[i8],
+    c: usize,
+    out_c: usize,
+    kernel: (usize, usize),
+) -> MatrixI8 {
+    let k = c * kernel.0 * kernel.1;
+    assert_eq!(weights.len(), out_c * k, "weight size mismatch");
+    // Weights arrive [out_c][c][kh][kw]; the GEMM wants [k][out_c].
+    MatrixI8::from_fn(k, out_c, |kk, oc| weights[oc * k + kk])
+}
+
+/// Direct (scalar) convolution reference over a CHW map, with the same
+/// requantization as the kernels.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_ref_chw(
+    input: &[u8],
+    weights: &[i8],
+    c: usize,
+    h: usize,
+    w: usize,
+    out_c: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+    shift: u8,
+) -> Vec<u8> {
+    let (kh, kw) = kernel;
+    let out_h = (h + 2 * padding.0 - kh) / stride.0 + 1;
+    let out_w = (w + 2 * padding.1 - kw) / stride.1 + 1;
+    let mut out = vec![0u8; out_c * out_h * out_w];
+    for oc in 0..out_c {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let mut acc: i32 = 0;
+                for ch in 0..c {
+                    for dy in 0..kh {
+                        for dx in 0..kw {
+                            let y = (oy * stride.0 + dy) as isize - padding.0 as isize;
+                            let x = (ox * stride.1 + dx) as isize - padding.1 as isize;
+                            if y < 0 || x < 0 || y as usize >= h || x as usize >= w {
+                                continue;
+                            }
+                            let a = input[ch * h * w + y as usize * w + x as usize] as i32;
+                            let wgt = weights
+                                [oc * c * kh * kw + ch * kh * kw + dy * kw + dx]
+                                as i32;
+                            acc += a * wgt;
+                        }
+                    }
+                }
+                out[oc * out_h * out_w + oy * out_w + ox] = (acc >> shift).clamp(0, 255) as u8;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcd2_hvx::PackedBlock;
+
+    #[test]
+    fn one_by_one_conv_has_no_im2col_cost() {
+        let g = GemmDims::new(3136, 64, 64);
+        assert_eq!(im2col_overhead_cycles(&g, (1, 1)), 0);
+        assert!(im2col_overhead_cycles(&g, (3, 3)) > 0);
+    }
+
+    #[test]
+    fn im2col_matches_direct_convolution() {
+        // conv(x, w) computed as matmul(im2col(x), w) must equal the
+        // direct reference elementwise (pre-requantization math).
+        let (c, h, w_dim, out_c) = (3usize, 6usize, 5usize, 4usize);
+        let kernel = (3, 3);
+        let stride = (1, 1);
+        let padding = (1, 1);
+        let input: Vec<u8> = (0..c * h * w_dim).map(|i| (i % 13) as u8).collect();
+        let weights: Vec<i8> =
+            (0..out_c * c * 9).map(|i| ((i % 15) as i8) - 7).collect();
+        let a = im2col_chw(&input, c, h, w_dim, kernel, stride, padding, Layout::RowMajor);
+        let wm = conv_weights_as_gemm(&weights, c, out_c, kernel);
+        let got = crate::reference::matmul_ref(&a, &wm, 4);
+        let expect =
+            conv_ref_chw(&input, &weights, c, h, w_dim, out_c, kernel, stride, padding, 4);
+        let (out_h, out_w) = (h, w_dim); // stride 1, same padding
+        for oc in 0..out_c {
+            for o in 0..out_h * out_w {
+                assert_eq!(
+                    got[o][oc],
+                    expect[oc * out_h * out_w + o],
+                    "oc={oc} o={o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vtmpy_kernel_scales_with_kernel_height() {
+        let c3: u64 = depthwise_vtmpy_blocks(4096, 3)
+            .iter()
+            .map(|b| PackedBlock::sequential(b).stats().cycles)
+            .sum();
+        let c1: u64 = depthwise_vtmpy_blocks(4096, 1)
+            .iter()
+            .map(|b| PackedBlock::sequential(b).stats().cycles)
+            .sum();
+        assert!(c3 > 2 * c1);
+    }
+}

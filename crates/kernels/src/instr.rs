@@ -1,0 +1,94 @@
+//! The candidate SIMD multiply instructions and their layout contracts.
+//!
+//! GCD2 takes a "pre-designed" approach (Section III): for each operator
+//! there is a small set of candidate instructions, each tied to the data
+//! layout of Figure 2 that feeds it efficiently. An *execution plan* for
+//! an operator is the choice of one such instruction (plus unrolling);
+//! the plan fixes both the required input layout and the produced output
+//! layout.
+
+use gcd2_tensor::Layout;
+use std::fmt;
+
+/// A candidate widening multiply instruction for a GEMM-like operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SimdInstr {
+    /// `vmpy` with the 1-column layout: 128-row granularity, any K.
+    Vmpy,
+    /// `vmpa` with the 2-column layout: 64-row granularity, K padded to 2.
+    Vmpa,
+    /// `vrmpy` with the 4-column layout: 32-row granularity, K padded to 4.
+    Vrmpy,
+}
+
+impl SimdInstr {
+    /// All candidates, in a stable order.
+    pub const ALL: [SimdInstr; 3] = [SimdInstr::Vmpy, SimdInstr::Vmpa, SimdInstr::Vrmpy];
+
+    /// The matrix layout this instruction consumes and produces.
+    pub fn layout(self) -> Layout {
+        match self {
+            SimdInstr::Vmpy => Layout::Col1,
+            SimdInstr::Vmpa => Layout::Col2,
+            SimdInstr::Vrmpy => Layout::Col4,
+        }
+    }
+
+    /// The instruction whose kernels consume/produce `layout`, if any.
+    pub fn for_layout(layout: Layout) -> Option<SimdInstr> {
+        match layout {
+            Layout::Col1 => Some(SimdInstr::Vmpy),
+            Layout::Col2 => Some(SimdInstr::Vmpa),
+            Layout::Col4 => Some(SimdInstr::Vrmpy),
+            Layout::RowMajor => None,
+        }
+    }
+
+    /// Row granularity: rows processed per multiply instruction
+    /// (the layout's panel height).
+    pub fn m_granularity(self) -> usize {
+        self.layout().panel_rows()
+    }
+
+    /// Reduction granularity: K values consumed per multiply instruction
+    /// (the layout's column group).
+    pub fn k_granularity(self) -> usize {
+        self.layout().col_group()
+    }
+
+    /// Output columns that one requantize/store group covers.
+    /// (`vmpy`: 1 column × 128 rows; `vmpa`: 2 × 64; `vrmpy`: 4 × 32.)
+    pub fn n_granularity(self) -> usize {
+        self.k_granularity()
+    }
+}
+
+impl fmt::Display for SimdInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimdInstr::Vmpy => write!(f, "vmpy"),
+            SimdInstr::Vmpa => write!(f, "vmpa"),
+            SimdInstr::Vrmpy => write!(f, "vrmpy"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_mapping_is_bijective() {
+        for i in SimdInstr::ALL {
+            assert_eq!(SimdInstr::for_layout(i.layout()), Some(i));
+        }
+        assert_eq!(SimdInstr::for_layout(Layout::RowMajor), None);
+    }
+
+    #[test]
+    fn granularities_cover_one_vector() {
+        for i in SimdInstr::ALL {
+            assert_eq!(i.m_granularity() * i.k_granularity(), 128);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # gcd2-kernels — pre-designed operator kernels and their cost model
+//!
+//! GCD2 implements each (operator, SIMD instruction) pair with a
+//! hand-designed kernel (Section III): `vmpy` with the 1-column layout,
+//! `vmpa` with the 2-column layout, `vrmpy` with the 4-column layout,
+//! plus `vtmpy` depthwise kernels and the non-GEMM (elementwise, pooling,
+//! lookup) kernels. This crate generates those kernels as instruction
+//! streams for the simulated DSP and derives their cycle costs by
+//! scheduling them with the SDA packer — the `Cost(ep)` term of the
+//! paper's global objective.
+//!
+//! ```
+//! use gcd2_cgraph::GemmDims;
+//! use gcd2_kernels::{CostModel, SimdInstr, UnrollConfig};
+//!
+//! let m = CostModel::new();
+//! let small = GemmDims::new(32, 32, 32);
+//! // Table II, first row: vrmpy's 4-column layout avoids the 128-row
+//! // padding vmpy pays, so it wins on small square operands.
+//! let vmpy = m.gemm_cycles(&small, SimdInstr::Vmpy, UnrollConfig::NONE);
+//! let vrmpy = m.gemm_cycles(&small, SimdInstr::Vrmpy, UnrollConfig::NONE);
+//! assert!(vrmpy < vmpy);
+//! ```
+
+pub mod conv;
+pub mod cost;
+pub mod elementwise;
+pub mod instr;
+pub mod matmul;
+pub mod reference;
+pub mod unroll;
+
+pub use conv::{
+    conv_ref_chw, conv_weights_as_gemm, depthwise_vtmpy_blocks, im2col_chw,
+    im2col_overhead_cycles,
+};
+pub use cost::{CostModel, KERNEL_DISPATCH_CYCLES};
+pub use elementwise::{elementwise_blocks, EwKind};
+pub use instr::SimdInstr;
+pub use matmul::{functional_program, gemm_loops, output_matrix_len, timing_blocks, GemmLoops};
+pub use reference::{add_ref, matmul_ref, mul_ref};
+pub use unroll::{
+    adaptive_unroll, candidates, classify_output, OutputShapeClass, UnrollConfig, UnrollStrategy,
+    UNROLL_CANDIDATES,
+};

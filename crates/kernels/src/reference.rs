@@ -1,0 +1,74 @@
+//! Scalar reference implementations the SIMD kernels are validated
+//! against.
+#![allow(clippy::needless_range_loop)]
+
+use gcd2_tensor::{MatrixI8, MatrixU8};
+
+/// Reference quantized matrix multiply:
+/// `out[r][c] = clamp((Σ_k a[r][k] · w[k][c]) >> shift, 0, 255)`.
+///
+/// Accumulation is 32-bit; the SIMD kernels accumulate `vmpy`/`vmpa`
+/// results in 16 bits, so test inputs must keep accumulators within
+/// `i16` range for bit-exact agreement (see crate docs).
+///
+/// # Panics
+/// Panics if `a.cols() != w.rows()`.
+pub fn matmul_ref(a: &MatrixU8, w: &MatrixI8, shift: u8) -> Vec<Vec<u8>> {
+    assert_eq!(a.cols(), w.rows(), "dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), w.cols());
+    let mut out = vec![vec![0u8; n]; m];
+    for r in 0..m {
+        for c in 0..n {
+            let mut acc: i32 = 0;
+            for kk in 0..k {
+                acc += a.get(r, kk) as i32 * w.get(kk, c) as i32;
+            }
+            out[r][c] = (acc >> shift).clamp(0, 255) as u8;
+        }
+    }
+    out
+}
+
+/// Reference elementwise `clamp((a + b) >> shift, 0, 255)`.
+pub fn add_ref(a: &[u8], b: &[u8], shift: u8) -> Vec<u8> {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (((x as i32 + y as i32) >> shift).clamp(0, 255)) as u8)
+        .collect()
+}
+
+/// Reference elementwise `clamp((a · b) >> shift, 0, 255)`.
+pub fn mul_ref(a: &[u8], b: &[u8], shift: u8) -> Vec<u8> {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (((x as i32 * y as i32) >> shift).clamp(0, 255)) as u8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcd2_tensor::Layout;
+
+    #[test]
+    fn tiny_matmul() {
+        // [1 2; 3 4] x [1 0; 0 1] = identity application.
+        let a = MatrixU8::from_row_major(2, 2, Layout::RowMajor, &[1, 2, 3, 4]);
+        let w = MatrixI8::from_row_major(2, 2, &[1, 0, 0, 1]);
+        let out = matmul_ref(&a, &w, 0);
+        assert_eq!(out, vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn negative_products_clamp_to_zero() {
+        let a = MatrixU8::from_row_major(1, 1, Layout::RowMajor, &[10]);
+        let w = MatrixI8::from_row_major(1, 1, &[-3]);
+        assert_eq!(matmul_ref(&a, &w, 0), vec![vec![0]]);
+    }
+
+    #[test]
+    fn elementwise_refs() {
+        assert_eq!(add_ref(&[200, 100], &[100, 50], 1), vec![150, 75]);
+        assert_eq!(mul_ref(&[16, 3], &[16, 3], 4), vec![16, 0]);
+    }
+}

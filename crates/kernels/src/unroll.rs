@@ -1,0 +1,200 @@
+//! Loop-unrolling configurations and selection strategies.
+//!
+//! GCD2 "employs a low-cost heuristic solution specifically designed for
+//! DNN operators: a fast adaptive unrolling setting selection according
+//! to the shape of output tensors, for example, for GEMM, different
+//! unrolling settings are designed for varied output shapes (skinny,
+//! near-square, and fat)" (Section IV-C, "Impact of Unrolling").
+//!
+//! The GEMM loop nest has three levels: rows (vectorized, not unrolled),
+//! the reduction `k`, and output columns `n`. [`UnrollConfig`] carries
+//! the two unrollable factors; [`UnrollStrategy`] reproduces the
+//! Figure 12 comparison (`Out`, `Mid`, `Exhaustive`, and the adaptive
+//! GCD2 heuristic).
+
+use crate::instr::SimdInstr;
+use gcd2_cgraph::GemmDims;
+use std::fmt;
+
+/// Unroll factors for a GEMM kernel: `n_unroll` output columns held in
+/// accumulators per inner iteration (outer-loop unroll), `k_unroll`
+/// reduction groups consumed per inner iteration (mid-loop unroll).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UnrollConfig {
+    /// Output-column (outer loop) unroll factor, ≥ 1.
+    pub n_unroll: usize,
+    /// Reduction (mid loop) unroll factor, ≥ 1.
+    pub k_unroll: usize,
+}
+
+impl UnrollConfig {
+    /// No unrolling.
+    pub const NONE: UnrollConfig = UnrollConfig { n_unroll: 1, k_unroll: 1 };
+
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    /// Panics if a factor is zero.
+    pub fn new(n_unroll: usize, k_unroll: usize) -> Self {
+        assert!(n_unroll >= 1 && k_unroll >= 1, "unroll factors must be >= 1");
+        UnrollConfig { n_unroll, k_unroll }
+    }
+
+    /// Vector registers the kernel body needs under this configuration
+    /// (accumulators + streamed input chunks + narrowing temporaries).
+    /// `vmpy` accumulators are register *pairs*.
+    pub fn vregs_needed(&self, instr: SimdInstr) -> usize {
+        let acc = match instr {
+            SimdInstr::Vmpy => 2 * self.n_unroll,
+            SimdInstr::Vmpa | SimdInstr::Vrmpy => self.n_unroll,
+        };
+        acc + self.k_unroll + 2
+    }
+
+    /// Accumulator registers that spill to memory given the machine's 32
+    /// vector registers (a couple are reserved for the runtime).
+    pub fn spill_count(&self, instr: SimdInstr) -> usize {
+        self.vregs_needed(instr).saturating_sub(30)
+    }
+}
+
+impl Default for UnrollConfig {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+impl fmt::Display for UnrollConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}k{}", self.n_unroll, self.k_unroll)
+    }
+}
+
+/// The unroll-selection strategies compared in Figure 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnrollStrategy {
+    /// No unrolling (factor 1 everywhere).
+    None,
+    /// Unroll only the outer (output-column) loop by this factor.
+    Out(usize),
+    /// Unroll only the mid (reduction) loop by this factor.
+    Mid(usize),
+    /// Exhaustively search both factors over [`UNROLL_CANDIDATES`]
+    /// (expensive; the paper reports >3 minutes per kernel).
+    Exhaustive,
+    /// GCD2's adaptive heuristic keyed on the output tensor shape.
+    Adaptive,
+}
+
+/// The factor grid the exhaustive search sweeps.
+pub const UNROLL_CANDIDATES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// The shape classes of the adaptive heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputShapeClass {
+    /// Many rows, few output columns (`M ≫ N`).
+    Skinny,
+    /// Comparable rows and columns.
+    NearSquare,
+    /// Few rows, many output columns (`N ≫ M`).
+    Fat,
+}
+
+/// Classifies an output shape (`M × N`).
+pub fn classify_output(gemm: &GemmDims) -> OutputShapeClass {
+    let (m, n) = (gemm.m as f64, gemm.n as f64);
+    if m >= 4.0 * n {
+        OutputShapeClass::Skinny
+    } else if n >= 4.0 * m {
+        OutputShapeClass::Fat
+    } else {
+        OutputShapeClass::NearSquare
+    }
+}
+
+/// GCD2's adaptive unroll choice: pick the factors by output shape
+/// class, clamped to the register budget of the chosen instruction.
+pub fn adaptive_unroll(gemm: &GemmDims, instr: SimdInstr) -> UnrollConfig {
+    let (n_u, k_u) = match classify_output(gemm) {
+        // Skinny outputs have few columns to hold; spend registers on the
+        // reduction to feed the multiply unit.
+        OutputShapeClass::Skinny => (2, 4),
+        // Balanced shapes: the exhaustively-best 4-4 of Figure 12 (a).
+        OutputShapeClass::NearSquare => (4, 4),
+        // Fat outputs amortize input loads across many columns.
+        OutputShapeClass::Fat => (8, 2),
+    };
+    let n_u = n_u.min(gemm.n.div_ceil(instr.n_granularity()).max(1));
+    let k_u = k_u.min(gemm.k.div_ceil(instr.k_granularity()).max(1));
+    // Shrink to the register budget, preferring to drop k first.
+    let mut cfg = UnrollConfig::new(n_u.max(1), k_u.max(1));
+    while cfg.spill_count(instr) > 0 && cfg.k_unroll > 1 {
+        cfg.k_unroll /= 2;
+    }
+    while cfg.spill_count(instr) > 0 && cfg.n_unroll > 1 {
+        cfg.n_unroll /= 2;
+    }
+    cfg
+}
+
+/// Enumerates the configurations a strategy considers.
+pub fn candidates(strategy: UnrollStrategy, gemm: &GemmDims, instr: SimdInstr) -> Vec<UnrollConfig> {
+    match strategy {
+        UnrollStrategy::None => vec![UnrollConfig::NONE],
+        UnrollStrategy::Out(f) => vec![UnrollConfig::new(f, 1)],
+        UnrollStrategy::Mid(f) => vec![UnrollConfig::new(1, f)],
+        UnrollStrategy::Exhaustive => {
+            let mut v = Vec::new();
+            for &n in &UNROLL_CANDIDATES {
+                for &k in &UNROLL_CANDIDATES {
+                    v.push(UnrollConfig::new(n, k));
+                }
+            }
+            v
+        }
+        UnrollStrategy::Adaptive => vec![adaptive_unroll(gemm, instr)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_classes() {
+        assert_eq!(classify_output(&GemmDims::new(4096, 64, 32)), OutputShapeClass::Skinny);
+        assert_eq!(classify_output(&GemmDims::new(128, 64, 128)), OutputShapeClass::NearSquare);
+        assert_eq!(classify_output(&GemmDims::new(16, 64, 512)), OutputShapeClass::Fat);
+    }
+
+    #[test]
+    fn adaptive_respects_register_budget() {
+        for instr in SimdInstr::ALL {
+            for (m, n) in [(4096, 8), (256, 256), (8, 4096)] {
+                let cfg = adaptive_unroll(&GemmDims::new(m, 512, n), instr);
+                assert_eq!(cfg.spill_count(instr), 0, "{instr} {m}x{n} {cfg}");
+            }
+        }
+    }
+
+    #[test]
+    fn spills_grow_with_unroll() {
+        let small = UnrollConfig::new(2, 2);
+        let huge = UnrollConfig::new(16, 16);
+        assert_eq!(small.spill_count(SimdInstr::Vmpy), 0);
+        assert!(huge.spill_count(SimdInstr::Vmpy) > 0);
+    }
+
+    #[test]
+    fn exhaustive_covers_grid() {
+        let c = candidates(UnrollStrategy::Exhaustive, &GemmDims::new(128, 128, 128), SimdInstr::Vmpy);
+        assert_eq!(c.len(), 25);
+    }
+
+    #[test]
+    fn adaptive_clamps_to_small_shapes() {
+        let cfg = adaptive_unroll(&GemmDims::new(32, 4, 4), SimdInstr::Vrmpy);
+        assert!(cfg.n_unroll <= 1);
+        assert!(cfg.k_unroll <= 1);
+    }
+}

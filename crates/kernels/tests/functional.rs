@@ -1,0 +1,210 @@
+//! Functional validation: every SIMD matmul kernel, executed on the
+//! simulated DSP with its layout of Figure 2, must agree bit-for-bit with
+//! the scalar reference.
+//!
+//! Inputs are bounded (activations ≤ 15, weights in [-7, 7], K ≤ 48) so
+//! the 16-bit accumulators of the `vmpy`/`vmpa` paths cannot overflow —
+//! the same constraint real quantized kernels manage by choosing
+//! requantization points (see DESIGN.md).
+#![allow(clippy::needless_range_loop)]
+
+use gcd2_hvx::Machine;
+use gcd2_kernels::{functional_program, matmul_ref, output_matrix_len, SimdInstr};
+use gcd2_cgraph::GemmDims;
+use gcd2_tensor::{MatrixI8, MatrixU8};
+
+fn run_kernel(a_rm: &[u8], w_rm: &[i8], m: usize, k: usize, n: usize, instr: SimdInstr) {
+    let shift = 4u8;
+    let a = MatrixU8::from_row_major(m, k, instr.layout(), a_rm);
+    let w = MatrixI8::from_row_major(k, n, w_rm);
+    let gemm = GemmDims::new(m, k, n);
+
+    let addr_a = 0usize;
+    let addr_out = a.padded_len().div_ceil(128) * 128;
+    let out_len = output_matrix_len(&gemm, instr);
+
+    let prog = functional_program(&a, &w, instr, shift, addr_a as i64, addr_out as i64);
+    let mut machine = Machine::new(addr_out + out_len);
+    machine.mem[..a.padded_len()].copy_from_slice(a.as_bytes());
+    machine.run(&prog);
+
+    let out_bytes = machine.mem[addr_out..addr_out + out_len].to_vec();
+    let got = MatrixU8::from_raw(m, n, instr.layout(), out_bytes);
+    let expect = matmul_ref(&a, &w, shift);
+    for r in 0..m {
+        for c in 0..n {
+            assert_eq!(
+                got.get(r, c),
+                expect[r][c],
+                "{instr} M{m} K{k} N{n} at ({r},{c})"
+            );
+        }
+    }
+}
+
+fn pseudo(m: usize, k: usize, n: usize, seed: u64) -> (Vec<u8>, Vec<i8>) {
+    // Small deterministic LCG, bounded ranges (see module docs).
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let a: Vec<u8> = (0..m * k).map(|_| (next() % 16) as u8).collect();
+    let w: Vec<i8> = (0..k * n).map(|_| (next() % 15) as i8 - 7).collect();
+    (a, w)
+}
+
+#[test]
+fn vmpy_matches_reference_exact_panel() {
+    let (a, w) = pseudo(128, 8, 4, 1);
+    run_kernel(&a, &w, 128, 8, 4, SimdInstr::Vmpy);
+}
+
+#[test]
+fn vmpa_matches_reference_exact_panel() {
+    let (a, w) = pseudo(128, 8, 4, 2);
+    run_kernel(&a, &w, 128, 8, 4, SimdInstr::Vmpa);
+}
+
+#[test]
+fn vrmpy_matches_reference_exact_panel() {
+    let (a, w) = pseudo(128, 8, 4, 3);
+    run_kernel(&a, &w, 128, 8, 4, SimdInstr::Vrmpy);
+}
+
+#[test]
+fn all_instructions_on_ragged_shapes() {
+    // Shapes exercising every padding path: odd K, odd N, partial panels.
+    let shapes = [(5, 3, 2), (33, 7, 5), (70, 9, 3), (130, 5, 9), (96, 48, 6), (32, 1, 1)];
+    for (i, &(m, k, n)) in shapes.iter().enumerate() {
+        let (a, w) = pseudo(m, k, n, 100 + i as u64);
+        for instr in SimdInstr::ALL {
+            run_kernel(&a, &w, m, k, n, instr);
+        }
+    }
+}
+
+#[test]
+fn multi_panel_shapes() {
+    // More than one panel for each layout (vmpy needs M > 128).
+    let (a, w) = pseudo(200, 6, 3, 42);
+    for instr in SimdInstr::ALL {
+        run_kernel(&a, &w, 200, 6, 3, instr);
+    }
+}
+
+#[test]
+fn identity_weights_pass_through() {
+    // w = 16·I and shift 4 → output equals input (values ≤ 15).
+    let m = 64;
+    let k = 8;
+    let (a, _) = pseudo(m, k, k, 7);
+    let mut w = vec![0i8; k * k];
+    for i in 0..k {
+        w[i * k + i] = 16;
+    }
+    for instr in SimdInstr::ALL {
+        let a_m = MatrixU8::from_row_major(m, k, instr.layout(), &a);
+        let w_m = MatrixI8::from_row_major(k, k, &w);
+        let expect = matmul_ref(&a_m, &w_m, 4);
+        for r in 0..m {
+            for c in 0..k {
+                assert_eq!(expect[r][c], a[r * k + c], "reference sanity");
+            }
+        }
+        run_kernel(&a, &w, m, k, k, instr);
+    }
+}
+
+/// Full convolution on the simulated DSP: im2col (host side) + the SIMD
+/// matmul kernel must match the direct scalar convolution, for every
+/// instruction/layout pair.
+#[test]
+fn convolution_via_simd_matmul_matches_direct_reference() {
+    use gcd2_kernels::{conv_ref_chw, conv_weights_as_gemm, im2col_chw};
+
+    let (c, h, w_dim, out_c) = (2usize, 8usize, 7usize, 3usize);
+    let kernel = (3, 3);
+    let stride = (1, 1);
+    let padding = (1, 1);
+    let shift = 5u8;
+    // Bounded so the 16-bit accumulation paths stay exact (K = 18).
+    let input: Vec<u8> = (0..c * h * w_dim).map(|i| (i * 5 % 16) as u8).collect();
+    let weights: Vec<i8> = (0..out_c * c * 9).map(|i| ((i * 7 % 15) as i8) - 7).collect();
+    let expect = conv_ref_chw(&input, &weights, c, h, w_dim, out_c, kernel, stride, padding, shift);
+
+    for instr in SimdInstr::ALL {
+        let a = im2col_chw(&input, c, h, w_dim, kernel, stride, padding, instr.layout());
+        let wm = conv_weights_as_gemm(&weights, c, out_c, kernel);
+        let gemm = GemmDims::new(a.rows(), a.cols(), out_c);
+
+        let addr_out = a.padded_len().div_ceil(128) * 128;
+        let out_len = output_matrix_len(&gemm, instr);
+        let prog = functional_program(&a, &wm, instr, shift, 0, addr_out as i64);
+        let mut machine = Machine::new(addr_out + out_len);
+        machine.mem[..a.padded_len()].copy_from_slice(a.as_bytes());
+        machine.run(&prog);
+        let got = MatrixU8::from_raw(
+            a.rows(),
+            out_c,
+            instr.layout(),
+            machine.mem[addr_out..addr_out + out_len].to_vec(),
+        );
+        for oc in 0..out_c {
+            for o in 0..h * w_dim {
+                assert_eq!(
+                    got.get(o, oc),
+                    expect[oc * h * w_dim + o],
+                    "{instr} oc={oc} o={o}"
+                );
+            }
+        }
+    }
+}
+
+/// The functional elementwise programs agree with the scalar references
+/// over ragged lengths and shifts.
+#[test]
+fn elementwise_programs_match_references() {
+    use gcd2_kernels::elementwise::functional::{add_program, mul_program, relu_program};
+    use gcd2_kernels::{add_ref, mul_ref};
+    use gcd2_hvx::SReg;
+
+    for elems in [1usize, 100, 128, 300, 1024] {
+        let padded = elems.div_ceil(128) * 128;
+        let a: Vec<u8> = (0..elems).map(|i| (i % 200) as u8).collect();
+        let b: Vec<u8> = (0..elems).map(|i| (i * 3 % 55) as u8).collect();
+        let setup = |m: &mut Machine| {
+            m.mem[..elems].copy_from_slice(&a);
+            m.mem[padded..padded + elems].copy_from_slice(&b);
+            m.set_sreg(SReg::new(0), 0);
+            m.set_sreg(SReg::new(1), padded as i64);
+            m.set_sreg(SReg::new(2), 2 * padded as i64);
+        };
+
+        // Add.
+        let mut m = Machine::new(3 * padded);
+        setup(&mut m);
+        m.run(&add_program(elems, 1));
+        assert_eq!(&m.mem[2 * padded..2 * padded + elems], &add_ref(&a, &b, 1)[..], "add {elems}");
+
+        // Mul.
+        let mut m = Machine::new(3 * padded);
+        setup(&mut m);
+        m.run(&mul_program(elems, 4));
+        assert_eq!(&m.mem[2 * padded..2 * padded + elems], &mul_ref(&a, &b, 4)[..], "mul {elems}");
+
+        // Relu-style floor clamp (signed max on bytes).
+        let mut m = Machine::new(3 * padded);
+        setup(&mut m);
+        m.run(&relu_program(elems, 3));
+        let expect: Vec<u8> = a
+            .iter()
+            .map(|&x| {
+                // Vmax is signed on bytes: values >= 128 are negative.
+                if (x as i8) < 3 { 3 } else { x }
+            })
+            .collect();
+        assert_eq!(&m.mem[2 * padded..2 * padded + elems], &expect[..], "relu {elems}");
+    }
+}

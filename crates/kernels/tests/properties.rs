@@ -1,0 +1,80 @@
+//! Property tests on the kernel generators and cost model.
+
+use gcd2_cgraph::GemmDims;
+use gcd2_hvx::ResourceModel;
+use gcd2_kernels::{
+    adaptive_unroll, gemm_loops, timing_blocks, CostModel, SimdInstr, UnrollConfig,
+};
+use gcd2_vliw::Packer;
+use proptest::prelude::*;
+
+fn arb_gemm() -> impl Strategy<Value = GemmDims> {
+    (1usize..600, 1usize..300, 1usize..200).prop_map(|(m, k, n)| GemmDims::new(m, k, n))
+}
+
+fn arb_instr() -> impl Strategy<Value = SimdInstr> {
+    prop_oneof![Just(SimdInstr::Vmpy), Just(SimdInstr::Vmpa), Just(SimdInstr::Vrmpy)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The iteration space covers at least the padded GEMM volume:
+    /// multiplies per body × body trips × MACs per multiply ≥ M·K·N.
+    #[test]
+    fn iteration_space_covers_the_gemm(gemm in arb_gemm(), instr in arb_instr()) {
+        let unroll = UnrollConfig::new(2, 2);
+        let loops = gemm_loops(&gemm, instr, unroll);
+        let macs_per_insn = 128u64;
+        let mpy_per_body = (unroll.n_unroll * unroll.k_unroll) as u64;
+        let covered = loops.body_trips * mpy_per_body * macs_per_insn;
+        prop_assert!(covered >= gemm.macs(), "covered {covered} < {}", gemm.macs());
+        // And not absurdly more than the padded volume.
+        let layout = instr.layout();
+        let padded = layout.padded_rows(gemm.m) as u64
+            * layout.padded_cols(gemm.k) as u64
+            * gemm.n.div_ceil(unroll.n_unroll) as u64
+            * unroll.n_unroll as u64;
+        prop_assert!(covered <= padded * 4, "covered {covered} vs padded {padded}");
+    }
+
+    /// Every generated kernel block packs into legal packets.
+    #[test]
+    fn kernel_blocks_pack_legally(gemm in arb_gemm(), instr in arb_instr(), n_u in 1usize..9, k_u in 1usize..9) {
+        let packer = Packer::new();
+        let model = ResourceModel::default();
+        for block in timing_blocks(&gemm, instr, UnrollConfig::new(n_u, k_u)) {
+            let packed = packer.pack_block(&block);
+            prop_assert!(packed.is_legal(&model), "illegal schedule for {}", block.label);
+            prop_assert_eq!(packed.insn_count(), block.len());
+        }
+    }
+
+    /// Cost is monotone in the GEMM volume along each axis.
+    #[test]
+    fn cost_monotone_in_volume(gemm in arb_gemm(), instr in arb_instr()) {
+        let m = CostModel::new();
+        let unroll = UnrollConfig::NONE;
+        let base = m.gemm_cycles(&gemm, instr, unroll);
+        let bigger_m = GemmDims::new(gemm.m * 2, gemm.k, gemm.n);
+        let bigger_k = GemmDims::new(gemm.m, gemm.k * 2, gemm.n);
+        let bigger_n = GemmDims::new(gemm.m, gemm.k, gemm.n * 2);
+        prop_assert!(m.gemm_cycles(&bigger_m, instr, unroll) >= base);
+        prop_assert!(m.gemm_cycles(&bigger_k, instr, unroll) >= base);
+        prop_assert!(m.gemm_cycles(&bigger_n, instr, unroll) >= base);
+    }
+
+    /// The adaptive unroll never spills and never loses to no-unrolling
+    /// by more than the loop-edge waste bound.
+    #[test]
+    fn adaptive_unroll_is_safe(gemm in arb_gemm(), instr in arb_instr()) {
+        let cfg = adaptive_unroll(&gemm, instr);
+        prop_assert_eq!(cfg.spill_count(instr), 0);
+        let m = CostModel::new();
+        let adaptive = m.gemm_cycles(&gemm, instr, cfg);
+        let none = m.gemm_cycles(&gemm, instr, UnrollConfig::NONE);
+        // Unrolling can waste edge iterations on tiny shapes but must
+        // never blow up.
+        prop_assert!(adaptive as f64 <= none as f64 * 1.6, "adaptive {adaptive} vs none {none}");
+    }
+}

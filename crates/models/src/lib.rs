@@ -1,0 +1,23 @@
+//! # gcd2-models — the ten Table IV evaluation workloads
+//!
+//! Structurally faithful builders for the DNNs GCD2 is evaluated on:
+//! operator sequences, shapes, and channel plans follow the published
+//! architectures so that MAC, parameter, and operator counts land on the
+//! paper's Table IV numbers. Trained weights are not materialized —
+//! inference latency depends only on graph structure (see DESIGN.md).
+//!
+//! ```
+//! use gcd2_models::ModelId;
+//!
+//! let resnet = ModelId::ResNet50.build();
+//! let macs = resnet.total_macs() as f64;
+//! assert!((3.3e9..5.0e9).contains(&macs));
+//! ```
+
+pub mod catalog;
+pub mod cnn;
+pub mod detect;
+pub mod gan;
+pub mod transformer;
+
+pub use catalog::{ModelId, ModelRef};

@@ -1,0 +1,151 @@
+//! Transformer workloads: TinyBERT (NLP) and Conformer (speech
+//! recognition) — the two models GCD2 runs on a mobile DSP "for the
+//! first time" (they need `MatMul` variants and `Pow`, unsupported by
+//! the TFLite/SNPE DSP delegates).
+
+use gcd2_cgraph::{Graph, NodeId, OpKind, TShape};
+
+/// A dense layer as it appears in the quantized graph: matmul followed
+/// by a bias addition against a constant.
+fn linear(g: &mut Graph, x: NodeId, n: usize, name: &str) -> NodeId {
+    let m = g.add(OpKind::MatMul { n }, &[x], format!("{name}.matmul"));
+    let shape = g.node(m).shape.clone();
+    let bias = g.constant(format!("{name}.bias"), shape);
+    g.add(OpKind::Add, &[m, bias], format!("{name}.bias_add"))
+}
+
+/// Multi-head self-attention over a `[seq, d]` activation, with the
+/// per-head reshape/transpose plumbing of the exported graph.
+fn attention(g: &mut Graph, x: NodeId, d: usize, heads: usize, name: &str) -> NodeId {
+    let seq = g.node(x).shape.dim(0);
+    let q = linear(g, x, d, &format!("{name}.q"));
+    let k = linear(g, x, d, &format!("{name}.k"));
+    let v = linear(g, x, d, &format!("{name}.v"));
+    let head_shape = TShape::new(vec![heads, seq, d / heads]);
+    let qh = g.add(OpKind::Reshape { shape: head_shape.clone() }, &[q], format!("{name}.q_heads"));
+    let kh = g.add(OpKind::Reshape { shape: head_shape.clone() }, &[k], format!("{name}.k_heads"));
+    let vh = g.add(OpKind::Reshape { shape: head_shape }, &[v], format!("{name}.v_heads"));
+    let kt = g.add(OpKind::Transpose, &[kh], format!("{name}.kT"));
+    // scores = q · k^T (seq × seq per head), scaled (Pow implements the
+    // 1/sqrt(d_k) scaling in the quantized graph), softmaxed, applied to v.
+    let scores = g.add(OpKind::BatchMatMul { n: seq }, &[qh, kt], format!("{name}.scores"));
+    let scaled = g.add(OpKind::Pow, &[scores], format!("{name}.scale"));
+    let probs = g.add(OpKind::Softmax, &[scaled], format!("{name}.softmax"));
+    let ctx = g.add(OpKind::BatchMatMul { n: d / heads }, &[probs, vh], format!("{name}.context"));
+    let merged = g.add(
+        OpKind::Reshape { shape: TShape::new(vec![seq, d]) },
+        &[ctx],
+        format!("{name}.merge_heads"),
+    );
+    linear(g, merged, d, &format!("{name}.out"))
+}
+
+fn layer_norm_add(g: &mut Graph, x: NodeId, residual: NodeId, name: &str) -> NodeId {
+    let sum = g.add(OpKind::Add, &[x, residual], format!("{name}.add"));
+    g.add(OpKind::LayerNorm, &[sum], format!("{name}.ln"))
+}
+
+fn ffn(g: &mut Graph, x: NodeId, d: usize, hidden: usize, name: &str) -> NodeId {
+    let h = linear(g, x, hidden, &format!("{name}.fc1"));
+    let a = g.add(OpKind::Gelu, &[h], format!("{name}.gelu"));
+    linear(g, a, d, &format!("{name}.fc2"))
+}
+
+/// TinyBERT (6 layers, hidden 312, FFN 1200, sequence 128):
+/// 1.4 GMACs, 211 operators (Table IV).
+pub fn tinybert() -> Graph {
+    let (layers, d, hidden, seq) = (6, 312, 1200, 128);
+    let mut g = Graph::new();
+    let ids = g.input("token_embeddings", TShape::new(vec![seq, d]));
+    let mut cur = g.add(OpKind::LayerNorm, &[ids], "embed.ln");
+    for l in 0..layers {
+        let name = format!("layer{l}");
+        let att = attention(&mut g, cur, d, 12, &format!("{name}.attn"));
+        let x1 = layer_norm_add(&mut g, att, cur, &format!("{name}.post_attn"));
+        let ff = ffn(&mut g, x1, d, hidden, &format!("{name}.ffn"));
+        cur = layer_norm_add(&mut g, ff, x1, &format!("{name}.post_ffn"));
+    }
+    let pooled = linear(&mut g, cur, d, "pooler");
+    g.add(OpKind::Gelu, &[pooled], "pooler.act");
+    g
+}
+
+/// One Conformer block: macaron FFN, attention, convolution module, FFN.
+fn conformer_block(g: &mut Graph, x: NodeId, d: usize, seq: usize, name: &str) -> NodeId {
+    // Half-step FFN (macaron).
+    let f1 = ffn(g, x, d, 4 * d, &format!("{name}.ffn1"));
+    let x1 = layer_norm_add(g, f1, x, &format!("{name}.post_ffn1"));
+    // Self-attention.
+    let att = attention(g, x1, d, 4, &format!("{name}.attn"));
+    let x2 = layer_norm_add(g, att, x1, &format!("{name}.post_attn"));
+    // Convolution module: pointwise (gated), depthwise, pointwise.
+    let pw1 = linear(g, x2, 2 * d, &format!("{name}.conv.pw1"));
+    let gate = g.add(OpKind::Sigmoid, &[pw1], format!("{name}.conv.glu_gate"));
+    let glu = g.add(OpKind::Mul, &[pw1, gate], format!("{name}.conv.glu"));
+    // Reshape [seq, 2d] to a feature map for the depthwise conv.
+    let as_map = g.add(
+        OpKind::Reshape { shape: TShape::nchw(1, 2 * d, 1, seq) },
+        &[glu],
+        format!("{name}.conv.to_map"),
+    );
+    let dw = g.add(
+        OpKind::DepthwiseConv2d { kernel: (1, 15), stride: (1, 1), padding: (0, 7) },
+        &[as_map],
+        format!("{name}.conv.dw"),
+    );
+    let back = g.add(
+        OpKind::Reshape { shape: TShape::new(vec![seq, 2 * d]) },
+        &[dw],
+        format!("{name}.conv.from_map"),
+    );
+    let pw2 = linear(g, back, d, &format!("{name}.conv.pw2"));
+    let x3 = layer_norm_add(g, pw2, x2, &format!("{name}.post_conv"));
+    // Second half-step FFN.
+    let f2 = ffn(g, x3, d, 4 * d, &format!("{name}.ffn2"));
+    layer_norm_add(g, f2, x3, &format!("{name}.post_ffn2"))
+}
+
+/// Conformer (16 blocks, d = 160, sequence 500): 5.6 GMACs, 675
+/// operators (Table IV).
+pub fn conformer() -> Graph {
+    let (blocks, d, seq) = (12, 160, 500);
+    let mut g = Graph::new();
+    let x = g.input("features", TShape::new(vec![seq, d]));
+    let mut cur = g.add(OpKind::MatMul { n: d }, &[x], "subsample.proj");
+    for b in 0..blocks {
+        cur = conformer_block(&mut g, cur, d, seq, &format!("block{b}"));
+    }
+    g.add(OpKind::MatMul { n: 1000 }, &[cur], "ctc_head");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tinybert_matches_paper_scale() {
+        let g = tinybert();
+        let macs = g.total_macs() as f64;
+        assert!((0.7e9..2.2e9).contains(&macs), "TinyBERT MACs {macs:.3e}");
+        assert!((120..300).contains(&g.op_count()), "ops {}", g.op_count());
+    }
+
+    #[test]
+    fn conformer_matches_paper_scale() {
+        let g = conformer();
+        let macs = g.total_macs() as f64;
+        assert!((3e9..9e9).contains(&macs), "Conformer MACs {macs:.3e}");
+        assert!((450..900).contains(&g.op_count()), "ops {}", g.op_count());
+    }
+
+    #[test]
+    fn transformers_use_pow_and_matmul_variants() {
+        // The operators TFLite/SNPE's DSP delegates lack — the reason
+        // GCD2 runs these models "for the first time".
+        for g in [tinybert(), conformer()] {
+            assert!(g.nodes().iter().any(|n| n.kind == OpKind::Pow));
+            assert!(g.nodes().iter().any(|n| matches!(n.kind, OpKind::BatchMatMul { .. })));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Every model in the catalog survives a text serialization round trip.
+
+use gcd2_cgraph::{from_text, to_text};
+use gcd2_models::ModelId;
+
+#[test]
+fn all_models_round_trip_through_text() {
+    for id in ModelId::ALL {
+        let g = id.build();
+        let text = to_text(&g);
+        let back = from_text(&text).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(back.len(), g.len(), "{id}: node count");
+        assert_eq!(back.op_count(), g.op_count(), "{id}: op count");
+        assert_eq!(back.total_macs(), g.total_macs(), "{id}: MACs");
+        assert_eq!(back.edges(), g.edges(), "{id}: edges");
+        for (a, b) in g.nodes().iter().zip(back.nodes()) {
+            assert_eq!(a.kind, b.kind, "{id}: node {} kind", a.name);
+            assert_eq!(a.shape, b.shape, "{id}: node {} shape", a.name);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Quantization calibration — the paper's second future-work item
+//! ("design and integrate a more advanced (or customized) Quantization
+//! approach").
+//!
+//! The evaluation uses standard TFLite post-training quantization; this
+//! module implements that baseline plus two refinements:
+//!
+//! * [`CalibrationMethod::MinMax`] — the TFLite default: the range is
+//!   the observed min/max;
+//! * [`CalibrationMethod::MovingAverage`] — exponentially smoothed
+//!   ranges, robust to single-batch outliers;
+//! * [`CalibrationMethod::Percentile`] — clips the top/bottom tail,
+//!   trading saturation of outliers for finer resolution of the bulk.
+
+use crate::quant::QuantParams;
+
+/// How observed activations map to a quantization range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CalibrationMethod {
+    /// Exact observed min/max (TFLite post-training default).
+    MinMax,
+    /// Exponential moving average of per-batch min/max with the given
+    /// smoothing factor in `(0, 1]`.
+    MovingAverage(f32),
+    /// Clip to the given two-sided percentile in `(0.5, 1.0]`
+    /// (e.g. 0.999 keeps 99.9% of mass in range).
+    Percentile(f64),
+}
+
+/// Accumulates value statistics for one tensor across calibration
+/// batches and produces [`QuantParams`].
+#[derive(Debug, Clone)]
+pub struct Observer {
+    method: CalibrationMethod,
+    running_min: f32,
+    running_max: f32,
+    batches: usize,
+    /// Reservoir of samples for percentile estimation.
+    samples: Vec<f32>,
+}
+
+/// Maximum reservoir size for percentile calibration.
+const MAX_SAMPLES: usize = 1 << 16;
+
+impl Observer {
+    /// Creates an observer.
+    pub fn new(method: CalibrationMethod) -> Self {
+        if let CalibrationMethod::MovingAverage(alpha) = method {
+            assert!(alpha > 0.0 && alpha <= 1.0, "smoothing factor must be in (0, 1]");
+        }
+        if let CalibrationMethod::Percentile(p) = method {
+            assert!(p > 0.5 && p <= 1.0, "percentile must be in (0.5, 1.0]");
+        }
+        Observer {
+            method,
+            running_min: f32::INFINITY,
+            running_max: f32::NEG_INFINITY,
+            batches: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Feeds one batch of real-valued activations.
+    ///
+    /// # Panics
+    /// Panics if the batch is empty.
+    pub fn observe(&mut self, batch: &[f32]) {
+        assert!(!batch.is_empty(), "empty calibration batch");
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &x in batch {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        match self.method {
+            CalibrationMethod::MinMax => {
+                self.running_min = self.running_min.min(lo);
+                self.running_max = self.running_max.max(hi);
+            }
+            CalibrationMethod::MovingAverage(alpha) => {
+                if self.batches == 0 {
+                    self.running_min = lo;
+                    self.running_max = hi;
+                } else {
+                    self.running_min = (1.0 - alpha) * self.running_min + alpha * lo;
+                    self.running_max = (1.0 - alpha) * self.running_max + alpha * hi;
+                }
+            }
+            CalibrationMethod::Percentile(_) => {
+                // Deterministic stride-based reservoir.
+                let room = MAX_SAMPLES.saturating_sub(self.samples.len());
+                if room > 0 {
+                    let stride = batch.len().div_ceil(room).max(1);
+                    self.samples.extend(batch.iter().step_by(stride).copied());
+                }
+                self.running_min = self.running_min.min(lo);
+                self.running_max = self.running_max.max(hi);
+            }
+        }
+        self.batches += 1;
+    }
+
+    /// Number of batches observed.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Produces quantization parameters from the observed statistics.
+    ///
+    /// # Panics
+    /// Panics if no batch was observed.
+    pub fn finish(&self) -> QuantParams {
+        assert!(self.batches > 0, "observer saw no data");
+        let (lo, hi) = match self.method {
+            CalibrationMethod::Percentile(p) => {
+                let mut s = self.samples.clone();
+                s.sort_by(f32::total_cmp);
+                let n = s.len();
+                let cut = (((1.0 - p) * n as f64) as usize).min(n.saturating_sub(1) / 2);
+                (s[cut], s[n - 1 - cut])
+            }
+            _ => (self.running_min, self.running_max),
+        };
+        // Always include zero so that zero-padding quantizes exactly.
+        let lo = lo.min(0.0);
+        let hi = hi.max(lo + f32::EPSILON).max(0.0 + f32::EPSILON);
+        QuantParams::from_range(lo, hi)
+    }
+}
+
+/// Quantizes a float weight tensor symmetrically to i8, returning the
+/// bytes and the scale (`real = scale * q`).
+///
+/// # Panics
+/// Panics if `weights` is empty.
+pub fn quantize_weights_symmetric(weights: &[f32]) -> (Vec<i8>, f32) {
+    assert!(!weights.is_empty(), "empty weight tensor");
+    let max_abs = weights.iter().fold(0f32, |m, &x| m.max(x.abs())).max(f32::EPSILON);
+    let scale = max_abs / 127.0;
+    let q = weights.iter().map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
+    (q, scale)
+}
+
+/// Mean squared quantization error of `params` over `data` — the metric
+/// for comparing calibration methods.
+pub fn quantization_mse(params: &QuantParams, data: &[f32]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter()
+        .map(|&x| {
+            let err = params.dequantize(params.quantize(x)) - x;
+            (err as f64) * (err as f64)
+        })
+        .sum::<f64>()
+        / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_ish(n: usize, outliers: usize) -> Vec<f32> {
+        // Deterministic bulk in [-1, 1] plus a few large outliers.
+        let mut v: Vec<f32> = (0..n)
+            .map(|i| {
+                let t = i as f32 / n as f32 * std::f32::consts::TAU;
+                t.sin() * 0.8
+            })
+            .collect();
+        for k in 0..outliers {
+            v.push(20.0 + k as f32);
+        }
+        v
+    }
+
+    #[test]
+    fn minmax_covers_everything() {
+        let data = gaussian_ish(1000, 2);
+        let mut obs = Observer::new(CalibrationMethod::MinMax);
+        obs.observe(&data);
+        let q = obs.finish();
+        // The outlier is representable...
+        assert!((q.dequantize(q.quantize(21.0)) - 21.0).abs() < q.scale);
+        // ...at the cost of a coarse step.
+        assert!(q.scale > 0.05);
+    }
+
+    #[test]
+    fn percentile_beats_minmax_on_outliers() {
+        let data = gaussian_ish(4000, 4);
+        let mut mm = Observer::new(CalibrationMethod::MinMax);
+        let mut pc = Observer::new(CalibrationMethod::Percentile(0.995));
+        mm.observe(&data);
+        pc.observe(&data);
+        // Evaluate on the bulk (what accuracy depends on).
+        let bulk = gaussian_ish(4000, 0);
+        let mse_mm = quantization_mse(&mm.finish(), &bulk);
+        let mse_pc = quantization_mse(&pc.finish(), &bulk);
+        assert!(
+            mse_pc < mse_mm / 4.0,
+            "percentile {mse_pc:.3e} vs minmax {mse_mm:.3e}"
+        );
+    }
+
+    #[test]
+    fn moving_average_smooths_spiky_batches() {
+        let mut ma = Observer::new(CalibrationMethod::MovingAverage(0.1));
+        for b in 0..20 {
+            let spike = if b == 3 { 50.0 } else { 1.0 };
+            ma.observe(&[-spike, 0.0, spike]);
+        }
+        let q = ma.finish();
+        // The single spike batch decays; range stays near the bulk.
+        assert!(q.scale < 50.0 / 255.0, "scale {}", q.scale);
+    }
+
+    #[test]
+    fn zero_is_exact() {
+        for method in [
+            CalibrationMethod::MinMax,
+            CalibrationMethod::MovingAverage(0.3),
+            CalibrationMethod::Percentile(0.99),
+        ] {
+            let mut obs = Observer::new(method);
+            obs.observe(&[0.5, 1.5, 2.5]);
+            let q = obs.finish();
+            assert_eq!(q.dequantize(q.quantize(0.0)), 0.0, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn symmetric_weight_quantization_round_trips() {
+        let w: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) / 10.0).collect();
+        let (q, scale) = quantize_weights_symmetric(&w);
+        for (orig, &qi) in w.iter().zip(&q) {
+            let back = qi as f32 * scale;
+            assert!((back - orig).abs() <= scale / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn finish_without_data_panics() {
+        Observer::new(CalibrationMethod::MinMax).finish();
+    }
+}

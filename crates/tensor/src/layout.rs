@@ -1,0 +1,196 @@
+//! The dense matrix layouts of the paper's Figure 2.
+//!
+//! Each of the DSP's widening multiply instructions wants its operand
+//! matrix stored differently:
+//!
+//! * [`Layout::Col1`] — "1-column layout" (Figure 2a, for `vmpy`):
+//!   128-row panels stored column-major; one vector load grabs 128 rows
+//!   of a single column.
+//! * [`Layout::Col2`] — "2-column layout" (Figure 2b, for `vmpa`):
+//!   64-row panels with values for 2 adjacent columns interleaved; one
+//!   vector load grabs 64 rows × 2 columns.
+//! * [`Layout::Col4`] — "4-column layout" (Figure 2c, for `vrmpy`):
+//!   32-row panels with 4 adjacent column values per row; one vector load
+//!   grabs 32 rows × 4 columns.
+//! * [`Layout::RowMajor`] — the framework-neutral interchange layout.
+//!
+//! A layout pads the matrix to its panel height and column group, which
+//! is exactly the space overhead Table II reports.
+
+use std::fmt;
+
+/// A dense matrix storage layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layout {
+    /// Plain row-major storage, no padding.
+    RowMajor,
+    /// 1-column layout: 128-row panels, column-major within a panel.
+    Col1,
+    /// 2-column layout: 64-row panels, 2 adjacent columns interleaved.
+    Col2,
+    /// 4-column layout: 32-row panels, 4 adjacent columns per row.
+    Col4,
+}
+
+impl Layout {
+    /// All layouts, in a stable order.
+    pub const ALL: [Layout; 4] = [Layout::RowMajor, Layout::Col1, Layout::Col2, Layout::Col4];
+
+    /// Panel height in rows (vector loads span one panel).
+    pub fn panel_rows(self) -> usize {
+        match self {
+            Layout::RowMajor => 1,
+            Layout::Col1 => 128,
+            Layout::Col2 => 64,
+            Layout::Col4 => 32,
+        }
+    }
+
+    /// Number of adjacent columns stored together.
+    pub fn col_group(self) -> usize {
+        match self {
+            Layout::RowMajor => 1,
+            Layout::Col1 => 1,
+            Layout::Col2 => 2,
+            Layout::Col4 => 4,
+        }
+    }
+
+    /// Rows after padding to the panel height.
+    pub fn padded_rows(self, rows: usize) -> usize {
+        let p = self.panel_rows();
+        rows.div_ceil(p) * p
+    }
+
+    /// Columns after padding to the column group.
+    pub fn padded_cols(self, cols: usize) -> usize {
+        let g = self.col_group();
+        cols.div_ceil(g) * g
+    }
+
+    /// Total bytes a `rows × cols` u8 matrix occupies in this layout.
+    pub fn padded_len(self, rows: usize, cols: usize) -> usize {
+        if self == Layout::RowMajor {
+            rows * cols
+        } else {
+            self.padded_rows(rows) * self.padded_cols(cols)
+        }
+    }
+
+    /// Linear byte offset of element `(r, c)` in a `rows × cols` matrix.
+    ///
+    /// ```
+    /// use gcd2_tensor::Layout;
+    /// // Figure 2 (a): the 1-column layout stores 128-row panels
+    /// // column-major, so (1, 0) follows (0, 0) and column 1 starts at
+    /// // offset 128.
+    /// assert_eq!(Layout::Col1.offset(256, 4, 1, 0), 1);
+    /// assert_eq!(Layout::Col1.offset(256, 4, 0, 1), 128);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `(r, c)` is out of bounds.
+    pub fn offset(self, rows: usize, cols: usize, r: usize, c: usize) -> usize {
+        assert!(r < rows && c < cols, "index ({r}, {c}) out of {rows}x{cols}");
+        match self {
+            Layout::RowMajor => r * cols + c,
+            _ => {
+                let p = self.panel_rows();
+                let g = self.col_group();
+                let pc = self.padded_cols(cols);
+                let panel = r / p;
+                let r_in = r % p;
+                (panel * p * pc) + (c / g) * (p * g) + r_in * g + (c % g)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layout::RowMajor => write!(f, "row-major"),
+            Layout::Col1 => write!(f, "1-column"),
+            Layout::Col2 => write!(f, "2-column"),
+            Layout::Col4 => write!(f, "4-column"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2a_offsets() {
+        // 1-column layout on a 256x4 matrix: element (r, c) for r < 128 is
+        // at c*128 + r; the second panel follows.
+        let l = Layout::Col1;
+        assert_eq!(l.offset(256, 4, 0, 0), 0);
+        assert_eq!(l.offset(256, 4, 1, 0), 1);
+        assert_eq!(l.offset(256, 4, 0, 1), 128);
+        assert_eq!(l.offset(256, 4, 127, 3), 3 * 128 + 127);
+        assert_eq!(l.offset(256, 4, 128, 0), 512);
+    }
+
+    #[test]
+    fn figure2b_offsets() {
+        // 2-column layout on a 128x4 matrix, matching the figure's
+        // "0,1 / 2,3 / … / 126,127" then "128,129 …" pattern.
+        let l = Layout::Col2;
+        assert_eq!(l.offset(128, 4, 0, 0), 0);
+        assert_eq!(l.offset(128, 4, 0, 1), 1);
+        assert_eq!(l.offset(128, 4, 1, 0), 2);
+        assert_eq!(l.offset(128, 4, 63, 1), 127);
+        assert_eq!(l.offset(128, 4, 0, 2), 128);
+        assert_eq!(l.offset(128, 4, 0, 3), 129);
+        // Second panel (rows 64..128) starts after the full first panel.
+        assert_eq!(l.offset(128, 4, 64, 0), 256);
+    }
+
+    #[test]
+    fn figure2c_offsets() {
+        // 4-column layout on a 64x8 matrix: "0,1,2,3 / 4,5,6,7" per row.
+        let l = Layout::Col4;
+        assert_eq!(l.offset(64, 8, 0, 0), 0);
+        assert_eq!(l.offset(64, 8, 0, 3), 3);
+        assert_eq!(l.offset(64, 8, 1, 0), 4);
+        assert_eq!(l.offset(64, 8, 31, 3), 127);
+        assert_eq!(l.offset(64, 8, 0, 4), 128);
+        assert_eq!(l.offset(64, 8, 32, 0), 256);
+    }
+
+    #[test]
+    fn padding_matches_table2_pattern() {
+        // M=K=32: Col1 pads rows to 128 (4x), Col2 to 64 (2x), Col4 exact.
+        assert_eq!(Layout::Col1.padded_len(32, 32), 128 * 32);
+        assert_eq!(Layout::Col2.padded_len(32, 32), 64 * 32);
+        assert_eq!(Layout::Col4.padded_len(32, 32), 32 * 32);
+        // M=K=128: all exact.
+        for l in [Layout::Col1, Layout::Col2, Layout::Col4] {
+            assert_eq!(l.padded_len(128, 128), 128 * 128);
+        }
+    }
+
+    #[test]
+    fn offsets_are_unique_and_in_bounds() {
+        for l in Layout::ALL {
+            let (rows, cols) = (70, 6);
+            let len = l.padded_len(rows, cols);
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..rows {
+                for c in 0..cols {
+                    let o = l.offset(rows, cols, r, c);
+                    assert!(o < len, "{l}: offset {o} >= len {len}");
+                    assert!(seen.insert(o), "{l}: duplicate offset {o}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_bounds_panics() {
+        Layout::Col1.offset(10, 10, 10, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # gcd2-tensor — quantized tensors and the paper's matrix layouts
+//!
+//! This crate provides the data-side substrate of the GCD2 reproduction:
+//!
+//! * [`Layout`] — the 1-column / 2-column / 4-column dense matrix formats
+//!   of the paper's Figure 2, each tailored to one widening multiply
+//!   instruction, plus a framework-neutral row-major format;
+//! * [`MatrixU8`] / [`MatrixI8`] — quantized activation and weight
+//!   matrices stored in those layouts;
+//! * [`QuantParams`] — uniform affine (TFLite-style) quantization;
+//! * [`transform`] — the layout-transformation cost model, i.e. the
+//!   `TC(ep_i, ep_j)` edge term of the paper's global optimization
+//!   objective.
+//!
+//! ```
+//! use gcd2_tensor::{Layout, MatrixU8};
+//!
+//! let m = MatrixU8::from_fn(100, 8, Layout::Col2, |r, c| (r + c) as u8);
+//! assert_eq!(m.get(99, 7), 106);
+//! // Padded to 128 rows x 8 cols.
+//! assert_eq!(m.padded_len(), 128 * 8);
+//! // Converting to the vrmpy-friendly layout preserves values.
+//! assert_eq!(m.to_layout(Layout::Col4).get(99, 7), 106);
+//! ```
+
+pub mod calibrate;
+pub mod layout;
+pub mod matrix;
+pub mod quant;
+pub mod transform;
+
+pub use calibrate::{quantization_mse, quantize_weights_symmetric, CalibrationMethod, Observer};
+pub use layout::Layout;
+pub use matrix::{MatrixI8, MatrixU8};
+pub use quant::{requantize_shift, shift_for_max, QuantParams};
+pub use transform::{transform_block, transform_cycles};

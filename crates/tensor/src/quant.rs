@@ -1,0 +1,101 @@
+//! Uniform affine quantization, the int8 scheme the paper inherits from
+//! TFLite post-training quantization ("8-bit integers for weights and
+//! feature maps").
+
+/// Parameters of a uniform affine quantizer: `real = scale * (q - zero_point)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Real-valued step between adjacent quantized levels.
+    pub scale: f32,
+    /// Quantized value representing real zero.
+    pub zero_point: i32,
+}
+
+impl QuantParams {
+    /// Creates parameters covering the real interval `[min, max]` with
+    /// 256 levels.
+    ///
+    /// # Panics
+    /// Panics if `max <= min`.
+    pub fn from_range(min: f32, max: f32) -> Self {
+        assert!(max > min, "empty quantization range");
+        let scale = (max - min) / 255.0;
+        let zero_point = (-min / scale).round().clamp(0.0, 255.0) as i32;
+        QuantParams { scale, zero_point }
+    }
+
+    /// Quantizes a real value to u8.
+    pub fn quantize(&self, x: f32) -> u8 {
+        ((x / self.scale).round() as i32 + self.zero_point).clamp(0, 255) as u8
+    }
+
+    /// Dequantizes a u8 back to a real value.
+    pub fn dequantize(&self, q: u8) -> f32 {
+        self.scale * (q as i32 - self.zero_point) as f32
+    }
+}
+
+impl Default for QuantParams {
+    fn default() -> Self {
+        QuantParams { scale: 1.0, zero_point: 0 }
+    }
+}
+
+/// Requantizes a 32-bit accumulator to u8 by an arithmetic right shift
+/// with saturation — the shape of the DSP's `vasr` narrowing path.
+pub fn requantize_shift(acc: i32, shift: u8) -> u8 {
+    (acc >> shift).clamp(0, 255) as u8
+}
+
+/// The shift that maps the largest expected accumulator magnitude into
+/// u8 range (a simple power-of-two output scale).
+pub fn shift_for_max(max_abs_acc: i32) -> u8 {
+    let mut s = 0u8;
+    let mut m = max_abs_acc.max(1);
+    while m > 255 {
+        m >>= 1;
+        s += 1;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_round_trip_error_bounded() {
+        let q = QuantParams::from_range(-4.0, 4.0);
+        for i in 0..100 {
+            let x = -4.0 + 8.0 * (i as f32) / 99.0;
+            let err = (q.dequantize(q.quantize(x)) - x).abs();
+            assert!(err <= q.scale / 2.0 + 1e-6, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn zero_maps_to_zero_point() {
+        let q = QuantParams::from_range(-1.0, 3.0);
+        assert_eq!(q.quantize(0.0) as i32, q.zero_point);
+    }
+
+    #[test]
+    fn requant_saturates() {
+        assert_eq!(requantize_shift(-5, 0), 0);
+        assert_eq!(requantize_shift(300, 0), 255);
+        assert_eq!(requantize_shift(1024, 2), 255);
+        assert_eq!(requantize_shift(1020, 2), 255);
+        assert_eq!(requantize_shift(1000, 4), 62);
+    }
+
+    #[test]
+    fn shift_covers_range() {
+        for m in [1, 200, 255, 256, 4096, 1 << 20] {
+            let s = shift_for_max(m);
+            assert!((m >> s) <= 255, "m={m} s={s}");
+            if s > 0 {
+                assert!((m >> (s - 1)) > 255);
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The Instruction Dependency Graph (IDG).
+//!
+//! A vertex per instruction of a basic block; an edge per dependence,
+//! labelled hard or soft by the micro-architectural classifier
+//! ([`gcd2_hvx::classify`]). The packing algorithm consumes three derived
+//! quantities per instruction (the attributes of the paper's Equation 4):
+//!
+//! * `order` — distance from the artificial entry vertex (longest path,
+//!   in edges);
+//! * `pred` — number of direct predecessors;
+//! * the **critical path** — the path of maximum accumulated latency,
+//!   recomputed over the unpacked remainder after every packet.
+
+use gcd2_hvx::{classify, DepKind, Insn};
+
+/// One dependence edge `from → to` (`from` precedes `to` in program order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Producer index within the block.
+    pub from: usize,
+    /// Consumer index within the block.
+    pub to: usize,
+    /// Hard or soft, with the soft stall penalty.
+    pub kind: DepKind,
+}
+
+/// The dependency graph of one basic block.
+#[derive(Debug, Clone)]
+pub struct Idg {
+    insns: Vec<Insn>,
+    edges: Vec<DepEdge>,
+    /// Adjacency: outgoing edge indices per instruction.
+    out_edges: Vec<Vec<usize>>,
+    /// Adjacency: incoming edge indices per instruction.
+    in_edges: Vec<Vec<usize>>,
+}
+
+impl Idg {
+    /// Builds the IDG of a straight-line instruction sequence.
+    ///
+    /// Only the *immediate* dependence between every ordered pair is
+    /// recorded (transitive edges are implied); pairs with
+    /// [`DepKind::None`] produce no edge.
+    pub fn build(insns: &[Insn]) -> Self {
+        let n = insns.len();
+        let mut edges = Vec::new();
+        let mut out_edges = vec![Vec::new(); n];
+        let mut in_edges = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let kind = classify(&insns[i], &insns[j]);
+                if kind != DepKind::None {
+                    let e = DepEdge { from: i, to: j, kind };
+                    out_edges[i].push(edges.len());
+                    in_edges[j].push(edges.len());
+                    edges.push(e);
+                }
+            }
+        }
+        Idg { insns: insns.to_vec(), edges, out_edges, in_edges }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True when the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// The instructions, in program order.
+    pub fn insns(&self) -> &[Insn] {
+        &self.insns
+    }
+
+    /// All dependence edges.
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of instruction `i`.
+    pub fn outgoing(&self, i: usize) -> impl Iterator<Item = &DepEdge> {
+        self.out_edges[i].iter().map(move |&e| &self.edges[e])
+    }
+
+    /// Incoming edges of instruction `i`.
+    pub fn incoming(&self, i: usize) -> impl Iterator<Item = &DepEdge> {
+        self.in_edges[i].iter().map(move |&e| &self.edges[e])
+    }
+
+    /// Direct-predecessor count of every instruction (`i.pred`).
+    pub fn pred_counts(&self) -> Vec<u32> {
+        (0..self.len()).map(|i| self.in_edges[i].len() as u32).collect()
+    }
+
+    /// Distance (in edges, longest path) from the artificial entry vertex
+    /// (`i.order`). Instructions with no predecessors have order 1 —
+    /// one hop from the entry.
+    pub fn orders(&self) -> Vec<u32> {
+        let n = self.len();
+        let mut order = vec![1u32; n];
+        // Program order is a topological order.
+        for j in 0..n {
+            for e in self.incoming(j) {
+                order[j] = order[j].max(order[e.from] + 1);
+            }
+        }
+        order
+    }
+
+    /// The critical path — the maximum-accumulated-latency chain —
+    /// restricted to instructions for which `alive(i)` holds. Returns
+    /// instruction indices from first to last; empty if nothing is alive.
+    pub fn critical_path(&self, alive: impl Fn(usize) -> bool) -> Vec<usize> {
+        let n = self.len();
+        // dist[i]: max latency sum of an alive chain ending at i.
+        let mut dist = vec![0u64; n];
+        let mut prev: Vec<Option<usize>> = vec![None; n];
+        let mut best_end: Option<usize> = None;
+        for j in 0..n {
+            if !alive(j) {
+                continue;
+            }
+            dist[j] = self.insns[j].latency() as u64;
+            for e in self.incoming(j) {
+                if alive(e.from) && dist[e.from] + self.insns[j].latency() as u64 > dist[j] {
+                    dist[j] = dist[e.from] + self.insns[j].latency() as u64;
+                    prev[j] = Some(e.from);
+                }
+            }
+            if best_end.is_none_or(|b| dist[j] > dist[b]) {
+                best_end = Some(j);
+            }
+        }
+        let mut path = Vec::new();
+        let mut cur = best_end;
+        while let Some(i) = cur {
+            path.push(i);
+            cur = prev[i];
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcd2_hvx::{Insn, SReg, VPair, VReg};
+
+    fn v(i: u8) -> VReg {
+        VReg::new(i)
+    }
+    fn w(i: u8) -> VPair {
+        VPair::new(i)
+    }
+    fn r(i: u8) -> SReg {
+        SReg::new(i)
+    }
+
+    fn chain_block() -> Vec<Insn> {
+        vec![
+            // 0: load A
+            Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
+            // 1: load B (independent)
+            Insn::VLoad { dst: v(1), base: r(1), offset: 0 },
+            // 2: widen-add (soft on both loads)
+            Insn::VaddUbH { dst: w(4), a: v(0), b: v(1) },
+            // 3: narrow (hard on 2)
+            Insn::VasrHB { dst: v(6), src: w(4), shift: 0 },
+            // 4: store result (soft on 3)
+            Insn::VStore { src: v(6), base: r(2), offset: 0 },
+            // 5: pointer bump (independent of the chain)
+            Insn::AddI { dst: r(0), a: r(0), imm: 128 },
+        ]
+    }
+
+    #[test]
+    fn edges_classified() {
+        let idg = Idg::build(&chain_block());
+        let kinds: Vec<(usize, usize, bool)> = idg
+            .edges()
+            .iter()
+            .map(|e| (e.from, e.to, e.kind.is_hard()))
+            .collect();
+        assert!(kinds.contains(&(0, 2, false)), "load->add soft");
+        assert!(kinds.contains(&(2, 3, true)), "valu->shift hard");
+        assert!(kinds.contains(&(3, 4, false)), "result->store soft");
+        // 5 writes r0 which 0 reads: WAR soft edge.
+        assert!(kinds.contains(&(0, 5, false)));
+    }
+
+    #[test]
+    fn orders_and_preds() {
+        let idg = Idg::build(&chain_block());
+        let order = idg.orders();
+        assert_eq!(order[0], 1);
+        assert_eq!(order[2], 2);
+        assert_eq!(order[3], 3);
+        assert_eq!(order[4], 4);
+        let pred = idg.pred_counts();
+        assert_eq!(pred[2], 2);
+        assert_eq!(pred[0], 0);
+    }
+
+    #[test]
+    fn critical_path_follows_latency() {
+        let idg = Idg::build(&chain_block());
+        let cp = idg.critical_path(|_| true);
+        // The latency-heavy chain is 0 (or 1) -> 2 -> 3 -> 4.
+        assert_eq!(cp.len(), 4);
+        assert_eq!(&cp[1..], &[2, 3, 4]);
+        // Restricting to the tail after "packing" 3 and 4:
+        let cp2 = idg.critical_path(|i| i < 3);
+        assert_eq!(cp2.last(), Some(&2));
+    }
+
+    #[test]
+    fn empty_block() {
+        let idg = Idg::build(&[]);
+        assert!(idg.is_empty());
+        assert!(idg.critical_path(|_| true).is_empty());
+    }
+}

@@ -1,0 +1,504 @@
+//! The Soft-Dependency-Aware (SDA) VLIW packing algorithm — Algorithm 1
+//! of the paper — plus the two ablation variants evaluated in Figure 11.
+//!
+//! The algorithm schedules bottom-up: each new packet is seeded with the
+//! last unpacked instruction of the current critical path, then greedily
+//! filled with *free* instructions — those whose every consumer is
+//! already packed (into a later packet) or reachable only through a soft
+//! edge into the packet under construction. Candidates are ranked by the
+//! paper's Equation 4:
+//!
+//! ```text
+//! i.score = (i.order + i.pred)·w − |hi_lat − i.lat|·(1 − w)  [ − p(i, packet) ]
+//! ```
+//!
+//! where the penalty term `p` charges the stall a soft dependence would
+//! introduce, and is dropped entirely by the `soft_to_none` variant. The
+//! `soft_to_hard` variant instead refuses to pack soft-dependent
+//! instructions together at all.
+
+use crate::idg::Idg;
+use gcd2_hvx::{Block, DepKind, Insn, PackedBlock, Packet, ResourceModel};
+
+/// How the packer treats soft dependencies (the Figure 11 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SoftDepPolicy {
+    /// Full Algorithm 1: soft deps may share a packet, charged by the
+    /// penalty term.
+    #[default]
+    Sda,
+    /// Treat every soft dependency as hard: never pack its endpoints
+    /// together (what Halide/TVM/RAKE's LLVM backend does, per the paper).
+    SoftToHard,
+    /// Treat soft dependencies as no dependency when scoring: pack freely
+    /// and ignore the stalls (lines 27–28 of Algorithm 1 removed).
+    SoftToNone,
+}
+
+/// Weights of the Equation-4 score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreParams {
+    /// Balance between the chain-depth term and the latency-matching
+    /// term (`w` in the paper, "empirically decided").
+    pub w: f64,
+    /// Scale of the soft-dependency stall penalty (`p` in the paper).
+    pub penalty: f64,
+}
+
+impl Default for ScoreParams {
+    fn default() -> Self {
+        ScoreParams { w: 0.7, penalty: 2.0 }
+    }
+}
+
+/// How much longer than the packet's current maximum latency a candidate
+/// may be before it must wait for a packet of its latency peers
+/// (non-overlapping packets make one long straggler in a short packet a
+/// pure loss; see `select_instruction`).
+pub const LATENCY_MISMATCH_CAP: u32 = 64;
+
+/// The VLIW instruction packer.
+#[derive(Debug, Clone, Default)]
+pub struct Packer {
+    model: ResourceModel,
+    policy: SoftDepPolicy,
+    params: ScoreParams,
+}
+
+impl Packer {
+    /// Creates a packer with the default resource model, SDA policy, and
+    /// score parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the soft-dependency policy.
+    pub fn with_policy(mut self, policy: SoftDepPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the score parameters.
+    pub fn with_params(mut self, params: ScoreParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the packet resource model.
+    pub fn with_model(mut self, model: ResourceModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> SoftDepPolicy {
+        self.policy
+    }
+
+    /// Packs a whole block, preserving its trip count and label.
+    pub fn pack_block(&self, block: &Block) -> PackedBlock {
+        PackedBlock {
+            packets: self.pack_insns(&block.insns),
+            trip_count: block.trip_count,
+            label: block.label.clone(),
+        }
+    }
+
+    /// Packs a straight-line instruction sequence into packets
+    /// (Algorithm 1). The returned packets are in issue order and every
+    /// one is legal under the packer's resource model and dependence
+    /// policy.
+    ///
+    /// ```
+    /// use gcd2_hvx::{Insn, SReg};
+    /// use gcd2_vliw::Packer;
+    ///
+    /// // A soft-dependent pair (load feeding an add) shares a packet.
+    /// let packets = Packer::new().pack_insns(&[
+    ///     Insn::Ld { dst: SReg::new(1), base: SReg::new(0), offset: 0 },
+    ///     Insn::Add { dst: SReg::new(2), a: SReg::new(1), b: SReg::new(3) },
+    /// ]);
+    /// assert_eq!(packets.len(), 1);
+    /// assert_eq!(packets[0].cycles(), 4); // the paper's Figure 4 cost
+    /// ```
+    pub fn pack_insns(&self, insns: &[Insn]) -> Vec<Packet> {
+        let n = insns.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let idg = Idg::build(insns);
+        let order = idg.orders();
+        let pred = idg.pred_counts();
+        let mut packed = vec![false; n];
+        let mut remaining = n;
+        // Bottom-up: packets are generated last-first and reversed.
+        let mut rev_packets: Vec<Vec<usize>> = Vec::new();
+
+        while remaining > 0 {
+            let cp = idg.critical_path(|i| !packed[i]);
+            let seed = *cp.last().expect("non-empty remainder has a critical path");
+            let mut cur: Vec<usize> = vec![seed];
+            packed[seed] = true;
+            remaining -= 1;
+
+            while cur.len() < ResourceModel::MAX_SLOTS {
+                let cand = self.select_instruction(&idg, &order, &pred, &packed, &cur, insns);
+                match cand {
+                    Some(i) => {
+                        cur.push(i);
+                        packed[i] = true;
+                        remaining -= 1;
+                    }
+                    None => break,
+                }
+            }
+            cur.sort_unstable(); // program order within the packet
+            rev_packets.push(cur);
+        }
+
+        rev_packets
+            .into_iter()
+            .rev()
+            .map(|ids| Packet::from_insns(ids.into_iter().map(|i| insns[i].clone()).collect()))
+            .collect()
+    }
+
+    /// The `select_instruction` function of Algorithm 1: among all free
+    /// instructions that meet the hardware constraints, return the one
+    /// with the highest score, or `None`.
+    fn select_instruction(
+        &self,
+        idg: &Idg,
+        order: &[u32],
+        pred: &[u32],
+        packed: &[bool],
+        cur: &[usize],
+        insns: &[Insn],
+    ) -> Option<usize> {
+        let cur_insns: Vec<Insn> = cur.iter().map(|&i| insns[i].clone()).collect();
+        let hi_lat = cur_insns.iter().map(Insn::latency).max().unwrap_or(0);
+        let cur_stall = packet_of(cur, insns).stall_cycles();
+        // "If a sufficient number of instructions are available without
+        // any dependencies between them, we prefer to not pack
+        // instructions with soft dependencies together": while many
+        // instructions remain unscheduled, a stall-inducing candidate can
+        // ride an earlier packet for free, so the SDA policy defers it.
+        let remaining = (0..insns.len())
+            .filter(|&i| !packed[i] && !cur.contains(&i))
+            .count();
+        let defer_stalls =
+            self.policy == SoftDepPolicy::Sda && remaining > ResourceModel::MAX_SLOTS;
+
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..insns.len() {
+            if packed[i] || cur.contains(&i) {
+                continue;
+            }
+            // Free check: every consumer is packed, or the edge is a soft
+            // edge into the current packet (disallowed for soft_to_hard).
+            let mut free = true;
+            let mut soft_into_cur = false;
+            for e in idg.outgoing(i) {
+                if packed[e.to] && !cur.contains(&e.to) {
+                    continue; // consumer lives in a later packet
+                }
+                if cur.contains(&e.to) {
+                    let effectively_hard = e.kind.is_hard()
+                        || (self.policy == SoftDepPolicy::SoftToHard && e.kind.is_soft());
+                    if effectively_hard {
+                        free = false;
+                        break;
+                    }
+                    soft_into_cur = true;
+                    continue;
+                }
+                free = false; // consumer not yet packed
+                break;
+            }
+            if !free {
+                continue;
+            }
+            // Hardware resource constraints.
+            if !self.model.admits(&cur_insns, &insns[i]) {
+                continue;
+            }
+            let lat = insns[i].latency();
+            // Latency matching, the second goal of the paper's packing
+            // ("packing instructions with identical or similar latency
+            // together"): never let a long-latency instruction blow up a
+            // short packet — it should seed (or join) a packet of its
+            // peers instead, where another long instruction can overlap
+            // it. Joining a *longer* packet is always free.
+            if !cur.is_empty() && lat > hi_lat + LATENCY_MISMATCH_CAP {
+                continue;
+            }
+            // Equation 4.
+            let mut score = (order[i] + pred[i]) as f64 * self.params.w
+                - (hi_lat as f64 - lat as f64).abs() * (1.0 - self.params.w);
+            if soft_into_cur && self.policy == SoftDepPolicy::Sda {
+                let mut with_i = cur.to_vec();
+                with_i.push(i);
+                with_i.sort_unstable();
+                let stall_delta =
+                    packet_of(&with_i, insns).stall_cycles().saturating_sub(cur_stall);
+                if stall_delta > 0 && defer_stalls {
+                    continue;
+                }
+                score -= self.params.penalty * stall_delta as f64;
+            }
+            if best.is_none_or(|(_, s)| score >= s) {
+                best = Some((i, score));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+fn packet_of(ids: &[usize], insns: &[Insn]) -> Packet {
+    let mut sorted = ids.to_vec();
+    sorted.sort_unstable();
+    Packet::from_insns(sorted.into_iter().map(|i| insns[i].clone()).collect())
+}
+
+/// Convenience: packs with the given policy and default parameters.
+pub fn pack_with_policy(block: &Block, policy: SoftDepPolicy) -> PackedBlock {
+    Packer::new().with_policy(policy).pack_block(block)
+}
+
+/// Extra legality condition for [`SoftDepPolicy::SoftToHard`] schedules:
+/// no two dependent instructions (hard *or* soft) share a packet.
+pub fn no_intra_packet_deps(packed: &PackedBlock) -> bool {
+    packed.packets.iter().all(|p| {
+        let insns = p.insns();
+        for j in 0..insns.len() {
+            for i in 0..j {
+                if gcd2_hvx::classify(&insns[i], &insns[j]) != DepKind::None {
+                    return false;
+                }
+            }
+        }
+        true
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcd2_hvx::{Machine, SReg, VPair, VReg, VBYTES};
+
+    fn v(i: u8) -> VReg {
+        VReg::new(i)
+    }
+    fn w(i: u8) -> VPair {
+        VPair::new(i)
+    }
+    fn r(i: u8) -> SReg {
+        SReg::new(i)
+    }
+
+    /// A Figure-5-flavoured inner loop: R = A + B + C where A, B, C are
+    /// u8 arrays and R is an i16 array.
+    fn add3_block() -> Block {
+        let mut b = Block::with_trip_count("add3", 4);
+        b.extend([
+            Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
+            Insn::VLoad { dst: v(1), base: r(1), offset: 0 },
+            Insn::VLoad { dst: v(2), base: r(2), offset: 0 },
+            Insn::VaddUbH { dst: w(4), a: v(0), b: v(1) },
+            Insn::VaddUbH { dst: w(6), a: v(2), b: v(30) }, // v30 holds zeros
+            Insn::VaddHAcc { dst: v(4), src: v(6) },
+            Insn::VaddHAcc { dst: v(5), src: v(7) },
+            Insn::VStore { src: v(4), base: r(3), offset: 0 },
+            Insn::VStore { src: v(5), base: r(3), offset: VBYTES as i64 },
+            Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
+            Insn::AddI { dst: r(1), a: r(1), imm: VBYTES as i64 },
+            Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 },
+            Insn::AddI { dst: r(3), a: r(3), imm: 2 * VBYTES as i64 },
+        ]);
+        b
+    }
+
+    fn assert_complete(block: &Block, packed: &PackedBlock) {
+        let mut flat: Vec<Insn> = Vec::new();
+        for p in &packed.packets {
+            flat.extend(p.insns().iter().cloned());
+        }
+        assert_eq!(flat.len(), block.insns.len(), "instruction count preserved");
+        let mut a = flat.clone();
+        let mut b = block.insns.clone();
+        let key = |i: &Insn| format!("{i}");
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b, "same multiset of instructions");
+    }
+
+    #[test]
+    fn sda_packs_fewer_packets_than_soft_to_hard() {
+        let block = add3_block();
+        let sda = pack_with_policy(&block, SoftDepPolicy::Sda);
+        let s2h = pack_with_policy(&block, SoftDepPolicy::SoftToHard);
+        assert_complete(&block, &sda);
+        assert_complete(&block, &s2h);
+        assert!(
+            sda.packets.len() < s2h.packets.len(),
+            "SDA {} packets vs soft_to_hard {}",
+            sda.packets.len(),
+            s2h.packets.len()
+        );
+        assert!(sda.is_legal(&ResourceModel::default()));
+        assert!(s2h.is_legal(&ResourceModel::default()));
+        assert!(no_intra_packet_deps(&s2h));
+    }
+
+    #[test]
+    fn sda_beats_both_variants_on_cycles() {
+        let block = add3_block();
+        let sda = pack_with_policy(&block, SoftDepPolicy::Sda).body_cycles();
+        let s2h = pack_with_policy(&block, SoftDepPolicy::SoftToHard).body_cycles();
+        let s2n = pack_with_policy(&block, SoftDepPolicy::SoftToNone).body_cycles();
+        assert!(sda < s2h, "soft awareness must win on this block: {sda} vs {s2h}");
+        // Greedy list scheduling is not per-block dominant over
+        // soft_to_none; allow parity-sized noise on this small block.
+        assert!(sda <= s2n + 1, "sda {sda} vs soft_to_none {s2n}");
+    }
+
+    /// The Figure 11 claim is aggregate: over a mixed workload
+    /// (memory-bound adds + multiply-bound kernels), full SDA beats both
+    /// ablations outright.
+    #[test]
+    fn sda_wins_in_aggregate() {
+        let mut blocks = vec![add3_block()];
+        // A multiply-bound body: weight loads soft-feed the multiplies.
+        let mut mb = Block::with_trip_count("mpy", 16);
+        for t in 0..3u8 {
+            mb.push(Insn::Ld { dst: r(4 + t), base: r(1), offset: 8 * t as i64 });
+            mb.push(Insn::Vmpy {
+                dst: w(8 + 2 * t),
+                src: v(0),
+                weights: r(4 + t),
+                acc: true,
+            });
+        }
+        mb.push(Insn::VLoad { dst: v(0), base: r(0), offset: 0 });
+        mb.push(Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 });
+        mb.push(Insn::AddI { dst: r(1), a: r(1), imm: 24 });
+        blocks.push(mb);
+
+        let total = |policy: SoftDepPolicy| -> u64 {
+            blocks
+                .iter()
+                .map(|b| {
+                    let p = pack_with_policy(b, policy);
+                    p.body_cycles() * p.trip_count
+                })
+                .sum()
+        };
+        let sda = total(SoftDepPolicy::Sda);
+        let s2h = total(SoftDepPolicy::SoftToHard);
+        let s2n = total(SoftDepPolicy::SoftToNone);
+        assert!(sda < s2h, "sda {sda} vs soft_to_hard {s2h}");
+        // soft_to_none may tie SDA on stall-free workloads; it must never
+        // be meaningfully better.
+        assert!(
+            sda as f64 <= s2n as f64 * 1.01,
+            "sda {sda} vs soft_to_none {s2n}"
+        );
+    }
+
+    #[test]
+    fn packed_execution_matches_sequential() {
+        let block = add3_block();
+        let elems = 4 * VBYTES;
+        let base_a = 0usize;
+        let base_b = elems;
+        let base_c = 2 * elems;
+        let base_r = 3 * elems;
+        let setup = |m: &mut Machine| {
+            for i in 0..elems {
+                m.mem[base_a + i] = (i % 97) as u8;
+                m.mem[base_b + i] = (i % 89) as u8;
+                m.mem[base_c + i] = (i % 83) as u8;
+            }
+            m.set_sreg(r(0), base_a as i64);
+            m.set_sreg(r(1), base_b as i64);
+            m.set_sreg(r(2), base_c as i64);
+            m.set_sreg(r(3), base_r as i64);
+        };
+        let mut seq = Machine::new(8 * elems);
+        setup(&mut seq);
+        seq.run_block(&PackedBlock::sequential(&block));
+
+        for policy in [SoftDepPolicy::Sda, SoftDepPolicy::SoftToHard, SoftDepPolicy::SoftToNone] {
+            let mut m = Machine::new(8 * elems);
+            setup(&mut m);
+            m.run_block(&pack_with_policy(&block, policy));
+            assert_eq!(m.mem, seq.mem, "{policy:?} schedule changed results");
+        }
+    }
+
+    #[test]
+    fn add3_results_are_correct() {
+        // And the sequential baseline itself computes A + B + C.
+        let block = add3_block();
+        let elems = 4 * VBYTES;
+        let mut m = Machine::new(8 * elems);
+        for i in 0..elems {
+            m.mem[i] = (i % 97) as u8;
+            m.mem[elems + i] = (i % 89) as u8;
+            m.mem[2 * elems + i] = (i % 83) as u8;
+        }
+        m.set_sreg(r(0), 0);
+        m.set_sreg(r(1), elems as i64);
+        m.set_sreg(r(2), 2 * elems as i64);
+        m.set_sreg(r(3), 3 * elems as i64);
+        m.run_block(&Packer::new().pack_block(&block));
+        // Output layout: VaddUbH produces sequential 16-bit lanes; the two
+        // halves are stored consecutively, so lane i of iteration t is at
+        // 3*elems + t*256 + 2*i.
+        for t in 0..4 {
+            for i in 0..VBYTES {
+                let a = ((t * VBYTES + i) % 97) as i16;
+                let b = ((t * VBYTES + i) % 89) as i16;
+                let c = ((t * VBYTES + i) % 83) as i16;
+                let off = 3 * elems + t * 2 * VBYTES + 2 * i;
+                let got = i16::from_le_bytes([m.mem[off], m.mem[off + 1]]);
+                assert_eq!(got, a + b + c, "t={t} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_instruction_block() {
+        let mut b = Block::new("one");
+        b.push(Insn::Nop);
+        let p = Packer::new().pack_block(&b);
+        assert_eq!(p.packets.len(), 1);
+    }
+
+    #[test]
+    fn empty_block() {
+        let b = Block::new("empty");
+        let p = Packer::new().pack_block(&b);
+        assert!(p.packets.is_empty());
+    }
+
+    #[test]
+    fn seed_is_critical_path_tail() {
+        // A long dependent chain plus independent fillers: the chain must
+        // not be broken across unnecessarily many packets.
+        let mut b = Block::new("chain");
+        b.extend([
+            Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
+            Insn::Vmpy { dst: w(2), src: v(0), weights: r(1), acc: false },
+            Insn::VasrHB { dst: v(4), src: w(2), shift: 4 },
+            Insn::VStore { src: v(4), base: r(2), offset: 0 },
+            Insn::AddI { dst: r(0), a: r(0), imm: 128 },
+            Insn::AddI { dst: r(2), a: r(2), imm: 128 },
+        ]);
+        let p = Packer::new().pack_block(&b);
+        assert!(p.is_legal(&ResourceModel::default()));
+        // Hard chain load -> vmpy -> vasr needs >= 3 packets; the bumps
+        // and the store must ride along rather than extend the schedule.
+        assert!(p.packets.len() <= 4, "{}", p.packets.len());
+    }
+}

@@ -1,0 +1,112 @@
+//! The paper's Figure 5 worked example, reproduced as a test: the
+//! pseudo-assembly inner loop of `R = A + B + C` is packed by SDA into
+//! strictly fewer packets than the soft_to_hard variant, the soft
+//! dependencies are classified exactly as the figure's dotted edges, and
+//! the critical path is the load→add→store chain.
+
+use gcd2_hvx::{parse_program, Block, DepKind, Insn, ResourceModel};
+use gcd2_vliw::{pack_with_policy, Idg, Packer, SoftDepPolicy};
+
+/// The Figure 5 block, written in the textual assembly (one instruction
+/// per packet = the unscheduled order).
+const FIG5_ASM: &str = "
+// R = A + B + C inner loop (x1)
+{
+    v0 = vmem(r0+#0)
+}
+{
+    v1 = vmem(r1+#0)
+}
+{
+    v2 = vmem(r2+#0)
+}
+{
+    w2.h = vadd(v0.ub, v1.ub)
+}
+{
+    w3.h = vadd(v2.ub, v30.ub)
+}
+{
+    v4.h += v6.h
+}
+{
+    v5.h += v7.h
+}
+{
+    vmem(r3+#0) = v4
+}
+";
+
+fn fig5_block() -> Block {
+    let program = parse_program(FIG5_ASM).expect("figure 5 assembly parses");
+    let mut block = Block::with_trip_count("fig5", 1);
+    for packet in &program.blocks[0].packets {
+        block.extend(packet.insns().iter().cloned());
+    }
+    assert_eq!(block.len(), 8, "the figure's block has 8 instructions");
+    block
+}
+
+#[test]
+fn dotted_edges_are_soft_solid_edges_are_hard() {
+    let block = fig5_block();
+    let idg = Idg::build(&block.insns);
+    let kind = |from: usize, to: usize| -> Option<DepKind> {
+        idg.edges().iter().find(|e| e.from == from && e.to == to).map(|e| e.kind)
+    };
+    // Loads feed the widening adds through soft (dotted) edges.
+    assert!(kind(0, 3).unwrap().is_soft());
+    assert!(kind(1, 3).unwrap().is_soft());
+    assert!(kind(2, 4).unwrap().is_soft());
+    // The adds feed the accumulations through hard (solid) edges.
+    assert!(kind(3, 5).unwrap().is_hard());
+    assert!(kind(4, 5).unwrap().is_hard());
+    // The accumulated result feeds its store through a soft edge.
+    assert!(kind(5, 7).unwrap().is_soft());
+    // Unrelated loads are independent.
+    assert!(kind(0, 1).is_none());
+}
+
+#[test]
+fn critical_path_is_the_load_add_store_chain() {
+    let block = fig5_block();
+    let idg = Idg::build(&block.insns);
+    let cp = idg.critical_path(|_| true);
+    // load -> vadd -> acc -> store, four hops.
+    assert_eq!(cp.len(), 4);
+    assert_eq!(*cp.last().unwrap(), 7, "ends at the store");
+}
+
+#[test]
+fn sda_needs_fewer_packets_and_cycles_than_soft_to_hard() {
+    let block = fig5_block();
+    let sda = pack_with_policy(&block, SoftDepPolicy::Sda);
+    let s2h = pack_with_policy(&block, SoftDepPolicy::SoftToHard);
+    let model = ResourceModel::default();
+    assert!(sda.is_legal(&model));
+    assert!(s2h.is_legal(&model));
+    // The figure: SDA emits 3 packets, soft_to_hard 5. Our block's exact
+    // counts depend on the resource model; the *relation* is the claim.
+    assert!(
+        sda.packets.len() < s2h.packets.len(),
+        "SDA {} vs soft_to_hard {} packets",
+        sda.packets.len(),
+        s2h.packets.len()
+    );
+    assert!(sda.body_cycles() < s2h.body_cycles());
+    // And SDA's schedule stays within one packet of the figure's 3.
+    assert!(sda.packets.len() <= 4, "{}", sda.packets.len());
+}
+
+#[test]
+fn seeds_follow_the_critical_path() {
+    // The first packet SDA creates (the last in issue order) must be
+    // seeded by the tail of the critical path: the store.
+    let block = fig5_block();
+    let packed = Packer::new().pack_block(&block);
+    let last = packed.packets.last().unwrap();
+    assert!(
+        last.insns().iter().any(|i| matches!(i, Insn::VStore { .. })),
+        "last packet holds the store: {last}"
+    );
+}

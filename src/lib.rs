@@ -1,0 +1,12 @@
+//! Facade crate: re-exports every GCD2 sub-crate for examples and integration tests.
+pub use gcd2 as compiler;
+pub use gcd2_baselines as baselines;
+pub use gcd2_bench as bench;
+pub use gcd2_cgraph as cgraph;
+pub use gcd2_codegen as codegen;
+pub use gcd2_globalopt as globalopt;
+pub use gcd2_hvx as hvx;
+pub use gcd2_kernels as kernels;
+pub use gcd2_models as models;
+pub use gcd2_tensor as tensor;
+pub use gcd2_vliw as vliw;
