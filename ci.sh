@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a change must pass before it lands.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI green."

@@ -136,7 +136,11 @@ pub fn compile_kernel(compiler: KernelCompiler, gemm: &GemmDims) -> KernelResult
         cycles += transform_cycles(gemm.m, gemm.k, Layout::RowMajor, instr.layout());
     }
     let program = model.pack_program(&gcd2_kernels::timing_blocks(gemm, instr, unroll));
-    KernelResult { instr, cycles, packets: program.packets_issued() }
+    KernelResult {
+        instr,
+        cycles,
+        packets: program.packets_issued(),
+    }
 }
 
 #[cfg(test)]
@@ -152,7 +156,11 @@ mod tests {
     fn gcd2_beats_every_baseline_on_the_stem_conv() {
         let g = stem_conv();
         let gcd2 = compile_kernel(KernelCompiler::Gcd2, &g);
-        for c in [KernelCompiler::Halide, KernelCompiler::Tvm, KernelCompiler::Rake] {
+        for c in [
+            KernelCompiler::Halide,
+            KernelCompiler::Tvm,
+            KernelCompiler::Rake,
+        ] {
             let r = compile_kernel(c, &g);
             assert!(
                 gcd2.cycles < r.cycles,

@@ -82,7 +82,12 @@ impl AcceleratorRef {
 /// Table V comparators.
 pub fn table5_accelerators() -> Vec<AcceleratorRef> {
     vec![
-        AcceleratorRef { platform: "EdgeTPU", device: "Edge TPU (int8)", fps: 17.8, power_w: 2.0 },
+        AcceleratorRef {
+            platform: "EdgeTPU",
+            device: "Edge TPU (int8)",
+            fps: 17.8,
+            power_w: 2.0,
+        },
         AcceleratorRef {
             platform: "Jetson Xavier",
             device: "GPU + DLA (fp16)",
@@ -124,7 +129,10 @@ mod tests {
     #[test]
     fn accelerator_fpw_ordering_matches_table5() {
         let accs = table5_accelerators();
-        assert!(accs[0].fpw() < accs[2].fpw(), "Jetson int8 beats EdgeTPU on FPW");
+        assert!(
+            accs[0].fpw() < accs[2].fpw(),
+            "Jetson int8 beats EdgeTPU on FPW"
+        );
         assert!((accs[0].fpw() - 8.9).abs() < 0.1);
         assert!((accs[2].fpw() - 36.7).abs() < 0.1);
     }

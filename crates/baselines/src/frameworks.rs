@@ -27,8 +27,8 @@
 
 use gcd2_cgraph::{fuse_activations, GemmDims, Graph, OpKind};
 use gcd2_globalopt::{matrix_view, op_ew_kind, op_extra_passes};
-use gcd2_kernels::{CostModel, SimdInstr, UnrollConfig};
 use gcd2_hvx::ExecStats;
+use gcd2_kernels::{CostModel, SimdInstr, UnrollConfig};
 use gcd2_tensor::{transform_cycles, Layout};
 use gcd2_vliw::{Packer, SoftDepPolicy};
 
@@ -93,8 +93,7 @@ impl Framework {
         } else {
             graph
         };
-        let model =
-            CostModel::with_packer(Packer::new().with_policy(SoftDepPolicy::SoftToHard));
+        let model = CostModel::with_packer(Packer::new().with_policy(SoftDepPolicy::SoftToHard));
         let mut stats = ExecStats::new();
         let uniform = SimdInstr::Vrmpy; // the Hexagon NN house kernel style
 
@@ -157,12 +156,20 @@ fn d32_inflated_gemm(graph: &Graph, node: &gcd2_cgraph::Node) -> GemmDims {
     let gemm = graph.gemm_dims(node.id).expect("gemm dims");
     let input = &graph.node(node.inputs[0]).shape;
     match &node.kind {
-        OpKind::Conv2d { kernel, out_channels, .. } => GemmDims::new(
+        OpKind::Conv2d {
+            kernel,
+            out_channels,
+            ..
+        } => GemmDims::new(
             gemm.m,
             d32(input.channels()) * kernel.0 * kernel.1,
             d32(*out_channels),
         ),
-        OpKind::ConvTranspose2d { kernel, out_channels, .. } => GemmDims::new(
+        OpKind::ConvTranspose2d {
+            kernel,
+            out_channels,
+            ..
+        } => GemmDims::new(
             gemm.m,
             d32(input.channels()) * kernel.0 * kernel.1 / 4,
             d32(*out_channels),
@@ -224,7 +231,12 @@ mod tests {
         assert!(t.latency_ms() > 0.0);
         // SNPE's graph rewriting and cheaper dispatch make it faster
         // than TFLite on the same model (the Table IV trend).
-        assert!(s.stats.cycles < t.stats.cycles, "snpe {} vs tflite {}", s.stats.cycles, t.stats.cycles);
+        assert!(
+            s.stats.cycles < t.stats.cycles,
+            "snpe {} vs tflite {}",
+            s.stats.cycles,
+            t.stats.cycles
+        );
     }
 
     #[test]

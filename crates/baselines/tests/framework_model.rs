@@ -95,6 +95,10 @@ fn rake_matches_its_published_selections() {
         (GemmDims::new(28 * 28, 1152, 128), SimdInstr::Vrmpy),
     ];
     for (gemm, expect) in cases {
-        assert_eq!(KernelCompiler::Rake.select_instruction(&gemm, &model), expect, "{gemm}");
+        assert_eq!(
+            KernelCompiler::Rake.select_instruction(&gemm, &model),
+            expect,
+            "{gemm}"
+        );
     }
 }

@@ -10,9 +10,11 @@ fn compile_models(c: &mut Criterion) {
     group.sample_size(10);
     for id in [ModelId::ResNet50, ModelId::WdsrB, ModelId::Fst] {
         let graph = id.build();
-        group.bench_with_input(BenchmarkId::from_parameter(id.to_string()), &graph, |b, g| {
-            b.iter(|| std::hint::black_box(Compiler::new().compile(g).cycles()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(id.to_string()),
+            &graph,
+            |b, g| b.iter(|| std::hint::black_box(Compiler::new().compile(g).cycles())),
+        );
     }
     group.finish();
 }

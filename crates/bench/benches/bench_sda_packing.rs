@@ -10,8 +10,12 @@ use gcd2_vliw::{Packer, SoftDepPolicy};
 fn kernel_body() -> Block {
     // The multiply body of a moderately unrolled GEMM kernel — the block
     // shape the packer sees most.
-    timing_blocks(&GemmDims::new(512, 256, 256), SimdInstr::Vmpy, UnrollConfig::new(4, 4))
-        .remove(2)
+    timing_blocks(
+        &GemmDims::new(512, 256, 256),
+        SimdInstr::Vmpy,
+        UnrollConfig::new(4, 4),
+    )
+    .remove(2)
 }
 
 fn packing_speed(c: &mut Criterion) {

@@ -10,14 +10,47 @@ fn simulator_throughput(c: &mut Criterion) {
     let r = SReg::new;
     let mut block = Block::with_trip_count("stream", 64);
     block.extend([
-        Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-        Insn::VLoad { dst: v(1), base: r(0), offset: VBYTES as i64 },
-        Insn::VaddUbH { dst: w(2), a: v(0), b: v(1) },
-        Insn::Vmpy { dst: w(4), src: v(0), weights: r(2), acc: true },
-        Insn::VasrHB { dst: v(6), src: w(4), shift: 4 },
-        Insn::VStore { src: v(6), base: r(1), offset: 0 },
-        Insn::AddI { dst: r(0), a: r(0), imm: 2 * VBYTES as i64 },
-        Insn::AddI { dst: r(1), a: r(1), imm: VBYTES as i64 },
+        Insn::VLoad {
+            dst: v(0),
+            base: r(0),
+            offset: 0,
+        },
+        Insn::VLoad {
+            dst: v(1),
+            base: r(0),
+            offset: VBYTES as i64,
+        },
+        Insn::VaddUbH {
+            dst: w(2),
+            a: v(0),
+            b: v(1),
+        },
+        Insn::Vmpy {
+            dst: w(4),
+            src: v(0),
+            weights: r(2),
+            acc: true,
+        },
+        Insn::VasrHB {
+            dst: v(6),
+            src: w(4),
+            shift: 4,
+        },
+        Insn::VStore {
+            src: v(6),
+            base: r(1),
+            offset: 0,
+        },
+        Insn::AddI {
+            dst: r(0),
+            a: r(0),
+            imm: 2 * VBYTES as i64,
+        },
+        Insn::AddI {
+            dst: r(1),
+            a: r(1),
+            imm: VBYTES as i64,
+        },
     ]);
     let packed = gcd2_vliw::Packer::new().pack_block(&block);
     let packets = packed.packets.len() as u64 * packed.trip_count;

@@ -6,8 +6,21 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table1", "table2", "table3", "table4", "table5", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "fig12", "fig13", "ext_fusion", "ext_scaling", "ext_legacy",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "ext_fusion",
+        "ext_scaling",
+        "ext_legacy",
     ];
     let results_dir = std::path::Path::new("results");
     std::fs::create_dir_all(results_dir).expect("create results/");

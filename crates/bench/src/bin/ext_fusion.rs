@@ -8,7 +8,13 @@ use gcd2_models::ModelId;
 
 fn main() {
     println!("# Extension: DSP-friendly elementwise fusion (paper future work)\n");
-    row(&["Model".into(), "GCD2 (ms)".into(), "+fusion (ms)".into(), "speedup".into(), "ops".into()]);
+    row(&[
+        "Model".into(),
+        "GCD2 (ms)".into(),
+        "+fusion (ms)".into(),
+        "speedup".into(),
+        "ops".into(),
+    ]);
     for id in ModelId::ALL {
         let g = id.build();
         let base = Compiler::new().compile(&g);

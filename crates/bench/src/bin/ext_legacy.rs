@@ -19,7 +19,12 @@ fn main() {
         "680 vs 698".into(),
         "680 SDA over soft_to_hard".into(),
     ]);
-    for id in [ModelId::MobileNetV3, ModelId::ResNet50, ModelId::WdsrB, ModelId::PixOr] {
+    for id in [
+        ModelId::MobileNetV3,
+        ModelId::ResNet50,
+        ModelId::WdsrB,
+        ModelId::PixOr,
+    ] {
         let g = id.build();
         let new_gen = Compiler::new().compile(&g);
         let old_gen = Compiler::new()

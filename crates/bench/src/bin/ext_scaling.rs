@@ -31,7 +31,10 @@ fn main() {
             format!("{:.2}", g.total_macs() as f64 / 1e9),
             format!("{:.2}", tflite.latency_ms()),
             format!("{:.2}", compiled.latency_ms()),
-            format!("{:.2}x", tflite.stats.cycles as f64 / compiled.cycles() as f64),
+            format!(
+                "{:.2}x",
+                tflite.stats.cycles as f64 / compiled.cycles() as f64
+            ),
             format!("{:.2}", compiled.tops()),
         ]);
     }

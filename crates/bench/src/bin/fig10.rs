@@ -35,14 +35,20 @@ fn main() {
                 .nodes()
                 .iter()
                 .filter(|n| {
-                    !matches!(n.kind, gcd2_cgraph::OpKind::Input | gcd2_cgraph::OpKind::Constant)
+                    !matches!(
+                        n.kind,
+                        gcd2_cgraph::OpKind::Input | gcd2_cgraph::OpKind::Constant
+                    )
                 })
                 .map(|n| n.id)
                 .collect();
             let t0 = Instant::now();
             let global = exhaustive(&g, &plans, &scope);
             let tg = t0.elapsed().as_secs_f64();
-            (format!("{:.2}", local.cost as f64 / global.cost as f64), format!("{tg:.3}"))
+            (
+                format!("{:.2}", local.cost as f64 / global.cost as f64),
+                format!("{tg:.3}"),
+            )
         } else {
             ("(skipped)".into(), ">hours".into())
         };
@@ -68,6 +74,8 @@ fn main() {
         ]);
     }
     println!("\nPaper: GCD2 brings 1.55-1.7x over local (global optimal 1.56-1.72x); GCD2(13) search < 2 s, GCD2(17) < 1 min, global > 80 h at 25 ops.");
-    println!("Note: our exhaustive search carries a branch-and-bound suffix lower bound, so it stays");
+    println!(
+        "Note: our exhaustive search carries a branch-and-bound suffix lower bound, so it stays"
+    );
     println!("tractable at sizes where the paper's plain enumeration needed 80+ hours.");
 }

@@ -19,8 +19,12 @@ fn main() {
     ]);
     for id in representative_models() {
         let g = id.build();
-        let s2h = Compiler::new().with_packing(Packing::SoftToHard).compile(&g);
-        let s2n = Compiler::new().with_packing(Packing::SoftToNone).compile(&g);
+        let s2h = Compiler::new()
+            .with_packing(Packing::SoftToHard)
+            .compile(&g);
+        let s2n = Compiler::new()
+            .with_packing(Packing::SoftToNone)
+            .compile(&g);
         let sda = Compiler::new().compile(&g);
         let base = s2h.cycles() as f64;
         row(&[
@@ -30,7 +34,10 @@ fn main() {
             format!("{:.3}", base / sda.cycles() as f64),
             format!("{}/{}", s2n.stats().stall_cycles, sda.stats().stall_cycles),
         ]);
-        assert!(sda.cycles() <= s2h.cycles(), "SDA must not lose to soft_to_hard");
+        assert!(
+            sda.cycles() <= s2h.cycles(),
+            "SDA must not lose to soft_to_hard"
+        );
     }
     println!("\nPaper: SDA reaches up to 2.1x over soft_to_hard and 1.4x over soft_to_none (better packing density than s2h, fewer runtime stalls than s2n).");
 
@@ -38,10 +45,23 @@ fn main() {
     // top-down Coffman-Graham-style scheduler of Six et al., on
     // representative kernel bodies.
     println!("\n## Bottom-up SDA vs top-down list scheduling (kernel bodies)\n");
-    row(&["kernel body".into(), "SDA cyc/iter".into(), "top-down cyc/iter".into(), "ratio".into()]);
+    row(&[
+        "kernel body".into(),
+        "SDA cyc/iter".into(),
+        "top-down cyc/iter".into(),
+        "ratio".into(),
+    ]);
     for (label, gemm, instr) in [
-        ("conv 3x3 (vmpy)", GemmDims::new(784, 1152, 128), SimdInstr::Vmpy),
-        ("conv 1x1 (vmpa)", GemmDims::new(3136, 64, 64), SimdInstr::Vmpa),
+        (
+            "conv 3x3 (vmpy)",
+            GemmDims::new(784, 1152, 128),
+            SimdInstr::Vmpy,
+        ),
+        (
+            "conv 1x1 (vmpa)",
+            GemmDims::new(3136, 64, 64),
+            SimdInstr::Vmpa,
+        ),
         ("fc (vrmpy)", GemmDims::new(1, 2048, 1000), SimdInstr::Vrmpy),
     ] {
         let body = &timing_blocks(&gemm, instr, UnrollConfig::new(4, 2))[2];

@@ -17,11 +17,19 @@ fn main() {
     println!("# Figure 12 (a): unroll-factor sweep on one MatMul kernel\n");
     let gemm = GemmDims::new(512, 256, 256);
     let none = model.gemm_cycles(&gemm, instr, UnrollConfig::NONE) as f64;
-    row(&["factor".into(), "Out (n-unroll) speedup".into(), "Mid (k-unroll) speedup".into()]);
+    row(&[
+        "factor".into(),
+        "Out (n-unroll) speedup".into(),
+        "Mid (k-unroll) speedup".into(),
+    ]);
     for &f in &UNROLL_CANDIDATES {
         let out = model.gemm_cycles(&gemm, instr, UnrollConfig::new(f, 1)) as f64;
         let mid = model.gemm_cycles(&gemm, instr, UnrollConfig::new(1, f)) as f64;
-        row(&[f.to_string(), format!("{:.2}", none / out), format!("{:.2}", none / mid)]);
+        row(&[
+            f.to_string(),
+            format!("{:.2}", none / out),
+            format!("{:.2}", none / mid),
+        ]);
     }
     let adaptive = adaptive_unroll(&gemm, instr);
     let (best_cfg, best) = model.best_unroll(&gemm, instr, UnrollStrategy::Exhaustive);

@@ -23,7 +23,12 @@ fn main() {
     ]);
     let gpu = DeviceModel::mobile_gpu();
     let em = EnergyModel::default();
-    for id in [ModelId::EfficientNetB0, ModelId::ResNet50, ModelId::PixOr, ModelId::CycleGan] {
+    for id in [
+        ModelId::EfficientNetB0,
+        ModelId::ResNet50,
+        ModelId::PixOr,
+        ModelId::CycleGan,
+    ] {
         let g = id.build();
         let gcd2 = Compiler::new().compile(&g);
         let t = Framework::Tflite.run(&g).expect("supported");

@@ -14,8 +14,10 @@ fn main() {
     header.extend((0..kernels.len()).map(|i| format!("C{i}")));
     header.push("geomean".into());
     row(&header);
-    let halide: Vec<_> =
-        kernels.iter().map(|g| compile_kernel(KernelCompiler::Halide, g)).collect();
+    let halide: Vec<_> = kernels
+        .iter()
+        .map(|g| compile_kernel(KernelCompiler::Halide, g))
+        .collect();
     for compiler in KernelCompiler::ALL {
         let mut cells = vec![compiler.name().to_string()];
         let mut speedups = Vec::new();

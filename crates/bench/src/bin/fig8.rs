@@ -53,5 +53,8 @@ fn main() {
     println!("\nPaper: TFLite reaches 88-93% and SNPE 89-95% of GCD2's utilization; bandwidth 86-93% / 90-94%.");
     println!("Absolute GCD2 effective throughput on ResNet-50 (Section V-B peak discussion):");
     let m = Compiler::new().compile(&gcd2_models::ModelId::ResNet50.build());
-    println!("  {:.2} TOPS achieved (paper: up to 1.51 TOPS of the 3.7 TOPS practical peak).", m.tops());
+    println!(
+        "  {:.2} TOPS achieved (paper: up to 1.51 TOPS of the 3.7 TOPS practical peak).",
+        m.tops()
+    );
 }

@@ -21,7 +21,12 @@ fn main() {
     let cpu = DeviceModel::mobile_cpu();
     let gpu = DeviceModel::mobile_gpu();
     let energy_model = EnergyModel::default();
-    for id in [ModelId::EfficientNetB0, ModelId::ResNet50, ModelId::PixOr, ModelId::CycleGan] {
+    for id in [
+        ModelId::EfficientNetB0,
+        ModelId::ResNet50,
+        ModelId::PixOr,
+        ModelId::CycleGan,
+    ] {
         let g = id.build();
         let dsp = Framework::Tflite.run(&g).expect("TFLite supports CNNs");
         let dsp_ms = dsp.latency_ms();

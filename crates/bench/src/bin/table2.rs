@@ -35,7 +35,10 @@ fn main() {
             .iter()
             .map(|&i| model.gemm_cycles(&gemm, i, UnrollConfig::new(2, 2)))
             .collect();
-        let pads: Vec<usize> = SimdInstr::ALL.iter().map(|&i| padded_total(size, i)).collect();
+        let pads: Vec<usize> = SimdInstr::ALL
+            .iter()
+            .map(|&i| padded_total(size, i))
+            .collect();
         let base_lat = cycles[0] as f64;
         let base_pad = pads[0] as f64;
         let winner = SimdInstr::ALL[cycles

@@ -18,9 +18,15 @@ fn main() {
     // (description, M = out spatial, K = in_c*kh*kw, N = out_c) — the
     // three Table III kernels.
     let kernels = [
-        ("1x3x224x224 w 64x3x7x7", GemmDims::new(112 * 112, 3 * 49, 64)),
+        (
+            "1x3x224x224 w 64x3x7x7",
+            GemmDims::new(112 * 112, 3 * 49, 64),
+        ),
         ("1x64x56x56 w 64x64x1x1", GemmDims::new(56 * 56, 64, 64)),
-        ("1x128x28x28 w 128x128x3x3", GemmDims::new(28 * 28, 128 * 9, 128)),
+        (
+            "1x128x28x28 w 128x128x3x3",
+            GemmDims::new(28 * 28, 128 * 9, 128),
+        ),
     ];
     // Isolate *instruction selection*: both compilers get layout-ready
     // inputs and the same scheduler, so the speedup measures only the
@@ -29,10 +35,16 @@ fn main() {
     for (desc, gemm) in kernels {
         let rake_instr = KernelCompiler::Rake.select_instruction(&gemm, &model);
         let ours_instr = KernelCompiler::Gcd2.select_instruction(&gemm, &model);
-        let rake_cycles =
-            model.gemm_cycles(&gemm, rake_instr, KernelCompiler::Rake.unroll(&gemm, rake_instr));
-        let ours_cycles =
-            model.gemm_cycles(&gemm, ours_instr, KernelCompiler::Gcd2.unroll(&gemm, ours_instr));
+        let rake_cycles = model.gemm_cycles(
+            &gemm,
+            rake_instr,
+            KernelCompiler::Rake.unroll(&gemm, rake_instr),
+        );
+        let ours_cycles = model.gemm_cycles(
+            &gemm,
+            ours_instr,
+            KernelCompiler::Gcd2.unroll(&gemm, ours_instr),
+        );
         row(&[
             desc.into(),
             format!("{gemm}"),

@@ -45,13 +45,22 @@ fn main() {
             ms_cell(tflite),
             ms_cell(snpe),
             format!("{gcd2_ms:.1}"),
-            tflite.map(|t| format!("{:.1}", t / gcd2_ms)).unwrap_or_else(|| "-".into()),
-            snpe.map(|s| format!("{:.1}", s / gcd2_ms)).unwrap_or_else(|| "-".into()),
+            tflite
+                .map(|t| format!("{:.1}", t / gcd2_ms))
+                .unwrap_or_else(|| "-".into()),
+            snpe.map(|s| format!("{:.1}", s / gcd2_ms))
+                .unwrap_or_else(|| "-".into()),
             format!("{compile_s:.1}"),
         ]);
     }
-    println!("\nGeomean speedup over TFLite: {:.2}x (paper: 2.8x)", geomean(&over_t));
-    println!("Geomean speedup over SNPE:   {:.2}x (paper: 2.1x)", geomean(&over_s));
+    println!(
+        "\nGeomean speedup over TFLite: {:.2}x (paper: 2.8x)",
+        geomean(&over_t)
+    );
+    println!(
+        "Geomean speedup over SNPE:   {:.2}x (paper: 2.1x)",
+        geomean(&over_s)
+    );
     println!(
         "TinyBERT and Conformer run only under GCD2 (first mobile-DSP execution, as in the paper)."
     );

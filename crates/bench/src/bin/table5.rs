@@ -8,7 +8,13 @@ use gcd2_models::ModelId;
 
 fn main() {
     println!("# Table V: ResNet-50 FPS / Power / FPW across platforms\n");
-    row(&["Platform".into(), "Device".into(), "FPS".into(), "Power (W)".into(), "FPW".into()]);
+    row(&[
+        "Platform".into(),
+        "Device".into(),
+        "FPS".into(),
+        "Power (W)".into(),
+        "FPW".into(),
+    ]);
     for acc in table5_accelerators() {
         row(&[
             acc.platform.into(),

@@ -50,6 +50,16 @@ impl Graph {
         Graph { nodes: Vec::new() }
     }
 
+    /// Builds a graph from pre-made nodes without any validation.
+    ///
+    /// `add` maintains the graph invariants (topological ids, in-range
+    /// inputs, inferred shapes) by construction; this bypass exists so
+    /// verification tooling can materialize deliberately broken graphs
+    /// and serialization layers can restore already-checked ones.
+    pub fn from_nodes_unchecked(nodes: Vec<Node>) -> Self {
+        Graph { nodes }
+    }
+
     /// Adds an input placeholder with an explicit shape.
     pub fn input(&mut self, name: impl Into<String>, shape: TShape) -> NodeId {
         self.push_node(OpKind::Input, vec![], shape, name.into())
@@ -82,7 +92,14 @@ impl Graph {
         name: String,
     ) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { id, kind, inputs, shape, fused_activation: None, name });
+        self.nodes.push(Node {
+            id,
+            kind,
+            inputs,
+            shape,
+            fused_activation: None,
+            name,
+        });
         id
     }
 
@@ -228,13 +245,23 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input("x", TShape::nchw(1, 3, 32, 32));
         let c1 = g.add(
-            OpKind::Conv2d { out_channels: 8, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+            OpKind::Conv2d {
+                out_channels: 8,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+            },
             &[x],
             "conv1",
         );
         let r = g.add(OpKind::Act(Activation::Relu), &[c1], "relu1");
         let c2 = g.add(
-            OpKind::Conv2d { out_channels: 8, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+            OpKind::Conv2d {
+                out_channels: 8,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+            },
             &[r],
             "conv2",
         );

@@ -151,24 +151,42 @@ impl OpKind {
             OpKind::Input | OpKind::Constant => {
                 panic!("source ops have explicit shapes")
             }
-            OpKind::Conv2d { out_channels, kernel, stride, padding } => {
+            OpKind::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => {
                 let x = inputs[0];
                 assert_eq!(x.rank(), 4);
                 let h = (x.dim(2) + 2 * padding.0 - kernel.0) / stride.0 + 1;
                 let w = (x.dim(3) + 2 * padding.1 - kernel.1) / stride.1 + 1;
                 TShape::nchw(x.dim(0), *out_channels, h, w)
             }
-            OpKind::DepthwiseConv2d { kernel, stride, padding } => {
+            OpKind::DepthwiseConv2d {
+                kernel,
+                stride,
+                padding,
+            } => {
                 let x = inputs[0];
                 assert_eq!(x.rank(), 4);
                 let h = (x.dim(2) + 2 * padding.0 - kernel.0) / stride.0 + 1;
                 let w = (x.dim(3) + 2 * padding.1 - kernel.1) / stride.1 + 1;
                 TShape::nchw(x.dim(0), x.dim(1), h, w)
             }
-            OpKind::ConvTranspose2d { out_channels, stride, .. } => {
+            OpKind::ConvTranspose2d {
+                out_channels,
+                stride,
+                ..
+            } => {
                 let x = inputs[0];
                 assert_eq!(x.rank(), 4);
-                TShape::nchw(x.dim(0), *out_channels, x.dim(2) * stride.0, x.dim(3) * stride.1)
+                TShape::nchw(
+                    x.dim(0),
+                    *out_channels,
+                    x.dim(2) * stride.0,
+                    x.dim(3) * stride.1,
+                )
             }
             OpKind::MatMul { n } => {
                 let x = inputs[0];
@@ -225,7 +243,11 @@ impl OpKind {
     /// The GEMM view of this operator, when it has one.
     pub fn gemm_dims(&self, input: &TShape, output: &TShape) -> Option<GemmDims> {
         match self {
-            OpKind::Conv2d { out_channels, kernel, .. } => Some(GemmDims::new(
+            OpKind::Conv2d {
+                out_channels,
+                kernel,
+                ..
+            } => Some(GemmDims::new(
                 output.spatial(),
                 input.channels() * kernel.0 * kernel.1,
                 *out_channels,
@@ -235,7 +257,11 @@ impl OpKind {
                 kernel.0 * kernel.1,
                 1,
             )),
-            OpKind::ConvTranspose2d { out_channels, kernel, .. } => Some(GemmDims::new(
+            OpKind::ConvTranspose2d {
+                out_channels,
+                kernel,
+                ..
+            } => Some(GemmDims::new(
                 output.spatial(),
                 input.channels() * kernel.0 * kernel.1 / 4,
                 *out_channels,
@@ -275,18 +301,20 @@ impl OpKind {
     /// Parameter (weight) count of the operator.
     pub fn params(&self, input: &TShape) -> u64 {
         match self {
-            OpKind::Conv2d { out_channels, kernel, .. } => {
-                (input.channels() * kernel.0 * kernel.1 * out_channels + out_channels) as u64
-            }
+            OpKind::Conv2d {
+                out_channels,
+                kernel,
+                ..
+            } => (input.channels() * kernel.0 * kernel.1 * out_channels + out_channels) as u64,
             OpKind::DepthwiseConv2d { kernel, .. } => {
                 (input.channels() * kernel.0 * kernel.1 + input.channels()) as u64
             }
-            OpKind::ConvTranspose2d { out_channels, kernel, .. } => {
-                (input.channels() * kernel.0 * kernel.1 * out_channels + out_channels) as u64
-            }
-            OpKind::MatMul { n } => {
-                (*input.0.last().unwrap() * n + n) as u64
-            }
+            OpKind::ConvTranspose2d {
+                out_channels,
+                kernel,
+                ..
+            } => (input.channels() * kernel.0 * kernel.1 * out_channels + out_channels) as u64,
+            OpKind::MatMul { n } => (*input.0.last().unwrap() * n + n) as u64,
             OpKind::LayerNorm => 2 * *input.0.last().unwrap() as u64,
             _ => 0,
         }
@@ -298,13 +326,26 @@ impl fmt::Display for OpKind {
         match self {
             OpKind::Input => write!(f, "Input"),
             OpKind::Constant => write!(f, "Constant"),
-            OpKind::Conv2d { out_channels, kernel, stride, .. } => {
-                write!(f, "Conv2d({out_channels}, {}x{}, s{})", kernel.0, kernel.1, stride.0)
+            OpKind::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                ..
+            } => {
+                write!(
+                    f,
+                    "Conv2d({out_channels}, {}x{}, s{})",
+                    kernel.0, kernel.1, stride.0
+                )
             }
             OpKind::DepthwiseConv2d { kernel, stride, .. } => {
                 write!(f, "DWConv2d({}x{}, s{})", kernel.0, kernel.1, stride.0)
             }
-            OpKind::ConvTranspose2d { out_channels, kernel, .. } => {
+            OpKind::ConvTranspose2d {
+                out_channels,
+                kernel,
+                ..
+            } => {
                 write!(f, "ConvT2d({out_channels}, {}x{})", kernel.0, kernel.1)
             }
             OpKind::MatMul { n } => write!(f, "MatMul({n})"),
@@ -351,7 +392,11 @@ mod tests {
 
     #[test]
     fn depthwise_gemm_is_thin() {
-        let op = OpKind::DepthwiseConv2d { kernel: (3, 3), stride: (1, 1), padding: (1, 1) };
+        let op = OpKind::DepthwiseConv2d {
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        };
         let input = TShape::nchw(1, 32, 28, 28);
         let out = op.infer_shape(&[&input]);
         assert_eq!(out, input);
@@ -366,13 +411,19 @@ mod tests {
         let input = TShape::new(vec![128, 312]);
         let out = op.infer_shape(&[&input]);
         assert_eq!(out, TShape::new(vec![128, 312]));
-        assert_eq!(op.gemm_dims(&input, &out).unwrap(), GemmDims::new(128, 312, 312));
+        assert_eq!(
+            op.gemm_dims(&input, &out).unwrap(),
+            GemmDims::new(128, 312, 312)
+        );
         assert_eq!(op.params(&input), (312 * 312 + 312) as u64);
     }
 
     #[test]
     fn pooling_shapes() {
-        let op = OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) };
+        let op = OpKind::MaxPool {
+            kernel: (2, 2),
+            stride: (2, 2),
+        };
         let input = TShape::nchw(1, 64, 56, 56);
         assert_eq!(op.infer_shape(&[&input]), TShape::nchw(1, 64, 28, 28));
     }
@@ -380,7 +431,10 @@ mod tests {
     #[test]
     fn layout_transform_flags() {
         assert!(OpKind::Transpose.is_layout_transform());
-        assert!(OpKind::Reshape { shape: TShape::new(vec![10]) }.is_layout_transform());
+        assert!(OpKind::Reshape {
+            shape: TShape::new(vec![10])
+        }
+        .is_layout_transform());
         assert!(!OpKind::Add.is_layout_transform());
         assert!(OpKind::Conv2d {
             out_channels: 8,

@@ -117,8 +117,7 @@ pub fn fold_constants(graph: &Graph) -> Graph {
             match node.kind {
                 OpKind::Input => out.input(node.name.clone(), node.shape.clone()),
                 _ => {
-                    let inputs: Vec<NodeId> =
-                        node.inputs.iter().map(|i| map[i]).collect();
+                    let inputs: Vec<NodeId> = node.inputs.iter().map(|i| map[i]).collect();
                     out.add(node.kind.clone(), &inputs, node.name.clone())
                 }
             }
@@ -201,7 +200,12 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input("x", TShape::nchw(1, 3, 8, 8));
         let c = g.add(
-            OpKind::Conv2d { out_channels: 4, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+            OpKind::Conv2d {
+                out_channels: 4,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+            },
             &[x],
             "conv",
         );
@@ -216,7 +220,11 @@ mod tests {
             .unwrap();
         assert_eq!(conv.fused_activation, Some(Activation::Relu));
         // gap now consumes the conv directly.
-        let gap = opt.nodes().iter().find(|n| n.kind == OpKind::GlobalAvgPool).unwrap();
+        let gap = opt
+            .nodes()
+            .iter()
+            .find(|n| n.kind == OpKind::GlobalAvgPool)
+            .unwrap();
         assert_eq!(gap.inputs, vec![conv.id]);
     }
 
@@ -225,7 +233,12 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input("x", TShape::nchw(1, 3, 8, 8));
         let c = g.add(
-            OpKind::Conv2d { out_channels: 4, kernel: (1, 1), stride: (1, 1), padding: (0, 0) },
+            OpKind::Conv2d {
+                out_channels: 4,
+                kernel: (1, 1),
+                stride: (1, 1),
+                padding: (0, 0),
+            },
             &[x],
             "conv",
         );
@@ -240,11 +253,21 @@ mod tests {
     fn identity_reshape_removed() {
         let mut g = Graph::new();
         let x = g.input("x", TShape::new(vec![4, 4]));
-        let r = g.add(OpKind::Reshape { shape: TShape::new(vec![4, 4]) }, &[x], "noop");
+        let r = g.add(
+            OpKind::Reshape {
+                shape: TShape::new(vec![4, 4]),
+            },
+            &[x],
+            "noop",
+        );
         let _m = g.add(OpKind::MatMul { n: 8 }, &[r], "fc");
         let opt = eliminate_identity_reshapes(&g);
         assert_eq!(opt.op_count(), 1);
-        let m = opt.nodes().iter().find(|n| matches!(n.kind, OpKind::MatMul { .. })).unwrap();
+        let m = opt
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.kind, OpKind::MatMul { .. }))
+            .unwrap();
         assert_eq!(opt.node(m.inputs[0]).kind, OpKind::Input);
     }
 
@@ -252,7 +275,13 @@ mod tests {
     fn real_reshape_kept() {
         let mut g = Graph::new();
         let x = g.input("x", TShape::new(vec![4, 4]));
-        let _r = g.add(OpKind::Reshape { shape: TShape::new(vec![16]) }, &[x], "flatten");
+        let _r = g.add(
+            OpKind::Reshape {
+                shape: TShape::new(vec![16]),
+            },
+            &[x],
+            "flatten",
+        );
         let opt = eliminate_identity_reshapes(&g);
         assert_eq!(opt.op_count(), 1);
     }
@@ -282,7 +311,11 @@ mod tests {
         let _out = g.add(OpKind::GlobalAvgPool, &[r], "gap");
         let fused = fuse_elementwise_activations(&g);
         assert_eq!(fused.op_count(), 2);
-        let add = fused.nodes().iter().find(|n| n.kind == OpKind::Add).unwrap();
+        let add = fused
+            .nodes()
+            .iter()
+            .find(|n| n.kind == OpKind::Add)
+            .unwrap();
         assert_eq!(add.fused_activation, Some(Activation::Relu));
     }
 
@@ -302,12 +335,23 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input("x", TShape::nchw(1, 3, 8, 8));
         let c = g.add(
-            OpKind::Conv2d { out_channels: 4, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+            OpKind::Conv2d {
+                out_channels: 4,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+            },
             &[x],
             "conv",
         );
         let r = g.add(OpKind::Act(Activation::Relu6), &[c], "relu6");
-        let rs = g.add(OpKind::Reshape { shape: TShape::nchw(1, 4, 8, 8) }, &[r], "noop");
+        let rs = g.add(
+            OpKind::Reshape {
+                shape: TShape::nchw(1, 4, 8, 8),
+            },
+            &[r],
+            "noop",
+        );
         let _gap = g.add(OpKind::GlobalAvgPool, &[rs], "gap");
         let opt = optimize(&g);
         assert_eq!(opt.op_count(), 2);

@@ -38,15 +38,28 @@ fn shape_text(s: &TShape) -> String {
 fn kind_text(kind: &OpKind) -> String {
     match kind {
         OpKind::Input | OpKind::Constant => unreachable!("sources serialize separately"),
-        OpKind::Conv2d { out_channels, kernel, stride, padding } => format!(
+        OpKind::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        } => format!(
             "conv2d out={out_channels} k={}x{} s={}x{} p={}x{}",
             kernel.0, kernel.1, stride.0, stride.1, padding.0, padding.1
         ),
-        OpKind::DepthwiseConv2d { kernel, stride, padding } => format!(
+        OpKind::DepthwiseConv2d {
+            kernel,
+            stride,
+            padding,
+        } => format!(
             "dwconv2d k={}x{} s={}x{} p={}x{}",
             kernel.0, kernel.1, stride.0, stride.1, padding.0, padding.1
         ),
-        OpKind::ConvTranspose2d { out_channels, kernel, stride } => format!(
+        OpKind::ConvTranspose2d {
+            out_channels,
+            kernel,
+            stride,
+        } => format!(
             "convt2d out={out_channels} k={}x{} s={}x{}",
             kernel.0, kernel.1, stride.0, stride.1
         ),
@@ -64,10 +77,16 @@ fn kind_text(kind: &OpKind) -> String {
         OpKind::LayerNorm => "layernorm".into(),
         OpKind::Gelu => "gelu".into(),
         OpKind::MaxPool { kernel, stride } => {
-            format!("maxpool k={}x{} s={}x{}", kernel.0, kernel.1, stride.0, stride.1)
+            format!(
+                "maxpool k={}x{} s={}x{}",
+                kernel.0, kernel.1, stride.0, stride.1
+            )
         }
         OpKind::AvgPool { kernel, stride } => {
-            format!("avgpool k={}x{} s={}x{}", kernel.0, kernel.1, stride.0, stride.1)
+            format!(
+                "avgpool k={}x{} s={}x{}",
+                kernel.0, kernel.1, stride.0, stride.1
+            )
         }
         OpKind::GlobalAvgPool => "gap".into(),
         OpKind::Upsample { factor } => format!("upsample f={factor}"),
@@ -89,8 +108,11 @@ pub fn to_text(graph: &Graph) -> String {
                 let _ = writeln!(out, "const {} {}", node.name, shape_text(&node.shape));
             }
             kind => {
-                let inputs: Vec<String> =
-                    node.inputs.iter().map(|i| graph.node(*i).name.clone()).collect();
+                let inputs: Vec<String> = node
+                    .inputs
+                    .iter()
+                    .map(|i| graph.node(*i).name.clone())
+                    .collect();
                 let _ = writeln!(
                     out,
                     "op {} {} <- {}",
@@ -134,7 +156,9 @@ fn parse_kind(tokens: &[&str]) -> Result<OpKind, String> {
     let rest = &tokens[1..];
     Ok(match mnemonic {
         "conv2d" => OpKind::Conv2d {
-            out_channels: attr(rest, "out")?.parse().map_err(|_| "bad out".to_string())?,
+            out_channels: attr(rest, "out")?
+                .parse()
+                .map_err(|_| "bad out".to_string())?,
             kernel: parse_pair(attr(rest, "k")?)?,
             stride: parse_pair(attr(rest, "s")?)?,
             padding: parse_pair(attr(rest, "p")?)?,
@@ -145,7 +169,9 @@ fn parse_kind(tokens: &[&str]) -> Result<OpKind, String> {
             padding: parse_pair(attr(rest, "p")?)?,
         },
         "convt2d" => OpKind::ConvTranspose2d {
-            out_channels: attr(rest, "out")?.parse().map_err(|_| "bad out".to_string())?,
+            out_channels: attr(rest, "out")?
+                .parse()
+                .map_err(|_| "bad out".to_string())?,
             kernel: parse_pair(attr(rest, "k")?)?,
             stride: parse_pair(attr(rest, "s")?)?,
         },
@@ -181,7 +207,9 @@ fn parse_kind(tokens: &[&str]) -> Result<OpKind, String> {
         "upsample" => OpKind::Upsample {
             factor: attr(rest, "f")?.parse().map_err(|_| "bad f".to_string())?,
         },
-        "reshape" => OpKind::Reshape { shape: parse_shape(attr(rest, "to")?)? },
+        "reshape" => OpKind::Reshape {
+            shape: parse_shape(attr(rest, "to")?)?,
+        },
         "transpose" => OpKind::Transpose,
         "concat" => OpKind::Concat,
         other => return Err(format!("unknown op '{other}'")),
@@ -196,23 +224,29 @@ pub fn from_text(text: &str) -> Result<Graph, ParseGraphError> {
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
         let lineno = idx + 1;
-        let err = |message: String| ParseGraphError { line: lineno, message };
+        let err = |message: String| ParseGraphError {
+            line: lineno,
+            message,
+        };
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         if let Some(rest) = line.strip_prefix("input ") {
-            let (name, shape) =
-                rest.split_once(' ').ok_or_else(|| err("bad input line".into()))?;
+            let (name, shape) = rest
+                .split_once(' ')
+                .ok_or_else(|| err("bad input line".into()))?;
             let id = graph.input(name, parse_shape(shape.trim()).map_err(err)?);
             by_name.insert(name.to_string(), id);
         } else if let Some(rest) = line.strip_prefix("const ") {
-            let (name, shape) =
-                rest.split_once(' ').ok_or_else(|| err("bad const line".into()))?;
+            let (name, shape) = rest
+                .split_once(' ')
+                .ok_or_else(|| err("bad const line".into()))?;
             let id = graph.constant(name, parse_shape(shape.trim()).map_err(err)?);
             by_name.insert(name.to_string(), id);
         } else if let Some(rest) = line.strip_prefix("op ") {
-            let (decl, deps) =
-                rest.split_once("<-").ok_or_else(|| err("missing '<-'".into()))?;
+            let (decl, deps) = rest
+                .split_once("<-")
+                .ok_or_else(|| err("missing '<-'".into()))?;
             let mut tokens = decl.split_whitespace();
             let name = tokens.next().ok_or_else(|| err("missing op name".into()))?;
             let kind_tokens: Vec<&str> = tokens.collect();

@@ -24,12 +24,18 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
                     format!("conv{i}"),
                 ),
                 1 => g.add(
-                    OpKind::Act(if flag { Activation::Relu } else { Activation::HardSwish }),
+                    OpKind::Act(if flag {
+                        Activation::Relu
+                    } else {
+                        Activation::HardSwish
+                    }),
                     &[cur],
                     format!("act{i}"),
                 ),
                 2 => g.add(
-                    OpKind::Reshape { shape: TShape::nchw(1, 16, 8, 8) },
+                    OpKind::Reshape {
+                        shape: TShape::nchw(1, 16, 8, 8),
+                    },
                     &[cur],
                     format!("noop{i}"),
                 ),

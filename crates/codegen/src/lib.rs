@@ -33,7 +33,7 @@ pub enum PackMode {
 }
 
 /// Lowering configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LowerOptions {
     /// Scheduling policy.
     pub pack: PackMode,
@@ -43,6 +43,21 @@ pub struct LowerOptions {
     pub lut_ops: bool,
     /// Packet resource model of the target DSP generation.
     pub resource: gcd2_hvx::ResourceModel,
+    /// Run the [`gcd2_verify`] passes over the inputs and the emitted
+    /// program, panicking on any error-level diagnostic. Defaults to on
+    /// in debug builds (including tests) and off in release builds.
+    pub verify: bool,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions {
+            pack: PackMode::default(),
+            lut_ops: false,
+            resource: gcd2_hvx::ResourceModel::default(),
+            verify: cfg!(debug_assertions),
+        }
+    }
 }
 
 impl LowerOptions {
@@ -52,7 +67,7 @@ impl LowerOptions {
         LowerOptions {
             pack: PackMode::Sda,
             lut_ops: true,
-            resource: gcd2_hvx::ResourceModel::default(),
+            ..LowerOptions::default()
         }
     }
 }
@@ -109,8 +124,12 @@ fn pack_block(block: &Block, options: &LowerOptions) -> PackedBlock {
     let base = Packer::new().with_model(options.resource.clone());
     match options.pack {
         PackMode::Sda => base.pack_block(block),
-        PackMode::SoftToHard => base.with_policy(SoftDepPolicy::SoftToHard).pack_block(block),
-        PackMode::SoftToNone => base.with_policy(SoftDepPolicy::SoftToNone).pack_block(block),
+        PackMode::SoftToHard => base
+            .with_policy(SoftDepPolicy::SoftToHard)
+            .pack_block(block),
+        PackMode::SoftToNone => base
+            .with_policy(SoftDepPolicy::SoftToNone)
+            .pack_block(block),
         PackMode::Sequential => PackedBlock::sequential(block),
     }
 }
@@ -129,7 +148,11 @@ fn im2col_block(cycles: u64) -> Option<Block> {
         base: SReg::new(0),
         offset: 0,
     });
-    b.push(gcd2_hvx::Insn::AddI { dst: SReg::new(0), a: SReg::new(0), imm: 128 });
+    b.push(gcd2_hvx::Insn::AddI {
+        dst: SReg::new(0),
+        a: SReg::new(0),
+        imm: 128,
+    });
     Some(b)
 }
 
@@ -143,7 +166,11 @@ pub fn lower(
     assignment: &Assignment,
     options: &LowerOptions,
 ) -> LoweredModel {
-    assert_eq!(assignment.choice.len(), graph.len(), "assignment must cover the graph");
+    assert_eq!(
+        assignment.choice.len(),
+        graph.len(),
+        "assignment must cover the graph"
+    );
     let mut program = Program::new();
     let mut reports = Vec::new();
 
@@ -176,16 +203,20 @@ pub fn lower(
                 PlanKind::Gemm(instr) => {
                     let gemm = graph.gemm_dims(node.id).expect("gemm dims");
                     let kernel = match node.kind {
-                        OpKind::Conv2d { kernel, .. }
-                        | OpKind::DepthwiseConv2d { kernel, .. } => kernel,
+                        OpKind::Conv2d { kernel, .. } | OpKind::DepthwiseConv2d { kernel, .. } => {
+                            kernel
+                        }
                         OpKind::ConvTranspose2d { kernel, .. } => kernel,
                         _ => (1, 1),
                     };
                     if let Some(b) = im2col_block(im2col_overhead_cycles(&gemm, kernel)) {
                         kernel_blocks.push(b);
                     }
-                    kernel_blocks
-                        .extend(timing_blocks(&gemm, instr, adaptive_unroll(&gemm, instr)));
+                    kernel_blocks.extend(timing_blocks(
+                        &gemm,
+                        instr,
+                        adaptive_unroll(&gemm, instr),
+                    ));
                 }
                 PlanKind::DepthwiseVtmpy => {
                     let kh = match node.kind {
@@ -199,7 +230,11 @@ pub fn lower(
             // Fused non-ReLU activations add a nonlinearity pass:
             // lookup-based when the optimization is on, scalar otherwise.
             if let Some(gcd2_cgraph::Activation::HardSwish) = node.fused_activation {
-                let ew = if options.lut_ops { EwKind::LutUnary } else { EwKind::ScalarUnary };
+                let ew = if options.lut_ops {
+                    EwKind::LutUnary
+                } else {
+                    EwKind::ScalarUnary
+                };
                 kernel_blocks.extend(elementwise_blocks(ew, node.shape.elems()));
             }
         } else {
@@ -211,8 +246,7 @@ pub fn lower(
             };
             // Spatial operators pay a layout-dependent gather factor
             // (see gcd2_globalopt::spatial_layout_factor).
-            let factor =
-                gcd2_globalopt::spatial_layout_factor(&node.kind, plan.layout);
+            let factor = gcd2_globalopt::spatial_layout_factor(&node.kind, plan.layout);
             for mut b in elementwise_blocks(ew, elems) {
                 b.trip_count = (b.trip_count as f64 * factor).ceil() as u64;
                 kernel_blocks.push(b);
@@ -247,6 +281,15 @@ pub fn lower(
     overhead.push(gcd2_hvx::Insn::Nop);
     program.push(PackedBlock::sequential(&overhead));
 
+    if options.verify {
+        let report = gcd2_verify::verify_all(graph, plans, assignment, &program, &options.resource);
+        assert_eq!(
+            report.error_count(),
+            0,
+            "verifier rejected the lowered program:\n{report}"
+        );
+    }
+
     LoweredModel { program, reports }
 }
 
@@ -261,12 +304,22 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input("x", TShape::nchw(1, 48, 14, 14));
         let c1 = g.add(
-            OpKind::Conv2d { out_channels: 48, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+            OpKind::Conv2d {
+                out_channels: 48,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+            },
             &[x],
             "conv1",
         );
         let c2 = g.add(
-            OpKind::Conv2d { out_channels: 48, kernel: (1, 1), stride: (1, 1), padding: (0, 0) },
+            OpKind::Conv2d {
+                out_channels: 48,
+                kernel: (1, 1),
+                stride: (1, 1),
+                padding: (0, 0),
+            },
             &[c1],
             "conv2",
         );
@@ -299,7 +352,11 @@ mod tests {
         let lo = assignment.cost as f64 * 0.5;
         let hi = assignment.cost as f64 * 2.0;
         let got = lowered.cycles() as f64;
-        assert!(got > lo && got < hi, "lowered {got} vs objective {}", assignment.cost);
+        assert!(
+            got > lo && got < hi,
+            "lowered {got} vs objective {}",
+            assignment.cost
+        );
     }
 
     #[test]
@@ -325,7 +382,10 @@ mod tests {
             &g,
             &plans,
             &assignment,
-            &LowerOptions { pack: PackMode::Sequential, ..LowerOptions::gcd2() },
+            &LowerOptions {
+                pack: PackMode::Sequential,
+                ..LowerOptions::gcd2()
+            },
         );
         assert!(seq.cycles() > sda.cycles());
         assert!(seq.static_packets() >= sda.static_packets());
@@ -342,7 +402,10 @@ mod tests {
             &g,
             &plans,
             &assignment,
-            &LowerOptions { pack: PackMode::SoftToHard, ..LowerOptions::gcd2() },
+            &LowerOptions {
+                pack: PackMode::SoftToHard,
+                ..LowerOptions::gcd2()
+            },
         );
         assert!(s2h.static_packets() >= sda.static_packets());
         assert!(s2h.cycles() >= sda.cycles());
@@ -359,7 +422,10 @@ mod tests {
             &g,
             &plans,
             &assignment,
-            &LowerOptions { lut_ops: false, ..LowerOptions::gcd2() },
+            &LowerOptions {
+                lut_ops: false,
+                ..LowerOptions::gcd2()
+            },
         );
         assert!(without.cycles() > with_lut.cycles());
     }

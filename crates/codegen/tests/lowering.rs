@@ -12,13 +12,22 @@ fn depthwise_net() -> Graph {
     let mut g = Graph::new();
     let x = g.input("x", TShape::nchw(1, 32, 28, 28));
     let dw = g.add(
-        OpKind::DepthwiseConv2d { kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+        OpKind::DepthwiseConv2d {
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        },
         &[x],
         "dw3x3",
     );
     let r = g.add(OpKind::Act(Activation::Relu), &[dw], "relu");
     g.add(
-        OpKind::Conv2d { out_channels: 32, kernel: (1, 1), stride: (1, 1), padding: (0, 0) },
+        OpKind::Conv2d {
+            out_channels: 32,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: (0, 0),
+        },
         &[r],
         "pw",
     );
@@ -39,7 +48,9 @@ fn vtmpy_plan_lowers_to_vtmpy_blocks() {
     let lowered = lower(&g, &plans, &assignment, &LowerOptions::gcd2());
     let has_vtmpy = lowered.program.blocks.iter().any(|b| {
         b.packets.iter().any(|p| {
-            p.insns().iter().any(|i| matches!(i, gcd2_hvx::Insn::Vtmpy { .. }))
+            p.insns()
+                .iter()
+                .any(|i| matches!(i, gcd2_hvx::Insn::Vtmpy { .. }))
         })
     });
     assert!(has_vtmpy, "no vtmpy in the lowered program");
@@ -71,8 +82,16 @@ fn packing_modes_order_consistently() {
     let plans = enumerate_plans(&g, &model);
     let assignment = gcd2_select(&g, &plans, 13);
     let cycles = |mode: PackMode| {
-        lower(&g, &plans, &assignment, &LowerOptions { pack: mode, ..LowerOptions::gcd2() })
-            .cycles()
+        lower(
+            &g,
+            &plans,
+            &assignment,
+            &LowerOptions {
+                pack: mode,
+                ..LowerOptions::gcd2()
+            },
+        )
+        .cycles()
     };
     let sda = cycles(PackMode::Sda);
     let seq = cycles(PackMode::Sequential);

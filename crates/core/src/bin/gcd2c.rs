@@ -38,9 +38,9 @@ fn usage() -> ExitCode {
 
 fn parse_model(name: &str) -> Option<ModelId> {
     let norm = name.to_lowercase().replace(['_', ' '], "-");
-    ModelId::ALL.into_iter().find(|id| {
-        id.reference().name.to_lowercase().replace(['_', ' '], "-") == norm
-    })
+    ModelId::ALL
+        .into_iter()
+        .find(|id| id.reference().name.to_lowercase().replace(['_', ' '], "-") == norm)
 }
 
 fn main() -> ExitCode {
@@ -57,7 +57,9 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let Some(model_name) = args.first() else { return usage() };
+    let Some(model_name) = args.first() else {
+        return usage();
+    };
     // Either a catalog model or a path to a serialized graph.
     let graph_source: Result<gcd2_cgraph::Graph, String> = match parse_model(model_name) {
         Some(model) => Ok(model.build()),
@@ -153,14 +155,20 @@ fn main() -> ExitCode {
     }
 
     if compare {
-        println!("\n{:<14} {:>12} {:>10} {:>8}", "selection", "cycles", "ms", "vs gcd2");
+        println!(
+            "\n{:<14} {:>12} {:>10} {:>8}",
+            "selection", "cycles", "ms", "vs gcd2"
+        );
         let base = Compiler::new().compile(&graph).cycles();
         for (name, sel) in [
             ("gcd2(13)", Selection::Gcd2 { max_ops: 13 }),
             ("gcd2(17)", Selection::Gcd2 { max_ops: 17 }),
             ("pbqp", Selection::Pbqp),
             ("local", Selection::LocalOptimal),
-            ("uniform-vrmpy", Selection::Uniform(gcd2_kernels::SimdInstr::Vrmpy)),
+            (
+                "uniform-vrmpy",
+                Selection::Uniform(gcd2_kernels::SimdInstr::Vrmpy),
+            ),
         ] {
             let m = Compiler::new().with_selection(sel).compile(&graph);
             println!(
@@ -205,7 +213,10 @@ fn main() -> ExitCode {
         let mut by_cycles: Vec<_> = compiled.lowered.reports.iter().collect();
         by_cycles.sort_by_key(|r| std::cmp::Reverse(r.kernel_cycles + r.transform_cycles));
         println!("\nhottest operators:");
-        println!("{:<28} {:<22} {:>12} {:>7}", "operator", "plan", "cycles", "share");
+        println!(
+            "{:<28} {:<22} {:>12} {:>7}",
+            "operator", "plan", "cycles", "share"
+        );
         let mut shown = 0.0;
         for r in by_cycles.iter().take(15) {
             let cyc = r.kernel_cycles + r.transform_cycles;
@@ -223,7 +234,10 @@ fn main() -> ExitCode {
     }
 
     if show_ops {
-        println!("\n{:<28} {:<26} {:>12} {:>10}", "operator", "plan", "kernel cyc", "xform cyc");
+        println!(
+            "\n{:<28} {:<26} {:>12} {:>10}",
+            "operator", "plan", "kernel cyc", "xform cyc"
+        );
         for r in &compiled.lowered.reports {
             println!(
                 "{:<28} {:<26} {:>12} {:>10}",

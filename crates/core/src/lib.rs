@@ -38,8 +38,7 @@
 use gcd2_cgraph::Graph;
 use gcd2_codegen::{lower, LowerOptions, LoweredModel, PackMode};
 use gcd2_globalopt::{
-    enumerate_plans_with, exhaustive, gcd2_select, local_optimal, pbqp_select, Assignment,
-    PlanSet,
+    enumerate_plans_with, exhaustive, gcd2_select, local_optimal, pbqp_select, Assignment, PlanSet,
 };
 use gcd2_hvx::{EnergyModel, ExecStats, CLOCK_HZ};
 use gcd2_kernels::{CostModel, SimdInstr};
@@ -210,9 +209,7 @@ impl Compiler {
                         plans
                             .of(n.id)
                             .iter()
-                            .position(|p| {
-                                p.instr() == Some(instr) || p.layout == instr.layout()
-                            })
+                            .position(|p| p.instr() == Some(instr) || p.layout == instr.layout())
                             .unwrap_or(0)
                     })
                     .collect();
@@ -230,6 +227,7 @@ impl Compiler {
             pack: self.packing.clone(),
             lut_ops: self.lut_ops,
             resource: self.resource.clone(),
+            ..LowerOptions::default()
         };
         let chosen: Vec<gcd2_globalopt::ExecutionPlan> = graph
             .nodes()
@@ -242,23 +240,38 @@ impl Compiler {
             // framework's row-major interchange format.
             let mut boundary_cycles = 0u64;
             for node in graph.nodes() {
-                if matches!(node.kind, gcd2_cgraph::OpKind::Input | gcd2_cgraph::OpKind::Constant)
-                {
+                if matches!(
+                    node.kind,
+                    gcd2_cgraph::OpKind::Input | gcd2_cgraph::OpKind::Constant
+                ) {
                     continue;
                 }
                 let layout = plans.of(node.id)[assignment.choice[node.id.0]].layout;
                 let (rows, cols) = gcd2_globalopt::matrix_view(&node.shape);
-                boundary_cycles +=
-                    2 * gcd2_tensor::transform_cycles(rows, cols, gcd2_tensor::Layout::RowMajor, layout);
+                boundary_cycles += 2 * gcd2_tensor::transform_cycles(
+                    rows,
+                    cols,
+                    gcd2_tensor::Layout::RowMajor,
+                    layout,
+                );
             }
             let mut block = gcd2_hvx::Block::with_trip_count(
                 "framework interchange-format conversions",
                 boundary_cycles / 3,
             );
             block.push(gcd2_hvx::Insn::Nop);
-            lowered.program.push(gcd2_hvx::PackedBlock::sequential(&block));
+            lowered
+                .program
+                .push(gcd2_hvx::PackedBlock::sequential(&block));
         }
-        CompiledModel { graph, assignment, chosen, lowered, energy: EnergyModel::default() }
+        CompiledModel {
+            graph,
+            assignment,
+            chosen,
+            lowered,
+            energy: EnergyModel::default(),
+            resource: self.resource.clone(),
+        }
     }
 }
 
@@ -280,9 +293,23 @@ pub struct CompiledModel {
     /// The lowered, scheduled program with per-operator reports.
     pub lowered: LoweredModel,
     energy: EnergyModel,
+    resource: gcd2_hvx::ResourceModel,
 }
 
 impl CompiledModel {
+    /// Re-runs the full static-analysis pipeline over this compilation's
+    /// artifacts (graph, chosen plans, assignment, program) and returns
+    /// the findings, regardless of whether lowering already verified.
+    pub fn verify(&self) -> gcd2_verify::Report {
+        let cx = gcd2_verify::Context::new()
+            .with_graph(&self.graph)
+            .with_plans(gcd2_verify::PlanView::Chosen(&self.chosen))
+            .with_assignment(&self.assignment)
+            .with_program(&self.lowered.program)
+            .with_resource(self.resource.clone());
+        gcd2_verify::Verifier::with_default_passes().run(&cx)
+    }
+
     /// The kernel family chosen for a node.
     pub fn plan_of(&self, id: gcd2_cgraph::NodeId) -> Option<gcd2_globalopt::PlanKind> {
         self.chosen.get(id.0).map(|p| p.kind)
@@ -355,7 +382,11 @@ mod tests {
                 &[prev],
                 format!("conv{i}"),
             );
-            prev = g.add(OpKind::Act(gcd2_cgraph::Activation::Relu), &[prev], format!("relu{i}"));
+            prev = g.add(
+                OpKind::Act(gcd2_cgraph::Activation::Relu),
+                &[prev],
+                format!("relu{i}"),
+            );
         }
         g
     }
@@ -373,7 +404,9 @@ mod tests {
     fn selection_strategies_are_ordered() {
         let g = conv_net(5);
         let gcd2 = Compiler::new().compile(&g);
-        let local = Compiler::new().with_selection(Selection::LocalOptimal).compile(&g);
+        let local = Compiler::new()
+            .with_selection(Selection::LocalOptimal)
+            .compile(&g);
         let uniform = Compiler::new()
             .with_selection(Selection::Uniform(SimdInstr::Vrmpy))
             .compile(&g);
@@ -387,7 +420,11 @@ mod tests {
         let m = Compiler::new().compile(&g);
         assert!(m.latency_ms() > 0.0);
         assert!(m.utilization() > 0.0 && m.utilization() <= 1.0);
-        assert!(m.power_w() > 0.1 && m.power_w() < 10.0, "power {}", m.power_w());
+        assert!(
+            m.power_w() > 0.1 && m.power_w() < 10.0,
+            "power {}",
+            m.power_w()
+        );
         assert!(m.tops() > 0.0 && m.tops() < 15.0, "tops {}", m.tops());
         assert!(m.frames_per_watt() > 0.0);
     }
@@ -407,10 +444,22 @@ mod tests {
         let y = g.input("y", TShape::nchw(1, 32, 28, 28));
         let a = g.add(OpKind::Add, &[x, y], "add");
         let r = g.add(OpKind::Act(gcd2_cgraph::Activation::Relu), &[a], "relu");
-        let _p = g.add(OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) }, &[r], "pool");
+        let _p = g.add(
+            OpKind::MaxPool {
+                kernel: (2, 2),
+                stride: (2, 2),
+            },
+            &[r],
+            "pool",
+        );
         let base = Compiler::new().compile(&g);
         let fused = Compiler::new().with_elementwise_fusion(true).compile(&g);
-        assert!(fused.cycles() < base.cycles(), "{} vs {}", fused.cycles(), base.cycles());
+        assert!(
+            fused.cycles() < base.cycles(),
+            "{} vs {}",
+            fused.cycles(),
+            base.cycles()
+        );
         assert!(fused.graph.op_count() < base.graph.op_count());
     }
 
@@ -418,8 +467,9 @@ mod tests {
     fn exhaustive_matches_gcd2_on_small_graphs() {
         let g = conv_net(4);
         let gcd2 = Compiler::new().compile(&g);
-        let global =
-            Compiler::new().with_selection(Selection::GlobalExhaustive).compile(&g);
+        let global = Compiler::new()
+            .with_selection(Selection::GlobalExhaustive)
+            .compile(&g);
         let ratio = gcd2.cycles() as f64 / global.cycles() as f64;
         assert!(ratio <= 1.02, "gcd2 within 2% of global optimal: {ratio}");
     }

@@ -38,7 +38,8 @@ pub const WGT_MAX: i8 = 2;
 /// Deterministic weight generator: every call site derives the same
 /// weights from the node id, so the DSP and reference paths agree.
 fn weight(seed: u64, node: NodeId, index: usize) -> i8 {
-    let mut x = seed ^ (node.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    let mut x = seed
+        ^ (node.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (index as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
     x ^= x >> 33;
     x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
@@ -151,7 +152,10 @@ fn execute(compiled: &CompiledModel, input: &[u8], seed: u64, on_dsp: bool) -> (
             }
             OpKind::Act(Activation::HardSwish) | OpKind::Sigmoid | OpKind::Gelu => {
                 // Monotone byte lookup stand-in.
-                values[&node.inputs[0]].iter().map(|&x| x / 2 + x / 4).collect()
+                values[&node.inputs[0]]
+                    .iter()
+                    .map(|&x| x / 2 + x / 4)
+                    .collect()
             }
             OpKind::MaxPool { kernel, stride } => {
                 pool(graph, node, &values, *kernel, *stride, true)
@@ -196,7 +200,12 @@ fn gemm_operands(
     let x = &values[&input_id];
     let in_shape = &graph.node(input_id).shape;
     match &node.kind {
-        OpKind::Conv2d { out_channels, kernel, stride, padding } => {
+        OpKind::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        } => {
             let (c, h, w) = (in_shape.channels(), in_shape.dim(2), in_shape.dim(3));
             let a = im2col_chw(x, c, h, w, *kernel, *stride, *padding, Layout::RowMajor);
             let k = c * kernel.0 * kernel.1;
@@ -205,7 +214,11 @@ fn gemm_operands(
             });
             (a, wgt)
         }
-        OpKind::DepthwiseConv2d { kernel, stride, padding } => {
+        OpKind::DepthwiseConv2d {
+            kernel,
+            stride,
+            padding,
+        } => {
             // Lowered as a block-diagonal GEMM: each channel convolved
             // independently; K = kh*kw per channel, stacked rows.
             let (c, h, w) = (in_shape.channels(), in_shape.dim(2), in_shape.dim(3));
@@ -266,7 +279,9 @@ fn gemm_output_to_tensor(node: &gcd2_cgraph::Node, out: &MatrixU8) -> Vec<u8> {
         }
         OpKind::DepthwiseConv2d { .. } => {
             // Rows are already channel-major.
-            (0..node.shape.elems().min(out.rows())).map(|r| out.get(r, 0)).collect()
+            (0..node.shape.elems().min(out.rows()))
+                .map(|r| out.get(r, 0))
+                .collect()
         }
         _ => out.to_row_major_vec(),
     }
@@ -376,19 +391,42 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input("image", TShape::nchw(1, 3, 12, 12));
         let c1 = g.add(
-            OpKind::Conv2d { out_channels: 8, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+            OpKind::Conv2d {
+                out_channels: 8,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+            },
             &[x],
             "conv1",
         );
         let r1 = g.add(OpKind::Act(Activation::Relu), &[c1], "relu1");
         let c2 = g.add(
-            OpKind::Conv2d { out_channels: 8, kernel: (1, 1), stride: (1, 1), padding: (0, 0) },
+            OpKind::Conv2d {
+                out_channels: 8,
+                kernel: (1, 1),
+                stride: (1, 1),
+                padding: (0, 0),
+            },
             &[r1],
             "conv2",
         );
         let s = g.add(OpKind::Add, &[c2, c1], "residual");
-        let p = g.add(OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) }, &[s], "pool");
-        let f = g.add(OpKind::Reshape { shape: TShape::new(vec![1, 8 * 36]) }, &[p], "flat");
+        let p = g.add(
+            OpKind::MaxPool {
+                kernel: (2, 2),
+                stride: (2, 2),
+            },
+            &[s],
+            "pool",
+        );
+        let f = g.add(
+            OpKind::Reshape {
+                shape: TShape::new(vec![1, 8 * 36]),
+            },
+            &[p],
+            "flat",
+        );
         g.add(OpKind::MatMul { n: 10 }, &[f], "classifier");
         g
     }
@@ -400,7 +438,10 @@ mod tests {
         let input: Vec<u8> = (0..3 * 12 * 12).map(|i| (i % 16) as u8).collect();
         let (dsp, simd_macs) = execute_on_dsp(&compiled, &input, 0xBEEF);
         let reference = execute_reference(&compiled, &input, 0xBEEF);
-        assert_eq!(dsp, reference, "simulated inference must equal the scalar reference");
+        assert_eq!(
+            dsp, reference,
+            "simulated inference must equal the scalar reference"
+        );
         assert_eq!(dsp.len(), 10);
         assert!(simd_macs > 0, "the convs and the classifier run on the DSP");
     }

@@ -10,29 +10,54 @@ fn mobile_block() -> Graph {
     let mut g = Graph::new();
     let x = g.input("x", TShape::nchw(1, 4, 10, 10));
     let expand = g.add(
-        OpKind::Conv2d { out_channels: 8, kernel: (1, 1), stride: (1, 1), padding: (0, 0) },
+        OpKind::Conv2d {
+            out_channels: 8,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: (0, 0),
+        },
         &[x],
         "expand",
     );
     let dw = g.add(
-        OpKind::DepthwiseConv2d { kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+        OpKind::DepthwiseConv2d {
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        },
         &[expand],
         "dw",
     );
     let act = g.add(OpKind::Act(Activation::Relu), &[dw], "act");
     let proj = g.add(
-        OpKind::Conv2d { out_channels: 4, kernel: (1, 1), stride: (1, 1), padding: (0, 0) },
+        OpKind::Conv2d {
+            out_channels: 4,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: (0, 0),
+        },
         &[act],
         "project",
     );
     let sum = g.add(OpKind::Add, &[proj, x], "residual");
     let down = g.add(
-        OpKind::Conv2d { out_channels: 6, kernel: (3, 3), stride: (2, 2), padding: (1, 1) },
+        OpKind::Conv2d {
+            out_channels: 6,
+            kernel: (3, 3),
+            stride: (2, 2),
+            padding: (1, 1),
+        },
         &[sum],
         "down",
     );
     let gap = g.add(OpKind::GlobalAvgPool, &[down], "gap");
-    let flat = g.add(OpKind::Reshape { shape: TShape::new(vec![1, 6]) }, &[gap], "flat");
+    let flat = g.add(
+        OpKind::Reshape {
+            shape: TShape::new(vec![1, 6]),
+        },
+        &[gap],
+        "flat",
+    );
     g.add(OpKind::MatMul { n: 4 }, &[flat], "head");
     g
 }
@@ -54,13 +79,32 @@ fn concat_and_avgpool_paths() {
     let mut g = Graph::new();
     let x = g.input("x", TShape::nchw(1, 4, 8, 8));
     let a = g.add(
-        OpKind::Conv2d { out_channels: 4, kernel: (1, 1), stride: (1, 1), padding: (0, 0) },
+        OpKind::Conv2d {
+            out_channels: 4,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: (0, 0),
+        },
         &[x],
         "branch_a",
     );
-    let b = g.add(OpKind::AvgPool { kernel: (1, 1), stride: (1, 1) }, &[x], "branch_b");
+    let b = g.add(
+        OpKind::AvgPool {
+            kernel: (1, 1),
+            stride: (1, 1),
+        },
+        &[x],
+        "branch_b",
+    );
     let cat = g.add(OpKind::Concat, &[a, b], "concat");
-    let _pool = g.add(OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) }, &[cat], "pool");
+    let _pool = g.add(
+        OpKind::MaxPool {
+            kernel: (2, 2),
+            stride: (2, 2),
+        },
+        &[cat],
+        "pool",
+    );
     let compiled = Compiler::new().compile(&g);
     let input: Vec<u8> = (0..4 * 64).map(|i| (i % 16) as u8).collect();
     let (dsp, _) = execute_on_dsp(&compiled, &input, 11);
@@ -75,6 +119,11 @@ fn seeds_change_outputs() {
     let g = mobile_block();
     let compiled = Compiler::new().compile(&g);
     let input: Vec<u8> = (0..400).map(|i| ((i * 7) % 16) as u8).collect();
-    let outs: Vec<Vec<u8>> = (0..8).map(|s| execute_on_dsp(&compiled, &input, s).0).collect();
-    assert!(outs.windows(2).any(|w| w[0] != w[1]), "all seeds identical: {outs:?}");
+    let outs: Vec<Vec<u8>> = (0..8)
+        .map(|s| execute_on_dsp(&compiled, &input, s).0)
+        .collect();
+    assert!(
+        outs.windows(2).any(|w| w[0] != w[1]),
+        "all seeds identical: {outs:?}"
+    );
 }

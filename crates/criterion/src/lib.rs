@@ -1,0 +1,255 @@
+//! An offline, dependency-free subset of the
+//! [criterion](https://docs.rs/criterion) benchmarking API, used because
+//! this workspace builds in environments without access to crates.io.
+//!
+//! Each benchmark runs `sample_size` timed iterations (after one warm-up)
+//! and prints mean and minimum wall-clock time per iteration, plus
+//! element throughput when configured. There is no statistical analysis,
+//! baseline storage, or plotting.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-exported for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter rendering.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives timed iterations of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let ns = start.elapsed().as_nanos() as f64;
+            total += ns;
+            min = min.min(ns);
+        }
+        self.mean_ns = total / self.samples as f64;
+        self.min_ns = min;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run_one(id: &str, samples: usize, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: samples.max(1),
+        mean_ns: 0.0,
+        min_ns: 0.0,
+    };
+    f(&mut b);
+    let mut line = format!(
+        "{id:<40} mean {:>12}  min {:>12}",
+        fmt_ns(b.mean_ns),
+        fmt_ns(b.min_ns)
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        if b.mean_ns > 0.0 {
+            line.push_str(&format!("  {:>12.1} Melem/s", n as f64 / b.mean_ns * 1e3));
+        }
+    }
+    if let Some(Throughput::Bytes(n)) = throughput {
+        if b.mean_ns > 0.0 {
+            line.push_str(&format!(
+                "  {:>12.1} MiB/s",
+                n as f64 / b.mean_ns * 1e3 / 1.048_576
+            ));
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Annotates benchmarks with per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_one(&id, self.samples, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark without an input.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_one(&id, self.samples, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; groups hold no deferred state).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Criterion {
+    /// Default configuration (10 samples per benchmark).
+    pub fn new() -> Self {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let samples = if self.default_samples == 0 {
+            10
+        } else {
+            self.default_samples
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let samples = if self.default_samples == 0 {
+            10
+        } else {
+            self.default_samples
+        };
+        run_one(&id.into().id, samples, None, f);
+    }
+}
+
+/// Declares the function list a `criterion_main!` entry point runs.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_positive_times() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("sda").id, "sda");
+    }
+}

@@ -41,8 +41,7 @@ fn is_profitable_transform(graph: &Graph, plans: &PlanSet, prod: NodeId, cons: N
     // The consumer's cost if it keeps each producer layout vs. the best
     // transformed alternative.
     for from in plans.of(prod).iter().map(|p| p.layout) {
-        let stay: Option<&ExecutionPlan> =
-            plans.of(cons).iter().find(|p| p.layout == from);
+        let stay: Option<&ExecutionPlan> = plans.of(cons).iter().find(|p| p.layout == from);
         let stay_cost = match stay {
             Some(p) => p.cost,
             None => continue,
@@ -97,7 +96,10 @@ pub fn gcd2_select(graph: &Graph, plans: &PlanSet, max_ops: usize) -> Assignment
     for part in partition(graph, plans, max_ops) {
         cost = refine_scope(graph, plans, &part, &mut assignment.choice);
     }
-    Assignment { cost, choice: assignment.choice }
+    Assignment {
+        cost,
+        choice: assignment.choice,
+    }
 }
 
 #[cfg(test)]
@@ -171,13 +173,24 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input("x", TShape::nchw(1, 32, 8, 8));
         let c = g.add(
-            OpKind::Conv2d { out_channels: 32, kernel: (1, 1), stride: (1, 1), padding: (0, 0) },
+            OpKind::Conv2d {
+                out_channels: 32,
+                kernel: (1, 1),
+                stride: (1, 1),
+                padding: (0, 0),
+            },
             &[x],
             "conv",
         );
-        let rs = g.add(OpKind::Reshape { shape: TShape::new(vec![64, 32]) }, &[c], "flatten");
+        let rs = g.add(
+            OpKind::Reshape {
+                shape: TShape::new(vec![64, 32]),
+            },
+            &[c],
+            "flatten",
+        );
         let plans = enumerate_plans(&g, &CostModel::new());
         assert!(is_desirable_edge(&g, &plans, c, rs));
-        assert!(!is_desirable_edge(&g, &plans, x, c) || true); // no panic
+        let _ = is_desirable_edge(&g, &plans, x, c); // must not panic
     }
 }

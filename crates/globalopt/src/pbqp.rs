@@ -144,9 +144,18 @@ enum Step {
     /// Node fixed outright (R0 or RN): no dependence on neighbours.
     Fixed { node: usize, plan: usize },
     /// RI: `node`'s best plan per neighbour plan was tabulated.
-    FoldedRi { node: usize, neighbor: usize, best: Vec<usize> },
+    FoldedRi {
+        node: usize,
+        neighbor: usize,
+        best: Vec<usize>,
+    },
     /// RII: `node`'s best plan per (left-plan, right-plan) pair.
-    FoldedRii { node: usize, left: usize, right: usize, best: Vec<Vec<usize>> },
+    FoldedRii {
+        node: usize,
+        left: usize,
+        right: usize,
+        best: Vec<Vec<usize>>,
+    },
 }
 
 /// Solves the layout/instruction selection problem with the PBQP
@@ -190,7 +199,11 @@ pub fn pbqp_select(graph: &Graph, plans: &PlanSet) -> Assignment {
                 inst.costs[v][j] = inst.costs[v][j].saturating_add(delta[j]);
             }
             inst.remove_edge(u, v);
-            steps.push(Step::FoldedRi { node: u, neighbor: v, best });
+            steps.push(Step::FoldedRi {
+                node: u,
+                neighbor: v,
+                best,
+            });
             alive[u] = false;
             remaining -= 1;
         } else if let Some(u) = pick(&inst, &alive, 2) {
@@ -218,7 +231,12 @@ pub fn pbqp_select(graph: &Graph, plans: &PlanSet) -> Assignment {
             inst.remove_edge(u, l);
             inst.remove_edge(u, r);
             inst.add_edge_matrix(l, r, m);
-            steps.push(Step::FoldedRii { node: u, left: l, right: r, best });
+            steps.push(Step::FoldedRii {
+                node: u,
+                left: l,
+                right: r,
+                best,
+            });
             alive[u] = false;
             remaining -= 1;
         } else {
@@ -235,7 +253,10 @@ pub fn pbqp_select(graph: &Graph, plans: &PlanSet) -> Assignment {
                 for &v in inst.adj[u].clone().iter() {
                     let kv = inst.costs[v].len();
                     c = c.saturating_add(
-                        (0..kv).map(|j| inst.edge_row(u, v, i, j)).min().unwrap_or(0),
+                        (0..kv)
+                            .map(|j| inst.edge_row(u, v, i, j))
+                            .min()
+                            .unwrap_or(0),
                     );
                 }
                 if c < bestcost {
@@ -252,7 +273,10 @@ pub fn pbqp_select(graph: &Graph, plans: &PlanSet) -> Assignment {
                 }
                 inst.remove_edge(u, v);
             }
-            steps.push(Step::Fixed { node: u, plan: bestplan });
+            steps.push(Step::Fixed {
+                node: u,
+                plan: bestplan,
+            });
             alive[u] = false;
             remaining -= 1;
         }
@@ -263,10 +287,19 @@ pub fn pbqp_select(graph: &Graph, plans: &PlanSet) -> Assignment {
     for step in steps.iter().rev() {
         match step {
             Step::Fixed { node, plan } => choice[*node] = *plan,
-            Step::FoldedRi { node, neighbor, best } => {
+            Step::FoldedRi {
+                node,
+                neighbor,
+                best,
+            } => {
                 choice[*node] = best[choice[*neighbor]];
             }
-            Step::FoldedRii { node, left, right, best } => {
+            Step::FoldedRii {
+                node,
+                left,
+                right,
+                best,
+            } => {
                 choice[*node] = best[choice[*left]][choice[*right]];
             }
         }
@@ -276,7 +309,11 @@ pub fn pbqp_select(graph: &Graph, plans: &PlanSet) -> Assignment {
 }
 
 fn argmin(xs: &[u64]) -> usize {
-    xs.iter().enumerate().min_by_key(|(_, &x)| x).map(|(i, _)| i).unwrap_or(0)
+    xs.iter()
+        .enumerate()
+        .min_by_key(|(_, &x)| x)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -347,12 +384,27 @@ mod tests {
             );
             cur = g.add(OpKind::Add, &[c2, cur], format!("b{i}.add"));
         }
-        let _pool = g.add(OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) }, &[cur], "pool");
+        let _pool = g.add(
+            OpKind::MaxPool {
+                kernel: (2, 2),
+                stride: (2, 2),
+            },
+            &[cur],
+            "pool",
+        );
         let plans = enumerate_plans(&g, &CostModel::new());
         let local = local_optimal(&g, &plans);
         let pbqp = pbqp_select(&g, &plans);
-        assert!(pbqp.cost <= local.cost, "pbqp {} vs local {}", pbqp.cost, local.cost);
-        assert_eq!(pbqp.cost, crate::plan::assignment_cost(&g, &plans, &pbqp.choice));
+        assert!(
+            pbqp.cost <= local.cost,
+            "pbqp {} vs local {}",
+            pbqp.cost,
+            local.cost
+        );
+        assert_eq!(
+            pbqp.cost,
+            crate::plan::assignment_cost(&g, &plans, &pbqp.choice)
+        );
     }
 
     #[test]
@@ -376,13 +428,21 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input("x", TShape::nchw(1, 32, 8, 8));
         let c = g.add(
-            OpKind::Conv2d { out_channels: 32, kernel: (1, 1), stride: (1, 1), padding: (0, 0) },
+            OpKind::Conv2d {
+                out_channels: 32,
+                kernel: (1, 1),
+                stride: (1, 1),
+                padding: (0, 0),
+            },
             &[x],
             "conv",
         );
         let _sq = g.add(OpKind::Mul, &[c, c], "square");
         let plans = enumerate_plans(&g, &CostModel::new());
         let pbqp = pbqp_select(&g, &plans);
-        assert_eq!(pbqp.cost, crate::plan::assignment_cost(&g, &plans, &pbqp.choice));
+        assert_eq!(
+            pbqp.cost,
+            crate::plan::assignment_cost(&g, &plans, &pbqp.choice)
+        );
     }
 }

@@ -129,7 +129,9 @@ pub fn enumerate_plans_with(graph: &Graph, model: &CostModel, lut_ops: bool) -> 
                 }]
             }
             kind if kind.is_gemm_like() => {
-                let gemm = graph.gemm_dims(node.id).expect("gemm-like ops have GEMM dims");
+                let gemm = graph
+                    .gemm_dims(node.id)
+                    .expect("gemm-like ops have GEMM dims");
                 let kernel = match kind {
                     OpKind::Conv2d { kernel, .. } | OpKind::DepthwiseConv2d { kernel, .. } => {
                         *kernel
@@ -155,7 +157,10 @@ pub fn enumerate_plans_with(graph: &Graph, model: &CostModel, lut_ops: bool) -> 
                 // admit the dedicated vtmpy sliding-multiply kernel
                 // ("other instructions like vtmpy can also be used",
                 // Section III). It streams spatially, i.e. 1-column.
-                if let OpKind::DepthwiseConv2d { kernel: (kh, 3), .. } = kind {
+                if let OpKind::DepthwiseConv2d {
+                    kernel: (kh, 3), ..
+                } = kind
+                {
                     node_plans.push(ExecutionPlan {
                         kind: PlanKind::DepthwiseVtmpy,
                         layout: Layout::Col1,
@@ -221,11 +226,7 @@ pub fn spatial_layout_factor(kind: &OpKind, layout: Layout) -> f64 {
 /// clamps ride the requantization shift for free; hard-swish needs a
 /// lookup pass (cheap) or a scalar approximation pass (expensive, the
 /// "other optimizations" ablation).
-pub fn fused_activation_cost(
-    model: &CostModel,
-    node: &gcd2_cgraph::Node,
-    lut_ops: bool,
-) -> u64 {
+pub fn fused_activation_cost(model: &CostModel, node: &gcd2_cgraph::Node, lut_ops: bool) -> u64 {
     match node.fused_activation {
         Some(gcd2_cgraph::Activation::HardSwish) => {
             let elems = node.shape.elems();
@@ -269,9 +270,9 @@ pub fn op_ew_kind(kind: &OpKind, lut_ops: bool) -> EwKind {
             }
         }
         OpKind::Act(_) => EwKind::Relu,
-        OpKind::MaxPool { kernel, .. } | OpKind::AvgPool { kernel, .. } => {
-            EwKind::MaxPoolWin { window: kernel.0 * kernel.1 }
-        }
+        OpKind::MaxPool { kernel, .. } | OpKind::AvgPool { kernel, .. } => EwKind::MaxPoolWin {
+            window: kernel.0 * kernel.1,
+        },
         OpKind::GlobalAvgPool | OpKind::Softmax | OpKind::LayerNorm => EwKind::Reduce,
         OpKind::Upsample { .. } => EwKind::Copy,
         _ => EwKind::Copy,
@@ -323,7 +324,11 @@ pub fn edge_tc(graph: &Graph, prod: NodeId, from: Layout, to: Layout) -> u64 {
 /// Panics if `choice` does not cover every node or indexes a missing
 /// plan.
 pub fn assignment_cost(graph: &Graph, plans: &PlanSet, choice: &[usize]) -> u64 {
-    assert_eq!(choice.len(), graph.len(), "assignment must cover every node");
+    assert_eq!(
+        choice.len(),
+        graph.len(),
+        "assignment must cover every node"
+    );
     let mut total = 0u64;
     for node in graph.nodes() {
         total += plans.of(node.id)[choice[node.id.0]].cost;
@@ -376,10 +381,8 @@ mod tests {
         // Same instruction on both convs: only the input edge pays TC.
         let same = assignment_cost(&g, &plans, &[0, 1, 1]);
         let mixed = assignment_cost(&g, &plans, &[0, 1, 2]);
-        let plan_cost_same: u64 =
-            plans.of(NodeId(1))[1].cost + plans.of(NodeId(2))[1].cost;
-        let plan_cost_mixed: u64 =
-            plans.of(NodeId(1))[1].cost + plans.of(NodeId(2))[2].cost;
+        let plan_cost_same: u64 = plans.of(NodeId(1))[1].cost + plans.of(NodeId(2))[1].cost;
+        let plan_cost_mixed: u64 = plans.of(NodeId(1))[1].cost + plans.of(NodeId(2))[2].cost;
         // TC(conv1 -> conv2) is zero for `same`, positive for `mixed`.
         let tc_same = same - plan_cost_same;
         let tc_mixed = mixed - plan_cost_mixed;

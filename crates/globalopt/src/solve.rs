@@ -105,7 +105,9 @@ pub fn chain_dp(graph: &Graph, plans: &PlanSet, chain: &[NodeId]) -> Assignment 
     }
 
     // Backtrack the best chain assignment.
-    let mut j = (0..sol.len()).min_by_key(|&j| sol[j]).expect("non-empty plans");
+    let mut j = (0..sol.len())
+        .min_by_key(|&j| sol[j])
+        .expect("non-empty plans");
     for (idx, node) in chain.iter().enumerate().rev() {
         assignment.choice[node.0] = j;
         j = back[idx][j];
@@ -121,7 +123,10 @@ pub fn chain_dp(graph: &Graph, plans: &PlanSet, chain: &[NodeId]) -> Assignment 
 pub fn exhaustive(graph: &Graph, plans: &PlanSet, scope: &[NodeId]) -> Assignment {
     let mut assignment = local_optimal(graph, plans);
     let cost = refine_scope(graph, plans, scope, &mut assignment.choice);
-    Assignment { cost, choice: assignment.choice }
+    Assignment {
+        cost,
+        choice: assignment.choice,
+    }
 }
 
 /// Refines `choice` in place by exhaustively (DFS + pruning) re-deciding
@@ -308,7 +313,12 @@ mod tests {
         let plans = enumerate_plans(&g, &CostModel::new());
         let local = local_optimal(&g, &plans);
         let dp = chain_dp(&g, &plans, &chain);
-        assert!(dp.cost <= local.cost, "dp {} vs local {}", dp.cost, local.cost);
+        assert!(
+            dp.cost <= local.cost,
+            "dp {} vs local {}",
+            dp.cost,
+            local.cost
+        );
     }
 
     #[test]

@@ -4,8 +4,7 @@
 
 use gcd2_cgraph::{Activation, Graph, NodeId, OpKind, TShape};
 use gcd2_globalopt::{
-    assignment_cost, chain_dp, enumerate_plans, gcd2_select, local_optimal, partition,
-    pbqp_select,
+    assignment_cost, chain_dp, enumerate_plans, gcd2_select, local_optimal, partition, pbqp_select,
 };
 use gcd2_kernels::CostModel;
 use proptest::prelude::*;
@@ -59,7 +58,10 @@ fn arb_chain() -> impl Strategy<Value = (Graph, Vec<NodeId>)> {
                     ),
                     3 => g.add(OpKind::Act(Activation::Relu), &[prev], format!("act{i}")),
                     _ => g.add(
-                        OpKind::MaxPool { kernel: (1, 1), stride: (1, 1) },
+                        OpKind::MaxPool {
+                            kernel: (1, 1),
+                            stride: (1, 1),
+                        },
                         &[prev],
                         format!("pool{i}"),
                     ),

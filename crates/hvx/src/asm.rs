@@ -59,7 +59,10 @@ pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
         let lineno = idx + 1;
-        let err = |message: &str| ParseAsmError { line: lineno, message: message.into() };
+        let err = |message: &str| ParseAsmError {
+            line: lineno,
+            message: message.into(),
+        };
         if line.is_empty() {
             continue;
         }
@@ -78,7 +81,11 @@ pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
                 }
                 _ => (rest.to_string(), 1),
             };
-            block = Some(PackedBlock { packets: Vec::new(), trip_count: trips, label });
+            block = Some(PackedBlock {
+                packets: Vec::new(),
+                trip_count: trips,
+                label,
+            });
         } else if line == "{" {
             if packet.is_some() {
                 return Err(err("nested packet"));
@@ -93,12 +100,17 @@ pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
             });
             b.packets.push(Packet::from_insns(insns));
         } else {
-            let p = packet.as_mut().ok_or_else(|| err("instruction outside a packet"))?;
+            let p = packet
+                .as_mut()
+                .ok_or_else(|| err("instruction outside a packet"))?;
             p.push(parse_insn(line).map_err(|m| err(&m))?);
         }
     }
     if packet.is_some() {
-        return Err(ParseAsmError { line: text.lines().count(), message: "unclosed packet".into() });
+        return Err(ParseAsmError {
+            line: text.lines().count(),
+            message: "unclosed packet".into(),
+        });
     }
     if let Some(b) = block.take() {
         program.push(b);
@@ -162,7 +174,9 @@ fn lane_of(dst: &str) -> Result<Lane, String> {
 
 /// Splits `f(a, b, c)` into (`f`, [`a`, `b`, `c`]).
 fn call(expr: &str) -> Result<(&str, Vec<&str>), String> {
-    let open = expr.find('(').ok_or_else(|| format!("expected call syntax in '{expr}'"))?;
+    let open = expr
+        .find('(')
+        .ok_or_else(|| format!("expected call syntax in '{expr}'"))?;
     let inner = expr[open + 1..]
         .strip_suffix(')')
         .or_else(|| expr[open + 1..].strip_suffix("):sat"))
@@ -172,8 +186,9 @@ fn call(expr: &str) -> Result<(&str, Vec<&str>), String> {
 
 /// Splits `mem(base+#off)`-style address expressions.
 fn mem_addr(arg: &str) -> Result<(SReg, i64), String> {
-    let (base_tok, off_tok) =
-        arg.split_once('+').ok_or_else(|| format!("bad address '{arg}'"))?;
+    let (base_tok, off_tok) = arg
+        .split_once('+')
+        .ok_or_else(|| format!("bad address '{arg}'"))?;
     Ok((sreg(base_tok.trim())?, imm(off_tok.trim())?))
 }
 
@@ -189,8 +204,16 @@ pub fn parse_insn(line: &str) -> Result<Insn, String> {
         let (kind, args) = call(lhs.trim())?;
         let (b, off) = mem_addr(args.first().ok_or("missing address")?)?;
         return match kind {
-            "vmem" => Ok(Insn::VStore { src: vreg(base(rhs.trim()))?, base: b, offset: off }),
-            "mem" => Ok(Insn::St { src: sreg(base(rhs.trim()))?, base: b, offset: off }),
+            "vmem" => Ok(Insn::VStore {
+                src: vreg(base(rhs.trim()))?,
+                base: b,
+                offset: off,
+            }),
+            "mem" => Ok(Insn::St {
+                src: sreg(base(rhs.trim()))?,
+                base: b,
+                offset: off,
+            }),
             _ => Err(format!("unknown store '{kind}'")),
         };
     }
@@ -202,16 +225,24 @@ pub fn parse_insn(line: &str) -> Result<Insn, String> {
 
     // Pure immediate move: `r0 = #42`.
     if rhs.starts_with('#') {
-        return Ok(Insn::Movi { dst: sreg(base(dst))?, imm: imm(rhs)? });
+        return Ok(Insn::Movi {
+            dst: sreg(base(dst))?,
+            imm: imm(rhs)?,
+        });
     }
     // Accumulating vector add: `v4.h += v6.h` prints as `v4.h += v6.h`.
     if !rhs.contains('(') {
-        return Ok(Insn::VaddHAcc { dst: vreg(base(dst))?, src: vreg(base(rhs))? });
+        return Ok(Insn::VaddHAcc {
+            dst: vreg(base(dst))?,
+            src: vreg(base(rhs))?,
+        });
     }
 
     let (op, args) = call(rhs)?;
     let arg = |i: usize| -> Result<&str, String> {
-        args.get(i).copied().ok_or_else(|| format!("missing operand {i} of '{op}'"))
+        args.get(i)
+            .copied()
+            .ok_or_else(|| format!("missing operand {i} of '{op}'"))
     };
     match op {
         "vmpy" => {
@@ -283,7 +314,10 @@ pub fn parse_insn(line: &str) -> Result<Insn, String> {
             a: vreg(base(arg(0)?))?,
             b: vreg(base(arg(1)?))?,
         }),
-        "vsplat" => Ok(Insn::Vsplat { dst: vreg(base(dst))?, src: sreg(base(arg(0)?))? }),
+        "vsplat" => Ok(Insn::Vsplat {
+            dst: vreg(base(dst))?,
+            src: sreg(base(arg(0)?))?,
+        }),
         "vasr" => {
             if args.len() == 3 {
                 Ok(Insn::VasrWH {
@@ -304,18 +338,30 @@ pub fn parse_insn(line: &str) -> Result<Insn, String> {
             let dst_pair = vpair(base(dst))?;
             let src_pair = vpair(base(arg(0)?))?;
             if dst.ends_with(".b") {
-                Ok(Insn::VshuffB { dst: dst_pair, src: src_pair })
+                Ok(Insn::VshuffB {
+                    dst: dst_pair,
+                    src: src_pair,
+                })
             } else {
-                Ok(Insn::VshuffH { dst: dst_pair, src: src_pair })
+                Ok(Insn::VshuffH {
+                    dst: dst_pair,
+                    src: src_pair,
+                })
             }
         }
         "vdeal" => {
             let dst_pair = vpair(base(dst))?;
             let src_pair = vpair(base(arg(0)?))?;
             if dst.ends_with(".b") {
-                Ok(Insn::VdealB { dst: dst_pair, src: src_pair })
+                Ok(Insn::VdealB {
+                    dst: dst_pair,
+                    src: src_pair,
+                })
             } else {
-                Ok(Insn::VdealH { dst: dst_pair, src: src_pair })
+                Ok(Insn::VdealH {
+                    dst: dst_pair,
+                    src: src_pair,
+                })
             }
         }
         "vlut" => Ok(Insn::VlutB {
@@ -325,15 +371,27 @@ pub fn parse_insn(line: &str) -> Result<Insn, String> {
         }),
         "vmem" => {
             let (b, off) = mem_addr(arg(0)?)?;
-            Ok(Insn::VLoad { dst: vreg(base(dst))?, base: b, offset: off })
+            Ok(Insn::VLoad {
+                dst: vreg(base(dst))?,
+                base: b,
+                offset: off,
+            })
         }
         "vgather" => {
             let (b, off) = mem_addr(arg(0)?)?;
-            Ok(Insn::VGather { dst: vreg(base(dst))?, base: b, offset: off })
+            Ok(Insn::VGather {
+                dst: vreg(base(dst))?,
+                base: b,
+                offset: off,
+            })
         }
         "mem" => {
             let (b, off) = mem_addr(arg(0)?)?;
-            Ok(Insn::Ld { dst: sreg(base(dst))?, base: b, offset: off })
+            Ok(Insn::Ld {
+                dst: sreg(base(dst))?,
+                base: b,
+                offset: off,
+            })
         }
         "add" => {
             let second = arg(1)?;
@@ -391,38 +449,168 @@ mod tests {
         let w = |i: u8| VPair::new(i);
         let r = SReg::new;
         vec![
-            Insn::Vmpy { dst: w(4), src: v(2), weights: r(1), acc: true },
-            Insn::Vmpa { dst: v(3), src: v(2), weights: r(1), acc: false },
-            Insn::Vrmpy { dst: v(3), src: v(2), weights: r(1), acc: true },
-            Insn::Vtmpy { dst: w(4), src: w(6), weights: r(1), acc: false },
-            Insn::Vadd { lane: Lane::H, dst: v(1), a: v(2), b: v(3) },
-            Insn::Vsub { lane: Lane::W, dst: v(1), a: v(2), b: v(3) },
-            Insn::Vmax { lane: Lane::B, dst: v(1), a: v(2), b: v(3) },
-            Insn::Vmin { lane: Lane::H, dst: v(1), a: v(2), b: v(3) },
-            Insn::VaddUbH { dst: w(4), a: v(1), b: v(2) },
-            Insn::VaddHAcc { dst: v(4), src: v(6) },
-            Insn::VmulUbH { dst: w(4), a: v(1), b: v(2) },
-            Insn::Vsplat { dst: v(9), src: r(7) },
-            Insn::VasrHB { dst: v(1), src: w(4), shift: 6 },
-            Insn::VasrWH { dst: v(1), a: v(8), b: v(10), shift: 2 },
-            Insn::VshuffH { dst: w(4), src: w(6) },
-            Insn::VdealH { dst: w(4), src: w(6) },
-            Insn::VshuffB { dst: w(4), src: w(6) },
-            Insn::VdealB { dst: w(4), src: w(6) },
-            Insn::VlutB { dst: v(1), idx: v(2), table: v(31) },
-            Insn::VLoad { dst: v(5), base: r(0), offset: 256 },
-            Insn::VGather { dst: v(5), base: r(0), offset: 384 },
-            Insn::VStore { src: v(5), base: r(1), offset: 128 },
-            Insn::Movi { dst: r(3), imm: -42 },
-            Insn::Add { dst: r(3), a: r(1), b: r(2) },
-            Insn::AddI { dst: r(3), a: r(3), imm: 128 },
-            Insn::Sub { dst: r(3), a: r(1), b: r(2) },
-            Insn::Mul { dst: r(3), a: r(1), b: r(2) },
-            Insn::Div { dst: r(3), a: r(1), b: r(2) },
-            Insn::Shl { dst: r(3), a: r(1), imm: 4 },
-            Insn::Shr { dst: r(3), a: r(1), imm: 4 },
-            Insn::Ld { dst: r(3), base: r(0), offset: 8 },
-            Insn::St { src: r(3), base: r(0), offset: 8 },
+            Insn::Vmpy {
+                dst: w(4),
+                src: v(2),
+                weights: r(1),
+                acc: true,
+            },
+            Insn::Vmpa {
+                dst: v(3),
+                src: v(2),
+                weights: r(1),
+                acc: false,
+            },
+            Insn::Vrmpy {
+                dst: v(3),
+                src: v(2),
+                weights: r(1),
+                acc: true,
+            },
+            Insn::Vtmpy {
+                dst: w(4),
+                src: w(6),
+                weights: r(1),
+                acc: false,
+            },
+            Insn::Vadd {
+                lane: Lane::H,
+                dst: v(1),
+                a: v(2),
+                b: v(3),
+            },
+            Insn::Vsub {
+                lane: Lane::W,
+                dst: v(1),
+                a: v(2),
+                b: v(3),
+            },
+            Insn::Vmax {
+                lane: Lane::B,
+                dst: v(1),
+                a: v(2),
+                b: v(3),
+            },
+            Insn::Vmin {
+                lane: Lane::H,
+                dst: v(1),
+                a: v(2),
+                b: v(3),
+            },
+            Insn::VaddUbH {
+                dst: w(4),
+                a: v(1),
+                b: v(2),
+            },
+            Insn::VaddHAcc {
+                dst: v(4),
+                src: v(6),
+            },
+            Insn::VmulUbH {
+                dst: w(4),
+                a: v(1),
+                b: v(2),
+            },
+            Insn::Vsplat {
+                dst: v(9),
+                src: r(7),
+            },
+            Insn::VasrHB {
+                dst: v(1),
+                src: w(4),
+                shift: 6,
+            },
+            Insn::VasrWH {
+                dst: v(1),
+                a: v(8),
+                b: v(10),
+                shift: 2,
+            },
+            Insn::VshuffH {
+                dst: w(4),
+                src: w(6),
+            },
+            Insn::VdealH {
+                dst: w(4),
+                src: w(6),
+            },
+            Insn::VshuffB {
+                dst: w(4),
+                src: w(6),
+            },
+            Insn::VdealB {
+                dst: w(4),
+                src: w(6),
+            },
+            Insn::VlutB {
+                dst: v(1),
+                idx: v(2),
+                table: v(31),
+            },
+            Insn::VLoad {
+                dst: v(5),
+                base: r(0),
+                offset: 256,
+            },
+            Insn::VGather {
+                dst: v(5),
+                base: r(0),
+                offset: 384,
+            },
+            Insn::VStore {
+                src: v(5),
+                base: r(1),
+                offset: 128,
+            },
+            Insn::Movi {
+                dst: r(3),
+                imm: -42,
+            },
+            Insn::Add {
+                dst: r(3),
+                a: r(1),
+                b: r(2),
+            },
+            Insn::AddI {
+                dst: r(3),
+                a: r(3),
+                imm: 128,
+            },
+            Insn::Sub {
+                dst: r(3),
+                a: r(1),
+                b: r(2),
+            },
+            Insn::Mul {
+                dst: r(3),
+                a: r(1),
+                b: r(2),
+            },
+            Insn::Div {
+                dst: r(3),
+                a: r(1),
+                b: r(2),
+            },
+            Insn::Shl {
+                dst: r(3),
+                a: r(1),
+                imm: 4,
+            },
+            Insn::Shr {
+                dst: r(3),
+                a: r(1),
+                imm: 4,
+            },
+            Insn::Ld {
+                dst: r(3),
+                base: r(0),
+                offset: 8,
+            },
+            Insn::St {
+                src: r(3),
+                base: r(0),
+                offset: 8,
+            },
             Insn::Nop,
         ]
     }

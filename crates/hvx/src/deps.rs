@@ -132,22 +132,30 @@ pub fn classify(producer: &Insn, consumer: &Insn) -> DepKind {
 fn raw_kind(producer: &Insn, consumer: &Insn, reg: crate::reg::Reg) -> DepKind {
     // Loads forward their result within a packet at a stall (Figure 4a).
     if producer.is_load() {
-        return DepKind::Soft { penalty: SOFT_RAW_PENALTY };
+        return DepKind::Soft {
+            penalty: SOFT_RAW_PENALTY,
+        };
     }
     // Scalar ALU results forward within a packet at a stall.
     if producer.resource() == Unit::SAlu {
-        return DepKind::Soft { penalty: SOFT_RAW_PENALTY };
+        return DepKind::Soft {
+            penalty: SOFT_RAW_PENALTY,
+        };
     }
     // A store of a value produced in the same packet waits for the write
     // stage (Figure 4b) — soft, regardless of producer kind.
     if let Insn::VStore { src, .. } = consumer {
         if crate::reg::Reg::V(*src) == reg {
-            return DepKind::Soft { penalty: SOFT_RAW_PENALTY };
+            return DepKind::Soft {
+                penalty: SOFT_RAW_PENALTY,
+            };
         }
     }
     if let Insn::St { src, .. } = consumer {
         if crate::reg::Reg::S(*src) == reg {
-            return DepKind::Soft { penalty: SOFT_RAW_PENALTY };
+            return DepKind::Soft {
+                penalty: SOFT_RAW_PENALTY,
+            };
         }
     }
     // Vector producers feeding vector consumers need the full write-back.
@@ -172,64 +180,145 @@ mod tests {
     #[test]
     fn load_to_use_is_soft() {
         // Figure 4 (a): R1 = load(ad); R3 = R2 + R1.
-        let load = Insn::Ld { dst: r(1), base: r(0), offset: 0 };
-        let add = Insn::Add { dst: r(3), a: r(2), b: r(1) };
-        assert_eq!(classify(&load, &add), DepKind::Soft { penalty: SOFT_RAW_PENALTY });
+        let load = Insn::Ld {
+            dst: r(1),
+            base: r(0),
+            offset: 0,
+        };
+        let add = Insn::Add {
+            dst: r(3),
+            a: r(2),
+            b: r(1),
+        };
+        assert_eq!(
+            classify(&load, &add),
+            DepKind::Soft {
+                penalty: SOFT_RAW_PENALTY
+            }
+        );
     }
 
     #[test]
     fn alu_to_store_is_soft() {
         // Figure 4 (b): R3 = R1 + R2; store(R3, ad).
-        let add = Insn::Add { dst: r(3), a: r(1), b: r(2) };
-        let st = Insn::St { src: r(3), base: r(0), offset: 0 };
-        assert_eq!(classify(&add, &st), DepKind::Soft { penalty: SOFT_RAW_PENALTY });
+        let add = Insn::Add {
+            dst: r(3),
+            a: r(1),
+            b: r(2),
+        };
+        let st = Insn::St {
+            src: r(3),
+            base: r(0),
+            offset: 0,
+        };
+        assert_eq!(
+            classify(&add, &st),
+            DepKind::Soft {
+                penalty: SOFT_RAW_PENALTY
+            }
+        );
     }
 
     #[test]
     fn vector_mult_to_vector_use_is_hard() {
-        let mpy = Insn::Vmpy { dst: w(0), src: v(2), weights: r(0), acc: false };
-        let asr = Insn::VasrHB { dst: v(4), src: w(0), shift: 4 };
+        let mpy = Insn::Vmpy {
+            dst: w(0),
+            src: v(2),
+            weights: r(0),
+            acc: false,
+        };
+        let asr = Insn::VasrHB {
+            dst: v(4),
+            src: w(0),
+            shift: 4,
+        };
         assert_eq!(classify(&mpy, &asr), DepKind::Hard);
     }
 
     #[test]
     fn vector_op_to_store_of_result_is_soft() {
-        let add = Insn::Vadd { lane: crate::insn::Lane::H, dst: v(3), a: v(1), b: v(2) };
-        let st = Insn::VStore { src: v(3), base: r(0), offset: 0 };
+        let add = Insn::Vadd {
+            lane: crate::insn::Lane::H,
+            dst: v(3),
+            a: v(1),
+            b: v(2),
+        };
+        let st = Insn::VStore {
+            src: v(3),
+            base: r(0),
+            offset: 0,
+        };
         assert!(classify(&add, &st).is_soft());
     }
 
     #[test]
     fn war_is_soft_free() {
-        let use_first = Insn::Vadd { lane: crate::insn::Lane::B, dst: v(3), a: v(1), b: v(2) };
-        let overwrite = Insn::VLoad { dst: v(1), base: r(0), offset: 0 };
-        assert_eq!(classify(&use_first, &overwrite), DepKind::Soft { penalty: 0 });
+        let use_first = Insn::Vadd {
+            lane: crate::insn::Lane::B,
+            dst: v(3),
+            a: v(1),
+            b: v(2),
+        };
+        let overwrite = Insn::VLoad {
+            dst: v(1),
+            base: r(0),
+            offset: 0,
+        };
+        assert_eq!(
+            classify(&use_first, &overwrite),
+            DepKind::Soft { penalty: 0 }
+        );
     }
 
     #[test]
     fn waw_is_hard() {
         let a = Insn::Movi { dst: r(1), imm: 1 };
-        let b = Insn::AddI { dst: r(1), a: r(2), imm: 4 };
+        let b = Insn::AddI {
+            dst: r(1),
+            a: r(2),
+            imm: 4,
+        };
         assert_eq!(classify(&a, &b), DepKind::Hard);
     }
 
     #[test]
     fn store_then_load_is_hard() {
-        let st = Insn::VStore { src: v(0), base: r(0), offset: 0 };
-        let ld = Insn::VLoad { dst: v(1), base: r(1), offset: 0 };
+        let st = Insn::VStore {
+            src: v(0),
+            base: r(0),
+            offset: 0,
+        };
+        let ld = Insn::VLoad {
+            dst: v(1),
+            base: r(1),
+            offset: 0,
+        };
         assert_eq!(classify(&st, &ld), DepKind::Hard);
     }
 
     #[test]
     fn independent_is_none() {
-        let a = Insn::Vadd { lane: crate::insn::Lane::H, dst: v(0), a: v(1), b: v(2) };
-        let b = Insn::Vadd { lane: crate::insn::Lane::H, dst: v(3), a: v(4), b: v(5) };
+        let a = Insn::Vadd {
+            lane: crate::insn::Lane::H,
+            dst: v(0),
+            a: v(1),
+            b: v(2),
+        };
+        let b = Insn::Vadd {
+            lane: crate::insn::Lane::H,
+            dst: v(3),
+            a: v(4),
+            b: v(5),
+        };
         assert_eq!(classify(&a, &b), DepKind::None);
     }
 
     #[test]
     fn dep_ordering() {
-        assert_eq!(DepKind::Hard.max(DepKind::Soft { penalty: 3 }), DepKind::Hard);
+        assert_eq!(
+            DepKind::Hard.max(DepKind::Soft { penalty: 3 }),
+            DepKind::Hard
+        );
         assert_eq!(
             DepKind::Soft { penalty: 1 }.max(DepKind::Soft { penalty: 2 }),
             DepKind::Soft { penalty: 2 }

@@ -102,12 +102,18 @@ mod tests {
         };
         let m = EnergyModel::default();
         let p = m.power_w(&stats);
-        assert!(p > 0.5 && p < 5.0, "power {p} W outside mobile-DSP envelope");
+        assert!(
+            p > 0.5 && p < 5.0,
+            "power {p} W outside mobile-DSP envelope"
+        );
     }
 
     #[test]
     fn idle_cycles_cost_static_energy_only() {
-        let stats = ExecStats { cycles: 1000, ..Default::default() };
+        let stats = ExecStats {
+            cycles: 1000,
+            ..Default::default()
+        };
         let m = EnergyModel::default();
         assert!((m.energy_pj(&stats) - 40.0 * 1000.0).abs() < 1e-9);
     }

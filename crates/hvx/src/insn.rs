@@ -77,32 +77,72 @@ pub enum Insn {
     /// multiplied by the signed weight byte `weights.b[i % 4]`; the 128
     /// 16-bit products are split even/odd across the destination pair
     /// (`dst.lo.h[k] = p[2k]`, `dst.hi.h[k] = p[2k+1]`).
-    Vmpy { dst: VPair, src: VReg, weights: SReg, acc: bool },
+    Vmpy {
+        dst: VPair,
+        src: VReg,
+        weights: SReg,
+        acc: bool,
+    },
     /// `Vd[.h] (+)= vmpa(Vu.ub, Rt.b)` — bytes are consumed in adjacent
     /// pairs `(b[2i], b[2i+1])` (64 rows × 2 interleaved columns of the
     /// 2-column layout); even pairs use weights `(b0, b1)`, odd pairs
     /// `(b2, b3)`: `p[i] = b[2i]·w + b[2i+1]·w'`. The 64 16-bit results
     /// land sequentially in the destination register.
-    Vmpa { dst: VReg, src: VReg, weights: SReg, acc: bool },
+    Vmpa {
+        dst: VReg,
+        src: VReg,
+        weights: SReg,
+        acc: bool,
+    },
     /// `Vd[.w] (+)= vrmpy(Vu.ub, Rt.b)` — reducing multiply: each group of
     /// four consecutive bytes is dot-multiplied with the four weight
     /// bytes, producing 32 32-bit lanes.
-    Vrmpy { dst: VReg, src: VReg, weights: SReg, acc: bool },
+    Vrmpy {
+        dst: VReg,
+        src: VReg,
+        weights: SReg,
+        acc: bool,
+    },
     /// `Vdd[.h] (+)= vtmpy(Vuu.ub, Rt.b)` — sliding 3-tap multiply over
     /// the 256 sequential bytes of the source pair:
     /// `p[i] = b[i]·w0 + b[i+1]·w1 + b[i+2]·w2` for `i` in `0..128`,
     /// stored as 128 sequential 16-bit lanes across the destination pair.
-    Vtmpy { dst: VPair, src: VPair, weights: SReg, acc: bool },
+    Vtmpy {
+        dst: VPair,
+        src: VPair,
+        weights: SReg,
+        acc: bool,
+    },
 
     // ---- vector ALU --------------------------------------------------------
     /// Elementwise wrapping add on `lane`-wide lanes.
-    Vadd { lane: Lane, dst: VReg, a: VReg, b: VReg },
+    Vadd {
+        lane: Lane,
+        dst: VReg,
+        a: VReg,
+        b: VReg,
+    },
     /// Elementwise wrapping subtract on `lane`-wide lanes.
-    Vsub { lane: Lane, dst: VReg, a: VReg, b: VReg },
+    Vsub {
+        lane: Lane,
+        dst: VReg,
+        a: VReg,
+        b: VReg,
+    },
     /// Elementwise signed max on `lane`-wide lanes (ReLU-style clamps).
-    Vmax { lane: Lane, dst: VReg, a: VReg, b: VReg },
+    Vmax {
+        lane: Lane,
+        dst: VReg,
+        a: VReg,
+        b: VReg,
+    },
     /// Elementwise signed min on `lane`-wide lanes.
-    Vmin { lane: Lane, dst: VReg, a: VReg, b: VReg },
+    Vmin {
+        lane: Lane,
+        dst: VReg,
+        a: VReg,
+        b: VReg,
+    },
     /// Widening add: `dst` pair receives 128 sequential 16-bit sums of the
     /// unsigned bytes of `a` and `b` (used by the paper's Figure 5
     /// element-wise Add example, `R = A + B + C` with `int16` result).
@@ -125,7 +165,12 @@ pub enum Insn {
     VasrHB { dst: VReg, src: VPair, shift: u8 },
     /// Narrowing saturating shift `w → h`:
     /// `dst.h[2k] = sath(a.w[k] >> shift)`, `dst.h[2k+1] = sath(b.w[k] >> shift)`.
-    VasrWH { dst: VReg, a: VReg, b: VReg, shift: u8 },
+    VasrWH {
+        dst: VReg,
+        a: VReg,
+        b: VReg,
+        shift: u8,
+    },
     /// Shuffle: interleave the halves of a pair of 16-bit vectors —
     /// `dst.seq_h[2k] = src.lo.h[k]`, `dst.seq_h[2k+1] = src.hi.h[k]`
     /// where `seq_h` views the pair as 128 sequential lanes.
@@ -249,7 +294,10 @@ impl Insn {
 
     /// Whether the instruction reads memory.
     pub fn is_load(&self) -> bool {
-        matches!(self, Insn::VLoad { .. } | Insn::VGather { .. } | Insn::Ld { .. })
+        matches!(
+            self,
+            Insn::VLoad { .. } | Insn::VGather { .. } | Insn::Ld { .. }
+        )
     }
 
     /// Whether the instruction writes memory.
@@ -299,7 +347,12 @@ impl Insn {
     /// read their destination).
     pub fn uses(&self) -> Vec<Reg> {
         match *self {
-            Insn::Vmpy { dst, src, weights, acc } => {
+            Insn::Vmpy {
+                dst,
+                src,
+                weights,
+                acc,
+            } => {
                 let mut u: Vec<Reg> = vec![src.into(), weights.into()];
                 if acc {
                     u.push(dst.lo().into());
@@ -307,16 +360,31 @@ impl Insn {
                 }
                 u
             }
-            Insn::Vtmpy { dst, src, weights, acc } => {
-                let mut u: Vec<Reg> =
-                    vec![src.lo().into(), src.hi().into(), weights.into()];
+            Insn::Vtmpy {
+                dst,
+                src,
+                weights,
+                acc,
+            } => {
+                let mut u: Vec<Reg> = vec![src.lo().into(), src.hi().into(), weights.into()];
                 if acc {
                     u.push(dst.lo().into());
                     u.push(dst.hi().into());
                 }
                 u
             }
-            Insn::Vmpa { dst, src, weights, acc } | Insn::Vrmpy { dst, src, weights, acc } => {
+            Insn::Vmpa {
+                dst,
+                src,
+                weights,
+                acc,
+            }
+            | Insn::Vrmpy {
+                dst,
+                src,
+                weights,
+                acc,
+            } => {
                 let mut u: Vec<Reg> = vec![src.into(), weights.into()];
                 if acc {
                     u.push(dst.into());
@@ -374,16 +442,36 @@ impl fmt::Display for Insn {
             }
         }
         match *self {
-            Insn::Vmpy { dst, src, weights, acc } => {
+            Insn::Vmpy {
+                dst,
+                src,
+                weights,
+                acc,
+            } => {
                 write!(f, "{dst}.h {} vmpy({src}.ub, {weights}.b)", eq(acc))
             }
-            Insn::Vmpa { dst, src, weights, acc } => {
+            Insn::Vmpa {
+                dst,
+                src,
+                weights,
+                acc,
+            } => {
                 write!(f, "{dst}.h {} vmpa({src}.ub, {weights}.b)", eq(acc))
             }
-            Insn::Vrmpy { dst, src, weights, acc } => {
+            Insn::Vrmpy {
+                dst,
+                src,
+                weights,
+                acc,
+            } => {
                 write!(f, "{dst}.w {} vrmpy({src}.ub, {weights}.b)", eq(acc))
             }
-            Insn::Vtmpy { dst, src, weights, acc } => {
+            Insn::Vtmpy {
+                dst,
+                src,
+                weights,
+                acc,
+            } => {
                 write!(f, "{dst}.h {} vtmpy({src}.ub, {weights}.b)", eq(acc))
             }
             Insn::Vadd { lane, dst, a, b } => write!(f, "{dst}.{lane} = vadd({a}, {b})"),
@@ -442,22 +530,52 @@ mod tests {
 
     #[test]
     fn acc_multiplies_read_their_destination() {
-        let i = Insn::Vmpy { dst: w(0), src: v(2), weights: r(0), acc: true };
+        let i = Insn::Vmpy {
+            dst: w(0),
+            src: v(2),
+            weights: r(0),
+            acc: true,
+        };
         assert!(i.uses().contains(&v(0).into()));
         assert!(i.uses().contains(&v(1).into()));
-        let i = Insn::Vmpy { dst: w(0), src: v(2), weights: r(0), acc: false };
+        let i = Insn::Vmpy {
+            dst: w(0),
+            src: v(2),
+            weights: r(0),
+            acc: false,
+        };
         assert!(!i.uses().contains(&v(0).into()));
     }
 
     #[test]
     fn latency_spread() {
-        assert_eq!(Insn::Div { dst: r(0), a: r(1), b: r(2) }.latency(), 16);
         assert_eq!(
-            Insn::Vrmpy { dst: v(0), src: v(1), weights: r(0), acc: false }.latency(),
+            Insn::Div {
+                dst: r(0),
+                a: r(1),
+                b: r(2)
+            }
+            .latency(),
+            16
+        );
+        assert_eq!(
+            Insn::Vrmpy {
+                dst: v(0),
+                src: v(1),
+                weights: r(0),
+                acc: false
+            }
+            .latency(),
             10
         );
         assert_eq!(
-            Insn::Vmpy { dst: w(0), src: v(1), weights: r(0), acc: false }.latency(),
+            Insn::Vmpy {
+                dst: w(0),
+                src: v(1),
+                weights: r(0),
+                acc: false
+            }
+            .latency(),
             8
         );
         assert_eq!(Insn::Nop.latency(), 3);
@@ -466,28 +584,53 @@ mod tests {
     #[test]
     fn resources() {
         assert_eq!(
-            Insn::VLoad { dst: v(0), base: r(0), offset: 0 }.resource(),
+            Insn::VLoad {
+                dst: v(0),
+                base: r(0),
+                offset: 0
+            }
+            .resource(),
             Unit::Mem
         );
         assert_eq!(
-            Insn::VasrHB { dst: v(0), src: w(2), shift: 4 }.resource(),
+            Insn::VasrHB {
+                dst: v(0),
+                src: w(2),
+                shift: 4
+            }
+            .resource(),
             Unit::VShift
         );
         assert_eq!(
-            Insn::Vmpa { dst: v(0), src: v(2), weights: r(0), acc: false }.resource(),
+            Insn::Vmpa {
+                dst: v(0),
+                src: v(2),
+                weights: r(0),
+                acc: false
+            }
+            .resource(),
             Unit::VMpy
         );
     }
 
     #[test]
     fn display_round_trips_registers() {
-        let i = Insn::Vmpy { dst: w(4), src: v(7), weights: r(3), acc: true };
+        let i = Insn::Vmpy {
+            dst: w(4),
+            src: v(7),
+            weights: r(3),
+            acc: true,
+        };
         assert_eq!(i.to_string(), "w2.h += vmpy(v7.ub, r3.b)");
     }
 
     #[test]
     fn store_defs_empty_and_mem_bytes() {
-        let s = Insn::VStore { src: v(1), base: r(0), offset: 128 };
+        let s = Insn::VStore {
+            src: v(1),
+            base: r(0),
+            offset: 128,
+        };
         assert!(s.defs().is_empty());
         assert!(s.is_store());
         assert_eq!(s.mem_bytes(), 128);

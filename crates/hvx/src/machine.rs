@@ -218,12 +218,7 @@ impl Machine {
         }
     }
 
-    fn read_v(
-        &self,
-        r: VReg,
-        stale: &[Reg],
-        snapshot_v: &[VData],
-    ) -> VData {
+    fn read_v(&self, r: VReg, stale: &[Reg], snapshot_v: &[VData]) -> VData {
         if stale.contains(&Reg::V(r)) {
             snapshot_v[r.index() as usize]
         } else {
@@ -231,13 +226,11 @@ impl Machine {
         }
     }
 
-    fn read_pair(
-        &self,
-        w: VPair,
-        stale: &[Reg],
-        snapshot_v: &[VData],
-    ) -> (VData, VData) {
-        (self.read_v(w.lo(), stale, snapshot_v), self.read_v(w.hi(), stale, snapshot_v))
+    fn read_pair(&self, w: VPair, stale: &[Reg], snapshot_v: &[VData]) -> (VData, VData) {
+        (
+            self.read_v(w.lo(), stale, snapshot_v),
+            self.read_v(w.hi(), stale, snapshot_v),
+        )
     }
 
     fn read_s(&self, r: SReg, stale: &[Reg], snapshot_s: &[i64]) -> i64 {
@@ -262,15 +255,14 @@ impl Machine {
         ((s >> (8 * j)) & 0xFF) as u8 as i8 as i32
     }
 
-    fn exec_insn(
-        &mut self,
-        insn: &Insn,
-        stale: &[Reg],
-        snapshot_v: &[VData],
-        snapshot_s: &[i64],
-    ) {
+    fn exec_insn(&mut self, insn: &Insn, stale: &[Reg], snapshot_v: &[VData], snapshot_s: &[i64]) {
         match *insn {
-            Insn::Vmpy { dst, src, weights, acc } => {
+            Insn::Vmpy {
+                dst,
+                src,
+                weights,
+                acc,
+            } => {
                 let v = self.read_v(src, stale, snapshot_v);
                 let s = self.read_s(weights, stale, snapshot_s);
                 let (mut lo, mut hi) = if acc {
@@ -287,7 +279,12 @@ impl Machine {
                 }
                 self.write_pair(dst, lo, hi);
             }
-            Insn::Vmpa { dst, src, weights, acc } => {
+            Insn::Vmpa {
+                dst,
+                src,
+                weights,
+                acc,
+            } => {
                 let v = self.read_v(src, stale, snapshot_v);
                 let s = self.read_s(weights, stale, snapshot_s);
                 let mut out = if acc {
@@ -307,7 +304,12 @@ impl Machine {
                 }
                 self.write_v(dst, out);
             }
-            Insn::Vrmpy { dst, src, weights, acc } => {
+            Insn::Vrmpy {
+                dst,
+                src,
+                weights,
+                acc,
+            } => {
                 let v = self.read_v(src, stale, snapshot_v);
                 let s = self.read_s(weights, stale, snapshot_s);
                 let mut out = if acc {
@@ -325,7 +327,12 @@ impl Machine {
                 }
                 self.write_v(dst, out);
             }
-            Insn::Vtmpy { dst, src, weights, acc } => {
+            Insn::Vtmpy {
+                dst,
+                src,
+                weights,
+                acc,
+            } => {
                 let (slo, shi) = self.read_pair(src, stale, snapshot_v);
                 let s = self.read_s(weights, stale, snapshot_s);
                 let (mut lo, mut hi) = if acc {
@@ -347,8 +354,11 @@ impl Machine {
                         + seq(i + 1) * Self::weight_byte(s, 1)
                         + seq(i + 2) * Self::weight_byte(s, 2);
                     // Sequential layout: first 64 lanes in lo, next 64 in hi.
-                    let (half, k) =
-                        if i < 64 { (&mut lo, i) } else { (&mut hi, i - 64) };
+                    let (half, k) = if i < 64 {
+                        (&mut lo, i)
+                    } else {
+                        (&mut hi, i - 64)
+                    };
                     let cur = if acc { get_h(half, k) } else { 0 };
                     set_h(half, k, cur.wrapping_add(p as i16));
                 }
@@ -392,7 +402,11 @@ impl Machine {
                 let mut hi = [0u8; VBYTES];
                 for i in 0..VBYTES {
                     let sum = x[i] as i16 + y[i] as i16;
-                    let (half, k) = if i < 64 { (&mut lo, i) } else { (&mut hi, i - 64) };
+                    let (half, k) = if i < 64 {
+                        (&mut lo, i)
+                    } else {
+                        (&mut hi, i - 64)
+                    };
                     set_h(half, k, sum);
                 }
                 self.write_pair(dst, lo, hi);
@@ -438,7 +452,11 @@ impl Machine {
                 let (mut lo, mut hi) = ([0u8; VBYTES], [0u8; VBYTES]);
                 for k in 0..VBYTES / 2 {
                     // Sequential lane 2k = slo.h[k], 2k+1 = shi.h[k].
-                    let (half, kk) = if 2 * k < 64 { (&mut lo, 2 * k) } else { (&mut hi, 2 * k - 64) };
+                    let (half, kk) = if 2 * k < 64 {
+                        (&mut lo, 2 * k)
+                    } else {
+                        (&mut hi, 2 * k - 64)
+                    };
                     set_h(half, kk, get_h(&slo, k));
                     let (half, kk) = if 2 * k + 1 < 64 {
                         (&mut lo, 2 * k + 1)
@@ -452,7 +470,13 @@ impl Machine {
             Insn::VdealH { dst, src } => {
                 let (slo, shi) = self.read_pair(src, stale, snapshot_v);
                 let (mut lo, mut hi) = ([0u8; VBYTES], [0u8; VBYTES]);
-                let seq = |i: usize| if i < 64 { get_h(&slo, i) } else { get_h(&shi, i - 64) };
+                let seq = |i: usize| {
+                    if i < 64 {
+                        get_h(&slo, i)
+                    } else {
+                        get_h(&shi, i - 64)
+                    }
+                };
                 for k in 0..VBYTES / 2 {
                     set_h(&mut lo, k, seq(2 * k));
                     set_h(&mut hi, k, seq(2 * k + 1));
@@ -564,12 +588,20 @@ fn lanewise(lane: Lane, a: &VData, b: &VData, f: impl Fn(i64, i64) -> i64) -> VD
         }
         Lane::H => {
             for k in 0..VBYTES / 2 {
-                set_h(&mut out, k, f(get_h(a, k) as i64, get_h(b, k) as i64) as i16);
+                set_h(
+                    &mut out,
+                    k,
+                    f(get_h(a, k) as i64, get_h(b, k) as i64) as i16,
+                );
             }
         }
         Lane::W => {
             for k in 0..VBYTES / 4 {
-                set_w(&mut out, k, f(get_w(a, k) as i64, get_w(b, k) as i64) as i32);
+                set_w(
+                    &mut out,
+                    k,
+                    f(get_w(a, k) as i64, get_w(b, k) as i64) as i32,
+                );
             }
         }
     }
@@ -595,9 +627,7 @@ mod tests {
 
     /// Packs 4 weight bytes into a scalar value.
     fn weights(b: [i8; 4]) -> i64 {
-        i64::from_le_bytes([
-            b[0] as u8, b[1] as u8, b[2] as u8, b[3] as u8, 0, 0, 0, 0,
-        ])
+        i64::from_le_bytes([b[0] as u8, b[1] as u8, b[2] as u8, b[3] as u8, 0, 0, 0, 0])
     }
 
     #[test]
@@ -644,8 +674,7 @@ mod tests {
         }]));
         for j in 0..VBYTES / 4 {
             let wgt = [1i32, -2, 3, -4];
-            let expect: i32 =
-                (0..4).map(|t| src[4 * j + t] as i32 * wgt[t]).sum();
+            let expect: i32 = (0..4).map(|t| src[4 * j + t] as i32 * wgt[t]).sum();
             assert_eq!(simd::get_w(m.vreg(v(8)), j), expect, "group {j}");
         }
     }
@@ -656,7 +685,12 @@ mod tests {
         let src = [1u8; VBYTES];
         m.set_vreg(v(1), src);
         m.set_sreg(r(0), weights([1, 1, 1, 1]));
-        let i = Insn::Vrmpy { dst: v(8), src: v(1), weights: r(0), acc: true };
+        let i = Insn::Vrmpy {
+            dst: v(8),
+            src: v(1),
+            weights: r(0),
+            acc: true,
+        };
         m.run_packet(&Packet::from_insns(vec![i.clone()]));
         m.run_packet(&Packet::from_insns(vec![i]));
         assert_eq!(simd::get_w(m.vreg(v(8)), 0), 8);
@@ -694,8 +728,14 @@ mod tests {
         }
         m.set_vreg(v(2), lo);
         m.set_vreg(v(3), hi);
-        m.run_packet(&Packet::from_insns(vec![Insn::VshuffB { dst: w(4), src: w(2) }]));
-        m.run_packet(&Packet::from_insns(vec![Insn::VdealB { dst: w(6), src: w(4) }]));
+        m.run_packet(&Packet::from_insns(vec![Insn::VshuffB {
+            dst: w(4),
+            src: w(2),
+        }]));
+        m.run_packet(&Packet::from_insns(vec![Insn::VdealB {
+            dst: w(6),
+            src: w(4),
+        }]));
         assert_eq!(m.vreg(v(6)), &lo);
         assert_eq!(m.vreg(v(7)), &hi);
     }
@@ -711,8 +751,14 @@ mod tests {
         }
         m.set_vreg(v(2), lo);
         m.set_vreg(v(3), hi);
-        m.run_packet(&Packet::from_insns(vec![Insn::VshuffH { dst: w(4), src: w(2) }]));
-        m.run_packet(&Packet::from_insns(vec![Insn::VdealH { dst: w(6), src: w(4) }]));
+        m.run_packet(&Packet::from_insns(vec![Insn::VshuffH {
+            dst: w(4),
+            src: w(2),
+        }]));
+        m.run_packet(&Packet::from_insns(vec![Insn::VdealH {
+            dst: w(6),
+            src: w(4),
+        }]));
         assert_eq!(m.vreg(v(6)), &lo);
         assert_eq!(m.vreg(v(7)), &hi);
     }
@@ -725,8 +771,16 @@ mod tests {
         m.set_sreg(r(0), 0); // base
         m.set_sreg(r(2), 100);
         m.run_packet(&Packet::from_insns(vec![
-            Insn::Ld { dst: r(1), base: r(0), offset: 0 },
-            Insn::Add { dst: r(3), a: r(2), b: r(1) },
+            Insn::Ld {
+                dst: r(1),
+                base: r(0),
+                offset: 0,
+            },
+            Insn::Add {
+                dst: r(3),
+                a: r(2),
+                b: r(1),
+            },
         ]));
         assert_eq!(m.sreg(r(3)), 142);
     }
@@ -738,8 +792,17 @@ mod tests {
         m.set_vreg(v(2), [3u8; VBYTES]);
         m.set_sreg(r(0), weights([1, 1, 1, 1]));
         let illegal = Packet::from_insns(vec![
-            Insn::Vmpy { dst: w(4), src: v(2), weights: r(0), acc: false },
-            Insn::VasrHB { dst: v(0), src: w(4), shift: 0 },
+            Insn::Vmpy {
+                dst: w(4),
+                src: v(2),
+                weights: r(0),
+                acc: false,
+            },
+            Insn::VasrHB {
+                dst: v(0),
+                src: w(4),
+                shift: 0,
+            },
         ]);
         m.run_packet(&illegal);
         // Stale w(4) was zero, so the narrowed result is zero, not 3.
@@ -756,10 +819,26 @@ mod tests {
         m.set_sreg(r(0), 0); // src
         m.set_sreg(r(1), (VBYTES * 4) as i64); // dst
         let mut b = Block::with_trip_count("copy", 4);
-        b.push(Insn::VLoad { dst: v(0), base: r(0), offset: 0 });
-        b.push(Insn::VStore { src: v(0), base: r(1), offset: 0 });
-        b.push(Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 });
-        b.push(Insn::AddI { dst: r(1), a: r(1), imm: VBYTES as i64 });
+        b.push(Insn::VLoad {
+            dst: v(0),
+            base: r(0),
+            offset: 0,
+        });
+        b.push(Insn::VStore {
+            src: v(0),
+            base: r(1),
+            offset: 0,
+        });
+        b.push(Insn::AddI {
+            dst: r(0),
+            a: r(0),
+            imm: VBYTES as i64,
+        });
+        b.push(Insn::AddI {
+            dst: r(1),
+            a: r(1),
+            imm: VBYTES as i64,
+        });
         m.run_block(&PackedBlock::sequential(&b));
         for i in 0..VBYTES * 4 {
             assert_eq!(m.mem[VBYTES * 4 + i], (i % 251) as u8);

@@ -35,14 +35,28 @@ impl ResourceModel {
 
     /// The default model (Hexagon-698-like).
     pub fn hexagon698() -> Self {
-        ResourceModel { mem: 2, store: 1, vmpy: 1, vshift: 1, vperm: 1, valu: 2 }
+        ResourceModel {
+            mem: 2,
+            store: 1,
+            vmpy: 1,
+            vshift: 1,
+            vperm: 1,
+            valu: 2,
+        }
     }
 
     /// An older-generation model (Hexagon-680-like: the paper notes it
     /// also evaluated "older series Snapdragon platforms" with similar
     /// gains): a single memory port and a single vector ALU slot.
     pub fn hexagon680() -> Self {
-        ResourceModel { mem: 1, store: 1, vmpy: 1, vshift: 1, vperm: 1, valu: 1 }
+        ResourceModel {
+            mem: 1,
+            store: 1,
+            vmpy: 1,
+            vshift: 1,
+            vperm: 1,
+            valu: 1,
+        }
     }
 
     /// Whether `candidate` can be added to a packet currently holding
@@ -123,7 +137,10 @@ impl Packet {
     /// # Panics
     /// Panics if the packet is already full.
     pub fn push(&mut self, insn: Insn) {
-        assert!(self.insns.len() < ResourceModel::MAX_SLOTS, "packet is full");
+        assert!(
+            self.insns.len() < ResourceModel::MAX_SLOTS,
+            "packet is full"
+        );
         self.insns.push(insn);
     }
 
@@ -233,8 +250,16 @@ mod tests {
     fn figure4_soft_packing_cost() {
         // Two 3-cycle instructions with a soft dep: 4 cycles packed.
         let p = Packet::from_insns(vec![
-            Insn::Ld { dst: r(1), base: r(0), offset: 0 },
-            Insn::Add { dst: r(3), a: r(2), b: r(1) },
+            Insn::Ld {
+                dst: r(1),
+                base: r(0),
+                offset: 0,
+            },
+            Insn::Add {
+                dst: r(3),
+                a: r(2),
+                b: r(1),
+            },
         ]);
         assert_eq!(p.cycles(), 4);
         assert_eq!(p.stall_cycles(), 1);
@@ -244,8 +269,17 @@ mod tests {
     #[test]
     fn independent_packet_costs_max_latency() {
         let p = Packet::from_insns(vec![
-            Insn::Vmpy { dst: w(0), src: v(4), weights: r(0), acc: false },
-            Insn::VLoad { dst: v(6), base: r(1), offset: 0 },
+            Insn::Vmpy {
+                dst: w(0),
+                src: v(4),
+                weights: r(0),
+                acc: false,
+            },
+            Insn::VLoad {
+                dst: v(6),
+                base: r(1),
+                offset: 0,
+            },
         ]);
         assert_eq!(p.cycles(), 8);
         assert_eq!(p.stall_cycles(), 0);
@@ -255,9 +289,21 @@ mod tests {
     fn soft_chain_accumulates() {
         // load -> add -> store: two soft hops, depth 2.
         let p = Packet::from_insns(vec![
-            Insn::Ld { dst: r(1), base: r(0), offset: 0 },
-            Insn::Add { dst: r(3), a: r(2), b: r(1) },
-            Insn::St { src: r(3), base: r(4), offset: 0 },
+            Insn::Ld {
+                dst: r(1),
+                base: r(0),
+                offset: 0,
+            },
+            Insn::Add {
+                dst: r(3),
+                a: r(2),
+                b: r(1),
+            },
+            Insn::St {
+                src: r(3),
+                base: r(4),
+                offset: 0,
+            },
         ]);
         assert_eq!(p.cycles(), 5);
     }
@@ -265,8 +311,16 @@ mod tests {
     #[test]
     fn two_shifts_rejected() {
         let m = ResourceModel::default();
-        let s1 = Insn::VasrHB { dst: v(0), src: w(2), shift: 4 };
-        let s2 = Insn::VasrHB { dst: v(1), src: w(4), shift: 4 };
+        let s1 = Insn::VasrHB {
+            dst: v(0),
+            src: w(2),
+            shift: 4,
+        };
+        let s2 = Insn::VasrHB {
+            dst: v(1),
+            src: w(4),
+            shift: 4,
+        };
         assert!(m.admits(&[], &s1));
         assert!(!m.admits(std::slice::from_ref(&s1), &s2));
     }
@@ -274,34 +328,73 @@ mod tests {
     #[test]
     fn two_multiplies_rejected() {
         let m = ResourceModel::default();
-        let a = Insn::Vmpy { dst: w(0), src: v(4), weights: r(0), acc: false };
-        let b = Insn::Vrmpy { dst: v(8), src: v(5), weights: r(1), acc: false };
+        let a = Insn::Vmpy {
+            dst: w(0),
+            src: v(4),
+            weights: r(0),
+            acc: false,
+        };
+        let b = Insn::Vrmpy {
+            dst: v(8),
+            src: v(5),
+            weights: r(1),
+            acc: false,
+        };
         assert!(!m.admits(std::slice::from_ref(&a), &b));
     }
 
     #[test]
     fn three_memory_ops_rejected() {
         let m = ResourceModel::default();
-        let l0 = Insn::VLoad { dst: v(0), base: r(0), offset: 0 };
-        let l1 = Insn::VLoad { dst: v(1), base: r(0), offset: 128 };
-        let l2 = Insn::VLoad { dst: v(2), base: r(0), offset: 256 };
-        assert!(m.admits(&[l0.clone()], &l1));
+        let l0 = Insn::VLoad {
+            dst: v(0),
+            base: r(0),
+            offset: 0,
+        };
+        let l1 = Insn::VLoad {
+            dst: v(1),
+            base: r(0),
+            offset: 128,
+        };
+        let l2 = Insn::VLoad {
+            dst: v(2),
+            base: r(0),
+            offset: 256,
+        };
+        assert!(m.admits(std::slice::from_ref(&l0), &l1));
         assert!(!m.admits(&[l0, l1], &l2));
     }
 
     #[test]
     fn two_stores_rejected() {
         let m = ResourceModel::default();
-        let s0 = Insn::VStore { src: v(0), base: r(0), offset: 0 };
-        let s1 = Insn::VStore { src: v(1), base: r(0), offset: 128 };
+        let s0 = Insn::VStore {
+            src: v(0),
+            base: r(0),
+            offset: 0,
+        };
+        let s1 = Insn::VStore {
+            src: v(1),
+            base: r(0),
+            offset: 128,
+        };
         assert!(!m.admits(std::slice::from_ref(&s0), &s1));
     }
 
     #[test]
     fn hard_dep_makes_packet_illegal() {
         let p = Packet::from_insns(vec![
-            Insn::Vmpy { dst: w(0), src: v(4), weights: r(0), acc: false },
-            Insn::VasrHB { dst: v(6), src: w(0), shift: 4 },
+            Insn::Vmpy {
+                dst: w(0),
+                src: v(4),
+                weights: r(0),
+                acc: false,
+            },
+            Insn::VasrHB {
+                dst: v(6),
+                src: w(0),
+                shift: 4,
+            },
         ]);
         assert!(!p.is_legal(&ResourceModel::default()));
     }
@@ -309,7 +402,11 @@ mod tests {
     #[test]
     fn slot_cap() {
         let m = ResourceModel::default();
-        let mk = |d: u8| Insn::AddI { dst: r(d), a: r(d), imm: 1 };
+        let mk = |d: u8| Insn::AddI {
+            dst: r(d),
+            a: r(d),
+            imm: 1,
+        };
         let current = [mk(1), mk(2), mk(3), mk(4)];
         assert!(!m.admits(&current, &mk(5)));
     }
@@ -317,7 +414,12 @@ mod tests {
     #[test]
     fn valu_cap_two() {
         let m = ResourceModel::default();
-        let mk = |d: u8| Insn::Vadd { lane: Lane::H, dst: v(d), a: v(10), b: v(11) };
+        let mk = |d: u8| Insn::Vadd {
+            lane: Lane::H,
+            dst: v(d),
+            a: v(10),
+            b: v(11),
+        };
         assert!(m.admits(&[mk(0)], &mk(1)));
         assert!(!m.admits(&[mk(0), mk(1)], &mk(2)));
     }

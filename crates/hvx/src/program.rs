@@ -27,12 +27,20 @@ pub struct Block {
 impl Block {
     /// Creates a block that executes once.
     pub fn new(label: impl Into<String>) -> Self {
-        Block { insns: Vec::new(), trip_count: 1, label: label.into() }
+        Block {
+            insns: Vec::new(),
+            trip_count: 1,
+            label: label.into(),
+        }
     }
 
     /// Creates a block with a trip count.
     pub fn with_trip_count(label: impl Into<String>, trip_count: u64) -> Self {
-        Block { insns: Vec::new(), trip_count, label: label.into() }
+        Block {
+            insns: Vec::new(),
+            trip_count,
+            label: label.into(),
+        }
     }
 
     /// Appends an instruction.
@@ -173,12 +181,18 @@ impl Program {
 
     /// Total cycles (see [`Program::stats`]).
     pub fn cycles(&self) -> u64 {
-        self.blocks.iter().map(|b| b.body_cycles() * b.trip_count).sum()
+        self.blocks
+            .iter()
+            .map(|b| b.body_cycles() * b.trip_count)
+            .sum()
     }
 
     /// Total packets issued across all executions.
     pub fn packets_issued(&self) -> u64 {
-        self.blocks.iter().map(|b| b.packets.len() as u64 * b.trip_count).sum()
+        self.blocks
+            .iter()
+            .map(|b| b.packets.len() as u64 * b.trip_count)
+            .sum()
     }
 
     /// Static packet count (one body execution per block), the metric of
@@ -190,7 +204,9 @@ impl Program {
 
 impl FromIterator<PackedBlock> for Program {
     fn from_iter<T: IntoIterator<Item = PackedBlock>>(iter: T) -> Self {
-        Program { blocks: iter.into_iter().collect() }
+        Program {
+            blocks: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -207,8 +223,16 @@ mod tests {
     #[test]
     fn sequential_schedule_counts() {
         let mut b = Block::with_trip_count("loop", 10);
-        b.push(Insn::Ld { dst: r(1), base: r(0), offset: 0 });
-        b.push(Insn::AddI { dst: r(0), a: r(0), imm: 8 });
+        b.push(Insn::Ld {
+            dst: r(1),
+            base: r(0),
+            offset: 0,
+        });
+        b.push(Insn::AddI {
+            dst: r(0),
+            a: r(0),
+            imm: 8,
+        });
         let pb = PackedBlock::sequential(&b);
         assert_eq!(pb.packets.len(), 2);
         assert_eq!(pb.body_cycles(), 6);

@@ -30,7 +30,10 @@ impl SReg {
     /// # Panics
     /// Panics if `index >= 32`.
     pub fn new(index: u8) -> Self {
-        assert!(index < NUM_SREGS, "scalar register index {index} out of range");
+        assert!(
+            index < NUM_SREGS,
+            "scalar register index {index} out of range"
+        );
         SReg(index)
     }
 
@@ -56,7 +59,10 @@ impl VReg {
     /// # Panics
     /// Panics if `index >= 32`.
     pub fn new(index: u8) -> Self {
-        assert!(index < NUM_VREGS, "vector register index {index} out of range");
+        assert!(
+            index < NUM_VREGS,
+            "vector register index {index} out of range"
+        );
         VReg(index)
     }
 
@@ -86,8 +92,14 @@ impl VPair {
     /// # Panics
     /// Panics if `even_index` is odd or `>= 32`.
     pub fn new(even_index: u8) -> Self {
-        assert!(even_index < NUM_VREGS, "vector pair index {even_index} out of range");
-        assert!(even_index.is_multiple_of(2), "vector pair must be rooted at an even register");
+        assert!(
+            even_index < NUM_VREGS,
+            "vector pair index {even_index} out of range"
+        );
+        assert!(
+            even_index.is_multiple_of(2),
+            "vector pair must be rooted at an even register"
+        );
         VPair(even_index)
     }
 

@@ -116,8 +116,18 @@ mod tests {
 
     #[test]
     fn accumulate_and_scale() {
-        let mut a = ExecStats { cycles: 10, packets: 2, insns: 6, ..Default::default() };
-        let b = ExecStats { cycles: 5, packets: 1, insns: 4, ..Default::default() };
+        let mut a = ExecStats {
+            cycles: 10,
+            packets: 2,
+            insns: 6,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            cycles: 5,
+            packets: 1,
+            insns: 4,
+            ..Default::default()
+        };
         a.accumulate(&b);
         assert_eq!(a.cycles, 15);
         assert_eq!(a.utilization(), 10.0 / 12.0);
@@ -128,7 +138,12 @@ mod tests {
 
     #[test]
     fn bandwidth() {
-        let s = ExecStats { cycles: 100, mem_read_bytes: 256, mem_write_bytes: 144, ..Default::default() };
+        let s = ExecStats {
+            cycles: 100,
+            mem_read_bytes: 256,
+            mem_write_bytes: 144,
+            ..Default::default()
+        };
         assert!((s.bytes_per_cycle() - 4.0).abs() < 1e-12);
     }
 

@@ -11,18 +11,61 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
         let w = |i: u8| VPair::new((i % 14) * 2);
         let r = |i: u8| SReg::new(i % 10);
         match kind {
-            0 => Insn::Vmpy { dst: w(a), src: v(b + 8), weights: r(b), acc },
-            1 => Insn::Vmpa { dst: v(a), src: v(b + 8), weights: r(b), acc },
-            2 => Insn::Vrmpy { dst: v(a), src: v(b + 8), weights: r(b), acc },
-            3 => Insn::Vadd { lane: Lane::H, dst: v(a), a: v(b), b: v(b + 1) },
-            4 => Insn::VasrHB { dst: v(a), src: w(b), shift: 3 },
-            5 => Insn::VLoad { dst: v(a), base: r(b), offset: (a as i64) * 128 },
-            6 => Insn::VStore { src: v(a), base: r(b), offset: (a as i64) * 128 },
-            7 => Insn::AddI { dst: r(a % 4), a: r(a % 4), imm: 128 },
+            0 => Insn::Vmpy {
+                dst: w(a),
+                src: v(b + 8),
+                weights: r(b),
+                acc,
+            },
+            1 => Insn::Vmpa {
+                dst: v(a),
+                src: v(b + 8),
+                weights: r(b),
+                acc,
+            },
+            2 => Insn::Vrmpy {
+                dst: v(a),
+                src: v(b + 8),
+                weights: r(b),
+                acc,
+            },
+            3 => Insn::Vadd {
+                lane: Lane::H,
+                dst: v(a),
+                a: v(b),
+                b: v(b + 1),
+            },
+            4 => Insn::VasrHB {
+                dst: v(a),
+                src: w(b),
+                shift: 3,
+            },
+            5 => Insn::VLoad {
+                dst: v(a),
+                base: r(b),
+                offset: (a as i64) * 128,
+            },
+            6 => Insn::VStore {
+                src: v(a),
+                base: r(b),
+                offset: (a as i64) * 128,
+            },
+            7 => Insn::AddI {
+                dst: r(a % 4),
+                a: r(a % 4),
+                imm: 128,
+            },
             // Loaded values land in high registers so they never become
             // base addresses (the machine traps out-of-bounds accesses).
-            8 => Insn::Ld { dst: SReg::new(16 + (a % 8)), base: r(b), offset: 8 },
-            _ => Insn::VshuffB { dst: w(a), src: w(b) },
+            8 => Insn::Ld {
+                dst: SReg::new(16 + (a % 8)),
+                base: r(b),
+                offset: 8,
+            },
+            _ => Insn::VshuffB {
+                dst: w(a),
+                src: w(b),
+            },
         }
     })
 }

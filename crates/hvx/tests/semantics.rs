@@ -2,9 +2,7 @@
 //! simulator — every opcode, including the ones the kernel generators
 //! exercise only indirectly.
 
-use gcd2_hvx::{
-    pack_weights, simd, Insn, Lane, Machine, Packet, SReg, VPair, VReg, VBYTES,
-};
+use gcd2_hvx::{pack_weights, simd, Insn, Lane, Machine, Packet, SReg, VPair, VReg, VBYTES};
 
 fn v(i: u8) -> VReg {
     VReg::new(i)
@@ -33,11 +31,27 @@ fn vadd_vsub_lanes() {
     let mut m = Machine::new(0);
     m.set_vreg(v(1), filled(|i| i as u8));
     m.set_vreg(v(2), filled(|_| 3));
-    run1(&mut m, Insn::Vadd { lane: Lane::B, dst: v(3), a: v(1), b: v(2) });
+    run1(
+        &mut m,
+        Insn::Vadd {
+            lane: Lane::B,
+            dst: v(3),
+            a: v(1),
+            b: v(2),
+        },
+    );
     assert_eq!(m.vreg(v(3))[5], 8);
     // i8 wrapping at lane level.
     assert_eq!(m.vreg(v(3))[125], 125u8.wrapping_add(3));
-    run1(&mut m, Insn::Vsub { lane: Lane::B, dst: v(4), a: v(1), b: v(2) });
+    run1(
+        &mut m,
+        Insn::Vsub {
+            lane: Lane::B,
+            dst: v(4),
+            a: v(1),
+            b: v(2),
+        },
+    );
     assert_eq!(m.vreg(v(4))[5], 2);
     assert_eq!(m.vreg(v(4))[0] as i8, -3);
 }
@@ -53,7 +67,15 @@ fn vadd_halfword_and_word_lanes() {
     }
     m.set_vreg(v(1), a);
     m.set_vreg(v(2), b);
-    run1(&mut m, Insn::Vadd { lane: Lane::H, dst: v(3), a: v(1), b: v(2) });
+    run1(
+        &mut m,
+        Insn::Vadd {
+            lane: Lane::H,
+            dst: v(3),
+            a: v(1),
+            b: v(2),
+        },
+    );
     assert_eq!(simd::get_h(m.vreg(v(3)), 10), 510);
 
     let mut aw = [0u8; VBYTES];
@@ -64,7 +86,15 @@ fn vadd_halfword_and_word_lanes() {
     }
     m.set_vreg(v(4), aw);
     m.set_vreg(v(5), bw);
-    run1(&mut m, Insn::Vadd { lane: Lane::W, dst: v(6), a: v(4), b: v(5) });
+    run1(
+        &mut m,
+        Insn::Vadd {
+            lane: Lane::W,
+            dst: v(6),
+            a: v(4),
+            b: v(5),
+        },
+    );
     assert_eq!(simd::get_w(m.vreg(v(6)), 7), (1 << 20) + 7);
 }
 
@@ -73,10 +103,26 @@ fn vmax_vmin_signed() {
     let mut m = Machine::new(0);
     m.set_vreg(v(1), filled(|i| if i % 2 == 0 { 0xFF } else { 5 })); // -1 / 5 as i8
     m.set_vreg(v(2), filled(|_| 0));
-    run1(&mut m, Insn::Vmax { lane: Lane::B, dst: v(3), a: v(1), b: v(2) });
+    run1(
+        &mut m,
+        Insn::Vmax {
+            lane: Lane::B,
+            dst: v(3),
+            a: v(1),
+            b: v(2),
+        },
+    );
     assert_eq!(m.vreg(v(3))[0], 0, "max(-1, 0) = 0 signed");
     assert_eq!(m.vreg(v(3))[1], 5);
-    run1(&mut m, Insn::Vmin { lane: Lane::B, dst: v(4), a: v(1), b: v(2) });
+    run1(
+        &mut m,
+        Insn::Vmin {
+            lane: Lane::B,
+            dst: v(4),
+            a: v(1),
+            b: v(2),
+        },
+    );
     assert_eq!(m.vreg(v(4))[0] as i8, -1);
     assert_eq!(m.vreg(v(4))[1], 0);
 }
@@ -85,7 +131,13 @@ fn vmax_vmin_signed() {
 fn vsplat_broadcasts_32_bits() {
     let mut m = Machine::new(0);
     m.set_sreg(r(1), 0x0403_0201);
-    run1(&mut m, Insn::Vsplat { dst: v(0), src: r(1) });
+    run1(
+        &mut m,
+        Insn::Vsplat {
+            dst: v(0),
+            src: r(1),
+        },
+    );
     for k in 0..VBYTES / 4 {
         assert_eq!(&m.vreg(v(0))[4 * k..4 * k + 4], &[1, 2, 3, 4]);
     }
@@ -94,9 +146,16 @@ fn vsplat_broadcasts_32_bits() {
 #[test]
 fn vlut_indexes_modulo_table() {
     let mut m = Machine::new(0);
-    m.set_vreg(v(1), filled(|i| (i as u8).wrapping_mul(3)));   // indices incl. >128
-    m.set_vreg(v(31), filled(|i| (255 - i) as u8));            // table
-    run1(&mut m, Insn::VlutB { dst: v(2), idx: v(1), table: v(31) });
+    m.set_vreg(v(1), filled(|i| (i as u8).wrapping_mul(3))); // indices incl. >128
+    m.set_vreg(v(31), filled(|i| (255 - i) as u8)); // table
+    run1(
+        &mut m,
+        Insn::VlutB {
+            dst: v(2),
+            idx: v(1),
+            table: v(31),
+        },
+    );
     for i in 0..VBYTES {
         let idx = (i * 3) % 256 % 128;
         assert_eq!(m.vreg(v(2))[i], (255 - idx) as u8, "lane {i}");
@@ -108,7 +167,14 @@ fn vmul_ub_h_products() {
     let mut m = Machine::new(0);
     m.set_vreg(v(1), filled(|i| i as u8));
     m.set_vreg(v(2), filled(|_| 200));
-    run1(&mut m, Insn::VmulUbH { dst: w(4), a: v(1), b: v(2) });
+    run1(
+        &mut m,
+        Insn::VmulUbH {
+            dst: w(4),
+            a: v(1),
+            b: v(2),
+        },
+    );
     // p[i] = i * 200 wrapped to i16; even lanes in lo, odd in hi.
     assert_eq!(simd::get_h(m.vreg(v(4)), 1), (2 * 200) as i16);
     assert_eq!(simd::get_h(m.vreg(v(5)), 1), (3 * 200) as i16);
@@ -121,12 +187,20 @@ fn vasr_wh_saturates() {
     let mut a = [0u8; VBYTES];
     let mut b = [0u8; VBYTES];
     for k in 0..32 {
-        simd::set_w(&mut a, k, 1 << 24);     // saturates after >> 2
+        simd::set_w(&mut a, k, 1 << 24); // saturates after >> 2
         simd::set_w(&mut b, k, -(1 << 24));
     }
     m.set_vreg(v(1), a);
     m.set_vreg(v(2), b);
-    run1(&mut m, Insn::VasrWH { dst: v(3), a: v(1), b: v(2), shift: 2 });
+    run1(
+        &mut m,
+        Insn::VasrWH {
+            dst: v(3),
+            a: v(1),
+            b: v(2),
+            shift: 2,
+        },
+    );
     assert_eq!(simd::get_h(m.vreg(v(3)), 0), i16::MAX);
     assert_eq!(simd::get_h(m.vreg(v(3)), 1), i16::MIN);
 }
@@ -136,15 +210,50 @@ fn scalar_alu_ops() {
     let mut m = Machine::new(64);
     m.set_sreg(r(1), 100);
     m.set_sreg(r(2), 7);
-    run1(&mut m, Insn::Sub { dst: r(3), a: r(1), b: r(2) });
+    run1(
+        &mut m,
+        Insn::Sub {
+            dst: r(3),
+            a: r(1),
+            b: r(2),
+        },
+    );
     assert_eq!(m.sreg(r(3)), 93);
-    run1(&mut m, Insn::Mul { dst: r(4), a: r(1), b: r(2) });
+    run1(
+        &mut m,
+        Insn::Mul {
+            dst: r(4),
+            a: r(1),
+            b: r(2),
+        },
+    );
     assert_eq!(m.sreg(r(4)), 700);
-    run1(&mut m, Insn::Div { dst: r(5), a: r(1), b: r(2) });
+    run1(
+        &mut m,
+        Insn::Div {
+            dst: r(5),
+            a: r(1),
+            b: r(2),
+        },
+    );
     assert_eq!(m.sreg(r(5)), 14);
-    run1(&mut m, Insn::Shl { dst: r(6), a: r(2), imm: 3 });
+    run1(
+        &mut m,
+        Insn::Shl {
+            dst: r(6),
+            a: r(2),
+            imm: 3,
+        },
+    );
     assert_eq!(m.sreg(r(6)), 56);
-    run1(&mut m, Insn::Shr { dst: r(7), a: r(1), imm: 2 });
+    run1(
+        &mut m,
+        Insn::Shr {
+            dst: r(7),
+            a: r(1),
+            imm: 2,
+        },
+    );
     assert_eq!(m.sreg(r(7)), 25);
 }
 
@@ -153,7 +262,14 @@ fn division_by_zero_yields_zero() {
     let mut m = Machine::new(0);
     m.set_sreg(r(1), 42);
     m.set_sreg(r(2), 0);
-    run1(&mut m, Insn::Div { dst: r(3), a: r(1), b: r(2) });
+    run1(
+        &mut m,
+        Insn::Div {
+            dst: r(3),
+            a: r(1),
+            b: r(2),
+        },
+    );
     assert_eq!(m.sreg(r(3)), 0);
 }
 
@@ -162,8 +278,22 @@ fn scalar_memory_round_trip() {
     let mut m = Machine::new(64);
     m.set_sreg(r(0), 8);
     m.set_sreg(r(1), -123456789);
-    run1(&mut m, Insn::St { src: r(1), base: r(0), offset: 16 });
-    run1(&mut m, Insn::Ld { dst: r(2), base: r(0), offset: 16 });
+    run1(
+        &mut m,
+        Insn::St {
+            src: r(1),
+            base: r(0),
+            offset: 16,
+        },
+    );
+    run1(
+        &mut m,
+        Insn::Ld {
+            dst: r(2),
+            base: r(0),
+            offset: 16,
+        },
+    );
     assert_eq!(m.sreg(r(2)), -123456789);
 }
 
@@ -173,11 +303,33 @@ fn vgather_loads_like_vload() {
     for i in 0..VBYTES {
         m.mem[i] = (i * 7 % 256) as u8;
     }
-    run1(&mut m, Insn::VGather { dst: v(0), base: r(0), offset: 0 });
-    run1(&mut m, Insn::VLoad { dst: v(1), base: r(0), offset: 0 });
+    run1(
+        &mut m,
+        Insn::VGather {
+            dst: v(0),
+            base: r(0),
+            offset: 0,
+        },
+    );
+    run1(
+        &mut m,
+        Insn::VLoad {
+            dst: v(1),
+            base: r(0),
+            offset: 0,
+        },
+    );
     assert_eq!(m.vreg(v(0)), m.vreg(v(1)));
     // But its latency models strided DRAM access.
-    assert!(Insn::VGather { dst: v(0), base: r(0), offset: 0 }.latency() > 100);
+    assert!(
+        Insn::VGather {
+            dst: v(0),
+            base: r(0),
+            offset: 0
+        }
+        .latency()
+            > 100
+    );
 }
 
 #[test]
@@ -186,7 +338,15 @@ fn vmpa_alternating_weight_pairs() {
     // Interleaved (x0, y0, x1, y1, ...) input.
     m.set_vreg(v(1), filled(|i| if i % 2 == 0 { 10 } else { 1 }));
     m.set_sreg(r(0), pack_weights([2, 3, -4, 5]));
-    run1(&mut m, Insn::Vmpa { dst: v(2), src: v(1), weights: r(0), acc: false });
+    run1(
+        &mut m,
+        Insn::Vmpa {
+            dst: v(2),
+            src: v(1),
+            weights: r(0),
+            acc: false,
+        },
+    );
     // Even result lanes use (2, 3): 10*2 + 1*3 = 23.
     assert_eq!(simd::get_h(m.vreg(v(2)), 0), 23);
     // Odd result lanes use (-4, 5): 10*-4 + 1*5 = -35.
@@ -197,7 +357,13 @@ fn vmpa_alternating_weight_pairs() {
 fn nop_and_movi() {
     let mut m = Machine::new(0);
     run1(&mut m, Insn::Nop);
-    run1(&mut m, Insn::Movi { dst: r(9), imm: i64::MIN / 2 });
+    run1(
+        &mut m,
+        Insn::Movi {
+            dst: r(9),
+            imm: i64::MIN / 2,
+        },
+    );
     assert_eq!(m.sreg(r(9)), i64::MIN / 2);
 }
 
@@ -205,38 +371,165 @@ fn nop_and_movi() {
 fn display_all_instruction_forms() {
     // Every opcode has a non-empty, register-faithful rendering.
     let insns = vec![
-        Insn::Vmpy { dst: w(0), src: v(2), weights: r(1), acc: false },
-        Insn::Vmpa { dst: v(0), src: v(2), weights: r(1), acc: true },
-        Insn::Vrmpy { dst: v(0), src: v(2), weights: r(1), acc: false },
-        Insn::Vtmpy { dst: w(0), src: w(2), weights: r(1), acc: true },
-        Insn::Vadd { lane: Lane::W, dst: v(0), a: v(1), b: v(2) },
-        Insn::Vsub { lane: Lane::H, dst: v(0), a: v(1), b: v(2) },
-        Insn::Vmax { lane: Lane::B, dst: v(0), a: v(1), b: v(2) },
-        Insn::Vmin { lane: Lane::B, dst: v(0), a: v(1), b: v(2) },
-        Insn::VaddUbH { dst: w(0), a: v(2), b: v(3) },
-        Insn::VaddHAcc { dst: v(0), src: v(1) },
-        Insn::VmulUbH { dst: w(0), a: v(2), b: v(3) },
-        Insn::Vsplat { dst: v(0), src: r(1) },
-        Insn::VasrHB { dst: v(0), src: w(2), shift: 4 },
-        Insn::VasrWH { dst: v(0), a: v(1), b: v(2), shift: 4 },
-        Insn::VshuffH { dst: w(0), src: w(2) },
-        Insn::VdealH { dst: w(0), src: w(2) },
-        Insn::VshuffB { dst: w(0), src: w(2) },
-        Insn::VdealB { dst: w(0), src: w(2) },
-        Insn::VlutB { dst: v(0), idx: v(1), table: v(2) },
-        Insn::VLoad { dst: v(0), base: r(1), offset: 128 },
-        Insn::VGather { dst: v(0), base: r(1), offset: 128 },
-        Insn::VStore { src: v(0), base: r(1), offset: 128 },
+        Insn::Vmpy {
+            dst: w(0),
+            src: v(2),
+            weights: r(1),
+            acc: false,
+        },
+        Insn::Vmpa {
+            dst: v(0),
+            src: v(2),
+            weights: r(1),
+            acc: true,
+        },
+        Insn::Vrmpy {
+            dst: v(0),
+            src: v(2),
+            weights: r(1),
+            acc: false,
+        },
+        Insn::Vtmpy {
+            dst: w(0),
+            src: w(2),
+            weights: r(1),
+            acc: true,
+        },
+        Insn::Vadd {
+            lane: Lane::W,
+            dst: v(0),
+            a: v(1),
+            b: v(2),
+        },
+        Insn::Vsub {
+            lane: Lane::H,
+            dst: v(0),
+            a: v(1),
+            b: v(2),
+        },
+        Insn::Vmax {
+            lane: Lane::B,
+            dst: v(0),
+            a: v(1),
+            b: v(2),
+        },
+        Insn::Vmin {
+            lane: Lane::B,
+            dst: v(0),
+            a: v(1),
+            b: v(2),
+        },
+        Insn::VaddUbH {
+            dst: w(0),
+            a: v(2),
+            b: v(3),
+        },
+        Insn::VaddHAcc {
+            dst: v(0),
+            src: v(1),
+        },
+        Insn::VmulUbH {
+            dst: w(0),
+            a: v(2),
+            b: v(3),
+        },
+        Insn::Vsplat {
+            dst: v(0),
+            src: r(1),
+        },
+        Insn::VasrHB {
+            dst: v(0),
+            src: w(2),
+            shift: 4,
+        },
+        Insn::VasrWH {
+            dst: v(0),
+            a: v(1),
+            b: v(2),
+            shift: 4,
+        },
+        Insn::VshuffH {
+            dst: w(0),
+            src: w(2),
+        },
+        Insn::VdealH {
+            dst: w(0),
+            src: w(2),
+        },
+        Insn::VshuffB {
+            dst: w(0),
+            src: w(2),
+        },
+        Insn::VdealB {
+            dst: w(0),
+            src: w(2),
+        },
+        Insn::VlutB {
+            dst: v(0),
+            idx: v(1),
+            table: v(2),
+        },
+        Insn::VLoad {
+            dst: v(0),
+            base: r(1),
+            offset: 128,
+        },
+        Insn::VGather {
+            dst: v(0),
+            base: r(1),
+            offset: 128,
+        },
+        Insn::VStore {
+            src: v(0),
+            base: r(1),
+            offset: 128,
+        },
         Insn::Movi { dst: r(0), imm: 7 },
-        Insn::Add { dst: r(0), a: r(1), b: r(2) },
-        Insn::AddI { dst: r(0), a: r(1), imm: 7 },
-        Insn::Sub { dst: r(0), a: r(1), b: r(2) },
-        Insn::Mul { dst: r(0), a: r(1), b: r(2) },
-        Insn::Div { dst: r(0), a: r(1), b: r(2) },
-        Insn::Shl { dst: r(0), a: r(1), imm: 2 },
-        Insn::Shr { dst: r(0), a: r(1), imm: 2 },
-        Insn::Ld { dst: r(0), base: r(1), offset: 8 },
-        Insn::St { src: r(0), base: r(1), offset: 8 },
+        Insn::Add {
+            dst: r(0),
+            a: r(1),
+            b: r(2),
+        },
+        Insn::AddI {
+            dst: r(0),
+            a: r(1),
+            imm: 7,
+        },
+        Insn::Sub {
+            dst: r(0),
+            a: r(1),
+            b: r(2),
+        },
+        Insn::Mul {
+            dst: r(0),
+            a: r(1),
+            b: r(2),
+        },
+        Insn::Div {
+            dst: r(0),
+            a: r(1),
+            b: r(2),
+        },
+        Insn::Shl {
+            dst: r(0),
+            a: r(1),
+            imm: 2,
+        },
+        Insn::Shr {
+            dst: r(0),
+            a: r(1),
+            imm: 2,
+        },
+        Insn::Ld {
+            dst: r(0),
+            base: r(1),
+            offset: 8,
+        },
+        Insn::St {
+            src: r(0),
+            base: r(1),
+            offset: 8,
+        },
         Insn::Nop,
     ];
     for i in &insns {
@@ -271,10 +564,26 @@ fn traced_execution_matches_untraced() {
     use gcd2_hvx::{Block, PackedBlock, Program};
     let mut block = Block::with_trip_count("trace me", 3);
     block.extend([
-        Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-        Insn::VStore { src: v(0), base: r(1), offset: 0 },
-        Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
-        Insn::AddI { dst: r(1), a: r(1), imm: VBYTES as i64 },
+        Insn::VLoad {
+            dst: v(0),
+            base: r(0),
+            offset: 0,
+        },
+        Insn::VStore {
+            src: v(0),
+            base: r(1),
+            offset: 0,
+        },
+        Insn::AddI {
+            dst: r(0),
+            a: r(0),
+            imm: VBYTES as i64,
+        },
+        Insn::AddI {
+            dst: r(1),
+            a: r(1),
+            imm: VBYTES as i64,
+        },
     ]);
     let mut program = Program::new();
     program.push(PackedBlock::sequential(&block));
@@ -301,8 +610,16 @@ fn legacy_resource_model_is_stricter() {
     use gcd2_hvx::ResourceModel;
     let old = ResourceModel::hexagon680();
     let new = ResourceModel::hexagon698();
-    let l0 = Insn::VLoad { dst: v(0), base: r(0), offset: 0 };
-    let l1 = Insn::VLoad { dst: v(1), base: r(0), offset: 128 };
+    let l0 = Insn::VLoad {
+        dst: v(0),
+        base: r(0),
+        offset: 0,
+    };
+    let l1 = Insn::VLoad {
+        dst: v(1),
+        base: r(0),
+        offset: 128,
+    };
     // Two loads per packet on the new generation, one on the old.
     assert!(new.admits(std::slice::from_ref(&l0), &l1));
     assert!(!old.admits(std::slice::from_ref(&l0), &l1));
@@ -319,8 +636,16 @@ fn occupancy_histogram_counts_packets() {
     });
     pb.packets.push(Packet::from_insns(vec![
         Insn::Nop,
-        Insn::AddI { dst: r(0), a: r(0), imm: 1 },
-        Insn::AddI { dst: r(1), a: r(1), imm: 1 },
+        Insn::AddI {
+            dst: r(0),
+            a: r(0),
+            imm: 1,
+        },
+        Insn::AddI {
+            dst: r(1),
+            a: r(1),
+            imm: 1,
+        },
     ]));
     let hist = pb.occupancy_histogram();
     assert_eq!(hist, [2, 0, 1, 0]);

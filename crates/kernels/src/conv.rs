@@ -42,19 +42,48 @@ pub fn depthwise_vtmpy_blocks(out_elems: usize, kh: usize) -> Vec<Block> {
         out_elems.div_ceil(VBYTES) as u64,
     );
     for row in 0..kh {
-        body.push(Insn::VLoad { dst: v(0), base: r(0), offset: (row * 4 * VBYTES) as i64 });
+        body.push(Insn::VLoad {
+            dst: v(0),
+            base: r(0),
+            offset: (row * 4 * VBYTES) as i64,
+        });
         body.push(Insn::VLoad {
             dst: v(1),
             base: r(0),
             offset: (row * 4 * VBYTES + VBYTES) as i64,
         });
-        body.push(Insn::Ld { dst: r(3), base: r(1), offset: (row * 8) as i64 });
-        body.push(Insn::Vtmpy { dst: w(4), src: w(0), weights: r(3), acc: row > 0 });
+        body.push(Insn::Ld {
+            dst: r(3),
+            base: r(1),
+            offset: (row * 8) as i64,
+        });
+        body.push(Insn::Vtmpy {
+            dst: w(4),
+            src: w(0),
+            weights: r(3),
+            acc: row > 0,
+        });
     }
-    body.push(Insn::VasrHB { dst: v(6), src: w(4), shift: 6 });
-    body.push(Insn::VStore { src: v(6), base: r(2), offset: 0 });
-    body.push(Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 });
-    body.push(Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 });
+    body.push(Insn::VasrHB {
+        dst: v(6),
+        src: w(4),
+        shift: 6,
+    });
+    body.push(Insn::VStore {
+        src: v(6),
+        base: r(2),
+        offset: 0,
+    });
+    body.push(Insn::AddI {
+        dst: r(0),
+        a: r(0),
+        imm: VBYTES as i64,
+    });
+    body.push(Insn::AddI {
+        dst: r(2),
+        a: r(2),
+        imm: VBYTES as i64,
+    });
     vec![body]
 }
 
@@ -140,9 +169,8 @@ pub fn conv_ref_chw(
                                 continue;
                             }
                             let a = input[ch * h * w + y as usize * w + x as usize] as i32;
-                            let wgt = weights
-                                [oc * c * kh * kw + ch * kh * kw + dy * kw + dx]
-                                as i32;
+                            let wgt =
+                                weights[oc * c * kh * kw + ch * kh * kw + dy * kw + dx] as i32;
                             acc += a * wgt;
                         }
                     }
@@ -175,21 +203,26 @@ mod tests {
         let stride = (1, 1);
         let padding = (1, 1);
         let input: Vec<u8> = (0..c * h * w_dim).map(|i| (i % 13) as u8).collect();
-        let weights: Vec<i8> =
-            (0..out_c * c * 9).map(|i| ((i % 15) as i8) - 7).collect();
-        let a = im2col_chw(&input, c, h, w_dim, kernel, stride, padding, Layout::RowMajor);
+        let weights: Vec<i8> = (0..out_c * c * 9).map(|i| ((i % 15) as i8) - 7).collect();
+        let a = im2col_chw(
+            &input,
+            c,
+            h,
+            w_dim,
+            kernel,
+            stride,
+            padding,
+            Layout::RowMajor,
+        );
         let wm = conv_weights_as_gemm(&weights, c, out_c, kernel);
         let got = crate::reference::matmul_ref(&a, &wm, 4);
-        let expect =
-            conv_ref_chw(&input, &weights, c, h, w_dim, out_c, kernel, stride, padding, 4);
+        let expect = conv_ref_chw(
+            &input, &weights, c, h, w_dim, out_c, kernel, stride, padding, 4,
+        );
         let (out_h, out_w) = (h, w_dim); // stride 1, same padding
         for oc in 0..out_c {
             for o in 0..out_h * out_w {
-                assert_eq!(
-                    got[o][oc],
-                    expect[oc * out_h * out_w + o],
-                    "oc={oc} o={o}"
-                );
+                assert_eq!(got[o][oc], expect[oc * out_h * out_w + o], "oc={oc} o={o}");
             }
         }
     }

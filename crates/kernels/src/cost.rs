@@ -49,7 +49,10 @@ impl CostModel {
     /// Creates a cost model using a specific packer (e.g. a
     /// `soft_to_hard` packer to cost a baseline framework).
     pub fn with_packer(packer: Packer) -> Self {
-        CostModel { packer, cache: RefCell::new(HashMap::new()) }
+        CostModel {
+            packer,
+            cache: RefCell::new(HashMap::new()),
+        }
     }
 
     /// The packer used for scheduling.
@@ -129,7 +132,9 @@ impl CostModel {
     /// utilization, memory traffic, unit activity — including dispatch
     /// overhead as idle cycles.
     pub fn gemm_stats(&self, gemm: &GemmDims, instr: SimdInstr, unroll: UnrollConfig) -> ExecStats {
-        let mut stats = self.pack_program(&timing_blocks(gemm, instr, unroll)).stats();
+        let mut stats = self
+            .pack_program(&timing_blocks(gemm, instr, unroll))
+            .stats();
         stats.cycles += KERNEL_DISPATCH_CYCLES;
         stats
     }
@@ -179,8 +184,14 @@ mod tests {
         let none = m.gemm_cycles(&g, SimdInstr::Vmpy, UnrollConfig::NONE);
         let moderate = m.gemm_cycles(&g, SimdInstr::Vmpy, UnrollConfig::new(4, 4));
         let extreme = m.gemm_cycles(&g, SimdInstr::Vmpy, UnrollConfig::new(16, 16));
-        assert!(moderate < none, "moderate unrolling must help: {moderate} vs {none}");
-        assert!(extreme > moderate, "register spills must hurt: {extreme} vs {moderate}");
+        assert!(
+            moderate < none,
+            "moderate unrolling must help: {moderate} vs {none}"
+        );
+        assert!(
+            extreme > moderate,
+            "register spills must hurt: {extreme} vs {moderate}"
+        );
     }
 
     #[test]
@@ -216,7 +227,11 @@ mod tests {
     #[test]
     fn stats_have_activity() {
         let m = CostModel::new();
-        let s = m.gemm_stats(&GemmDims::new(128, 64, 16), SimdInstr::Vrmpy, UnrollConfig::NONE);
+        let s = m.gemm_stats(
+            &GemmDims::new(128, 64, 16),
+            SimdInstr::Vrmpy,
+            UnrollConfig::NONE,
+        );
         assert!(s.multiply_insns() > 0);
         assert!(s.mem_read_bytes > 0);
         assert!(s.utilization() > 0.0 && s.utilization() <= 1.0);

@@ -65,81 +65,274 @@ pub fn elementwise_blocks(kind: EwKind, elems: usize) -> Vec<Block> {
     match kind {
         EwKind::Add => {
             body.extend([
-                Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-                Insn::VLoad { dst: v(1), base: r(1), offset: 0 },
-                Insn::VaddUbH { dst: w(2), a: v(0), b: v(1) },
-                Insn::VasrHB { dst: v(4), src: w(2), shift: 1 },
-                Insn::VStore { src: v(4), base: r(2), offset: 0 },
-                Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
-                Insn::AddI { dst: r(1), a: r(1), imm: VBYTES as i64 },
-                Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 },
+                Insn::VLoad {
+                    dst: v(0),
+                    base: r(0),
+                    offset: 0,
+                },
+                Insn::VLoad {
+                    dst: v(1),
+                    base: r(1),
+                    offset: 0,
+                },
+                Insn::VaddUbH {
+                    dst: w(2),
+                    a: v(0),
+                    b: v(1),
+                },
+                Insn::VasrHB {
+                    dst: v(4),
+                    src: w(2),
+                    shift: 1,
+                },
+                Insn::VStore {
+                    src: v(4),
+                    base: r(2),
+                    offset: 0,
+                },
+                Insn::AddI {
+                    dst: r(0),
+                    a: r(0),
+                    imm: VBYTES as i64,
+                },
+                Insn::AddI {
+                    dst: r(1),
+                    a: r(1),
+                    imm: VBYTES as i64,
+                },
+                Insn::AddI {
+                    dst: r(2),
+                    a: r(2),
+                    imm: VBYTES as i64,
+                },
             ]);
         }
         EwKind::Mul => {
             body.extend([
-                Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-                Insn::VLoad { dst: v(1), base: r(1), offset: 0 },
-                Insn::VmulUbH { dst: w(2), a: v(0), b: v(1) },
-                Insn::VasrHB { dst: v(4), src: w(2), shift: 7 },
-                Insn::VStore { src: v(4), base: r(2), offset: 0 },
-                Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
-                Insn::AddI { dst: r(1), a: r(1), imm: VBYTES as i64 },
-                Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 },
+                Insn::VLoad {
+                    dst: v(0),
+                    base: r(0),
+                    offset: 0,
+                },
+                Insn::VLoad {
+                    dst: v(1),
+                    base: r(1),
+                    offset: 0,
+                },
+                Insn::VmulUbH {
+                    dst: w(2),
+                    a: v(0),
+                    b: v(1),
+                },
+                Insn::VasrHB {
+                    dst: v(4),
+                    src: w(2),
+                    shift: 7,
+                },
+                Insn::VStore {
+                    src: v(4),
+                    base: r(2),
+                    offset: 0,
+                },
+                Insn::AddI {
+                    dst: r(0),
+                    a: r(0),
+                    imm: VBYTES as i64,
+                },
+                Insn::AddI {
+                    dst: r(1),
+                    a: r(1),
+                    imm: VBYTES as i64,
+                },
+                Insn::AddI {
+                    dst: r(2),
+                    a: r(2),
+                    imm: VBYTES as i64,
+                },
             ]);
         }
         EwKind::Relu => {
             body.extend([
-                Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-                Insn::Vmax { lane: Lane::B, dst: v(1), a: v(0), b: v(30) },
-                Insn::VStore { src: v(1), base: r(2), offset: 0 },
-                Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
-                Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 },
+                Insn::VLoad {
+                    dst: v(0),
+                    base: r(0),
+                    offset: 0,
+                },
+                Insn::Vmax {
+                    lane: Lane::B,
+                    dst: v(1),
+                    a: v(0),
+                    b: v(30),
+                },
+                Insn::VStore {
+                    src: v(1),
+                    base: r(2),
+                    offset: 0,
+                },
+                Insn::AddI {
+                    dst: r(0),
+                    a: r(0),
+                    imm: VBYTES as i64,
+                },
+                Insn::AddI {
+                    dst: r(2),
+                    a: r(2),
+                    imm: VBYTES as i64,
+                },
             ]);
         }
         EwKind::LutUnary => {
             body.extend([
-                Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-                Insn::VlutB { dst: v(1), idx: v(0), table: v(31) },
-                Insn::VStore { src: v(1), base: r(2), offset: 0 },
-                Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
-                Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 },
+                Insn::VLoad {
+                    dst: v(0),
+                    base: r(0),
+                    offset: 0,
+                },
+                Insn::VlutB {
+                    dst: v(1),
+                    idx: v(0),
+                    table: v(31),
+                },
+                Insn::VStore {
+                    src: v(1),
+                    base: r(2),
+                    offset: 0,
+                },
+                Insn::AddI {
+                    dst: r(0),
+                    a: r(0),
+                    imm: VBYTES as i64,
+                },
+                Insn::AddI {
+                    dst: r(2),
+                    a: r(2),
+                    imm: VBYTES as i64,
+                },
             ]);
         }
         EwKind::ScalarUnary => {
             body.trip_count = elems.div_ceil(8) as u64;
-            body.push(Insn::Ld { dst: r(3), base: r(0), offset: 0 });
+            body.push(Insn::Ld {
+                dst: r(3),
+                base: r(0),
+                offset: 0,
+            });
             for k in 0..4u8 {
-                body.push(Insn::Shr { dst: r(4), a: r(3), imm: k });
-                body.push(Insn::Add { dst: r(3), a: r(3), b: r(4) });
+                body.push(Insn::Shr {
+                    dst: r(4),
+                    a: r(3),
+                    imm: k,
+                });
+                body.push(Insn::Add {
+                    dst: r(3),
+                    a: r(3),
+                    b: r(4),
+                });
             }
-            body.push(Insn::St { src: r(3), base: r(2), offset: 0 });
-            body.push(Insn::AddI { dst: r(0), a: r(0), imm: 8 });
-            body.push(Insn::AddI { dst: r(2), a: r(2), imm: 8 });
+            body.push(Insn::St {
+                src: r(3),
+                base: r(2),
+                offset: 0,
+            });
+            body.push(Insn::AddI {
+                dst: r(0),
+                a: r(0),
+                imm: 8,
+            });
+            body.push(Insn::AddI {
+                dst: r(2),
+                a: r(2),
+                imm: 8,
+            });
         }
         EwKind::DivScalar => {
             // One element per trip through the scalar divider.
             body.trip_count = elems as u64;
             body.extend([
-                Insn::Ld { dst: r(3), base: r(0), offset: 0 },
-                Insn::Ld { dst: r(4), base: r(1), offset: 0 },
-                Insn::Div { dst: r(5), a: r(3), b: r(4) },
-                Insn::St { src: r(5), base: r(2), offset: 0 },
-                Insn::AddI { dst: r(0), a: r(0), imm: 1 },
-                Insn::AddI { dst: r(1), a: r(1), imm: 1 },
-                Insn::AddI { dst: r(2), a: r(2), imm: 1 },
+                Insn::Ld {
+                    dst: r(3),
+                    base: r(0),
+                    offset: 0,
+                },
+                Insn::Ld {
+                    dst: r(4),
+                    base: r(1),
+                    offset: 0,
+                },
+                Insn::Div {
+                    dst: r(5),
+                    a: r(3),
+                    b: r(4),
+                },
+                Insn::St {
+                    src: r(5),
+                    base: r(2),
+                    offset: 0,
+                },
+                Insn::AddI {
+                    dst: r(0),
+                    a: r(0),
+                    imm: 1,
+                },
+                Insn::AddI {
+                    dst: r(1),
+                    a: r(1),
+                    imm: 1,
+                },
+                Insn::AddI {
+                    dst: r(2),
+                    a: r(2),
+                    imm: 1,
+                },
             ]);
         }
         EwKind::DivLut => {
             body.extend([
-                Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-                Insn::VLoad { dst: v(1), base: r(1), offset: 0 },
-                Insn::VlutB { dst: v(2), idx: v(1), table: v(31) },
-                Insn::VmulUbH { dst: w(4), a: v(0), b: v(2) },
-                Insn::VasrHB { dst: v(6), src: w(4), shift: 7 },
-                Insn::VStore { src: v(6), base: r(2), offset: 0 },
-                Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
-                Insn::AddI { dst: r(1), a: r(1), imm: VBYTES as i64 },
-                Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 },
+                Insn::VLoad {
+                    dst: v(0),
+                    base: r(0),
+                    offset: 0,
+                },
+                Insn::VLoad {
+                    dst: v(1),
+                    base: r(1),
+                    offset: 0,
+                },
+                Insn::VlutB {
+                    dst: v(2),
+                    idx: v(1),
+                    table: v(31),
+                },
+                Insn::VmulUbH {
+                    dst: w(4),
+                    a: v(0),
+                    b: v(2),
+                },
+                Insn::VasrHB {
+                    dst: v(6),
+                    src: w(4),
+                    shift: 7,
+                },
+                Insn::VStore {
+                    src: v(6),
+                    base: r(2),
+                    offset: 0,
+                },
+                Insn::AddI {
+                    dst: r(0),
+                    a: r(0),
+                    imm: VBYTES as i64,
+                },
+                Insn::AddI {
+                    dst: r(1),
+                    a: r(1),
+                    imm: VBYTES as i64,
+                },
+                Insn::AddI {
+                    dst: r(2),
+                    a: r(2),
+                    imm: VBYTES as i64,
+                },
             ]);
         }
         EwKind::MaxPoolWin { window } | EwKind::AvgPoolWin { window } => {
@@ -158,23 +351,62 @@ pub fn elementwise_blocks(kind: EwKind, elems: usize) -> Vec<Block> {
                     });
                 }
             }
-            body.push(Insn::VStore { src: v(2), base: r(2), offset: 0 });
-            body.push(Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 });
-            body.push(Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 });
+            body.push(Insn::VStore {
+                src: v(2),
+                base: r(2),
+                offset: 0,
+            });
+            body.push(Insn::AddI {
+                dst: r(0),
+                a: r(0),
+                imm: VBYTES as i64,
+            });
+            body.push(Insn::AddI {
+                dst: r(2),
+                a: r(2),
+                imm: VBYTES as i64,
+            });
         }
         EwKind::Reduce => {
             body.extend([
-                Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-                Insn::VaddHAcc { dst: v(2), src: v(0) },
-                Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
+                Insn::VLoad {
+                    dst: v(0),
+                    base: r(0),
+                    offset: 0,
+                },
+                Insn::VaddHAcc {
+                    dst: v(2),
+                    src: v(0),
+                },
+                Insn::AddI {
+                    dst: r(0),
+                    a: r(0),
+                    imm: VBYTES as i64,
+                },
             ]);
         }
         EwKind::Copy => {
             body.extend([
-                Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-                Insn::VStore { src: v(0), base: r(2), offset: 0 },
-                Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
-                Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 },
+                Insn::VLoad {
+                    dst: v(0),
+                    base: r(0),
+                    offset: 0,
+                },
+                Insn::VStore {
+                    src: v(0),
+                    base: r(2),
+                    offset: 0,
+                },
+                Insn::AddI {
+                    dst: r(0),
+                    a: r(0),
+                    imm: VBYTES as i64,
+                },
+                Insn::AddI {
+                    dst: r(2),
+                    a: r(2),
+                    imm: VBYTES as i64,
+                },
             ]);
         }
     }
@@ -249,18 +481,53 @@ pub mod functional {
     pub fn add_program(elems: usize, shift: u8) -> Program {
         let mut body = Block::new("functional add");
         body.extend([
-            Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-            Insn::VLoad { dst: v(1), base: r(1), offset: 0 },
-            Insn::VaddUbH { dst: w(2), a: v(0), b: v(1) },
+            Insn::VLoad {
+                dst: v(0),
+                base: r(0),
+                offset: 0,
+            },
+            Insn::VLoad {
+                dst: v(1),
+                base: r(1),
+                offset: 0,
+            },
+            Insn::VaddUbH {
+                dst: w(2),
+                a: v(0),
+                b: v(1),
+            },
             // The widening add produces sequential lanes; the narrowing
             // shift consumes the even/odd split — re-deal first (the
             // same shuffle dance real HVX kernels perform).
-            Insn::VdealH { dst: w(4), src: w(2) },
-            Insn::VasrHB { dst: v(6), src: w(4), shift },
-            Insn::VStore { src: v(6), base: r(2), offset: 0 },
-            Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
-            Insn::AddI { dst: r(1), a: r(1), imm: VBYTES as i64 },
-            Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 },
+            Insn::VdealH {
+                dst: w(4),
+                src: w(2),
+            },
+            Insn::VasrHB {
+                dst: v(6),
+                src: w(4),
+                shift,
+            },
+            Insn::VStore {
+                src: v(6),
+                base: r(2),
+                offset: 0,
+            },
+            Insn::AddI {
+                dst: r(0),
+                a: r(0),
+                imm: VBYTES as i64,
+            },
+            Insn::AddI {
+                dst: r(1),
+                a: r(1),
+                imm: VBYTES as i64,
+            },
+            Insn::AddI {
+                dst: r(2),
+                a: r(2),
+                imm: VBYTES as i64,
+            },
         ]);
         looped(body, elems)
     }
@@ -269,14 +536,46 @@ pub mod functional {
     pub fn mul_program(elems: usize, shift: u8) -> Program {
         let mut body = Block::new("functional mul");
         body.extend([
-            Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-            Insn::VLoad { dst: v(1), base: r(1), offset: 0 },
-            Insn::VmulUbH { dst: w(2), a: v(0), b: v(1) },
-            Insn::VasrHB { dst: v(4), src: w(2), shift },
-            Insn::VStore { src: v(4), base: r(2), offset: 0 },
-            Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
-            Insn::AddI { dst: r(1), a: r(1), imm: VBYTES as i64 },
-            Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 },
+            Insn::VLoad {
+                dst: v(0),
+                base: r(0),
+                offset: 0,
+            },
+            Insn::VLoad {
+                dst: v(1),
+                base: r(1),
+                offset: 0,
+            },
+            Insn::VmulUbH {
+                dst: w(2),
+                a: v(0),
+                b: v(1),
+            },
+            Insn::VasrHB {
+                dst: v(4),
+                src: w(2),
+                shift,
+            },
+            Insn::VStore {
+                src: v(4),
+                base: r(2),
+                offset: 0,
+            },
+            Insn::AddI {
+                dst: r(0),
+                a: r(0),
+                imm: VBYTES as i64,
+            },
+            Insn::AddI {
+                dst: r(1),
+                a: r(1),
+                imm: VBYTES as i64,
+            },
+            Insn::AddI {
+                dst: r(2),
+                a: r(2),
+                imm: VBYTES as i64,
+            },
         ]);
         looped(body, elems)
     }
@@ -295,14 +594,38 @@ pub mod functional {
             dst: r(3),
             imm: i64::from_le_bytes([floor, floor, floor, floor, 0, 0, 0, 0]),
         });
-        setup.push(Insn::Vsplat { dst: v(30), src: r(3) });
+        setup.push(Insn::Vsplat {
+            dst: v(30),
+            src: r(3),
+        });
         let mut body = Block::new("functional relu");
         body.extend([
-            Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-            Insn::Vmax { lane: Lane::B, dst: v(1), a: v(0), b: v(30) },
-            Insn::VStore { src: v(1), base: r(2), offset: 0 },
-            Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
-            Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 },
+            Insn::VLoad {
+                dst: v(0),
+                base: r(0),
+                offset: 0,
+            },
+            Insn::Vmax {
+                lane: Lane::B,
+                dst: v(1),
+                a: v(0),
+                b: v(30),
+            },
+            Insn::VStore {
+                src: v(1),
+                base: r(2),
+                offset: 0,
+            },
+            Insn::AddI {
+                dst: r(0),
+                a: r(0),
+                imm: VBYTES as i64,
+            },
+            Insn::AddI {
+                dst: r(2),
+                a: r(2),
+                imm: VBYTES as i64,
+            },
         ]);
         body.trip_count = elems.div_ceil(VBYTES) as u64;
         let mut program = Program::new();

@@ -31,8 +31,7 @@ pub mod reference;
 pub mod unroll;
 
 pub use conv::{
-    conv_ref_chw, conv_weights_as_gemm, depthwise_vtmpy_blocks, im2col_chw,
-    im2col_overhead_cycles,
+    conv_ref_chw, conv_weights_as_gemm, depthwise_vtmpy_blocks, im2col_chw, im2col_overhead_cycles,
 };
 pub use cost::{CostModel, KERNEL_DISPATCH_CYCLES};
 pub use elementwise::{elementwise_blocks, EwKind};

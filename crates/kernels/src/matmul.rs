@@ -71,7 +71,12 @@ pub fn gemm_loops(gemm: &GemmDims, instr: SimdInstr, unroll: UnrollConfig) -> Ge
     let body_trips = panels as u64
         * k_groups.div_ceil(unroll.k_unroll) as u64
         * n_cols.div_ceil(unroll.n_unroll) as u64;
-    GemmLoops { panels, k_groups, n_cols, body_trips }
+    GemmLoops {
+        panels,
+        k_groups,
+        n_cols,
+        body_trips,
+    }
 }
 
 /// Emits the loop-structured kernel for cost estimation: a setup block,
@@ -85,8 +90,12 @@ pub fn timing_blocks(gemm: &GemmDims, instr: SimdInstr, unroll: UnrollConfig) ->
 
     // --- setup: pointer and constant initialisation (once) ---------------
     let mut setup = Block::new(format!("matmul/{instr} setup {gemm}"));
-    for (reg, imm) in [(regs::A_PTR, 0i64), (regs::W_PTR, 0), (regs::OUT_PTR, 0), (regs::ZERO, 0)]
-    {
+    for (reg, imm) in [
+        (regs::A_PTR, 0i64),
+        (regs::W_PTR, 0),
+        (regs::OUT_PTR, 0),
+        (regs::ZERO, 0),
+    ] {
         setup.push(Insn::Movi { dst: r(reg), imm });
     }
 
@@ -99,18 +108,29 @@ pub fn timing_blocks(gemm: &GemmDims, instr: SimdInstr, unroll: UnrollConfig) ->
     for ti in 0..t {
         match instr {
             SimdInstr::Vmpy => {
-                init.push(Insn::Vsplat { dst: v(acc_regs(ti)), src: r(regs::ZERO) });
-                init.push(Insn::Vsplat { dst: v(acc_regs(ti) + 1), src: r(regs::ZERO) });
+                init.push(Insn::Vsplat {
+                    dst: v(acc_regs(ti)),
+                    src: r(regs::ZERO),
+                });
+                init.push(Insn::Vsplat {
+                    dst: v(acc_regs(ti) + 1),
+                    src: r(regs::ZERO),
+                });
             }
             SimdInstr::Vmpa | SimdInstr::Vrmpy => {
-                init.push(Insn::Vsplat { dst: v(acc_regs(ti)), src: r(regs::ZERO) });
+                init.push(Insn::Vsplat {
+                    dst: v(acc_regs(ti)),
+                    src: r(regs::ZERO),
+                });
             }
         }
     }
 
     // --- multiply body ----------------------------------------------------
-    let mut body =
-        Block::with_trip_count(format!("matmul/{instr} body {gemm} x{unroll}"), loops.body_trips);
+    let mut body = Block::with_trip_count(
+        format!("matmul/{instr} body {gemm} x{unroll}"),
+        loops.body_trips,
+    );
     for ui in 0..u {
         body.push(Insn::VLoad {
             dst: v(ui as u8 % 6),
@@ -129,11 +149,24 @@ pub fn timing_blocks(gemm: &GemmDims, instr: SimdInstr, unroll: UnrollConfig) ->
             let acc = acc_regs(ti);
             let src = v(ui as u8 % 6);
             body.push(match instr {
-                SimdInstr::Vmpy => {
-                    Insn::Vmpy { dst: w(acc & !1), src, weights: wreg, acc: true }
-                }
-                SimdInstr::Vmpa => Insn::Vmpa { dst: v(acc), src, weights: wreg, acc: true },
-                SimdInstr::Vrmpy => Insn::Vrmpy { dst: v(acc), src, weights: wreg, acc: true },
+                SimdInstr::Vmpy => Insn::Vmpy {
+                    dst: w(acc & !1),
+                    src,
+                    weights: wreg,
+                    acc: true,
+                },
+                SimdInstr::Vmpa => Insn::Vmpa {
+                    dst: v(acc),
+                    src,
+                    weights: wreg,
+                    acc: true,
+                },
+                SimdInstr::Vrmpy => Insn::Vrmpy {
+                    dst: v(acc),
+                    src,
+                    weights: wreg,
+                    acc: true,
+                },
             });
         }
     }
@@ -149,8 +182,16 @@ pub fn timing_blocks(gemm: &GemmDims, instr: SimdInstr, unroll: UnrollConfig) ->
             offset: ((s + spills) * VBYTES) as i64,
         });
     }
-    body.push(Insn::AddI { dst: r(regs::A_PTR), a: r(regs::A_PTR), imm: (u * VBYTES) as i64 });
-    body.push(Insn::AddI { dst: r(regs::W_PTR), a: r(regs::W_PTR), imm: (t * u * 8) as i64 });
+    body.push(Insn::AddI {
+        dst: r(regs::A_PTR),
+        a: r(regs::A_PTR),
+        imm: (u * VBYTES) as i64,
+    });
+    body.push(Insn::AddI {
+        dst: r(regs::W_PTR),
+        a: r(regs::W_PTR),
+        imm: (t * u * 8) as i64,
+    });
 
     // --- epilogue: requantize + store, once per output group -------------
     let group = instr.n_granularity();
@@ -160,21 +201,59 @@ pub fn timing_blocks(gemm: &GemmDims, instr: SimdInstr, unroll: UnrollConfig) ->
     );
     match instr {
         SimdInstr::Vmpy => {
-            epi.push(Insn::VasrHB { dst: v(4), src: w(8), shift: 6 });
-            epi.push(Insn::VStore { src: v(4), base: r(regs::OUT_PTR), offset: 0 });
+            epi.push(Insn::VasrHB {
+                dst: v(4),
+                src: w(8),
+                shift: 6,
+            });
+            epi.push(Insn::VStore {
+                src: v(4),
+                base: r(regs::OUT_PTR),
+                offset: 0,
+            });
         }
         SimdInstr::Vmpa => {
-            epi.push(Insn::VasrHB { dst: v(4), src: w(8), shift: 6 });
-            epi.push(Insn::VStore { src: v(4), base: r(regs::OUT_PTR), offset: 0 });
+            epi.push(Insn::VasrHB {
+                dst: v(4),
+                src: w(8),
+                shift: 6,
+            });
+            epi.push(Insn::VStore {
+                src: v(4),
+                base: r(regs::OUT_PTR),
+                offset: 0,
+            });
         }
         SimdInstr::Vrmpy => {
-            epi.push(Insn::VasrWH { dst: v(4), a: v(8), b: v(10), shift: 6 });
-            epi.push(Insn::VasrWH { dst: v(5), a: v(9), b: v(11), shift: 6 });
-            epi.push(Insn::VasrHB { dst: v(6), src: w(4), shift: 0 });
-            epi.push(Insn::VStore { src: v(6), base: r(regs::OUT_PTR), offset: 0 });
+            epi.push(Insn::VasrWH {
+                dst: v(4),
+                a: v(8),
+                b: v(10),
+                shift: 6,
+            });
+            epi.push(Insn::VasrWH {
+                dst: v(5),
+                a: v(9),
+                b: v(11),
+                shift: 6,
+            });
+            epi.push(Insn::VasrHB {
+                dst: v(6),
+                src: w(4),
+                shift: 0,
+            });
+            epi.push(Insn::VStore {
+                src: v(6),
+                base: r(regs::OUT_PTR),
+                offset: 0,
+            });
         }
     }
-    epi.push(Insn::AddI { dst: r(regs::OUT_PTR), a: r(regs::OUT_PTR), imm: VBYTES as i64 });
+    epi.push(Insn::AddI {
+        dst: r(regs::OUT_PTR),
+        a: r(regs::OUT_PTR),
+        imm: VBYTES as i64,
+    });
 
     vec![setup, init, body, epi]
 }
@@ -205,8 +284,16 @@ pub fn functional_program(
     addr_a: i64,
     addr_out: i64,
 ) -> Program {
-    assert_eq!(a.layout(), instr.layout(), "activation layout must match the instruction");
-    assert_eq!(wgt.rows(), a.cols(), "weight rows must equal activation cols");
+    assert_eq!(
+        a.layout(),
+        instr.layout(),
+        "activation layout must match the instruction"
+    );
+    assert_eq!(
+        wgt.rows(),
+        a.cols(),
+        "weight rows must equal activation cols"
+    );
     let layout = instr.layout();
     let (m, k, n) = (a.rows(), a.cols(), wgt.cols());
     let kp = layout.padded_cols(k);
@@ -217,8 +304,14 @@ pub fn functional_program(
     let k_groups = kp / kg;
 
     let mut block = Block::new(format!("matmul/{instr} functional"));
-    block.push(Insn::Movi { dst: r(regs::A_PTR), imm: addr_a });
-    block.push(Insn::Movi { dst: r(regs::OUT_PTR), imm: addr_out });
+    block.push(Insn::Movi {
+        dst: r(regs::A_PTR),
+        imm: addr_a,
+    });
+    block.push(Insn::Movi {
+        dst: r(regs::OUT_PTR),
+        imm: addr_out,
+    });
 
     let wb = |kk: usize, nn: usize| -> i8 {
         if kk < k && nn < n {
@@ -236,7 +329,11 @@ pub fn functional_program(
             for (g, nn) in (col..col + n_step).enumerate() {
                 for kgi in 0..k_groups {
                     let chunk = (p * mg * kp + kgi * VBYTES) as i64;
-                    block.push(Insn::VLoad { dst: v(0), base: r(regs::A_PTR), offset: chunk });
+                    block.push(Insn::VLoad {
+                        dst: v(0),
+                        base: r(regs::A_PTR),
+                        offset: chunk,
+                    });
                     let weights = match instr {
                         SimdInstr::Vmpy => {
                             let x = wb(kgi, nn);
@@ -253,7 +350,10 @@ pub fn functional_program(
                             wb(4 * kgi + 3, nn),
                         ]),
                     };
-                    block.push(Insn::Movi { dst: r(regs::WGT0), imm: weights });
+                    block.push(Insn::Movi {
+                        dst: r(regs::WGT0),
+                        imm: weights,
+                    });
                     let acc = 8 + g as u8 * acc_width(instr);
                     let first = kgi == 0;
                     block.push(match instr {
@@ -282,18 +382,52 @@ pub fn functional_program(
             let out_off = (p * mg * np + (col / n_step) * VBYTES) as i64;
             match instr {
                 SimdInstr::Vmpy => {
-                    block.push(Insn::VasrHB { dst: v(4), src: w(8), shift });
-                    block.push(Insn::VStore { src: v(4), base: r(regs::OUT_PTR), offset: out_off });
+                    block.push(Insn::VasrHB {
+                        dst: v(4),
+                        src: w(8),
+                        shift,
+                    });
+                    block.push(Insn::VStore {
+                        src: v(4),
+                        base: r(regs::OUT_PTR),
+                        offset: out_off,
+                    });
                 }
                 SimdInstr::Vmpa => {
-                    block.push(Insn::VasrHB { dst: v(4), src: w(8), shift });
-                    block.push(Insn::VStore { src: v(4), base: r(regs::OUT_PTR), offset: out_off });
+                    block.push(Insn::VasrHB {
+                        dst: v(4),
+                        src: w(8),
+                        shift,
+                    });
+                    block.push(Insn::VStore {
+                        src: v(4),
+                        base: r(regs::OUT_PTR),
+                        offset: out_off,
+                    });
                 }
                 SimdInstr::Vrmpy => {
-                    block.push(Insn::VasrWH { dst: v(4), a: v(8), b: v(10), shift });
-                    block.push(Insn::VasrWH { dst: v(5), a: v(9), b: v(11), shift });
-                    block.push(Insn::VasrHB { dst: v(6), src: w(4), shift: 0 });
-                    block.push(Insn::VStore { src: v(6), base: r(regs::OUT_PTR), offset: out_off });
+                    block.push(Insn::VasrWH {
+                        dst: v(4),
+                        a: v(8),
+                        b: v(10),
+                        shift,
+                    });
+                    block.push(Insn::VasrWH {
+                        dst: v(5),
+                        a: v(9),
+                        b: v(11),
+                        shift,
+                    });
+                    block.push(Insn::VasrHB {
+                        dst: v(6),
+                        src: w(4),
+                        shift: 0,
+                    });
+                    block.push(Insn::VStore {
+                        src: v(6),
+                        base: r(regs::OUT_PTR),
+                        offset: out_off,
+                    });
                 }
             }
             col += n_step;

@@ -29,14 +29,20 @@ pub struct UnrollConfig {
 
 impl UnrollConfig {
     /// No unrolling.
-    pub const NONE: UnrollConfig = UnrollConfig { n_unroll: 1, k_unroll: 1 };
+    pub const NONE: UnrollConfig = UnrollConfig {
+        n_unroll: 1,
+        k_unroll: 1,
+    };
 
     /// Creates a configuration.
     ///
     /// # Panics
     /// Panics if a factor is zero.
     pub fn new(n_unroll: usize, k_unroll: usize) -> Self {
-        assert!(n_unroll >= 1 && k_unroll >= 1, "unroll factors must be >= 1");
+        assert!(
+            n_unroll >= 1 && k_unroll >= 1,
+            "unroll factors must be >= 1"
+        );
         UnrollConfig { n_unroll, k_unroll }
     }
 
@@ -138,7 +144,11 @@ pub fn adaptive_unroll(gemm: &GemmDims, instr: SimdInstr) -> UnrollConfig {
 }
 
 /// Enumerates the configurations a strategy considers.
-pub fn candidates(strategy: UnrollStrategy, gemm: &GemmDims, instr: SimdInstr) -> Vec<UnrollConfig> {
+pub fn candidates(
+    strategy: UnrollStrategy,
+    gemm: &GemmDims,
+    instr: SimdInstr,
+) -> Vec<UnrollConfig> {
     match strategy {
         UnrollStrategy::None => vec![UnrollConfig::NONE],
         UnrollStrategy::Out(f) => vec![UnrollConfig::new(f, 1)],
@@ -162,9 +172,18 @@ mod tests {
 
     #[test]
     fn shape_classes() {
-        assert_eq!(classify_output(&GemmDims::new(4096, 64, 32)), OutputShapeClass::Skinny);
-        assert_eq!(classify_output(&GemmDims::new(128, 64, 128)), OutputShapeClass::NearSquare);
-        assert_eq!(classify_output(&GemmDims::new(16, 64, 512)), OutputShapeClass::Fat);
+        assert_eq!(
+            classify_output(&GemmDims::new(4096, 64, 32)),
+            OutputShapeClass::Skinny
+        );
+        assert_eq!(
+            classify_output(&GemmDims::new(128, 64, 128)),
+            OutputShapeClass::NearSquare
+        );
+        assert_eq!(
+            classify_output(&GemmDims::new(16, 64, 512)),
+            OutputShapeClass::Fat
+        );
     }
 
     #[test]
@@ -187,7 +206,11 @@ mod tests {
 
     #[test]
     fn exhaustive_covers_grid() {
-        let c = candidates(UnrollStrategy::Exhaustive, &GemmDims::new(128, 128, 128), SimdInstr::Vmpy);
+        let c = candidates(
+            UnrollStrategy::Exhaustive,
+            &GemmDims::new(128, 128, 128),
+            SimdInstr::Vmpy,
+        );
         assert_eq!(c.len(), 25);
     }
 

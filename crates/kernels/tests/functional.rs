@@ -8,9 +8,9 @@
 //! requantization points (see DESIGN.md).
 #![allow(clippy::needless_range_loop)]
 
+use gcd2_cgraph::GemmDims;
 use gcd2_hvx::Machine;
 use gcd2_kernels::{functional_program, matmul_ref, output_matrix_len, SimdInstr};
-use gcd2_cgraph::GemmDims;
 use gcd2_tensor::{MatrixI8, MatrixU8};
 
 fn run_kernel(a_rm: &[u8], w_rm: &[i8], m: usize, k: usize, n: usize, instr: SimdInstr) {
@@ -46,7 +46,9 @@ fn pseudo(m: usize, k: usize, n: usize, seed: u64) -> (Vec<u8>, Vec<i8>) {
     // Small deterministic LCG, bounded ranges (see module docs).
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as u32
     };
     let a: Vec<u8> = (0..m * k).map(|_| (next() % 16) as u8).collect();
@@ -75,7 +77,14 @@ fn vrmpy_matches_reference_exact_panel() {
 #[test]
 fn all_instructions_on_ragged_shapes() {
     // Shapes exercising every padding path: odd K, odd N, partial panels.
-    let shapes = [(5, 3, 2), (33, 7, 5), (70, 9, 3), (130, 5, 9), (96, 48, 6), (32, 1, 1)];
+    let shapes = [
+        (5, 3, 2),
+        (33, 7, 5),
+        (70, 9, 3),
+        (130, 5, 9),
+        (96, 48, 6),
+        (32, 1, 1),
+    ];
     for (i, &(m, k, n)) in shapes.iter().enumerate() {
         let (a, w) = pseudo(m, k, n, 100 + i as u64);
         for instr in SimdInstr::ALL {
@@ -130,8 +139,12 @@ fn convolution_via_simd_matmul_matches_direct_reference() {
     let shift = 5u8;
     // Bounded so the 16-bit accumulation paths stay exact (K = 18).
     let input: Vec<u8> = (0..c * h * w_dim).map(|i| (i * 5 % 16) as u8).collect();
-    let weights: Vec<i8> = (0..out_c * c * 9).map(|i| ((i * 7 % 15) as i8) - 7).collect();
-    let expect = conv_ref_chw(&input, &weights, c, h, w_dim, out_c, kernel, stride, padding, shift);
+    let weights: Vec<i8> = (0..out_c * c * 9)
+        .map(|i| ((i * 7 % 15) as i8) - 7)
+        .collect();
+    let expect = conv_ref_chw(
+        &input, &weights, c, h, w_dim, out_c, kernel, stride, padding, shift,
+    );
 
     for instr in SimdInstr::ALL {
         let a = im2col_chw(&input, c, h, w_dim, kernel, stride, padding, instr.layout());
@@ -166,9 +179,9 @@ fn convolution_via_simd_matmul_matches_direct_reference() {
 /// over ragged lengths and shifts.
 #[test]
 fn elementwise_programs_match_references() {
+    use gcd2_hvx::SReg;
     use gcd2_kernels::elementwise::functional::{add_program, mul_program, relu_program};
     use gcd2_kernels::{add_ref, mul_ref};
-    use gcd2_hvx::SReg;
 
     for elems in [1usize, 100, 128, 300, 1024] {
         let padded = elems.div_ceil(128) * 128;
@@ -186,13 +199,21 @@ fn elementwise_programs_match_references() {
         let mut m = Machine::new(3 * padded);
         setup(&mut m);
         m.run(&add_program(elems, 1));
-        assert_eq!(&m.mem[2 * padded..2 * padded + elems], &add_ref(&a, &b, 1)[..], "add {elems}");
+        assert_eq!(
+            &m.mem[2 * padded..2 * padded + elems],
+            &add_ref(&a, &b, 1)[..],
+            "add {elems}"
+        );
 
         // Mul.
         let mut m = Machine::new(3 * padded);
         setup(&mut m);
         m.run(&mul_program(elems, 4));
-        assert_eq!(&m.mem[2 * padded..2 * padded + elems], &mul_ref(&a, &b, 4)[..], "mul {elems}");
+        assert_eq!(
+            &m.mem[2 * padded..2 * padded + elems],
+            &mul_ref(&a, &b, 4)[..],
+            "mul {elems}"
+        );
 
         // Relu-style floor clamp (signed max on bytes).
         let mut m = Machine::new(3 * padded);
@@ -202,9 +223,17 @@ fn elementwise_programs_match_references() {
             .iter()
             .map(|&x| {
                 // Vmax is signed on bytes: values >= 128 are negative.
-                if (x as i8) < 3 { 3 } else { x }
+                if (x as i8) < 3 {
+                    3
+                } else {
+                    x
+                }
             })
             .collect();
-        assert_eq!(&m.mem[2 * padded..2 * padded + elems], &expect[..], "relu {elems}");
+        assert_eq!(
+            &m.mem[2 * padded..2 * padded + elems],
+            &expect[..],
+            "relu {elems}"
+        );
     }
 }

@@ -13,7 +13,11 @@ fn arb_gemm() -> impl Strategy<Value = GemmDims> {
 }
 
 fn arb_instr() -> impl Strategy<Value = SimdInstr> {
-    prop_oneof![Just(SimdInstr::Vmpy), Just(SimdInstr::Vmpa), Just(SimdInstr::Vrmpy)]
+    prop_oneof![
+        Just(SimdInstr::Vmpy),
+        Just(SimdInstr::Vmpa),
+        Just(SimdInstr::Vrmpy)
+    ]
 }
 
 proptest! {

@@ -63,14 +63,40 @@ impl ModelId {
     /// Paper-reported reference statistics (Table IV).
     pub fn reference(self) -> ModelRef {
         match self {
-            ModelId::MobileNetV3 => ModelRef::new("MobileNet-V3", 0.22e9, 5.5e6, 193, Some(7.5), Some(6.2), 4.0),
-            ModelId::EfficientNetB0 => ModelRef::new("EfficientNet-b0", 0.40e9, 4.0e6, 254, Some(9.1), Some(9.2), 6.0),
-            ModelId::ResNet50 => ModelRef::new("ResNet-50", 4.1e9, 25.5e6, 140, Some(13.9), Some(11.6), 7.1),
+            ModelId::MobileNetV3 => ModelRef::new(
+                "MobileNet-V3",
+                0.22e9,
+                5.5e6,
+                193,
+                Some(7.5),
+                Some(6.2),
+                4.0,
+            ),
+            ModelId::EfficientNetB0 => ModelRef::new(
+                "EfficientNet-b0",
+                0.40e9,
+                4.0e6,
+                254,
+                Some(9.1),
+                Some(9.2),
+                6.0,
+            ),
+            ModelId::ResNet50 => {
+                ModelRef::new("ResNet-50", 4.1e9, 25.5e6, 140, Some(13.9), Some(11.6), 7.1)
+            }
             ModelId::Fst => ModelRef::new("FST", 161e9, 1.7e6, 64, Some(935.0), Some(870.0), 211.0),
-            ModelId::CycleGan => ModelRef::new("CycleGAN", 186e9, 11e6, 84, Some(450.0), Some(366.0), 181.0),
-            ModelId::WdsrB => ModelRef::new("WDSR-b", 11.5e9, 22.2e3, 32, Some(400.0), Some(137.0), 66.7),
-            ModelId::EfficientDetD0 => ModelRef::new("EfficientDet-d0", 2.6e9, 4.3e6, 822, Some(62.8), None, 26.0),
-            ModelId::PixOr => ModelRef::new("PixOr", 8.8e9, 2.1e6, 150, Some(43.0), Some(26.4), 11.7),
+            ModelId::CycleGan => {
+                ModelRef::new("CycleGAN", 186e9, 11e6, 84, Some(450.0), Some(366.0), 181.0)
+            }
+            ModelId::WdsrB => {
+                ModelRef::new("WDSR-b", 11.5e9, 22.2e3, 32, Some(400.0), Some(137.0), 66.7)
+            }
+            ModelId::EfficientDetD0 => {
+                ModelRef::new("EfficientDet-d0", 2.6e9, 4.3e6, 822, Some(62.8), None, 26.0)
+            }
+            ModelId::PixOr => {
+                ModelRef::new("PixOr", 8.8e9, 2.1e6, 150, Some(43.0), Some(26.4), 11.7)
+            }
             ModelId::TinyBert => ModelRef::new("TinyBERT", 1.4e9, 4.7e6, 211, None, None, 12.2),
             ModelId::Conformer => ModelRef::new("Conformer", 5.6e9, 1.2e6, 675, None, None, 65.0),
         }
@@ -112,7 +138,15 @@ impl ModelRef {
         snpe_ms: Option<f64>,
         gcd2_ms: f64,
     ) -> Self {
-        ModelRef { name, macs, params, operators, tflite_ms, snpe_ms, gcd2_ms }
+        ModelRef {
+            name,
+            macs,
+            params,
+            operators,
+            tflite_ms,
+            snpe_ms,
+            gcd2_ms,
+        }
     }
 
     /// True when the paper reports neither TFLite nor SNPE support

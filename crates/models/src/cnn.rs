@@ -6,17 +6,14 @@
 
 use gcd2_cgraph::{Activation, Graph, NodeId, OpKind, TShape};
 
-fn conv(
-    g: &mut Graph,
-    x: NodeId,
-    out: usize,
-    k: usize,
-    s: usize,
-    p: usize,
-    name: &str,
-) -> NodeId {
+fn conv(g: &mut Graph, x: NodeId, out: usize, k: usize, s: usize, p: usize, name: &str) -> NodeId {
     g.add(
-        OpKind::Conv2d { out_channels: out, kernel: (k, k), stride: (s, s), padding: (p, p) },
+        OpKind::Conv2d {
+            out_channels: out,
+            kernel: (k, k),
+            stride: (s, s),
+            padding: (p, p),
+        },
         &[x],
         name,
     )
@@ -32,7 +29,11 @@ fn hswish(g: &mut Graph, x: NodeId, name: &str) -> NodeId {
 
 fn dwconv(g: &mut Graph, x: NodeId, k: usize, s: usize, name: &str) -> NodeId {
     g.add(
-        OpKind::DepthwiseConv2d { kernel: (k, k), stride: (s, s), padding: (k / 2, k / 2) },
+        OpKind::DepthwiseConv2d {
+            kernel: (k, k),
+            stride: (s, s),
+            padding: (k / 2, k / 2),
+        },
         &[x],
         name,
     )
@@ -42,7 +43,15 @@ fn dwconv(g: &mut Graph, x: NodeId, k: usize, s: usize, name: &str) -> NodeId {
 /// sigmoid → channel-wise multiply.
 fn squeeze_excite(g: &mut Graph, x: NodeId, channels: usize, name: &str) -> NodeId {
     let gap = g.add(OpKind::GlobalAvgPool, &[x], format!("{name}.se.gap"));
-    let r = conv(g, gap, (channels / 4).max(8), 1, 1, 0, &format!("{name}.se.reduce"));
+    let r = conv(
+        g,
+        gap,
+        (channels / 4).max(8),
+        1,
+        1,
+        0,
+        &format!("{name}.se.reduce"),
+    );
     let a = relu(g, r, &format!("{name}.se.relu"));
     let e = conv(g, a, channels, 1, 1, 0, &format!("{name}.se.expand"));
     let s = g.add(OpKind::Sigmoid, &[e], format!("{name}.se.sigmoid"));
@@ -56,13 +65,20 @@ pub fn resnet50() -> Graph {
     let stem = conv(&mut g, x, 64, 7, 2, 3, "stem.conv");
     let stem = relu(&mut g, stem, "stem.relu");
     let mut cur = g.add(
-        OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) },
+        OpKind::MaxPool {
+            kernel: (2, 2),
+            stride: (2, 2),
+        },
         &[stem],
         "stem.maxpool",
     );
 
-    let stages: [(usize, usize, usize, usize); 4] =
-        [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    ];
     let mut in_ch = 64;
     for (si, &(mid, out, blocks, stride)) in stages.iter().enumerate() {
         for b in 0..blocks {
@@ -84,7 +100,13 @@ pub fn resnet50() -> Graph {
         }
     }
     let gap = g.add(OpKind::GlobalAvgPool, &[cur], "gap");
-    let flat = g.add(OpKind::Reshape { shape: TShape::new(vec![1, 2048]) }, &[gap], "flatten");
+    let flat = g.add(
+        OpKind::Reshape {
+            shape: TShape::new(vec![1, 2048]),
+        },
+        &[gap],
+        "flatten",
+    );
     g.add(OpKind::MatMul { n: 1000 }, &[flat], "fc");
     g
 }
@@ -155,13 +177,30 @@ pub fn mobilenet_v3() -> Graph {
     ];
     let mut in_ch = 16;
     for (i, &(k, exp, out, se, hs, s)) in cfg.iter().enumerate() {
-        cur = inverted_residual(&mut g, cur, in_ch, exp, out, k, s, se, hs, &format!("bneck{i}"));
+        cur = inverted_residual(
+            &mut g,
+            cur,
+            in_ch,
+            exp,
+            out,
+            k,
+            s,
+            se,
+            hs,
+            &format!("bneck{i}"),
+        );
         in_ch = out;
     }
     let head = conv(&mut g, cur, 960, 1, 1, 0, "head.conv");
     let head = hswish(&mut g, head, "head.act");
     let gap = g.add(OpKind::GlobalAvgPool, &[head], "gap");
-    let flat = g.add(OpKind::Reshape { shape: TShape::new(vec![1, 960]) }, &[gap], "flatten");
+    let flat = g.add(
+        OpKind::Reshape {
+            shape: TShape::new(vec![1, 960]),
+        },
+        &[gap],
+        "flatten",
+    );
     let fc1 = g.add(OpKind::MatMul { n: 1280 }, &[flat], "fc1");
     let fc1 = g.add(OpKind::Act(Activation::HardSwish), &[fc1], "fc1.act");
     g.add(OpKind::MatMul { n: 1000 }, &[fc1], "fc2");
@@ -263,7 +302,13 @@ pub fn efficientnet_b0() -> Graph {
     let head = conv(&mut g, cur, 1280, 1, 1, 0, "head.conv");
     let head = hswish(&mut g, head, "head.act");
     let gap = g.add(OpKind::GlobalAvgPool, &[head], "gap");
-    let flat = g.add(OpKind::Reshape { shape: TShape::new(vec![1, 1280]) }, &[gap], "flatten");
+    let flat = g.add(
+        OpKind::Reshape {
+            shape: TShape::new(vec![1, 1280]),
+        },
+        &[gap],
+        "flatten",
+    );
     g.add(OpKind::MatMul { n: 1000 }, &[flat], "fc");
     g
 }
@@ -286,7 +331,10 @@ mod tests {
     fn mobilenet_v3_macs_match_paper() {
         let g = mobilenet_v3();
         let macs = g.total_macs() as f64;
-        assert!((0.15e9..0.35e9).contains(&macs), "MobileNet-V3 MACs {macs:.3e}");
+        assert!(
+            (0.15e9..0.35e9).contains(&macs),
+            "MobileNet-V3 MACs {macs:.3e}"
+        );
         assert!((140..260).contains(&g.op_count()), "ops {}", g.op_count());
     }
 
@@ -294,7 +342,10 @@ mod tests {
     fn efficientnet_b0_macs_match_paper() {
         let g = efficientnet_b0();
         let macs = g.total_macs() as f64;
-        assert!((0.28e9..0.60e9).contains(&macs), "EfficientNet-b0 MACs {macs:.3e}");
+        assert!(
+            (0.28e9..0.60e9).contains(&macs),
+            "EfficientNet-b0 MACs {macs:.3e}"
+        );
         assert!((180..330).contains(&g.op_count()), "ops {}", g.op_count());
     }
 }

@@ -6,17 +6,14 @@
 use crate::cnn;
 use gcd2_cgraph::{Activation, Graph, NodeId, OpKind, TShape};
 
-fn conv(
-    g: &mut Graph,
-    x: NodeId,
-    out: usize,
-    k: usize,
-    s: usize,
-    p: usize,
-    name: &str,
-) -> NodeId {
+fn conv(g: &mut Graph, x: NodeId, out: usize, k: usize, s: usize, p: usize, name: &str) -> NodeId {
     g.add(
-        OpKind::Conv2d { out_channels: out, kernel: (k, k), stride: (s, s), padding: (p, p) },
+        OpKind::Conv2d {
+            out_channels: out,
+            kernel: (k, k),
+            stride: (s, s),
+            padding: (p, p),
+        },
         &[x],
         name,
     )
@@ -28,7 +25,11 @@ fn relu(g: &mut Graph, x: NodeId, name: &str) -> NodeId {
 
 fn sep_conv(g: &mut Graph, x: NodeId, ch: usize, name: &str) -> NodeId {
     let dw = g.add(
-        OpKind::DepthwiseConv2d { kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+        OpKind::DepthwiseConv2d {
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        },
         &[x],
         format!("{name}.dw"),
     );
@@ -55,15 +56,33 @@ pub fn efficientdet_d0() -> Graph {
     let fpn_ch = 64;
     let mut levels: Vec<NodeId> = Vec::new();
     for (i, &t) in taps.iter().enumerate() {
-        levels.push(conv(&mut g, t, fpn_ch, 1, 1, 0, &format!("p{}.lateral", i + 3)));
+        levels.push(conv(
+            &mut g,
+            t,
+            fpn_ch,
+            1,
+            1,
+            0,
+            &format!("p{}.lateral", i + 3),
+        ));
     }
     let mut p6 = g.add(
-        OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) },
+        OpKind::MaxPool {
+            kernel: (2, 2),
+            stride: (2, 2),
+        },
         &[*levels.last().unwrap()],
         "p6.down",
     );
     p6 = conv(&mut g, p6, fpn_ch, 1, 1, 0, "p6.lateral");
-    let p7 = g.add(OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) }, &[p6], "p7.down");
+    let p7 = g.add(
+        OpKind::MaxPool {
+            kernel: (2, 2),
+            stride: (2, 2),
+        },
+        &[p6],
+        "p7.down",
+    );
     levels.push(p6);
     levels.push(p7);
 
@@ -79,18 +98,33 @@ pub fn efficientdet_d0() -> Graph {
                 &[*td.last().unwrap()],
                 format!("bifpn{cell}.td{i}.up"),
             );
-            td.push(fuse(&mut g, up, levels[i], fpn_ch, &format!("bifpn{cell}.td{i}")));
+            td.push(fuse(
+                &mut g,
+                up,
+                levels[i],
+                fpn_ch,
+                &format!("bifpn{cell}.td{i}"),
+            ));
         }
         td.reverse(); // td[0] is the finest level now
-        // Bottom-up pathway.
+                      // Bottom-up pathway.
         let mut new_levels: Vec<NodeId> = vec![td[0]];
         for i in 1..levels.len() {
             let down = g.add(
-                OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) },
+                OpKind::MaxPool {
+                    kernel: (2, 2),
+                    stride: (2, 2),
+                },
                 &[*new_levels.last().unwrap()],
                 format!("bifpn{cell}.bu{i}.down"),
             );
-            new_levels.push(fuse(&mut g, down, td[i], fpn_ch, &format!("bifpn{cell}.bu{i}")));
+            new_levels.push(fuse(
+                &mut g,
+                down,
+                td[i],
+                fpn_ch,
+                &format!("bifpn{cell}.bu{i}"),
+            ));
         }
         levels = new_levels;
     }
@@ -103,7 +137,15 @@ pub fn efficientdet_d0() -> Graph {
                 cur = sep_conv(&mut g, cur, fpn_ch, &format!("{head}{li}.conv{d}"));
             }
             let outputs = if head == "class" { 90 * 3 } else { 4 * 3 };
-            conv(&mut g, cur, outputs, 3, 1, 1, &format!("{head}{li}.predict"));
+            conv(
+                &mut g,
+                cur,
+                outputs,
+                3,
+                1,
+                1,
+                &format!("{head}{li}.predict"),
+            );
         }
     }
     g
@@ -166,7 +208,10 @@ mod tests {
     fn efficientdet_matches_paper_scale() {
         let g = efficientdet_d0();
         let macs = g.total_macs() as f64;
-        assert!((1.5e9..4.5e9).contains(&macs), "EfficientDet-d0 MACs {macs:.3e}");
+        assert!(
+            (1.5e9..4.5e9).contains(&macs),
+            "EfficientDet-d0 MACs {macs:.3e}"
+        );
         assert!((400..900).contains(&g.op_count()), "ops {}", g.op_count());
     }
 

@@ -3,17 +3,14 @@
 
 use gcd2_cgraph::{Activation, Graph, NodeId, OpKind, TShape};
 
-fn conv(
-    g: &mut Graph,
-    x: NodeId,
-    out: usize,
-    k: usize,
-    s: usize,
-    p: usize,
-    name: &str,
-) -> NodeId {
+fn conv(g: &mut Graph, x: NodeId, out: usize, k: usize, s: usize, p: usize, name: &str) -> NodeId {
     g.add(
-        OpKind::Conv2d { out_channels: out, kernel: (k, k), stride: (s, s), padding: (p, p) },
+        OpKind::Conv2d {
+            out_channels: out,
+            kernel: (k, k),
+            stride: (s, s),
+            padding: (p, p),
+        },
         &[x],
         name,
     )
@@ -70,13 +67,21 @@ pub fn cyclegan() -> Graph {
         cur = res_block(&mut g, cur, 256, &format!("R256.{i}"));
     }
     let u1 = g.add(
-        OpKind::ConvTranspose2d { out_channels: 128, kernel: (3, 3), stride: (2, 2) },
+        OpKind::ConvTranspose2d {
+            out_channels: 128,
+            kernel: (3, 3),
+            stride: (2, 2),
+        },
         &[cur],
         "u128",
     );
     let a4 = relu(&mut g, u1, "u128.relu");
     let u2 = g.add(
-        OpKind::ConvTranspose2d { out_channels: 64, kernel: (3, 3), stride: (2, 2) },
+        OpKind::ConvTranspose2d {
+            out_channels: 64,
+            kernel: (3, 3),
+            stride: (2, 2),
+        },
         &[a4],
         "u64",
     );
@@ -104,7 +109,13 @@ pub fn wdsr_b() -> Graph {
     }
     // Pixel-shuffle upsampling: conv to r^2 * 3 channels, then reshape.
     let tail = conv(&mut g, cur, 48, 3, 1, 1, "tail.conv");
-    g.add(OpKind::Reshape { shape: TShape::nchw(1, 3, 2160, 2880) }, &[tail], "pixel_shuffle");
+    g.add(
+        OpKind::Reshape {
+            shape: TShape::nchw(1, 3, 2160, 2880),
+        },
+        &[tail],
+        "pixel_shuffle",
+    );
     g
 }
 

@@ -22,18 +22,44 @@ fn attention(g: &mut Graph, x: NodeId, d: usize, heads: usize, name: &str) -> No
     let k = linear(g, x, d, &format!("{name}.k"));
     let v = linear(g, x, d, &format!("{name}.v"));
     let head_shape = TShape::new(vec![heads, seq, d / heads]);
-    let qh = g.add(OpKind::Reshape { shape: head_shape.clone() }, &[q], format!("{name}.q_heads"));
-    let kh = g.add(OpKind::Reshape { shape: head_shape.clone() }, &[k], format!("{name}.k_heads"));
-    let vh = g.add(OpKind::Reshape { shape: head_shape }, &[v], format!("{name}.v_heads"));
+    let qh = g.add(
+        OpKind::Reshape {
+            shape: head_shape.clone(),
+        },
+        &[q],
+        format!("{name}.q_heads"),
+    );
+    let kh = g.add(
+        OpKind::Reshape {
+            shape: head_shape.clone(),
+        },
+        &[k],
+        format!("{name}.k_heads"),
+    );
+    let vh = g.add(
+        OpKind::Reshape { shape: head_shape },
+        &[v],
+        format!("{name}.v_heads"),
+    );
     let kt = g.add(OpKind::Transpose, &[kh], format!("{name}.kT"));
     // scores = q · k^T (seq × seq per head), scaled (Pow implements the
     // 1/sqrt(d_k) scaling in the quantized graph), softmaxed, applied to v.
-    let scores = g.add(OpKind::BatchMatMul { n: seq }, &[qh, kt], format!("{name}.scores"));
+    let scores = g.add(
+        OpKind::BatchMatMul { n: seq },
+        &[qh, kt],
+        format!("{name}.scores"),
+    );
     let scaled = g.add(OpKind::Pow, &[scores], format!("{name}.scale"));
     let probs = g.add(OpKind::Softmax, &[scaled], format!("{name}.softmax"));
-    let ctx = g.add(OpKind::BatchMatMul { n: d / heads }, &[probs, vh], format!("{name}.context"));
+    let ctx = g.add(
+        OpKind::BatchMatMul { n: d / heads },
+        &[probs, vh],
+        format!("{name}.context"),
+    );
     let merged = g.add(
-        OpKind::Reshape { shape: TShape::new(vec![seq, d]) },
+        OpKind::Reshape {
+            shape: TShape::new(vec![seq, d]),
+        },
         &[ctx],
         format!("{name}.merge_heads"),
     );
@@ -84,17 +110,25 @@ fn conformer_block(g: &mut Graph, x: NodeId, d: usize, seq: usize, name: &str) -
     let glu = g.add(OpKind::Mul, &[pw1, gate], format!("{name}.conv.glu"));
     // Reshape [seq, 2d] to a feature map for the depthwise conv.
     let as_map = g.add(
-        OpKind::Reshape { shape: TShape::nchw(1, 2 * d, 1, seq) },
+        OpKind::Reshape {
+            shape: TShape::nchw(1, 2 * d, 1, seq),
+        },
         &[glu],
         format!("{name}.conv.to_map"),
     );
     let dw = g.add(
-        OpKind::DepthwiseConv2d { kernel: (1, 15), stride: (1, 1), padding: (0, 7) },
+        OpKind::DepthwiseConv2d {
+            kernel: (1, 15),
+            stride: (1, 1),
+            padding: (0, 7),
+        },
         &[as_map],
         format!("{name}.conv.dw"),
     );
     let back = g.add(
-        OpKind::Reshape { shape: TShape::new(vec![seq, 2 * d]) },
+        OpKind::Reshape {
+            shape: TShape::new(vec![seq, 2 * d]),
+        },
         &[dw],
         format!("{name}.conv.from_map"),
     );
@@ -145,7 +179,10 @@ mod tests {
         // GCD2 runs these models "for the first time".
         for g in [tinybert(), conformer()] {
             assert!(g.nodes().iter().any(|n| n.kind == OpKind::Pow));
-            assert!(g.nodes().iter().any(|n| matches!(n.kind, OpKind::BatchMatMul { .. })));
+            assert!(g
+                .nodes()
+                .iter()
+                .any(|n| matches!(n.kind, OpKind::BatchMatMul { .. })));
         }
     }
 }

@@ -38,7 +38,11 @@ fn efficientnet_b0_structure() {
     let g = ModelId::EfficientNetB0.build();
     let dw = count(&g, |k| matches!(k, OpKind::DepthwiseConv2d { .. }));
     assert_eq!(dw, 16, "one depthwise per MBConv");
-    assert_eq!(count(&g, |k| *k == OpKind::Sigmoid), 16, "SE in every block");
+    assert_eq!(
+        count(&g, |k| *k == OpKind::Sigmoid),
+        16,
+        "SE in every block"
+    );
 }
 
 #[test]
@@ -49,7 +53,10 @@ fn gan_structures() {
 
     let cg = ModelId::CycleGan.build();
     assert_eq!(count(&cg, |k| *k == OpKind::Add), 9, "9 residual blocks");
-    assert_eq!(count(&cg, |k| matches!(k, OpKind::ConvTranspose2d { .. })), 2);
+    assert_eq!(
+        count(&cg, |k| matches!(k, OpKind::ConvTranspose2d { .. })),
+        2
+    );
 }
 
 #[test]
@@ -69,18 +76,34 @@ fn detector_structures() {
 #[test]
 fn transformer_structures() {
     let tb = ModelId::TinyBert.build();
-    assert_eq!(count(&tb, |k| *k == OpKind::Softmax), 6, "one attention per layer");
+    assert_eq!(
+        count(&tb, |k| *k == OpKind::Softmax),
+        6,
+        "one attention per layer"
+    );
     assert_eq!(count(&tb, |k| *k == OpKind::Gelu), 7, "6 FFNs + pooler");
-    assert_eq!(count(&tb, |k| *k == OpKind::LayerNorm), 13, "2 per layer + embedding");
+    assert_eq!(
+        count(&tb, |k| *k == OpKind::LayerNorm),
+        13,
+        "2 per layer + embedding"
+    );
 
     let cf = ModelId::Conformer.build();
-    assert_eq!(count(&cf, |k| *k == OpKind::Softmax), 12, "one attention per block");
+    assert_eq!(
+        count(&cf, |k| *k == OpKind::Softmax),
+        12,
+        "one attention per block"
+    );
     assert_eq!(
         count(&cf, |k| matches!(k, OpKind::DepthwiseConv2d { .. })),
         12,
         "one conv module per block"
     );
-    assert_eq!(count(&cf, |k| *k == OpKind::LayerNorm), 48, "4 per macaron block");
+    assert_eq!(
+        count(&cf, |k| *k == OpKind::LayerNorm),
+        48,
+        "4 per macaron block"
+    );
 }
 
 #[test]
@@ -106,7 +129,11 @@ fn every_model_is_connected_and_single_output() {
         for n in g.nodes() {
             match n.kind {
                 OpKind::Input | OpKind::Constant => {
-                    assert!(!g.succs(n.id).is_empty(), "{id}: dangling source {}", n.name);
+                    assert!(
+                        !g.succs(n.id).is_empty(),
+                        "{id}: dangling source {}",
+                        n.name
+                    );
                 }
                 _ => assert!(!n.inputs.is_empty(), "{id}: orphan op {}", n.name),
             }

@@ -1,0 +1,144 @@
+//! An offline, dependency-free subset of the [proptest](https://docs.rs/proptest)
+//! API, used because this workspace builds in environments without access
+//! to crates.io.
+//!
+//! Supported surface (exactly what the workspace's tests use):
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat, ..) { .. } }`
+//! * [`Strategy`] with `prop_map` and `boxed`
+//! * integer range strategies (`0u8..10`), tuple strategies, [`Just`],
+//!   `any::<T>()`, `proptest::collection::vec`
+//! * `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`
+//! * [`test_runner::Config`] (`ProptestConfig::with_cases`)
+//!
+//! Differences from real proptest: value generation is a deterministic
+//! pseudo-random stream seeded from the test's name (stable across runs
+//! and platforms), and failing cases are reported without shrinking.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Each test function samples its strategies `config.cases` times and
+/// runs the body; `prop_assert!`-style macros abort the case with a
+/// descriptive error, which fails the surrounding `#[test]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let strategies = ($($strat,)+);
+                for case in 0..config.cases {
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::sample(&strategies, &mut rng);
+                    let outcome = (|| -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} of {} failed: {}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Aborts the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Aborts the current test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Aborts the current test case unless the two values compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}

@@ -1,0 +1,116 @@
+//! The (much reduced) test-runner surface: configuration, the
+//! deterministic RNG behind value generation, and case-level errors.
+
+use std::fmt;
+
+/// Per-`proptest!` block configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases (the `ProptestConfig::with_cases`
+    /// spelling of real proptest).
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Deterministic generator (splitmix64) behind all strategies.
+///
+/// Seeded from the fully-qualified test name so runs are reproducible
+/// across invocations, platforms, and test orderings.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Creates an RNG seeded from a test's name (FNV-1a).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty sampling range");
+        self.next_u64() % n
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed case with a message (what `prop_assert!` produces).
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x::y");
+        let mut b = TestRng::from_name("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("x::z");
+        let _ = c.next_u64();
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+}

@@ -46,7 +46,10 @@ impl Observer {
     /// Creates an observer.
     pub fn new(method: CalibrationMethod) -> Self {
         if let CalibrationMethod::MovingAverage(alpha) = method {
-            assert!(alpha > 0.0 && alpha <= 1.0, "smoothing factor must be in (0, 1]");
+            assert!(
+                alpha > 0.0 && alpha <= 1.0,
+                "smoothing factor must be in (0, 1]"
+            );
         }
         if let CalibrationMethod::Percentile(p) = method {
             assert!(p > 0.5 && p <= 1.0, "percentile must be in (0.5, 1.0]");
@@ -134,9 +137,15 @@ impl Observer {
 /// Panics if `weights` is empty.
 pub fn quantize_weights_symmetric(weights: &[f32]) -> (Vec<i8>, f32) {
     assert!(!weights.is_empty(), "empty weight tensor");
-    let max_abs = weights.iter().fold(0f32, |m, &x| m.max(x.abs())).max(f32::EPSILON);
+    let max_abs = weights
+        .iter()
+        .fold(0f32, |m, &x| m.max(x.abs()))
+        .max(f32::EPSILON);
     let scale = max_abs / 127.0;
-    let q = weights.iter().map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
+    let q = weights
+        .iter()
+        .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
     (q, scale)
 }
 

@@ -91,7 +91,10 @@ impl Layout {
     /// # Panics
     /// Panics if `(r, c)` is out of bounds.
     pub fn offset(self, rows: usize, cols: usize, r: usize, c: usize) -> usize {
-        assert!(r < rows && c < cols, "index ({r}, {c}) out of {rows}x{cols}");
+        assert!(
+            r < rows && c < cols,
+            "index ({r}, {c}) out of {rows}x{cols}"
+        );
         match self {
             Layout::RowMajor => r * cols + c,
             _ => {

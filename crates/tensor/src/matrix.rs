@@ -17,7 +17,12 @@ pub struct MatrixU8 {
 impl MatrixU8 {
     /// Creates a zeroed matrix.
     pub fn zeros(rows: usize, cols: usize, layout: Layout) -> Self {
-        MatrixU8 { rows, cols, layout, data: vec![0; layout.padded_len(rows, cols)] }
+        MatrixU8 {
+            rows,
+            cols,
+            layout,
+            data: vec![0; layout.padded_len(rows, cols)],
+        }
     }
 
     /// Wraps raw bytes already in `layout` order (e.g. read back from
@@ -26,8 +31,17 @@ impl MatrixU8 {
     /// # Panics
     /// Panics if `data.len() != layout.padded_len(rows, cols)`.
     pub fn from_raw(rows: usize, cols: usize, layout: Layout, data: Vec<u8>) -> Self {
-        assert_eq!(data.len(), layout.padded_len(rows, cols), "raw length mismatch");
-        MatrixU8 { rows, cols, layout, data }
+        assert_eq!(
+            data.len(),
+            layout.padded_len(rows, cols),
+            "raw length mismatch"
+        );
+        MatrixU8 {
+            rows,
+            cols,
+            layout,
+            data,
+        }
     }
 
     /// Creates a matrix from row-major data, storing it in `layout`.
@@ -144,7 +158,11 @@ pub struct MatrixI8 {
 impl MatrixI8 {
     /// Creates a zeroed weight matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        MatrixI8 { rows, cols, data: vec![0; rows * cols] }
+        MatrixI8 {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// Creates a weight matrix from row-major data.
@@ -153,7 +171,11 @@ impl MatrixI8 {
     /// Panics if `values.len() != rows * cols`.
     pub fn from_row_major(rows: usize, cols: usize, values: &[i8]) -> Self {
         assert_eq!(values.len(), rows * cols, "value count mismatch");
-        MatrixI8 { rows, cols, data: values.to_vec() }
+        MatrixI8 {
+            rows,
+            cols,
+            data: values.to_vec(),
+        }
     }
 
     /// Builds a weight matrix by evaluating `f(r, c)`.

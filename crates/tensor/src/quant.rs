@@ -37,7 +37,10 @@ impl QuantParams {
 
 impl Default for QuantParams {
     fn default() -> Self {
-        QuantParams { scale: 1.0, zero_point: 0 }
+        QuantParams {
+            scale: 1.0,
+            zero_point: 0,
+        }
     }
 }
 

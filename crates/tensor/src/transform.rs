@@ -74,25 +74,81 @@ pub fn transform_block(
     if from == Layout::RowMajor || to == Layout::RowMajor {
         // Element-wise scatter/gather path: every vector of data needs a
         // strided gather on both sides.
-        block.push(Insn::VGather { dst: v0, base: src_base, offset: 0 });
-        block.push(Insn::VGather { dst: v0, base: src_base, offset: VBYTES as i64 });
-        block.push(Insn::VGather { dst: v1, base: src_base, offset: 2 * VBYTES as i64 });
-        block.push(Insn::VGather { dst: v1, base: src_base, offset: 3 * VBYTES as i64 });
+        block.push(Insn::VGather {
+            dst: v0,
+            base: src_base,
+            offset: 0,
+        });
+        block.push(Insn::VGather {
+            dst: v0,
+            base: src_base,
+            offset: VBYTES as i64,
+        });
+        block.push(Insn::VGather {
+            dst: v1,
+            base: src_base,
+            offset: 2 * VBYTES as i64,
+        });
+        block.push(Insn::VGather {
+            dst: v1,
+            base: src_base,
+            offset: 3 * VBYTES as i64,
+        });
         block.push(Insn::VshuffB { dst: w2, src: w0 });
-        block.push(Insn::VStore { src: w2.lo(), base: dst_base, offset: 0 });
-        block.push(Insn::VStore { src: w2.hi(), base: dst_base, offset: VBYTES as i64 });
-        block.push(Insn::AddI { dst: src_base, a: src_base, imm: 2 * VBYTES as i64 });
-        block.push(Insn::AddI { dst: dst_base, a: dst_base, imm: 2 * VBYTES as i64 });
+        block.push(Insn::VStore {
+            src: w2.lo(),
+            base: dst_base,
+            offset: 0,
+        });
+        block.push(Insn::VStore {
+            src: w2.hi(),
+            base: dst_base,
+            offset: VBYTES as i64,
+        });
+        block.push(Insn::AddI {
+            dst: src_base,
+            a: src_base,
+            imm: 2 * VBYTES as i64,
+        });
+        block.push(Insn::AddI {
+            dst: dst_base,
+            a: dst_base,
+            imm: 2 * VBYTES as i64,
+        });
     } else {
         // Panel reshuffle path: gather a pair across panels, byte-shuffle,
         // store contiguously.
-        block.push(Insn::VGather { dst: v0, base: src_base, offset: 0 });
-        block.push(Insn::VGather { dst: v1, base: src_base, offset: VBYTES as i64 });
+        block.push(Insn::VGather {
+            dst: v0,
+            base: src_base,
+            offset: 0,
+        });
+        block.push(Insn::VGather {
+            dst: v1,
+            base: src_base,
+            offset: VBYTES as i64,
+        });
         block.push(Insn::VshuffB { dst: w2, src: w0 });
-        block.push(Insn::VStore { src: w2.lo(), base: dst_base, offset: 0 });
-        block.push(Insn::VStore { src: w2.hi(), base: dst_base, offset: VBYTES as i64 });
-        block.push(Insn::AddI { dst: src_base, a: src_base, imm: 2 * VBYTES as i64 });
-        block.push(Insn::AddI { dst: dst_base, a: dst_base, imm: 2 * VBYTES as i64 });
+        block.push(Insn::VStore {
+            src: w2.lo(),
+            base: dst_base,
+            offset: 0,
+        });
+        block.push(Insn::VStore {
+            src: w2.hi(),
+            base: dst_base,
+            offset: VBYTES as i64,
+        });
+        block.push(Insn::AddI {
+            dst: src_base,
+            a: src_base,
+            imm: 2 * VBYTES as i64,
+        });
+        block.push(Insn::AddI {
+            dst: dst_base,
+            a: dst_base,
+            imm: 2 * VBYTES as i64,
+        });
     }
     block
 }
@@ -120,7 +176,10 @@ mod tests {
     fn row_major_transforms_cost_more() {
         let fast = transform_cycles(256, 256, Layout::Col1, Layout::Col4);
         let slow = transform_cycles(256, 256, Layout::RowMajor, Layout::Col4);
-        assert!(slow as f64 > 1.5 * fast as f64, "gather path {slow} vs shuffle path {fast}");
+        assert!(
+            slow as f64 > 1.5 * fast as f64,
+            "gather path {slow} vs shuffle path {fast}"
+        );
     }
 
     #[test]
@@ -145,8 +204,14 @@ mod tests {
         let analytic = transform_cycles(512, 512, Layout::Col1, Layout::Col2);
         // The sequential (unpacked) schedule is an upper bound; packing
         // brings it near the analytic number. Check the right ballpark.
-        assert!(cycles >= analytic / 2, "sequential {cycles} vs analytic {analytic}");
-        assert!(cycles <= analytic * 6, "sequential {cycles} vs analytic {analytic}");
+        assert!(
+            cycles >= analytic / 2,
+            "sequential {cycles} vs analytic {analytic}"
+        );
+        assert!(
+            cycles <= analytic * 6,
+            "sequential {cycles} vs analytic {analytic}"
+        );
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Shared diagnostics: what every verification pass reports and how the
+//! results aggregate into a [`Report`].
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not incorrect (e.g. a value written and never
+    /// read). Lowering proceeds.
+    Warning,
+    /// A broken invariant: the artifact would compute wrong results or
+    /// its claimed costs are inconsistent.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding of one verification pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Name of the pass that produced it.
+    pub pass: &'static str,
+    /// Where in the artifact the problem is (block/packet, node, edge).
+    pub location: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.pass, self.location, self.message
+        )
+    }
+}
+
+/// Aggregated diagnostics from one verifier run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report {
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Records a diagnostic.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Records an error.
+    pub fn error(
+        &mut self,
+        pass: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.push(Diagnostic {
+            severity: Severity::Error,
+            pass,
+            location: location.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Records a warning.
+    pub fn warning(
+        &mut self,
+        pass: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.push(Diagnostic {
+            severity: Severity::Warning,
+            pass,
+            location: location.into(),
+            message: message.into(),
+        });
+    }
+
+    /// All diagnostics, in the order the passes produced them.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of error diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// True when the report holds no diagnostics at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Diagnostics produced by one pass.
+    pub fn of_pass(&self, pass: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.pass == pass).collect()
+    }
+
+    /// Appends every diagnostic of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return writeln!(f, "verification clean");
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        writeln!(
+            f,
+            "{} error(s), {} warning(s)",
+            self.error_count(),
+            self.warning_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_render() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        r.error("PacketLegality", "b0#packet1", "two vmpy slots");
+        r.warning("RegisterDataflow", "b0", "dead def of v3");
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(!r.is_clean());
+        let text = r.to_string();
+        assert!(text.contains("error[PacketLegality] b0#packet1: two vmpy slots"));
+        assert!(text.contains("1 error(s), 1 warning(s)"));
+        assert_eq!(r.of_pass("PacketLegality").len(), 1);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Report::new();
+        a.error("A", "x", "m");
+        let mut b = Report::new();
+        b.warning("B", "y", "n");
+        a.merge(b);
+        assert_eq!(a.diagnostics().len(), 2);
+    }
+}

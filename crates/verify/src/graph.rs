@@ -1,0 +1,318 @@
+//! `GraphInvariants`: structural soundness of a computational graph —
+//! node ids match their positions, every input reference points at an
+//! earlier node (which makes the graph a DAG), operator arities are
+//! satisfiable, and every node's recorded shape agrees with a
+//! non-panicking re-inference from its input shapes.
+
+use crate::diag::Report;
+use crate::{Context, Pass};
+use gcd2_cgraph::{Graph, Node, OpKind, TShape};
+
+/// Graph structure and shape-propagation invariants.
+#[derive(Debug, Default)]
+pub struct GraphInvariants;
+
+const NAME: &str = "GraphInvariants";
+
+impl Pass for GraphInvariants {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn run(&self, cx: &Context<'_>, report: &mut Report) {
+        let Some(graph) = cx.graph else { return };
+        for (idx, node) in graph.nodes().iter().enumerate() {
+            check_node(graph, idx, node, report);
+        }
+    }
+}
+
+fn node_loc(node: &Node) -> String {
+    format!("node {} '{}'", node.id, node.name)
+}
+
+fn check_node(graph: &Graph, idx: usize, node: &Node, report: &mut Report) {
+    let loc = node_loc(node);
+
+    if node.id.0 != idx {
+        report.error(
+            NAME,
+            &loc,
+            format!("id {} stored at position {idx}", node.id),
+        );
+    }
+
+    // Input references: in-range and strictly earlier. Construction
+    // order doubles as a topological order, so a forward (or self)
+    // reference is either a dangling node or a cycle.
+    let mut structurally_sound = true;
+    for &input in &node.inputs {
+        if input.0 >= graph.len() {
+            report.error(NAME, &loc, format!("input {input} does not exist"));
+            structurally_sound = false;
+        } else if input.0 >= idx {
+            report.error(
+                NAME,
+                &loc,
+                format!("input {input} is not an earlier node (cycle or forward reference)"),
+            );
+            structurally_sound = false;
+        }
+    }
+    if !structurally_sound {
+        return; // shape inference would chase the bad references
+    }
+
+    if matches!(node.kind, OpKind::Input | OpKind::Constant) {
+        if !node.inputs.is_empty() {
+            report.error(NAME, &loc, "source op has inputs");
+        }
+        if node.shape.elems() == 0 {
+            report.error(NAME, &loc, "empty shape");
+        }
+        return;
+    }
+
+    let input_shapes: Vec<&TShape> = node.inputs.iter().map(|i| &graph.node(*i).shape).collect();
+    match infer_shape_checked(&node.kind, &input_shapes) {
+        Err(msg) => report.error(NAME, &loc, msg),
+        Ok(expected) => {
+            if expected != node.shape {
+                report.error(
+                    NAME,
+                    &loc,
+                    format!("recorded shape {} but inputs imply {expected}", node.shape),
+                );
+            }
+        }
+    }
+}
+
+/// A total (non-panicking) mirror of [`OpKind::infer_shape`]: the same
+/// propagation rules, but arity/rank/arithmetic problems come back as
+/// `Err` instead of a panic, so the verifier can diagnose graphs that
+/// [`Graph::add`] would never have built.
+pub fn infer_shape_checked(kind: &OpKind, inputs: &[&TShape]) -> Result<TShape, String> {
+    let arg = |i: usize| -> Result<&TShape, String> {
+        inputs
+            .get(i)
+            .copied()
+            .ok_or_else(|| format!("operator needs input {i}, only {} given", inputs.len()))
+    };
+    let rank4 = |s: &TShape| -> Result<(), String> {
+        if s.rank() == 4 {
+            Ok(())
+        } else {
+            Err(format!("expects a rank-4 feature map, input is {s}"))
+        }
+    };
+    // Output extent of a sliding window: (in + 2*pad - k) / stride + 1.
+    let window = |input: usize, k: usize, stride: usize, pad: usize| -> Result<usize, String> {
+        if k == 0 || stride == 0 {
+            return Err("zero kernel or stride".into());
+        }
+        let padded = input + 2 * pad;
+        if padded < k {
+            return Err(format!(
+                "window {k} does not fit the padded extent {padded}"
+            ));
+        }
+        Ok((padded - k) / stride + 1)
+    };
+
+    match kind {
+        OpKind::Input | OpKind::Constant => Err("source ops have explicit shapes".into()),
+        OpKind::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        } => {
+            let x = arg(0)?;
+            rank4(x)?;
+            let h = window(x.dim(2), kernel.0, stride.0, padding.0)?;
+            let w = window(x.dim(3), kernel.1, stride.1, padding.1)?;
+            Ok(TShape::nchw(x.dim(0), *out_channels, h, w))
+        }
+        OpKind::DepthwiseConv2d {
+            kernel,
+            stride,
+            padding,
+        } => {
+            let x = arg(0)?;
+            rank4(x)?;
+            let h = window(x.dim(2), kernel.0, stride.0, padding.0)?;
+            let w = window(x.dim(3), kernel.1, stride.1, padding.1)?;
+            Ok(TShape::nchw(x.dim(0), x.dim(1), h, w))
+        }
+        OpKind::ConvTranspose2d {
+            out_channels,
+            stride,
+            ..
+        } => {
+            let x = arg(0)?;
+            rank4(x)?;
+            Ok(TShape::nchw(
+                x.dim(0),
+                *out_channels,
+                x.dim(2) * stride.0,
+                x.dim(3) * stride.1,
+            ))
+        }
+        OpKind::MatMul { n } | OpKind::BatchMatMul { n } => {
+            let x = arg(0)?;
+            if x.rank() == 0 {
+                return Err("matmul input has no dimensions".into());
+            }
+            let mut dims = x.0.clone();
+            let last = dims.len() - 1;
+            dims[last] = *n;
+            Ok(TShape(dims))
+        }
+        OpKind::Add | OpKind::Mul | OpKind::Div | OpKind::Pow => Ok(arg(0)?.clone()),
+        OpKind::Act(_) | OpKind::Sigmoid | OpKind::Softmax | OpKind::LayerNorm | OpKind::Gelu => {
+            Ok(arg(0)?.clone())
+        }
+        OpKind::MaxPool { kernel, stride } | OpKind::AvgPool { kernel, stride } => {
+            let x = arg(0)?;
+            rank4(x)?;
+            let h = window(x.dim(2), kernel.0, stride.0, 0)?;
+            let w = window(x.dim(3), kernel.1, stride.1, 0)?;
+            Ok(TShape::nchw(x.dim(0), x.dim(1), h, w))
+        }
+        OpKind::GlobalAvgPool => {
+            let x = arg(0)?;
+            rank4(x)?;
+            Ok(TShape::nchw(x.dim(0), x.dim(1), 1, 1))
+        }
+        OpKind::Upsample { factor } => {
+            let x = arg(0)?;
+            rank4(x)?;
+            if *factor == 0 {
+                return Err("zero upsampling factor".into());
+            }
+            Ok(TShape::nchw(
+                x.dim(0),
+                x.dim(1),
+                x.dim(2) * factor,
+                x.dim(3) * factor,
+            ))
+        }
+        OpKind::Reshape { shape } => Ok(shape.clone()),
+        OpKind::Transpose => {
+            let x = arg(0)?;
+            let mut dims = x.0.clone();
+            dims.reverse();
+            Ok(TShape(dims))
+        }
+        OpKind::Concat => {
+            let (a, b) = (arg(0)?, arg(1)?);
+            if a.rank() != b.rank() {
+                return Err(format!("concat ranks differ: {a} vs {b}"));
+            }
+            if a.rank() < 2 {
+                return Err(format!("concat needs a channel dimension, input is {a}"));
+            }
+            let mut dims = a.0.clone();
+            dims[1] += b.dim(1);
+            Ok(TShape(dims))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcd2_cgraph::NodeId;
+
+    fn run_on(graph: &Graph) -> Report {
+        let cx = Context::new().with_graph(graph);
+        let mut report = Report::new();
+        GraphInvariants.run(&cx, &mut report);
+        report
+    }
+
+    fn valid_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input("x", TShape::nchw(1, 8, 16, 16));
+        let c = g.add(
+            OpKind::Conv2d {
+                out_channels: 8,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+            },
+            &[x],
+            "conv",
+        );
+        let _a = g.add(OpKind::Add, &[c, x], "add");
+        g
+    }
+
+    #[test]
+    fn well_formed_graph_is_clean() {
+        assert!(run_on(&valid_graph()).is_clean());
+    }
+
+    #[test]
+    fn mirror_matches_infer_shape() {
+        let g = valid_graph();
+        for node in g.nodes() {
+            if matches!(node.kind, OpKind::Input | OpKind::Constant) {
+                continue;
+            }
+            let inputs: Vec<&TShape> = node.inputs.iter().map(|i| &g.node(*i).shape).collect();
+            assert_eq!(
+                infer_shape_checked(&node.kind, &inputs).unwrap(),
+                node.kind.infer_shape(&inputs)
+            );
+        }
+    }
+
+    #[test]
+    fn dangling_input_is_error() {
+        let mut nodes: Vec<Node> = valid_graph().nodes().to_vec();
+        nodes[2].inputs[0] = NodeId(99);
+        let g = Graph::from_nodes_unchecked(nodes);
+        let report = run_on(&g);
+        assert_eq!(report.error_count(), 1);
+        assert!(report.diagnostics()[0].message.contains("does not exist"));
+    }
+
+    #[test]
+    fn forward_reference_is_error() {
+        let mut nodes: Vec<Node> = valid_graph().nodes().to_vec();
+        nodes[1].inputs[0] = NodeId(2); // conv consumes the later add
+        let g = Graph::from_nodes_unchecked(nodes);
+        let report = run_on(&g);
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.message.contains("cycle or forward reference")));
+    }
+
+    #[test]
+    fn wrong_shape_is_error() {
+        let mut nodes: Vec<Node> = valid_graph().nodes().to_vec();
+        nodes[1].shape = TShape::nchw(1, 8, 4, 4);
+        let g = Graph::from_nodes_unchecked(nodes);
+        let report = run_on(&g);
+        // The corrupted conv shape is flagged, and so is the downstream
+        // add whose recorded shape no longer follows from its inputs.
+        assert_eq!(report.error_count(), 2);
+        assert!(report
+            .diagnostics()
+            .iter()
+            .all(|d| d.message.contains("inputs imply")));
+    }
+
+    #[test]
+    fn oversized_window_is_reported_not_panicking() {
+        let pool = OpKind::MaxPool {
+            kernel: (32, 32),
+            stride: (1, 1),
+        };
+        let tiny = TShape::nchw(1, 8, 4, 4);
+        assert!(infer_shape_checked(&pool, &[&tiny]).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! `PlanLegality`: execution plans pair instructions and layouts the way
+//! the paper's Table II allows, and a chosen assignment's claimed
+//! aggregate cost matches an independent re-evaluation of Equation 1.
+
+use crate::diag::Report;
+use crate::{Context, Pass, PlanView};
+use gcd2_cgraph::{Graph, Node, OpKind};
+use gcd2_globalopt::{edge_tc, ExecutionPlan, PlanKind};
+use gcd2_tensor::Layout;
+
+/// Plan/layout pairing and assignment-cost consistency.
+#[derive(Debug, Default)]
+pub struct PlanLegality;
+
+const NAME: &str = "PlanLegality";
+
+impl Pass for PlanLegality {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn run(&self, cx: &Context<'_>, report: &mut Report) {
+        let (Some(graph), Some(plans)) = (cx.graph, cx.plans.as_ref()) else {
+            return;
+        };
+
+        match plans {
+            PlanView::Candidates(set) => {
+                if set.len() != graph.len() {
+                    report.error(
+                        NAME,
+                        "plan set",
+                        format!("covers {} nodes, graph has {}", set.len(), graph.len()),
+                    );
+                    return;
+                }
+                for node in graph.nodes() {
+                    let candidates = set.of(node.id);
+                    if candidates.is_empty() {
+                        report.error(NAME, node_loc(node), "no candidate execution plans");
+                    }
+                    for (pi, plan) in candidates.iter().enumerate() {
+                        if let Err(msg) = plan_legal(node, plan) {
+                            report.error(NAME, format!("{} plan {pi}", node_loc(node)), msg);
+                        }
+                    }
+                }
+            }
+            PlanView::Chosen(chosen) => {
+                if chosen.len() != graph.len() {
+                    report.error(
+                        NAME,
+                        "chosen plans",
+                        format!("cover {} nodes, graph has {}", chosen.len(), graph.len()),
+                    );
+                    return;
+                }
+                for node in graph.nodes() {
+                    if let Err(msg) = plan_legal(node, &chosen[node.id.0]) {
+                        report.error(NAME, node_loc(node), msg);
+                    }
+                }
+            }
+        }
+
+        if let Some(assignment) = cx.assignment {
+            check_assignment_cost(graph, plans, assignment, report);
+        }
+    }
+}
+
+fn node_loc(node: &Node) -> String {
+    format!("node {} '{}'", node.id, node.name)
+}
+
+/// Whether `plan` is a legal implementation of `node` per Table II:
+/// sources pass row-major data through for free, GEMM-like operators use
+/// a widening multiply in that multiply's layout (or the dedicated
+/// 3-tap `vtmpy` kernel for 3-wide depthwise convolutions, which streams
+/// 1-column), and everything else streams through one of the compute
+/// layouts.
+fn plan_legal(node: &Node, plan: &ExecutionPlan) -> Result<(), String> {
+    match &node.kind {
+        OpKind::Input | OpKind::Constant => {
+            if plan.kind != PlanKind::Passthrough {
+                return Err(format!("source op carries a {:?} plan", plan.kind));
+            }
+            if plan.layout != Layout::RowMajor {
+                return Err(format!(
+                    "source op must produce the row-major interchange format, not {}",
+                    plan.layout
+                ));
+            }
+            if plan.cost != 0 {
+                return Err(format!(
+                    "source op claims {} cycles; sources are free",
+                    plan.cost
+                ));
+            }
+            Ok(())
+        }
+        kind if kind.is_gemm_like() => match plan.kind {
+            PlanKind::Gemm(instr) => {
+                if plan.layout != instr.layout() {
+                    Err(format!(
+                        "{instr:?} kernels consume the {} layout, plan claims {}",
+                        instr.layout(),
+                        plan.layout
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            PlanKind::DepthwiseVtmpy => {
+                let three_wide =
+                    matches!(node.kind, OpKind::DepthwiseConv2d { kernel: (_, 3), .. });
+                if !three_wide {
+                    Err(
+                        "vtmpy kernel on an operator that is not a 3-wide depthwise \
+                         convolution"
+                            .into(),
+                    )
+                } else if plan.layout != Layout::Col1 {
+                    Err(format!(
+                        "vtmpy streams spatially (1-column), plan claims {}",
+                        plan.layout
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            PlanKind::Passthrough => Err("GEMM-like operator assigned a passthrough plan".into()),
+        },
+        _ => match plan.kind {
+            PlanKind::Passthrough => {
+                if matches!(plan.layout, Layout::Col1 | Layout::Col2 | Layout::Col4) {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "passthrough operators live in a compute layout, not {}",
+                        plan.layout
+                    ))
+                }
+            }
+            other => Err(format!("non-GEMM operator assigned a {other:?} plan")),
+        },
+    }
+}
+
+/// Re-evaluates Equation 1 — the sum of chosen plan costs plus the
+/// layout-transformation cost of every edge — and compares it to the
+/// assignment's claimed aggregate cost.
+fn check_assignment_cost(
+    graph: &Graph,
+    plans: &PlanView<'_>,
+    assignment: &gcd2_globalopt::Assignment,
+    report: &mut Report,
+) {
+    if assignment.choice.len() != graph.len() {
+        report.error(
+            NAME,
+            "assignment",
+            format!(
+                "chooses for {} nodes, graph has {}",
+                assignment.choice.len(),
+                graph.len()
+            ),
+        );
+        return;
+    }
+    // Resolve the plan each node actually runs under.
+    let mut resolved: Vec<ExecutionPlan> = Vec::with_capacity(graph.len());
+    for node in graph.nodes() {
+        let choice = assignment.choice[node.id.0];
+        let plan = match plans {
+            PlanView::Candidates(set) => {
+                let candidates = set.of(node.id);
+                match candidates.get(choice) {
+                    Some(p) => *p,
+                    None => {
+                        report.error(
+                            NAME,
+                            node_loc(node),
+                            format!("assignment picks plan {choice} of {}", candidates.len()),
+                        );
+                        return;
+                    }
+                }
+            }
+            PlanView::Chosen(chosen) => chosen[node.id.0],
+        };
+        resolved.push(plan);
+    }
+    let mut total: u64 = resolved.iter().map(|p| p.cost).sum();
+    for (prod, cons) in graph.edges() {
+        // Edges into nonexistent nodes are GraphInvariants findings;
+        // skip them here rather than indexing out of bounds.
+        if prod.0 >= resolved.len() || cons.0 >= resolved.len() {
+            continue;
+        }
+        total += edge_tc(
+            graph,
+            prod,
+            resolved[prod.0].layout,
+            resolved[cons.0].layout,
+        );
+    }
+    if total != assignment.cost {
+        report.error(
+            NAME,
+            "assignment",
+            format!(
+                "claims Agg_Cost {} but plan costs + edge transforms re-evaluate \
+                 to {total}",
+                assignment.cost
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcd2_cgraph::TShape;
+    use gcd2_globalopt::{assignment_cost, enumerate_plans, Assignment};
+    use gcd2_kernels::{CostModel, SimdInstr};
+
+    fn conv_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input("x", TShape::nchw(1, 32, 14, 14));
+        let c = g.add(
+            OpKind::Conv2d {
+                out_channels: 32,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+            },
+            &[x],
+            "conv",
+        );
+        let _r = g.add(OpKind::Act(gcd2_cgraph::Activation::Relu), &[c], "relu");
+        g
+    }
+
+    #[test]
+    fn enumerated_plans_are_legal() {
+        let g = conv_graph();
+        let plans = enumerate_plans(&g, &CostModel::new());
+        let choice = vec![0, 0, 0];
+        let assignment = Assignment {
+            cost: assignment_cost(&g, &plans, &choice),
+            choice,
+        };
+        let cx = Context::new()
+            .with_graph(&g)
+            .with_plans(PlanView::Candidates(&plans))
+            .with_assignment(&assignment);
+        let mut report = Report::new();
+        PlanLegality.run(&cx, &mut report);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn mismatched_instr_layout_is_error() {
+        let g = conv_graph();
+        let node = g.node(gcd2_cgraph::NodeId(1));
+        let bad = ExecutionPlan {
+            kind: PlanKind::Gemm(SimdInstr::Vrmpy),
+            layout: Layout::Col1, // vrmpy is a 4-column kernel
+            cost: 100,
+        };
+        assert!(plan_legal(node, &bad).is_err());
+    }
+
+    #[test]
+    fn wrong_claimed_cost_is_error() {
+        let g = conv_graph();
+        let plans = enumerate_plans(&g, &CostModel::new());
+        let choice = vec![0, 0, 0];
+        let assignment = Assignment {
+            cost: assignment_cost(&g, &plans, &choice) + 1,
+            choice,
+        };
+        let cx = Context::new()
+            .with_graph(&g)
+            .with_plans(PlanView::Candidates(&plans))
+            .with_assignment(&assignment);
+        let mut report = Report::new();
+        PlanLegality.run(&cx, &mut report);
+        assert_eq!(report.error_count(), 1);
+        assert!(report.diagnostics()[0].message.contains("Agg_Cost"));
+    }
+
+    #[test]
+    fn source_plan_must_be_free_rowmajor() {
+        let g = conv_graph();
+        let node = g.node(gcd2_cgraph::NodeId(0));
+        let bad = ExecutionPlan {
+            kind: PlanKind::Passthrough,
+            layout: Layout::Col1,
+            cost: 0,
+        };
+        assert!(plan_legal(node, &bad).is_err());
+        let good = ExecutionPlan {
+            kind: PlanKind::Passthrough,
+            layout: Layout::RowMajor,
+            cost: 0,
+        };
+        assert!(plan_legal(node, &good).is_ok());
+    }
+}

@@ -50,14 +50,23 @@ impl Idg {
             for j in (i + 1)..n {
                 let kind = classify(&insns[i], &insns[j]);
                 if kind != DepKind::None {
-                    let e = DepEdge { from: i, to: j, kind };
+                    let e = DepEdge {
+                        from: i,
+                        to: j,
+                        kind,
+                    };
                     out_edges[i].push(edges.len());
                     in_edges[j].push(edges.len());
                     edges.push(e);
                 }
             }
         }
-        Idg { insns: insns.to_vec(), edges, out_edges, in_edges }
+        Idg {
+            insns: insns.to_vec(),
+            edges,
+            out_edges,
+            in_edges,
+        }
     }
 
     /// Number of instructions.
@@ -92,7 +101,9 @@ impl Idg {
 
     /// Direct-predecessor count of every instruction (`i.pred`).
     pub fn pred_counts(&self) -> Vec<u32> {
-        (0..self.len()).map(|i| self.in_edges[i].len() as u32).collect()
+        (0..self.len())
+            .map(|i| self.in_edges[i].len() as u32)
+            .collect()
     }
 
     /// Distance (in edges, longest path) from the artificial entry vertex
@@ -163,17 +174,41 @@ mod tests {
     fn chain_block() -> Vec<Insn> {
         vec![
             // 0: load A
-            Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
+            Insn::VLoad {
+                dst: v(0),
+                base: r(0),
+                offset: 0,
+            },
             // 1: load B (independent)
-            Insn::VLoad { dst: v(1), base: r(1), offset: 0 },
+            Insn::VLoad {
+                dst: v(1),
+                base: r(1),
+                offset: 0,
+            },
             // 2: widen-add (soft on both loads)
-            Insn::VaddUbH { dst: w(4), a: v(0), b: v(1) },
+            Insn::VaddUbH {
+                dst: w(4),
+                a: v(0),
+                b: v(1),
+            },
             // 3: narrow (hard on 2)
-            Insn::VasrHB { dst: v(6), src: w(4), shift: 0 },
+            Insn::VasrHB {
+                dst: v(6),
+                src: w(4),
+                shift: 0,
+            },
             // 4: store result (soft on 3)
-            Insn::VStore { src: v(6), base: r(2), offset: 0 },
+            Insn::VStore {
+                src: v(6),
+                base: r(2),
+                offset: 0,
+            },
             // 5: pointer bump (independent of the chain)
-            Insn::AddI { dst: r(0), a: r(0), imm: 128 },
+            Insn::AddI {
+                dst: r(0),
+                a: r(0),
+                imm: 128,
+            },
         ]
     }
 

@@ -47,7 +47,10 @@ pub struct ScoreParams {
 
 impl Default for ScoreParams {
     fn default() -> Self {
-        ScoreParams { w: 0.7, penalty: 2.0 }
+        ScoreParams {
+            w: 0.7,
+            penalty: 2.0,
+        }
     }
 }
 
@@ -239,8 +242,9 @@ impl Packer {
                 let mut with_i = cur.to_vec();
                 with_i.push(i);
                 with_i.sort_unstable();
-                let stall_delta =
-                    packet_of(&with_i, insns).stall_cycles().saturating_sub(cur_stall);
+                let stall_delta = packet_of(&with_i, insns)
+                    .stall_cycles()
+                    .saturating_sub(cur_stall);
                 if stall_delta > 0 && defer_stalls {
                     continue;
                 }
@@ -301,19 +305,69 @@ mod tests {
     fn add3_block() -> Block {
         let mut b = Block::with_trip_count("add3", 4);
         b.extend([
-            Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-            Insn::VLoad { dst: v(1), base: r(1), offset: 0 },
-            Insn::VLoad { dst: v(2), base: r(2), offset: 0 },
-            Insn::VaddUbH { dst: w(4), a: v(0), b: v(1) },
-            Insn::VaddUbH { dst: w(6), a: v(2), b: v(30) }, // v30 holds zeros
-            Insn::VaddHAcc { dst: v(4), src: v(6) },
-            Insn::VaddHAcc { dst: v(5), src: v(7) },
-            Insn::VStore { src: v(4), base: r(3), offset: 0 },
-            Insn::VStore { src: v(5), base: r(3), offset: VBYTES as i64 },
-            Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
-            Insn::AddI { dst: r(1), a: r(1), imm: VBYTES as i64 },
-            Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 },
-            Insn::AddI { dst: r(3), a: r(3), imm: 2 * VBYTES as i64 },
+            Insn::VLoad {
+                dst: v(0),
+                base: r(0),
+                offset: 0,
+            },
+            Insn::VLoad {
+                dst: v(1),
+                base: r(1),
+                offset: 0,
+            },
+            Insn::VLoad {
+                dst: v(2),
+                base: r(2),
+                offset: 0,
+            },
+            Insn::VaddUbH {
+                dst: w(4),
+                a: v(0),
+                b: v(1),
+            },
+            Insn::VaddUbH {
+                dst: w(6),
+                a: v(2),
+                b: v(30),
+            }, // v30 holds zeros
+            Insn::VaddHAcc {
+                dst: v(4),
+                src: v(6),
+            },
+            Insn::VaddHAcc {
+                dst: v(5),
+                src: v(7),
+            },
+            Insn::VStore {
+                src: v(4),
+                base: r(3),
+                offset: 0,
+            },
+            Insn::VStore {
+                src: v(5),
+                base: r(3),
+                offset: VBYTES as i64,
+            },
+            Insn::AddI {
+                dst: r(0),
+                a: r(0),
+                imm: VBYTES as i64,
+            },
+            Insn::AddI {
+                dst: r(1),
+                a: r(1),
+                imm: VBYTES as i64,
+            },
+            Insn::AddI {
+                dst: r(2),
+                a: r(2),
+                imm: VBYTES as i64,
+            },
+            Insn::AddI {
+                dst: r(3),
+                a: r(3),
+                imm: 2 * VBYTES as i64,
+            },
         ]);
         b
     }
@@ -356,7 +410,10 @@ mod tests {
         let sda = pack_with_policy(&block, SoftDepPolicy::Sda).body_cycles();
         let s2h = pack_with_policy(&block, SoftDepPolicy::SoftToHard).body_cycles();
         let s2n = pack_with_policy(&block, SoftDepPolicy::SoftToNone).body_cycles();
-        assert!(sda < s2h, "soft awareness must win on this block: {sda} vs {s2h}");
+        assert!(
+            sda < s2h,
+            "soft awareness must win on this block: {sda} vs {s2h}"
+        );
         // Greedy list scheduling is not per-block dominant over
         // soft_to_none; allow parity-sized noise on this small block.
         assert!(sda <= s2n + 1, "sda {sda} vs soft_to_none {s2n}");
@@ -371,7 +428,11 @@ mod tests {
         // A multiply-bound body: weight loads soft-feed the multiplies.
         let mut mb = Block::with_trip_count("mpy", 16);
         for t in 0..3u8 {
-            mb.push(Insn::Ld { dst: r(4 + t), base: r(1), offset: 8 * t as i64 });
+            mb.push(Insn::Ld {
+                dst: r(4 + t),
+                base: r(1),
+                offset: 8 * t as i64,
+            });
             mb.push(Insn::Vmpy {
                 dst: w(8 + 2 * t),
                 src: v(0),
@@ -379,9 +440,21 @@ mod tests {
                 acc: true,
             });
         }
-        mb.push(Insn::VLoad { dst: v(0), base: r(0), offset: 0 });
-        mb.push(Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 });
-        mb.push(Insn::AddI { dst: r(1), a: r(1), imm: 24 });
+        mb.push(Insn::VLoad {
+            dst: v(0),
+            base: r(0),
+            offset: 0,
+        });
+        mb.push(Insn::AddI {
+            dst: r(0),
+            a: r(0),
+            imm: VBYTES as i64,
+        });
+        mb.push(Insn::AddI {
+            dst: r(1),
+            a: r(1),
+            imm: 24,
+        });
         blocks.push(mb);
 
         let total = |policy: SoftDepPolicy| -> u64 {
@@ -428,7 +501,11 @@ mod tests {
         setup(&mut seq);
         seq.run_block(&PackedBlock::sequential(&block));
 
-        for policy in [SoftDepPolicy::Sda, SoftDepPolicy::SoftToHard, SoftDepPolicy::SoftToNone] {
+        for policy in [
+            SoftDepPolicy::Sda,
+            SoftDepPolicy::SoftToHard,
+            SoftDepPolicy::SoftToNone,
+        ] {
             let mut m = Machine::new(8 * elems);
             setup(&mut m);
             m.run_block(&pack_with_policy(&block, policy));
@@ -488,12 +565,37 @@ mod tests {
         // not be broken across unnecessarily many packets.
         let mut b = Block::new("chain");
         b.extend([
-            Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-            Insn::Vmpy { dst: w(2), src: v(0), weights: r(1), acc: false },
-            Insn::VasrHB { dst: v(4), src: w(2), shift: 4 },
-            Insn::VStore { src: v(4), base: r(2), offset: 0 },
-            Insn::AddI { dst: r(0), a: r(0), imm: 128 },
-            Insn::AddI { dst: r(2), a: r(2), imm: 128 },
+            Insn::VLoad {
+                dst: v(0),
+                base: r(0),
+                offset: 0,
+            },
+            Insn::Vmpy {
+                dst: w(2),
+                src: v(0),
+                weights: r(1),
+                acc: false,
+            },
+            Insn::VasrHB {
+                dst: v(4),
+                src: w(2),
+                shift: 4,
+            },
+            Insn::VStore {
+                src: v(4),
+                base: r(2),
+                offset: 0,
+            },
+            Insn::AddI {
+                dst: r(0),
+                a: r(0),
+                imm: 128,
+            },
+            Insn::AddI {
+                dst: r(2),
+                a: r(2),
+                imm: 128,
+            },
         ]);
         let p = Packer::new().pack_block(&b);
         assert!(p.is_legal(&ResourceModel::default()));

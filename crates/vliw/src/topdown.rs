@@ -117,14 +117,46 @@ mod tests {
     fn mixed_block() -> Block {
         let mut b = Block::with_trip_count("mixed", 3);
         b.extend([
-            Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-            Insn::VLoad { dst: v(1), base: r(1), offset: 0 },
-            Insn::VaddUbH { dst: w(4), a: v(0), b: v(1) },
-            Insn::VasrHB { dst: v(6), src: w(4), shift: 1 },
-            Insn::VStore { src: v(6), base: r(2), offset: 0 },
-            Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
-            Insn::AddI { dst: r(1), a: r(1), imm: VBYTES as i64 },
-            Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 },
+            Insn::VLoad {
+                dst: v(0),
+                base: r(0),
+                offset: 0,
+            },
+            Insn::VLoad {
+                dst: v(1),
+                base: r(1),
+                offset: 0,
+            },
+            Insn::VaddUbH {
+                dst: w(4),
+                a: v(0),
+                b: v(1),
+            },
+            Insn::VasrHB {
+                dst: v(6),
+                src: w(4),
+                shift: 1,
+            },
+            Insn::VStore {
+                src: v(6),
+                base: r(2),
+                offset: 0,
+            },
+            Insn::AddI {
+                dst: r(0),
+                a: r(0),
+                imm: VBYTES as i64,
+            },
+            Insn::AddI {
+                dst: r(1),
+                a: r(1),
+                imm: VBYTES as i64,
+            },
+            Insn::AddI {
+                dst: r(2),
+                a: r(2),
+                imm: VBYTES as i64,
+            },
         ]);
         b
     }
@@ -152,31 +184,43 @@ mod tests {
             m.run_block(pb);
             m.mem
         };
-        assert_eq!(run(&pack_topdown(&block)), run(&PackedBlock::sequential(&block)));
+        assert_eq!(
+            run(&pack_topdown(&block)),
+            run(&PackedBlock::sequential(&block))
+        );
     }
 
     #[test]
     fn bottom_up_sda_is_competitive_with_topdown() {
         // The paper argues for bottom-up seeding; at minimum SDA must not
         // lose meaningfully to the top-down baseline on kernel bodies.
-        let blocks = [
-            mixed_block(),
-            {
-                let mut b = Block::with_trip_count("mpy", 8);
-                for t in 0..3u8 {
-                    b.push(Insn::Ld { dst: r(4 + t), base: r(1), offset: 8 * t as i64 });
-                    b.push(Insn::Vmpy {
-                        dst: w(8 + 2 * t),
-                        src: v(0),
-                        weights: r(4 + t),
-                        acc: true,
-                    });
-                }
-                b.push(Insn::VLoad { dst: v(0), base: r(0), offset: 0 });
-                b.push(Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 });
-                b
-            },
-        ];
+        let blocks = [mixed_block(), {
+            let mut b = Block::with_trip_count("mpy", 8);
+            for t in 0..3u8 {
+                b.push(Insn::Ld {
+                    dst: r(4 + t),
+                    base: r(1),
+                    offset: 8 * t as i64,
+                });
+                b.push(Insn::Vmpy {
+                    dst: w(8 + 2 * t),
+                    src: v(0),
+                    weights: r(4 + t),
+                    acc: true,
+                });
+            }
+            b.push(Insn::VLoad {
+                dst: v(0),
+                base: r(0),
+                offset: 0,
+            });
+            b.push(Insn::AddI {
+                dst: r(0),
+                a: r(0),
+                imm: VBYTES as i64,
+            });
+            b
+        }];
         let mut sda_total = 0u64;
         let mut td_total = 0u64;
         for b in &blocks {

@@ -52,7 +52,10 @@ fn dotted_edges_are_soft_solid_edges_are_hard() {
     let block = fig5_block();
     let idg = Idg::build(&block.insns);
     let kind = |from: usize, to: usize| -> Option<DepKind> {
-        idg.edges().iter().find(|e| e.from == from && e.to == to).map(|e| e.kind)
+        idg.edges()
+            .iter()
+            .find(|e| e.from == from && e.to == to)
+            .map(|e| e.kind)
     };
     // Loads feed the widening adds through soft (dotted) edges.
     assert!(kind(0, 3).unwrap().is_soft());
@@ -106,7 +109,9 @@ fn seeds_follow_the_critical_path() {
     let packed = Packer::new().pack_block(&block);
     let last = packed.packets.last().unwrap();
     assert!(
-        last.insns().iter().any(|i| matches!(i, Insn::VStore { .. })),
+        last.insns()
+            .iter()
+            .any(|i| matches!(i, Insn::VStore { .. })),
         "last packet holds the store: {last}"
     );
 }

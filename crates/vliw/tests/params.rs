@@ -18,22 +18,71 @@ fn r(i: u8) -> SReg {
 fn workload() -> Vec<Block> {
     let mut ew = Block::with_trip_count("ew", 16);
     ew.extend([
-        Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-        Insn::VLoad { dst: v(1), base: r(1), offset: 0 },
-        Insn::VaddUbH { dst: w(2), a: v(0), b: v(1) },
-        Insn::VasrHB { dst: v(4), src: w(2), shift: 1 },
-        Insn::VStore { src: v(4), base: r(2), offset: 0 },
-        Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
-        Insn::AddI { dst: r(1), a: r(1), imm: VBYTES as i64 },
-        Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 },
+        Insn::VLoad {
+            dst: v(0),
+            base: r(0),
+            offset: 0,
+        },
+        Insn::VLoad {
+            dst: v(1),
+            base: r(1),
+            offset: 0,
+        },
+        Insn::VaddUbH {
+            dst: w(2),
+            a: v(0),
+            b: v(1),
+        },
+        Insn::VasrHB {
+            dst: v(4),
+            src: w(2),
+            shift: 1,
+        },
+        Insn::VStore {
+            src: v(4),
+            base: r(2),
+            offset: 0,
+        },
+        Insn::AddI {
+            dst: r(0),
+            a: r(0),
+            imm: VBYTES as i64,
+        },
+        Insn::AddI {
+            dst: r(1),
+            a: r(1),
+            imm: VBYTES as i64,
+        },
+        Insn::AddI {
+            dst: r(2),
+            a: r(2),
+            imm: VBYTES as i64,
+        },
     ]);
     let mut mpy = Block::with_trip_count("mpy", 16);
     for t in 0..4u8 {
-        mpy.push(Insn::Ld { dst: r(4 + t), base: r(1), offset: 8 * t as i64 });
-        mpy.push(Insn::Vmpy { dst: w(8 + 2 * t), src: v(0), weights: r(4 + t), acc: true });
+        mpy.push(Insn::Ld {
+            dst: r(4 + t),
+            base: r(1),
+            offset: 8 * t as i64,
+        });
+        mpy.push(Insn::Vmpy {
+            dst: w(8 + 2 * t),
+            src: v(0),
+            weights: r(4 + t),
+            acc: true,
+        });
     }
-    mpy.push(Insn::VLoad { dst: v(0), base: r(0), offset: 0 });
-    mpy.push(Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 });
+    mpy.push(Insn::VLoad {
+        dst: v(0),
+        base: r(0),
+        offset: 0,
+    });
+    mpy.push(Insn::AddI {
+        dst: r(0),
+        a: r(0),
+        imm: VBYTES as i64,
+    });
     vec![ew, mpy]
 }
 
@@ -47,8 +96,10 @@ fn packing_quality_is_stable_across_parameters() {
     let model = ResourceModel::default();
     for w_param in [0.3, 0.5, 0.7, 0.9] {
         for penalty in [0.5, 2.0, 8.0] {
-            let packer =
-                Packer::new().with_params(ScoreParams { w: w_param, penalty });
+            let packer = Packer::new().with_params(ScoreParams {
+                w: w_param,
+                penalty,
+            });
             let total: u64 = blocks
                 .iter()
                 .map(|b| {
@@ -68,6 +119,9 @@ fn packing_quality_is_stable_across_parameters() {
 #[test]
 fn default_params_match_paper_shape() {
     let p = ScoreParams::default();
-    assert!(p.w > 0.5 && p.w < 1.0, "chain-depth term dominates (paper's emphasis)");
+    assert!(
+        p.w > 0.5 && p.w < 1.0,
+        "chain-depth term dominates (paper's emphasis)"
+    );
     assert!(p.penalty > 0.0);
 }

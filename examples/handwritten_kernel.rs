@@ -40,7 +40,12 @@ fn main() {
     for p in &block.packets {
         assert!(p.is_legal(&model), "illegal packet:\n{p}");
     }
-    println!("parsed {} packets, {} cycles per iteration, {} iterations", block.packets.len(), block.body_cycles(), block.trip_count);
+    println!(
+        "parsed {} packets, {} cycles per iteration, {} iterations",
+        block.packets.len(),
+        block.body_cycles(),
+        block.trip_count
+    );
     println!("\n{}", print_program(&program));
 
     // Execute.

@@ -15,36 +15,70 @@ fn build_net() -> Graph {
     let mut g = Graph::new();
     let x = g.input("image", TShape::nchw(1, 3, 16, 16));
     let stem = g.add(
-        OpKind::Conv2d { out_channels: 8, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+        OpKind::Conv2d {
+            out_channels: 8,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        },
         &[x],
         "stem",
     );
     let mut cur = g.add(OpKind::Act(Activation::Relu), &[stem], "stem.relu");
     for i in 0..2 {
         let c1 = g.add(
-            OpKind::Conv2d { out_channels: 8, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+            OpKind::Conv2d {
+                out_channels: 8,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+            },
             &[cur],
             format!("block{i}.conv1"),
         );
-        let r = g.add(OpKind::Act(Activation::Relu), &[c1], format!("block{i}.relu"));
+        let r = g.add(
+            OpKind::Act(Activation::Relu),
+            &[c1],
+            format!("block{i}.relu"),
+        );
         let c2 = g.add(
-            OpKind::Conv2d { out_channels: 8, kernel: (1, 1), stride: (1, 1), padding: (0, 0) },
+            OpKind::Conv2d {
+                out_channels: 8,
+                kernel: (1, 1),
+                stride: (1, 1),
+                padding: (0, 0),
+            },
             &[r],
             format!("block{i}.conv2"),
         );
         cur = g.add(OpKind::Add, &[c2, cur], format!("block{i}.add"));
     }
-    let pool = g.add(OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) }, &[cur], "pool");
-    let flat = g.add(OpKind::Reshape { shape: TShape::new(vec![1, 8 * 64]) }, &[pool], "flatten");
-    g.add(OpKind::MatMul { n: 10 }, &[flat], "classifier")
-        ;
+    let pool = g.add(
+        OpKind::MaxPool {
+            kernel: (2, 2),
+            stride: (2, 2),
+        },
+        &[cur],
+        "pool",
+    );
+    let flat = g.add(
+        OpKind::Reshape {
+            shape: TShape::new(vec![1, 8 * 64]),
+        },
+        &[pool],
+        "flatten",
+    );
+    g.add(OpKind::MatMul { n: 10 }, &[flat], "classifier");
     g
 }
 
 fn main() {
     let graph = build_net();
     let compiled = Compiler::new().compile(&graph);
-    println!("compiled {} operators; chosen kernels:", compiled.graph.op_count());
+    println!(
+        "compiled {} operators; chosen kernels:",
+        compiled.graph.op_count()
+    );
     for report in &compiled.lowered.reports {
         println!("  {:<16} {}", report.name, report.plan);
     }
@@ -60,7 +94,10 @@ fn main() {
     let best = logits.iter().enumerate().max_by_key(|(_, &v)| v).unwrap().0;
     println!("argmax class: {best}");
     println!("{simd_macs} MACs executed on the simulated DSP");
-    assert_eq!(logits, reference, "DSP inference must match the scalar reference");
+    assert_eq!(
+        logits, reference,
+        "DSP inference must match the scalar reference"
+    );
     println!("bit-exact against the scalar reference interpreter ✔");
     println!(
         "\nestimated latency for this net: {:.1} µs at the calibrated clock",

@@ -62,7 +62,11 @@ fn main() {
             instr.layout().to_string(),
             a.padded_len(),
             cycles,
-            if mismatches == 0 { "bit-exact vs reference" } else { "MISMATCH!" }
+            if mismatches == 0 {
+                "bit-exact vs reference"
+            } else {
+                "MISMATCH!"
+            }
         );
         assert_eq!(mismatches, 0);
     }

@@ -14,19 +14,42 @@ fn main() {
     let mut g = Graph::new();
     let x = g.input("image", TShape::nchw(1, 3, 64, 64));
     let c1 = g.add(
-        OpKind::Conv2d { out_channels: 32, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+        OpKind::Conv2d {
+            out_channels: 32,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        },
         &[x],
         "conv1",
     );
     let r1 = g.add(OpKind::Act(Activation::Relu), &[c1], "relu1");
     let c2 = g.add(
-        OpKind::Conv2d { out_channels: 32, kernel: (1, 1), stride: (1, 1), padding: (0, 0) },
+        OpKind::Conv2d {
+            out_channels: 32,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: (0, 0),
+        },
         &[r1],
         "conv2",
     );
     let s = g.add(OpKind::Add, &[c2, c1], "residual");
-    let p = g.add(OpKind::MaxPool { kernel: (2, 2), stride: (2, 2) }, &[s], "pool");
-    let f = g.add(OpKind::Reshape { shape: TShape::new(vec![1, 32 * 32 * 32]) }, &[p], "flat");
+    let p = g.add(
+        OpKind::MaxPool {
+            kernel: (2, 2),
+            stride: (2, 2),
+        },
+        &[s],
+        "pool",
+    );
+    let f = g.add(
+        OpKind::Reshape {
+            shape: TShape::new(vec![1, 32 * 32 * 32]),
+        },
+        &[p],
+        "flat",
+    );
     g.add(OpKind::MatMul { n: 10 }, &[f], "classifier");
 
     // 2. Compile with the full GCD2 pipeline: graph rewriting, global
@@ -52,7 +75,9 @@ fn main() {
     println!("  frames/Watt   : {:.1}", compiled.frames_per_watt());
 
     // 3. Compare against the greedy per-operator baseline.
-    let local = Compiler::new().with_selection(Selection::LocalOptimal).compile(&g);
+    let local = Compiler::new()
+        .with_selection(Selection::LocalOptimal)
+        .compile(&g);
     println!(
         "\nGCD2 global selection vs local optimal: {:.2}x faster",
         local.cycles() as f64 / compiled.cycles() as f64

@@ -21,13 +21,26 @@ fn main() {
 
     // The full GCD2 pipeline.
     let gcd2 = Compiler::new().compile(&graph);
-    println!("GCD2 (full)            : {:>8.2} ms   {:.2} TOPS", gcd2.latency_ms(), gcd2.tops());
+    println!(
+        "GCD2 (full)            : {:>8.2} ms   {:.2} TOPS",
+        gcd2.latency_ms(),
+        gcd2.tops()
+    );
 
     // Ablations.
     for (name, compiler) in [
-        ("local-optimal layouts", Compiler::new().with_selection(Selection::LocalOptimal)),
-        ("soft_to_hard packing ", Compiler::new().with_packing(Packing::SoftToHard)),
-        ("sequential (no VLIW) ", Compiler::new().with_packing(Packing::Sequential)),
+        (
+            "local-optimal layouts",
+            Compiler::new().with_selection(Selection::LocalOptimal),
+        ),
+        (
+            "soft_to_hard packing ",
+            Compiler::new().with_packing(Packing::SoftToHard),
+        ),
+        (
+            "sequential (no VLIW) ",
+            Compiler::new().with_packing(Packing::Sequential),
+        ),
         ("no optimizations     ", Compiler::no_opt()),
     ] {
         let m = compiler.compile(&graph);

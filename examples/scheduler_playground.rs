@@ -25,19 +25,69 @@ fn r(i: u8) -> SReg {
 fn add3_block(trips: u64) -> Block {
     let mut b = Block::with_trip_count("R = A + B + C", trips);
     b.extend([
-        Insn::VLoad { dst: v(0), base: r(0), offset: 0 },
-        Insn::VLoad { dst: v(1), base: r(1), offset: 0 },
-        Insn::VLoad { dst: v(2), base: r(2), offset: 0 },
-        Insn::VaddUbH { dst: w(4), a: v(0), b: v(1) },
-        Insn::VaddUbH { dst: w(6), a: v(2), b: v(30) },
-        Insn::VaddHAcc { dst: v(4), src: v(6) },
-        Insn::VaddHAcc { dst: v(5), src: v(7) },
-        Insn::VStore { src: v(4), base: r(3), offset: 0 },
-        Insn::VStore { src: v(5), base: r(3), offset: VBYTES as i64 },
-        Insn::AddI { dst: r(0), a: r(0), imm: VBYTES as i64 },
-        Insn::AddI { dst: r(1), a: r(1), imm: VBYTES as i64 },
-        Insn::AddI { dst: r(2), a: r(2), imm: VBYTES as i64 },
-        Insn::AddI { dst: r(3), a: r(3), imm: 2 * VBYTES as i64 },
+        Insn::VLoad {
+            dst: v(0),
+            base: r(0),
+            offset: 0,
+        },
+        Insn::VLoad {
+            dst: v(1),
+            base: r(1),
+            offset: 0,
+        },
+        Insn::VLoad {
+            dst: v(2),
+            base: r(2),
+            offset: 0,
+        },
+        Insn::VaddUbH {
+            dst: w(4),
+            a: v(0),
+            b: v(1),
+        },
+        Insn::VaddUbH {
+            dst: w(6),
+            a: v(2),
+            b: v(30),
+        },
+        Insn::VaddHAcc {
+            dst: v(4),
+            src: v(6),
+        },
+        Insn::VaddHAcc {
+            dst: v(5),
+            src: v(7),
+        },
+        Insn::VStore {
+            src: v(4),
+            base: r(3),
+            offset: 0,
+        },
+        Insn::VStore {
+            src: v(5),
+            base: r(3),
+            offset: VBYTES as i64,
+        },
+        Insn::AddI {
+            dst: r(0),
+            a: r(0),
+            imm: VBYTES as i64,
+        },
+        Insn::AddI {
+            dst: r(1),
+            a: r(1),
+            imm: VBYTES as i64,
+        },
+        Insn::AddI {
+            dst: r(2),
+            a: r(2),
+            imm: VBYTES as i64,
+        },
+        Insn::AddI {
+            dst: r(3),
+            a: r(3),
+            imm: 2 * VBYTES as i64,
+        },
     ]);
     b
 }
@@ -69,7 +119,11 @@ fn main() {
         ("soft_to_none", SoftDepPolicy::SoftToNone),
     ] {
         let packed = pack_with_policy(&block, policy);
-        println!("=== {name}: {} packets, {} cycles/iteration", packed.packets.len(), packed.body_cycles());
+        println!(
+            "=== {name}: {} packets, {} cycles/iteration",
+            packed.packets.len(),
+            packed.body_cycles()
+        );
         for p in &packed.packets {
             println!("{p}");
         }
@@ -80,6 +134,8 @@ fn main() {
         }
         println!();
     }
-    println!("All three schedules computed identical results (verified on the functional simulator).");
+    println!(
+        "All three schedules computed identical results (verified on the functional simulator)."
+    );
     println!("The paper's Figure 5 shows the same effect: SDA emits 3 packets where soft_to_hard needs 5.");
 }

@@ -9,4 +9,5 @@ pub use gcd2_hvx as hvx;
 pub use gcd2_kernels as kernels;
 pub use gcd2_models as models;
 pub use gcd2_tensor as tensor;
+pub use gcd2_verify as verify;
 pub use gcd2_vliw as vliw;

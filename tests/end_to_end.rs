@@ -14,8 +14,16 @@ fn gcd2_beats_tflite_and_snpe_everywhere() {
         let gcd2 = Compiler::new().compile(&g);
         let t = Framework::Tflite.run(&g).expect("supported").stats.cycles;
         let s = Framework::Snpe.run(&g).expect("supported").stats.cycles;
-        assert!(gcd2.cycles() < t, "{id}: GCD2 {} vs TFLite {t}", gcd2.cycles());
-        assert!(gcd2.cycles() < s, "{id}: GCD2 {} vs SNPE {s}", gcd2.cycles());
+        assert!(
+            gcd2.cycles() < t,
+            "{id}: GCD2 {} vs TFLite {t}",
+            gcd2.cycles()
+        );
+        assert!(
+            gcd2.cycles() < s,
+            "{id}: GCD2 {} vs SNPE {s}",
+            gcd2.cycles()
+        );
     }
 }
 
@@ -31,7 +39,10 @@ fn wdsr_shows_the_largest_tflite_speedup() {
     let wdsr = speedup(ModelId::WdsrB);
     assert!(wdsr > speedup(ModelId::ResNet50), "wdsr {wdsr}");
     assert!(wdsr > speedup(ModelId::CycleGan));
-    assert!(wdsr > 2.0, "WDSR speedup should be the suite's largest: {wdsr}");
+    assert!(
+        wdsr > 2.0,
+        "WDSR speedup should be the suite's largest: {wdsr}"
+    );
 }
 
 /// Table IV: the transformers run only under GCD2 ("for the first
@@ -40,10 +51,19 @@ fn wdsr_shows_the_largest_tflite_speedup() {
 fn transformers_run_for_the_first_time() {
     for id in [ModelId::TinyBert, ModelId::Conformer] {
         let g = id.build();
-        assert!(Framework::Tflite.run(&g).is_none(), "{id} must be unsupported by TFLite");
-        assert!(Framework::Snpe.run(&g).is_none(), "{id} must be unsupported by SNPE");
+        assert!(
+            Framework::Tflite.run(&g).is_none(),
+            "{id} must be unsupported by TFLite"
+        );
+        assert!(
+            Framework::Snpe.run(&g).is_none(),
+            "{id} must be unsupported by SNPE"
+        );
         let compiled = Compiler::new().compile(&g);
-        assert!(compiled.cycles() > 0, "{id} must compile and run under GCD2");
+        assert!(
+            compiled.cycles() > 0,
+            "{id} must compile and run under GCD2"
+        );
     }
     // And SNPE cannot ingest EfficientDet's 800+-operator graph.
     let effdet = ModelId::EfficientDetD0.build();
@@ -56,9 +76,18 @@ fn transformers_run_for_the_first_time() {
 fn packing_policies_are_ordered_end_to_end() {
     let g = ModelId::EfficientNetB0.build();
     let sda = Compiler::new().compile(&g).cycles();
-    let s2h = Compiler::new().with_packing(Packing::SoftToHard).compile(&g).cycles();
-    let s2n = Compiler::new().with_packing(Packing::SoftToNone).compile(&g).cycles();
-    let seq = Compiler::new().with_packing(Packing::Sequential).compile(&g).cycles();
+    let s2h = Compiler::new()
+        .with_packing(Packing::SoftToHard)
+        .compile(&g)
+        .cycles();
+    let s2n = Compiler::new()
+        .with_packing(Packing::SoftToNone)
+        .compile(&g)
+        .cycles();
+    let seq = Compiler::new()
+        .with_packing(Packing::Sequential)
+        .compile(&g)
+        .cycles();
     assert!(sda <= s2h, "SDA {sda} vs soft_to_hard {s2h}");
     assert!(sda <= s2n, "SDA {sda} vs soft_to_none {s2n}");
     assert!(seq > s2h, "sequential must be worst: {seq} vs {s2h}");

@@ -3,9 +3,9 @@
 //! real packer (not hand-written packets).
 #![allow(clippy::needless_range_loop)]
 
+use gcd2_repro::cgraph::GemmDims;
 use gcd2_repro::hvx::{Machine, Program};
 use gcd2_repro::kernels::{functional_program, matmul_ref, output_matrix_len, SimdInstr};
-use gcd2_repro::cgraph::GemmDims;
 use gcd2_repro::tensor::{Layout, MatrixI8, MatrixU8};
 use gcd2_repro::vliw::{Packer, SoftDepPolicy};
 
@@ -17,10 +17,8 @@ fn repack(program: &Program, policy: SoftDepPolicy) -> Program {
         .blocks
         .iter()
         .map(|pb| {
-            let mut block = gcd2_repro::hvx::Block::with_trip_count(
-                pb.label.clone(),
-                pb.trip_count,
-            );
+            let mut block =
+                gcd2_repro::hvx::Block::with_trip_count(pb.label.clone(), pb.trip_count);
             for packet in &pb.packets {
                 block.extend(packet.insns().iter().cloned());
             }
@@ -43,7 +41,11 @@ fn scheduled_matmul_kernels_stay_correct() {
         let base = functional_program(&a, &w, instr, 4, 0, addr_out as i64);
         let expect = matmul_ref(&a, &w, 4);
 
-        for policy in [SoftDepPolicy::Sda, SoftDepPolicy::SoftToHard, SoftDepPolicy::SoftToNone] {
+        for policy in [
+            SoftDepPolicy::Sda,
+            SoftDepPolicy::SoftToHard,
+            SoftDepPolicy::SoftToNone,
+        ] {
             let program = repack(&base, policy);
             let mut machine = Machine::new(addr_out + out_len);
             machine.mem[..a.padded_len()].copy_from_slice(a.as_bytes());
@@ -72,7 +74,13 @@ fn layout_round_trips_through_all_formats() {
     let values: Vec<u8> = (0..200u32 * 7).map(|i| (i * 13 % 251) as u8).collect();
     let base = MatrixU8::from_row_major(200, 7, Layout::RowMajor, &values);
     // Chain of conversions covering every pair ends where it started.
-    let chain = [Layout::Col1, Layout::Col4, Layout::Col2, Layout::Col1, Layout::RowMajor];
+    let chain = [
+        Layout::Col1,
+        Layout::Col4,
+        Layout::Col2,
+        Layout::Col1,
+        Layout::RowMajor,
+    ];
     let mut cur = base.clone();
     for l in chain {
         cur = cur.to_layout(l);

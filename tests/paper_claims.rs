@@ -2,7 +2,7 @@
 //! the claim as the paper states it and checks the reproduced shape
 //! (fast models only; the full sweep lives in `gcd2-bench`).
 
-use gcd2_repro::baselines::{table5_accelerators, compile_kernel, Framework, KernelCompiler};
+use gcd2_repro::baselines::{compile_kernel, table5_accelerators, Framework, KernelCompiler};
 use gcd2_repro::bench::geomean;
 use gcd2_repro::cgraph::GemmDims;
 use gcd2_repro::compiler::Compiler;
@@ -14,7 +14,12 @@ use gcd2_repro::models::ModelId;
 /// geometric mean)".
 #[test]
 fn headline_geomean_speedups() {
-    let subset = [ModelId::MobileNetV3, ModelId::ResNet50, ModelId::WdsrB, ModelId::PixOr];
+    let subset = [
+        ModelId::MobileNetV3,
+        ModelId::ResNet50,
+        ModelId::WdsrB,
+        ModelId::PixOr,
+    ];
     let mut over_t = Vec::new();
     let mut over_s = Vec::new();
     for id in subset {
@@ -59,7 +64,11 @@ fn kernel_compilers_lose_to_gcd2() {
         GemmDims::new(28 * 28, 1152, 128),
     ] {
         let gcd2 = compile_kernel(KernelCompiler::Gcd2, &gemm).cycles;
-        for c in [KernelCompiler::Halide, KernelCompiler::Tvm, KernelCompiler::Rake] {
+        for c in [
+            KernelCompiler::Halide,
+            KernelCompiler::Tvm,
+            KernelCompiler::Rake,
+        ] {
             let other = compile_kernel(c, &gemm).cycles;
             assert!(gcd2 < other, "{:?} beat GCD2 on {gemm}", c.name());
         }
@@ -108,8 +117,16 @@ fn best_energy_efficiency_among_accelerators() {
         );
     }
     // And the absolute row lands near the paper's 141 FPS / 2.6 W / 54.2.
-    assert!((compiled.fps() - 141.0).abs() < 20.0, "fps {:.1}", compiled.fps());
-    assert!((compiled.power_w() - 2.6).abs() < 0.5, "power {:.2}", compiled.power_w());
+    assert!(
+        (compiled.fps() - 141.0).abs() < 20.0,
+        "fps {:.1}",
+        compiled.fps()
+    );
+    assert!(
+        (compiled.power_w() - 2.6).abs() < 0.5,
+        "power {:.2}",
+        compiled.power_w()
+    );
 }
 
 /// Section V-B: "GCD2 achieves up to 1.51 TOPS for an individual layer"

@@ -4,7 +4,9 @@
 #![allow(clippy::needless_range_loop)]
 
 use gcd2_repro::cgraph::GemmDims;
-use gcd2_repro::hvx::{Block, Insn, Lane, Machine, PackedBlock, ResourceModel, SReg, VPair, VReg, VBYTES};
+use gcd2_repro::hvx::{
+    Block, Insn, Lane, Machine, PackedBlock, ResourceModel, SReg, VPair, VReg, VBYTES,
+};
 use gcd2_repro::kernels::{functional_program, matmul_ref, output_matrix_len, SimdInstr};
 use gcd2_repro::tensor::{Layout, MatrixI8, MatrixU8};
 use gcd2_repro::vliw::{no_intra_packet_deps, pack_with_policy, Packer, SoftDepPolicy};
@@ -86,12 +88,37 @@ fn arb_block() -> impl Strategy<Value = Block> {
         let v = |i: u8| VReg::new(i % 28);
         let r = |i: u8| SReg::new(i % 8);
         match kind {
-            0 => Insn::VLoad { dst: v(reg), base: r(base), offset: 0 },
-            1 => Insn::VaddUbH { dst: VPair::new((reg % 10) * 2), a: v(reg), b: v(reg + 1) },
-            2 => Insn::VasrHB { dst: v(reg + 4), src: VPair::new((reg % 10) * 2), shift: 2 },
-            3 => Insn::VStore { src: v(reg), base: r(base + 3), offset: 0 },
-            4 => Insn::AddI { dst: r(base), a: r(base), imm: VBYTES as i64 },
-            _ => Insn::Vmax { lane: Lane::B, dst: v(reg + 8), a: v(reg), b: v(reg + 2) },
+            0 => Insn::VLoad {
+                dst: v(reg),
+                base: r(base),
+                offset: 0,
+            },
+            1 => Insn::VaddUbH {
+                dst: VPair::new((reg % 10) * 2),
+                a: v(reg),
+                b: v(reg + 1),
+            },
+            2 => Insn::VasrHB {
+                dst: v(reg + 4),
+                src: VPair::new((reg % 10) * 2),
+                shift: 2,
+            },
+            3 => Insn::VStore {
+                src: v(reg),
+                base: r(base + 3),
+                offset: 0,
+            },
+            4 => Insn::AddI {
+                dst: r(base),
+                a: r(base),
+                imm: VBYTES as i64,
+            },
+            _ => Insn::Vmax {
+                lane: Lane::B,
+                dst: v(reg + 8),
+                a: v(reg),
+                b: v(reg + 2),
+            },
         }
     });
     proptest::collection::vec(insn, 1..24).prop_map(|insns| {
