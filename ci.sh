@@ -6,8 +6,14 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test --workspace"
+echo "==> cargo test --workspace (serial pipeline, GCD2_THREADS=1)"
+GCD2_THREADS=1 cargo test --workspace -q
+
+echo "==> cargo test --workspace (default parallelism)"
 cargo test --workspace -q
+
+echo "==> compile-time bench smoke (BENCH_compile.json, bit-identical check)"
+cargo run --release -q -p gcd2-bench --bin compile_time -- --smoke
 
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -q -- -D warnings

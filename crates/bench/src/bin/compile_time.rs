@@ -1,0 +1,190 @@
+//! Compile-time benchmark for the parallel compilation pipeline.
+//!
+//! For every catalog model, measures end-to-end *compile* wall-clock
+//! (not simulated inference cycles) in three configurations:
+//!
+//! * `baseline_serial` — one thread, structural packing memo disabled:
+//!   the seed-equivalent pipeline that re-packs every block from
+//!   scratch;
+//! * `serial` — one thread with the sharded cost cache and packing memo;
+//! * `threads_ms[n]` — the full parallel pipeline at `n` worker threads.
+//!
+//! Every configuration must produce bit-identical output (same cycles,
+//! same plan assignment); the `bit_identical` field records the check.
+//! Results go to `BENCH_compile.json` and a human-readable table on
+//! stdout. `--smoke` runs a single small model once (for CI).
+
+use gcd2::Compiler;
+use gcd2_models::ModelId;
+use gcd2_par::CacheStats;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 2] = [2, 4];
+
+struct ModelResult {
+    name: String,
+    ops: usize,
+    cycles: u64,
+    bit_identical: bool,
+    baseline_serial_ms: f64,
+    serial_ms: f64,
+    threads_ms: Vec<(usize, f64)>,
+    speedup_at_4: f64,
+    thread_scaling_at_4: f64,
+    cost_cache: CacheStats,
+    pack_memo: CacheStats,
+}
+
+/// Best-of-`iters` compile wall-clock in milliseconds.
+fn time_compile(compiler: &Compiler, graph: &gcd2_cgraph::Graph, iters: usize) -> f64 {
+    (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            let compiled = compiler.compile(graph);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(compiled.cycles());
+            ms
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench_model(id: ModelId, iters: usize) -> ModelResult {
+    let graph = id.build();
+    let name = id.reference().name.to_lowercase();
+
+    // Reference output: the seed-equivalent serial configuration.
+    let baseline = Compiler::new().with_threads(1).with_pack_memo(false);
+    let reference = baseline.compile(&graph);
+    let baseline_serial_ms = time_compile(&baseline, &graph, iters);
+
+    let serial = Compiler::new().with_threads(1);
+    let serial_compiled = serial.compile(&graph);
+    let serial_ms = time_compile(&serial, &graph, iters);
+
+    let mut bit_identical = serial_compiled.cycles() == reference.cycles()
+        && serial_compiled.assignment.choice == reference.assignment.choice;
+
+    let mut threads_ms = Vec::new();
+    let mut cost_cache = CacheStats::default();
+    let mut pack_memo = CacheStats::default();
+    for n in THREAD_COUNTS {
+        let compiler = Compiler::new().with_threads(n);
+        let (compiled, report) = compiler.compile_timed(&graph);
+        bit_identical &= compiled.cycles() == reference.cycles()
+            && compiled.assignment.choice == reference.assignment.choice;
+        if n == *THREAD_COUNTS.last().unwrap() {
+            cost_cache = report.cost_cache;
+            pack_memo = report.pack_memo;
+        }
+        threads_ms.push((n, time_compile(&compiler, &graph, iters)));
+    }
+
+    let at4 = threads_ms
+        .iter()
+        .find(|(n, _)| *n == 4)
+        .map(|&(_, ms)| ms)
+        .unwrap_or(serial_ms);
+    ModelResult {
+        name,
+        ops: graph.op_count(),
+        cycles: reference.cycles(),
+        bit_identical,
+        baseline_serial_ms,
+        serial_ms,
+        threads_ms,
+        speedup_at_4: baseline_serial_ms / at4,
+        thread_scaling_at_4: serial_ms / at4,
+        cost_cache,
+        pack_memo,
+    }
+}
+
+fn cache_json(s: &CacheStats) -> String {
+    format!(
+        "{{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}",
+        s.hits,
+        s.misses,
+        s.hit_rate()
+    )
+}
+
+fn model_json(r: &ModelResult) -> String {
+    let threads: Vec<String> = r
+        .threads_ms
+        .iter()
+        .map(|(n, ms)| format!("\"{n}\": {ms:.3}"))
+        .collect();
+    format!(
+        "    {{\n      \"model\": \"{}\",\n      \"ops\": {},\n      \"cycles\": {},\n      \
+         \"bit_identical\": {},\n      \"baseline_serial_ms\": {:.3},\n      \
+         \"serial_ms\": {:.3},\n      \"threads_ms\": {{{}}},\n      \
+         \"speedup_at_4_vs_baseline\": {:.3},\n      \"thread_scaling_at_4\": {:.3},\n      \
+         \"cost_cache\": {},\n      \"pack_memo\": {}\n    }}",
+        r.name,
+        r.ops,
+        r.cycles,
+        r.bit_identical,
+        r.baseline_serial_ms,
+        r.serial_ms,
+        threads.join(", "),
+        r.speedup_at_4,
+        r.thread_scaling_at_4,
+        cache_json(&r.cost_cache),
+        cache_json(&r.pack_memo),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
+    let (models, iters): (Vec<ModelId>, usize) = if smoke {
+        (vec![ModelId::WdsrB], 1)
+    } else {
+        (ModelId::ALL.to_vec(), 3)
+    };
+
+    println!("# Compile-time: parallel pipeline + sharded caches vs seed-equivalent serial\n");
+    println!(
+        "{:<18} {:>5} {:>12} {:>10} {:>10} {:>10} {:>9} {:>6}",
+        "model", "ops", "baseline ms", "serial ms", "2t ms", "4t ms", "speedup", "ident"
+    );
+
+    let mut results = Vec::new();
+    for id in models {
+        let r = bench_model(id, iters);
+        let ms_at = |n: usize| {
+            r.threads_ms
+                .iter()
+                .find(|(t, _)| *t == n)
+                .map(|&(_, ms)| ms)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{:<18} {:>5} {:>12.2} {:>10.2} {:>10.2} {:>10.2} {:>8.2}x {:>6}",
+            r.name,
+            r.ops,
+            r.baseline_serial_ms,
+            r.serial_ms,
+            ms_at(2),
+            ms_at(4),
+            r.speedup_at_4,
+            if r.bit_identical { "yes" } else { "NO" },
+        );
+        results.push(r);
+    }
+
+    let rows: Vec<String> = results.iter().map(model_json).collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"compile_time\",\n  \"baseline\": \"1 thread, packing memo off \
+         (seed-equivalent)\",\n  \"thread_counts\": [2, 4],\n  \"iterations\": {iters},\n  \
+         \"models\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_compile.json", &json).expect("write BENCH_compile.json");
+    println!("\nwrote BENCH_compile.json");
+
+    if results.iter().any(|r| !r.bit_identical) {
+        eprintln!("ERROR: some configuration diverged from the serial reference output");
+        std::process::exit(1);
+    }
+}

@@ -8,15 +8,18 @@
 //! packer. The result carries per-operator reports so the evaluation
 //! harness can attribute cycles the way the paper's figures do.
 
-use gcd2_cgraph::{Graph, NodeId, OpKind};
+use gcd2_cgraph::{Graph, Node, NodeId, OpKind};
 use gcd2_globalopt::{matrix_view, op_ew_kind, op_extra_passes, Assignment, PlanKind, PlanSet};
 use gcd2_hvx::{Block, ExecStats, PackedBlock, Program, SReg};
 use gcd2_kernels::{
     adaptive_unroll, depthwise_vtmpy_blocks, elementwise_blocks, im2col_overhead_cycles,
     timing_blocks, EwKind,
 };
+use gcd2_par::CacheStats;
 use gcd2_tensor::transform_block;
 use gcd2_vliw::Packer;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// How blocks are scheduled into packets.
 #[derive(Debug, Clone, Default)]
@@ -47,6 +50,13 @@ pub struct LowerOptions {
     /// program, panicking on any error-level diagnostic. Defaults to on
     /// in debug builds (including tests) and off in release builds.
     pub verify: bool,
+    /// Worker threads for per-operator block generation and packing.
+    /// Output is bit-identical for every count; defaults to 1 so direct
+    /// callers opt in explicitly (the [`gcd2`] compiler passes its own).
+    pub threads: usize,
+    /// Enable the structural packing memo (identical blocks pack once).
+    /// Off reproduces the pre-memo baseline for compile-time benchmarks.
+    pub pack_memo: bool,
 }
 
 impl Default for LowerOptions {
@@ -56,6 +66,8 @@ impl Default for LowerOptions {
             lut_ops: false,
             resource: gcd2_hvx::ResourceModel::default(),
             verify: cfg!(debug_assertions),
+            threads: 1,
+            pack_memo: true,
         }
     }
 }
@@ -94,6 +106,15 @@ pub struct LoweredModel {
     pub program: Program,
     /// Per-operator attribution.
     pub reports: Vec<OpReport>,
+    /// CPU time spent packing blocks, aggregated across worker threads
+    /// (can exceed wall-clock under parallel lowering).
+    pub pack_cpu: Duration,
+    /// Wall-clock time of the in-lowering verification pass (zero when
+    /// verification is disabled).
+    pub verify_cpu: Duration,
+    /// Hit/miss counters of this lowering's packing memo (zeros when
+    /// the memo is disabled or the pack mode is `Sequential`).
+    pub pack_memo: CacheStats,
 }
 
 impl LoweredModel {
@@ -119,18 +140,58 @@ impl LoweredModel {
     }
 }
 
-fn pack_block(block: &Block, options: &LowerOptions) -> PackedBlock {
-    use gcd2_vliw::SoftDepPolicy;
-    let base = Packer::new().with_model(options.resource.clone());
-    match options.pack {
-        PackMode::Sda => base.pack_block(block),
-        PackMode::SoftToHard => base
-            .with_policy(SoftDepPolicy::SoftToHard)
-            .pack_block(block),
-        PackMode::SoftToNone => base
-            .with_policy(SoftDepPolicy::SoftToNone)
-            .pack_block(block),
-        PackMode::Sequential => PackedBlock::sequential(block),
+/// The shared packing context of one `lower` call: one configured
+/// packer (with its structural memo) serving every worker thread, plus
+/// an aggregate pack-time counter.
+struct PackCtx {
+    /// `None` for `PackMode::Sequential` (no scheduling to do).
+    packer: Option<Packer>,
+    pack_nanos: AtomicU64,
+}
+
+impl PackCtx {
+    fn new(options: &LowerOptions) -> Self {
+        use gcd2_vliw::SoftDepPolicy;
+        let packer = match options.pack {
+            PackMode::Sda => Some(Packer::new().with_model(options.resource.clone())),
+            PackMode::SoftToHard => Some(
+                Packer::new()
+                    .with_model(options.resource.clone())
+                    .with_policy(SoftDepPolicy::SoftToHard),
+            ),
+            PackMode::SoftToNone => Some(
+                Packer::new()
+                    .with_model(options.resource.clone())
+                    .with_policy(SoftDepPolicy::SoftToNone),
+            ),
+            PackMode::Sequential => None,
+        };
+        let packer = match (packer, options.pack_memo) {
+            (Some(p), false) => Some(p.without_memo()),
+            (p, _) => p,
+        };
+        PackCtx {
+            packer,
+            pack_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn pack(&self, block: &Block) -> PackedBlock {
+        let t0 = Instant::now();
+        let packed = match &self.packer {
+            Some(p) => p.pack_block(block),
+            None => PackedBlock::sequential(block),
+        };
+        self.pack_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        packed
+    }
+
+    fn memo_stats(&self) -> CacheStats {
+        self.packer
+            .as_ref()
+            .and_then(Packer::memo_stats)
+            .unwrap_or_default()
     }
 }
 
@@ -156,7 +217,120 @@ fn im2col_block(cycles: u64) -> Option<Block> {
     Some(b)
 }
 
+/// Lowers one operator node: its input-edge layout transforms followed
+/// by its kernel blocks, all packed. Pure function of its arguments, so
+/// nodes lower on worker threads independently; the caller reassembles
+/// the per-node block lists in topological order, which keeps the
+/// program bit-identical to a serial pass.
+fn lower_node(
+    graph: &Graph,
+    plans: &PlanSet,
+    assignment: &Assignment,
+    options: &LowerOptions,
+    ctx: &PackCtx,
+    node: &Node,
+) -> (Vec<PackedBlock>, OpReport) {
+    let plan = &plans.of(node.id)[assignment.choice[node.id.0]];
+    let mut blocks: Vec<PackedBlock> = Vec::new();
+    let mut transform_cycles = 0u64;
+
+    // Edge transforms: convert each input that is in the wrong layout.
+    for &pred in graph.preds(node.id) {
+        let from = plans.of(pred)[assignment.choice[pred.0]].layout;
+        if from == plan.layout {
+            continue;
+        }
+        let (rows, cols) = matrix_view(&graph.node(pred).shape);
+        let tb = transform_block(rows, cols, from, plan.layout, SReg::new(0), SReg::new(1));
+        if !tb.is_empty() {
+            let packed = ctx.pack(&tb);
+            transform_cycles += packed.body_cycles() * packed.trip_count;
+            blocks.push(packed);
+        }
+    }
+
+    // The operator's own kernels.
+    let mut kernel_blocks: Vec<Block> = Vec::new();
+    if node.kind.is_gemm_like() {
+        match plan.kind {
+            PlanKind::Gemm(instr) => {
+                let gemm = graph.gemm_dims(node.id).expect("gemm dims");
+                let kernel = match node.kind {
+                    OpKind::Conv2d { kernel, .. } | OpKind::DepthwiseConv2d { kernel, .. } => {
+                        kernel
+                    }
+                    OpKind::ConvTranspose2d { kernel, .. } => kernel,
+                    _ => (1, 1),
+                };
+                if let Some(b) = im2col_block(im2col_overhead_cycles(&gemm, kernel)) {
+                    kernel_blocks.push(b);
+                }
+                kernel_blocks.extend(timing_blocks(&gemm, instr, adaptive_unroll(&gemm, instr)));
+            }
+            PlanKind::DepthwiseVtmpy => {
+                let kh = match node.kind {
+                    OpKind::DepthwiseConv2d { kernel, .. } => kernel.0,
+                    _ => 3,
+                };
+                kernel_blocks.extend(depthwise_vtmpy_blocks(node.shape.elems(), kh));
+            }
+            PlanKind::Passthrough => unreachable!("gemm-like ops never get passthrough plans"),
+        }
+        // Fused non-ReLU activations add a nonlinearity pass:
+        // lookup-based when the optimization is on, scalar otherwise.
+        if let Some(gcd2_cgraph::Activation::HardSwish) = node.fused_activation {
+            let ew = if options.lut_ops {
+                EwKind::LutUnary
+            } else {
+                EwKind::ScalarUnary
+            };
+            kernel_blocks.extend(elementwise_blocks(ew, node.shape.elems()));
+        }
+    } else {
+        let elems = node.shape.elems();
+        let ew = if node.kind.is_layout_transform() {
+            EwKind::Copy
+        } else {
+            op_ew_kind(&node.kind, options.lut_ops)
+        };
+        // Spatial operators pay a layout-dependent gather factor
+        // (see gcd2_globalopt::spatial_layout_factor).
+        let factor = gcd2_globalopt::spatial_layout_factor(&node.kind, plan.layout);
+        for mut b in elementwise_blocks(ew, elems) {
+            b.trip_count = (b.trip_count as f64 * factor).ceil() as u64;
+            kernel_blocks.push(b);
+        }
+        for pass in op_extra_passes(&node.kind, options.lut_ops) {
+            kernel_blocks.extend(elementwise_blocks(pass, elems));
+        }
+    }
+
+    let mut kernel_cycles = 0u64;
+    for b in &kernel_blocks {
+        let packed = ctx.pack(b);
+        kernel_cycles += packed.body_cycles() * packed.trip_count;
+        blocks.push(packed);
+    }
+    // The kernel dispatch overhead the cost model charges.
+    kernel_cycles += gcd2_kernels::KERNEL_DISPATCH_CYCLES;
+
+    let report = OpReport {
+        node: node.id,
+        name: node.name.clone(),
+        plan: plan.to_string(),
+        kernel_cycles,
+        transform_cycles,
+    };
+    (blocks, report)
+}
+
 /// Lowers `graph` under `assignment` into a scheduled [`LoweredModel`].
+///
+/// Operators are lowered and packed on `options.threads` worker
+/// threads; the assembled program is bit-identical for every thread
+/// count because per-node block lists are gathered in topological
+/// order. The verifier (when enabled) runs once, over the fully
+/// assembled program.
 ///
 /// # Panics
 /// Panics if the assignment does not cover the graph.
@@ -171,107 +345,24 @@ pub fn lower(
         graph.len(),
         "assignment must cover the graph"
     );
-    let mut program = Program::new();
-    let mut reports = Vec::new();
-
-    for node in graph.nodes() {
-        if matches!(node.kind, OpKind::Input | OpKind::Constant) {
-            continue;
-        }
-        let plan = &plans.of(node.id)[assignment.choice[node.id.0]];
-        let mut transform_cycles = 0u64;
-
-        // Edge transforms: convert each input that is in the wrong layout.
-        for &pred in graph.preds(node.id) {
-            let from = plans.of(pred)[assignment.choice[pred.0]].layout;
-            if from == plan.layout {
-                continue;
-            }
-            let (rows, cols) = matrix_view(&graph.node(pred).shape);
-            let tb = transform_block(rows, cols, from, plan.layout, SReg::new(0), SReg::new(1));
-            if !tb.is_empty() {
-                let packed = pack_block(&tb, options);
-                transform_cycles += packed.body_cycles() * packed.trip_count;
-                program.push(packed);
-            }
-        }
-
-        // The operator's own kernels.
-        let mut kernel_blocks: Vec<Block> = Vec::new();
-        if node.kind.is_gemm_like() {
-            match plan.kind {
-                PlanKind::Gemm(instr) => {
-                    let gemm = graph.gemm_dims(node.id).expect("gemm dims");
-                    let kernel = match node.kind {
-                        OpKind::Conv2d { kernel, .. } | OpKind::DepthwiseConv2d { kernel, .. } => {
-                            kernel
-                        }
-                        OpKind::ConvTranspose2d { kernel, .. } => kernel,
-                        _ => (1, 1),
-                    };
-                    if let Some(b) = im2col_block(im2col_overhead_cycles(&gemm, kernel)) {
-                        kernel_blocks.push(b);
-                    }
-                    kernel_blocks.extend(timing_blocks(
-                        &gemm,
-                        instr,
-                        adaptive_unroll(&gemm, instr),
-                    ));
-                }
-                PlanKind::DepthwiseVtmpy => {
-                    let kh = match node.kind {
-                        OpKind::DepthwiseConv2d { kernel, .. } => kernel.0,
-                        _ => 3,
-                    };
-                    kernel_blocks.extend(depthwise_vtmpy_blocks(node.shape.elems(), kh));
-                }
-                PlanKind::Passthrough => unreachable!("gemm-like ops never get passthrough plans"),
-            }
-            // Fused non-ReLU activations add a nonlinearity pass:
-            // lookup-based when the optimization is on, scalar otherwise.
-            if let Some(gcd2_cgraph::Activation::HardSwish) = node.fused_activation {
-                let ew = if options.lut_ops {
-                    EwKind::LutUnary
-                } else {
-                    EwKind::ScalarUnary
-                };
-                kernel_blocks.extend(elementwise_blocks(ew, node.shape.elems()));
-            }
-        } else {
-            let elems = node.shape.elems();
-            let ew = if node.kind.is_layout_transform() {
-                EwKind::Copy
-            } else {
-                op_ew_kind(&node.kind, options.lut_ops)
-            };
-            // Spatial operators pay a layout-dependent gather factor
-            // (see gcd2_globalopt::spatial_layout_factor).
-            let factor = gcd2_globalopt::spatial_layout_factor(&node.kind, plan.layout);
-            for mut b in elementwise_blocks(ew, elems) {
-                b.trip_count = (b.trip_count as f64 * factor).ceil() as u64;
-                kernel_blocks.push(b);
-            }
-            for pass in op_extra_passes(&node.kind, options.lut_ops) {
-                kernel_blocks.extend(elementwise_blocks(pass, elems));
-            }
-        }
-
-        let mut kernel_cycles = 0u64;
-        for b in &kernel_blocks {
-            let packed = pack_block(b, options);
-            kernel_cycles += packed.body_cycles() * packed.trip_count;
-            program.push(packed);
-        }
-        // The kernel dispatch overhead the cost model charges.
-        kernel_cycles += gcd2_kernels::KERNEL_DISPATCH_CYCLES;
-
-        reports.push(OpReport {
-            node: node.id,
-            name: node.name.clone(),
-            plan: plan.to_string(),
-            kernel_cycles,
-            transform_cycles,
+    let ctx = PackCtx::new(options);
+    let op_nodes: Vec<&Node> = graph
+        .nodes()
+        .iter()
+        .filter(|n| !matches!(n.kind, OpKind::Input | OpKind::Constant))
+        .collect();
+    let lowered: Vec<(Vec<PackedBlock>, OpReport)> =
+        gcd2_par::par_map(options.threads, &op_nodes, |_, node| {
+            lower_node(graph, plans, assignment, options, &ctx, node)
         });
+
+    let mut program = Program::new();
+    let mut reports = Vec::with_capacity(lowered.len());
+    for (blocks, report) in lowered {
+        for b in blocks {
+            program.push(b);
+        }
+        reports.push(report);
     }
 
     // Account dispatch overheads as idle cycles in a synthetic block so
@@ -281,8 +372,11 @@ pub fn lower(
     overhead.push(gcd2_hvx::Insn::Nop);
     program.push(PackedBlock::sequential(&overhead));
 
+    let mut verify_cpu = Duration::ZERO;
     if options.verify {
+        let t0 = Instant::now();
         let report = gcd2_verify::verify_all(graph, plans, assignment, &program, &options.resource);
+        verify_cpu = t0.elapsed();
         assert_eq!(
             report.error_count(),
             0,
@@ -290,7 +384,13 @@ pub fn lower(
         );
     }
 
-    LoweredModel { program, reports }
+    LoweredModel {
+        program,
+        reports,
+        pack_cpu: Duration::from_nanos(ctx.pack_nanos.load(Ordering::Relaxed)),
+        verify_cpu,
+        pack_memo: ctx.memo_stats(),
+    }
 }
 
 #[cfg(test)]

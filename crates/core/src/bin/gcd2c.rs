@@ -26,6 +26,9 @@ fn usage() -> ExitCode {
            --packing   sda|soft-to-hard|soft-to-none|sequential\n\
            --no-lut    disable the division/nonlinearity lookup replacement\n\
            --fusion    enable the elementwise-fusion extension\n\
+           --threads N compile on N worker threads (default: GCD2_THREADS\n\
+                       or the machine's available parallelism)\n\
+           --timing    print per-stage compile wall-clock and cache stats\n\
            --ops       print the per-operator plan table\n\
            --profile   print the hottest operators by cycle share\n\
            --asm N     dump the first N scheduled blocks as assembly\n\
@@ -85,6 +88,7 @@ fn main() -> ExitCode {
     let mut show_ops = false;
     let mut show_profile = false;
     let mut compare = false;
+    let mut timing = false;
     let mut asm_blocks = 0usize;
     let mut export: Option<String> = None;
     let mut i = 1;
@@ -120,6 +124,15 @@ fn main() -> ExitCode {
             }
             "--no-lut" => compiler = compiler.with_lut_ops(false),
             "--fusion" => compiler = compiler.with_elementwise_fusion(true),
+            "--threads" => {
+                i += 1;
+                let Some(v) = args.get(i) else { return usage() };
+                let Ok(n) = v.parse::<usize>() else {
+                    return usage();
+                };
+                compiler = compiler.with_threads(n);
+            }
+            "--timing" => timing = true,
             "--ops" => show_ops = true,
             "--profile" => show_profile = true,
             "--asm" => {
@@ -182,11 +195,35 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let start = std::time::Instant::now();
-    let compiled = compiler.compile(&graph);
-    let elapsed = start.elapsed();
+    let (compiled, report) = compiler.compile_timed(&graph);
     let stats = compiled.stats();
-    println!("compiled in {:.2?}", elapsed);
+    println!(
+        "compiled in {:.2?} on {} thread{}",
+        report.total,
+        report.threads,
+        if report.threads == 1 { "" } else { "s" }
+    );
+    if timing {
+        println!("  stage wall-clock:");
+        println!("    rewrite    : {:>10.2?}", report.rewrite);
+        println!("    enumerate  : {:>10.2?}", report.enumerate);
+        println!("    select     : {:>10.2?}", report.select);
+        println!("    lower      : {:>10.2?}", report.lower);
+        println!("    pack (cpu) : {:>10.2?}", report.pack_cpu);
+        println!("    verify     : {:>10.2?}", report.verify_cpu);
+        println!(
+            "  cost cache   : {} hits / {} misses ({:.1} % hit rate)",
+            report.cost_cache.hits,
+            report.cost_cache.misses,
+            100.0 * report.cost_cache.hit_rate()
+        );
+        println!(
+            "  pack memo    : {} hits / {} misses ({:.1} % hit rate)",
+            report.pack_memo.hits,
+            report.pack_memo.misses,
+            100.0 * report.pack_memo.hit_rate()
+        );
+    }
     println!("  cycles       : {}", compiled.cycles());
     println!("  latency      : {:.3} ms", compiled.latency_ms());
     println!("  throughput   : {:.2} TOPS", compiled.tops());

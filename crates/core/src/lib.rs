@@ -38,11 +38,15 @@
 use gcd2_cgraph::Graph;
 use gcd2_codegen::{lower, LowerOptions, LoweredModel, PackMode};
 use gcd2_globalopt::{
-    enumerate_plans_with, exhaustive, gcd2_select, local_optimal, pbqp_select, Assignment, PlanSet,
+    enumerate_plans_threaded, exhaustive, gcd2_select_threaded, local_optimal, pbqp_select,
+    Assignment, PlanSet,
 };
 use gcd2_hvx::{EnergyModel, ExecStats, CLOCK_HZ};
 use gcd2_kernels::{CostModel, SimdInstr};
+use gcd2_par::CacheStats;
 use gcd2_vliw::Packer;
+use std::borrow::Cow;
+use std::time::{Duration, Instant};
 
 pub use gcd2_codegen::PackMode as Packing;
 
@@ -86,6 +90,8 @@ pub struct Compiler {
     framework_boundaries: bool,
     elementwise_fusion: bool,
     resource: gcd2_hvx::ResourceModel,
+    threads: usize,
+    pack_memo: bool,
 }
 
 impl Compiler {
@@ -99,6 +105,8 @@ impl Compiler {
             framework_boundaries: false,
             elementwise_fusion: false,
             resource: gcd2_hvx::ResourceModel::default(),
+            threads: gcd2_par::default_threads(),
+            pack_memo: true,
         }
     }
 
@@ -113,7 +121,33 @@ impl Compiler {
             framework_boundaries: true,
             elementwise_fusion: false,
             resource: gcd2_hvx::ResourceModel::default(),
+            threads: gcd2_par::default_threads(),
+            pack_memo: true,
         }
+    }
+
+    /// Sets the number of compilation worker threads. Plan enumeration,
+    /// partition refinement, and operator lowering/packing fan out over
+    /// this many threads; the compiled output is bit-identical for every
+    /// value. Defaults to [`gcd2_par::default_threads`] (available
+    /// parallelism, overridable with `GCD2_THREADS`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The number of compilation worker threads this compiler fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enables/disables the structural packing memo (on by default).
+    /// Disabling it reproduces the memo-free seed behaviour — every
+    /// block is re-packed from scratch — and exists for baseline
+    /// compile-time measurements.
+    pub fn with_pack_memo(mut self, memo: bool) -> Self {
+        self.pack_memo = memo;
+        self
     }
 
     /// Sets the selection strategy.
@@ -164,29 +198,41 @@ impl Compiler {
         self
     }
 
-    /// Runs plan selection only (no lowering) — used by the Figure 10
-    /// search-time measurements.
-    pub fn select(&self, graph: &Graph) -> (Graph, PlanSet, Assignment) {
-        let mut graph = if self.graph_rewrites {
-            gcd2_cgraph::optimize(graph)
+    /// Runs the enabled graph rewrites. Borrows the input graph
+    /// unchanged when every rewrite is off — compilation then never
+    /// clones the graph until the final `CompiledModel` is assembled.
+    fn rewrite<'g>(&self, graph: &'g Graph) -> Cow<'g, Graph> {
+        let mut graph: Cow<'g, Graph> = if self.graph_rewrites {
+            Cow::Owned(gcd2_cgraph::optimize(graph))
         } else {
-            graph.clone()
+            Cow::Borrowed(graph)
         };
         if self.elementwise_fusion {
-            graph = gcd2_cgraph::fuse_elementwise_activations(&graph);
+            graph = Cow::Owned(gcd2_cgraph::fuse_elementwise_activations(&graph));
         }
-        let base_packer = Packer::new().with_model(self.resource.clone());
-        let model = match self.packing {
-            PackMode::Sda => CostModel::with_packer(base_packer),
-            _ => CostModel::with_packer(
-                base_packer.with_policy(gcd2_vliw::SoftDepPolicy::SoftToHard),
-            ),
-        };
-        let plans = enumerate_plans_with(&graph, &model, self.lut_ops);
-        let assignment = match self.selection {
-            Selection::Gcd2 { max_ops } => gcd2_select(&graph, &plans, max_ops),
-            Selection::LocalOptimal => local_optimal(&graph, &plans),
-            Selection::Pbqp => pbqp_select(&graph, &plans),
+        graph
+    }
+
+    /// The cost model matching this compiler's packing configuration.
+    fn cost_model(&self) -> CostModel {
+        let mut base_packer = Packer::new().with_model(self.resource.clone());
+        if !matches!(self.packing, PackMode::Sda) {
+            base_packer = base_packer.with_policy(gcd2_vliw::SoftDepPolicy::SoftToHard);
+        }
+        if !self.pack_memo {
+            base_packer = base_packer.without_memo();
+        }
+        CostModel::with_packer(base_packer)
+    }
+
+    /// Runs the configured selection strategy.
+    fn assign(&self, graph: &Graph, plans: &PlanSet) -> Assignment {
+        match self.selection {
+            Selection::Gcd2 { max_ops } => {
+                gcd2_select_threaded(graph, plans, max_ops, self.threads)
+            }
+            Selection::LocalOptimal => local_optimal(graph, plans),
+            Selection::Pbqp => pbqp_select(graph, plans),
             Selection::GlobalExhaustive => {
                 let scope: Vec<_> = graph
                     .nodes()
@@ -199,7 +245,7 @@ impl Compiler {
                     })
                     .map(|n| n.id)
                     .collect();
-                exhaustive(&graph, &plans, &scope)
+                exhaustive(graph, plans, &scope)
             }
             Selection::Uniform(instr) => {
                 let choice: Vec<usize> = graph
@@ -213,20 +259,51 @@ impl Compiler {
                             .unwrap_or(0)
                     })
                     .collect();
-                let cost = gcd2_globalopt::assignment_cost(&graph, &plans, &choice);
+                let cost = gcd2_globalopt::assignment_cost(graph, plans, &choice);
                 Assignment { choice, cost }
             }
-        };
+        }
+    }
+
+    /// Runs plan selection only (no lowering) — used by the Figure 10
+    /// search-time measurements. Borrows the input graph when no rewrite
+    /// is enabled.
+    pub fn select<'g>(&self, graph: &'g Graph) -> (Cow<'g, Graph>, PlanSet, Assignment) {
+        let graph = self.rewrite(graph);
+        let model = self.cost_model();
+        let plans = enumerate_plans_threaded(&graph, &model, self.lut_ops, self.threads);
+        let assignment = self.assign(&graph, &plans);
         (graph, plans, assignment)
     }
 
     /// Compiles a model end to end.
     pub fn compile(&self, graph: &Graph) -> CompiledModel {
-        let (graph, plans, assignment) = self.select(graph);
+        self.compile_timed(graph).0
+    }
+
+    /// Compiles a model end to end and reports per-stage wall-clock
+    /// timings plus cache statistics alongside the compiled model.
+    pub fn compile_timed(&self, graph: &Graph) -> (CompiledModel, CompileReport) {
+        let t_total = Instant::now();
+        let t0 = Instant::now();
+        let graph = self.rewrite(graph);
+        let rewrite = t0.elapsed();
+
+        let model = self.cost_model();
+        let t0 = Instant::now();
+        let plans = enumerate_plans_threaded(&graph, &model, self.lut_ops, self.threads);
+        let enumerate = t0.elapsed();
+
+        let t0 = Instant::now();
+        let assignment = self.assign(&graph, &plans);
+        let select = t0.elapsed();
+
         let options = LowerOptions {
             pack: self.packing.clone(),
             lut_ops: self.lut_ops,
             resource: self.resource.clone(),
+            threads: self.threads,
+            pack_memo: self.pack_memo,
             ..LowerOptions::default()
         };
         let chosen: Vec<gcd2_globalopt::ExecutionPlan> = graph
@@ -234,7 +311,9 @@ impl Compiler {
             .iter()
             .map(|n| plans.of(n.id)[assignment.choice[n.id.0]])
             .collect();
+        let t0 = Instant::now();
         let mut lowered = lower(&graph, &plans, &assignment, &options);
+        let lower_wall = t0.elapsed();
         if self.framework_boundaries {
             // Each operator converts its tensor from and back to the
             // framework's row-major interchange format.
@@ -264,15 +343,64 @@ impl Compiler {
                 .program
                 .push(gcd2_hvx::PackedBlock::sequential(&block));
         }
-        CompiledModel {
-            graph,
+
+        let mut pack_memo = lowered.pack_memo;
+        if let Some(s) = model.packer().memo_stats() {
+            pack_memo.merge(s);
+        }
+        let report = CompileReport {
+            threads: self.threads,
+            rewrite,
+            enumerate,
+            select,
+            lower: lower_wall,
+            pack_cpu: lowered.pack_cpu,
+            verify_cpu: lowered.verify_cpu,
+            total: t_total.elapsed(),
+            cost_cache: model.cache_stats(),
+            pack_memo,
+        };
+        let compiled = CompiledModel {
+            graph: graph.into_owned(),
             assignment,
             chosen,
             lowered,
             energy: EnergyModel::default(),
             resource: self.resource.clone(),
-        }
+        };
+        (compiled, report)
     }
+}
+
+/// Per-stage wall-clock timings and cache statistics of one
+/// [`Compiler::compile_timed`] run.
+#[derive(Debug, Clone, Default)]
+pub struct CompileReport {
+    /// Worker threads the pipeline fanned out to.
+    pub threads: usize,
+    /// Graph rewrite time (constant folding, fusion).
+    pub rewrite: Duration,
+    /// Plan enumeration time (parallel; includes cost-model kernel
+    /// generation and packing on cache misses).
+    pub enumerate: Duration,
+    /// Global layout/instruction selection time (parallel speculative
+    /// refinement + serial stitch).
+    pub select: Duration,
+    /// Lowering wall-clock time (parallel block generation + packing,
+    /// plus the serial verifier when enabled).
+    pub lower: Duration,
+    /// CPU time spent inside the SDA packer during lowering, summed
+    /// across worker threads (can exceed `lower` wall clock).
+    pub pack_cpu: Duration,
+    /// CPU time in the post-lowering verifier (serial, single pass).
+    pub verify_cpu: Duration,
+    /// End-to-end compile wall clock.
+    pub total: Duration,
+    /// Hit/miss counters of the sharded kernel-cost cache.
+    pub cost_cache: CacheStats,
+    /// Hit/miss counters of the structural packing memo (cost model +
+    /// lowering packers merged).
+    pub pack_memo: CacheStats,
 }
 
 impl Default for Compiler {

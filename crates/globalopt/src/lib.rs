@@ -39,11 +39,11 @@ pub mod pbqp;
 pub mod plan;
 pub mod solve;
 
-pub use partition::{gcd2_select, is_desirable_edge, partition};
+pub use partition::{gcd2_select, gcd2_select_threaded, is_desirable_edge, partition};
 pub use pbqp::pbqp_select;
 pub use plan::{
-    assignment_cost, edge_tc, enumerate_plans, enumerate_plans_with, fused_activation_cost,
-    matrix_view, op_ew_kind, op_extra_passes, spatial_layout_factor, Assignment, ExecutionPlan,
-    PlanKind, PlanSet,
+    assignment_cost, edge_tc, enumerate_plans, enumerate_plans_threaded, enumerate_plans_with,
+    fused_activation_cost, matrix_view, op_ew_kind, op_extra_passes, spatial_layout_factor,
+    Assignment, ExecutionPlan, PlanKind, PlanSet,
 };
 pub use solve::{chain_dp, exhaustive, local_optimal, refine_scope};

@@ -10,7 +10,7 @@
 //! (the paper's "complementary edges"). `GCD2(13)` and `GCD2(17)` in
 //! Figure 10 are this algorithm with `max_ops` 13 and 17.
 
-use crate::plan::{Assignment, ExecutionPlan, PlanSet};
+use crate::plan::{assignment_cost, Assignment, ExecutionPlan, PlanSet};
 use crate::solve::{local_optimal, refine_scope};
 use gcd2_cgraph::{Graph, NodeId, OpKind};
 use gcd2_tensor::transform_cycles;
@@ -88,18 +88,69 @@ pub fn partition(graph: &Graph, plans: &PlanSet, max_ops: usize) -> Vec<Vec<Node
 }
 
 /// The full GCD2 layout/instruction selection: partition, then solve
-/// each partition exhaustively (with pruning) in topological order,
-/// propagating decided plans forward.
+/// each partition exhaustively (with pruning), stitching the partition
+/// solutions together in topological order.
+///
+/// Runs on [`gcd2_par::default_threads`] worker threads; see
+/// [`gcd2_select_threaded`] for the parallel scheme and its determinism
+/// guarantee.
 pub fn gcd2_select(graph: &Graph, plans: &PlanSet, max_ops: usize) -> Assignment {
-    let mut assignment = local_optimal(graph, plans);
-    let mut cost = assignment.cost;
-    for part in partition(graph, plans, max_ops) {
-        cost = refine_scope(graph, plans, &part, &mut assignment.choice);
+    gcd2_select_threaded(graph, plans, max_ops, gcd2_par::default_threads())
+}
+
+/// [`gcd2_select`] on an explicit number of worker threads.
+///
+/// Partitions are independent sub-problems by construction, so each is
+/// refined **speculatively in parallel** against the same local-optimal
+/// baseline. A serial stitch pass then applies the candidates in
+/// topological order: a candidate is kept when it does not worsen the
+/// running aggregate cost; when cross-partition coupling makes a
+/// speculative solution lose (its boundary assumed local-optimal
+/// neighbours that have since changed), the partition is re-refined
+/// against the propagated state — exactly what a fully serial pass does.
+///
+/// Determinism: phase 1 refines every partition against the *same*
+/// baseline (thread-count independent) and phase 2 is serial, so the
+/// returned assignment is bit-identical for every thread count. The
+/// final cost never exceeds the local-optimal baseline, because each
+/// stitched step either keeps the cost or re-refines (which includes
+/// the incumbent among its candidates).
+pub fn gcd2_select_threaded(
+    graph: &Graph,
+    plans: &PlanSet,
+    max_ops: usize,
+    threads: usize,
+) -> Assignment {
+    let base = local_optimal(graph, plans);
+    let parts = partition(graph, plans, max_ops);
+
+    // Phase 1: speculative, embarrassingly parallel refinement of every
+    // partition against the local-optimal baseline.
+    let candidates: Vec<Vec<usize>> = gcd2_par::par_map(threads, &parts, |_, part| {
+        let mut choice = base.choice.clone();
+        refine_scope(graph, plans, part, &mut choice);
+        part.iter().map(|id| choice[id.0]).collect()
+    });
+
+    // Phase 2: deterministic serial stitch in topological order.
+    let mut choice = base.choice;
+    let mut cost = base.cost;
+    for (part, cand) in parts.iter().zip(&candidates) {
+        let saved: Vec<usize> = part.iter().map(|id| choice[id.0]).collect();
+        for (id, &c) in part.iter().zip(cand) {
+            choice[id.0] = c;
+        }
+        let stitched = assignment_cost(graph, plans, &choice);
+        if stitched <= cost {
+            cost = stitched;
+        } else {
+            for (id, &s) in part.iter().zip(&saved) {
+                choice[id.0] = s;
+            }
+            cost = refine_scope(graph, plans, part, &mut choice);
+        }
     }
-    Assignment {
-        cost,
-        choice: assignment.choice,
-    }
+    Assignment { choice, cost }
 }
 
 #[cfg(test)]
@@ -165,6 +216,25 @@ mod tests {
             "gcd2 {} vs global {}",
             gcd2.cost,
             global.cost
+        );
+    }
+
+    #[test]
+    fn threaded_selection_is_bit_identical() {
+        // Long enough that max_ops = 4 produces several partitions.
+        let (g, _) = conv_chain(14, 48);
+        let plans = enumerate_plans(&g, &CostModel::new());
+        let serial = gcd2_select_threaded(&g, &plans, 4, 1);
+        for threads in [2, 3, 8] {
+            let par = gcd2_select_threaded(&g, &plans, 4, threads);
+            assert_eq!(serial.choice, par.choice, "choices differ at {threads}");
+            assert_eq!(serial.cost, par.cost, "cost differs at {threads}");
+        }
+        let local = local_optimal(&g, &plans);
+        assert!(serial.cost <= local.cost);
+        assert_eq!(
+            serial.cost,
+            crate::assignment_cost(&g, &plans, &serial.choice)
         );
     }
 

@@ -115,9 +115,38 @@ pub fn enumerate_plans(graph: &Graph, model: &CostModel) -> PlanSet {
 /// Like [`enumerate_plans`], choosing between the lookup-table and the
 /// naïve scalar lowering of divisions and nonlinearities (`lut_ops` is
 /// the "other optimizations" toggle of the Figure 9 ablation).
+///
+/// Enumeration runs on [`gcd2_par::default_threads`] worker threads;
+/// use [`enumerate_plans_threaded`] for an explicit thread count. The
+/// result is bit-identical for every thread count: nodes are costed
+/// independently and results are gathered in node order.
 pub fn enumerate_plans_with(graph: &Graph, model: &CostModel, lut_ops: bool) -> PlanSet {
-    let mut plans = Vec::with_capacity(graph.len());
-    for node in graph.nodes() {
+    enumerate_plans_threaded(graph, model, lut_ops, gcd2_par::default_threads())
+}
+
+/// [`enumerate_plans_with`] on an explicit number of worker threads.
+/// Per-node plan enumeration is embarrassingly parallel; the shared
+/// sharded cost cache deduplicates kernel costing across workers.
+pub fn enumerate_plans_threaded(
+    graph: &Graph,
+    model: &CostModel,
+    lut_ops: bool,
+    threads: usize,
+) -> PlanSet {
+    let plans = gcd2_par::par_map(threads, graph.nodes(), |_, node| {
+        plans_of_node(graph, node, model, lut_ops)
+    });
+    PlanSet { plans }
+}
+
+/// The candidate execution plans of one node.
+fn plans_of_node(
+    graph: &Graph,
+    node: &gcd2_cgraph::Node,
+    model: &CostModel,
+    lut_ops: bool,
+) -> Vec<ExecutionPlan> {
+    {
         let elems = node.shape.elems();
         let node_plans: Vec<ExecutionPlan> = match &node.kind {
             // Sources produce framework-interchange (row-major) data.
@@ -192,9 +221,8 @@ pub fn enumerate_plans_with(graph: &Graph, model: &CostModel, lut_ops: bool) -> 
                     .collect()
             }
         };
-        plans.push(node_plans);
+        node_plans
     }
-    PlanSet { plans }
 }
 
 /// Relative cost of a *spatial* operator (pooling, upsampling) in each

@@ -14,9 +14,9 @@ use crate::matmul::timing_blocks;
 use crate::unroll::{adaptive_unroll, candidates, UnrollConfig, UnrollStrategy};
 use gcd2_cgraph::GemmDims;
 use gcd2_hvx::{Block, ExecStats, Program};
+use gcd2_par::{CacheStats, ShardedMap};
 use gcd2_vliw::Packer;
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Fixed per-kernel invocation overhead in cycles: runtime dispatch, DMA
 /// descriptor setup, and weight prefetch warm-up. Shared by every
@@ -34,10 +34,15 @@ enum CostKey {
 
 /// Cycle cost model backed by kernel generation + SDA packing, with
 /// memoization.
-#[derive(Debug, Default)]
+///
+/// The memo is a hash-sharded concurrent map shared via `Arc`, so one
+/// model can serve many worker threads (`&CostModel` is `Sync`) and
+/// clones share the same warm cache. Cached cycle counts are pure
+/// functions of their keys, so concurrent use is deterministic.
+#[derive(Debug, Default, Clone)]
 pub struct CostModel {
     packer: Packer,
-    cache: RefCell<HashMap<CostKey, u64>>,
+    cache: Arc<ShardedMap<CostKey, u64>>,
 }
 
 impl CostModel {
@@ -51,13 +56,18 @@ impl CostModel {
     pub fn with_packer(packer: Packer) -> Self {
         CostModel {
             packer,
-            cache: RefCell::new(HashMap::new()),
+            cache: Arc::new(ShardedMap::new()),
         }
     }
 
     /// The packer used for scheduling.
     pub fn packer(&self) -> &Packer {
         &self.packer
+    }
+
+    /// Hit/miss counters of the cost cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Packs kernel blocks into a program.
@@ -73,13 +83,10 @@ impl CostModel {
     /// Cycles of a GEMM kernel under an explicit unroll configuration,
     /// including the kernel dispatch overhead.
     pub fn gemm_cycles(&self, gemm: &GemmDims, instr: SimdInstr, unroll: UnrollConfig) -> u64 {
-        let key = CostKey::Gemm(*gemm, instr, unroll);
-        if let Some(&c) = self.cache.borrow().get(&key) {
-            return c;
-        }
-        let c = self.blocks_cycles(&timing_blocks(gemm, instr, unroll)) + KERNEL_DISPATCH_CYCLES;
-        self.cache.borrow_mut().insert(key, c);
-        c
+        self.cache
+            .get_or_insert_with(CostKey::Gemm(*gemm, instr, unroll), || {
+                self.blocks_cycles(&timing_blocks(gemm, instr, unroll)) + KERNEL_DISPATCH_CYCLES
+            })
     }
 
     /// Cycles of a GEMM kernel with the adaptive unroll heuristic — the
@@ -106,26 +113,19 @@ impl CostModel {
 
     /// Cycles of a non-GEMM kernel over `elems` elements.
     pub fn ew_cycles(&self, kind: EwKind, elems: usize) -> u64 {
-        let key = CostKey::Ew(kind, elems);
-        if let Some(&c) = self.cache.borrow().get(&key) {
-            return c;
-        }
-        let c = self.blocks_cycles(&elementwise_blocks(kind, elems)) + KERNEL_DISPATCH_CYCLES / 4;
-        self.cache.borrow_mut().insert(key, c);
-        c
+        self.cache.get_or_insert_with(CostKey::Ew(kind, elems), || {
+            self.blocks_cycles(&elementwise_blocks(kind, elems)) + KERNEL_DISPATCH_CYCLES / 4
+        })
     }
 
     /// Cycles of the dedicated depthwise `vtmpy` kernel (3-tap sliding
     /// multiply) over `out_elems` outputs with a `kh`-row kernel —
     /// the alternative instruction choice for depthwise convolutions.
     pub fn dw_vtmpy_cycles(&self, out_elems: usize, kh: usize) -> u64 {
-        let key = CostKey::DwVtmpy(out_elems, kh);
-        if let Some(&c) = self.cache.borrow().get(&key) {
-            return c;
-        }
-        let c = self.blocks_cycles(&depthwise_vtmpy_blocks(out_elems, kh)) + KERNEL_DISPATCH_CYCLES;
-        self.cache.borrow_mut().insert(key, c);
-        c
+        self.cache
+            .get_or_insert_with(CostKey::DwVtmpy(out_elems, kh), || {
+                self.blocks_cycles(&depthwise_vtmpy_blocks(out_elems, kh)) + KERNEL_DISPATCH_CYCLES
+            })
     }
 
     /// Full execution statistics (not just cycles) of a GEMM kernel —
@@ -175,6 +175,53 @@ mod tests {
         let a = m.gemm_cycles(&g, SimdInstr::Vmpy, UnrollConfig::NONE);
         let b = m.gemm_cycles(&g, SimdInstr::Vmpy, UnrollConfig::NONE);
         assert_eq!(a, b);
+        let stats = m.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    /// The sharded cache under concurrent hammering: many workers cost
+    /// the same key space; no insert may be lost, and every cached value
+    /// must agree with an uncached (fresh-model) computation.
+    #[test]
+    fn sharded_cache_concurrent_hammer() {
+        let shared = CostModel::new();
+        let shapes: Vec<GemmDims> = (0..6)
+            .map(|i| GemmDims::new(32 << (i % 3), 64, 32 + 16 * (i % 4)))
+            .collect();
+        let per_worker = gcd2_par::par_map(8, &[(); 8], |_, _| {
+            shapes
+                .iter()
+                .flat_map(|g| {
+                    SimdInstr::ALL
+                        .into_iter()
+                        .map(|i| shared.gemm_cycles(g, i, UnrollConfig::NONE))
+                })
+                .collect::<Vec<u64>>()
+        });
+        // Cached values agree with a fresh, uncontended model.
+        let fresh = CostModel::new();
+        let expected: Vec<u64> = shapes
+            .iter()
+            .flat_map(|g| {
+                SimdInstr::ALL
+                    .into_iter()
+                    .map(|i| fresh.gemm_cycles(g, i, UnrollConfig::NONE))
+            })
+            .collect();
+        for w in &per_worker {
+            assert_eq!(w, &expected, "concurrent costs must match uncached costs");
+        }
+        // No lost inserts: every (shape, instr) key is cached exactly once.
+        let stats = shared.cache_stats();
+        let distinct = (shapes.len() * SimdInstr::ALL.len()) as u64;
+        assert_eq!(stats.hits + stats.misses, 8 * distinct);
+        assert!(stats.misses >= distinct);
+        assert!(stats.hits > 0, "repeat lookups must hit the cache");
+        // Clones share the warm cache.
+        let clone = shared.clone();
+        let before = clone.cache_stats().hits;
+        clone.gemm_cycles(&shapes[0], SimdInstr::Vmpy, UnrollConfig::NONE);
+        assert_eq!(clone.cache_stats().hits, before + 1);
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! # gcd2-par — scoped parallelism utilities for the compilation pipeline
+//!
+//! The workspace is offline/vendored, so this crate builds its worker
+//! pool on nothing but [`std::thread::scope`]. It provides the two
+//! primitives the parallel compiler needs:
+//!
+//! * [`par_map`] — an order-preserving parallel map over indexed work
+//!   items. Work is claimed from a shared atomic counter, so uneven item
+//!   costs (a 3×3 conv next to a ReLU) balance automatically; the result
+//!   vector is always in item order, which is what makes the parallel
+//!   pipeline *bit-identical* to the serial one.
+//! * [`ShardedMap`] — a concurrent memo table sharded by key hash, with
+//!   hit/miss counters. Shared across worker threads via `Arc`, it backs
+//!   the kernel cost cache and the VLIW packing memo.
+//!
+//! ```
+//! use gcd2_par::par_map;
+//! let squares = par_map(4, &[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The number of worker threads the pipeline uses by default: the
+/// `GCD2_THREADS` environment variable when set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`]. Resolved once per
+/// process.
+pub fn default_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("GCD2_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning the results **in item order**.
+///
+/// `f` receives `(index, &item)`. Items are claimed dynamically from a
+/// shared counter, so the schedule (which thread runs which item) is
+/// nondeterministic — but because every result lands in its item's slot,
+/// the returned vector is identical for every thread count, including 1.
+/// `f` must therefore be a pure function of its arguments (interior
+/// caches are fine as long as cached values are deterministic).
+///
+/// A panic on any worker propagates to the caller once all workers have
+/// finished.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                })
+            })
+            .collect();
+        // Join explicitly so a worker panic re-raises with its original
+        // payload (an unconsumed handle would surface only as the
+        // scope's generic "a scoped thread panicked").
+        for w in workers {
+            if let Err(payload) = w.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled by a worker")
+        })
+        .collect()
+}
+
+/// Hit/miss counters of a [`ShardedMap`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when the cache is unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another counter pair into this one.
+    pub fn merge(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// A concurrent memo table: a fixed power-of-two number of
+/// `Mutex<HashMap>` shards, selected by key hash, plus hit/miss
+/// counters. Values must be deterministic functions of their keys — two
+/// threads racing on the same cold key may both compute, and whichever
+/// inserts first wins; all callers still observe equal values.
+#[derive(Debug)]
+pub struct ShardedMap<K, V> {
+    shards: Box<[Mutex<HashMap<K, V>>]>,
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> ShardedMap<K, V> {
+    /// The default shard count: enough that 4–16 workers rarely collide.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Creates a map with [`Self::DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// Creates a map with `shards` shards (rounded up to a power of two).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedMap {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Lookup/compute counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
+    fn shard_of<Q: Hash + ?Sized>(&self, key: &Q) -> usize {
+        // Shard count is a power of two; take the hash's low bits.
+        (self.hasher.hash_one(key) as usize) & (self.shards.len() - 1)
+    }
+
+    /// Returns a clone of the cached value, counting a hit or a miss.
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let guard = self.shards[self.shard_of(key)]
+            .lock()
+            .expect("shard poisoned");
+        match guard.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` unless the key is already cached (first writer
+    /// wins, so racing computations of the same key converge on one
+    /// stored value). Does not touch the hit/miss counters — pair it
+    /// with [`Self::get`].
+    pub fn insert(&self, key: K, value: V) {
+        self.shards[self.shard_of(&key)]
+            .lock()
+            .expect("shard poisoned")
+            .entry(key)
+            .or_insert(value);
+    }
+
+    /// Returns the cached value for `key`, computing and caching it with
+    /// `f` on a miss. `f` runs *outside* the shard lock, so a slow
+    /// computation never blocks other keys in the same shard.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: K, f: F) -> V {
+        if let Some(v) = self.get(&key) {
+            return v;
+        }
+        let v = f();
+        self.insert(key, v.clone());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = par_map(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3 + 1
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn par_map_propagates_panics() {
+        par_map(2, &[0u32, 1, 2, 3], |_, &x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn sharded_map_basic_hit_miss() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new();
+        assert_eq!(m.get(&1), None);
+        m.insert(1, 10);
+        assert_eq!(m.get(&1), Some(10));
+        let s = m.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn sharded_map_first_writer_wins() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new();
+        m.insert(5, 50);
+        m.insert(5, 999);
+        assert_eq!(m.get(&5), Some(50));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn sharded_map_borrowed_key_lookup() {
+        let m: ShardedMap<Vec<u8>, usize> = ShardedMap::new();
+        m.insert(vec![1, 2, 3], 6);
+        let slice: &[u8] = &[1, 2, 3];
+        assert_eq!(m.get(slice), Some(6));
+    }
+
+    #[test]
+    fn concurrent_hammer_no_lost_inserts() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new();
+        let keys: Vec<u64> = (0..64).collect();
+        // 8 logical workers each touch every key; values are a pure
+        // function of the key, so every lookup must agree.
+        let results = par_map(8, &[0usize; 8], |_, _| {
+            keys.iter()
+                .map(|&k| m.get_or_insert_with(k, || k * 7))
+                .collect::<Vec<u64>>()
+        });
+        for r in &results {
+            assert_eq!(r, &keys.iter().map(|k| k * 7).collect::<Vec<_>>());
+        }
+        assert_eq!(m.len(), keys.len(), "no inserts lost, no duplicates");
+        let s = m.stats();
+        assert_eq!(s.hits + s.misses, 8 * keys.len() as u64);
+        assert!(s.misses >= keys.len() as u64);
+    }
+
+    #[test]
+    fn cache_stats_hit_rate() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.merge(CacheStats { hits: 3, misses: 1 });
+        assert_eq!(s.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -29,5 +29,7 @@ pub mod sda;
 pub mod topdown;
 
 pub use idg::{DepEdge, Idg};
-pub use sda::{no_intra_packet_deps, pack_with_policy, Packer, ScoreParams, SoftDepPolicy};
+pub use sda::{
+    no_intra_packet_deps, pack_with_policy, PackMemo, Packer, ScoreParams, SoftDepPolicy,
+};
 pub use topdown::{pack_insns_topdown, pack_topdown};

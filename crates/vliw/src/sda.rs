@@ -19,6 +19,8 @@
 
 use crate::idg::Idg;
 use gcd2_hvx::{Block, DepKind, Insn, PackedBlock, Packet, ResourceModel};
+use gcd2_par::{CacheStats, ShardedMap};
+use std::sync::Arc;
 
 /// How the packer treats soft dependencies (the Figure 11 ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -60,17 +62,39 @@ impl Default for ScoreParams {
 /// pure loss; see `select_instruction`).
 pub const LATENCY_MISMATCH_CAP: u32 = 64;
 
+/// The structural packing memo: instruction sequence → packed packets.
+/// Packing is a pure function of the instruction sequence and the
+/// packer's configuration, so a memo keyed by the full `Vec<Insn>` is
+/// exact (no hash-collision risk) and identical CNN layers pack once.
+pub type PackMemo = ShardedMap<Vec<Insn>, Arc<[Packet]>>;
+
 /// The VLIW instruction packer.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Packer {
     model: ResourceModel,
     policy: SoftDepPolicy,
     params: ScoreParams,
+    /// Structural memo shared by clones of this packer (and across
+    /// worker threads). Reconfiguring the packer (policy, model,
+    /// params) swaps in a fresh memo, since packed results depend on
+    /// the configuration.
+    memo: Option<Arc<PackMemo>>,
+}
+
+impl Default for Packer {
+    fn default() -> Self {
+        Packer {
+            model: ResourceModel::default(),
+            policy: SoftDepPolicy::default(),
+            params: ScoreParams::default(),
+            memo: Some(Arc::new(PackMemo::new())),
+        }
+    }
 }
 
 impl Packer {
     /// Creates a packer with the default resource model, SDA policy, and
-    /// score parameters.
+    /// score parameters. The structural packing memo is enabled.
     pub fn new() -> Self {
         Self::default()
     }
@@ -78,19 +102,40 @@ impl Packer {
     /// Sets the soft-dependency policy.
     pub fn with_policy(mut self, policy: SoftDepPolicy) -> Self {
         self.policy = policy;
+        self.reset_memo();
         self
     }
 
     /// Sets the score parameters.
     pub fn with_params(mut self, params: ScoreParams) -> Self {
         self.params = params;
+        self.reset_memo();
         self
     }
 
     /// Sets the packet resource model.
     pub fn with_model(mut self, model: ResourceModel) -> Self {
         self.model = model;
+        self.reset_memo();
         self
+    }
+
+    /// Disables the structural packing memo (the pre-memo baseline the
+    /// compile-time bench measures against).
+    pub fn without_memo(mut self) -> Self {
+        self.memo = None;
+        self
+    }
+
+    /// Hit/miss counters of the packing memo, when enabled.
+    pub fn memo_stats(&self) -> Option<CacheStats> {
+        self.memo.as_ref().map(|m| m.stats())
+    }
+
+    fn reset_memo(&mut self) {
+        if self.memo.is_some() {
+            self.memo = Some(Arc::new(PackMemo::new()));
+        }
     }
 
     /// The active policy.
@@ -125,6 +170,18 @@ impl Packer {
     /// assert_eq!(packets[0].cycles(), 4); // the paper's Figure 4 cost
     /// ```
     pub fn pack_insns(&self, insns: &[Insn]) -> Vec<Packet> {
+        if let Some(memo) = &self.memo {
+            if let Some(packets) = memo.get(insns) {
+                return packets.to_vec();
+            }
+            let packets = self.pack_insns_uncached(insns);
+            memo.insert(insns.to_vec(), Arc::from(packets.as_slice()));
+            return packets;
+        }
+        self.pack_insns_uncached(insns)
+    }
+
+    fn pack_insns_uncached(&self, insns: &[Insn]) -> Vec<Packet> {
         let n = insns.len();
         if n == 0 {
             return Vec::new();
@@ -542,6 +599,34 @@ mod tests {
                 assert_eq!(got, a + b + c, "t={t} i={i}");
             }
         }
+    }
+
+    #[test]
+    fn memo_returns_identical_packets_and_counts_hits() {
+        let block = add3_block();
+        let packer = Packer::new();
+        let first = packer.pack_block(&block);
+        let second = packer.pack_block(&block);
+        assert_eq!(first.packets, second.packets);
+        let stats = packer.memo_stats().expect("memo on by default");
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // And the memoized result matches a memo-free packer exactly.
+        let bare = Packer::new().without_memo();
+        assert!(bare.memo_stats().is_none());
+        assert_eq!(bare.pack_block(&block).packets, first.packets);
+    }
+
+    #[test]
+    fn reconfiguring_resets_the_memo() {
+        let block = add3_block();
+        let sda = Packer::new();
+        let sda_packets = sda.pack_block(&block);
+        // Same insns under a different policy must not hit the old memo.
+        let s2h = sda.clone().with_policy(SoftDepPolicy::SoftToHard);
+        let s2h_packets = s2h.pack_block(&block);
+        assert_ne!(sda_packets.packets, s2h_packets.packets);
+        let stats = s2h.memo_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
     }
 
     #[test]

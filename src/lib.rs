@@ -8,6 +8,7 @@ pub use gcd2_globalopt as globalopt;
 pub use gcd2_hvx as hvx;
 pub use gcd2_kernels as kernels;
 pub use gcd2_models as models;
+pub use gcd2_par as par;
 pub use gcd2_tensor as tensor;
 pub use gcd2_verify as verify;
 pub use gcd2_vliw as vliw;

@@ -1,0 +1,77 @@
+//! The parallel pipeline's hard guarantee: for every catalog model and
+//! every thread count, compilation produces **bit-identical** output —
+//! the same cycle count, the same plan assignment, and a program the
+//! static verifier accepts.
+
+use gcd2_repro::compiler::Compiler;
+use gcd2_repro::models::ModelId;
+use gcd2_repro::par::default_threads;
+
+/// Thread counts under test: serial, small, and the session default
+/// (available parallelism or `GCD2_THREADS`).
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, default_threads().max(4)];
+    counts.dedup();
+    counts
+}
+
+#[test]
+fn every_catalog_model_is_thread_count_invariant() {
+    for id in ModelId::ALL {
+        let graph = id.build();
+        let serial = Compiler::new().with_threads(1).compile(&graph);
+        for threads in thread_counts() {
+            let par = Compiler::new().with_threads(threads).compile(&graph);
+            assert_eq!(
+                serial.cycles(),
+                par.cycles(),
+                "{id}: cycles diverge at {threads} threads"
+            );
+            assert_eq!(
+                serial.assignment.choice, par.assignment.choice,
+                "{id}: plan assignment diverges at {threads} threads"
+            );
+            assert_eq!(
+                serial.assignment.cost, par.assignment.cost,
+                "{id}: assignment cost diverges at {threads} threads"
+            );
+        }
+        // One full static-verification pass per model (the verifier is
+        // deterministic, so one thread count suffices).
+        let report = serial.verify();
+        assert_eq!(
+            report.error_count(),
+            0,
+            "{id}: verifier rejected the compiled program:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn pack_memo_does_not_change_output() {
+    // The structural packing memo is a pure cache: disabling it (the
+    // seed-equivalent slow path) must not change the compiled program.
+    for id in [ModelId::WdsrB, ModelId::MobileNetV3] {
+        let graph = id.build();
+        let with_memo = Compiler::new().with_threads(2).compile(&graph);
+        let without = Compiler::new()
+            .with_threads(2)
+            .with_pack_memo(false)
+            .compile(&graph);
+        assert_eq!(with_memo.cycles(), without.cycles(), "{id}");
+        assert_eq!(
+            with_memo.assignment.choice, without.assignment.choice,
+            "{id}"
+        );
+    }
+}
+
+#[test]
+fn gcd2_threads_env_is_respected_by_default_threads() {
+    // `default_threads` memoizes its first read, so we only check the
+    // invariant that holds regardless of environment: it is positive and
+    // `with_threads` clamps to at least one worker.
+    assert!(default_threads() >= 1);
+    let c = Compiler::new().with_threads(0);
+    assert_eq!(c.threads(), 1);
+}
