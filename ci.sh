@@ -15,6 +15,9 @@ cargo test --workspace -q
 echo "==> compile-time bench smoke (BENCH_compile.json, bit-identical check)"
 cargo run --release -q -p gcd2-bench --bin compile_time -- --smoke
 
+echo "==> inference-throughput bench smoke (BENCH_infer.json, bit-identical check)"
+cargo run --release -q -p gcd2-bench --bin infer_throughput -- --smoke
+
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -q -- -D warnings
 

@@ -1,0 +1,243 @@
+//! Inference-throughput benchmark for the compiled runtime layer.
+//!
+//! For every catalog model, measures host inference wall-clock in four
+//! configurations:
+//!
+//! * `baseline_naive_ms` — the original single-shot runtime: the
+//!   node-by-node interpreter with the naive gold GEMM
+//!   (`gcd2::execute_reference_naive`). This is the pre-plan baseline
+//!   the headline speedup is computed against. Skipped (null) for the
+//!   two super-heavy models, where it would take minutes per inference;
+//! * `interp_ms` — the interpreter with the cache-blocked host GEMM
+//!   (`gcd2::execute_reference`): isolates what the plan's schedule,
+//!   slot arena, and staged weights add beyond the fast GEMM alone;
+//! * `plan_ms` — one inference through the precompiled
+//!   [`gcd2::InferencePlan`] with a reused arena;
+//! * `batch_ms[n]` — a whole input batch fanned across `n` worker
+//!   threads via `InferencePlan::execute_batch`.
+//!
+//! Every path must produce bit-identical outputs (the plan against the
+//! interpreter per input, and every thread count against one thread);
+//! the `bit_identical` field records the check and the process exits
+//! non-zero if it ever fails. Results go to `BENCH_infer.json` and a
+//! human-readable table on stdout. `--smoke` runs one small model (for
+//! CI).
+//!
+//! The two super-heavy models (>20 GMACs per inference) run a reduced
+//! batch and thread sweep so the full-catalog run stays tractable; the
+//! `batch` field records what was actually run.
+
+use gcd2::{execute_reference, execute_reference_naive, Compiler};
+use gcd2_models::ModelId;
+use std::time::Instant;
+
+const SEED: u64 = 0xC0DE;
+const BATCH: usize = 8;
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+/// Models above this many GEMM MACs per inference get the reduced sweep.
+const HEAVY_MACS: u64 = 20_000_000_000;
+const HEAVY_BATCH: usize = 2;
+const HEAVY_THREAD_COUNTS: [usize; 2] = [1, 4];
+
+struct ModelResult {
+    name: String,
+    ops: usize,
+    gemm_macs: u64,
+    batch: usize,
+    bit_identical: bool,
+    plan_build_ms: f64,
+    /// The pre-plan single-shot runtime (naive gold GEMM); `None` for
+    /// super-heavy models where it is skipped.
+    baseline_naive_ms: Option<f64>,
+    interp_ms: f64,
+    plan_ms: f64,
+    batch_ms: Vec<(usize, f64)>,
+    /// Batch throughput at the widest sweep point vs the pre-plan
+    /// single-shot baseline running the same inputs one at a time
+    /// (falls back to `interp_ms` when the naive baseline is skipped).
+    speedup_vs_baseline: f64,
+    /// Same ratio against the blocked-GEMM interpreter.
+    speedup_vs_interp: f64,
+    infer_per_s: f64,
+}
+
+fn deterministic_input(len: usize, variant: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i * 7 + 13 * (variant + 1)) % 16) as u8)
+        .collect()
+}
+
+fn bench_model(id: ModelId, iters: usize) -> ModelResult {
+    let graph = id.build();
+    let name = id.reference().name.to_lowercase();
+    let compiled = Compiler::new().compile(&graph);
+
+    let t0 = Instant::now();
+    let plan = compiled.inference_plan(SEED);
+    let plan_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let heavy = plan.gemm_macs() > HEAVY_MACS;
+    let batch = if heavy { HEAVY_BATCH } else { BATCH };
+    let threads: &[usize] = if heavy {
+        &HEAVY_THREAD_COUNTS
+    } else {
+        &THREAD_COUNTS
+    };
+    let iters = if heavy { 1 } else { iters };
+    let inputs: Vec<Vec<u8>> = (0..batch)
+        .map(|b| deterministic_input(plan.input_len(), b))
+        .collect();
+
+    // Interpreter baseline + the bit-identity reference outputs.
+    let mut interp_ms = f64::INFINITY;
+    let mut references: Vec<Vec<u8>> = Vec::new();
+    for input in &inputs {
+        let t0 = Instant::now();
+        references.push(execute_reference(&compiled, input, SEED));
+        interp_ms = interp_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // The original runtime (naive gold GEMM): one shot, and it must
+    // also agree bit for bit.
+    let mut bit_identical = true;
+    let baseline_naive_ms = (!heavy).then(|| {
+        let t0 = Instant::now();
+        let out = execute_reference_naive(&compiled, &inputs[0], SEED);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        bit_identical &= out == references[0];
+        ms
+    });
+
+    // Single-inference plan latency with a reused arena.
+    let mut arena = plan.new_arena();
+    let mut out = Vec::new();
+    let plan_ms = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            plan.execute_into(&inputs[0], &mut arena, &mut out);
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min);
+    bit_identical &= out == references[0];
+
+    // Batched execution across the thread sweep; every count must match
+    // the interpreter references exactly.
+    let mut batch_ms = Vec::new();
+    for &n in threads {
+        let t0 = Instant::now();
+        let outs = plan.execute_batch(&inputs, n);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        bit_identical &= outs == references;
+        batch_ms.push((n, ms));
+    }
+
+    let widest = batch_ms.last().map(|&(_, ms)| ms).unwrap_or(f64::NAN);
+    ModelResult {
+        name,
+        ops: graph.op_count(),
+        gemm_macs: plan.gemm_macs(),
+        batch,
+        bit_identical,
+        plan_build_ms,
+        baseline_naive_ms,
+        interp_ms,
+        plan_ms,
+        batch_ms,
+        speedup_vs_baseline: baseline_naive_ms.unwrap_or(interp_ms) * batch as f64 / widest,
+        speedup_vs_interp: interp_ms * batch as f64 / widest,
+        infer_per_s: batch as f64 / (widest / 1e3),
+    }
+}
+
+fn model_json(r: &ModelResult) -> String {
+    let batches: Vec<String> = r
+        .batch_ms
+        .iter()
+        .map(|(n, ms)| format!("\"{n}\": {ms:.3}"))
+        .collect();
+    let baseline = r
+        .baseline_naive_ms
+        .map(|ms| format!("{ms:.3}"))
+        .unwrap_or_else(|| "null".to_string());
+    format!(
+        "    {{\n      \"model\": \"{}\",\n      \"ops\": {},\n      \"gemm_macs\": {},\n      \
+         \"batch\": {},\n      \"bit_identical\": {},\n      \"plan_build_ms\": {:.3},\n      \
+         \"baseline_naive_ms\": {},\n      \"interp_ms\": {:.3},\n      \"plan_ms\": {:.3},\n      \
+         \"batch_ms\": {{{}}},\n      \"speedup_vs_baseline\": {:.3},\n      \
+         \"speedup_vs_interp\": {:.3},\n      \"infer_per_s\": {:.3}\n    }}",
+        r.name,
+        r.ops,
+        r.gemm_macs,
+        r.batch,
+        r.bit_identical,
+        r.plan_build_ms,
+        baseline,
+        r.interp_ms,
+        r.plan_ms,
+        batches.join(", "),
+        r.speedup_vs_baseline,
+        r.speedup_vs_interp,
+        r.infer_per_s,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
+    let (models, iters): (Vec<ModelId>, usize) = if smoke {
+        (vec![ModelId::MobileNetV3], 1)
+    } else {
+        (ModelId::ALL.to_vec(), 3)
+    };
+
+    println!("# Inference throughput: compiled plan + batched execution vs interpreter\n");
+    println!(
+        "{:<18} {:>5} {:>8} {:>11} {:>10} {:>10} {:>10} {:>8} {:>9} {:>6}",
+        "model",
+        "ops",
+        "GMACs",
+        "baseline ms",
+        "interp ms",
+        "plan ms",
+        "batch ms",
+        "inf/s",
+        "speedup",
+        "ident"
+    );
+
+    let mut results = Vec::new();
+    for id in models {
+        let r = bench_model(id, iters);
+        println!(
+            "{:<18} {:>5} {:>8.2} {:>11} {:>10.2} {:>10.2} {:>10.2} {:>8.1} {:>8.2}x {:>6}",
+            r.name,
+            r.ops,
+            r.gemm_macs as f64 / 1e9,
+            r.baseline_naive_ms
+                .map(|ms| format!("{ms:.2}"))
+                .unwrap_or_else(|| "-".to_string()),
+            r.interp_ms,
+            r.plan_ms,
+            r.batch_ms.last().map(|&(_, ms)| ms).unwrap_or(f64::NAN),
+            r.infer_per_s,
+            r.speedup_vs_baseline,
+            if r.bit_identical { "yes" } else { "NO" },
+        );
+        results.push(r);
+    }
+
+    let rows: Vec<String> = results.iter().map(model_json).collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"infer_throughput\",\n  \"baseline\": \"node-by-node interpreter \
+         with the naive gold GEMM (execute_reference_naive), single-shot\",\n  \
+         \"seed\": {SEED},\n  \"iterations\": {iters},\n  \"models\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_infer.json", &json).expect("write BENCH_infer.json");
+    println!("\nwrote BENCH_infer.json");
+
+    if results.iter().any(|r| !r.bit_identical) {
+        eprintln!("ERROR: some execution path diverged from the interpreter reference");
+        std::process::exit(1);
+    }
+}

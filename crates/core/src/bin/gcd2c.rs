@@ -29,6 +29,11 @@ fn usage() -> ExitCode {
            --threads N compile on N worker threads (default: GCD2_THREADS\n\
                        or the machine's available parallelism)\n\
            --timing    print per-stage compile wall-clock and cache stats\n\
+           --infer N   build the inference plan and run it N times,\n\
+                       reporting per-stage/per-op timings and verifying\n\
+                       bit-identity against the interpreter\n\
+           --batch B   run a B-input batch through the plan on the\n\
+                       compiler's worker threads and report throughput\n\
            --ops       print the per-operator plan table\n\
            --profile   print the hottest operators by cycle share\n\
            --asm N     dump the first N scheduled blocks as assembly\n\
@@ -89,6 +94,8 @@ fn main() -> ExitCode {
     let mut show_profile = false;
     let mut compare = false;
     let mut timing = false;
+    let mut infer_iters = 0usize;
+    let mut batch = 0usize;
     let mut asm_blocks = 0usize;
     let mut export: Option<String> = None;
     let mut i = 1;
@@ -133,6 +140,22 @@ fn main() -> ExitCode {
                 compiler = compiler.with_threads(n);
             }
             "--timing" => timing = true,
+            "--infer" => {
+                i += 1;
+                let Some(v) = args.get(i) else { return usage() };
+                let Ok(n) = v.parse::<usize>() else {
+                    return usage();
+                };
+                infer_iters = n.max(1);
+            }
+            "--batch" => {
+                i += 1;
+                let Some(v) = args.get(i) else { return usage() };
+                let Ok(n) = v.parse::<usize>() else {
+                    return usage();
+                };
+                batch = n.max(1);
+            }
             "--ops" => show_ops = true,
             "--profile" => show_profile = true,
             "--asm" => {
@@ -236,6 +259,99 @@ fn main() -> ExitCode {
         "  transforms   : {:.2} % of cycles",
         100.0 * compiled.lowered.transform_cycles() as f64 / compiled.cycles() as f64
     );
+
+    if infer_iters > 0 || batch > 0 {
+        const SEED: u64 = 0xC0DE;
+        let t0 = std::time::Instant::now();
+        let plan = compiled.inference_plan(SEED);
+        println!(
+            "\ninference plan: {} steps, {} slots, {:.1} KiB activations, \
+             {:.1} KiB weights, {:.3} GMACs (built in {:.2?})",
+            plan.steps(),
+            plan.slot_count(),
+            plan.activation_bytes() as f64 / 1024.0,
+            plan.weight_bytes() as f64 / 1024.0,
+            plan.gemm_macs() as f64 / 1e9,
+            t0.elapsed()
+        );
+        let input: Vec<u8> = (0..plan.input_len())
+            .map(|i| (i * 7 + 13) as u8 % 16)
+            .collect();
+
+        if infer_iters > 0 {
+            let mut arena = plan.new_arena();
+            let mut best: Option<gcd2::InferReport> = None;
+            let mut out = Vec::new();
+            for _ in 0..infer_iters {
+                let (o, report) = plan.execute_timed(&input, &mut arena);
+                out = o;
+                if best.as_ref().is_none_or(|b| report.total < b.total) {
+                    best = Some(report);
+                }
+            }
+            let report = best.expect("at least one iteration");
+            let reference = gcd2::execute_reference(&compiled, &input, SEED);
+            println!(
+                "  latency      : {:.2?} best of {} ({:.2} GMAC/s)",
+                report.total,
+                infer_iters,
+                plan.gemm_macs() as f64 / report.total.as_secs_f64() / 1e9
+            );
+            println!("    prep       : {:>10.2?}", report.prep);
+            println!("    gemm       : {:>10.2?}", report.gemm);
+            println!("    elementwise: {:>10.2?}", report.elementwise);
+            println!(
+                "  bit-identical: {}",
+                if out == reference { "true" } else { "FALSE" }
+            );
+            let mut by_time: Vec<_> = report.per_op.iter().collect();
+            by_time.sort_by_key(|t| std::cmp::Reverse(t.duration));
+            println!("  hottest steps:");
+            for t in by_time.iter().take(8) {
+                println!(
+                    "    {:<24} {:<22} {:>10.2?}",
+                    truncate(&t.name, 24),
+                    truncate(&t.op, 22),
+                    t.duration
+                );
+            }
+            if out != reference {
+                return ExitCode::from(1);
+            }
+        }
+
+        if batch > 0 {
+            let inputs: Vec<Vec<u8>> = (0..batch)
+                .map(|b| {
+                    (0..plan.input_len())
+                        .map(|i| ((i * 7 + 13 * (b + 1)) % 16) as u8)
+                        .collect()
+                })
+                .collect();
+            let threads = compiler.threads();
+            let t0 = std::time::Instant::now();
+            let outs = plan.execute_batch(&inputs, threads);
+            let wall = t0.elapsed();
+            let t0 = std::time::Instant::now();
+            let serial = plan.execute_batch(&inputs, 1);
+            let serial_wall = t0.elapsed();
+            println!(
+                "  batch {batch} on {threads} thread{}: {:.2?} \
+                 ({:.1} inf/s, {:.2}x vs 1 thread)",
+                if threads == 1 { "" } else { "s" },
+                wall,
+                batch as f64 / wall.as_secs_f64(),
+                serial_wall.as_secs_f64() / wall.as_secs_f64()
+            );
+            println!(
+                "  bit-identical: {}",
+                if outs == serial { "true" } else { "FALSE" }
+            );
+            if outs != serial {
+                return ExitCode::from(1);
+            }
+        }
+    }
 
     if asm_blocks > 0 {
         let mut partial = gcd2_hvx::Program::new();

@@ -1,0 +1,865 @@
+//! The compiled inference runtime: execute a model many times, fast.
+//!
+//! [`crate::runtime`] interprets the graph node by node — it re-derives
+//! weights, re-allocates every tensor in a `HashMap`, and rebuilds GEMM
+//! operand matrices on every call. That is the right shape for a
+//! bit-exactness oracle, and exactly the wrong shape for throughput.
+//!
+//! An [`InferencePlan`] is compiled **once** per [`CompiledModel`]:
+//!
+//! * the topological op schedule is frozen into a flat step list;
+//! * every weight matrix is derived and materialized at build time
+//!   (row-major, the layout the host GEMM consumes — so the per-edge
+//!   layout transforms the interpreter performs per call are resolved
+//!   once, here);
+//! * the requantization shift of each GEMM (a pure function of its
+//!   reduction depth) is folded into the step;
+//! * activations live in a dense arena of reusable **slots** assigned by
+//!   a liveness scan — no hashing, no steady-state allocation, and
+//!   pass-through ops (ReLU/Reshape/Transpose) alias their input slot
+//!   in place when it dies with them.
+//!
+//! Execution then streams the steps through the cache-blocked int8 GEMM
+//! ([`gcd2_kernels::tiled`]) and the shared scalar host ops
+//! ([`gcd2_kernels::hostops`]), staging im2col into a reused buffer.
+//! Results are **bit-identical** to [`crate::runtime::execute_reference`]
+//! for the same seed — both paths share one source of operator
+//! semantics — and independent of thread count in
+//! [`InferencePlan::execute_batch`], which fans a batch of inputs across
+//! `gcd2_par::par_map` with a pool of per-worker arenas.
+
+use gcd2_cgraph::{Activation, NodeId, OpKind};
+use gcd2_kernels::{dwconv_direct_into, hostops, im2col_rm_into, matmul_blocked_into, GemmScratch};
+use gcd2_tensor::MatrixI8;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::runtime::{gemm_shift, weight, ACT_MAX};
+use crate::CompiledModel;
+
+/// How a GEMM step stages its activation matrix from the input slot.
+#[derive(Debug, Clone)]
+enum GemmPrep {
+    /// The input tensor already is the row-major `m × k` matrix
+    /// (MatMul/BatchMatMul) — consumed zero-copy.
+    Direct,
+    /// Implicit im2col of a CHW feature map.
+    Im2col {
+        c: usize,
+        h: usize,
+        w: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+    },
+    /// Depthwise convolution, executed as a direct sliding-window loop —
+    /// bit-identical to the block-diagonal per-channel im2col + `k × 1`
+    /// GEMM lowering, without the staging traffic.
+    Depthwise {
+        c: usize,
+        h: usize,
+        w: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+    },
+    /// Transposed convolution modeled as a 1×1 conv at input resolution:
+    /// `a[r][ch] = x[ch·m + r]`.
+    Transposed { c: usize, m: usize },
+}
+
+/// How the `m × n` GEMM result scatters into the output tensor (the
+/// plan-time image of the interpreter's `gemm_output_to_tensor`).
+#[derive(Debug, Clone, Copy)]
+enum Scatter {
+    /// `out[ch·spatial + o] = result[o][ch]` for `o < min(m, spatial)`;
+    /// untouched positions stay zero (ConvTranspose upsampling).
+    Chw { spatial: usize },
+    /// Rows are already channel-major (depthwise, n = 1).
+    DwRows,
+    /// Row-major copy.
+    RowMajor,
+}
+
+/// One precompiled GEMM: staged operands, materialized weights, folded
+/// requantization shift.
+#[derive(Debug, Clone)]
+struct GemmStep {
+    prep: GemmPrep,
+    weights: MatrixI8,
+    m: usize,
+    k: usize,
+    n: usize,
+    shift: u8,
+    scatter: Scatter,
+}
+
+/// The computation a step performs (dims resolved at build time).
+#[derive(Debug, Clone)]
+enum StepKind {
+    Input,
+    Constant,
+    Gemm(Box<GemmStep>),
+    Add,
+    Mul,
+    Div,
+    Pow,
+    /// ReLU/Reshape/Transpose: value is unchanged (aliased in place when
+    /// the input dies with this step).
+    Passthrough,
+    MonotoneLut,
+    Softmax {
+        group: usize,
+    },
+    LayerNorm {
+        group: usize,
+    },
+    Pool {
+        c: usize,
+        h: usize,
+        w: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        is_max: bool,
+    },
+    GlobalAvgPool {
+        c: usize,
+        hw: usize,
+    },
+    Upsample {
+        c: usize,
+        h: usize,
+        w: usize,
+        factor: usize,
+    },
+    Concat,
+}
+
+#[derive(Debug, Clone)]
+struct Step {
+    node: NodeId,
+    name: String,
+    op: String,
+    kind: StepKind,
+    in_slots: Vec<usize>,
+    out_slot: usize,
+    out_len: usize,
+}
+
+/// A compiled execution schedule over a dense activation-slot arena.
+/// Built once via [`CompiledModel::inference_plan`]; executed many times.
+#[derive(Debug, Clone)]
+pub struct InferencePlan {
+    steps: Vec<Step>,
+    slot_sizes: Vec<usize>,
+    input_len: usize,
+    output_len: usize,
+    output_slot: usize,
+    seed: u64,
+    weight_bytes: usize,
+    gemm_macs: u64,
+}
+
+/// Reusable per-worker execution buffers: the activation slots plus the
+/// GEMM staging/output/accumulator scratch. Steady-state execution
+/// allocates nothing.
+#[derive(Debug, Default)]
+pub struct InferArena {
+    slots: Vec<Vec<u8>>,
+    stage_a: Vec<u8>,
+    gemm_out: Vec<u8>,
+    scratch: GemmScratch,
+}
+
+/// Wall-clock timing of one timed plan execution, mirroring
+/// [`crate::CompileReport`] for the runtime side.
+#[derive(Debug, Clone, Default)]
+pub struct InferReport {
+    /// GEMM operand staging (im2col gather, transposes).
+    pub prep: Duration,
+    /// Cache-blocked GEMM + output scatter.
+    pub gemm: Duration,
+    /// All non-GEMM steps (elementwise, pooling, normalization, shape).
+    pub elementwise: Duration,
+    /// End-to-end wall clock.
+    pub total: Duration,
+    /// Per-operator wall clock, in schedule order.
+    pub per_op: Vec<OpTiming>,
+}
+
+/// One operator's share of a timed execution.
+#[derive(Debug, Clone)]
+pub struct OpTiming {
+    /// The graph node this step executes.
+    pub node: NodeId,
+    /// The node's name.
+    pub name: String,
+    /// The operator description.
+    pub op: String,
+    /// Wall-clock time of the step.
+    pub duration: Duration,
+}
+
+impl InferencePlan {
+    /// Compiles the execution plan: schedule, slots, weights, shifts.
+    /// Weights are derived from `seed` exactly as the interpreter derives
+    /// them, so outputs match [`crate::runtime::execute_reference`] for
+    /// the same seed.
+    pub fn build(compiled: &CompiledModel, seed: u64) -> InferencePlan {
+        let graph = &compiled.graph;
+        let nodes = graph.nodes();
+        assert!(!nodes.is_empty(), "cannot plan an empty graph");
+        let mut uses = vec![0usize; nodes.len()];
+        for node in nodes {
+            for &i in &node.inputs {
+                uses[i.0] += 1;
+            }
+        }
+        let output_id = nodes.last().expect("non-empty graph").id;
+        uses[output_id.0] += 1; // the model output is never freed
+
+        let mut steps: Vec<Step> = Vec::with_capacity(nodes.len());
+        let mut slot_of = vec![usize::MAX; nodes.len()];
+        let mut slot_sizes: Vec<usize> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        let mut input_len = 0usize;
+        let mut weight_bytes = 0usize;
+        let mut gemm_macs = 0u64;
+
+        for node in nodes {
+            debug_assert_eq!(steps.len(), node.id.0, "graph ids must be dense");
+            let in_len = |i: usize| steps[node.inputs[i].0].out_len;
+            let in_shape = || &graph.node(node.inputs[0]).shape;
+            let (kind, out_len) = match &node.kind {
+                OpKind::Input => {
+                    input_len = node.shape.elems();
+                    (StepKind::Input, node.shape.elems())
+                }
+                OpKind::Constant => (StepKind::Constant, node.shape.elems()),
+                OpKind::Conv2d {
+                    out_channels,
+                    kernel,
+                    stride,
+                    padding,
+                } => {
+                    let s = in_shape();
+                    let (c, h, w) = (s.channels(), s.dim(2), s.dim(3));
+                    let out_h = (h + 2 * padding.0 - kernel.0) / stride.0 + 1;
+                    let out_w = (w + 2 * padding.1 - kernel.1) / stride.1 + 1;
+                    let (m, k, n) = (out_h * out_w, c * kernel.0 * kernel.1, *out_channels);
+                    let weights =
+                        MatrixI8::from_fn(k, n, |kk, oc| weight(seed, node.id, kk * n + oc));
+                    weight_bytes += k * n;
+                    gemm_macs += (m * k * n) as u64;
+                    // A pointwise convolution's im2col is exactly the
+                    // CHW → spatial-major transpose; stage it directly.
+                    let prep = if *kernel == (1, 1) && *stride == (1, 1) && *padding == (0, 0) {
+                        GemmPrep::Transposed { c, m }
+                    } else {
+                        GemmPrep::Im2col {
+                            c,
+                            h,
+                            w,
+                            kernel: *kernel,
+                            stride: *stride,
+                            padding: *padding,
+                        }
+                    };
+                    let g = GemmStep {
+                        prep,
+                        weights,
+                        m,
+                        k,
+                        n,
+                        shift: gemm_shift(k),
+                        scatter: Scatter::Chw {
+                            spatial: node.shape.spatial(),
+                        },
+                    };
+                    (StepKind::Gemm(Box::new(g)), node.shape.elems())
+                }
+                OpKind::DepthwiseConv2d {
+                    kernel,
+                    stride,
+                    padding,
+                } => {
+                    let s = in_shape();
+                    let (c, h, w) = (s.channels(), s.dim(2), s.dim(3));
+                    let out_h = (h + 2 * padding.0 - kernel.0) / stride.0 + 1;
+                    let out_w = (w + 2 * padding.1 - kernel.1) / stride.1 + 1;
+                    let (m, k) = (c * out_h * out_w, kernel.0 * kernel.1);
+                    // One shared filter column per node, as in the
+                    // interpreter's lowering.
+                    let weights = MatrixI8::from_fn(k, 1, |kk, _| weight(seed, node.id, kk));
+                    weight_bytes += k;
+                    gemm_macs += (m * k) as u64;
+                    let g = GemmStep {
+                        prep: GemmPrep::Depthwise {
+                            c,
+                            h,
+                            w,
+                            kernel: *kernel,
+                            stride: *stride,
+                            padding: *padding,
+                        },
+                        weights,
+                        m,
+                        k,
+                        n: 1,
+                        shift: gemm_shift(k),
+                        scatter: Scatter::DwRows,
+                    };
+                    (StepKind::Gemm(Box::new(g)), node.shape.elems().min(m))
+                }
+                OpKind::MatMul { n } | OpKind::BatchMatMul { n } => {
+                    let s = in_shape();
+                    let k = *s.0.last().expect("matmul input has a last dim");
+                    let m = s.elems() / k;
+                    let weights =
+                        MatrixI8::from_fn(k, *n, |kk, nn| weight(seed, node.id, kk * n + nn));
+                    weight_bytes += k * n;
+                    gemm_macs += (m * k * n) as u64;
+                    let g = GemmStep {
+                        prep: GemmPrep::Direct,
+                        weights,
+                        m,
+                        k,
+                        n: *n,
+                        shift: gemm_shift(k),
+                        scatter: Scatter::RowMajor,
+                    };
+                    (StepKind::Gemm(Box::new(g)), m * n)
+                }
+                OpKind::ConvTranspose2d { out_channels, .. } => {
+                    let s = in_shape();
+                    let (c, m) = (s.channels(), s.spatial());
+                    let n = *out_channels;
+                    let weights =
+                        MatrixI8::from_fn(c, n, |kk, oc| weight(seed, node.id, kk * n + oc));
+                    weight_bytes += c * n;
+                    gemm_macs += (m * c * n) as u64;
+                    let g = GemmStep {
+                        prep: GemmPrep::Transposed { c, m },
+                        weights,
+                        m,
+                        k: c,
+                        n,
+                        shift: gemm_shift(c),
+                        scatter: Scatter::Chw {
+                            spatial: node.shape.spatial(),
+                        },
+                    };
+                    (StepKind::Gemm(Box::new(g)), node.shape.elems())
+                }
+                OpKind::Add => (StepKind::Add, in_len(0)),
+                OpKind::Mul => (StepKind::Mul, in_len(0)),
+                OpKind::Div => (StepKind::Div, in_len(0)),
+                OpKind::Pow => (StepKind::Pow, in_len(0)),
+                OpKind::Act(Activation::Relu)
+                | OpKind::Act(Activation::Relu6)
+                | OpKind::Reshape { .. }
+                | OpKind::Transpose => (StepKind::Passthrough, in_len(0)),
+                OpKind::Act(Activation::HardSwish) | OpKind::Sigmoid | OpKind::Gelu => {
+                    (StepKind::MonotoneLut, in_len(0))
+                }
+                OpKind::Softmax => (
+                    StepKind::Softmax {
+                        group: node.shape.0.last().copied().unwrap_or(1),
+                    },
+                    in_len(0),
+                ),
+                OpKind::LayerNorm => (
+                    StepKind::LayerNorm {
+                        group: node.shape.0.last().copied().unwrap_or(1),
+                    },
+                    in_len(0),
+                ),
+                OpKind::MaxPool { kernel, stride } | OpKind::AvgPool { kernel, stride } => {
+                    let s = in_shape();
+                    let (c, h, w) = (s.channels(), s.dim(2), s.dim(3));
+                    let out_h = (h - kernel.0) / stride.0 + 1;
+                    let out_w = (w - kernel.1) / stride.1 + 1;
+                    (
+                        StepKind::Pool {
+                            c,
+                            h,
+                            w,
+                            kernel: *kernel,
+                            stride: *stride,
+                            is_max: matches!(node.kind, OpKind::MaxPool { .. }),
+                        },
+                        c * out_h * out_w,
+                    )
+                }
+                OpKind::GlobalAvgPool => {
+                    let s = in_shape();
+                    (
+                        StepKind::GlobalAvgPool {
+                            c: s.channels(),
+                            hw: s.spatial(),
+                        },
+                        s.channels(),
+                    )
+                }
+                OpKind::Upsample { factor } => {
+                    let s = in_shape();
+                    let (c, h, w) = (s.channels(), s.dim(2), s.dim(3));
+                    (
+                        StepKind::Upsample {
+                            c,
+                            h,
+                            w,
+                            factor: *factor,
+                        },
+                        c * h * factor * w * factor,
+                    )
+                }
+                OpKind::Concat => (StepKind::Concat, in_len(0) + in_len(1)),
+            };
+
+            // Slot assignment: reuse dead slots; pass-through steps whose
+            // input dies here run in place.
+            let in_slots: Vec<usize> = node.inputs.iter().map(|&i| slot_of[i.0]).collect();
+            let aliases_input = matches!(kind, StepKind::Passthrough)
+                && node.inputs.first().is_some_and(|&i| uses[i.0] == 1);
+            let out_slot = if aliases_input {
+                in_slots[0]
+            } else {
+                free.pop().unwrap_or_else(|| {
+                    slot_sizes.push(0);
+                    slot_sizes.len() - 1
+                })
+            };
+            slot_sizes[out_slot] = slot_sizes[out_slot].max(out_len);
+            slot_of[node.id.0] = out_slot;
+            for &i in &node.inputs {
+                uses[i.0] -= 1;
+                if uses[i.0] == 0 && slot_of[i.0] != out_slot {
+                    free.push(slot_of[i.0]);
+                }
+            }
+
+            steps.push(Step {
+                node: node.id,
+                name: node.name.clone(),
+                op: node.kind.to_string(),
+                kind,
+                in_slots,
+                out_slot,
+                out_len,
+            });
+        }
+
+        let output_len = steps.last().expect("non-empty plan").out_len;
+        InferencePlan {
+            steps,
+            slot_sizes,
+            input_len,
+            output_len,
+            output_slot: slot_of[output_id.0],
+            seed,
+            weight_bytes,
+            gemm_macs,
+        }
+    }
+
+    /// Step count (one per graph node).
+    pub fn steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Activation slots in the arena (≤ node count thanks to liveness
+    /// reuse).
+    pub fn slot_count(&self) -> usize {
+        self.slot_sizes.len()
+    }
+
+    /// Peak activation arena footprint in bytes (sum of slot high-water
+    /// sizes).
+    pub fn activation_bytes(&self) -> usize {
+        self.slot_sizes.iter().sum()
+    }
+
+    /// Bytes of materialized weight matrices.
+    pub fn weight_bytes(&self) -> usize {
+        self.weight_bytes
+    }
+
+    /// Multiply-accumulates executed per inference by the GEMM steps.
+    pub fn gemm_macs(&self) -> u64 {
+        self.gemm_macs
+    }
+
+    /// Expected input element count.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Output element count.
+    pub fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    /// The weight seed the plan was built for.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Allocates a fresh arena sized to this plan's slot high-water
+    /// marks.
+    pub fn new_arena(&self) -> InferArena {
+        InferArena {
+            slots: self
+                .slot_sizes
+                .iter()
+                .map(|&s| Vec::with_capacity(s))
+                .collect(),
+            stage_a: Vec::new(),
+            gemm_out: Vec::new(),
+            scratch: GemmScratch::default(),
+        }
+    }
+
+    /// One inference with a throwaway arena.
+    pub fn execute(&self, input: &[u8]) -> Vec<u8> {
+        let mut arena = self.new_arena();
+        let mut out = Vec::new();
+        self.execute_into(input, &mut arena, &mut out);
+        out
+    }
+
+    /// One inference reusing `arena`; the output tensor is written into
+    /// `output`.
+    ///
+    /// # Panics
+    /// Panics if `input.len() != self.input_len()`.
+    pub fn execute_into(&self, input: &[u8], arena: &mut InferArena, output: &mut Vec<u8>) {
+        self.run(input, arena, None);
+        output.clear();
+        output.extend_from_slice(&arena.slots[self.output_slot]);
+    }
+
+    /// One inference with per-stage and per-operator wall-clock timings.
+    pub fn execute_timed(&self, input: &[u8], arena: &mut InferArena) -> (Vec<u8>, InferReport) {
+        let mut report = InferReport::default();
+        let t0 = Instant::now();
+        self.run(input, arena, Some(&mut report));
+        report.total = t0.elapsed();
+        (arena.slots[self.output_slot].clone(), report)
+    }
+
+    /// Runs a batch of inputs across `threads` workers with pooled
+    /// arenas. Outputs are in input order and bit-identical for every
+    /// thread count (each inference is independent; `par_map` preserves
+    /// order).
+    pub fn execute_batch(&self, inputs: &[Vec<u8>], threads: usize) -> Vec<Vec<u8>> {
+        let arenas: Mutex<Vec<InferArena>> = Mutex::new(Vec::new());
+        gcd2_par::par_map(threads, inputs, |_, input| {
+            let mut arena = arenas
+                .lock()
+                .expect("arena pool")
+                .pop()
+                .unwrap_or_else(|| self.new_arena());
+            let mut out = Vec::new();
+            self.execute_into(input, &mut arena, &mut out);
+            arenas.lock().expect("arena pool").push(arena);
+            out
+        })
+    }
+
+    fn run(&self, input: &[u8], arena: &mut InferArena, mut report: Option<&mut InferReport>) {
+        assert_eq!(input.len(), self.input_len, "input size mismatch");
+        for step in &self.steps {
+            let t0 = report.is_some().then(Instant::now);
+            let aliased = matches!(step.kind, StepKind::Passthrough)
+                && step.in_slots.first() == Some(&step.out_slot);
+            let mut prep = Duration::ZERO;
+            if !aliased {
+                // Detach the output buffer so input slots stay readable.
+                let mut out = std::mem::take(&mut arena.slots[step.out_slot]);
+                prep = run_step(step, input, arena, &mut out, report.is_some());
+                arena.slots[step.out_slot] = out;
+            }
+            if let (Some(r), Some(t0)) = (report.as_deref_mut(), t0) {
+                let d = t0.elapsed();
+                if matches!(step.kind, StepKind::Gemm(_)) {
+                    r.prep += prep;
+                    r.gemm += d.saturating_sub(prep);
+                } else {
+                    r.elementwise += d;
+                }
+                r.per_op.push(OpTiming {
+                    node: step.node,
+                    name: step.name.clone(),
+                    op: step.op.clone(),
+                    duration: d,
+                });
+            }
+        }
+    }
+}
+
+/// Executes one step into `out`; returns the operand-staging time of
+/// GEMM steps when `timed`.
+fn run_step(
+    step: &Step,
+    input: &[u8],
+    arena: &mut InferArena,
+    out: &mut Vec<u8>,
+    timed: bool,
+) -> Duration {
+    let InferArena {
+        slots,
+        stage_a,
+        gemm_out,
+        scratch,
+    } = arena;
+    let arg = |i: usize| slots[step.in_slots[i]].as_slice();
+    match &step.kind {
+        StepKind::Input => {
+            out.clear();
+            out.extend(input.iter().map(|&x| x.min(ACT_MAX)));
+        }
+        StepKind::Constant => {
+            out.clear();
+            out.resize(step.out_len, 0);
+        }
+        StepKind::Gemm(g) => {
+            let t0 = timed.then(Instant::now);
+            let x = arg(0);
+            let a: &[u8] = match &g.prep {
+                GemmPrep::Direct => x,
+                GemmPrep::Im2col {
+                    c,
+                    h,
+                    w,
+                    kernel,
+                    stride,
+                    padding,
+                } => {
+                    stage_a.clear();
+                    stage_a.resize(g.m * g.k, 0);
+                    im2col_rm_into(x, *c, *h, *w, *kernel, *stride, *padding, stage_a);
+                    stage_a
+                }
+                GemmPrep::Depthwise {
+                    c,
+                    h,
+                    w,
+                    kernel,
+                    stride,
+                    padding,
+                } => {
+                    dwconv_direct_into(
+                        x,
+                        *c,
+                        *h,
+                        *w,
+                        *kernel,
+                        *stride,
+                        *padding,
+                        g.weights.as_slice(),
+                        g.shift,
+                        ACT_MAX,
+                        step.out_len,
+                        out,
+                    );
+                    return Duration::ZERO;
+                }
+                GemmPrep::Transposed { c, m } => {
+                    stage_a.clear();
+                    stage_a.resize(m * c, 0);
+                    for cc in 0..*c {
+                        for (r, &v) in x[cc * m..(cc + 1) * m].iter().enumerate() {
+                            stage_a[r * c + cc] = v;
+                        }
+                    }
+                    stage_a
+                }
+            };
+            let prep = t0.map(|t| t.elapsed()).unwrap_or_default();
+            matmul_blocked_into(a, g.m, g.k, &g.weights, g.shift, scratch, gemm_out);
+            out.clear();
+            out.resize(step.out_len, 0);
+            match g.scatter {
+                Scatter::Chw { spatial } => {
+                    for o in 0..g.m.min(spatial) {
+                        for ch in 0..g.n {
+                            out[ch * spatial + o] = gemm_out[o * g.n + ch].min(ACT_MAX);
+                        }
+                    }
+                }
+                Scatter::DwRows | Scatter::RowMajor => {
+                    for (d, &s) in out.iter_mut().zip(gemm_out.iter()) {
+                        *d = s.min(ACT_MAX);
+                    }
+                }
+            }
+            return prep;
+        }
+        StepKind::Add => hostops::add_avg_into(arg(0), arg(1), out),
+        StepKind::Mul => hostops::mul_shift4_into(arg(0), arg(1), ACT_MAX, out),
+        StepKind::Div => hostops::div_lut_into(arg(0), arg(1), out),
+        StepKind::Pow => hostops::pow_sq_into(arg(0), ACT_MAX, out),
+        StepKind::Passthrough => {
+            out.clear();
+            out.extend_from_slice(arg(0));
+        }
+        StepKind::MonotoneLut => hostops::monotone_lut_into(arg(0), out),
+        StepKind::Softmax { group } => hostops::softmax_into(arg(0), *group, ACT_MAX, out),
+        StepKind::LayerNorm { group } => hostops::layernorm_into(arg(0), *group, ACT_MAX, out),
+        StepKind::Pool {
+            c,
+            h,
+            w,
+            kernel,
+            stride,
+            is_max,
+        } => hostops::pool_into(arg(0), *c, *h, *w, *kernel, *stride, *is_max, out),
+        StepKind::GlobalAvgPool { c, hw } => hostops::global_avg_pool_into(arg(0), *c, *hw, out),
+        StepKind::Upsample { c, h, w, factor } => {
+            hostops::upsample_nn_into(arg(0), *c, *h, *w, *factor, out)
+        }
+        StepKind::Concat => hostops::concat_into(arg(0), arg(1), out),
+    }
+    Duration::ZERO
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::execute_reference;
+    use crate::Compiler;
+    use gcd2_cgraph::{Graph, TShape};
+
+    /// A graph touching every step kind the plan supports.
+    fn kitchen_sink() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input("x", TShape::nchw(1, 4, 12, 12));
+        let conv = g.add(
+            OpKind::Conv2d {
+                out_channels: 6,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+            },
+            &[x],
+            "conv",
+        );
+        let dw = g.add(
+            OpKind::DepthwiseConv2d {
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+            },
+            &[conv],
+            "dw",
+        );
+        let act = g.add(OpKind::Act(Activation::HardSwish), &[dw], "hswish");
+        let up = g.add(OpKind::Upsample { factor: 2 }, &[act], "up");
+        let pool = g.add(
+            OpKind::MaxPool {
+                kernel: (2, 2),
+                stride: (2, 2),
+            },
+            &[up],
+            "pool",
+        );
+        let sum = g.add(OpKind::Add, &[pool, dw], "residual");
+        let div = g.add(OpKind::Div, &[sum, dw], "div");
+        let sq = g.add(OpKind::Pow, &[div], "sq");
+        let cat = g.add(OpKind::Concat, &[sq, dw], "cat");
+        let gap = g.add(OpKind::GlobalAvgPool, &[cat], "gap");
+        let flat = g.add(
+            OpKind::Reshape {
+                shape: TShape::new(vec![1, 12]),
+            },
+            &[gap],
+            "flat",
+        );
+        let fc = g.add(OpKind::MatMul { n: 8 }, &[flat], "fc");
+        let ln = g.add(OpKind::LayerNorm, &[fc], "ln");
+        g.add(OpKind::Softmax, &[ln], "softmax");
+        g
+    }
+
+    #[test]
+    fn plan_matches_interpreter_bit_for_bit() {
+        let g = kitchen_sink();
+        let compiled = Compiler::new().compile(&g);
+        let plan = compiled.inference_plan(0xBEEF);
+        let input: Vec<u8> = (0..4 * 144).map(|i| (i * 5 % 16) as u8).collect();
+        assert_eq!(
+            plan.execute(&input),
+            execute_reference(&compiled, &input, 0xBEEF)
+        );
+    }
+
+    #[test]
+    fn arena_reuse_is_clean_across_inputs() {
+        let g = kitchen_sink();
+        let compiled = Compiler::new().compile(&g);
+        let plan = compiled.inference_plan(7);
+        let mut arena = plan.new_arena();
+        let inputs: Vec<Vec<u8>> = (0..4)
+            .map(|s| {
+                (0..4 * 144)
+                    .map(|i| ((i * 3 + s * 11) % 16) as u8)
+                    .collect()
+            })
+            .collect();
+        for input in &inputs {
+            let mut reused = Vec::new();
+            plan.execute_into(input, &mut arena, &mut reused);
+            assert_eq!(reused, plan.execute(input), "dirty arena changed output");
+            assert_eq!(reused, execute_reference(&compiled, input, 7));
+        }
+    }
+
+    #[test]
+    fn batch_is_order_preserving_and_thread_invariant() {
+        let g = kitchen_sink();
+        let compiled = Compiler::new().compile(&g);
+        let plan = compiled.inference_plan(42);
+        let inputs: Vec<Vec<u8>> = (0..7)
+            .map(|s| (0..4 * 144).map(|i| ((i + s * 13) % 16) as u8).collect())
+            .collect();
+        let serial = plan.execute_batch(&inputs, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(serial, plan.execute_batch(&inputs, threads), "{threads}t");
+        }
+        for (input, out) in inputs.iter().zip(&serial) {
+            assert_eq!(out, &execute_reference(&compiled, input, 42));
+        }
+    }
+
+    #[test]
+    fn slots_are_reused_and_sized() {
+        let g = kitchen_sink();
+        let compiled = Compiler::new().compile(&g);
+        let plan = compiled.inference_plan(0);
+        assert!(
+            plan.slot_count() < plan.steps(),
+            "liveness must reuse slots: {} slots for {} steps",
+            plan.slot_count(),
+            plan.steps()
+        );
+        assert!(plan.activation_bytes() > 0);
+        assert!(plan.weight_bytes() > 0);
+        assert!(plan.gemm_macs() > 0);
+    }
+
+    #[test]
+    fn timed_execution_reports_stages() {
+        let g = kitchen_sink();
+        let compiled = Compiler::new().compile(&g);
+        let plan = compiled.inference_plan(3);
+        let input: Vec<u8> = (0..4 * 144).map(|i| (i % 16) as u8).collect();
+        let mut arena = plan.new_arena();
+        let (out, report) = plan.execute_timed(&input, &mut arena);
+        assert_eq!(out, execute_reference(&compiled, &input, 3));
+        assert_eq!(report.per_op.len(), plan.steps());
+        assert!(report.total >= report.gemm);
+        assert!(report.per_op.iter().any(|t| t.op.starts_with("Conv2d")));
+    }
+}

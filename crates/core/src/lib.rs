@@ -42,7 +42,7 @@ use gcd2_globalopt::{
     Assignment, PlanSet,
 };
 use gcd2_hvx::{EnergyModel, ExecStats, CLOCK_HZ};
-use gcd2_kernels::{CostModel, SimdInstr};
+use gcd2_kernels::{CostCache, CostModel, SimdInstr};
 use gcd2_par::CacheStats;
 use gcd2_vliw::Packer;
 use std::borrow::Cow;
@@ -50,8 +50,10 @@ use std::time::{Duration, Instant};
 
 pub use gcd2_codegen::PackMode as Packing;
 
+pub mod infer;
 pub mod runtime;
-pub use runtime::{execute_on_dsp, execute_reference};
+pub use infer::{InferArena, InferReport, InferencePlan, OpTiming};
+pub use runtime::{execute_on_dsp, execute_reference, execute_reference_naive};
 
 /// Layout/instruction selection strategies (Figure 10's competitors).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +94,11 @@ pub struct Compiler {
     resource: gcd2_hvx::ResourceModel,
     threads: usize,
     pack_memo: bool,
+    /// Kernel-cost cache persisted across compiles of this compiler (and
+    /// shared by its clones): recompiles and structurally similar models
+    /// run warm. Reset whenever a knob that changes cost *values*
+    /// (packing mode, resource model) changes.
+    cost_cache: CostCache,
 }
 
 impl Compiler {
@@ -107,6 +114,7 @@ impl Compiler {
             resource: gcd2_hvx::ResourceModel::default(),
             threads: gcd2_par::default_threads(),
             pack_memo: true,
+            cost_cache: CostCache::new(),
         }
     }
 
@@ -123,6 +131,7 @@ impl Compiler {
             resource: gcd2_hvx::ResourceModel::default(),
             threads: gcd2_par::default_threads(),
             pack_memo: true,
+            cost_cache: CostCache::new(),
         }
     }
 
@@ -156,9 +165,11 @@ impl Compiler {
         self
     }
 
-    /// Sets the packing mode.
+    /// Sets the packing mode. Kernel cycle costs depend on the packing
+    /// policy, so the persistent cost cache is reset.
     pub fn with_packing(mut self, packing: PackMode) -> Self {
         self.packing = packing;
+        self.cost_cache = CostCache::new();
         self
     }
 
@@ -175,10 +186,19 @@ impl Compiler {
     }
 
     /// Targets a different DSP generation's packet resource model
-    /// (e.g. [`gcd2_hvx::ResourceModel::hexagon680`]).
+    /// (e.g. [`gcd2_hvx::ResourceModel::hexagon680`]). Kernel cycle
+    /// costs depend on the packet resources, so the persistent cost
+    /// cache is reset.
     pub fn with_resource_model(mut self, resource: gcd2_hvx::ResourceModel) -> Self {
         self.resource = resource;
+        self.cost_cache = CostCache::new();
         self
+    }
+
+    /// Cumulative hit/miss counters of the persistent kernel-cost cache
+    /// (shared across all compiles of this compiler and its clones).
+    pub fn cost_cache_stats(&self) -> CacheStats {
+        self.cost_cache.stats()
     }
 
     /// Enables the DSP-friendly elementwise fusion extension (the
@@ -222,7 +242,7 @@ impl Compiler {
         if !self.pack_memo {
             base_packer = base_packer.without_memo();
         }
-        CostModel::with_packer(base_packer)
+        CostModel::with_packer(base_packer).with_cache(&self.cost_cache)
     }
 
     /// Runs the configured selection strategy.
@@ -285,6 +305,7 @@ impl Compiler {
     /// timings plus cache statistics alongside the compiled model.
     pub fn compile_timed(&self, graph: &Graph) -> (CompiledModel, CompileReport) {
         let t_total = Instant::now();
+        let cache_before = self.cost_cache.stats();
         let t0 = Instant::now();
         let graph = self.rewrite(graph);
         let rewrite = t0.elapsed();
@@ -357,7 +378,15 @@ impl Compiler {
             pack_cpu: lowered.pack_cpu,
             verify_cpu: lowered.verify_cpu,
             total: t_total.elapsed(),
-            cost_cache: model.cache_stats(),
+            cost_cache: {
+                // The cache outlives the compile; report this compile's
+                // share of its traffic.
+                let after = model.cache_stats();
+                CacheStats {
+                    hits: after.hits.saturating_sub(cache_before.hits),
+                    misses: after.misses.saturating_sub(cache_before.misses),
+                }
+            },
             pack_memo,
         };
         let compiled = CompiledModel {
@@ -396,7 +425,10 @@ pub struct CompileReport {
     pub verify_cpu: Duration,
     /// End-to-end compile wall clock.
     pub total: Duration,
-    /// Hit/miss counters of the sharded kernel-cost cache.
+    /// Hit/miss counters of the sharded kernel-cost cache, for this
+    /// compile only. The cache itself persists across compiles of one
+    /// [`Compiler`] (and its clones), so a recompile of the same or a
+    /// structurally similar model reports mostly hits.
     pub cost_cache: CacheStats,
     /// Hit/miss counters of the structural packing memo (cost model +
     /// lowering packers merged).
@@ -441,6 +473,14 @@ impl CompiledModel {
     /// The kernel family chosen for a node.
     pub fn plan_of(&self, id: gcd2_cgraph::NodeId) -> Option<gcd2_globalopt::PlanKind> {
         self.chosen.get(id.0).map(|p| p.kind)
+    }
+
+    /// Compiles the host inference plan for this model: frozen schedule,
+    /// reusable activation slots, weights materialized from `seed`.
+    /// Build once, execute many times; outputs are bit-identical to
+    /// [`execute_reference`] with the same seed.
+    pub fn inference_plan(&self, seed: u64) -> InferencePlan {
+        InferencePlan::build(self, seed)
     }
 
     /// End-to-end cycles on the simulated DSP.

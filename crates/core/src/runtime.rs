@@ -23,7 +23,7 @@ use gcd2_cgraph::{Activation, Graph, NodeId, OpKind};
 use gcd2_globalopt::PlanKind;
 use gcd2_hvx::Machine;
 use gcd2_kernels::elementwise::functional as ew_fn;
-use gcd2_kernels::{functional_program, im2col_chw, output_matrix_len, SimdInstr};
+use gcd2_kernels::{functional_program, hostops, im2col_chw, output_matrix_len, SimdInstr};
 use gcd2_tensor::{Layout, MatrixI8, MatrixU8};
 use std::collections::HashMap;
 
@@ -37,7 +37,7 @@ pub const WGT_MAX: i8 = 2;
 
 /// Deterministic weight generator: every call site derives the same
 /// weights from the node id, so the DSP and reference paths agree.
-fn weight(seed: u64, node: NodeId, index: usize) -> i8 {
+pub(crate) fn weight(seed: u64, node: NodeId, index: usize) -> i8 {
     let mut x = seed
         ^ (node.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (index as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
@@ -59,6 +59,17 @@ fn shift_for(max_acc: i64) -> u8 {
     s
 }
 
+/// The requantization shift of a GEMM with reduction depth `k`: the
+/// calibrated (typical-case) scale for accumulators up to
+/// `k · ACT_MAX · WGT_MAX`, with an explicit clamp back into the
+/// activation range downstream — the 4-bit analogue of a quantizer's
+/// saturating output stage. Depends only on `k`, so the inference plan
+/// folds it in at build time.
+pub(crate) fn gemm_shift(k: usize) -> u8 {
+    let max_acc = k as i64 * ACT_MAX as i64 * WGT_MAX as i64;
+    shift_for((max_acc / 32).max(1))
+}
+
 /// How a GEMM-like node executes.
 enum GemmExec {
     /// On the simulated DSP with this instruction.
@@ -68,26 +79,50 @@ enum GemmExec {
     Host,
 }
 
+/// Which execution path [`execute`] runs.
+#[derive(Clone, Copy, PartialEq)]
+enum ExecMode {
+    /// Planned GEMMs on the simulated DSP, the rest host-side.
+    Dsp,
+    /// Everything host-side through the cache-blocked GEMM.
+    Reference,
+    /// Everything host-side through the naive gold GEMM
+    /// ([`gcd2_kernels::matmul_ref`]) — the original single-shot
+    /// runtime, kept as the pre-plan measurement baseline.
+    NaiveReference,
+}
+
 /// Executes the compiled model functionally. `input` must hold the
 /// graph-input tensor's elements (values are clamped into the runtime's
 /// activation range); returns the final node's tensor, plus how many
 /// MACs were executed on the simulated DSP.
 ///
 /// # Panics
-/// Panics if the model contains operators outside the runtime's
-/// supported set (the CNN vocabulary: convolutions, matmuls, elementwise
-/// arithmetic, pooling, activations, reshapes).
+/// Panics if `input` does not match the graph-input element count. The
+/// runtime covers the full catalog vocabulary: convolutions
+/// (regular/depthwise/transposed), matmuls, elementwise arithmetic
+/// (including `Div`/`Pow`), activations, softmax, layer normalization,
+/// pooling, upsampling, and shape plumbing.
 pub fn execute_on_dsp(compiled: &CompiledModel, input: &[u8], seed: u64) -> (Vec<u8>, u64) {
-    execute(compiled, input, seed, true)
+    execute(compiled, input, seed, ExecMode::Dsp)
 }
 
 /// The scalar reference: identical math, no simulator. Used to validate
 /// [`execute_on_dsp`] bit-for-bit.
 pub fn execute_reference(compiled: &CompiledModel, input: &[u8], seed: u64) -> Vec<u8> {
-    execute(compiled, input, seed, false).0
+    execute(compiled, input, seed, ExecMode::Reference).0
 }
 
-fn execute(compiled: &CompiledModel, input: &[u8], seed: u64, on_dsp: bool) -> (Vec<u8>, u64) {
+/// [`execute_reference`] with the naive gold GEMM instead of the
+/// cache-blocked host kernel: bit-identical outputs, original-runtime
+/// speed. The inference-throughput benchmark measures the compiled plan
+/// against this single-shot baseline.
+pub fn execute_reference_naive(compiled: &CompiledModel, input: &[u8], seed: u64) -> Vec<u8> {
+    execute(compiled, input, seed, ExecMode::NaiveReference).0
+}
+
+fn execute(compiled: &CompiledModel, input: &[u8], seed: u64, mode: ExecMode) -> (Vec<u8>, u64) {
+    let on_dsp = mode == ExecMode::Dsp;
     let graph = &compiled.graph;
     let mut values: HashMap<NodeId, Vec<u8>> = HashMap::new();
     let mut simd_macs = 0u64;
@@ -105,17 +140,21 @@ fn execute(compiled: &CompiledModel, input: &[u8], seed: u64, on_dsp: bool) -> (
                     _ => GemmExec::Host,
                 };
                 let (a, wgt) = gemm_operands(graph, node, &values, seed);
-                // Calibrated (typical-case) requantization scale, with an
-                // explicit clamp back into the activation range — the
-                // 4-bit analogue of a quantizer's saturating output stage.
-                let max_acc = a.cols() as i64 * ACT_MAX as i64 * WGT_MAX as i64;
-                let shift = shift_for((max_acc / 32).max(1));
+                let shift = gemm_shift(a.cols());
                 let out_mat = match exec {
                     GemmExec::Simd(instr) => {
                         simd_macs += (a.rows() * a.cols() * wgt.cols()) as u64;
                         run_matmul_on_machine(&a, &wgt, instr, shift)
                     }
-                    GemmExec::Host => host_matmul(&a, &wgt, shift),
+                    // Host fallback: the cache-blocked kernel, itself
+                    // bit-exact against `gcd2_kernels::matmul_ref`.
+                    GemmExec::Host if mode != ExecMode::NaiveReference => {
+                        gcd2_kernels::matmul_host(&a, &wgt, shift)
+                    }
+                    GemmExec::Host => {
+                        let rows = gcd2_kernels::matmul_ref(&a, &wgt, shift);
+                        MatrixU8::from_fn(a.rows(), wgt.cols(), Layout::RowMajor, |r, c| rows[r][c])
+                    }
                 };
                 gemm_output_to_tensor(node, &out_mat)
                     .into_iter()
@@ -128,34 +167,55 @@ fn execute(compiled: &CompiledModel, input: &[u8], seed: u64, on_dsp: bool) -> (
                 if on_dsp {
                     run_elementwise_on_machine(a, b, EwProgram::Add)
                 } else {
-                    a.iter()
-                        .zip(b.iter().chain(std::iter::repeat(&0)))
-                        .map(|(&x, &y)| ((x as u16 + y as u16) / 2) as u8)
-                        .collect()
+                    let mut v = Vec::new();
+                    hostops::add_avg_into(a, b, &mut v);
+                    v
                 }
             }
             OpKind::Mul => {
                 let a = &values[&node.inputs[0]];
                 let b = &values[&node.inputs[1]];
-                let out: Vec<u8> = if on_dsp {
+                if on_dsp {
                     run_elementwise_on_machine(a, b, EwProgram::Mul)
-                } else {
-                    a.iter()
-                        .zip(b.iter().chain(std::iter::repeat(&0)))
-                        .map(|(&x, &y)| ((x as u16 * y as u16) >> 4) as u8)
+                        .into_iter()
+                        .map(|x| x.min(ACT_MAX))
                         .collect()
-                };
-                out.into_iter().map(|x| x.min(ACT_MAX)).collect()
+                } else {
+                    let mut v = Vec::new();
+                    hostops::mul_shift4_into(a, b, ACT_MAX, &mut v);
+                    v
+                }
+            }
+            OpKind::Div => {
+                let mut v = Vec::new();
+                hostops::div_lut_into(&values[&node.inputs[0]], &values[&node.inputs[1]], &mut v);
+                v
+            }
+            OpKind::Pow => {
+                let mut v = Vec::new();
+                hostops::pow_sq_into(&values[&node.inputs[0]], ACT_MAX, &mut v);
+                v
             }
             OpKind::Act(Activation::Relu) | OpKind::Act(Activation::Relu6) => {
                 values[&node.inputs[0]].clone() // u8 activations are already >= 0
             }
             OpKind::Act(Activation::HardSwish) | OpKind::Sigmoid | OpKind::Gelu => {
                 // Monotone byte lookup stand-in.
-                values[&node.inputs[0]]
-                    .iter()
-                    .map(|&x| x / 2 + x / 4)
-                    .collect()
+                let mut v = Vec::new();
+                hostops::monotone_lut_into(&values[&node.inputs[0]], &mut v);
+                v
+            }
+            OpKind::Softmax => {
+                let group = node.shape.0.last().copied().unwrap_or(1);
+                let mut v = Vec::new();
+                hostops::softmax_into(&values[&node.inputs[0]], group, ACT_MAX, &mut v);
+                v
+            }
+            OpKind::LayerNorm => {
+                let group = node.shape.0.last().copied().unwrap_or(1);
+                let mut v = Vec::new();
+                hostops::layernorm_into(&values[&node.inputs[0]], group, ACT_MAX, &mut v);
+                v
             }
             OpKind::MaxPool { kernel, stride } => {
                 pool(graph, node, &values, *kernel, *stride, true)
@@ -164,20 +224,33 @@ fn execute(compiled: &CompiledModel, input: &[u8], seed: u64, on_dsp: bool) -> (
                 pool(graph, node, &values, *kernel, *stride, false)
             }
             OpKind::GlobalAvgPool => {
-                let x = &values[&node.inputs[0]];
                 let in_shape = &graph.node(node.inputs[0]).shape;
-                let (c, hw) = (in_shape.channels(), in_shape.spatial());
-                (0..c)
-                    .map(|ch| {
-                        let sum: u32 = x[ch * hw..(ch + 1) * hw].iter().map(|&v| v as u32).sum();
-                        (sum / hw as u32) as u8
-                    })
-                    .collect()
+                let mut v = Vec::new();
+                hostops::global_avg_pool_into(
+                    &values[&node.inputs[0]],
+                    in_shape.channels(),
+                    in_shape.spatial(),
+                    &mut v,
+                );
+                v
+            }
+            OpKind::Upsample { factor } => {
+                let in_shape = &graph.node(node.inputs[0]).shape;
+                let mut v = Vec::new();
+                hostops::upsample_nn_into(
+                    &values[&node.inputs[0]],
+                    in_shape.channels(),
+                    in_shape.dim(2),
+                    in_shape.dim(3),
+                    *factor,
+                    &mut v,
+                );
+                v
             }
             OpKind::Reshape { .. } | OpKind::Transpose => values[&node.inputs[0]].clone(),
             OpKind::Concat => {
-                let mut v = values[&node.inputs[0]].clone();
-                v.extend_from_slice(&values[&node.inputs[1]]);
+                let mut v = Vec::new();
+                hostops::concat_into(&values[&node.inputs[0]], &values[&node.inputs[1]], &mut v);
                 v
             }
             other => panic!("runtime does not execute {other}"),
@@ -333,17 +406,6 @@ fn run_elementwise_on_machine(a: &[u8], b: &[u8], which: EwProgram) -> Vec<u8> {
     machine.mem[2 * padded..2 * padded + elems].to_vec()
 }
 
-/// Scalar matmul with the same requantization.
-fn host_matmul(a: &MatrixU8, wgt: &MatrixI8, shift: u8) -> MatrixU8 {
-    MatrixU8::from_fn(a.rows(), wgt.cols(), Layout::RowMajor, |r, c| {
-        let mut acc: i32 = 0;
-        for k in 0..a.cols() {
-            acc += a.get(r, k) as i32 * wgt.get(k, c) as i32;
-        }
-        (acc >> shift).clamp(0, 255) as u8
-    })
-}
-
 fn pool(
     graph: &Graph,
     node: &gcd2_cgraph::Node,
@@ -352,32 +414,18 @@ fn pool(
     stride: (usize, usize),
     is_max: bool,
 ) -> Vec<u8> {
-    let x = &values[&node.inputs[0]];
     let in_shape = &graph.node(node.inputs[0]).shape;
-    let (c, h, w) = (in_shape.channels(), in_shape.dim(2), in_shape.dim(3));
-    let out_h = (h - kernel.0) / stride.0 + 1;
-    let out_w = (w - kernel.1) / stride.1 + 1;
-    let mut out = vec![0u8; c * out_h * out_w];
-    for ch in 0..c {
-        for oy in 0..out_h {
-            for ox in 0..out_w {
-                let mut best = 0u32;
-                let mut sum = 0u32;
-                for dy in 0..kernel.0 {
-                    for dx in 0..kernel.1 {
-                        let v = x[ch * h * w + (oy * stride.0 + dy) * w + ox * stride.1 + dx];
-                        best = best.max(v as u32);
-                        sum += v as u32;
-                    }
-                }
-                out[ch * out_h * out_w + oy * out_w + ox] = if is_max {
-                    best as u8
-                } else {
-                    (sum / (kernel.0 * kernel.1) as u32) as u8
-                };
-            }
-        }
-    }
+    let mut out = Vec::new();
+    hostops::pool_into(
+        &values[&node.inputs[0]],
+        in_shape.channels(),
+        in_shape.dim(2),
+        in_shape.dim(3),
+        kernel,
+        stride,
+        is_max,
+        &mut out,
+    );
     out
 }
 
@@ -461,6 +509,18 @@ mod tests {
         }
         assert_eq!(outputs[0], outputs[1]);
         assert_eq!(outputs[1], outputs[2]);
+    }
+
+    #[test]
+    fn naive_reference_matches_blocked_reference() {
+        let g = demo_net();
+        let compiled = Compiler::new().compile(&g);
+        let input: Vec<u8> = (0..3 * 12 * 12).map(|i| (i * 3 % 16) as u8).collect();
+        assert_eq!(
+            execute_reference_naive(&compiled, &input, 7),
+            execute_reference(&compiled, &input, 7),
+            "the gold-GEMM baseline must stay bit-identical"
+        );
     }
 
     #[test]

@@ -123,6 +123,120 @@ pub fn im2col_chw(
     })
 }
 
+/// [`im2col_chw`] into a caller-provided row-major buffer — the
+/// allocation-free staging path of the inference plan executor. `out`
+/// must hold exactly `out_spatial × c·kh·kw` bytes and is fully
+/// overwritten (padding taps become 0). Contiguous kernel-row spans are
+/// copied as slices, so this is the fast path for repeated execution.
+///
+/// # Panics
+/// Panics if `input.len() != c * h * w` or `out` has the wrong length.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_rm_into(
+    input: &[u8],
+    c: usize,
+    h: usize,
+    w: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+    out: &mut [u8],
+) {
+    assert_eq!(input.len(), c * h * w, "input size mismatch");
+    let (kh, kw) = kernel;
+    let out_h = (h + 2 * padding.0 - kh) / stride.0 + 1;
+    let out_w = (w + 2 * padding.1 - kw) / stride.1 + 1;
+    let k = c * kh * kw;
+    assert_eq!(out.len(), out_h * out_w * k, "im2col buffer size mismatch");
+    out.fill(0);
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            let base = (oy * out_w + ox) * k;
+            // The dx span with in-range x: x = ox*stride - pad + dx.
+            let x0 = (ox * stride.1) as isize - padding.1 as isize;
+            let dx_lo = (-x0).max(0) as usize;
+            let dx_hi = ((w as isize - x0).max(0) as usize).min(kw);
+            for ch in 0..c {
+                for dy in 0..kh {
+                    let y = ((oy * stride.0 + dy) as isize) - padding.0 as isize;
+                    if y < 0 || y as usize >= h || dx_lo >= dx_hi {
+                        continue;
+                    }
+                    let src = ch * h * w + y as usize * w + (x0 + dx_lo as isize) as usize;
+                    let dst = base + ch * kh * kw + dy * kw;
+                    out[dst + dx_lo..dst + dx_hi]
+                        .copy_from_slice(&input[src..src + (dx_hi - dx_lo)]);
+                }
+            }
+        }
+    }
+}
+
+/// Direct depthwise convolution with one shared `kh·kw` filter column —
+/// the runtime's block-diagonal depthwise GEMM collapsed back into a
+/// sliding-window loop. Bit-identical to staging per-channel im2col rows
+/// and multiplying by the `k × 1` weight matrix (`i32` accumulation is
+/// order-independent and padding taps contribute zero), but with no
+/// staging buffer and no per-row GEMM dispatch. `out` is resized to
+/// `out_len` (≤ `c·oh·ow`; the runtime truncates to the node's element
+/// count).
+///
+/// # Panics
+/// Panics if `input.len() != c * h * w` or `weights.len() != kh * kw`.
+#[allow(clippy::too_many_arguments)]
+pub fn dwconv_direct_into(
+    input: &[u8],
+    c: usize,
+    h: usize,
+    w: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+    weights: &[i8],
+    shift: u8,
+    act_max: u8,
+    out_len: usize,
+    out: &mut Vec<u8>,
+) {
+    assert_eq!(input.len(), c * h * w, "input size mismatch");
+    let (kh, kw) = kernel;
+    assert_eq!(weights.len(), kh * kw, "weight size mismatch");
+    let out_h = (h + 2 * padding.0 - kh) / stride.0 + 1;
+    let out_w = (w + 2 * padding.1 - kw) / stride.1 + 1;
+    out.clear();
+    out.resize(out_len, 0);
+    let mut r = 0usize;
+    'rows: for ch in 0..c {
+        let chan = &input[ch * h * w..(ch + 1) * h * w];
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                if r >= out_len {
+                    break 'rows;
+                }
+                let mut acc: i32 = 0;
+                let x0 = (ox * stride.1) as isize - padding.1 as isize;
+                for dy in 0..kh {
+                    let y = (oy * stride.0 + dy) as isize - padding.0 as isize;
+                    if y < 0 || y as usize >= h {
+                        continue;
+                    }
+                    let row = &chan[y as usize * w..(y as usize + 1) * w];
+                    let wrow = &weights[dy * kw..(dy + 1) * kw];
+                    for (dx, &wv) in wrow.iter().enumerate() {
+                        let x = x0 + dx as isize;
+                        if x < 0 || x as usize >= w {
+                            continue;
+                        }
+                        acc += row[x as usize] as i32 * wv as i32;
+                    }
+                }
+                out[r] = ((acc >> shift).clamp(0, 255) as u8).min(act_max);
+                r += 1;
+            }
+        }
+    }
+}
+
 /// The GEMM weight matrix of a convolution: `C·kh·kw × out_c`, with the
 /// same column order [`im2col_chw`] produces.
 pub fn conv_weights_as_gemm(
@@ -224,6 +338,101 @@ mod tests {
             for o in 0..out_h * out_w {
                 assert_eq!(got[o][oc], expect[oc * out_h * out_w + o], "oc={oc} o={o}");
             }
+        }
+    }
+
+    #[test]
+    fn im2col_into_matches_matrix_im2col() {
+        // The buffer-reusing row-major path must produce byte-identical
+        // staging to the matrix-building reference, including padding
+        // and strides.
+        for &(c, h, w_dim, kernel, stride, padding) in &[
+            (3usize, 6usize, 5usize, (3, 3), (1, 1), (1, 1)),
+            (2, 9, 7, (3, 3), (2, 2), (1, 1)),
+            (4, 8, 8, (1, 1), (1, 1), (0, 0)),
+            (1, 5, 11, (5, 3), (2, 1), (2, 0)),
+        ] {
+            let input: Vec<u8> = (0..c * h * w_dim).map(|i| 1 + (i % 15) as u8).collect();
+            let m = im2col_chw(
+                &input,
+                c,
+                h,
+                w_dim,
+                kernel,
+                stride,
+                padding,
+                Layout::RowMajor,
+            );
+            let mut buf = vec![0xAA; m.rows() * m.cols()];
+            im2col_rm_into(&input, c, h, w_dim, kernel, stride, padding, &mut buf);
+            assert_eq!(buf, m.as_bytes(), "c={c} h={h} w={w_dim} k={kernel:?}");
+        }
+    }
+
+    #[test]
+    fn dwconv_direct_matches_im2col_gemm() {
+        // The direct sliding-window path must be bit-identical to the
+        // block-diagonal im2col + k×1 GEMM lowering it replaces.
+        for &(c, h, w_dim, kernel, stride, padding) in &[
+            (3usize, 8usize, 8usize, (3, 3), (1, 1), (1, 1)),
+            (2, 9, 7, (3, 3), (2, 2), (1, 1)),
+            (4, 10, 6, (5, 5), (1, 1), (2, 2)),
+            (1, 5, 5, (2, 2), (2, 2), (0, 0)),
+        ] {
+            let (kh, kw) = kernel;
+            let input: Vec<u8> = (0..c * h * w_dim).map(|i| (i % 16) as u8).collect();
+            let weights: Vec<i8> = (0..kh * kw).map(|i| ((i % 5) as i8) - 2).collect();
+            let out_h = (h + 2 * padding.0 - kh) / stride.0 + 1;
+            let out_w = (w_dim + 2 * padding.1 - kw) / stride.1 + 1;
+            let (m, k) = (c * out_h * out_w, kh * kw);
+            // Reference: per-channel im2col rows × k×1 weights.
+            let mut a = vec![0u8; m * k];
+            for ch in 0..c {
+                im2col_rm_into(
+                    &input[ch * h * w_dim..(ch + 1) * h * w_dim],
+                    1,
+                    h,
+                    w_dim,
+                    kernel,
+                    stride,
+                    padding,
+                    &mut a[ch * out_h * out_w * k..(ch + 1) * out_h * out_w * k],
+                );
+            }
+            let wmat = MatrixI8::from_fn(k, 1, |kk, _| weights[kk]);
+            let mut gemm_out = Vec::new();
+            crate::tiled::matmul_blocked_into(
+                &a,
+                m,
+                k,
+                &wmat,
+                3,
+                &mut crate::tiled::GemmScratch::default(),
+                &mut gemm_out,
+            );
+            let expect: Vec<u8> = gemm_out.iter().map(|&v| v.min(15)).collect();
+            let mut got = Vec::new();
+            dwconv_direct_into(
+                &input, c, h, w_dim, kernel, stride, padding, &weights, 3, 15, m, &mut got,
+            );
+            assert_eq!(got, expect, "c={c} h={h} w={w_dim} k={kernel:?}");
+            // Truncated output lengths match the runtime's clipping.
+            let mut short = Vec::new();
+            dwconv_direct_into(
+                &input,
+                c,
+                h,
+                w_dim,
+                kernel,
+                stride,
+                padding,
+                &weights,
+                3,
+                15,
+                m / 2,
+                &mut short,
+            );
+            assert_eq!(short, expect[..m / 2]);
         }
     }
 

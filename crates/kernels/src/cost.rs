@@ -32,6 +32,30 @@ enum CostKey {
     DwVtmpy(usize, usize),
 }
 
+/// A shareable handle to a cost-model memo table.
+///
+/// Cached cycle counts are pure functions of their structural keys
+/// (GEMM dims + instruction + unroll, elementwise kind + size) *given a
+/// fixed packer configuration*, so a cache may outlive any single
+/// [`CostModel`] and be rethreaded into fresh models — e.g. a `Compiler`
+/// keeping its cache warm across `compile` calls. Holders must drop the
+/// cache whenever the packer configuration (resource model, scheduling
+/// policy) changes, since that changes the cycle values.
+#[derive(Debug, Default, Clone)]
+pub struct CostCache(Arc<ShardedMap<CostKey, u64>>);
+
+impl CostCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative hit/miss counters over the cache's lifetime.
+    pub fn stats(&self) -> CacheStats {
+        self.0.stats()
+    }
+}
+
 /// Cycle cost model backed by kernel generation + SDA packing, with
 /// memoization.
 ///
@@ -58,6 +82,14 @@ impl CostModel {
             packer,
             cache: Arc::new(ShardedMap::new()),
         }
+    }
+
+    /// Rethreads this model onto a shared [`CostCache`], e.g. one kept
+    /// warm across compiles. The caller is responsible for only sharing
+    /// caches between models with identical packer configurations.
+    pub fn with_cache(mut self, cache: &CostCache) -> Self {
+        self.cache = cache.0.clone();
+        self
     }
 
     /// The packer used for scheduling.

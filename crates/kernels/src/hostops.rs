@@ -1,0 +1,252 @@
+//! Host-side scalar semantics of the non-GEMM operators.
+//!
+//! The functional runtime has two execution paths — the node-by-node
+//! interpreter (`gcd2::runtime`) and the precompiled inference plan
+//! (`gcd2::infer`) — that must stay **bit-identical**. Every non-GEMM
+//! operator's arithmetic therefore lives here, once, as `_into` kernels
+//! writing into caller-owned buffers (so the plan executor allocates
+//! nothing in steady state).
+//!
+//! The quantization convention is the runtime's: activations live in a
+//! small range `0..=act_max` (4 bits in practice), and each kernel's
+//! epilogue keeps its output inside that range. Where two operands can
+//! have different lengths, the second is zero-extended and the output
+//! takes the first operand's length, matching the interpreter's
+//! historical behaviour.
+
+/// Elementwise average: `out[i] = (a[i] + b[i]) / 2`, with `b`
+/// zero-extended to `a`'s length.
+pub fn add_avg_into(a: &[u8], b: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.extend(
+        a.iter()
+            .zip(b.iter().chain(std::iter::repeat(&0)))
+            .map(|(&x, &y)| ((x as u16 + y as u16) / 2) as u8),
+    );
+}
+
+/// Elementwise product with a 4-bit requantization shift:
+/// `out[i] = min((a[i] · b[i]) >> 4, act_max)`, `b` zero-extended.
+pub fn mul_shift4_into(a: &[u8], b: &[u8], act_max: u8, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend(
+        a.iter()
+            .zip(b.iter().chain(std::iter::repeat(&0)))
+            .map(|(&x, &y)| (((x as u16 * y as u16) >> 4) as u8).min(act_max)),
+    );
+}
+
+/// Elementwise division through the reciprocal lookup convention:
+/// `out[i] = a[i] / (b[i] + 1)` (the `+1` keeps the table total and the
+/// result inside the activation range), `b` zero-extended.
+pub fn div_lut_into(a: &[u8], b: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.extend(
+        a.iter()
+            .zip(b.iter().chain(std::iter::repeat(&0)))
+            .map(|(&x, &y)| x / (y as u16 + 1) as u8),
+    );
+}
+
+/// Elementwise square with a 4-bit requantization shift:
+/// `out[i] = min((x · x) >> 4, act_max)` — the `Pow` operator's
+/// fixed-exponent instantiation.
+pub fn pow_sq_into(x: &[u8], act_max: u8, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend(
+        x.iter()
+            .map(|&v| (((v as u16 * v as u16) >> 4) as u8).min(act_max)),
+    );
+}
+
+/// The monotone byte-lookup stand-in used for HardSwish/Sigmoid/GELU:
+/// `out[i] = x/2 + x/4`.
+pub fn monotone_lut_into(x: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.extend(x.iter().map(|&v| v / 2 + v / 4));
+}
+
+/// Softmax over contiguous groups of `group` elements, renormalized into
+/// the activation range: `out[i] = x[i] · act_max / max(Σ_group x, 1)`.
+/// Monotone within each group and bounded by `act_max`.
+pub fn softmax_into(x: &[u8], group: usize, act_max: u8, out: &mut Vec<u8>) {
+    let group = group.max(1);
+    out.clear();
+    out.reserve(x.len());
+    for chunk in x.chunks(group) {
+        let sum: u32 = chunk.iter().map(|&v| v as u32).sum();
+        let sum = sum.max(1);
+        out.extend(
+            chunk
+                .iter()
+                .map(|&v| (v as u32 * act_max as u32 / sum) as u8),
+        );
+    }
+}
+
+/// Layer normalization over contiguous groups of `group` elements:
+/// mean-center and re-bias to the middle of the activation range,
+/// `out[i] = clamp(x[i] - mean + (act_max + 1)/2, 0, act_max)`.
+pub fn layernorm_into(x: &[u8], group: usize, act_max: u8, out: &mut Vec<u8>) {
+    let group = group.max(1);
+    let mid = (act_max as i32 + 1) / 2;
+    out.clear();
+    out.reserve(x.len());
+    for chunk in x.chunks(group) {
+        let sum: u32 = chunk.iter().map(|&v| v as u32).sum();
+        let mean = (sum / chunk.len() as u32) as i32;
+        out.extend(
+            chunk
+                .iter()
+                .map(|&v| (v as i32 - mean + mid).clamp(0, act_max as i32) as u8),
+        );
+    }
+}
+
+/// 2-D max/average pooling over a CHW map (no padding).
+#[allow(clippy::too_many_arguments)]
+pub fn pool_into(
+    x: &[u8],
+    c: usize,
+    h: usize,
+    w: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    is_max: bool,
+    out: &mut Vec<u8>,
+) {
+    let out_h = (h - kernel.0) / stride.0 + 1;
+    let out_w = (w - kernel.1) / stride.1 + 1;
+    out.clear();
+    out.resize(c * out_h * out_w, 0);
+    for ch in 0..c {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let mut best = 0u32;
+                let mut sum = 0u32;
+                for dy in 0..kernel.0 {
+                    for dx in 0..kernel.1 {
+                        let v = x[ch * h * w + (oy * stride.0 + dy) * w + ox * stride.1 + dx];
+                        best = best.max(v as u32);
+                        sum += v as u32;
+                    }
+                }
+                out[ch * out_h * out_w + oy * out_w + ox] = if is_max {
+                    best as u8
+                } else {
+                    (sum / (kernel.0 * kernel.1) as u32) as u8
+                };
+            }
+        }
+    }
+}
+
+/// Global average pooling: one mean per channel over `hw` spatial
+/// elements.
+pub fn global_avg_pool_into(x: &[u8], c: usize, hw: usize, out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(c);
+    for ch in 0..c {
+        let sum: u32 = x[ch * hw..(ch + 1) * hw].iter().map(|&v| v as u32).sum();
+        out.push((sum / hw as u32) as u8);
+    }
+}
+
+/// Nearest-neighbour spatial upsampling of a CHW map by an integer
+/// `factor` in both dimensions.
+pub fn upsample_nn_into(x: &[u8], c: usize, h: usize, w: usize, factor: usize, out: &mut Vec<u8>) {
+    let (oh, ow) = (h * factor, w * factor);
+    out.clear();
+    out.resize(c * oh * ow, 0);
+    for ch in 0..c {
+        for oy in 0..oh {
+            let src_row = &x[ch * h * w + (oy / factor) * w..][..w];
+            let dst_row = &mut out[ch * oh * ow + oy * ow..][..ow];
+            for (ox, d) in dst_row.iter_mut().enumerate() {
+                *d = src_row[ox / factor];
+            }
+        }
+    }
+}
+
+/// Concatenation: `a` followed by `b` (channel concat for CHW tensors).
+pub fn concat_into(a: &[u8], b: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    out.extend_from_slice(a);
+    out.extend_from_slice(b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACT_MAX: u8 = 15;
+
+    #[test]
+    fn add_zero_extends_and_averages() {
+        let mut out = Vec::new();
+        add_avg_into(&[4, 8, 15], &[4], &mut out);
+        assert_eq!(out, vec![4, 4, 7]);
+    }
+
+    #[test]
+    fn mul_requantizes_and_clamps() {
+        let mut out = Vec::new();
+        mul_shift4_into(&[15, 15, 2], &[15, 0, 8], ACT_MAX, &mut out);
+        assert_eq!(out, vec![14, 0, 1]);
+    }
+
+    #[test]
+    fn div_is_bounded_by_numerator() {
+        let mut out = Vec::new();
+        div_lut_into(&[15, 9, 6], &[0, 2, 100], &mut out);
+        assert_eq!(out, vec![15, 3, 0]);
+    }
+
+    #[test]
+    fn softmax_groups_stay_in_range_and_monotone() {
+        let x: Vec<u8> = vec![1, 5, 15, 0, 0, 0, 0, 3];
+        let mut out = Vec::new();
+        softmax_into(&x, 4, ACT_MAX, &mut out);
+        assert_eq!(out.len(), x.len());
+        assert!(out.iter().all(|&v| v <= ACT_MAX));
+        assert!(out[0] <= out[1] && out[1] <= out[2]);
+        // All-zero group divides by the clamped sum of 1.
+        assert_eq!(&out[4..7], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn layernorm_centers_groups() {
+        let mut out = Vec::new();
+        layernorm_into(&[0, 15, 5, 10], 2, ACT_MAX, &mut out);
+        assert!(out.iter().all(|&v| v <= ACT_MAX));
+        // Mean of each pair maps to the mid-point bias of 8.
+        assert_eq!(out, vec![1, 15, 6, 11]);
+    }
+
+    #[test]
+    fn upsample_replicates_nearest() {
+        let mut out = Vec::new();
+        upsample_nn_into(&[1, 2, 3, 4], 1, 2, 2, 2, &mut out);
+        assert_eq!(out, vec![1, 1, 2, 2, 1, 1, 2, 2, 3, 3, 4, 4, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn pool_matches_hand_computed() {
+        let x = [1u8, 3, 2, 4, 5, 7, 6, 8, 0, 0, 0, 0, 4, 4, 4, 4];
+        let mut max = Vec::new();
+        pool_into(&x, 2, 2, 4, (2, 2), (2, 2), true, &mut max);
+        assert_eq!(max, vec![7, 8, 4, 4]);
+        let mut avg = Vec::new();
+        pool_into(&x, 2, 2, 4, (2, 2), (2, 2), false, &mut avg);
+        assert_eq!(avg, vec![4, 5, 2, 2]);
+    }
+
+    #[test]
+    fn global_avg_pool_per_channel() {
+        let mut out = Vec::new();
+        global_avg_pool_into(&[2, 4, 6, 8, 1, 1, 1, 1], 2, 4, &mut out);
+        assert_eq!(out, vec![5, 1]);
+    }
+}

@@ -25,19 +25,23 @@
 pub mod conv;
 pub mod cost;
 pub mod elementwise;
+pub mod hostops;
 pub mod instr;
 pub mod matmul;
 pub mod reference;
+pub mod tiled;
 pub mod unroll;
 
 pub use conv::{
-    conv_ref_chw, conv_weights_as_gemm, depthwise_vtmpy_blocks, im2col_chw, im2col_overhead_cycles,
+    conv_ref_chw, conv_weights_as_gemm, depthwise_vtmpy_blocks, dwconv_direct_into, im2col_chw,
+    im2col_overhead_cycles, im2col_rm_into,
 };
-pub use cost::{CostModel, KERNEL_DISPATCH_CYCLES};
+pub use cost::{CostCache, CostModel, KERNEL_DISPATCH_CYCLES};
 pub use elementwise::{elementwise_blocks, EwKind};
 pub use instr::SimdInstr;
 pub use matmul::{functional_program, gemm_loops, output_matrix_len, timing_blocks, GemmLoops};
 pub use reference::{add_ref, matmul_ref, mul_ref};
+pub use tiled::{matmul_blocked_into, matmul_host, GemmScratch};
 pub use unroll::{
     adaptive_unroll, candidates, classify_output, OutputShapeClass, UnrollConfig, UnrollStrategy,
     UNROLL_CANDIDATES,

@@ -204,6 +204,11 @@ impl MatrixI8 {
         self.data[r * self.cols + c]
     }
 
+    /// The raw row-major storage (`rows * cols` values, no padding).
+    pub fn as_slice(&self) -> &[i8] {
+        &self.data
+    }
+
     /// Writes element `(r, c)`.
     pub fn set(&mut self, r: usize, c: usize, x: i8) {
         self.data[r * self.cols + c] = x;

@@ -1,0 +1,93 @@
+//! The inference runtime's hard guarantees, mirrored from the compile
+//! side: for catalog models, the precompiled plan's **batched, parallel**
+//! execution is bit-identical to the node-by-node interpreter reference,
+//! per input, at every thread count (including the `GCD2_THREADS`/
+//! default-parallelism session configuration).
+
+use gcd2_repro::compiler::{execute_reference, Compiler};
+use gcd2_repro::models::ModelId;
+use gcd2_repro::par::default_threads;
+
+const SEED: u64 = 0xBA7C4;
+
+/// Thread counts under test: serial, small, and the session default
+/// (available parallelism or `GCD2_THREADS`).
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, default_threads().max(4)];
+    counts.dedup();
+    counts
+}
+
+fn batch_inputs(len: usize, batch: usize) -> Vec<Vec<u8>> {
+    (0..batch)
+        .map(|b| {
+            (0..len)
+                .map(|i| ((i * 11 + 5 * (b + 1)) % 16) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the batch-vs-interpreter check for one model.
+fn check_model(id: ModelId, batch: usize, thread_counts: &[usize]) {
+    let graph = id.build();
+    let compiled = Compiler::new().compile(&graph);
+    let plan = compiled.inference_plan(SEED);
+    let inputs = batch_inputs(plan.input_len(), batch);
+
+    // Per-input interpreter references.
+    let references: Vec<Vec<u8>> = inputs
+        .iter()
+        .map(|input| execute_reference(&compiled, input, SEED))
+        .collect();
+
+    for &threads in thread_counts {
+        let outs = plan.execute_batch(&inputs, threads);
+        assert_eq!(outs.len(), references.len(), "{id}: output count");
+        for (i, (out, reference)) in outs.iter().zip(&references).enumerate() {
+            assert_eq!(
+                out, reference,
+                "{id}: batch output {i} diverges from the interpreter at {threads} threads"
+            );
+        }
+    }
+}
+
+/// The fast default subset spans the operator vocabulary: depthwise +
+/// squeeze-excite CNN, transformer (LayerNorm/Softmax/Div/Pow), and the
+/// multi-scale detector (Upsample/Concat).
+#[test]
+fn batch_execution_matches_interpreter_on_core_models() {
+    for id in [
+        ModelId::MobileNetV3,
+        ModelId::TinyBert,
+        ModelId::EfficientDetD0,
+    ] {
+        check_model(id, 4, &thread_counts());
+    }
+}
+
+/// The whole catalog, including the two >100-GMAC models — run with
+/// `cargo test -- --ignored` (minutes of wall clock).
+#[test]
+#[ignore = "full catalog takes minutes; run with --ignored"]
+fn batch_execution_matches_interpreter_on_every_catalog_model() {
+    for id in ModelId::ALL {
+        check_model(id, 2, &[1, 4]);
+    }
+}
+
+/// Reused arenas across different inputs never leak state between
+/// inferences, and repeated batches are reproducible.
+#[test]
+fn repeated_batches_are_reproducible() {
+    let graph = ModelId::MobileNetV3.build();
+    let compiled = Compiler::new().compile(&graph);
+    let plan = compiled.inference_plan(SEED);
+    let inputs = batch_inputs(plan.input_len(), 6);
+    let first = plan.execute_batch(&inputs, 4);
+    let second = plan.execute_batch(&inputs, 2);
+    assert_eq!(first, second, "batch results must not depend on history");
+    // Single-shot execution through a fresh arena agrees with the batch.
+    assert_eq!(first[0], plan.execute(&inputs[0]));
+}
