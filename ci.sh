@@ -18,6 +18,13 @@ cargo run --release -q -p gcd2-bench --bin compile_time -- --smoke
 echo "==> inference-throughput bench smoke (BENCH_infer.json, bit-identical check)"
 cargo run --release -q -p gcd2-bench --bin infer_throughput -- --smoke
 
+echo "==> chaos suite (fault injection, two fixed fault seeds)"
+GCD2_CHAOS_SEED=2024 cargo test -q --features fault-injection --test chaos
+GCD2_CHAOS_SEED=7 cargo test -q --features fault-injection --test chaos
+
+echo "==> clippy unwrap/expect deny gate (gcd2 + gcd2-globalopt lib paths)"
+cargo clippy -q -p gcd2 -p gcd2-globalopt --lib -- -D warnings
+
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -q -- -D warnings
 

@@ -7,9 +7,54 @@
 //! so the graph is a DAG by construction and node ids are already a
 //! topological order.
 
-use crate::op::{Activation, OpKind};
+use crate::op::{Activation, OpKind, ShapeError};
 use crate::shape::{GemmDims, TShape};
 use std::fmt;
+
+/// Why [`Graph::try_add`] rejected a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphBuildError {
+    /// An input id refers to a node that has not been added yet
+    /// (construction must be topological).
+    UnknownInput {
+        /// Name of the node being added.
+        node: String,
+        /// The out-of-range input id.
+        input: NodeId,
+        /// Current node count (valid ids are below this).
+        len: usize,
+    },
+    /// Shape inference rejected the operator application.
+    Shape {
+        /// Name of the node being added.
+        node: String,
+        /// The underlying shape error.
+        error: ShapeError,
+    },
+}
+
+impl fmt::Display for GraphBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphBuildError::UnknownInput { node, input, len } => {
+                write!(
+                    f,
+                    "node '{node}': input {input} does not exist (graph has {len} nodes)"
+                )
+            }
+            GraphBuildError::Shape { node, error } => write!(f, "node '{node}': {error}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphBuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphBuildError::Shape { error, .. } => Some(error),
+            GraphBuildError::UnknownInput { .. } => None,
+        }
+    }
+}
 
 /// Identifier of a node within one [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -74,14 +119,42 @@ impl Graph {
     ///
     /// # Panics
     /// Panics if an input id does not exist yet (construction must be
-    /// topological) or shape inference fails.
+    /// topological) or shape inference fails. Programmatic model builders
+    /// use this; untrusted sources go through [`Graph::try_add`].
     pub fn add(&mut self, kind: OpKind, inputs: &[NodeId], name: impl Into<String>) -> NodeId {
-        for i in inputs {
-            assert!(i.0 < self.nodes.len(), "input {i} does not exist");
+        match self.try_add(kind, inputs, name) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Adds an operator node with full validation: every input id must
+    /// already exist and shape inference must accept the application.
+    /// On error the graph is unchanged.
+    pub fn try_add(
+        &mut self,
+        kind: OpKind,
+        inputs: &[NodeId],
+        name: impl Into<String>,
+    ) -> Result<NodeId, GraphBuildError> {
+        let name = name.into();
+        for &i in inputs {
+            if i.0 >= self.nodes.len() {
+                return Err(GraphBuildError::UnknownInput {
+                    node: name,
+                    input: i,
+                    len: self.nodes.len(),
+                });
+            }
         }
         let shapes: Vec<&TShape> = inputs.iter().map(|i| &self.nodes[i.0].shape).collect();
-        let shape = kind.infer_shape(&shapes);
-        self.push_node(kind, inputs.to_vec(), shape, name.into())
+        let shape = kind
+            .try_infer_shape(&shapes)
+            .map_err(|error| GraphBuildError::Shape {
+                node: name.clone(),
+                error,
+            })?;
+        Ok(self.push_node(kind, inputs.to_vec(), shape, name))
     }
 
     fn push_node(

@@ -27,8 +27,8 @@ pub mod rewrite;
 pub mod serial;
 pub mod shape;
 
-pub use graph::{Graph, Node, NodeId};
-pub use op::{Activation, OpKind};
+pub use graph::{Graph, GraphBuildError, Node, NodeId};
+pub use op::{Activation, OpKind, ShapeError};
 pub use rewrite::{
     eliminate_identity_reshapes, fold_constants, fuse_activations, fuse_elementwise_activations,
     optimize,

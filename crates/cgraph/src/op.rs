@@ -3,6 +3,107 @@
 use crate::shape::{GemmDims, TShape};
 use std::fmt;
 
+/// Why shape inference rejected an operator application.
+///
+/// Returned by [`OpKind::try_infer_shape`] so untrusted graph sources
+/// (e.g. the text deserializer) surface malformed operators as errors
+/// instead of panics. All arithmetic behind these checks is `checked_*`,
+/// so absurd dimensions report [`ShapeError::Overflow`] rather than
+/// wrapping or aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// `Input`/`Constant` carry explicit shapes; nothing to infer.
+    SourceOp,
+    /// Wrong number of inputs for the operator.
+    Arity {
+        /// Operator display name.
+        op: String,
+        /// Human-readable expected count ("1", "2", "1 or 2").
+        expected: &'static str,
+        /// Inputs actually supplied.
+        got: usize,
+    },
+    /// An input tensor has the wrong rank.
+    Rank {
+        /// Operator display name.
+        op: String,
+        /// Required rank (minimum, for `at_least == true`).
+        expected: usize,
+        /// Rank actually supplied.
+        got: usize,
+        /// Whether `expected` is a lower bound rather than exact.
+        at_least: bool,
+    },
+    /// A structural attribute (kernel, stride, output channels, …) is
+    /// zero where the operator needs it positive.
+    ZeroAttr {
+        /// Operator display name.
+        op: String,
+        /// Which attribute was zero.
+        attr: &'static str,
+    },
+    /// A pooling/convolution window extends past the (padded) input.
+    WindowExceedsInput {
+        /// Operator display name.
+        op: String,
+        /// Window extent along the offending axis.
+        window: usize,
+        /// Padded input extent along that axis.
+        input: usize,
+    },
+    /// Dimension arithmetic overflowed `usize`.
+    Overflow {
+        /// Operator display name.
+        op: String,
+    },
+    /// Inputs are structurally incompatible (broadcast, concat, reshape
+    /// element-count, …).
+    Mismatch {
+        /// Operator display name.
+        op: String,
+        /// What failed to line up.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::SourceOp => write!(f, "source ops have explicit shapes"),
+            ShapeError::Arity { op, expected, got } => {
+                write!(f, "{op}: expected {expected} input(s), got {got}")
+            }
+            ShapeError::Rank {
+                op,
+                expected,
+                got,
+                at_least,
+            } => {
+                let bound = if *at_least { "at least " } else { "" };
+                write!(f, "{op}: expected input rank {bound}{expected}, got {got}")
+            }
+            ShapeError::ZeroAttr { op, attr } => {
+                write!(f, "{op}: attribute '{attr}' must be positive")
+            }
+            ShapeError::WindowExceedsInput { op, window, input } => {
+                write!(
+                    f,
+                    "{op}: window {window} exceeds padded input extent {input}"
+                )
+            }
+            ShapeError::Overflow { op } => write!(f, "{op}: dimension arithmetic overflows"),
+            ShapeError::Mismatch { op, detail } => write!(f, "{op}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Element count with overflow detection (`TShape::elems` is unchecked).
+fn checked_elems(s: &TShape) -> Option<usize> {
+    s.0.iter().try_fold(1usize, |acc, &d| acc.checked_mul(d))
+}
+
 /// Activation functions fusable into a producing operator (graph-level
 /// fusion inherited from the PatDNN-style framework GCD2 builds on).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,12 +246,77 @@ impl OpKind {
     /// Output shape given input shapes.
     ///
     /// # Panics
-    /// Panics if the input count or ranks do not match the operator.
+    /// Panics if [`try_infer_shape`](Self::try_infer_shape) rejects the
+    /// application — use that directly for untrusted input.
     pub fn infer_shape(&self, inputs: &[&TShape]) -> TShape {
-        match self {
-            OpKind::Input | OpKind::Constant => {
-                panic!("source ops have explicit shapes")
+        match self.try_infer_shape(inputs) {
+            Ok(shape) => shape,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Output shape given input shapes, with full validation.
+    ///
+    /// Checks arity, rank, positive structural attributes, window fit,
+    /// broadcast/concat/reshape compatibility; all dimension arithmetic
+    /// is overflow-checked. This is the entry point for graphs built
+    /// from untrusted sources (see [`crate::serial::from_text`]).
+    pub fn try_infer_shape(&self, inputs: &[&TShape]) -> Result<TShape, ShapeError> {
+        let op = || self.to_string();
+        let overflow = || ShapeError::Overflow { op: op() };
+        // Arity first, so per-op code can index inputs freely.
+        let (lo, hi, label): (usize, usize, &'static str) = match self {
+            OpKind::Input | OpKind::Constant => return Err(ShapeError::SourceOp),
+            OpKind::Add | OpKind::Mul | OpKind::Div | OpKind::Concat => (2, 2, "2"),
+            // Pow with one input raises to an implicit constant exponent;
+            // MatMul multiplies by implicit weights; BatchMatMul can take
+            // either an implicit or an explicit second operand.
+            OpKind::Pow => (1, 2, "1 or 2"),
+            OpKind::MatMul { .. } | OpKind::BatchMatMul { .. } => (1, 2, "1 or 2"),
+            _ => (1, 1, "1"),
+        };
+        if inputs.len() < lo || inputs.len() > hi {
+            return Err(ShapeError::Arity {
+                op: op(),
+                expected: label,
+                got: inputs.len(),
+            });
+        }
+        let want_rank = |s: &TShape, expected: usize| -> Result<(), ShapeError> {
+            if s.rank() != expected {
+                return Err(ShapeError::Rank {
+                    op: op(),
+                    expected,
+                    got: s.rank(),
+                    at_least: false,
+                });
             }
+            Ok(())
+        };
+        let positive = |v: usize, attr: &'static str| -> Result<(), ShapeError> {
+            if v == 0 {
+                return Err(ShapeError::ZeroAttr { op: op(), attr });
+            }
+            Ok(())
+        };
+        // Output extent of a sliding window: (in + 2*pad - k) / s + 1.
+        let window_out =
+            |input: usize, pad: usize, k: usize, s: usize| -> Result<usize, ShapeError> {
+                let padded = pad
+                    .checked_mul(2)
+                    .and_then(|p| input.checked_add(p))
+                    .ok_or_else(overflow)?;
+                let span = padded
+                    .checked_sub(k)
+                    .ok_or(ShapeError::WindowExceedsInput {
+                        op: op(),
+                        window: k,
+                        input: padded,
+                    })?;
+                Ok(span / s + 1)
+            };
+        match self {
+            OpKind::Input | OpKind::Constant => Err(ShapeError::SourceOp),
             OpKind::Conv2d {
                 out_channels,
                 kernel,
@@ -158,10 +324,13 @@ impl OpKind {
                 padding,
             } => {
                 let x = inputs[0];
-                assert_eq!(x.rank(), 4);
-                let h = (x.dim(2) + 2 * padding.0 - kernel.0) / stride.0 + 1;
-                let w = (x.dim(3) + 2 * padding.1 - kernel.1) / stride.1 + 1;
-                TShape::nchw(x.dim(0), *out_channels, h, w)
+                want_rank(x, 4)?;
+                positive(*out_channels, "out_channels")?;
+                positive(kernel.0.min(kernel.1), "kernel")?;
+                positive(stride.0.min(stride.1), "stride")?;
+                let h = window_out(x.dim(2), padding.0, kernel.0, stride.0)?;
+                let w = window_out(x.dim(3), padding.1, kernel.1, stride.1)?;
+                Ok(TShape::nchw(x.dim(0), *out_channels, h, w))
             }
             OpKind::DepthwiseConv2d {
                 kernel,
@@ -169,10 +338,12 @@ impl OpKind {
                 padding,
             } => {
                 let x = inputs[0];
-                assert_eq!(x.rank(), 4);
-                let h = (x.dim(2) + 2 * padding.0 - kernel.0) / stride.0 + 1;
-                let w = (x.dim(3) + 2 * padding.1 - kernel.1) / stride.1 + 1;
-                TShape::nchw(x.dim(0), x.dim(1), h, w)
+                want_rank(x, 4)?;
+                positive(kernel.0.min(kernel.1), "kernel")?;
+                positive(stride.0.min(stride.1), "stride")?;
+                let h = window_out(x.dim(2), padding.0, kernel.0, stride.0)?;
+                let w = window_out(x.dim(3), padding.1, kernel.1, stride.1)?;
+                Ok(TShape::nchw(x.dim(0), x.dim(1), h, w))
             }
             OpKind::ConvTranspose2d {
                 out_channels,
@@ -180,62 +351,130 @@ impl OpKind {
                 ..
             } => {
                 let x = inputs[0];
-                assert_eq!(x.rank(), 4);
-                TShape::nchw(
-                    x.dim(0),
-                    *out_channels,
-                    x.dim(2) * stride.0,
-                    x.dim(3) * stride.1,
-                )
+                want_rank(x, 4)?;
+                positive(*out_channels, "out_channels")?;
+                positive(stride.0.min(stride.1), "stride")?;
+                let h = x.dim(2).checked_mul(stride.0).ok_or_else(overflow)?;
+                let w = x.dim(3).checked_mul(stride.1).ok_or_else(overflow)?;
+                Ok(TShape::nchw(x.dim(0), *out_channels, h, w))
             }
-            OpKind::MatMul { n } => {
+            OpKind::MatMul { n } | OpKind::BatchMatMul { n } => {
                 let x = inputs[0];
+                if x.rank() == 0 {
+                    return Err(ShapeError::Rank {
+                        op: op(),
+                        expected: 1,
+                        got: 0,
+                        at_least: true,
+                    });
+                }
+                positive(*n, "n")?;
+                // The GEMM view divides by the reduction depth (the last
+                // input dimension); a zero there is structurally void.
                 let mut dims = x.0.clone();
                 let last = dims.len() - 1;
+                positive(dims[last], "reduction depth")?;
                 dims[last] = *n;
-                TShape(dims)
+                Ok(TShape(dims))
             }
-            OpKind::BatchMatMul { n } => {
-                let x = inputs[0];
-                let mut dims = x.0.clone();
-                let last = dims.len() - 1;
-                dims[last] = *n;
-                TShape(dims)
+            OpKind::Add | OpKind::Mul | OpKind::Div | OpKind::Pow => {
+                if inputs.len() == 1 {
+                    // Unary Pow: shape passes through.
+                    return Ok(inputs[0].clone());
+                }
+                let (a, b) = (inputs[0], inputs[1]);
+                if a.rank() != b.rank() {
+                    return Err(ShapeError::Mismatch {
+                        op: op(),
+                        detail: format!("operand ranks differ: {a} vs {b}"),
+                    });
+                }
+                // Broadcast-lenient: dims must match or one side is 1
+                // (channel-wise scales like squeeze-excite's [1,C,1,1]).
+                for (da, db) in a.0.iter().zip(&b.0) {
+                    if da != db && *da != 1 && *db != 1 {
+                        return Err(ShapeError::Mismatch {
+                            op: op(),
+                            detail: format!("operand shapes not broadcastable: {a} vs {b}"),
+                        });
+                    }
+                }
+                Ok(a.clone())
             }
-            OpKind::Add | OpKind::Mul | OpKind::Div | OpKind::Pow => inputs[0].clone(),
             OpKind::Act(_)
             | OpKind::Sigmoid
             | OpKind::Softmax
             | OpKind::LayerNorm
-            | OpKind::Gelu => inputs[0].clone(),
+            | OpKind::Gelu => Ok(inputs[0].clone()),
             OpKind::MaxPool { kernel, stride } | OpKind::AvgPool { kernel, stride } => {
                 let x = inputs[0];
-                assert_eq!(x.rank(), 4);
-                let h = (x.dim(2) - kernel.0) / stride.0 + 1;
-                let w = (x.dim(3) - kernel.1) / stride.1 + 1;
-                TShape::nchw(x.dim(0), x.dim(1), h, w)
+                want_rank(x, 4)?;
+                positive(kernel.0.min(kernel.1), "kernel")?;
+                positive(stride.0.min(stride.1), "stride")?;
+                let h = window_out(x.dim(2), 0, kernel.0, stride.0)?;
+                let w = window_out(x.dim(3), 0, kernel.1, stride.1)?;
+                Ok(TShape::nchw(x.dim(0), x.dim(1), h, w))
             }
             OpKind::GlobalAvgPool => {
                 let x = inputs[0];
-                TShape::nchw(x.dim(0), x.dim(1), 1, 1)
+                want_rank(x, 4)?;
+                Ok(TShape::nchw(x.dim(0), x.dim(1), 1, 1))
             }
             OpKind::Upsample { factor } => {
                 let x = inputs[0];
-                TShape::nchw(x.dim(0), x.dim(1), x.dim(2) * factor, x.dim(3) * factor)
+                want_rank(x, 4)?;
+                positive(*factor, "factor")?;
+                let h = x.dim(2).checked_mul(*factor).ok_or_else(overflow)?;
+                let w = x.dim(3).checked_mul(*factor).ok_or_else(overflow)?;
+                Ok(TShape::nchw(x.dim(0), x.dim(1), h, w))
             }
-            OpKind::Reshape { shape } => shape.clone(),
+            OpKind::Reshape { shape } => {
+                let x = inputs[0];
+                let from = checked_elems(x).ok_or_else(overflow)?;
+                let to = checked_elems(shape).ok_or_else(overflow)?;
+                if from != to {
+                    return Err(ShapeError::Mismatch {
+                        op: op(),
+                        detail: format!(
+                            "reshape changes element count: {x} ({from}) vs {shape} ({to})"
+                        ),
+                    });
+                }
+                Ok(shape.clone())
+            }
             OpKind::Transpose => {
                 let x = inputs[0];
                 let mut dims = x.0.clone();
                 dims.reverse();
-                TShape(dims)
+                Ok(TShape(dims))
             }
             OpKind::Concat => {
                 let (a, b) = (inputs[0], inputs[1]);
-                assert_eq!(a.rank(), b.rank());
+                if a.rank() != b.rank() {
+                    return Err(ShapeError::Mismatch {
+                        op: op(),
+                        detail: format!("operand ranks differ: {a} vs {b}"),
+                    });
+                }
+                if a.rank() < 2 {
+                    return Err(ShapeError::Rank {
+                        op: op(),
+                        expected: 2,
+                        got: a.rank(),
+                        at_least: true,
+                    });
+                }
+                for (i, (da, db)) in a.0.iter().zip(&b.0).enumerate() {
+                    if i != 1 && da != db {
+                        return Err(ShapeError::Mismatch {
+                            op: op(),
+                            detail: format!("non-channel dims differ: {a} vs {b}"),
+                        });
+                    }
+                }
                 let mut dims = a.0.clone();
-                dims[1] += b.dim(1);
-                TShape(dims)
+                dims[1] = dims[1].checked_add(b.dim(1)).ok_or_else(overflow)?;
+                Ok(TShape(dims))
             }
         }
     }
@@ -451,5 +690,84 @@ mod tests {
         let a = TShape::nchw(1, 16, 8, 8);
         let b = TShape::nchw(1, 24, 8, 8);
         assert_eq!(op.infer_shape(&[&a, &b]), TShape::nchw(1, 40, 8, 8));
+    }
+
+    #[test]
+    fn try_infer_rejects_bad_arity_and_ranks() {
+        let conv = OpKind::Conv2d {
+            out_channels: 8,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        };
+        let x = TShape::nchw(1, 3, 8, 8);
+        assert!(matches!(
+            conv.try_infer_shape(&[]),
+            Err(ShapeError::Arity { .. })
+        ));
+        assert!(matches!(
+            conv.try_infer_shape(&[&TShape::new(vec![8, 8])]),
+            Err(ShapeError::Rank { .. })
+        ));
+        assert!(conv.try_infer_shape(&[&x]).is_ok());
+        assert!(matches!(
+            OpKind::Input.try_infer_shape(&[]),
+            Err(ShapeError::SourceOp)
+        ));
+    }
+
+    #[test]
+    fn try_infer_rejects_degenerate_attributes() {
+        let x = TShape::nchw(1, 3, 8, 8);
+        let zero_stride = OpKind::Conv2d {
+            out_channels: 8,
+            kernel: (3, 3),
+            stride: (0, 1),
+            padding: (1, 1),
+        };
+        assert!(matches!(
+            zero_stride.try_infer_shape(&[&x]),
+            Err(ShapeError::ZeroAttr { attr: "stride", .. })
+        ));
+        let wide = OpKind::MaxPool {
+            kernel: (9, 9),
+            stride: (1, 1),
+        };
+        assert!(matches!(
+            wide.try_infer_shape(&[&x]),
+            Err(ShapeError::WindowExceedsInput { .. })
+        ));
+        let blow_up = OpKind::Upsample { factor: usize::MAX };
+        assert!(matches!(
+            blow_up.try_infer_shape(&[&x]),
+            Err(ShapeError::Overflow { .. })
+        ));
+    }
+
+    #[test]
+    fn elementwise_broadcast_rules() {
+        let full = TShape::nchw(1, 32, 8, 8);
+        let scale = TShape::nchw(1, 32, 1, 1);
+        let other = TShape::nchw(1, 16, 8, 8);
+        assert_eq!(OpKind::Mul.try_infer_shape(&[&full, &scale]).unwrap(), full);
+        assert_eq!(OpKind::Add.try_infer_shape(&[&full, &full]).unwrap(), full);
+        assert!(matches!(
+            OpKind::Add.try_infer_shape(&[&full, &other]),
+            Err(ShapeError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reshape_preserves_element_count() {
+        let op = OpKind::Reshape {
+            shape: TShape::new(vec![4, 48]),
+        };
+        let ok = TShape::nchw(1, 3, 8, 8);
+        assert!(op.try_infer_shape(&[&ok]).is_ok());
+        let bad = TShape::nchw(1, 3, 8, 9);
+        assert!(matches!(
+            op.try_infer_shape(&[&bad]),
+            Err(ShapeError::Mismatch { .. })
+        ));
     }
 }

@@ -218,10 +218,17 @@ fn parse_kind(tokens: &[&str]) -> Result<OpKind, String> {
 
 /// Parses the textual form back into a graph (shapes are re-inferred and
 /// must match what the serializer recorded).
+///
+/// The text is treated as untrusted: every structural defect — bad
+/// syntax, unknown mnemonics, duplicate or dangling names, operators
+/// whose shapes do not validate — is reported as a [`ParseGraphError`]
+/// with its line number. No input text panics this function; graph
+/// construction goes through [`Graph::try_add`].
 pub fn from_text(text: &str) -> Result<Graph, ParseGraphError> {
     let mut graph = Graph::new();
     let mut by_name: HashMap<String, NodeId> = HashMap::new();
     for (idx, raw) in text.lines().enumerate() {
+        let _ = gcd2_faults::fire("parse.line");
         let line = raw.trim();
         let lineno = idx + 1;
         let err = |message: String| ParseGraphError {
@@ -231,18 +238,27 @@ pub fn from_text(text: &str) -> Result<Graph, ParseGraphError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        let declare = |by_name: &mut HashMap<String, NodeId>,
+                       name: &str,
+                       id: NodeId|
+         -> Result<(), ParseGraphError> {
+            if by_name.insert(name.to_string(), id).is_some() {
+                return Err(err(format!("duplicate node name '{name}'")));
+            }
+            Ok(())
+        };
         if let Some(rest) = line.strip_prefix("input ") {
             let (name, shape) = rest
                 .split_once(' ')
                 .ok_or_else(|| err("bad input line".into()))?;
             let id = graph.input(name, parse_shape(shape.trim()).map_err(err)?);
-            by_name.insert(name.to_string(), id);
+            declare(&mut by_name, name, id)?;
         } else if let Some(rest) = line.strip_prefix("const ") {
             let (name, shape) = rest
                 .split_once(' ')
                 .ok_or_else(|| err("bad const line".into()))?;
             let id = graph.constant(name, parse_shape(shape.trim()).map_err(err)?);
-            by_name.insert(name.to_string(), id);
+            declare(&mut by_name, name, id)?;
         } else if let Some(rest) = line.strip_prefix("op ") {
             let (decl, deps) = rest
                 .split_once("<-")
@@ -262,8 +278,10 @@ pub fn from_text(text: &str) -> Result<Graph, ParseGraphError> {
                         .ok_or_else(|| err(format!("unknown input '{n}'")))
                 })
                 .collect();
-            let id = graph.add(kind, &inputs?, name);
-            by_name.insert(name.to_string(), id);
+            let id = graph
+                .try_add(kind, &inputs?, name)
+                .map_err(|e| err(e.to_string()))?;
+            declare(&mut by_name, name, id)?;
         } else {
             return Err(err(format!("unrecognized line '{line}'")));
         }
@@ -301,5 +319,36 @@ op pool maxpool k=2x2 s=2x2 <- sum
     fn bad_mnemonic_reports_line() {
         let err = from_text("input x [4]\nop y warp <- x").unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn duplicate_names_are_an_error() {
+        let err = from_text("input x [4]\ninput x [8]").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("duplicate"));
+        let err = from_text("input x [4]\nop x add <- x, x").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn invalid_shapes_are_errors_not_panics() {
+        // Kernel larger than the padded input.
+        let err =
+            from_text("input x [1x3x4x4]\nop c conv2d out=8 k=9x9 s=1x1 p=0x0 <- x").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("exceeds"), "{}", err.message);
+        // Zero stride would divide by zero.
+        assert!(from_text("input x [1x3x8x8]\nop c conv2d out=8 k=3x3 s=0x0 p=1x1 <- x").is_err());
+        // Rank-0 matmul input would underflow the dims index.
+        assert!(from_text("input x []\nop m matmul n=4 <- x").is_err());
+        // Conv over a rank-2 tensor.
+        assert!(from_text("input x [8x8]\nop c conv2d out=8 k=3x3 s=1x1 p=1x1 <- x").is_err());
+        // Dimension products that overflow usize.
+        assert!(from_text("input x [1x3x8x8]\nop u upsample f=18446744073709551615 <- x").is_err());
+        // Reshape that changes the element count.
+        assert!(from_text("input x [1x3x8x8]\nop r reshape to=[1x3x8x9] <- x").is_err());
+        // Elementwise over incompatible shapes.
+        assert!(from_text("input a [1x3x8x8]\ninput b [1x4x8x8]\nop s add <- a, b").is_err());
     }
 }

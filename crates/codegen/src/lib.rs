@@ -18,8 +18,59 @@ use gcd2_kernels::{
 use gcd2_par::CacheStats;
 use gcd2_tensor::transform_block;
 use gcd2_vliw::Packer;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Why [`try_lower`] failed.
+#[derive(Debug, Clone)]
+pub enum LowerError {
+    /// The assignment's choice vector does not cover the graph.
+    AssignmentMismatch {
+        /// Nodes in the graph.
+        graph_nodes: usize,
+        /// Entries in the assignment.
+        choices: usize,
+    },
+    /// A worker thread panicked while lowering and the serial retry
+    /// panicked again (a persistent fault, not a transient one).
+    Worker(gcd2_par::WorkerPanic),
+    /// The in-lowering verifier rejected the emitted program.
+    Verify {
+        /// Error-level diagnostics found.
+        errors: usize,
+        /// The rendered verifier report.
+        report: String,
+    },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::AssignmentMismatch {
+                graph_nodes,
+                choices,
+            } => write!(
+                f,
+                "assignment must cover the graph ({graph_nodes} nodes, {choices} choices)"
+            ),
+            LowerError::Worker(p) => write!(f, "lowering worker failed: {p}"),
+            LowerError::Verify { errors, report } => write!(
+                f,
+                "verifier rejected the lowered program ({errors} errors):\n{report}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LowerError::Worker(p) => Some(p),
+            _ => None,
+        }
+    }
+}
 
 /// How blocks are scheduled into packets.
 #[derive(Debug, Clone, Default)]
@@ -251,10 +302,16 @@ fn lower_node(
 
     // The operator's own kernels.
     let mut kernel_blocks: Vec<Block> = Vec::new();
-    if node.kind.is_gemm_like() {
+    if node.kind.is_gemm_like() && !matches!(plan.kind, PlanKind::Passthrough) {
         match plan.kind {
             PlanKind::Gemm(instr) => {
-                let gemm = graph.gemm_dims(node.id).expect("gemm dims");
+                let Some(gemm) = graph.gemm_dims(node.id) else {
+                    unreachable!(
+                        "plan enumeration only assigns GEMM plans to nodes with a GEMM view \
+                         (node {} has none)",
+                        node.id
+                    );
+                };
                 let kernel = match node.kind {
                     OpKind::Conv2d { kernel, .. } | OpKind::DepthwiseConv2d { kernel, .. } => {
                         kernel
@@ -274,7 +331,9 @@ fn lower_node(
                 };
                 kernel_blocks.extend(depthwise_vtmpy_blocks(node.shape.elems(), kh));
             }
-            PlanKind::Passthrough => unreachable!("gemm-like ops never get passthrough plans"),
+            PlanKind::Passthrough => {
+                unreachable!("passthrough plans are routed to the elementwise path above")
+            }
         }
         // Fused non-ReLU activations add a nonlinearity pass:
         // lookup-based when the optimization is on, scalar otherwise.
@@ -333,18 +392,37 @@ fn lower_node(
 /// assembled program.
 ///
 /// # Panics
-/// Panics if the assignment does not cover the graph.
+/// Panics if the assignment does not cover the graph, a lowering
+/// worker fails persistently, or the verifier rejects the program.
+/// [`try_lower`] is the non-panicking form.
 pub fn lower(
     graph: &Graph,
     plans: &PlanSet,
     assignment: &Assignment,
     options: &LowerOptions,
 ) -> LoweredModel {
-    assert_eq!(
-        assignment.choice.len(),
-        graph.len(),
-        "assignment must cover the graph"
-    );
+    match try_lower(graph, plans, assignment, options) {
+        Ok(model) => model,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`lower`]: returns a [`LowerError`] instead of
+/// panicking on bad input, persistent worker faults, or verifier
+/// rejection. Transient worker panics are retried serially and do not
+/// surface as errors.
+pub fn try_lower(
+    graph: &Graph,
+    plans: &PlanSet,
+    assignment: &Assignment,
+    options: &LowerOptions,
+) -> Result<LoweredModel, LowerError> {
+    if assignment.choice.len() != graph.len() {
+        return Err(LowerError::AssignmentMismatch {
+            graph_nodes: graph.len(),
+            choices: assignment.choice.len(),
+        });
+    }
     let ctx = PackCtx::new(options);
     let op_nodes: Vec<&Node> = graph
         .nodes()
@@ -352,9 +430,10 @@ pub fn lower(
         .filter(|n| !matches!(n.kind, OpKind::Input | OpKind::Constant))
         .collect();
     let lowered: Vec<(Vec<PackedBlock>, OpReport)> =
-        gcd2_par::par_map(options.threads, &op_nodes, |_, node| {
+        gcd2_par::try_par_map(options.threads, &op_nodes, |_, node| {
             lower_node(graph, plans, assignment, options, &ctx, node)
-        });
+        })
+        .map_err(LowerError::Worker)?;
 
     let mut program = Program::new();
     let mut reports = Vec::with_capacity(lowered.len());
@@ -377,20 +456,21 @@ pub fn lower(
         let t0 = Instant::now();
         let report = gcd2_verify::verify_all(graph, plans, assignment, &program, &options.resource);
         verify_cpu = t0.elapsed();
-        assert_eq!(
-            report.error_count(),
-            0,
-            "verifier rejected the lowered program:\n{report}"
-        );
+        if report.error_count() != 0 {
+            return Err(LowerError::Verify {
+                errors: report.error_count(),
+                report: report.to_string(),
+            });
+        }
     }
 
-    LoweredModel {
+    Ok(LoweredModel {
         program,
         reports,
         pack_cpu: Duration::from_nanos(ctx.pack_nanos.load(Ordering::Relaxed)),
         verify_cpu,
         pack_memo: ctx.memo_stats(),
-    }
+    })
 }
 
 #[cfg(test)]

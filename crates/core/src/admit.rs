@@ -1,0 +1,282 @@
+//! Graph admission checks.
+//!
+//! The fallible compilation entry points run these structural checks
+//! *before* any solver or lowering work, so a hostile or corrupted
+//! graph (e.g. one deserialized from untrusted text) is rejected with a
+//! structured [`AdmissionError`] instead of panicking deep inside plan
+//! enumeration or the partitioning heuristic.
+
+use std::fmt;
+
+use gcd2_cgraph::Graph;
+
+/// Size ceilings enforced at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionLimits {
+    /// Maximum nodes (operators + inputs + constants) per graph.
+    pub max_nodes: usize,
+    /// Maximum elements in any single tensor.
+    pub max_tensor_elems: usize,
+    /// Maximum summed elements across all node output tensors.
+    pub max_total_elems: u64,
+    /// Maximum tensor rank.
+    pub max_rank: usize,
+}
+
+impl Default for AdmissionLimits {
+    fn default() -> Self {
+        // Generous for real mobile models (the paper's largest catalog
+        // entries are a few hundred operators over megabyte tensors)
+        // while cheap to check and small enough that an adversarial
+        // graph cannot drive the solver into pathological memory use.
+        AdmissionLimits {
+            max_nodes: 100_000,
+            max_tensor_elems: 1 << 32,
+            max_total_elems: 1 << 40,
+            max_rank: 8,
+        }
+    }
+}
+
+/// Why a graph was rejected at admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The graph has no nodes at all.
+    EmptyGraph,
+    /// More nodes than [`AdmissionLimits::max_nodes`].
+    TooManyNodes {
+        /// Nodes in the graph.
+        nodes: usize,
+        /// The enforced ceiling.
+        limit: usize,
+    },
+    /// A node's tensor has a zero dimension.
+    ZeroDim {
+        /// Offending node id.
+        node: usize,
+        /// The node's name.
+        name: String,
+    },
+    /// A node's tensor rank exceeds [`AdmissionLimits::max_rank`].
+    RankTooLarge {
+        /// Offending node id.
+        node: usize,
+        /// Observed rank.
+        rank: usize,
+        /// The enforced ceiling.
+        limit: usize,
+    },
+    /// A single tensor exceeds [`AdmissionLimits::max_tensor_elems`].
+    TensorTooLarge {
+        /// Offending node id.
+        node: usize,
+        /// Elements in the tensor.
+        elems: usize,
+        /// The enforced ceiling.
+        limit: usize,
+    },
+    /// The summed tensor footprint exceeds
+    /// [`AdmissionLimits::max_total_elems`] (or overflows).
+    GraphTooLarge {
+        /// The enforced ceiling.
+        limit: u64,
+    },
+    /// A node references an input id that does not exist.
+    DanglingEdge {
+        /// The referencing node.
+        node: usize,
+        /// The nonexistent input id.
+        input: usize,
+    },
+    /// A node references itself or a later node — node ids must be a
+    /// topological order, so this edge would close a cycle.
+    BackEdge {
+        /// The referencing node.
+        node: usize,
+        /// The non-earlier input id.
+        input: usize,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::EmptyGraph => write!(f, "graph has no nodes"),
+            AdmissionError::TooManyNodes { nodes, limit } => {
+                write!(f, "graph has {nodes} nodes (limit {limit})")
+            }
+            AdmissionError::ZeroDim { node, name } => {
+                write!(f, "node {node} ({name}) has a zero-sized dimension")
+            }
+            AdmissionError::RankTooLarge { node, rank, limit } => {
+                write!(f, "node {node} has rank {rank} (limit {limit})")
+            }
+            AdmissionError::TensorTooLarge { node, elems, limit } => {
+                write!(f, "node {node} tensor has {elems} elements (limit {limit})")
+            }
+            AdmissionError::GraphTooLarge { limit } => {
+                write!(f, "summed tensor footprint exceeds {limit} elements")
+            }
+            AdmissionError::DanglingEdge { node, input } => {
+                write!(f, "node {node} reads nonexistent node {input}")
+            }
+            AdmissionError::BackEdge { node, input } => write!(
+                f,
+                "node {node} reads node {input}, which is not earlier in \
+                 topological order (cycle or self-loop)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Checks `graph` against the default [`AdmissionLimits`].
+pub fn admit(graph: &Graph) -> Result<(), AdmissionError> {
+    admit_with(graph, &AdmissionLimits::default())
+}
+
+/// Checks `graph` against explicit `limits`. Runs in one linear pass;
+/// the first violation (in node order) is reported.
+pub fn admit_with(graph: &Graph, limits: &AdmissionLimits) -> Result<(), AdmissionError> {
+    let nodes = graph.nodes();
+    if nodes.is_empty() {
+        return Err(AdmissionError::EmptyGraph);
+    }
+    if nodes.len() > limits.max_nodes {
+        return Err(AdmissionError::TooManyNodes {
+            nodes: nodes.len(),
+            limit: limits.max_nodes,
+        });
+    }
+    let mut total: u64 = 0;
+    for node in nodes {
+        let id = node.id.0;
+        if node.shape.rank() > limits.max_rank {
+            return Err(AdmissionError::RankTooLarge {
+                node: id,
+                rank: node.shape.rank(),
+                limit: limits.max_rank,
+            });
+        }
+        if node.shape.0.contains(&0) {
+            return Err(AdmissionError::ZeroDim {
+                node: id,
+                name: node.name.clone(),
+            });
+        }
+        let elems = node
+            .shape
+            .0
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .unwrap_or(usize::MAX);
+        if elems > limits.max_tensor_elems {
+            return Err(AdmissionError::TensorTooLarge {
+                node: id,
+                elems,
+                limit: limits.max_tensor_elems,
+            });
+        }
+        total = total.saturating_add(elems as u64);
+        if total > limits.max_total_elems {
+            return Err(AdmissionError::GraphTooLarge {
+                limit: limits.max_total_elems,
+            });
+        }
+        for &input in &node.inputs {
+            if input.0 >= nodes.len() {
+                return Err(AdmissionError::DanglingEdge {
+                    node: id,
+                    input: input.0,
+                });
+            }
+            if input.0 >= id {
+                return Err(AdmissionError::BackEdge {
+                    node: id,
+                    input: input.0,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcd2_cgraph::{OpKind, TShape};
+
+    #[test]
+    fn well_formed_graphs_are_admitted() {
+        let mut g = Graph::new();
+        let x = g.input("x", TShape::nchw(1, 8, 4, 4));
+        g.add(OpKind::Act(gcd2_cgraph::Activation::Relu), &[x], "relu");
+        assert!(admit(&g).is_ok());
+    }
+
+    #[test]
+    fn empty_graphs_are_rejected() {
+        assert_eq!(admit(&Graph::new()), Err(AdmissionError::EmptyGraph));
+    }
+
+    #[test]
+    fn size_limits_are_enforced() {
+        let mut g = Graph::new();
+        g.input("x", TShape(vec![1, 1 << 20, 1 << 13]));
+        match admit(&g) {
+            Err(AdmissionError::TensorTooLarge { .. }) => {}
+            other => panic!("expected TensorTooLarge, got {other:?}"),
+        }
+
+        let mut g = Graph::new();
+        for i in 0..64 {
+            g.input(format!("x{i}"), TShape(vec![1 << 18, 1 << 13]));
+        }
+        match admit_with(
+            &g,
+            &AdmissionLimits {
+                max_total_elems: 1 << 36,
+                ..AdmissionLimits::default()
+            },
+        ) {
+            Err(AdmissionError::GraphTooLarge { .. }) => {}
+            other => panic!("expected GraphTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_count_and_rank_limits_are_enforced() {
+        let mut g = Graph::new();
+        g.input("x", TShape(vec![1; 9]));
+        match admit(&g) {
+            Err(AdmissionError::RankTooLarge { rank: 9, .. }) => {}
+            other => panic!("expected RankTooLarge, got {other:?}"),
+        }
+
+        let mut g = Graph::new();
+        for i in 0..5 {
+            g.input(format!("x{i}"), TShape(vec![4]));
+        }
+        match admit_with(
+            &g,
+            &AdmissionLimits {
+                max_nodes: 4,
+                ..AdmissionLimits::default()
+            },
+        ) {
+            Err(AdmissionError::TooManyNodes { nodes: 5, limit: 4 }) => {}
+            other => panic!("expected TooManyNodes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_dims_are_rejected() {
+        let mut g = Graph::new();
+        g.input("x", TShape(vec![1, 0, 4]));
+        match admit(&g) {
+            Err(AdmissionError::ZeroDim { node: 0, .. }) => {}
+            other => panic!("expected ZeroDim, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Structured compiler errors.
+//!
+//! [`Gcd2Error`] is the single error type of the fallible compilation
+//! entry points ([`crate::Compiler::try_compile`] and friends). Every
+//! way a compile can fail — malformed serialized text, an inadmissible
+//! graph, a persistently faulting worker, a verifier rejection, or a
+//! defect inside the compiler itself — maps to one variant, so callers
+//! embedding the compiler never have to `catch_unwind` around it.
+
+use std::fmt;
+
+use gcd2_cgraph::{GraphBuildError, ParseGraphError};
+use gcd2_codegen::LowerError;
+use gcd2_par::WorkerPanic;
+
+pub use crate::admit::AdmissionError;
+
+/// Why a fallible compilation entry point failed.
+#[derive(Debug, Clone)]
+pub enum Gcd2Error {
+    /// The serialized graph text did not parse
+    /// ([`gcd2_cgraph::from_text`]).
+    Parse(ParseGraphError),
+    /// A graph edit was structurally invalid (unknown input id or a
+    /// shape-inference failure).
+    Build(GraphBuildError),
+    /// The graph parsed and built but fails the compiler's admission
+    /// checks (size limits, degenerate shapes, dangling edges).
+    Admission(AdmissionError),
+    /// A compilation worker thread panicked and the serial retry
+    /// panicked again — a persistent fault, not a transient one.
+    Worker(WorkerPanic),
+    /// Lowering failed (bad assignment, persistent worker fault, or the
+    /// static verifier rejected the emitted program).
+    Lower(LowerError),
+    /// The compiler itself panicked. The pipeline runs under a panic
+    /// guard, so internal defects surface here instead of unwinding
+    /// through the caller.
+    Internal {
+        /// The captured panic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for Gcd2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gcd2Error::Parse(e) => write!(f, "graph text rejected: {e}"),
+            Gcd2Error::Build(e) => write!(f, "graph construction failed: {e}"),
+            Gcd2Error::Admission(e) => write!(f, "graph rejected at admission: {e}"),
+            Gcd2Error::Worker(e) => write!(f, "compilation worker failed: {e}"),
+            Gcd2Error::Lower(e) => write!(f, "lowering failed: {e}"),
+            Gcd2Error::Internal { message } => {
+                write!(f, "internal compiler error (caught panic): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Gcd2Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Gcd2Error::Parse(e) => Some(e),
+            Gcd2Error::Build(e) => Some(e),
+            Gcd2Error::Admission(e) => Some(e),
+            Gcd2Error::Worker(e) => Some(e),
+            Gcd2Error::Lower(e) => Some(e),
+            Gcd2Error::Internal { .. } => None,
+        }
+    }
+}
+
+impl From<ParseGraphError> for Gcd2Error {
+    fn from(e: ParseGraphError) -> Self {
+        Gcd2Error::Parse(e)
+    }
+}
+
+impl From<GraphBuildError> for Gcd2Error {
+    fn from(e: GraphBuildError) -> Self {
+        Gcd2Error::Build(e)
+    }
+}
+
+impl From<AdmissionError> for Gcd2Error {
+    fn from(e: AdmissionError) -> Self {
+        Gcd2Error::Admission(e)
+    }
+}
+
+impl From<WorkerPanic> for Gcd2Error {
+    fn from(e: WorkerPanic) -> Self {
+        Gcd2Error::Worker(e)
+    }
+}
+
+impl From<LowerError> for Gcd2Error {
+    fn from(e: LowerError) -> Self {
+        Gcd2Error::Lower(e)
+    }
+}

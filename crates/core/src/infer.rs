@@ -215,7 +215,10 @@ impl InferencePlan {
                 uses[i.0] += 1;
             }
         }
-        let output_id = nodes.last().expect("non-empty graph").id;
+        let Some(output_node) = nodes.last() else {
+            unreachable!("guarded by the non-empty assert above");
+        };
+        let output_id = output_node.id;
         uses[output_id.0] += 1; // the model output is never freed
 
         let mut steps: Vec<Step> = Vec::with_capacity(nodes.len());
@@ -313,7 +316,9 @@ impl InferencePlan {
                 }
                 OpKind::MatMul { n } | OpKind::BatchMatMul { n } => {
                     let s = in_shape();
-                    let k = *s.0.last().expect("matmul input has a last dim");
+                    // Shape inference admits matmul inputs of rank >= 1
+                    // only, so a last dim always exists.
+                    let k = s.0.last().copied().unwrap_or(1);
                     let m = s.elems() / k;
                     let weights =
                         MatrixI8::from_fn(k, *n, |kk, nn| weight(seed, node.id, kk * n + nn));
@@ -450,7 +455,8 @@ impl InferencePlan {
             });
         }
 
-        let output_len = steps.last().expect("non-empty plan").out_len;
+        // One step per node and the graph is non-empty.
+        let output_len = steps.last().map(|s| s.out_len).unwrap_or(0);
         InferencePlan {
             steps,
             slot_sizes,
@@ -555,14 +561,19 @@ impl InferencePlan {
     pub fn execute_batch(&self, inputs: &[Vec<u8>], threads: usize) -> Vec<Vec<u8>> {
         let arenas: Mutex<Vec<InferArena>> = Mutex::new(Vec::new());
         gcd2_par::par_map(threads, inputs, |_, input| {
+            // Pooled arenas are interchangeable scratch buffers, so a
+            // pool poisoned by a panicking sibling stays usable.
             let mut arena = arenas
                 .lock()
-                .expect("arena pool")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .pop()
                 .unwrap_or_else(|| self.new_arena());
             let mut out = Vec::new();
             self.execute_into(input, &mut arena, &mut out);
-            arenas.lock().expect("arena pool").push(arena);
+            arenas
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(arena);
             out
         })
     }

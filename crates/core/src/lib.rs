@@ -35,10 +35,16 @@
 //! assert!(gcd2.latency_ms() > 0.0);
 //! ```
 
+// Robustness gate: public compiler paths must not contain bare
+// unwrap/expect — user-reachable failures return `Gcd2Error`, true
+// invariants use `unreachable!` with a descriptive message. Test code
+// is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use gcd2_cgraph::Graph;
-use gcd2_codegen::{lower, LowerOptions, LoweredModel, PackMode};
+use gcd2_codegen::{try_lower, LowerOptions, LoweredModel, PackMode};
 use gcd2_globalopt::{
-    enumerate_plans_threaded, exhaustive, gcd2_select_threaded, local_optimal, pbqp_select,
+    exhaustive, gcd2_select_budgeted, local_optimal, pbqp_select, try_enumerate_plans_threaded,
     Assignment, PlanSet,
 };
 use gcd2_hvx::{EnergyModel, ExecStats, CLOCK_HZ};
@@ -46,12 +52,18 @@ use gcd2_kernels::{CostCache, CostModel, SimdInstr};
 use gcd2_par::CacheStats;
 use gcd2_vliw::Packer;
 use std::borrow::Cow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-pub use gcd2_codegen::PackMode as Packing;
+pub use gcd2_codegen::{LowerError, PackMode as Packing};
+pub use gcd2_globalopt::{CompileBudget, DegradeEvent, DegradeReason, Rung};
 
+pub mod admit;
+pub mod error;
 pub mod infer;
 pub mod runtime;
+pub use admit::{admit, admit_with, AdmissionError, AdmissionLimits};
+pub use error::Gcd2Error;
 pub use infer::{InferArena, InferReport, InferencePlan, OpTiming};
 pub use runtime::{execute_on_dsp, execute_reference, execute_reference_naive};
 
@@ -94,6 +106,7 @@ pub struct Compiler {
     resource: gcd2_hvx::ResourceModel,
     threads: usize,
     pack_memo: bool,
+    budget: CompileBudget,
     /// Kernel-cost cache persisted across compiles of this compiler (and
     /// shared by its clones): recompiles and structurally similar models
     /// run warm. Reset whenever a knob that changes cost *values*
@@ -114,6 +127,7 @@ impl Compiler {
             resource: gcd2_hvx::ResourceModel::default(),
             threads: gcd2_par::default_threads(),
             pack_memo: true,
+            budget: CompileBudget::default(),
             cost_cache: CostCache::new(),
         }
     }
@@ -131,6 +145,7 @@ impl Compiler {
             resource: gcd2_hvx::ResourceModel::default(),
             threads: gcd2_par::default_threads(),
             pack_memo: true,
+            budget: CompileBudget::default(),
             cost_cache: CostCache::new(),
         }
     }
@@ -163,6 +178,22 @@ impl Compiler {
     pub fn with_selection(mut self, selection: Selection) -> Self {
         self.selection = selection;
         self
+    }
+
+    /// Sets the compile budget. When the GCD2 selection strategy blows
+    /// the budget it degrades along a deterministic ladder —
+    /// GCD2(17) → GCD2(13) → chain DP → greedy — and records each step
+    /// as a [`DegradeEvent`] in the [`CompileReport`]. The default
+    /// budget has no deadline and a state cap high enough that catalog
+    /// models never degrade.
+    pub fn with_budget(mut self, budget: CompileBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The compile budget in force.
+    pub fn budget(&self) -> CompileBudget {
+        self.budget
     }
 
     /// Sets the packing mode. Kernel cycle costs depend on the packing
@@ -245,11 +276,39 @@ impl Compiler {
         CostModel::with_packer(base_packer).with_cache(&self.cost_cache)
     }
 
-    /// Runs the configured selection strategy.
-    fn assign(&self, graph: &Graph, plans: &PlanSet) -> Assignment {
+    /// Runs the configured selection strategy under the compile budget.
+    /// Returns the assignment, the degradation events (empty unless the
+    /// GCD2 ladder had to back off), and the rung that produced the
+    /// result (None for non-GCD2 strategies).
+    fn try_assign(
+        &self,
+        graph: &Graph,
+        plans: &PlanSet,
+    ) -> Result<(Assignment, Vec<DegradeEvent>, Option<Rung>), Gcd2Error> {
         match self.selection {
             Selection::Gcd2 { max_ops } => {
-                gcd2_select_threaded(graph, plans, max_ops, self.threads)
+                let sel = gcd2_select_budgeted(graph, plans, max_ops, self.threads, self.budget)
+                    .map_err(Gcd2Error::Worker)?;
+                Ok((sel.assignment, sel.degrade, Some(sel.rung)))
+            }
+            other => Ok((
+                self.assign_unbudgeted(graph, plans, other),
+                Vec::new(),
+                None,
+            )),
+        }
+    }
+
+    /// The non-GCD2 selection strategies (no budget ladder applies).
+    fn assign_unbudgeted(
+        &self,
+        graph: &Graph,
+        plans: &PlanSet,
+        selection: Selection,
+    ) -> Assignment {
+        match selection {
+            Selection::Gcd2 { max_ops } => {
+                gcd2_globalopt::gcd2_select_threaded(graph, plans, max_ops, self.threads)
             }
             Selection::LocalOptimal => local_optimal(graph, plans),
             Selection::Pbqp => pbqp_select(graph, plans),
@@ -291,19 +350,84 @@ impl Compiler {
     pub fn select<'g>(&self, graph: &'g Graph) -> (Cow<'g, Graph>, PlanSet, Assignment) {
         let graph = self.rewrite(graph);
         let model = self.cost_model();
-        let plans = enumerate_plans_threaded(&graph, &model, self.lut_ops, self.threads);
-        let assignment = self.assign(&graph, &plans);
+        let plans = match try_enumerate_plans_threaded(&graph, &model, self.lut_ops, self.threads) {
+            Ok(plans) => plans,
+            Err(e) => panic!("{e}"),
+        };
+        let assignment = match self.try_assign(&graph, &plans) {
+            Ok((assignment, _, _)) => assignment,
+            Err(e) => panic!("{e}"),
+        };
         (graph, plans, assignment)
     }
 
     /// Compiles a model end to end.
+    ///
+    /// # Panics
+    /// Panics on any compilation failure; [`Compiler::try_compile`] is
+    /// the non-panicking form.
     pub fn compile(&self, graph: &Graph) -> CompiledModel {
         self.compile_timed(graph).0
     }
 
     /// Compiles a model end to end and reports per-stage wall-clock
     /// timings plus cache statistics alongside the compiled model.
+    ///
+    /// # Panics
+    /// Panics on any compilation failure; [`Compiler::try_compile_timed`]
+    /// is the non-panicking form.
     pub fn compile_timed(&self, graph: &Graph) -> (CompiledModel, CompileReport) {
+        match self.try_compile_timed(graph) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible end-to-end compilation: the compiled model alone.
+    pub fn try_compile(&self, graph: &Graph) -> Result<CompiledModel, Gcd2Error> {
+        self.try_compile_timed(graph).map(|(compiled, _)| compiled)
+    }
+
+    /// Parses serialized graph text ([`gcd2_cgraph::from_text`]) and
+    /// compiles it. Malformed or hostile text yields a structured
+    /// [`Gcd2Error`], never a panic.
+    pub fn try_compile_text(
+        &self,
+        text: &str,
+    ) -> Result<(CompiledModel, CompileReport), Gcd2Error> {
+        // The parser is panic-free on malformed input by construction,
+        // but it runs under the same guard as the pipeline so a parser
+        // defect still surfaces as a structured error.
+        let graph = catch_unwind(AssertUnwindSafe(|| gcd2_cgraph::from_text(text))).map_err(
+            |payload| Gcd2Error::Internal {
+                message: gcd2_par::panic_message(payload.as_ref()),
+            },
+        )??;
+        self.try_compile_timed(&graph)
+    }
+
+    /// Fallible end-to-end compilation.
+    ///
+    /// The graph is checked against the default [`AdmissionLimits`]
+    /// before any solver work, and the whole pipeline runs under a
+    /// panic guard: any internal defect surfaces as
+    /// [`Gcd2Error::Internal`] instead of unwinding into the caller.
+    pub fn try_compile_timed(
+        &self,
+        graph: &Graph,
+    ) -> Result<(CompiledModel, CompileReport), Gcd2Error> {
+        admit::admit(graph)?;
+        match catch_unwind(AssertUnwindSafe(|| self.compile_pipeline(graph))) {
+            Ok(result) => result,
+            Err(payload) => Err(Gcd2Error::Internal {
+                message: gcd2_par::panic_message(payload.as_ref()),
+            }),
+        }
+    }
+
+    /// The compilation pipeline body shared by the fallible and
+    /// panicking entry points (admission already done by the caller).
+    fn compile_pipeline(&self, graph: &Graph) -> Result<(CompiledModel, CompileReport), Gcd2Error> {
         let t_total = Instant::now();
         let cache_before = self.cost_cache.stats();
         let t0 = Instant::now();
@@ -312,11 +436,12 @@ impl Compiler {
 
         let model = self.cost_model();
         let t0 = Instant::now();
-        let plans = enumerate_plans_threaded(&graph, &model, self.lut_ops, self.threads);
+        let plans = try_enumerate_plans_threaded(&graph, &model, self.lut_ops, self.threads)
+            .map_err(Gcd2Error::Worker)?;
         let enumerate = t0.elapsed();
 
         let t0 = Instant::now();
-        let assignment = self.assign(&graph, &plans);
+        let (assignment, degrade, rung) = self.try_assign(&graph, &plans)?;
         let select = t0.elapsed();
 
         let options = LowerOptions {
@@ -333,7 +458,8 @@ impl Compiler {
             .map(|n| plans.of(n.id)[assignment.choice[n.id.0]])
             .collect();
         let t0 = Instant::now();
-        let mut lowered = lower(&graph, &plans, &assignment, &options);
+        let mut lowered =
+            try_lower(&graph, &plans, &assignment, &options).map_err(Gcd2Error::Lower)?;
         let lower_wall = t0.elapsed();
         if self.framework_boundaries {
             // Each operator converts its tensor from and back to the
@@ -374,6 +500,8 @@ impl Compiler {
             rewrite,
             enumerate,
             select,
+            degrade,
+            rung,
             lower: lower_wall,
             pack_cpu: lowered.pack_cpu,
             verify_cpu: lowered.verify_cpu,
@@ -397,7 +525,7 @@ impl Compiler {
             energy: EnergyModel::default(),
             resource: self.resource.clone(),
         };
-        (compiled, report)
+        Ok((compiled, report))
     }
 }
 
@@ -415,6 +543,12 @@ pub struct CompileReport {
     /// Global layout/instruction selection time (parallel speculative
     /// refinement + serial stitch).
     pub select: Duration,
+    /// Budget degradation steps taken by the GCD2 selection ladder, in
+    /// order (empty when the first rung fit the budget).
+    pub degrade: Vec<DegradeEvent>,
+    /// The selection rung that produced the assignment (None for
+    /// non-GCD2 strategies).
+    pub rung: Option<Rung>,
     /// Lowering wall-clock time (parallel block generation + packing,
     /// plus the serial verifier when enabled).
     pub lower: Duration,
@@ -481,6 +615,17 @@ impl CompiledModel {
     /// [`execute_reference`] with the same seed.
     pub fn inference_plan(&self, seed: u64) -> InferencePlan {
         InferencePlan::build(self, seed)
+    }
+
+    /// Fallible form of [`CompiledModel::inference_plan`]: plan
+    /// construction runs under a panic guard, so a defective compiled
+    /// artifact yields [`Gcd2Error::Internal`] instead of unwinding.
+    pub fn try_inference_plan(&self, seed: u64) -> Result<InferencePlan, Gcd2Error> {
+        catch_unwind(AssertUnwindSafe(|| InferencePlan::build(self, seed))).map_err(|payload| {
+            Gcd2Error::Internal {
+                message: gcd2_par::panic_message(payload.as_ref()),
+            }
+        })
     }
 
     /// End-to-end cycles on the simulated DSP.

@@ -257,8 +257,12 @@ fn execute(compiled: &CompiledModel, input: &[u8], seed: u64, mode: ExecMode) ->
         };
         values.insert(node.id, out);
     }
-    let last = graph.nodes().last().expect("non-empty graph").id;
-    (values.remove(&last).expect("last value"), simd_macs)
+    let Some(last) = graph.nodes().last().map(|n| n.id) else {
+        return (Vec::new(), simd_macs);
+    };
+    // Every node (including `last`) was just inserted by the loop above.
+    let output = values.remove(&last).unwrap_or_default();
+    (output, simd_macs)
 }
 
 /// Builds the GEMM operands of a node: the im2col'd activation matrix
@@ -314,7 +318,8 @@ fn gemm_operands(
             (a, wgt)
         }
         OpKind::MatMul { n } | OpKind::BatchMatMul { n } => {
-            let k = *in_shape.0.last().unwrap();
+            // Matmul inputs are rank >= 1 by shape inference.
+            let k = in_shape.0.last().copied().unwrap_or(1);
             let m = in_shape.elems() / k;
             let a = MatrixU8::from_fn(m, k, Layout::RowMajor, |r, c| x[r * k + c]);
             let wgt = MatrixI8::from_fn(k, *n, |kk, nn| weight(seed, node.id, kk * n + nn));

@@ -1,0 +1,336 @@
+//! # gcd2-faults — seeded, deterministic fault injection
+//!
+//! A registry of **named fault points** scattered through the
+//! compilation pipeline (cost evaluation, cache lookup, VLIW packing,
+//! worker startup, model-text parsing). A chaos test *arms* a
+//! [`FaultPlan`] — which point fires, what it does, and on which hit —
+//! runs the pipeline, and asserts the robustness contract: every
+//! injected-fault run either produces a bit-identical artifact (after
+//! internal retry) or a clean structured error, never an escaped panic.
+//!
+//! Instrumented crates call [`fire`] at their fault points. With the
+//! `fault-injection` feature **off** (the default for production and the
+//! tier-1 test suite), `fire` is an inert inline no-op; with it on, the
+//! armed plan decides per hit whether to panic, sleep, or report a
+//! cache-corruption that the call site must recover from.
+//!
+//! Determinism: a fault is keyed by `(point, trigger hit count)`. Hit
+//! counting is global and atomic under the registry lock, so the fault
+//! fires on exactly the N-th evaluation of its point regardless of how
+//! work is scheduled across threads; retried work re-executes the same
+//! pure computation, which is what makes recovered artifacts
+//! bit-identical.
+//!
+//! The well-known point names (one per instrumented subsystem):
+//!
+//! | point         | where it fires                                   |
+//! |---------------|--------------------------------------------------|
+//! | `cost.eval`   | kernel cost evaluation (`gcd2-kernels`)          |
+//! | `cache.lookup`| sharded memo lookup, lock held (`gcd2-par`)      |
+//! | `pack.vliw`   | SDA block packing (`gcd2-vliw`)                  |
+//! | `par.worker`  | worker-thread startup (`gcd2-par`)               |
+//! | `parse.line`  | model-text line parsing (`gcd2-cgraph`)          |
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// The canonical fault-point names, for plan builders and tests.
+pub const POINTS: [&str; 5] = [
+    "cost.eval",
+    "cache.lookup",
+    "pack.vliw",
+    "par.worker",
+    "parse.line",
+];
+
+/// What an armed fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic with an `injected fault` message. Exercises `catch_unwind`
+    /// isolation and the serial-retry path.
+    Panic,
+    /// Sleep for the given number of milliseconds. Exercises deadline
+    /// budgets and slow-worker tolerance; never changes results.
+    Delay {
+        /// Sleep duration per firing.
+        millis: u64,
+    },
+    /// Report a corrupted cache entry: the call site must discard the
+    /// entry and recompute. Only meaningful at `cache.lookup`.
+    CorruptCache,
+}
+
+/// One armed fault: a point, an action, and when it triggers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Fault-point name (see [`POINTS`]).
+    pub point: String,
+    /// What happens on firing.
+    pub kind: FaultKind,
+    /// 1-based hit index at which the fault first fires.
+    pub trigger: u64,
+    /// When `true`, the fault fires on *every* hit from `trigger` on —
+    /// modelling a persistent failure that retries cannot clear. When
+    /// `false` it fires exactly once, modelling a transient failure.
+    pub sticky: bool,
+}
+
+/// A set of faults to arm together.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults fire).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a transient fault: fires exactly once, on the `trigger`-th
+    /// hit of `point`.
+    pub fn once(mut self, point: &str, kind: FaultKind, trigger: u64) -> Self {
+        self.faults.push(Fault {
+            point: point.to_string(),
+            kind,
+            trigger: trigger.max(1),
+            sticky: false,
+        });
+        self
+    }
+
+    /// Adds a persistent fault: fires on every hit from `trigger` on.
+    pub fn sticky(mut self, point: &str, kind: FaultKind, trigger: u64) -> Self {
+        self.faults.push(Fault {
+            point: point.to_string(),
+            kind,
+            trigger: trigger.max(1),
+            sticky: true,
+        });
+        self
+    }
+
+    /// The armed faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Derives a plan deterministically from a seed: 1–3 transient
+    /// faults over the canonical points, with triggers spread over the
+    /// early hits. The same seed always yields the same plan, so chaos
+    /// runs are reproducible from their seed alone.
+    pub fn from_seed(seed: u64) -> Self {
+        // SplitMix64: tiny, well-distributed, and dependency-free.
+        let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+        let mut next = move || {
+            let mut z = state;
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let mut plan = FaultPlan::new();
+        let count = 1 + (next() % 3) as usize;
+        for _ in 0..count {
+            let point = POINTS[(next() % POINTS.len() as u64) as usize];
+            let kind = match next() % 3 {
+                0 => FaultKind::Panic,
+                1 => FaultKind::Delay {
+                    millis: 1 + next() % 3,
+                },
+                _ => FaultKind::CorruptCache,
+            };
+            plan = plan.once(point, kind, 1 + next() % 64);
+        }
+        plan
+    }
+}
+
+/// What a call site must do after [`fire`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "CorruptCache requires the call site to discard the entry"]
+pub enum Injection {
+    /// Nothing fired (or only a delay, already slept).
+    None,
+    /// The cached value read under this point is corrupt: discard the
+    /// entry and recompute.
+    CorruptCache,
+}
+
+// `plan`/`fired` are only consulted by the feature-gated `fire`.
+#[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+struct Registry {
+    plan: FaultPlan,
+    /// Hits observed per point, and per-fault fired flags.
+    hits: HashMap<String, u64>,
+    fired: Vec<u64>,
+}
+
+fn registry() -> &'static Mutex<Option<Registry>> {
+    static REGISTRY: OnceLock<Mutex<Option<Registry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(None))
+}
+
+fn registry_lock() -> MutexGuard<'static, Option<Registry>> {
+    // An injected panic can unwind through a `fire` call while this lock
+    // is held only if the panic is raised *outside* the critical section
+    // (see `fire`), but be defensive anyway: the registry state is a
+    // plain counter table, always valid.
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Serializes chaos tests: arming is process-global, so two concurrently
+/// armed plans would interfere.
+fn test_gate() -> &'static Mutex<()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    &GATE
+}
+
+/// An armed fault plan. Dropping it disarms the registry and releases
+/// the cross-test serialization gate.
+pub struct Armed {
+    _gate: MutexGuard<'static, ()>,
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        *registry_lock() = None;
+    }
+}
+
+/// Arms `plan` process-wide and returns a guard; faults fire until the
+/// guard is dropped. Holding the guard serializes concurrently running
+/// chaos tests (the registry is global).
+pub fn arm(plan: FaultPlan) -> Armed {
+    let gate = test_gate().lock().unwrap_or_else(PoisonError::into_inner);
+    let fired = vec![0; plan.faults.len()];
+    *registry_lock() = Some(Registry {
+        plan,
+        hits: HashMap::new(),
+        fired,
+    });
+    Armed { _gate: gate }
+}
+
+/// Total hits observed at `point` under the currently armed plan.
+pub fn hits(point: &str) -> u64 {
+    registry_lock()
+        .as_ref()
+        .and_then(|r| r.hits.get(point).copied())
+        .unwrap_or(0)
+}
+
+/// Evaluates the fault point `point` under the armed plan.
+///
+/// Increments the point's hit counter; if an armed fault triggers on
+/// this hit it acts: `Panic` panics (callers are expected to isolate
+/// with `catch_unwind`), `Delay` sleeps then reports
+/// [`Injection::None`], `CorruptCache` reports
+/// [`Injection::CorruptCache`] for the call site to handle.
+///
+/// With the `fault-injection` feature disabled this is an inert no-op.
+#[cfg(feature = "fault-injection")]
+pub fn fire(point: &str) -> Injection {
+    let action = {
+        let mut guard = registry_lock();
+        let Some(reg) = guard.as_mut() else {
+            return Injection::None;
+        };
+        let hit = reg.hits.entry(point.to_string()).or_insert(0);
+        *hit += 1;
+        let hit = *hit;
+        let mut action = None;
+        for (i, fault) in reg.plan.faults.iter().enumerate() {
+            if fault.point != point {
+                continue;
+            }
+            let due = if fault.sticky {
+                hit >= fault.trigger
+            } else {
+                hit == fault.trigger && reg.fired[i] == 0
+            };
+            if due {
+                reg.fired[i] += 1;
+                action = Some(fault.kind);
+                break;
+            }
+        }
+        action
+        // Lock released here: the panic below unwinds with the registry
+        // unlocked and its counters consistent.
+    };
+    match action {
+        Some(FaultKind::Panic) => panic!("injected fault at {point}"),
+        Some(FaultKind::Delay { millis }) => {
+            std::thread::sleep(std::time::Duration::from_millis(millis));
+            Injection::None
+        }
+        Some(FaultKind::CorruptCache) => Injection::CorruptCache,
+        None => Injection::None,
+    }
+}
+
+/// Inert stub compiled when fault injection is disabled.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn fire(_point: &str) -> Injection {
+    Injection::None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(FaultPlan::from_seed(seed), FaultPlan::from_seed(seed));
+            let plan = FaultPlan::from_seed(seed);
+            assert!(!plan.faults().is_empty() && plan.faults().len() <= 3);
+            for f in plan.faults() {
+                assert!(POINTS.contains(&f.point.as_str()));
+                assert!(f.trigger >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let plans: Vec<FaultPlan> = (0..16).map(FaultPlan::from_seed).collect();
+        assert!(plans.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn transient_fault_fires_exactly_once() {
+        let _armed = arm(FaultPlan::new().once("cost.eval", FaultKind::Panic, 3));
+        for i in 1..=5u64 {
+            let r = std::panic::catch_unwind(|| fire("cost.eval"));
+            assert_eq!(r.is_err(), i == 3, "hit {i}");
+        }
+        assert_eq!(hits("cost.eval"), 5);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn sticky_fault_keeps_firing() {
+        let _armed = arm(FaultPlan::new().sticky("pack.vliw", FaultKind::Panic, 2));
+        assert!(std::panic::catch_unwind(|| fire("pack.vliw")).is_ok());
+        for _ in 0..3 {
+            assert!(std::panic::catch_unwind(|| fire("pack.vliw")).is_err());
+        }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn corrupt_cache_is_reported_not_thrown() {
+        let _armed = arm(FaultPlan::new().once("cache.lookup", FaultKind::CorruptCache, 1));
+        assert_eq!(fire("cache.lookup"), Injection::CorruptCache);
+        assert_eq!(fire("cache.lookup"), Injection::None);
+    }
+
+    #[test]
+    fn disarmed_fire_is_inert() {
+        assert_eq!(fire("cost.eval"), Injection::None);
+    }
+}

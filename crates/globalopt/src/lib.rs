@@ -34,16 +34,29 @@
 //! assert!(gcd2.cost <= local_optimal(&g, &plans).cost);
 //! ```
 
+// Robustness gate: solver code must not contain bare unwrap/expect —
+// invariant violations use `unreachable!` with a descriptive message,
+// everything else degrades or returns. Test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod budget;
 pub mod partition;
 pub mod pbqp;
 pub mod plan;
 pub mod solve;
 
-pub use partition::{gcd2_select, gcd2_select_threaded, is_desirable_edge, partition};
+pub use budget::{BudgetClock, CompileBudget, DegradeEvent, DegradeReason, Rung};
+pub use partition::{
+    gcd2_select, gcd2_select_budgeted, gcd2_select_threaded, is_desirable_edge, partition,
+    BudgetedSelection,
+};
 pub use pbqp::pbqp_select;
 pub use plan::{
     assignment_cost, edge_tc, enumerate_plans, enumerate_plans_threaded, enumerate_plans_with,
     fused_activation_cost, matrix_view, op_ew_kind, op_extra_passes, spatial_layout_factor,
-    Assignment, ExecutionPlan, PlanKind, PlanSet,
+    try_enumerate_plans_threaded, Assignment, ExecutionPlan, PlanKind, PlanSet,
 };
-pub use solve::{chain_dp, exhaustive, local_optimal, refine_scope};
+pub use solve::{
+    chain_dp, chain_dp_into, chain_segments, exhaustive, local_optimal, refine_scope,
+    refine_scope_bounded,
+};

@@ -10,8 +10,11 @@
 //! (the paper's "complementary edges"). `GCD2(13)` and `GCD2(17)` in
 //! Figure 10 are this algorithm with `max_ops` 13 and 17.
 
+use crate::budget::{BudgetClock, CompileBudget, DegradeEvent, DegradeReason, Rung};
 use crate::plan::{assignment_cost, Assignment, ExecutionPlan, PlanSet};
-use crate::solve::{local_optimal, refine_scope};
+use crate::solve::{
+    chain_dp_into, chain_segments, local_optimal, refine_scope, refine_scope_bounded,
+};
 use gcd2_cgraph::{Graph, NodeId, OpKind};
 use gcd2_tensor::transform_cycles;
 
@@ -153,6 +156,201 @@ pub fn gcd2_select_threaded(
     Assignment { choice, cost }
 }
 
+/// The outcome of budgeted selection: the assignment, the ladder rung
+/// that produced it, and every degradation step taken on the way there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetedSelection {
+    /// The chosen plan assignment.
+    pub assignment: Assignment,
+    /// The rung that produced the assignment.
+    pub rung: Rung,
+    /// Degradation steps, in the order they happened (empty when the
+    /// first rung succeeded).
+    pub degrade: Vec<DegradeEvent>,
+}
+
+/// Why a GCD2 rung attempt was abandoned (mapped to a [`DegradeReason`]).
+enum RungFailure {
+    StateCap { used: u64 },
+    Deadline,
+}
+
+/// [`gcd2_select_threaded`] under a [`CompileBudget`], degrading through
+/// the ladder `GCD2(max_ops)` → `GCD2(13)` → chain DP → greedy instead
+/// of running without bound.
+///
+/// Each GCD2 rung is attempted **all-or-nothing**: the budget's
+/// `max_states` is split evenly across the rung's partitions, and if any
+/// partition's DFS exceeds its share the whole rung is abandoned — a
+/// deterministic decision, so the selected plans and the recorded
+/// [`DegradeEvent`]s are bit-identical across thread counts. The
+/// wall-clock deadline is checked between rungs and between stitch steps
+/// as a coarse nondeterministic backstop. The greedy floor always
+/// succeeds and never costs more than the local-optimal baseline.
+///
+/// Worker panics during parallel refinement are isolated and retried
+/// serially; a panic that persists on retry surfaces as the returned
+/// [`gcd2_par::WorkerPanic`].
+pub fn gcd2_select_budgeted(
+    graph: &Graph,
+    plans: &PlanSet,
+    max_ops: usize,
+    threads: usize,
+    budget: CompileBudget,
+) -> Result<BudgetedSelection, gcd2_par::WorkerPanic> {
+    let clock = BudgetClock::start(budget);
+    let base = local_optimal(graph, plans);
+
+    let mut rungs: Vec<Rung> = vec![Rung::Gcd2 { max_ops }];
+    if max_ops > 13 {
+        rungs.push(Rung::Gcd2 { max_ops: 13 });
+    }
+    rungs.push(Rung::ChainDp);
+    rungs.push(Rung::Greedy);
+
+    let mut degrade: Vec<DegradeEvent> = Vec::new();
+    let fall = |from: Rung, to: Rung, failure: RungFailure, clock: &BudgetClock| {
+        let reason = match failure {
+            RungFailure::StateCap { used } => DegradeReason::StateCap {
+                used,
+                cap: clock.budget().max_states,
+            },
+            RungFailure::Deadline => DegradeReason::Deadline {
+                elapsed_ms: clock.elapsed_ms(),
+            },
+        };
+        DegradeEvent { from, to, reason }
+    };
+
+    for (i, &rung) in rungs.iter().enumerate() {
+        let next = rungs.get(i + 1).copied();
+        // Deadline backstop between rungs; the greedy floor always runs.
+        if next.is_some() && clock.expired() {
+            if let Some(to) = next {
+                degrade.push(fall(rung, to, RungFailure::Deadline, &clock));
+            }
+            continue;
+        }
+        match rung {
+            Rung::Gcd2 { max_ops } => {
+                match attempt_gcd2(graph, plans, max_ops, threads, &base, &clock)? {
+                    Ok(assignment) => {
+                        return Ok(BudgetedSelection {
+                            assignment,
+                            rung,
+                            degrade,
+                        });
+                    }
+                    Err(failure) => {
+                        if let Some(to) = next {
+                            degrade.push(fall(rung, to, failure, &clock));
+                        }
+                    }
+                }
+            }
+            Rung::ChainDp => {
+                // Exact DP per maximal single-predecessor chain:
+                // O(|V|·k²) total, no cap needed.
+                let mut choice = base.choice.clone();
+                for segment in chain_segments(graph) {
+                    chain_dp_into(graph, plans, &segment, &mut choice);
+                }
+                let cost = assignment_cost(graph, plans, &choice);
+                // Segments are solved against fixed boundaries, so the
+                // stitched whole can in principle lose to the greedy
+                // baseline — keep the floor.
+                let assignment = if cost <= base.cost {
+                    Assignment { choice, cost }
+                } else {
+                    base.clone()
+                };
+                return Ok(BudgetedSelection {
+                    assignment,
+                    rung,
+                    degrade,
+                });
+            }
+            Rung::Greedy => {
+                return Ok(BudgetedSelection {
+                    assignment: base.clone(),
+                    rung,
+                    degrade,
+                });
+            }
+        }
+    }
+    // The ladder always ends in Greedy, which returns above.
+    unreachable!("degradation ladder has a greedy floor")
+}
+
+/// One all-or-nothing GCD2 rung attempt under the budget.
+fn attempt_gcd2(
+    graph: &Graph,
+    plans: &PlanSet,
+    max_ops: usize,
+    threads: usize,
+    base: &Assignment,
+    clock: &BudgetClock,
+) -> Result<Result<Assignment, RungFailure>, gcd2_par::WorkerPanic> {
+    let parts = partition(graph, plans, max_ops);
+    if parts.is_empty() {
+        return Ok(Ok(base.clone()));
+    }
+    let per_part = (clock.budget().max_states / parts.len() as u64).max(1);
+
+    // Phase 1: speculative bounded refinement against the shared
+    // baseline (see gcd2_select_threaded for the determinism argument).
+    let refined: Vec<(Option<Vec<usize>>, u64)> =
+        gcd2_par::try_par_map(threads, &parts, |_, part| {
+            let mut choice = base.choice.clone();
+            let (cost, used) = refine_scope_bounded(graph, plans, part, &mut choice, per_part);
+            let cand = cost.map(|_| part.iter().map(|id| choice[id.0]).collect());
+            (cand, used)
+        })?;
+    let mut used_total = 0u64;
+    let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(refined.len());
+    let mut capped = false;
+    for (cand, used) in refined {
+        used_total += used;
+        match cand {
+            Some(c) => candidates.push(c),
+            None => capped = true,
+        }
+    }
+    if capped {
+        return Ok(Err(RungFailure::StateCap { used: used_total }));
+    }
+
+    // Phase 2: deterministic serial stitch, bounded re-refines.
+    let mut choice = base.choice.clone();
+    let mut cost = base.cost;
+    for (part, cand) in parts.iter().zip(&candidates) {
+        if clock.expired() {
+            return Ok(Err(RungFailure::Deadline));
+        }
+        let saved: Vec<usize> = part.iter().map(|id| choice[id.0]).collect();
+        for (id, &c) in part.iter().zip(cand) {
+            choice[id.0] = c;
+        }
+        let stitched = assignment_cost(graph, plans, &choice);
+        if stitched <= cost {
+            cost = stitched;
+        } else {
+            for (id, &s) in part.iter().zip(&saved) {
+                choice[id.0] = s;
+            }
+            let (refined_cost, used) =
+                refine_scope_bounded(graph, plans, part, &mut choice, per_part);
+            used_total += used;
+            match refined_cost {
+                Some(c) => cost = c,
+                None => return Ok(Err(RungFailure::StateCap { used: used_total })),
+            }
+        }
+    }
+    Ok(Ok(Assignment { choice, cost }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +434,70 @@ mod tests {
             serial.cost,
             crate::assignment_cost(&g, &plans, &serial.choice)
         );
+    }
+
+    #[test]
+    fn budgeted_selection_matches_unbudgeted_under_default_budget() {
+        let (g, _) = conv_chain(12, 48);
+        let plans = enumerate_plans(&g, &CostModel::new());
+        let plain = gcd2_select_threaded(&g, &plans, 13, 2);
+        let budgeted =
+            gcd2_select_budgeted(&g, &plans, 13, 2, CompileBudget::default()).expect("no panics");
+        assert_eq!(budgeted.assignment, plain);
+        assert_eq!(budgeted.rung, Rung::Gcd2 { max_ops: 13 });
+        assert!(budgeted.degrade.is_empty());
+    }
+
+    #[test]
+    fn tiny_state_cap_degrades_to_a_cheaper_rung() {
+        let (g, _) = conv_chain(12, 48);
+        let plans = enumerate_plans(&g, &CostModel::new());
+        let local = local_optimal(&g, &plans);
+        let sel = gcd2_select_budgeted(&g, &plans, 17, 2, CompileBudget::with_max_states(2))
+            .expect("no panics");
+        // Both GCD2 rungs must fall to the state cap; the result comes
+        // from chain DP (or its greedy floor) and stays within budget.
+        assert!(sel.degrade.len() >= 2, "events: {:?}", sel.degrade);
+        assert!(matches!(sel.rung, Rung::ChainDp | Rung::Greedy));
+        for ev in &sel.degrade {
+            assert!(matches!(ev.reason, DegradeReason::StateCap { .. }));
+        }
+        assert!(sel.assignment.cost <= local.cost);
+        assert_eq!(
+            sel.assignment.cost,
+            assignment_cost(&g, &plans, &sel.assignment.choice)
+        );
+    }
+
+    #[test]
+    fn budgeted_degradation_is_deterministic_across_threads() {
+        let (g, _) = conv_chain(14, 48);
+        let plans = enumerate_plans(&g, &CostModel::new());
+        for cap in [1, 50, 10_000, u64::MAX] {
+            let budget = CompileBudget::with_max_states(cap);
+            let first = gcd2_select_budgeted(&g, &plans, 13, 1, budget).expect("no panics");
+            for threads in [2, 4, 8] {
+                let other =
+                    gcd2_select_budgeted(&g, &plans, 13, threads, budget).expect("no panics");
+                assert_eq!(first, other, "cap {cap} diverges at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_lands_on_greedy_floor() {
+        let (g, _) = conv_chain(10, 48);
+        let plans = enumerate_plans(&g, &CostModel::new());
+        let local = local_optimal(&g, &plans);
+        let budget = CompileBudget::with_deadline(std::time::Duration::ZERO);
+        let sel = gcd2_select_budgeted(&g, &plans, 13, 2, budget).expect("no panics");
+        assert_eq!(sel.rung, Rung::Greedy);
+        assert_eq!(sel.assignment, local);
+        assert!(sel
+            .degrade
+            .iter()
+            .all(|e| matches!(e.reason, DegradeReason::Deadline { .. })));
+        assert_eq!(sel.degrade.len(), 2, "one fall per abandoned rung");
     }
 
     #[test]

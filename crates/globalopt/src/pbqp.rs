@@ -91,7 +91,9 @@ impl Instance {
 
     /// `M[i][j]` oriented so that `i` indexes `u`'s plans.
     fn edge_row(&self, u: usize, v: usize, i: usize, j: usize) -> u64 {
-        let m = self.edge(u, v).expect("edge exists");
+        let Some(m) = self.edge(u, v) else {
+            unreachable!("edge_row queried for absent edge ({u}, {v})")
+        };
         if u < v {
             m[i][j]
         } else {
@@ -241,10 +243,9 @@ pub fn pbqp_select(graph: &Graph, plans: &PlanSet) -> Assignment {
             remaining -= 1;
         } else {
             // RN heuristic: fix the highest-degree node locally.
-            let u = (0..n)
-                .filter(|&u| alive[u])
-                .max_by_key(|&u| inst.degree(u))
-                .expect("remaining > 0");
+            let Some(u) = (0..n).filter(|&u| alive[u]).max_by_key(|&u| inst.degree(u)) else {
+                unreachable!("RN step with no alive nodes (remaining = {remaining})")
+            };
             let ku = inst.costs[u].len();
             let mut bestplan = 0usize;
             let mut bestcost = u64::MAX;

@@ -139,6 +139,23 @@ pub fn enumerate_plans_threaded(
     PlanSet { plans }
 }
 
+/// [`enumerate_plans_threaded`] with worker-panic isolation: a panic in
+/// one node's costing is caught, the node retried serially, and only a
+/// panic that persists on retry surfaces — as a structured
+/// [`gcd2_par::WorkerPanic`] instead of unwinding the caller. Costing is
+/// pure, so a recovered run returns bit-identical plans.
+pub fn try_enumerate_plans_threaded(
+    graph: &Graph,
+    model: &CostModel,
+    lut_ops: bool,
+    threads: usize,
+) -> Result<PlanSet, gcd2_par::WorkerPanic> {
+    let plans = gcd2_par::try_par_map(threads, graph.nodes(), |_, node| {
+        plans_of_node(graph, node, model, lut_ops)
+    })?;
+    Ok(PlanSet { plans })
+}
+
 /// The candidate execution plans of one node.
 fn plans_of_node(
     graph: &Graph,
@@ -157,10 +174,13 @@ fn plans_of_node(
                     cost: 0,
                 }]
             }
-            kind if kind.is_gemm_like() => {
-                let gemm = graph
-                    .gemm_dims(node.id)
-                    .expect("gemm-like ops have GEMM dims");
+            // A gemm-like node without a producer (possible only through
+            // unchecked graph construction) has no GEMM view; it falls
+            // through to the passthrough arm below instead of panicking.
+            kind if kind.is_gemm_like() && graph.gemm_dims(node.id).is_some() => {
+                let Some(gemm) = graph.gemm_dims(node.id) else {
+                    return Vec::new();
+                };
                 let kernel = match kind {
                     OpKind::Conv2d { kernel, .. } | OpKind::DepthwiseConv2d { kernel, .. } => {
                         *kernel

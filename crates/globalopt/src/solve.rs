@@ -18,7 +18,10 @@ pub fn local_optimal(graph: &Graph, plans: &PlanSet) -> Assignment {
                 .enumerate()
                 .min_by_key(|(_, p)| p.cost)
                 .map(|(i, _)| i)
-                .expect("every node has at least one plan")
+                // Enumeration gives every node at least one plan; an
+                // empty list (unchecked construction) picks index 0,
+                // which assignment_cost will reject loudly.
+                .unwrap_or(0)
         })
         .collect();
     let cost = assignment_cost(graph, plans, &choice);
@@ -60,9 +63,24 @@ pub fn local_optimal(graph: &Graph, plans: &PlanSet) -> Assignment {
 pub fn chain_dp(graph: &Graph, plans: &PlanSet, chain: &[NodeId]) -> Assignment {
     // Start from local choices for everything off-chain.
     let mut assignment = local_optimal(graph, plans);
-    if chain.is_empty() {
-        return assignment;
-    }
+    chain_dp_into(graph, plans, chain, &mut assignment.choice);
+    assignment.cost = assignment_cost(graph, plans, &assignment.choice);
+    assignment
+}
+
+/// Re-decides the plans of `chain` in place with the Equation 2 dynamic
+/// program, holding every off-chain node's plan fixed at its current
+/// value in `choice`. This is the segment solver the degradation
+/// ladder's chain-DP rung applies to each maximal single-predecessor
+/// chain of the graph.
+///
+/// # Panics
+/// Panics if consecutive chain elements are not connected by a graph
+/// edge.
+pub fn chain_dp_into(graph: &Graph, plans: &PlanSet, chain: &[NodeId], choice: &mut [usize]) {
+    let Some(&first) = chain.first() else {
+        return;
+    };
     for pair in chain.windows(2) {
         assert!(
             graph.preds(pair[1]).contains(&pair[0]),
@@ -73,11 +91,10 @@ pub fn chain_dp(graph: &Graph, plans: &PlanSet, chain: &[NodeId]) -> Assignment 
     let k_of = |id: NodeId| plans.of(id).len();
     // sol[j] = best cost of the chain prefix ending with plan j; bp for
     // backtracking.
-    let first = chain[0];
     let mut sol: Vec<u64> = plans.of(first).iter().map(|p| p.cost).collect();
     // Charge the first node's incoming edges (from off-chain producers).
     for &pred in graph.preds(first) {
-        let from = plans.of(pred)[assignment.choice[pred.0]].layout;
+        let from = plans.of(pred)[choice[pred.0]].layout;
         for (j, p) in plans.of(first).iter().enumerate() {
             sol[j] += edge_tc(graph, pred, from, p.layout);
         }
@@ -105,15 +122,46 @@ pub fn chain_dp(graph: &Graph, plans: &PlanSet, chain: &[NodeId]) -> Assignment 
     }
 
     // Backtrack the best chain assignment.
-    let mut j = (0..sol.len())
-        .min_by_key(|&j| sol[j])
-        .expect("non-empty plans");
+    let mut j = (0..sol.len()).min_by_key(|&j| sol[j]).unwrap_or(0);
     for (idx, node) in chain.iter().enumerate().rev() {
-        assignment.choice[node.0] = j;
+        choice[node.0] = j;
         j = back[idx][j];
     }
-    assignment.cost = assignment_cost(graph, plans, &assignment.choice);
-    assignment
+}
+
+/// Decomposes the operator nodes of `graph` into maximal chains where
+/// every interior node has exactly one predecessor — the segments the
+/// chain-DP degradation rung solves exactly. Every operator node lands
+/// in exactly one segment (singletons where no chain extends).
+pub fn chain_segments(graph: &Graph) -> Vec<Vec<NodeId>> {
+    let mut succ_count = vec![0usize; graph.len()];
+    for (prod, _) in graph.edges() {
+        succ_count[prod.0] += 1;
+    }
+    let mut segments: Vec<Vec<NodeId>> = Vec::new();
+    let mut cur: Vec<NodeId> = Vec::new();
+    for node in graph.nodes() {
+        if matches!(
+            node.kind,
+            gcd2_cgraph::OpKind::Input | gcd2_cgraph::OpKind::Constant
+        ) {
+            continue;
+        }
+        let extends = match (cur.last(), node.inputs.as_slice()) {
+            // Continue only when this node's sole input is the previous
+            // segment node and that node feeds nothing else.
+            (Some(&prev), [only]) => *only == prev && succ_count[prev.0] == 1,
+            _ => false,
+        };
+        if !extends && !cur.is_empty() {
+            segments.push(std::mem::take(&mut cur));
+        }
+        cur.push(node.id);
+    }
+    if !cur.is_empty() {
+        segments.push(cur);
+    }
+    segments
 }
 
 /// Exhaustive global search (depth-first with partial-cost pruning) over
@@ -139,6 +187,27 @@ pub fn refine_scope(
     scope: &[NodeId],
     choice: &mut Vec<usize>,
 ) -> u64 {
+    let (cost, _) = refine_scope_bounded(graph, plans, scope, choice, u64::MAX);
+    // Unbounded search always completes; fall back to the incumbent's
+    // cost for the degenerate never-taken branch.
+    cost.unwrap_or_else(|| assignment_cost(graph, plans, choice))
+}
+
+/// [`refine_scope`] with a cap on the number of DFS states expanded.
+///
+/// Returns `(cost, states_used)`. On completion inside the cap, `choice`
+/// holds the refined assignment and `cost` its aggregate cost. When the
+/// cap is hit the search aborts: `choice` is left **untouched** and
+/// `cost` is `None`. State counting is a pure function of the inputs —
+/// independent of threads, wall clock, or allocator — which makes the
+/// cap a deterministic degradation trigger.
+pub fn refine_scope_bounded(
+    graph: &Graph,
+    plans: &PlanSet,
+    scope: &[NodeId],
+    choice: &mut Vec<usize>,
+    max_states: u64,
+) -> (Option<u64>, u64) {
     let mut best_choice = choice.clone();
     let mut best_cost = assignment_cost(graph, plans, &best_choice);
 
@@ -199,6 +268,7 @@ pub fn refine_scope(
         c
     };
 
+    /// Returns `false` when the state cap was hit (search aborted).
     #[allow(clippy::too_many_arguments)]
     fn dfs(
         depth: usize,
@@ -213,16 +283,22 @@ pub fn refine_scope(
         choice: &mut Vec<usize>,
         best_cost: &mut u64,
         best_choice: &mut Vec<usize>,
-    ) {
+        states: &mut u64,
+        max_states: u64,
+    ) -> bool {
+        *states += 1;
+        if *states > max_states {
+            return false; // budget exhausted: abandon the whole search
+        }
         if partial + suffix_min[depth] >= *best_cost {
-            return; // prune: even free transforms cannot recover
+            return true; // prune: even free transforms cannot recover
         }
         if depth == scope.len() {
             if partial < *best_cost {
                 *best_cost = partial;
                 *best_choice = choice.clone();
             }
-            return;
+            return true;
         }
         let id = scope[depth];
         for j in 0..plans.of(id).len() {
@@ -244,7 +320,7 @@ pub fn refine_scope(
                     delta += edge_tc(graph, id, plans.of(id)[j].layout, to);
                 }
             }
-            dfs(
+            let completed = dfs(
                 depth + 1,
                 partial + delta,
                 graph,
@@ -257,12 +333,19 @@ pub fn refine_scope(
                 choice,
                 best_cost,
                 best_choice,
+                states,
+                max_states,
             );
+            if !completed {
+                return false;
+            }
         }
+        true
     }
 
     let mut working = choice.clone();
-    dfs(
+    let mut states = 0u64;
+    let completed = dfs(
         0,
         base_const,
         graph,
@@ -275,9 +358,14 @@ pub fn refine_scope(
         &mut working,
         &mut best_cost,
         &mut best_choice,
+        &mut states,
+        max_states,
     );
+    if !completed {
+        return (None, states);
+    }
     *choice = best_choice;
-    best_cost
+    (Some(best_cost), states)
 }
 
 #[cfg(test)]
@@ -339,6 +427,100 @@ mod tests {
         let local = local_optimal(&g, &plans);
         let ex = exhaustive(&g, &plans, &chain);
         assert!(ex.cost <= local.cost);
+    }
+
+    #[test]
+    fn bounded_refine_matches_unbounded_when_cap_is_loose() {
+        let (g, chain) = conv_chain(6, 48);
+        let plans = enumerate_plans(&g, &CostModel::new());
+        let base = local_optimal(&g, &plans);
+        let mut unbounded = base.choice.clone();
+        let cost = refine_scope(&g, &plans, &chain, &mut unbounded);
+        let mut bounded = base.choice.clone();
+        let (bcost, used) = refine_scope_bounded(&g, &plans, &chain, &mut bounded, u64::MAX);
+        assert_eq!(bcost, Some(cost));
+        assert_eq!(bounded, unbounded);
+        assert!(used > 0);
+    }
+
+    #[test]
+    fn bounded_refine_aborts_cleanly_when_capped() {
+        let (g, chain) = conv_chain(8, 48);
+        let plans = enumerate_plans(&g, &CostModel::new());
+        let base = local_optimal(&g, &plans);
+        let mut choice = base.choice.clone();
+        let original = choice.clone();
+        let (cost, used) = refine_scope_bounded(&g, &plans, &chain, &mut choice, 3);
+        assert_eq!(cost, None, "a 3-state cap cannot finish 8 nodes");
+        assert_eq!(choice, original, "aborted search must not mutate choice");
+        assert_eq!(used, 4, "counts states up to the cap plus the abort");
+    }
+
+    #[test]
+    fn bounded_refine_state_count_is_reproducible() {
+        let (g, chain) = conv_chain(5, 48);
+        let plans = enumerate_plans(&g, &CostModel::new());
+        let base = local_optimal(&g, &plans);
+        let counts: Vec<u64> = (0..3)
+            .map(|_| {
+                let mut choice = base.choice.clone();
+                refine_scope_bounded(&g, &plans, &chain, &mut choice, u64::MAX).1
+            })
+            .collect();
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(counts[1], counts[2]);
+    }
+
+    #[test]
+    fn chain_segments_cover_operators_once() {
+        let (g, chain) = conv_chain(7, 32);
+        let segments = chain_segments(&g);
+        // A pure chain is one segment.
+        assert_eq!(segments, vec![chain]);
+
+        // A diamond breaks segments at the fan-out and fan-in.
+        let mut g = Graph::new();
+        let x = g.input("x", TShape::nchw(1, 16, 8, 8));
+        let conv = |g: &mut Graph, from, name: &str| {
+            g.add(
+                OpKind::Conv2d {
+                    out_channels: 16,
+                    kernel: (1, 1),
+                    stride: (1, 1),
+                    padding: (0, 0),
+                },
+                &[from],
+                name,
+            )
+        };
+        let a = conv(&mut g, x, "a");
+        let l = conv(&mut g, a, "l");
+        let r = conv(&mut g, a, "r");
+        let join = g.add(OpKind::Add, &[l, r], "join");
+        let tail = conv(&mut g, join, "tail");
+        let segments = chain_segments(&g);
+        let covered: Vec<NodeId> = segments.iter().flatten().copied().collect();
+        let mut sorted = covered.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), covered.len(), "no node in two segments");
+        assert_eq!(sorted, vec![a, l, r, join, tail]);
+        // `a` fans out, so neither l nor r may extend its segment.
+        for seg in &segments {
+            assert!(!(seg.contains(&a) && (seg.contains(&l) || seg.contains(&r))));
+        }
+    }
+
+    #[test]
+    fn chain_dp_into_respects_fixed_boundaries() {
+        let (g, chain) = conv_chain(6, 48);
+        let plans = enumerate_plans(&g, &CostModel::new());
+        let base = local_optimal(&g, &plans);
+        let mut choice = base.choice.clone();
+        // Segment-wise DP over the whole chain equals chain_dp.
+        chain_dp_into(&g, &plans, &chain, &mut choice);
+        let whole = chain_dp(&g, &plans, &chain);
+        assert_eq!(choice, whole.choice);
     }
 
     #[test]

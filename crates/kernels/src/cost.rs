@@ -117,6 +117,7 @@ impl CostModel {
     pub fn gemm_cycles(&self, gemm: &GemmDims, instr: SimdInstr, unroll: UnrollConfig) -> u64 {
         self.cache
             .get_or_insert_with(CostKey::Gemm(*gemm, instr, unroll), || {
+                let _ = gcd2_faults::fire("cost.eval");
                 self.blocks_cycles(&timing_blocks(gemm, instr, unroll)) + KERNEL_DISPATCH_CYCLES
             })
     }
@@ -146,6 +147,7 @@ impl CostModel {
     /// Cycles of a non-GEMM kernel over `elems` elements.
     pub fn ew_cycles(&self, kind: EwKind, elems: usize) -> u64 {
         self.cache.get_or_insert_with(CostKey::Ew(kind, elems), || {
+            let _ = gcd2_faults::fire("cost.eval");
             self.blocks_cycles(&elementwise_blocks(kind, elems)) + KERNEL_DISPATCH_CYCLES / 4
         })
     }
@@ -156,6 +158,7 @@ impl CostModel {
     pub fn dw_vtmpy_cycles(&self, out_elems: usize, kh: usize) -> u64 {
         self.cache
             .get_or_insert_with(CostKey::DwVtmpy(out_elems, kh), || {
+                let _ = gcd2_faults::fire("cost.eval");
                 self.blocks_cycles(&depthwise_vtmpy_blocks(out_elems, kh)) + KERNEL_DISPATCH_CYCLES
             })
     }

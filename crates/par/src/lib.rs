@@ -9,9 +9,16 @@
 //!   costs (a 3×3 conv next to a ReLU) balance automatically; the result
 //!   vector is always in item order, which is what makes the parallel
 //!   pipeline *bit-identical* to the serial one.
+//! * [`try_par_map`] — the panic-isolating variant the compilation
+//!   pipeline runs on: worker closures execute under `catch_unwind`, a
+//!   panicked item is retried once serially, and only a *repeated* panic
+//!   surfaces — as a structured [`WorkerPanic`], never a process abort.
 //! * [`ShardedMap`] — a concurrent memo table sharded by key hash, with
 //!   hit/miss counters. Shared across worker threads via `Arc`, it backs
-//!   the kernel cost cache and the VLIW packing memo.
+//!   the kernel cost cache and the VLIW packing memo. A shard whose lock
+//!   was poisoned by a panicking worker is **quarantined** (cleared and
+//!   un-poisoned) on the next access: possibly half-written entries are
+//!   dropped and recomputed rather than trusted.
 //!
 //! ```
 //! use gcd2_par::par_map;
@@ -21,9 +28,11 @@
 
 use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::{BuildHasher, Hash, RandomState};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// The number of worker threads the pipeline uses by default: the
 /// `GCD2_THREADS` environment variable when set to a positive integer,
@@ -101,6 +110,132 @@ where
         .collect()
 }
 
+/// A work item panicked twice — once on a worker thread and again on
+/// the serial retry — so the failure is persistent, not a transient
+/// scheduling artifact. Carries the item index and the panic payload
+/// rendered as text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "work item {} panicked twice (worker + serial retry): {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Renders a `catch_unwind` payload as text (`&str` and `String`
+/// payloads verbatim, anything else a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`par_map`] with panic isolation: the map the compilation pipeline
+/// runs on, so one panicking operator degrades one compile instead of
+/// the process.
+///
+/// Every item closure runs under `catch_unwind`. An item whose first
+/// attempt panicked is retried **once, serially**, after the workers
+/// finish — transient failures (a poisoned cache shard, an injected
+/// fault) recover and, because `f` is pure, the retried result is
+/// bit-identical to an undisturbed run. An item that panics twice
+/// returns a structured [`WorkerPanic`]. A worker thread that dies
+/// before claiming work (e.g. a startup fault) is tolerated: its items
+/// are claimed by surviving workers or swept up serially.
+pub fn try_par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    // Slot states: None = unprocessed, Some(Ok) = done, Some(Err) =
+    // first attempt panicked (message kept for diagnostics).
+    let slots: Vec<Mutex<Option<Result<R, String>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
+    if threads > 1 {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        // A worker-startup fault kills this worker only;
+                        // the others (or the serial sweep) take its share.
+                        if catch_unwind(|| {
+                            let _ = gcd2_faults::fire("par.worker");
+                        })
+                        .is_err()
+                        {
+                            return;
+                        }
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            let r = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
+                            let r = r.map_err(|p| panic_message(p.as_ref()));
+                            *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                // Worker bodies catch every panic, so join only fails on
+                // pathological unwind-in-unwind; treat it as a dead worker.
+                let _ = w.join();
+            }
+        });
+    }
+    // Serial sweep: finish unclaimed items and retry panicked ones once.
+    let mut out = Vec::with_capacity(items.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        let state = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let value = match state {
+            Some(Ok(r)) => r,
+            Some(Err(_)) => retry_serial(i, &items[i], &f, 1)?,
+            None => retry_serial(i, &items[i], &f, 2)?,
+        };
+        out.push(value);
+    }
+    Ok(out)
+}
+
+/// Runs `f(i, item)` under `catch_unwind` up to `attempts` times,
+/// converting a final panic into a [`WorkerPanic`].
+fn retry_serial<T, R, F>(i: usize, item: &T, f: &F, attempts: usize) -> Result<R, WorkerPanic>
+where
+    F: Fn(usize, &T) -> R,
+{
+    let mut last = String::new();
+    for _ in 0..attempts.max(1) {
+        match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+            Ok(r) => return Ok(r),
+            Err(p) => last = panic_message(p.as_ref()),
+        }
+    }
+    Err(WorkerPanic {
+        index: i,
+        message: last,
+    })
+}
+
 /// Hit/miss counters of a [`ShardedMap`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -139,6 +274,7 @@ pub struct ShardedMap<K, V> {
     hasher: RandomState,
     hits: AtomicU64,
     misses: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl<K, V> Default for ShardedMap<K, V> {
@@ -164,7 +300,32 @@ impl<K, V> ShardedMap<K, V> {
             hasher: RandomState::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
+    }
+
+    /// Locks a shard, quarantining it first if a panicking holder
+    /// poisoned the lock: possibly half-written entries are discarded
+    /// (values are pure functions of their keys, so dropped entries are
+    /// simply recomputed) and the poison flag is cleared.
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, HashMap<K, V>> {
+        match self.shards[idx].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.shards[idx].clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
+        }
+    }
+
+    /// Number of shard quarantines performed so far (a shard is
+    /// quarantined when a panicking worker poisoned its lock; its
+    /// entries are dropped and recomputed on demand).
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     /// Lookup/compute counters so far.
@@ -177,9 +338,8 @@ impl<K, V> ShardedMap<K, V> {
 
     /// Total number of cached entries.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard poisoned").len())
+        (0..self.shards.len())
+            .map(|i| self.lock_shard(i).len())
             .sum()
     }
 
@@ -196,14 +356,24 @@ impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
     }
 
     /// Returns a clone of the cached value, counting a hit or a miss.
+    /// An injected `cache.lookup` corruption fault drops the entry and
+    /// reports a miss, forcing a (pure, deterministic) recompute.
     pub fn get<Q>(&self, key: &Q) -> Option<V>
     where
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
     {
-        let guard = self.shards[self.shard_of(key)]
-            .lock()
-            .expect("shard poisoned");
+        let mut guard = self.lock_shard(self.shard_of(key));
+        // The fault point sits *inside* the critical section on purpose:
+        // an injected panic here poisons the shard lock, which is
+        // exactly the condition the quarantine path recovers from.
+        let corrupt = matches!(
+            gcd2_faults::fire("cache.lookup"),
+            gcd2_faults::Injection::CorruptCache
+        );
+        if corrupt {
+            guard.remove(key);
+        }
         match guard.get(key) {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -221,9 +391,7 @@ impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
     /// stored value). Does not touch the hit/miss counters — pair it
     /// with [`Self::get`].
     pub fn insert(&self, key: K, value: V) {
-        self.shards[self.shard_of(&key)]
-            .lock()
-            .expect("shard poisoned")
+        self.lock_shard(self.shard_of(&key))
             .entry(key)
             .or_insert(value);
     }
@@ -273,6 +441,63 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn try_par_map_matches_par_map() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4] {
+            let tried = try_par_map(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 7
+            })
+            .expect("no panics injected");
+            assert_eq!(tried, par_map(threads, &items, |_, &x| x * 7));
+        }
+    }
+
+    #[test]
+    fn try_par_map_recovers_from_transient_panic() {
+        // Item 5 panics exactly once (on whichever thread first claims
+        // it); the serial retry recomputes it and the result vector is
+        // indistinguishable from an undisturbed run.
+        let fired = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..32).collect();
+        for threads in [1, 4] {
+            fired.store(0, Ordering::SeqCst);
+            let out = try_par_map(threads, &items, |_, &x| {
+                if x == 5 && fired.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient");
+                }
+                x + 1
+            })
+            .expect("transient panic must be retried away");
+            assert_eq!(out, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_par_map_reports_persistent_panic() {
+        let items: Vec<usize> = (0..16).collect();
+        for threads in [1, 3] {
+            let err = try_par_map(threads, &items, |_, &x| {
+                if x == 9 {
+                    panic!("persistent failure on 9");
+                }
+                x
+            })
+            .expect_err("persistent panic must surface");
+            assert_eq!(err.index, 9);
+            assert!(err.message.contains("persistent failure"), "{err}");
+        }
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        let p = std::panic::catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "plain str");
+        let p = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted 7");
     }
 
     #[test]

@@ -145,6 +145,7 @@ impl Packer {
 
     /// Packs a whole block, preserving its trip count and label.
     pub fn pack_block(&self, block: &Block) -> PackedBlock {
+        let _ = gcd2_faults::fire("pack.vliw");
         PackedBlock {
             packets: self.pack_insns(&block.insns),
             trip_count: block.trip_count,

@@ -119,3 +119,100 @@ proptest! {
         prop_assert!(rel < 0.02, "attribution off by {}", rel);
     }
 }
+
+/// Satellite of the robustness layer: no malformed serialized graph
+/// text may panic the compiler. Every corpus entry must come back as a
+/// structured [`gcd2::Gcd2Error`], whether it dies in the parser, in
+/// shape inference, or at admission.
+mod malformed_text {
+    use gcd2_repro::cgraph::from_text;
+    use gcd2_repro::compiler::{Compiler, Gcd2Error};
+
+    const CORPUS: &[(&str, &str)] = &[
+        ("empty text", ""),
+        ("truncated input line", "input x"),
+        ("truncated op line", "input x [1x8x8x8]\nop y"),
+        ("missing arrow", "input x [1x8x8x8]\nop y add x, x"),
+        ("garbage tokens", "\u{0}\u{1}\u{7f} ???"),
+        ("unrecognized line", "flip x over"),
+        ("unknown mnemonic", "input x [1x4x4x4]\nop y warp <- x"),
+        (
+            "unknown activation",
+            "input x [1x4x4x4]\nop y act tanh <- x",
+        ),
+        ("duplicate input name", "input x [4]\ninput x [8]"),
+        (
+            "duplicate op name",
+            "input x [1x4x4x4]\nop y add <- x, x\nop y add <- x, x",
+        ),
+        ("dangling reference", "op y add <- ghost, ghost"),
+        ("bad shape brackets", "input x 1x4x4x4"),
+        ("bad shape dims", "input x [1xx4]"),
+        ("unparseable dim", "input x [99999999999999999999999]"),
+        (
+            "tensor over admission limit",
+            "input x [4294967295x4294967295]",
+        ),
+        (
+            "zero stride conv",
+            "input x [1x8x8x8]\nop c conv2d out=8 k=3x3 s=0x0 p=1x1 <- x",
+        ),
+        (
+            "kernel larger than input",
+            "input x [1x8x4x4]\nop c conv2d out=8 k=9x9 s=1x1 p=0x0 <- x",
+        ),
+        (
+            "conv on rank-2 input",
+            "input x [8x8]\nop c conv2d out=8 k=3x3 s=1x1 p=1x1 <- x",
+        ),
+        (
+            "element-changing reshape",
+            "input x [1x8x4x4]\nop r reshape to=[1x8x4x5] <- x",
+        ),
+        (
+            "non-broadcastable add",
+            "input a [1x8x4x4]\ninput b [1x7x4x4]\nop y add <- a, b",
+        ),
+        (
+            "upsample factor overflow",
+            "input x [1x8x4x4]\nop u upsample f=18446744073709551615 <- x",
+        ),
+        ("zero dimension", "input x [1x0x4x4]\nop y add <- x, x"),
+    ];
+
+    #[test]
+    fn no_malformed_text_panics_the_compiler() {
+        let compiler = Compiler::new().with_threads(1);
+        for (what, text) in CORPUS {
+            let result = compiler.try_compile_text(text);
+            assert!(
+                result.is_err(),
+                "corpus entry '{what}' unexpectedly compiled"
+            );
+        }
+    }
+
+    #[test]
+    fn parser_failures_surface_as_parse_errors_with_line_numbers() {
+        let compiler = Compiler::new().with_threads(1);
+        match compiler.try_compile_text("input x [1x4x4x4]\nop y warp <- x") {
+            Err(Gcd2Error::Parse(e)) => assert_eq!(e.line, 2, "wrong line: {e}"),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        // from_text alone must agree with the compiler entry point.
+        assert!(from_text("op y add <- ghost, ghost").is_err());
+    }
+
+    #[test]
+    fn admission_failures_surface_as_admission_errors() {
+        let compiler = Compiler::new().with_threads(1);
+        match compiler.try_compile_text("") {
+            Err(Gcd2Error::Admission(_)) => {}
+            other => panic!("expected an admission error, got {other:?}"),
+        }
+        match compiler.try_compile_text("input x [4294967295x4294967295]") {
+            Err(Gcd2Error::Admission(_)) => {}
+            other => panic!("expected an admission error, got {other:?}"),
+        }
+    }
+}
