@@ -22,8 +22,12 @@ echo "==> chaos suite (fault injection, two fixed fault seeds)"
 GCD2_CHAOS_SEED=2024 cargo test -q --features fault-injection --test chaos
 GCD2_CHAOS_SEED=7 cargo test -q --features fault-injection --test chaos
 
-echo "==> clippy unwrap/expect deny gate (gcd2 + gcd2-globalopt lib paths)"
-cargo clippy -q -p gcd2 -p gcd2-globalopt --lib -- -D warnings
+echo "==> runtime chaos suite (fault injection, two fixed fault seeds)"
+GCD2_RT_CHAOS_SEED=2024 cargo test -q --features fault-injection --test runtime_chaos
+GCD2_RT_CHAOS_SEED=7 cargo test -q --features fault-injection --test runtime_chaos
+
+echo "==> clippy unwrap/expect deny gate (gcd2 + gcd2-globalopt + gcd2-kernels lib paths)"
+cargo clippy -q -p gcd2 -p gcd2-globalopt -p gcd2-kernels --lib -- -D warnings
 
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -q -- -D warnings

@@ -34,6 +34,9 @@ fn usage() -> ExitCode {
                        bit-identity against the interpreter\n\
            --batch B   run a B-input batch through the plan on the\n\
                        compiler's worker threads and report throughput\n\
+           --serve N   smoke the bounded-queue inference server with N\n\
+                       requests, verifying bit-identity and reporting\n\
+                       throughput and backpressure rejections\n\
            --ops       print the per-operator plan table\n\
            --profile   print the hottest operators by cycle share\n\
            --asm N     dump the first N scheduled blocks as assembly\n\
@@ -96,6 +99,7 @@ fn main() -> ExitCode {
     let mut timing = false;
     let mut infer_iters = 0usize;
     let mut batch = 0usize;
+    let mut serve = 0usize;
     let mut asm_blocks = 0usize;
     let mut export: Option<String> = None;
     let mut i = 1;
@@ -155,6 +159,14 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 batch = n.max(1);
+            }
+            "--serve" => {
+                i += 1;
+                let Some(v) = args.get(i) else { return usage() };
+                let Ok(n) = v.parse::<usize>() else {
+                    return usage();
+                };
+                serve = n.max(1);
             }
             "--ops" => show_ops = true,
             "--profile" => show_profile = true,
@@ -260,7 +272,7 @@ fn main() -> ExitCode {
         100.0 * compiled.lowered.transform_cycles() as f64 / compiled.cycles() as f64
     );
 
-    if infer_iters > 0 || batch > 0 {
+    if infer_iters > 0 || batch > 0 || serve > 0 {
         const SEED: u64 = 0xC0DE;
         let t0 = std::time::Instant::now();
         let plan = compiled.inference_plan(SEED);
@@ -348,6 +360,89 @@ fn main() -> ExitCode {
                 if outs == serial { "true" } else { "FALSE" }
             );
             if outs != serial {
+                return ExitCode::from(1);
+            }
+        }
+
+        if serve > 0 {
+            let workers = compiler.threads().max(1);
+            let capacity = 2 * workers;
+            let server = gcd2::InferServer::start(
+                plan.clone(),
+                workers,
+                capacity,
+                gcd2::ExecOptions::default(),
+            );
+            let inputs: Vec<Vec<u8>> = (0..serve)
+                .map(|r| {
+                    (0..plan.input_len())
+                        .map(|i| ((i * 11 + 5 * (r + 1)) % 16) as u8)
+                        .collect()
+                })
+                .collect();
+            let t0 = std::time::Instant::now();
+            let mut pending: std::collections::VecDeque<(usize, gcd2::InferTicket)> =
+                std::collections::VecDeque::new();
+            let mut outputs: Vec<Option<Vec<u8>>> = vec![None; serve];
+            let mut failures = 0usize;
+            for (r, input) in inputs.iter().enumerate() {
+                loop {
+                    match server.submit(input.clone()) {
+                        Ok(ticket) => {
+                            pending.push_back((r, ticket));
+                            break;
+                        }
+                        Err(gcd2::InferError::QueueFull { .. }) => {
+                            // Backpressure: drain the oldest pending
+                            // request, then retry this submission.
+                            if let Some((done, ticket)) = pending.pop_front() {
+                                match ticket.wait() {
+                                    Ok(out) => outputs[done] = Some(out),
+                                    Err(_) => failures += 1,
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("serve submission failed: {e}");
+                            return ExitCode::from(1);
+                        }
+                    }
+                }
+            }
+            for (r, ticket) in pending {
+                match ticket.wait() {
+                    Ok(out) => outputs[r] = Some(out),
+                    Err(_) => failures += 1,
+                }
+            }
+            let wall = t0.elapsed();
+            let stats = server.shutdown();
+            let mut divergent = 0usize;
+            for (input, out) in inputs.iter().zip(&outputs) {
+                if out.as_deref() != Some(plan.execute(input).as_slice()) {
+                    divergent += 1;
+                }
+            }
+            println!(
+                "  serve {serve} via {workers} worker{} (queue {capacity}): {:.2?} \
+                 ({:.1} inf/s)",
+                if workers == 1 { "" } else { "s" },
+                wall,
+                serve as f64 / wall.as_secs_f64()
+            );
+            println!(
+                "  accepted {} / rejected {} (backpressure) / completed {} / failed {}",
+                stats.accepted, stats.rejected, stats.completed, stats.failed
+            );
+            println!(
+                "  bit-identical: {}",
+                if divergent == 0 && failures == 0 {
+                    "true"
+                } else {
+                    "FALSE"
+                }
+            );
+            if divergent > 0 || failures > 0 {
                 return ExitCode::from(1);
             }
         }

@@ -40,6 +40,9 @@ pub enum Gcd2Error {
         /// The captured panic message.
         message: String,
     },
+    /// Building an [`crate::InferencePlan`] from the compiled model was
+    /// rejected by the runtime's own validation.
+    Infer(InferError),
 }
 
 impl fmt::Display for Gcd2Error {
@@ -53,6 +56,7 @@ impl fmt::Display for Gcd2Error {
             Gcd2Error::Internal { message } => {
                 write!(f, "internal compiler error (caught panic): {message}")
             }
+            Gcd2Error::Infer(e) => write!(f, "inference plan rejected: {e}"),
         }
     }
 }
@@ -66,7 +70,14 @@ impl std::error::Error for Gcd2Error {
             Gcd2Error::Worker(e) => Some(e),
             Gcd2Error::Lower(e) => Some(e),
             Gcd2Error::Internal { .. } => None,
+            Gcd2Error::Infer(e) => Some(e),
         }
+    }
+}
+
+impl From<InferError> for Gcd2Error {
+    fn from(e: InferError) -> Self {
+        Gcd2Error::Infer(e)
     }
 }
 
@@ -97,5 +108,133 @@ impl From<WorkerPanic> for Gcd2Error {
 impl From<LowerError> for Gcd2Error {
     fn from(e: LowerError) -> Self {
         Gcd2Error::Lower(e)
+    }
+}
+
+/// Why a fallible inference entry point refused or failed an execution.
+///
+/// This is the runtime mirror of [`Gcd2Error`]: every way a serving
+/// request can go wrong — a malformed input, a stale arena, a tampered
+/// plan, a blown deadline, a persistently panicking worker, an
+/// overloaded server — maps to one variant, so a serving layer embedding
+/// [`crate::InferencePlan`] never has to `catch_unwind` around it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferError {
+    /// The input buffer does not hold exactly the flattened input
+    /// tensor the plan was built for.
+    InputShape {
+        /// Bytes the plan's input tensor occupies.
+        expected: usize,
+        /// Bytes the caller handed in.
+        got: usize,
+    },
+    /// The arena was checked out from a *different* plan: its buffers
+    /// are sized for another schedule and would silently mis-execute.
+    ArenaMismatch {
+        /// Integrity checksum of the executing plan.
+        plan: u64,
+        /// Checksum stamped into the arena at checkout.
+        arena: u64,
+    },
+    /// The plan's weights or step schedule no longer hash to the
+    /// checksum computed at build time — memory corruption or tampering.
+    IntegrityViolation {
+        /// Checksum recorded when the plan was built.
+        expected: u64,
+        /// Checksum of the plan as it is now.
+        got: u64,
+    },
+    /// A GEMM's worst-case accumulator magnitude exceeds `i32`: the
+    /// quantization scheme cannot guarantee overflow-free execution.
+    QuantOverflow {
+        /// Graph node id of the offending GEMM.
+        node: usize,
+        /// Reduction depth that blew the bound.
+        k: usize,
+        /// The worst-case accumulator value.
+        max_acc: i64,
+    },
+    /// A kernel rejected its dispatch (operand shape disagreement).
+    Dispatch {
+        /// Graph node id of the step whose kernel refused.
+        node: usize,
+        /// The kernel's own diagnostic.
+        message: String,
+    },
+    /// Execution exceeded the caller's deadline and was abandoned at a
+    /// step boundary.
+    DeadlineExceeded {
+        /// Time spent before giving up.
+        elapsed: std::time::Duration,
+        /// The configured deadline.
+        deadline: std::time::Duration,
+    },
+    /// A batch worker panicked on this item and the serial retry
+    /// panicked again — a persistent per-item fault.
+    Worker(WorkerPanic),
+    /// The serving queue was full; the request was rejected for
+    /// backpressure and can be retried.
+    QueueFull {
+        /// The server's configured queue capacity.
+        capacity: usize,
+    },
+    /// The server has been shut down (or its workers all died); the
+    /// request cannot be served.
+    ServerStopped,
+    /// The runtime itself panicked under the entry-point panic guard.
+    Internal {
+        /// The captured panic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::InputShape { expected, got } => {
+                write!(f, "input holds {got} bytes, plan expects {expected}")
+            }
+            InferError::ArenaMismatch { plan, arena } => {
+                write!(f, "arena belongs to plan {arena:#018x}, not {plan:#018x}")
+            }
+            InferError::IntegrityViolation { expected, got } => write!(
+                f,
+                "plan integrity check failed: built as {expected:#018x}, now {got:#018x}"
+            ),
+            InferError::QuantOverflow { node, k, max_acc } => write!(
+                f,
+                "node {node}: worst-case accumulator {max_acc} over k={k} exceeds i32"
+            ),
+            InferError::Dispatch { node, message } => {
+                write!(f, "node {node}: kernel dispatch rejected: {message}")
+            }
+            InferError::DeadlineExceeded { elapsed, deadline } => write!(
+                f,
+                "execution abandoned after {elapsed:?} (deadline {deadline:?})"
+            ),
+            InferError::Worker(e) => write!(f, "batch worker failed: {e}"),
+            InferError::QueueFull { capacity } => {
+                write!(f, "serving queue full ({capacity} slots); retry later")
+            }
+            InferError::ServerStopped => write!(f, "inference server is stopped"),
+            InferError::Internal { message } => {
+                write!(f, "internal runtime error (caught panic): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InferError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InferError::Worker(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkerPanic> for InferError {
+    fn from(e: WorkerPanic) -> Self {
+        InferError::Worker(e)
     }
 }

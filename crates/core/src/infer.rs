@@ -26,15 +26,32 @@
 //! for the same seed — both paths share one source of operator
 //! semantics — and independent of thread count in
 //! [`InferencePlan::execute_batch`], which fans a batch of inputs across
-//! `gcd2_par::par_map` with a pool of per-worker arenas.
+//! `gcd2_par` worker isolation with a pool of per-worker arenas.
+//!
+//! # Fault tolerance (DESIGN.md §6d)
+//!
+//! Every execution entry point has a fallible `try_` form returning a
+//! structured [`InferError`] instead of panicking: inputs are
+//! shape-checked, arenas are stamped with the plan's integrity checksum
+//! and rejected across plans, per-step deadlines abandon overlong runs,
+//! and batch items are panic-isolated per item via
+//! [`gcd2_par::par_map_isolated`]. The plan itself carries an FNV-1a
+//! checksum over its materialized weights and step schedule, computed at
+//! build time and re-verifiable via [`InferencePlan::verify_integrity`]
+//! (or per-execution with [`ExecOptions::paranoid`]). The historical
+//! panicking APIs remain as thin wrappers over the `try_` forms.
 
 use gcd2_cgraph::{Activation, NodeId, OpKind};
-use gcd2_kernels::{dwconv_direct_into, hostops, im2col_rm_into, matmul_blocked_into, GemmScratch};
+use gcd2_kernels::{
+    dwconv_direct_into, hostops, im2col_rm_into, try_matmul_blocked_into, GemmScratch,
+};
 use gcd2_tensor::MatrixI8;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use crate::runtime::{gemm_shift, weight, ACT_MAX};
+use crate::error::InferError;
+use crate::runtime::{gemm_shift, weight, ACT_MAX, WGT_MAX};
 use crate::CompiledModel;
 
 /// How a GEMM step stages its activation matrix from the input slot.
@@ -158,17 +175,67 @@ pub struct InferencePlan {
     seed: u64,
     weight_bytes: usize,
     gemm_macs: u64,
+    /// FNV-1a over the step schedule and materialized weights, computed
+    /// once at build; [`InferencePlan::verify_integrity`] re-derives and
+    /// compares it.
+    checksum: u64,
 }
 
 /// Reusable per-worker execution buffers: the activation slots plus the
 /// GEMM staging/output/accumulator scratch. Steady-state execution
 /// allocates nothing.
+///
+/// An arena is **stamped** with the checksum of the plan that first uses
+/// it; executing it against a different plan is an
+/// [`InferError::ArenaMismatch`] instead of silent misbehavior over
+/// wrong-sized slots.
 #[derive(Debug, Default)]
 pub struct InferArena {
     slots: Vec<Vec<u8>>,
     stage_a: Vec<u8>,
     gemm_out: Vec<u8>,
     scratch: GemmScratch,
+    stamp: Option<u64>,
+}
+
+/// Per-execution options for the fallible entry points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Abandon the run at the next step boundary once this much wall
+    /// clock has elapsed, returning [`InferError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// Re-verify the plan's integrity checksum before executing, so a
+    /// corrupted plan surfaces as [`InferError::IntegrityViolation`]
+    /// instead of silently wrong outputs.
+    pub paranoid: bool,
+}
+
+/// Incremental FNV-1a (64-bit), the checksum primitive of plan
+/// integrity stamps. Not cryptographic — it detects corruption, not
+/// adversaries.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn i8s(&mut self, vals: &[i8]) {
+        for &v in vals {
+            self.bytes(&[v as u8]);
+        }
+    }
 }
 
 /// Wall-clock timing of one timed plan execution, mirroring
@@ -200,15 +267,166 @@ pub struct OpTiming {
     pub duration: Duration,
 }
 
+/// Rejects GEMMs whose worst-case accumulator `k · ACT_MAX · WGT_MAX`
+/// exceeds `i32` (the kernel accumulator width); otherwise returns the
+/// folded requantization shift for depth `k`.
+fn check_quant_range(node: NodeId, k: usize) -> Result<u8, InferError> {
+    let max_acc = k as i64 * ACT_MAX as i64 * WGT_MAX as i64;
+    if max_acc > i32::MAX as i64 {
+        return Err(InferError::QuantOverflow {
+            node: node.0,
+            k,
+            max_acc,
+        });
+    }
+    Ok(gemm_shift(k))
+}
+
+/// Folds one step's computation — variant tag, resolved dimensions, and
+/// for GEMMs the materialized weight bytes — into the plan checksum.
+fn hash_step_kind(h: &mut Fnv, kind: &StepKind) {
+    match kind {
+        StepKind::Input => h.u64(0),
+        StepKind::Constant => h.u64(1),
+        StepKind::Gemm(g) => {
+            h.u64(2);
+            h.usize(g.m);
+            h.usize(g.k);
+            h.usize(g.n);
+            h.u64(g.shift as u64);
+            match &g.prep {
+                GemmPrep::Direct => h.u64(0),
+                GemmPrep::Im2col {
+                    c,
+                    h: fh,
+                    w,
+                    kernel,
+                    stride,
+                    padding,
+                }
+                | GemmPrep::Depthwise {
+                    c,
+                    h: fh,
+                    w,
+                    kernel,
+                    stride,
+                    padding,
+                } => {
+                    h.u64(if matches!(g.prep, GemmPrep::Im2col { .. }) {
+                        1
+                    } else {
+                        2
+                    });
+                    h.usize(*c);
+                    h.usize(*fh);
+                    h.usize(*w);
+                    h.usize(kernel.0);
+                    h.usize(kernel.1);
+                    h.usize(stride.0);
+                    h.usize(stride.1);
+                    h.usize(padding.0);
+                    h.usize(padding.1);
+                }
+                GemmPrep::Transposed { c, m } => {
+                    h.u64(3);
+                    h.usize(*c);
+                    h.usize(*m);
+                }
+            }
+            match g.scatter {
+                Scatter::Chw { spatial } => {
+                    h.u64(0);
+                    h.usize(spatial);
+                }
+                Scatter::DwRows => h.u64(1),
+                Scatter::RowMajor => h.u64(2),
+            }
+            h.i8s(g.weights.as_slice());
+        }
+        StepKind::Add => h.u64(3),
+        StepKind::Mul => h.u64(4),
+        StepKind::Div => h.u64(5),
+        StepKind::Pow => h.u64(6),
+        StepKind::Passthrough => h.u64(7),
+        StepKind::MonotoneLut => h.u64(8),
+        StepKind::Softmax { group } => {
+            h.u64(9);
+            h.usize(*group);
+        }
+        StepKind::LayerNorm { group } => {
+            h.u64(10);
+            h.usize(*group);
+        }
+        StepKind::Pool {
+            c,
+            h: ph,
+            w,
+            kernel,
+            stride,
+            is_max,
+        } => {
+            h.u64(11);
+            h.usize(*c);
+            h.usize(*ph);
+            h.usize(*w);
+            h.usize(kernel.0);
+            h.usize(kernel.1);
+            h.usize(stride.0);
+            h.usize(stride.1);
+            h.u64(*is_max as u64);
+        }
+        StepKind::GlobalAvgPool { c, hw } => {
+            h.u64(12);
+            h.usize(*c);
+            h.usize(*hw);
+        }
+        StepKind::Upsample {
+            c,
+            h: uh,
+            w,
+            factor,
+        } => {
+            h.u64(13);
+            h.usize(*c);
+            h.usize(*uh);
+            h.usize(*w);
+            h.usize(*factor);
+        }
+        StepKind::Concat => h.u64(14),
+    }
+}
+
 impl InferencePlan {
     /// Compiles the execution plan: schedule, slots, weights, shifts.
     /// Weights are derived from `seed` exactly as the interpreter derives
     /// them, so outputs match [`crate::runtime::execute_reference`] for
     /// the same seed.
+    ///
+    /// # Panics
+    /// Panics if the graph is empty or a GEMM's quantization range
+    /// overflows `i32` (see [`InferencePlan::try_build`]).
     pub fn build(compiled: &CompiledModel, seed: u64) -> InferencePlan {
+        match InferencePlan::try_build(compiled, seed) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`InferencePlan::build`] with validated construction: an empty
+    /// graph or an overflow-prone GEMM comes back as an [`InferError`].
+    ///
+    /// # Errors
+    /// Returns [`InferError::QuantOverflow`] if any GEMM's worst-case
+    /// accumulator exceeds `i32`, or [`InferError::Internal`] for an
+    /// empty graph.
+    pub fn try_build(compiled: &CompiledModel, seed: u64) -> Result<InferencePlan, InferError> {
         let graph = &compiled.graph;
         let nodes = graph.nodes();
-        assert!(!nodes.is_empty(), "cannot plan an empty graph");
+        if nodes.is_empty() {
+            return Err(InferError::Internal {
+                message: "cannot plan an empty graph".to_string(),
+            });
+        }
         let mut uses = vec![0usize; nodes.len()];
         for node in nodes {
             for &i in &node.inputs {
@@ -216,7 +434,7 @@ impl InferencePlan {
             }
         }
         let Some(output_node) = nodes.last() else {
-            unreachable!("guarded by the non-empty assert above");
+            unreachable!("guarded by the non-empty check above");
         };
         let output_id = output_node.id;
         uses[output_id.0] += 1; // the model output is never freed
@@ -274,7 +492,7 @@ impl InferencePlan {
                         m,
                         k,
                         n,
-                        shift: gemm_shift(k),
+                        shift: check_quant_range(node.id, k)?,
                         scatter: Scatter::Chw {
                             spatial: node.shape.spatial(),
                         },
@@ -309,7 +527,7 @@ impl InferencePlan {
                         m,
                         k,
                         n: 1,
-                        shift: gemm_shift(k),
+                        shift: check_quant_range(node.id, k)?,
                         scatter: Scatter::DwRows,
                     };
                     (StepKind::Gemm(Box::new(g)), node.shape.elems().min(m))
@@ -330,7 +548,7 @@ impl InferencePlan {
                         m,
                         k,
                         n: *n,
-                        shift: gemm_shift(k),
+                        shift: check_quant_range(node.id, k)?,
                         scatter: Scatter::RowMajor,
                     };
                     (StepKind::Gemm(Box::new(g)), m * n)
@@ -349,7 +567,7 @@ impl InferencePlan {
                         m,
                         k: c,
                         n,
-                        shift: gemm_shift(c),
+                        shift: check_quant_range(node.id, c)?,
                         scatter: Scatter::Chw {
                             spatial: node.shape.spatial(),
                         },
@@ -457,7 +675,7 @@ impl InferencePlan {
 
         // One step per node and the graph is non-empty.
         let output_len = steps.last().map(|s| s.out_len).unwrap_or(0);
-        InferencePlan {
+        let mut plan = InferencePlan {
             steps,
             slot_sizes,
             input_len,
@@ -466,6 +684,61 @@ impl InferencePlan {
             seed,
             weight_bytes,
             gemm_macs,
+            checksum: 0,
+        };
+        plan.checksum = plan.integrity_checksum();
+        Ok(plan)
+    }
+
+    /// Re-derives the FNV-1a checksum over the step schedule (ids,
+    /// slots, op strings, per-kind parameters) and every materialized
+    /// weight byte. Equal to [`InferencePlan::checksum`] unless the plan
+    /// has been corrupted since build.
+    fn integrity_checksum(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.seed);
+        h.usize(self.input_len);
+        h.usize(self.output_len);
+        h.usize(self.output_slot);
+        h.usize(self.slot_sizes.len());
+        for &s in &self.slot_sizes {
+            h.usize(s);
+        }
+        for step in &self.steps {
+            h.usize(step.node.0);
+            h.bytes(step.op.as_bytes());
+            h.usize(step.in_slots.len());
+            for &s in &step.in_slots {
+                h.usize(s);
+            }
+            h.usize(step.out_slot);
+            h.usize(step.out_len);
+            hash_step_kind(&mut h, &step.kind);
+        }
+        h.0
+    }
+
+    /// The integrity checksum computed when the plan was built; arenas
+    /// are stamped with it at checkout.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Re-hashes the plan's schedule and weights and compares against
+    /// the build-time checksum.
+    ///
+    /// # Errors
+    /// Returns [`InferError::IntegrityViolation`] if the plan no longer
+    /// hashes to its build-time checksum.
+    pub fn verify_integrity(&self) -> Result<(), InferError> {
+        let got = self.integrity_checksum();
+        if got == self.checksum {
+            Ok(())
+        } else {
+            Err(InferError::IntegrityViolation {
+                expected: self.checksum,
+                got,
+            })
         }
     }
 
@@ -512,8 +785,10 @@ impl InferencePlan {
     }
 
     /// Allocates a fresh arena sized to this plan's slot high-water
-    /// marks.
+    /// marks, stamped with this plan's checksum. Hosts the `infer.arena`
+    /// fault point.
     pub fn new_arena(&self) -> InferArena {
+        let _ = gcd2_faults::fire("infer.arena");
         InferArena {
             slots: self
                 .slot_sizes
@@ -523,73 +798,263 @@ impl InferencePlan {
             stage_a: Vec::new(),
             gemm_out: Vec::new(),
             scratch: GemmScratch::default(),
+            stamp: Some(self.checksum),
+        }
+    }
+
+    /// Claims `arena` for this plan: a fresh (unstamped) arena is sized
+    /// and stamped; an arena stamped by a *different* plan is rejected.
+    fn adopt_arena(&self, arena: &mut InferArena) -> Result<(), InferError> {
+        match arena.stamp {
+            Some(stamp) if stamp == self.checksum => Ok(()),
+            Some(stamp) => Err(InferError::ArenaMismatch {
+                plan: self.checksum,
+                arena: stamp,
+            }),
+            None => {
+                let _ = gcd2_faults::fire("infer.arena");
+                arena.slots.clear();
+                arena.slots.resize_with(self.slot_sizes.len(), Vec::new);
+                arena.stamp = Some(self.checksum);
+                Ok(())
+            }
         }
     }
 
     /// One inference with a throwaway arena.
+    ///
+    /// # Panics
+    /// Panics on any [`InferError`] condition (wrong input length,
+    /// failed paranoid check); see [`InferencePlan::try_execute`].
     pub fn execute(&self, input: &[u8]) -> Vec<u8> {
-        let mut arena = self.new_arena();
-        let mut out = Vec::new();
-        self.execute_into(input, &mut arena, &mut out);
-        out
+        match self.try_execute(input) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// One inference with a throwaway arena, defaulted [`ExecOptions`].
+    ///
+    /// # Errors
+    /// Returns the [`InferError`] describing why the execution was
+    /// refused or abandoned; panics inside the runtime are caught and
+    /// surface as [`InferError::Internal`].
+    pub fn try_execute(&self, input: &[u8]) -> Result<Vec<u8>, InferError> {
+        self.try_execute_with(input, &ExecOptions::default())
+    }
+
+    /// [`InferencePlan::try_execute`] with caller-chosen [`ExecOptions`]
+    /// (deadline, paranoid integrity checking).
+    ///
+    /// # Errors
+    /// See [`InferencePlan::try_execute`].
+    pub fn try_execute_with(
+        &self,
+        input: &[u8],
+        opts: &ExecOptions,
+    ) -> Result<Vec<u8>, InferError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut arena = self.new_arena();
+            self.run_checked(input, &mut arena, None, opts)?;
+            Ok(arena.slots[self.output_slot].clone())
+        }))
+        .unwrap_or_else(|p| {
+            Err(InferError::Internal {
+                message: gcd2_par::panic_message(p.as_ref()),
+            })
+        })
     }
 
     /// One inference reusing `arena`; the output tensor is written into
     /// `output`.
     ///
     /// # Panics
-    /// Panics if `input.len() != self.input_len()`.
+    /// Panics if `input.len() != self.input_len()` or `arena` was
+    /// stamped by a different plan; see
+    /// [`InferencePlan::try_execute_into`].
     pub fn execute_into(&self, input: &[u8], arena: &mut InferArena, output: &mut Vec<u8>) {
-        self.run(input, arena, None);
-        output.clear();
-        output.extend_from_slice(&arena.slots[self.output_slot]);
+        match self.try_execute_into(input, arena, output, &ExecOptions::default()) {
+            Ok(()) => {}
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// One inference reusing `arena` under `opts`; the output tensor is
+    /// written into `output` (left untouched on error).
+    ///
+    /// # Errors
+    /// See [`InferencePlan::try_execute`]; additionally rejects arenas
+    /// checked out from a different plan with
+    /// [`InferError::ArenaMismatch`].
+    pub fn try_execute_into(
+        &self,
+        input: &[u8],
+        arena: &mut InferArena,
+        output: &mut Vec<u8>,
+        opts: &ExecOptions,
+    ) -> Result<(), InferError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.run_checked(input, arena, None, opts)?;
+            output.clear();
+            output.extend_from_slice(&arena.slots[self.output_slot]);
+            Ok(())
+        }))
+        .unwrap_or_else(|p| {
+            Err(InferError::Internal {
+                message: gcd2_par::panic_message(p.as_ref()),
+            })
+        })
     }
 
     /// One inference with per-stage and per-operator wall-clock timings.
+    ///
+    /// # Panics
+    /// Panics on any [`InferError`] condition; see
+    /// [`InferencePlan::try_execute_timed`].
     pub fn execute_timed(&self, input: &[u8], arena: &mut InferArena) -> (Vec<u8>, InferReport) {
-        let mut report = InferReport::default();
-        let t0 = Instant::now();
-        self.run(input, arena, Some(&mut report));
-        report.total = t0.elapsed();
-        (arena.slots[self.output_slot].clone(), report)
+        match self.try_execute_timed(input, arena, &ExecOptions::default()) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// One timed inference under `opts`.
+    ///
+    /// # Errors
+    /// See [`InferencePlan::try_execute_into`].
+    pub fn try_execute_timed(
+        &self,
+        input: &[u8],
+        arena: &mut InferArena,
+        opts: &ExecOptions,
+    ) -> Result<(Vec<u8>, InferReport), InferError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut report = InferReport::default();
+            let t0 = Instant::now();
+            self.run_checked(input, arena, Some(&mut report), opts)?;
+            report.total = t0.elapsed();
+            Ok((arena.slots[self.output_slot].clone(), report))
+        }))
+        .unwrap_or_else(|p| {
+            Err(InferError::Internal {
+                message: gcd2_par::panic_message(p.as_ref()),
+            })
+        })
     }
 
     /// Runs a batch of inputs across `threads` workers with pooled
     /// arenas. Outputs are in input order and bit-identical for every
-    /// thread count (each inference is independent; `par_map` preserves
-    /// order).
+    /// thread count (each inference is independent; worker isolation
+    /// preserves order).
+    ///
+    /// # Panics
+    /// Panics if any item fails; see
+    /// [`InferencePlan::try_execute_batch`] for the per-item form.
     pub fn execute_batch(&self, inputs: &[Vec<u8>], threads: usize) -> Vec<Vec<u8>> {
-        let arenas: Mutex<Vec<InferArena>> = Mutex::new(Vec::new());
-        gcd2_par::par_map(threads, inputs, |_, input| {
-            // Pooled arenas are interchangeable scratch buffers, so a
-            // pool poisoned by a panicking sibling stays usable.
-            let mut arena = arenas
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .pop()
-                .unwrap_or_else(|| self.new_arena());
-            let mut out = Vec::new();
-            self.execute_into(input, &mut arena, &mut out);
-            arenas
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .push(arena);
-            out
-        })
+        self.try_execute_batch(inputs, threads)
+            .into_iter()
+            .map(|r| match r {
+                Ok(out) => out,
+                Err(e) => panic!("{e}"),
+            })
+            .collect()
     }
 
-    fn run(&self, input: &[u8], arena: &mut InferArena, mut report: Option<&mut InferReport>) {
-        assert_eq!(input.len(), self.input_len, "input size mismatch");
+    /// [`InferencePlan::execute_batch`] with **per-item** results and
+    /// panic isolation: a worker panic on one item is retried once
+    /// serially and, if persistent, surfaces as
+    /// [`InferError::Worker`] in that item's slot only — one poisoned
+    /// input cannot sink the batch.
+    pub fn try_execute_batch(
+        &self,
+        inputs: &[Vec<u8>],
+        threads: usize,
+    ) -> Vec<Result<Vec<u8>, InferError>> {
+        self.try_execute_batch_with(inputs, threads, &ExecOptions::default())
+    }
+
+    /// [`InferencePlan::try_execute_batch`] with caller-chosen
+    /// [`ExecOptions`] applied to every item ([`ExecOptions::deadline`]
+    /// acts as a per-item backstop). Hosts the `infer.batch` fault
+    /// point.
+    pub fn try_execute_batch_with(
+        &self,
+        inputs: &[Vec<u8>],
+        threads: usize,
+        opts: &ExecOptions,
+    ) -> Vec<Result<Vec<u8>, InferError>> {
+        let arenas: Mutex<Vec<InferArena>> = Mutex::new(Vec::new());
+        gcd2_par::par_map_isolated(threads, inputs, |_, input| {
+            let _ = gcd2_faults::fire("infer.batch");
+            // Pooled arenas are interchangeable scratch buffers, so a
+            // pool poisoned by a panicking sibling stays usable. Panics
+            // below deliberately unwind into `par_map_isolated`'s
+            // per-item guard (the arena is simply dropped), so transient
+            // faults recover bit-identically via its serial retry.
+            let mut arena = arenas
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop()
+                .unwrap_or_else(|| self.new_arena());
+            let result = self
+                .run_checked(input, &mut arena, None, opts)
+                .map(|()| arena.slots[self.output_slot].clone());
+            arenas
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(arena);
+            result
+        })
+        .into_iter()
+        .map(|item| match item {
+            Ok(Ok(out)) => Ok(out),
+            Ok(Err(e)) => Err(e),
+            Err(panic) => Err(InferError::Worker(panic)),
+        })
+        .collect()
+    }
+
+    /// The shared execution core: validates, then streams the schedule.
+    /// Deliberately **not** panic-guarded — single-shot entry points add
+    /// `catch_unwind`, while batch items let panics reach the per-item
+    /// isolation in `par_map_isolated` so transient faults can retry.
+    fn run_checked(
+        &self,
+        input: &[u8],
+        arena: &mut InferArena,
+        mut report: Option<&mut InferReport>,
+        opts: &ExecOptions,
+    ) -> Result<(), InferError> {
+        if input.len() != self.input_len {
+            return Err(InferError::InputShape {
+                expected: self.input_len,
+                got: input.len(),
+            });
+        }
+        self.adopt_arena(arena)?;
+        if opts.paranoid {
+            self.verify_integrity()?;
+        }
+        let started = Instant::now();
         for step in &self.steps {
+            if let Some(deadline) = opts.deadline {
+                let elapsed = started.elapsed();
+                if elapsed > deadline {
+                    return Err(InferError::DeadlineExceeded { elapsed, deadline });
+                }
+            }
             let t0 = report.is_some().then(Instant::now);
             let aliased = matches!(step.kind, StepKind::Passthrough)
                 && step.in_slots.first() == Some(&step.out_slot);
             let mut prep = Duration::ZERO;
             if !aliased {
-                // Detach the output buffer so input slots stay readable.
+                // Detach the output buffer so input slots stay readable;
+                // restore it before propagating a step error so the
+                // arena stays structurally sound.
                 let mut out = std::mem::take(&mut arena.slots[step.out_slot]);
-                prep = run_step(step, input, arena, &mut out, report.is_some());
+                let stepped = run_step(step, input, arena, &mut out, report.is_some());
                 arena.slots[step.out_slot] = out;
+                prep = stepped?;
             }
             if let (Some(r), Some(t0)) = (report.as_deref_mut(), t0) {
                 let d = t0.elapsed();
@@ -607,23 +1072,65 @@ impl InferencePlan {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Chaos-suite helper: perturbs one materialized weight so integrity
+    /// checking has real corruption to catch. Test instrumentation only.
+    #[cfg(feature = "fault-injection")]
+    #[doc(hidden)]
+    pub fn chaos_corrupt_weights(&mut self) {
+        for step in &mut self.steps {
+            if let StepKind::Gemm(g) = &mut step.kind {
+                let old = g.weights.clone();
+                let flat = old.as_slice();
+                let (n, rows) = (g.n, g.k);
+                g.weights = MatrixI8::from_fn(rows, n, |r, c| {
+                    let v = flat[r * n + c];
+                    if r == 0 && c == 0 {
+                        v.wrapping_add(1)
+                    } else {
+                        v
+                    }
+                });
+                return;
+            }
+        }
+    }
+
+    /// Chaos-suite helper: perturbs the step schedule (one `out_len`) so
+    /// integrity checking has real tampering to catch. Test
+    /// instrumentation only.
+    #[cfg(feature = "fault-injection")]
+    #[doc(hidden)]
+    pub fn chaos_corrupt_schedule(&mut self) {
+        if let Some(step) = self.steps.last_mut() {
+            step.out_len = step.out_len.wrapping_add(1);
+        }
     }
 }
 
 /// Executes one step into `out`; returns the operand-staging time of
-/// GEMM steps when `timed`.
+/// GEMM steps when `timed`. Hosts the `infer.prep` (GEMM staging) and
+/// `infer.elementwise` (everything else) fault points.
 fn run_step(
     step: &Step,
     input: &[u8],
     arena: &mut InferArena,
     out: &mut Vec<u8>,
     timed: bool,
-) -> Duration {
+) -> Result<Duration, InferError> {
+    if matches!(step.kind, StepKind::Gemm(_)) {
+        let _ = gcd2_faults::fire("infer.prep");
+    } else {
+        let _ = gcd2_faults::fire("infer.elementwise");
+    }
     let InferArena {
         slots,
         stage_a,
         gemm_out,
         scratch,
+        ..
     } = arena;
     let arg = |i: usize| slots[step.in_slots[i]].as_slice();
     match &step.kind {
@@ -675,7 +1182,7 @@ fn run_step(
                         step.out_len,
                         out,
                     );
-                    return Duration::ZERO;
+                    return Ok(Duration::ZERO);
                 }
                 GemmPrep::Transposed { c, m } => {
                     stage_a.clear();
@@ -689,7 +1196,12 @@ fn run_step(
                 }
             };
             let prep = t0.map(|t| t.elapsed()).unwrap_or_default();
-            matmul_blocked_into(a, g.m, g.k, &g.weights, g.shift, scratch, gemm_out);
+            try_matmul_blocked_into(a, g.m, g.k, &g.weights, g.shift, scratch, gemm_out).map_err(
+                |e| InferError::Dispatch {
+                    node: step.node.0,
+                    message: e.to_string(),
+                },
+            )?;
             out.clear();
             out.resize(step.out_len, 0);
             match g.scatter {
@@ -706,7 +1218,7 @@ fn run_step(
                     }
                 }
             }
-            return prep;
+            return Ok(prep);
         }
         StepKind::Add => hostops::add_avg_into(arg(0), arg(1), out),
         StepKind::Mul => hostops::mul_shift4_into(arg(0), arg(1), ACT_MAX, out),
@@ -733,7 +1245,7 @@ fn run_step(
         }
         StepKind::Concat => hostops::concat_into(arg(0), arg(1), out),
     }
-    Duration::ZERO
+    Ok(Duration::ZERO)
 }
 
 #[cfg(test)]
@@ -858,6 +1370,123 @@ mod tests {
         assert!(plan.activation_bytes() > 0);
         assert!(plan.weight_bytes() > 0);
         assert!(plan.gemm_macs() > 0);
+    }
+
+    #[test]
+    fn quant_range_check_bounds_the_accumulator() {
+        // Any practical depth passes; a depth whose worst-case
+        // accumulator k·ACT_MAX·WGT_MAX exceeds i32 is rejected.
+        assert!(check_quant_range(NodeId(0), 1 << 20).is_ok());
+        let k = (i32::MAX as usize) / (ACT_MAX as usize * WGT_MAX as usize) + 1;
+        match check_quant_range(NodeId(3), k) {
+            Err(InferError::QuantOverflow {
+                node: 3,
+                k: got,
+                max_acc,
+            }) => {
+                assert_eq!(got, k);
+                assert!(max_acc > i32::MAX as i64);
+            }
+            other => panic!("expected QuantOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_execute_rejects_wrong_input_shape() {
+        let g = kitchen_sink();
+        let compiled = Compiler::new().compile(&g);
+        let plan = compiled.inference_plan(1);
+        let err = plan.try_execute(&[0u8; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            InferError::InputShape {
+                expected: plan.input_len(),
+                got: 3
+            }
+        );
+        // The batch path reports it per item without contaminating the
+        // healthy items.
+        let good: Vec<u8> = (0..4 * 144).map(|i| (i % 16) as u8).collect();
+        let batch = vec![good.clone(), vec![1, 2, 3], good.clone()];
+        let results = plan.try_execute_batch(&batch, 2);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(InferError::InputShape { .. })));
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn arenas_are_stamped_and_rejected_across_plans() {
+        let g = kitchen_sink();
+        let compiled = Compiler::new().compile(&g);
+        let plan_a = compiled.inference_plan(1);
+        let plan_b = compiled.inference_plan(2);
+        assert_ne!(plan_a.checksum(), plan_b.checksum(), "seeds differ");
+        let input: Vec<u8> = (0..4 * 144).map(|i| (i % 16) as u8).collect();
+        let mut arena = plan_a.new_arena();
+        let mut out = Vec::new();
+        plan_a
+            .try_execute_into(&input, &mut arena, &mut out, &ExecOptions::default())
+            .expect("matching arena executes");
+        let err = plan_b
+            .try_execute_into(&input, &mut arena, &mut out, &ExecOptions::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            InferError::ArenaMismatch {
+                plan: plan_b.checksum(),
+                arena: plan_a.checksum(),
+            }
+        );
+        // A default (unstamped) arena is adopted and sized on first use.
+        let mut fresh = InferArena::default();
+        plan_b
+            .try_execute_into(&input, &mut fresh, &mut out, &ExecOptions::default())
+            .expect("unstamped arena is adopted");
+        assert_eq!(out, plan_b.execute(&input));
+    }
+
+    #[test]
+    fn integrity_checksum_is_stable_and_verifiable() {
+        let g = kitchen_sink();
+        let compiled = Compiler::new().compile(&g);
+        let plan = compiled.inference_plan(0xBEEF);
+        let again = compiled.inference_plan(0xBEEF);
+        assert_eq!(plan.checksum(), again.checksum(), "build is deterministic");
+        plan.verify_integrity().expect("untampered plan verifies");
+        let input: Vec<u8> = (0..4 * 144).map(|i| (i % 16) as u8).collect();
+        let paranoid = ExecOptions {
+            paranoid: true,
+            ..ExecOptions::default()
+        };
+        assert_eq!(
+            plan.try_execute_with(&input, &paranoid)
+                .expect("paranoid ok"),
+            plan.execute(&input),
+        );
+    }
+
+    #[test]
+    fn deadline_zero_is_exceeded_structurally() {
+        let g = kitchen_sink();
+        let compiled = Compiler::new().compile(&g);
+        let plan = compiled.inference_plan(5);
+        let input: Vec<u8> = (0..4 * 144).map(|i| (i % 16) as u8).collect();
+        // A zero deadline cannot cover even one step boundary check on
+        // any clock; the run is abandoned structurally, not by panic.
+        let opts = ExecOptions {
+            deadline: Some(Duration::ZERO),
+            ..ExecOptions::default()
+        };
+        match plan.try_execute_with(&input, &opts) {
+            Err(InferError::DeadlineExceeded { elapsed, deadline }) => {
+                assert_eq!(deadline, Duration::ZERO);
+                assert!(elapsed >= deadline);
+            }
+            // Duration::ZERO elapsed can tie the deadline on a coarse
+            // clock tick; a completed run must then be correct.
+            Ok(out) => assert_eq!(out, plan.execute(&input)),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
     }
 
     #[test]

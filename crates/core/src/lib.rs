@@ -62,10 +62,12 @@ pub mod admit;
 pub mod error;
 pub mod infer;
 pub mod runtime;
+pub mod serve;
 pub use admit::{admit, admit_with, AdmissionError, AdmissionLimits};
-pub use error::Gcd2Error;
-pub use infer::{InferArena, InferReport, InferencePlan, OpTiming};
+pub use error::{Gcd2Error, InferError};
+pub use infer::{ExecOptions, InferArena, InferReport, InferencePlan, OpTiming};
 pub use runtime::{execute_on_dsp, execute_reference, execute_reference_naive};
+pub use serve::{InferServer, InferTicket, ServerStats};
 
 /// Layout/instruction selection strategies (Figure 10's competitors).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -617,15 +619,18 @@ impl CompiledModel {
         InferencePlan::build(self, seed)
     }
 
-    /// Fallible form of [`CompiledModel::inference_plan`]: plan
-    /// construction runs under a panic guard, so a defective compiled
-    /// artifact yields [`Gcd2Error::Internal`] instead of unwinding.
+    /// Fallible form of [`CompiledModel::inference_plan`]: the plan's
+    /// own validation surfaces as [`Gcd2Error::Infer`], and construction
+    /// runs under a panic guard, so a defective compiled artifact yields
+    /// [`Gcd2Error::Internal`] instead of unwinding.
     pub fn try_inference_plan(&self, seed: u64) -> Result<InferencePlan, Gcd2Error> {
-        catch_unwind(AssertUnwindSafe(|| InferencePlan::build(self, seed))).map_err(|payload| {
-            Gcd2Error::Internal {
-                message: gcd2_par::panic_message(payload.as_ref()),
-            }
-        })
+        catch_unwind(AssertUnwindSafe(|| InferencePlan::try_build(self, seed)))
+            .unwrap_or_else(|payload| {
+                Err(InferError::Internal {
+                    message: gcd2_par::panic_message(payload.as_ref()),
+                })
+            })
+            .map_err(Gcd2Error::from)
     }
 
     /// End-to-end cycles on the simulated DSP.

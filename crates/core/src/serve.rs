@@ -1,0 +1,312 @@
+//! A bounded-queue serving facade over [`InferencePlan`].
+//!
+//! [`InferServer`] is the deployment-shaped entry point the ROADMAP's
+//! "heavy traffic" north star asks for: a fixed pool of worker threads,
+//! a bounded submission queue with **backpressure by rejection**
+//! ([`InferError::QueueFull`] — the caller retries, the queue never
+//! grows without bound), and per-request [`Result`]s, so one poisoned
+//! request degrades to one structured error instead of a dead server.
+//!
+//! Workers execute through [`InferencePlan::try_execute_into`], which is
+//! panic-guarded: an injected or real panic inside the runtime surfaces
+//! as [`InferError::Internal`] on that request only, and the worker
+//! lives on to serve the next one. `gcd2c --serve` smokes this end to
+//! end against the single-shot path.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use crate::error::InferError;
+use crate::infer::{ExecOptions, InferArena, InferencePlan};
+
+/// One queued request: the input plus the channel its result goes back
+/// on.
+#[derive(Debug)]
+struct Job {
+    input: Vec<u8>,
+    tx: Sender<Result<Vec<u8>, InferError>>,
+}
+
+/// State shared between submitters and workers.
+#[derive(Debug)]
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    stop: AtomicBool,
+    capacity: usize,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl Shared {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Counters of a server's lifetime, returned by
+/// [`InferServer::shutdown`] and [`InferServer::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests refused with [`InferError::QueueFull`].
+    pub rejected: u64,
+    /// Requests that completed with an output.
+    pub completed: u64,
+    /// Requests that completed with a structured error.
+    pub failed: u64,
+}
+
+/// A pending request's receipt: wait on it for the result.
+#[derive(Debug)]
+pub struct InferTicket {
+    rx: Receiver<Result<Vec<u8>, InferError>>,
+}
+
+impl InferTicket {
+    /// Blocks until the request completes.
+    ///
+    /// # Errors
+    /// Returns the request's own [`InferError`], or
+    /// [`InferError::ServerStopped`] if the server shut down before
+    /// serving it.
+    pub fn wait(self) -> Result<Vec<u8>, InferError> {
+        self.rx.recv().unwrap_or(Err(InferError::ServerStopped))
+    }
+}
+
+/// A bounded-queue inference server: `workers` threads draining a queue
+/// of at most `capacity` pending requests over one shared plan.
+#[derive(Debug)]
+pub struct InferServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl InferServer {
+    /// Starts `workers` threads serving `plan` under `opts`, with a
+    /// submission queue bounded at `capacity` pending jobs.
+    pub fn start(
+        plan: InferencePlan,
+        workers: usize,
+        capacity: usize,
+        opts: ExecOptions,
+    ) -> InferServer {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            capacity: capacity.max(1),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        });
+        let plan = Arc::new(plan);
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let plan = Arc::clone(&plan);
+                std::thread::spawn(move || worker_loop(&shared, &plan, &opts))
+            })
+            .collect();
+        InferServer {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Submits a request; returns a ticket to wait on.
+    ///
+    /// # Errors
+    /// Returns [`InferError::QueueFull`] when `capacity` jobs are
+    /// already pending (backpressure — retry after draining a ticket)
+    /// and [`InferError::ServerStopped`] after shutdown.
+    pub fn submit(&self, input: Vec<u8>) -> Result<InferTicket, InferError> {
+        if self.shared.stop.load(Ordering::Acquire) {
+            return Err(InferError::ServerStopped);
+        }
+        let (tx, rx) = channel();
+        {
+            let mut queue = self.shared.lock_queue();
+            if queue.len() >= self.shared.capacity {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(InferError::QueueFull {
+                    capacity: self.shared.capacity,
+                });
+            }
+            queue.push_back(Job { input, tx });
+        }
+        self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+        self.shared.available.notify_one();
+        Ok(InferTicket { rx })
+    }
+
+    /// Submit-and-wait convenience for callers without pipelining.
+    ///
+    /// # Errors
+    /// See [`InferServer::submit`] and [`InferTicket::wait`].
+    pub fn infer(&self, input: Vec<u8>) -> Result<Vec<u8>, InferError> {
+        self.submit(input)?.wait()
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting work, drains the queue, joins the workers, and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            // Worker bodies are panic-guarded per job; a join failure
+            // would be an unwind-in-unwind. Nothing to salvage from it.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for InferServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// One worker: wait for jobs, execute each under the panic-guarded
+/// entry point, answer on the job's channel. Runs until `stop` is set
+/// **and** the queue is drained, so accepted work is always answered.
+fn worker_loop(shared: &Shared, plan: &InferencePlan, opts: &ExecOptions) {
+    // The arena is checked out lazily and under a guard: a fault in
+    // arena allocation fails requests (Internal) without killing the
+    // worker, which retries the checkout on the next job.
+    let mut arena: Option<InferArena> = None;
+    let mut output = Vec::new();
+    loop {
+        let job = {
+            let mut queue = shared.lock_queue();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        if arena.is_none() {
+            arena = catch_unwind(AssertUnwindSafe(|| plan.new_arena())).ok();
+        }
+        let result = match arena.as_mut() {
+            Some(arena) => plan
+                .try_execute_into(&job.input, arena, &mut output, opts)
+                .map(|()| output.clone()),
+            None => Err(InferError::Internal {
+                message: "arena allocation failed".to_string(),
+            }),
+        };
+        if result.is_ok() {
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        // A caller that dropped its ticket is not an error.
+        let _ = job.tx.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Compiler;
+    use gcd2_cgraph::{Graph, OpKind, TShape};
+
+    fn tiny_plan() -> InferencePlan {
+        let mut g = Graph::new();
+        let x = g.input("x", TShape::new(vec![1, 16]));
+        let fc = g.add(OpKind::MatMul { n: 8 }, &[x], "fc");
+        g.add(OpKind::Softmax, &[fc], "sm");
+        Compiler::new().compile(&g).inference_plan(11)
+    }
+
+    #[test]
+    fn serves_requests_bit_identical_to_direct_execution() {
+        let plan = tiny_plan();
+        let server = InferServer::start(plan.clone(), 2, 8, ExecOptions::default());
+        let inputs: Vec<Vec<u8>> = (0..6)
+            .map(|s| (0..16).map(|i| ((i + s * 3) % 16) as u8).collect())
+            .collect();
+        let tickets: Vec<_> = inputs
+            .iter()
+            .map(|input| server.submit(input.clone()).expect("queue has room"))
+            .collect();
+        for (input, ticket) in inputs.iter().zip(tickets) {
+            assert_eq!(ticket.wait().expect("request served"), plan.execute(input));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.accepted, 6);
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn bad_input_fails_one_request_not_the_server() {
+        let plan = tiny_plan();
+        let server = InferServer::start(plan.clone(), 1, 4, ExecOptions::default());
+        let bad = server.infer(vec![1, 2, 3]).unwrap_err();
+        assert!(matches!(bad, InferError::InputShape { .. }), "{bad:?}");
+        let good: Vec<u8> = (0..16).map(|i| (i % 16) as u8).collect();
+        assert_eq!(
+            server.infer(good.clone()).expect("server still serves"),
+            plan.execute(&good)
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let plan = tiny_plan();
+        let mut server = InferServer::start(plan, 1, 4, ExecOptions::default());
+        server.stop_and_join();
+        assert_eq!(
+            server.submit(vec![0; 16]).map(|_| ()),
+            Err(InferError::ServerStopped)
+        );
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let plan = tiny_plan();
+        let server = InferServer::start(plan.clone(), 1, 0, ExecOptions::default());
+        let good: Vec<u8> = (0..16).map(|i| (i % 16) as u8).collect();
+        assert_eq!(
+            server.infer(good.clone()).expect("one slot exists"),
+            plan.execute(&good)
+        );
+    }
+}

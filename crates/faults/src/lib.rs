@@ -21,26 +21,58 @@
 //! pure computation, which is what makes recovered artifacts
 //! bit-identical.
 //!
-//! The well-known point names (one per instrumented subsystem):
+//! The well-known point names (one per instrumented subsystem). The
+//! first five cover the compilation pipeline, the last five the
+//! inference runtime:
 //!
-//! | point         | where it fires                                   |
-//! |---------------|--------------------------------------------------|
-//! | `cost.eval`   | kernel cost evaluation (`gcd2-kernels`)          |
-//! | `cache.lookup`| sharded memo lookup, lock held (`gcd2-par`)      |
-//! | `pack.vliw`   | SDA block packing (`gcd2-vliw`)                  |
-//! | `par.worker`  | worker-thread startup (`gcd2-par`)               |
-//! | `parse.line`  | model-text line parsing (`gcd2-cgraph`)          |
+//! | point              | where it fires                                   |
+//! |--------------------|--------------------------------------------------|
+//! | `cost.eval`        | kernel cost evaluation (`gcd2-kernels`)          |
+//! | `cache.lookup`     | sharded memo lookup, lock held (`gcd2-par`)      |
+//! | `pack.vliw`        | SDA block packing (`gcd2-vliw`)                  |
+//! | `par.worker`       | worker-thread startup (`gcd2-par`)               |
+//! | `parse.line`       | model-text line parsing (`gcd2-cgraph`)          |
+//! | `infer.arena`      | activation-arena allocation (`gcd2::infer`)      |
+//! | `infer.prep`       | GEMM operand staging (im2col/transpose)          |
+//! | `infer.gemm`       | blocked-GEMM dispatch (`gcd2-kernels::tiled`)    |
+//! | `infer.elementwise`| host elementwise/pool/shape step dispatch        |
+//! | `infer.batch`      | batch-worker item startup (`gcd2::infer`)        |
 
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
-/// The canonical fault-point names, for plan builders and tests.
-pub const POINTS: [&str; 5] = [
+/// The compile-pipeline fault points. [`FaultPlan::from_seed`] draws
+/// from exactly this set, so the compile chaos gate's fixed seeds keep
+/// producing the same plans as new (runtime) points are added.
+pub const COMPILE_POINTS: [&str; 5] = [
     "cost.eval",
     "cache.lookup",
     "pack.vliw",
     "par.worker",
     "parse.line",
+];
+
+/// The inference-runtime fault points ([`FaultPlan::from_seed_runtime`]).
+pub const RUNTIME_POINTS: [&str; 5] = [
+    "infer.arena",
+    "infer.prep",
+    "infer.gemm",
+    "infer.elementwise",
+    "infer.batch",
+];
+
+/// Every canonical fault-point name, for plan builders and tests.
+pub const POINTS: [&str; 10] = [
+    "cost.eval",
+    "cache.lookup",
+    "pack.vliw",
+    "par.worker",
+    "parse.line",
+    "infer.arena",
+    "infer.prep",
+    "infer.gemm",
+    "infer.elementwise",
+    "infer.batch",
 ];
 
 /// What an armed fault does when it fires.
@@ -116,23 +148,15 @@ impl FaultPlan {
     }
 
     /// Derives a plan deterministically from a seed: 1–3 transient
-    /// faults over the canonical points, with triggers spread over the
-    /// early hits. The same seed always yields the same plan, so chaos
-    /// runs are reproducible from their seed alone.
+    /// faults over the compile-pipeline points, with triggers spread
+    /// over the early hits. The same seed always yields the same plan,
+    /// so chaos runs are reproducible from their seed alone.
     pub fn from_seed(seed: u64) -> Self {
-        // SplitMix64: tiny, well-distributed, and dependency-free.
-        let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
-        let mut next = move || {
-            let mut z = state;
-            state = state.wrapping_add(0x9e3779b97f4a7c15);
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-            z ^ (z >> 31)
-        };
+        let mut next = splitmix64(seed);
         let mut plan = FaultPlan::new();
         let count = 1 + (next() % 3) as usize;
         for _ in 0..count {
-            let point = POINTS[(next() % POINTS.len() as u64) as usize];
+            let point = COMPILE_POINTS[(next() % COMPILE_POINTS.len() as u64) as usize];
             let kind = match next() % 3 {
                 0 => FaultKind::Panic,
                 1 => FaultKind::Delay {
@@ -143,6 +167,44 @@ impl FaultPlan {
             plan = plan.once(point, kind, 1 + next() % 64);
         }
         plan
+    }
+
+    /// [`FaultPlan::from_seed`] for the inference runtime: 1–3 faults
+    /// over [`RUNTIME_POINTS`], panics or short delays (cache
+    /// corruption has no runtime meaning), occasionally sticky to model
+    /// persistent hardware/memory failures.
+    pub fn from_seed_runtime(seed: u64) -> Self {
+        let mut next = splitmix64(seed ^ 0x52_54_43_48_41_4f_53);
+        let mut plan = FaultPlan::new();
+        let count = 1 + (next() % 3) as usize;
+        for _ in 0..count {
+            let point = RUNTIME_POINTS[(next() % RUNTIME_POINTS.len() as u64) as usize];
+            let kind = match next() % 3 {
+                0 | 1 => FaultKind::Panic,
+                _ => FaultKind::Delay {
+                    millis: 1 + next() % 3,
+                },
+            };
+            let trigger = 1 + next() % 64;
+            plan = if next().is_multiple_of(4) {
+                plan.sticky(point, kind, trigger)
+            } else {
+                plan.once(point, kind, trigger)
+            };
+        }
+        plan
+    }
+}
+
+/// SplitMix64: tiny, well-distributed, and dependency-free.
+fn splitmix64(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    move || {
+        let mut z = state;
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
     }
 }
 
@@ -291,6 +353,34 @@ mod tests {
                 assert!(POINTS.contains(&f.point.as_str()));
                 assert!(f.trigger >= 1);
             }
+        }
+    }
+
+    #[test]
+    fn runtime_seeded_plans_are_reproducible_and_runtime_scoped() {
+        for seed in [0u64, 7, 2024, u64::MAX] {
+            assert_eq!(
+                FaultPlan::from_seed_runtime(seed),
+                FaultPlan::from_seed_runtime(seed)
+            );
+            let plan = FaultPlan::from_seed_runtime(seed);
+            assert!(!plan.faults().is_empty() && plan.faults().len() <= 3);
+            for f in plan.faults() {
+                assert!(RUNTIME_POINTS.contains(&f.point.as_str()));
+                assert!(f.trigger >= 1);
+                assert!(
+                    !matches!(f.kind, FaultKind::CorruptCache),
+                    "cache corruption has no runtime fault point"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn point_sets_partition_cleanly() {
+        assert_eq!(COMPILE_POINTS.len() + RUNTIME_POINTS.len(), POINTS.len());
+        for p in COMPILE_POINTS.iter().chain(RUNTIME_POINTS.iter()) {
+            assert!(POINTS.contains(p));
         }
     }
 

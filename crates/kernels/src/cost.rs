@@ -137,11 +137,14 @@ impl CostModel {
         instr: SimdInstr,
         strategy: UnrollStrategy,
     ) -> (UnrollConfig, u64) {
-        candidates(strategy, gemm, instr)
+        match candidates(strategy, gemm, instr)
             .into_iter()
             .map(|cfg| (cfg, self.gemm_cycles(gemm, instr, cfg)))
             .min_by_key(|&(_, c)| c)
-            .expect("strategies always propose at least one configuration")
+        {
+            Some(best) => best,
+            None => unreachable!("strategies always propose at least one configuration"),
+        }
     }
 
     /// Cycles of a non-GEMM kernel over `elems` elements.

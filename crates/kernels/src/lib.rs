@@ -22,6 +22,10 @@
 //! assert!(vrmpy < vmpy);
 //! ```
 
+// Runtime-facing crate: recoverable failures must flow through Result,
+// same robustness gate as gcd2 core (see DESIGN.md §6d).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod conv;
 pub mod cost;
 pub mod elementwise;
@@ -41,7 +45,9 @@ pub use elementwise::{elementwise_blocks, EwKind};
 pub use instr::SimdInstr;
 pub use matmul::{functional_program, gemm_loops, output_matrix_len, timing_blocks, GemmLoops};
 pub use reference::{add_ref, matmul_ref, mul_ref};
-pub use tiled::{matmul_blocked_into, matmul_host, GemmScratch};
+pub use tiled::{
+    matmul_blocked_into, matmul_host, try_matmul_blocked_into, GemmDispatchError, GemmScratch,
+};
 pub use unroll::{
     adaptive_unroll, candidates, classify_output, OutputShapeClass, UnrollConfig, UnrollStrategy,
     UNROLL_CANDIDATES,

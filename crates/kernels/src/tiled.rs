@@ -32,6 +32,42 @@ pub struct GemmScratch {
     acc: Vec<i32>,
 }
 
+/// A GEMM dispatch rejected before touching any memory: the operands the
+/// runtime handed the kernel are inconsistent with each other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GemmDispatchError {
+    /// `a.len() != m * k` — the flat activation buffer cannot hold an
+    /// `m × k` row-major matrix.
+    ActivationSize { expected: usize, got: usize },
+    /// `w.rows() != k` — the weight reduction depth disagrees with the
+    /// activation width.
+    WeightRows { expected: usize, got: usize },
+    /// `shift >= 32` would shift an i32 accumulator past its width.
+    ShiftRange { shift: u8 },
+}
+
+impl std::fmt::Display for GemmDispatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GemmDispatchError::ActivationSize { expected, got } => write!(
+                f,
+                "activation buffer holds {got} bytes, dispatch expects {expected}"
+            ),
+            GemmDispatchError::WeightRows { expected, got } => {
+                write!(
+                    f,
+                    "weight matrix has {got} rows, dispatch expects {expected}"
+                )
+            }
+            GemmDispatchError::ShiftRange { shift } => {
+                write!(f, "requant shift {shift} exceeds i32 accumulator width")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GemmDispatchError {}
+
 /// Cache-blocked quantized matmul into a caller-provided output buffer:
 /// `out[r*n + c] = clamp((Σ_k a[r*k + kk] · w[kk][c]) >> shift, 0, 255)`.
 ///
@@ -40,7 +76,8 @@ pub struct GemmScratch {
 /// Bit-exact against [`crate::reference::matmul_ref`].
 ///
 /// # Panics
-/// Panics if `a.len() != m * k` or `w.rows() != k`.
+/// Panics if `a.len() != m * k`, `w.rows() != k`, or `shift >= 32`
+/// (see [`try_matmul_blocked_into`] for the fallible form).
 pub fn matmul_blocked_into(
     a: &[u8],
     m: usize,
@@ -50,8 +87,45 @@ pub fn matmul_blocked_into(
     scratch: &mut GemmScratch,
     out: &mut Vec<u8>,
 ) {
-    assert_eq!(a.len(), m * k, "activation size mismatch");
-    assert_eq!(w.rows(), k, "weight rows must equal activation cols");
+    match try_matmul_blocked_into(a, m, k, w, shift, scratch, out) {
+        Ok(()) => {}
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`matmul_blocked_into`] with validated dispatch: operand shape
+/// mismatches come back as a [`GemmDispatchError`] instead of a panic.
+/// This is the entry point the fault-tolerant inference runtime uses;
+/// it hosts the `infer.gemm` fault point.
+///
+/// # Errors
+/// Returns an error (before writing to `out`) if the operand shapes are
+/// mutually inconsistent or the requant shift is out of range.
+pub fn try_matmul_blocked_into(
+    a: &[u8],
+    m: usize,
+    k: usize,
+    w: &MatrixI8,
+    shift: u8,
+    scratch: &mut GemmScratch,
+    out: &mut Vec<u8>,
+) -> Result<(), GemmDispatchError> {
+    let _ = gcd2_faults::fire("infer.gemm");
+    if a.len() != m * k {
+        return Err(GemmDispatchError::ActivationSize {
+            expected: m * k,
+            got: a.len(),
+        });
+    }
+    if w.rows() != k {
+        return Err(GemmDispatchError::WeightRows {
+            expected: k,
+            got: w.rows(),
+        });
+    }
+    if shift >= 32 {
+        return Err(GemmDispatchError::ShiftRange { shift });
+    }
     let n = w.cols();
     let wd = w.as_slice();
     out.clear();
@@ -89,6 +163,7 @@ pub fn matmul_blocked_into(
         }
         mb += mrows;
     }
+    Ok(())
 }
 
 /// [`matmul_blocked_into`] with matrix operands: the drop-in host GEMM.
@@ -164,6 +239,39 @@ mod tests {
                 assert_eq!(blocked.get(r, c), want);
             }
         }
+    }
+
+    /// Checked dispatch rejects inconsistent operands without touching
+    /// the output buffer, and the panicking wrapper reuses the message.
+    #[test]
+    fn dispatch_validation_rejects_bad_operands() {
+        let w = MatrixI8::from_fn(4, 3, |_, _| 1);
+        let mut scratch = GemmScratch::default();
+        let mut out = vec![7u8; 5];
+        let a = vec![1u8; 7]; // not 2*4
+        assert_eq!(
+            try_matmul_blocked_into(&a, 2, 4, &w, 1, &mut scratch, &mut out),
+            Err(GemmDispatchError::ActivationSize {
+                expected: 8,
+                got: 7
+            })
+        );
+        assert_eq!(out, vec![7u8; 5], "rejected dispatch must not write");
+        let a = vec![1u8; 10]; // k=5 but w has 4 rows
+        assert_eq!(
+            try_matmul_blocked_into(&a, 2, 5, &w, 1, &mut scratch, &mut out),
+            Err(GemmDispatchError::WeightRows {
+                expected: 5,
+                got: 4
+            })
+        );
+        let a = vec![1u8; 8];
+        assert_eq!(
+            try_matmul_blocked_into(&a, 2, 4, &w, 40, &mut scratch, &mut out),
+            Err(GemmDispatchError::ShiftRange { shift: 40 })
+        );
+        assert!(try_matmul_blocked_into(&a, 2, 4, &w, 1, &mut scratch, &mut out).is_ok());
+        assert_eq!(out.len(), 6);
     }
 
     /// The scratch-reuse path is equivalent to fresh scratch.

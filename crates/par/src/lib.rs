@@ -13,6 +13,10 @@
 //!   pipeline runs on: worker closures execute under `catch_unwind`, a
 //!   panicked item is retried once serially, and only a *repeated* panic
 //!   surfaces — as a structured [`WorkerPanic`], never a process abort.
+//! * [`par_map_isolated`] — the same isolation with **per-item**
+//!   results (`Vec<Result<_, WorkerPanic>>`), so one poisoned item
+//!   fails alone instead of sinking the whole map; the batched
+//!   inference runtime serves on it.
 //! * [`ShardedMap`] — a concurrent memo table sharded by key hash, with
 //!   hit/miss counters. Shared across worker threads via `Arc`, it backs
 //!   the kernel cost cache and the VLIW packing memo. A shard whose lock
@@ -164,6 +168,24 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_isolated(threads, items, f).into_iter().collect()
+}
+
+/// [`try_par_map`] with **per-item** results: the map the batched
+/// inference runtime serves on, where one poisoned input must not sink
+/// the rest of the batch.
+///
+/// Isolation and retry are identical to [`try_par_map`] — worker
+/// closures run under `catch_unwind`, a first panic is retried once
+/// serially, workers that die at startup are tolerated — but an item
+/// that panics twice yields `Err(WorkerPanic)` **in its own slot** while
+/// every other item still returns its `Ok` value.
+pub fn par_map_isolated<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<Result<R, WorkerPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let threads = threads.max(1).min(items.len());
     // Slot states: None = unprocessed, Some(Ok) = done, Some(Err) =
     // first attempt panicked (message kept for diagnostics).
@@ -204,17 +226,18 @@ where
         });
     }
     // Serial sweep: finish unclaimed items and retry panicked ones once.
-    let mut out = Vec::with_capacity(items.len());
-    for (i, slot) in slots.into_iter().enumerate() {
-        let state = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
-        let value = match state {
-            Some(Ok(r)) => r,
-            Some(Err(_)) => retry_serial(i, &items[i], &f, 1)?,
-            None => retry_serial(i, &items[i], &f, 2)?,
-        };
-        out.push(value);
-    }
-    Ok(out)
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            let state = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+            match state {
+                Some(Ok(r)) => Ok(r),
+                Some(Err(_)) => retry_serial(i, &items[i], &f, 1),
+                None => retry_serial(i, &items[i], &f, 2),
+            }
+        })
+        .collect()
 }
 
 /// Runs `f(i, item)` under `catch_unwind` up to `attempts` times,
@@ -489,6 +512,50 @@ mod tests {
             .expect_err("persistent panic must surface");
             assert_eq!(err.index, 9);
             assert!(err.message.contains("persistent failure"), "{err}");
+        }
+    }
+
+    #[test]
+    fn par_map_isolated_confines_failure_to_its_slot() {
+        // Item 9 always panics; every sibling still returns Ok — the
+        // per-item contract the batched inference runtime serves on.
+        let items: Vec<usize> = (0..16).collect();
+        for threads in [1, 3] {
+            let out = par_map_isolated(threads, &items, |_, &x| {
+                if x == 9 {
+                    panic!("poisoned item");
+                }
+                x * 2
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i == 9 {
+                    let err = r.as_ref().expect_err("item 9 must fail");
+                    assert_eq!(err.index, 9);
+                    assert!(err.message.contains("poisoned item"), "{err}");
+                } else {
+                    assert_eq!(r.as_ref().copied(), Ok(i * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_isolated_retries_transients_to_all_ok() {
+        let fired = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..24).collect();
+        for threads in [1, 4] {
+            fired.store(0, Ordering::SeqCst);
+            let out = par_map_isolated(threads, &items, |_, &x| {
+                if x == 7 && fired.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient");
+                }
+                x + 1
+            });
+            let values: Result<Vec<usize>, _> = out.into_iter().collect();
+            assert_eq!(
+                values.expect("transient panic must be retried away"),
+                items.iter().map(|x| x + 1).collect::<Vec<_>>()
+            );
         }
     }
 

@@ -77,6 +77,36 @@ fn batch_execution_matches_interpreter_on_every_catalog_model() {
     }
 }
 
+/// Degenerate batch shapes: the empty batch, a batch of one, and more
+/// threads than items all behave like the plain multi-item path.
+#[test]
+fn batch_edge_shapes_execute_cleanly() {
+    let graph = ModelId::MobileNetV3.build();
+    let compiled = Compiler::new().compile(&graph);
+    let plan = compiled.inference_plan(SEED);
+
+    // Empty input list: empty output, no worker machinery engaged.
+    let empty: Vec<Vec<u8>> = Vec::new();
+    assert!(plan.execute_batch(&empty, 4).is_empty());
+    assert!(plan.try_execute_batch(&empty, 4).is_empty());
+
+    // Batch of one matches single-shot execution at any thread count.
+    let single = batch_inputs(plan.input_len(), 1);
+    let direct = plan.execute(&single[0]);
+    for threads in [1, 4] {
+        assert_eq!(plan.execute_batch(&single, threads), vec![direct.clone()]);
+    }
+
+    // More threads than items: extra workers idle, results unchanged.
+    let inputs = batch_inputs(plan.input_len(), 3);
+    let reference = plan.execute_batch(&inputs, 1);
+    assert_eq!(plan.execute_batch(&inputs, 8), reference);
+    // The fallible form agrees per item.
+    for (r, want) in plan.try_execute_batch(&inputs, 8).iter().zip(&reference) {
+        assert_eq!(r.as_ref().expect("healthy batch"), want);
+    }
+}
+
 /// Reused arenas across different inputs never leak state between
 /// inferences, and repeated batches are reproducible.
 #[test]
