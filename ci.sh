@@ -18,6 +18,15 @@ cargo run --release -q -p gcd2-bench --bin compile_time -- --smoke
 echo "==> inference-throughput bench smoke (BENCH_infer.json, bit-identical check)"
 cargo run --release -q -p gcd2-bench --bin infer_throughput -- --smoke
 
+echo "==> static plan analysis over the catalog (thread-invariant output)"
+mkdir -p target
+GCD2_THREADS=1 cargo run --release -q -p gcd2 --bin gcd2c -- --analyze \
+    > target/analyze_serial.txt
+cargo run --release -q -p gcd2 --bin gcd2c -- --analyze \
+    > target/analyze_parallel.txt
+diff target/analyze_serial.txt target/analyze_parallel.txt
+grep -q "all 10 catalog models analyze clean" target/analyze_serial.txt
+
 echo "==> chaos suite (fault injection, two fixed fault seeds)"
 GCD2_CHAOS_SEED=2024 cargo test -q --features fault-injection --test chaos
 GCD2_CHAOS_SEED=7 cargo test -q --features fault-injection --test chaos
@@ -26,8 +35,8 @@ echo "==> runtime chaos suite (fault injection, two fixed fault seeds)"
 GCD2_RT_CHAOS_SEED=2024 cargo test -q --features fault-injection --test runtime_chaos
 GCD2_RT_CHAOS_SEED=7 cargo test -q --features fault-injection --test runtime_chaos
 
-echo "==> clippy unwrap/expect deny gate (gcd2 + gcd2-globalopt + gcd2-kernels lib paths)"
-cargo clippy -q -p gcd2 -p gcd2-globalopt -p gcd2-kernels --lib -- -D warnings
+echo "==> clippy unwrap/expect deny gate (gcd2 + gcd2-globalopt + gcd2-kernels + gcd2-analyze lib paths)"
+cargo clippy -q -p gcd2 -p gcd2-globalopt -p gcd2-kernels -p gcd2-analyze --lib -- -D warnings
 
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -q -- -D warnings

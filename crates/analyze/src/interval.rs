@@ -1,0 +1,146 @@
+//! The interval abstract domain: closed integer ranges `[lo, hi]` over
+//! `i64`, wide enough to hold any quantized activation or GEMM
+//! accumulator value this runtime can produce without itself wrapping.
+
+use std::fmt;
+
+/// A closed integer interval `[lo, hi]` with `lo <= hi`.
+///
+/// All arithmetic is saturating: the domain tops out at the `i64` range
+/// rather than wrapping, which keeps the abstraction sound (a saturated
+/// bound is looser, never tighter, than the true one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Smallest value the tensor may contain.
+    pub lo: i64,
+    /// Largest value the tensor may contain.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The interval `[lo, hi]`, reordering the endpoints if needed.
+    pub fn new(a: i64, b: i64) -> Self {
+        Interval {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    /// The singleton interval `[v, v]`.
+    pub fn point(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Smallest interval containing both `self` and `other`.
+    pub fn hull(self, other: Interval) -> Self {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Whether every value of `self` lies within `other`.
+    pub fn within(self, other: Interval) -> bool {
+        other.lo <= self.lo && self.hi <= other.hi
+    }
+
+    /// Whether `v` lies within the interval.
+    pub fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Clamps both endpoints into `[lo, hi]`.
+    pub fn clamp(self, lo: i64, hi: i64) -> Self {
+        Interval {
+            lo: self.lo.clamp(lo, hi),
+            hi: self.hi.clamp(lo, hi),
+        }
+    }
+
+    /// Applies a **monotone non-decreasing** scalar function to the
+    /// interval: the image is exactly `[f(lo), f(hi)]`.
+    pub fn map_monotone(self, f: impl Fn(i64) -> i64) -> Self {
+        Interval::new(f(self.lo), f(self.hi))
+    }
+
+    /// The narrowest signed integer width (8, 16, 32, or 64 bits) whose
+    /// value range contains the whole interval.
+    pub fn min_signed_bits(self) -> u8 {
+        for bits in [8u8, 16, 32] {
+            let lo = -(1i64 << (bits - 1));
+            let hi = (1i64 << (bits - 1)) - 1;
+            if self.lo >= lo && self.hi <= hi {
+                return bits;
+            }
+        }
+        64
+    }
+
+    /// Whether the interval fits a signed 32-bit accumulator.
+    pub fn fits_i32(self) -> bool {
+        self.min_signed_bits() <= 32
+    }
+
+    /// Largest absolute value the interval reaches.
+    pub fn max_abs(self) -> i64 {
+        self.lo.saturating_abs().max(self.hi.saturating_abs())
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_normalize() {
+        assert_eq!(Interval::new(5, -3), Interval { lo: -3, hi: 5 });
+        assert_eq!(Interval::point(7), Interval { lo: 7, hi: 7 });
+    }
+
+    #[test]
+    fn hull_and_containment() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(-4, 3);
+        let h = a.hull(b);
+        assert_eq!(h, Interval::new(-4, 10));
+        assert!(a.within(h));
+        assert!(b.within(h));
+        assert!(!h.within(a));
+        assert!(h.contains(0));
+        assert!(!h.contains(11));
+    }
+
+    #[test]
+    fn signed_width_ladder() {
+        assert_eq!(Interval::new(0, 127).min_signed_bits(), 8);
+        assert_eq!(Interval::new(-128, 127).min_signed_bits(), 8);
+        assert_eq!(Interval::new(0, 128).min_signed_bits(), 16);
+        assert_eq!(Interval::new(-32768, 32767).min_signed_bits(), 16);
+        assert_eq!(Interval::new(0, 1 << 20).min_signed_bits(), 32);
+        assert_eq!(Interval::new(i64::from(i32::MIN), 0).min_signed_bits(), 32);
+        assert_eq!(
+            Interval::new(0, i64::from(i32::MAX) + 1).min_signed_bits(),
+            64
+        );
+        assert!(Interval::new(-1000, 1000).fits_i32());
+        assert!(!Interval::new(0, i64::MAX).fits_i32());
+    }
+
+    #[test]
+    fn monotone_map_uses_endpoints() {
+        let a = Interval::new(2, 9);
+        assert_eq!(a.map_monotone(|v| v / 2 + v / 4), Interval::new(1, 6));
+    }
+
+    #[test]
+    fn clamp_and_abs() {
+        assert_eq!(Interval::new(-9, 300).clamp(0, 255), Interval::new(0, 255));
+        assert_eq!(Interval::new(-9, 3).max_abs(), 9);
+    }
+}

@@ -229,6 +229,28 @@ impl OpKind {
         matches!(self, OpKind::Reshape { .. } | OpKind::Transpose)
     }
 
+    /// True when the operator's output values stay within the convex
+    /// hull of its input values under the quantized runtime semantics:
+    /// ReLU-family clamps on already-non-negative data, shape plumbing,
+    /// pooling (the max or the integer mean of a window never leaves the
+    /// window's value range), nearest-neighbour upsampling, and
+    /// concatenation. The interval interpreter in `gcd2-analyze` routes
+    /// all of these through a single hull transfer function; every other
+    /// operator needs its own.
+    pub fn preserves_value_range(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Act(Activation::Relu | Activation::Relu6)
+                | OpKind::MaxPool { .. }
+                | OpKind::AvgPool { .. }
+                | OpKind::GlobalAvgPool
+                | OpKind::Upsample { .. }
+                | OpKind::Reshape { .. }
+                | OpKind::Transpose
+                | OpKind::Concat
+        )
+    }
+
     /// True when the operator's inner loop is a widening
     /// multiply-accumulate, i.e. it has a [`GemmDims`] view and competes
     /// for the disparate SIMD multiply instructions.
@@ -682,6 +704,23 @@ mod tests {
             padding: (0, 0)
         }
         .is_gemm_like());
+    }
+
+    #[test]
+    fn value_range_preservation_flags() {
+        assert!(OpKind::Act(Activation::Relu).preserves_value_range());
+        assert!(OpKind::MaxPool {
+            kernel: (2, 2),
+            stride: (2, 2)
+        }
+        .preserves_value_range());
+        assert!(OpKind::GlobalAvgPool.preserves_value_range());
+        assert!(OpKind::Concat.preserves_value_range());
+        // Arithmetic and normalization rescale values; GEMMs accumulate.
+        assert!(!OpKind::Add.preserves_value_range());
+        assert!(!OpKind::Softmax.preserves_value_range());
+        assert!(!OpKind::Act(Activation::HardSwish).preserves_value_range());
+        assert!(!OpKind::MatMul { n: 8 }.preserves_value_range());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! gcd2c efficientnet-b0 --compare # all selection strategies side by side
 //! gcd2c resnet-50 --export rn50.gcg # save the graph as text
 //! gcd2c ./rn50.gcg                  # compile a graph from a text file
+//! gcd2c tinybert --analyze          # static plan analysis, per-GEMM ranges
+//! gcd2c --analyze                   # analyze every catalog model
 //! gcd2c --list
 //! ```
 
@@ -37,6 +39,11 @@ fn usage() -> ExitCode {
            --serve N   smoke the bounded-queue inference server with N\n\
                        requests, verifying bit-identity and reporting\n\
                        throughput and backpressure rejections\n\
+           --analyze   run the static plan analyzer (gcd2-analyze):\n\
+                       prove per-GEMM accumulator bounds and arena\n\
+                       soundness, print the proven ranges, exit 1 on\n\
+                       any finding; as the only argument, analyze the\n\
+                       whole model catalog\n\
            --ops       print the per-operator plan table\n\
            --profile   print the hottest operators by cycle share\n\
            --asm N     dump the first N scheduled blocks as assembly\n\
@@ -68,6 +75,9 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    if args.first().map(String::as_str) == Some("--analyze") {
+        return analyze_catalog();
+    }
     let Some(model_name) = args.first() else {
         return usage();
     };
@@ -93,6 +103,7 @@ fn main() -> ExitCode {
     };
 
     let mut compiler = Compiler::new();
+    let mut analyze = false;
     let mut show_ops = false;
     let mut show_profile = false;
     let mut compare = false;
@@ -168,6 +179,7 @@ fn main() -> ExitCode {
                 };
                 serve = n.max(1);
             }
+            "--analyze" => analyze = true,
             "--ops" => show_ops = true,
             "--profile" => show_profile = true,
             "--asm" => {
@@ -271,6 +283,45 @@ fn main() -> ExitCode {
         "  transforms   : {:.2} % of cycles",
         100.0 * compiled.lowered.transform_cycles() as f64 / compiled.cycles() as f64
     );
+
+    if analyze {
+        const SEED: u64 = 0xC0DE;
+        let plan = match compiled.try_inference_plan(SEED) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("plan construction failed: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let analysis = compiled.analyze_plan(&plan);
+        println!(
+            "\nstatic analysis: {} steps, {} slots — {}",
+            plan.steps(),
+            plan.slot_count(),
+            analysis.verdict()
+        );
+        println!(
+            "{:<26} {:>6} {:>5} {:>22} {:>14} {:>8}",
+            "gemm", "k", "shift", "accumulator", "output", "acc-bits"
+        );
+        for g in analysis.ranges.gemms() {
+            println!(
+                "{:<26} {:>6} {:>5} {:>22} {:>14} {:>8}",
+                truncate(&g.name, 26),
+                g.k,
+                g.shift,
+                g.acc.to_string(),
+                g.out.to_string(),
+                g.safe_acc_bits
+            );
+        }
+        for d in &analysis.diagnostics {
+            println!("  {d}");
+        }
+        if analysis.verdict() != gcd2::Verdict::Clean {
+            return ExitCode::from(1);
+        }
+    }
 
     if infer_iters > 0 || batch > 0 || serve > 0 {
         const SEED: u64 = 0xC0DE;
@@ -496,6 +547,53 @@ fn main() -> ExitCode {
             );
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// `gcd2c --analyze`: compile every catalog model, build its inference
+/// plan, and run the static analyzer over each. One row per model; any
+/// diagnostic fails the run. The output is deterministic for a given
+/// catalog regardless of compile thread count, so CI diffs two runs.
+fn analyze_catalog() -> ExitCode {
+    println!(
+        "{:<18} {:>6} {:>6} {:>6} {:>9} {:>6}  verdict",
+        "model", "steps", "slots", "gemms", "max-bits", "diags"
+    );
+    let mut failed = 0usize;
+    for id in ModelId::ALL {
+        let name = id.reference().name.to_lowercase();
+        let compiled = Compiler::new().compile(&id.build());
+        let plan = match compiled.try_inference_plan(0xC0DE) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{name:<18} plan construction failed: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        let analysis = compiled.analyze_plan(&plan);
+        println!(
+            "{:<18} {:>6} {:>6} {:>6} {:>9} {:>6}  {}",
+            name,
+            plan.steps(),
+            plan.slot_count(),
+            analysis.ranges.gemms().len(),
+            analysis.ranges.max_acc_bits(),
+            analysis.diagnostics.len(),
+            analysis.verdict()
+        );
+        for d in &analysis.diagnostics {
+            println!("    {d}");
+        }
+        if !analysis.is_clean() {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} model(s) failed static analysis");
+        return ExitCode::from(1);
+    }
+    println!("all {} catalog models analyze clean", ModelId::ALL.len());
     ExitCode::SUCCESS
 }
 

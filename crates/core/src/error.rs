@@ -186,6 +186,14 @@ pub enum InferError {
         /// The captured panic message.
         message: String,
     },
+    /// The static plan analyzer (`gcd2-analyze`) found a broken
+    /// invariant in a freshly built plan — an allocator or folding
+    /// defect that would execute wrongly. Raised by debug builds of
+    /// [`crate::InferencePlan::try_build`].
+    Unsound {
+        /// The analyzer's diagnostics, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for InferError {
@@ -219,6 +227,9 @@ impl fmt::Display for InferError {
             InferError::ServerStopped => write!(f, "inference server is stopped"),
             InferError::Internal { message } => {
                 write!(f, "internal runtime error (caught panic): {message}")
+            }
+            InferError::Unsound { detail } => {
+                write!(f, "plan failed static analysis: {detail}")
             }
         }
     }

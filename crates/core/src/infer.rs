@@ -267,11 +267,23 @@ pub struct OpTiming {
     pub duration: Duration,
 }
 
-/// Rejects GEMMs whose worst-case accumulator `k · ACT_MAX · WGT_MAX`
-/// exceeds `i32` (the kernel accumulator width); otherwise returns the
-/// folded requantization shift for depth `k`.
-fn check_quant_range(node: NodeId, k: usize) -> Result<u8, InferError> {
-    let max_acc = k as i64 * ACT_MAX as i64 * WGT_MAX as i64;
+/// Rejects GEMMs whose worst-case accumulator over the quantization
+/// ranges `act ∈ [0, act_max]`, `wgt ∈ [wgt_min, wgt_max]` escapes the
+/// i32 kernel accumulator in *either* direction. The positive bound is
+/// `k · act_max · max(wgt_max, 0)` against `i32::MAX`; the negative
+/// bound `k · act_max · min(wgt_min, 0)` against `i32::MIN` — the two
+/// are not symmetric for asymmetric weight ranges, so checking only the
+/// max side (as this function historically did) misses pure-underflow
+/// configurations.
+fn check_acc_bounds(
+    node: NodeId,
+    k: usize,
+    act_max: u8,
+    wgt_min: i8,
+    wgt_max: i8,
+) -> Result<(), InferError> {
+    let act = act_max as i64;
+    let max_acc = k as i64 * act * wgt_max.max(0) as i64;
     if max_acc > i32::MAX as i64 {
         return Err(InferError::QuantOverflow {
             node: node.0,
@@ -279,6 +291,24 @@ fn check_quant_range(node: NodeId, k: usize) -> Result<u8, InferError> {
             max_acc,
         });
     }
+    let min_acc = k as i64 * act * wgt_min.min(0) as i64;
+    if min_acc < i32::MIN as i64 {
+        return Err(InferError::QuantOverflow {
+            node: node.0,
+            k,
+            max_acc: min_acc,
+        });
+    }
+    Ok(())
+}
+
+/// Rejects GEMMs whose worst-case accumulator magnitude over the
+/// production quantization ranges (`[0, ACT_MAX]` activations,
+/// `[-WGT_MAX, WGT_MAX]` weights) escapes `i32` (the kernel accumulator
+/// width); otherwise returns the folded requantization shift for depth
+/// `k`.
+fn check_quant_range(node: NodeId, k: usize) -> Result<u8, InferError> {
+    check_acc_bounds(node, k, ACT_MAX, -WGT_MAX, WGT_MAX)?;
     Ok(gemm_shift(k))
 }
 
@@ -687,6 +717,22 @@ impl InferencePlan {
             checksum: 0,
         };
         plan.checksum = plan.integrity_checksum();
+
+        // Debug builds run the static plan analyzer (gcd2-analyze) over
+        // every freshly built plan, so an allocator or shift-folding
+        // defect surfaces here as a structured error instead of as wrong
+        // numerics at execution time. Release builds skip the pass; the
+        // CLI's `--analyze` mode and the test suites cover them.
+        #[cfg(debug_assertions)]
+        {
+            let analysis = gcd2_analyze::analyze_plan(graph, &plan);
+            if analysis.verdict() == gcd2_analyze::Verdict::Unsound {
+                return Err(InferError::Unsound {
+                    detail: analysis.to_string(),
+                });
+            }
+        }
+
         Ok(plan)
     }
 
@@ -1108,6 +1154,187 @@ impl InferencePlan {
             step.out_len = step.out_len.wrapping_add(1);
         }
     }
+
+    /// Mutation-suite helper: applies one seeded corruption from
+    /// [`PlanMutation`] and **re-stamps the integrity checksum**, so the
+    /// FNV stamp cannot vouch for the plan and the static analyzer must
+    /// catch the defect on its own. Returns whether the mutation found a
+    /// site to apply to. Test instrumentation only — unlike the chaos
+    /// helpers this is not feature-gated, because the analyzer mutation
+    /// suite runs under plain `cargo test`.
+    #[doc(hidden)]
+    pub fn mutate_for_test(&mut self, mutation: PlanMutation) -> bool {
+        let applied = match mutation {
+            PlanMutation::SwapSlots => {
+                // Two steps with distinct output slots, each of whose
+                // values is still read later: swapping their slot
+                // assignments leaves every consumer reading the wrong
+                // buffer.
+                let consumed_later = |i: usize| {
+                    let slot = self.steps[i].out_slot;
+                    self.steps[i + 1..]
+                        .iter()
+                        .any(|s| s.in_slots.contains(&slot))
+                };
+                let candidates: Vec<usize> = (0..self.steps.len())
+                    .filter(|&i| consumed_later(i))
+                    .collect();
+                let pair = candidates.iter().enumerate().find_map(|(ci, &i)| {
+                    candidates[ci + 1..]
+                        .iter()
+                        .find(|&&j| self.steps[j].out_slot != self.steps[i].out_slot)
+                        .map(|&j| (i, j))
+                });
+                match pair {
+                    Some((i, j)) => {
+                        let a = self.steps[i].out_slot;
+                        let b = self.steps[j].out_slot;
+                        self.steps[i].out_slot = b;
+                        self.steps[j].out_slot = a;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            PlanMutation::ShrinkSlot => {
+                // The largest slot entry is, by construction, the
+                // high-water mark of some step's write; shrinking it by
+                // one element undersizes that write.
+                match self
+                    .slot_sizes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &size)| size)
+                {
+                    Some((slot, &size)) if size > 0 => {
+                        self.slot_sizes[slot] = size - 1;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            PlanMutation::BumpShift => {
+                // Off-by-one the first GEMM's folded requantization
+                // shift: outputs halve, and the shift no longer matches
+                // the depth-k policy.
+                self.steps
+                    .iter_mut()
+                    .find_map(|s| match &mut s.kind {
+                        StepKind::Gemm(g) => {
+                            g.shift = g.shift.wrapping_add(1);
+                            Some(())
+                        }
+                        _ => None,
+                    })
+                    .is_some()
+            }
+        };
+        if applied {
+            self.checksum = self.integrity_checksum();
+        }
+        applied
+    }
+}
+
+/// Seeded plan corruptions for the analyzer mutation suite: each targets
+/// one invariant the static analyzer claims to prove, so the suite can
+/// assert the corresponding diagnostic code fires.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMutation {
+    /// Swap the output slots of two steps whose values are both read
+    /// later (arena soundness: operand/producer slot agreement).
+    SwapSlots,
+    /// Shrink the largest `slot_sizes` entry below its high-water write
+    /// (arena soundness: slot sizes dominate writes).
+    ShrinkSlot,
+    /// Off-by-one the first GEMM's folded requantization shift (range
+    /// analysis: folded shifts match the depth-k policy).
+    BumpShift,
+}
+
+/// Derives the [`gcd2_verify::GemmFacts`] of one staged GEMM. The
+/// policy shift and the per-column weight aggregates are recomputed
+/// from the reduction depth and the materialized weight bytes — never
+/// copied from the fields under scrutiny — so a corrupted stored shift
+/// or weight shows up as a disagreement.
+fn gemm_view_facts(g: &GemmStep) -> gcd2_verify::GemmFacts {
+    let weights = g.weights.as_slice();
+    let cols = g.n.max(1);
+    let mut pos = vec![0i64; cols];
+    let mut neg = vec![0i64; cols];
+    for row in weights.chunks(cols) {
+        for (j, &w) in row.iter().enumerate() {
+            let w = w as i64;
+            if w > 0 {
+                pos[j] += w;
+            } else {
+                neg[j] += w;
+            }
+        }
+    }
+    gcd2_verify::GemmFacts {
+        m: g.m,
+        k: g.k,
+        n: g.n,
+        shift: g.shift,
+        policy_shift: gemm_shift(g.k),
+        // Only the CHW scatter can leave output positions unwritten
+        // (zero), when the GEMM produces fewer rows than the spatial
+        // extent (ConvTranspose-style upsampling).
+        zero_fill: matches!(g.scatter, Scatter::Chw { spatial } if g.m < spatial),
+        col_pos_max: pos.iter().copied().max().unwrap_or(0),
+        col_neg_min: neg.iter().copied().min().unwrap_or(0),
+    }
+}
+
+/// The flattened projection `gcd2-analyze` consumes (see
+/// `gcd2_verify::infer_view`): plain data per step plus derived GEMM
+/// facts, keeping the analyzer decoupled from the runtime types.
+impl gcd2_verify::InferPlanView for InferencePlan {
+    fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    fn step(&self, index: usize) -> gcd2_verify::InferStep {
+        let s = &self.steps[index];
+        let role = match &s.kind {
+            StepKind::Input => gcd2_verify::StepRole::Input,
+            StepKind::Constant => gcd2_verify::StepRole::Constant,
+            StepKind::Gemm(g) => gcd2_verify::StepRole::Gemm(gemm_view_facts(g)),
+            StepKind::Passthrough => gcd2_verify::StepRole::Passthrough,
+            _ => gcd2_verify::StepRole::Compute,
+        };
+        gcd2_verify::InferStep {
+            index,
+            name: s.name.clone(),
+            op: s.op.clone(),
+            in_slots: s.in_slots.clone(),
+            out_slot: s.out_slot,
+            out_len: s.out_len,
+            role,
+        }
+    }
+
+    fn slot_sizes(&self) -> Vec<usize> {
+        self.slot_sizes.clone()
+    }
+
+    fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    fn output_slot(&self) -> usize {
+        self.output_slot
+    }
+
+    fn act_max(&self) -> u8 {
+        ACT_MAX
+    }
 }
 
 /// Executes one step into `out`; returns the operand-staging time of
@@ -1388,6 +1615,88 @@ mod tests {
                 assert!(max_acc > i32::MAX as i64);
             }
             other => panic!("expected QuantOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn acc_bound_check_catches_pure_underflow() {
+        // Regression: the check historically compared only the positive
+        // bound against i32::MAX, so an asymmetric weight range whose
+        // worst case is *negative* — weights in [-4, 0] never produce a
+        // positive accumulator at all — sailed through and could wrap
+        // the i32 accumulator from below. The depth below drives
+        // k·ACT_MAX·(-4) past i32::MIN while k·ACT_MAX·0 stays 0.
+        let k = (-(i32::MIN as i64) as usize) / (ACT_MAX as usize * 4) + 1;
+        assert!(
+            check_acc_bounds(NodeId(0), k, ACT_MAX, -4, 4).is_err(),
+            "symmetric range overflows both sides"
+        );
+        match check_acc_bounds(NodeId(5), k, ACT_MAX, -4, 0) {
+            Err(InferError::QuantOverflow {
+                node: 5,
+                k: got,
+                max_acc,
+            }) => {
+                assert_eq!(got, k);
+                assert!(
+                    max_acc < i32::MIN as i64,
+                    "the reported worst case is the negative bound, got {max_acc}"
+                );
+            }
+            other => panic!("expected underflow rejection, got {other:?}"),
+        }
+        // Sanity: the same depth with the mirror-image range [0, 4]
+        // still overflows (positive side), and a benign depth passes.
+        assert!(check_acc_bounds(NodeId(0), k, ACT_MAX, 0, 4).is_err());
+        assert!(check_acc_bounds(NodeId(0), 1 << 20, ACT_MAX, -4, 0).is_ok());
+    }
+
+    #[test]
+    fn plan_view_projection_is_faithful() {
+        use gcd2_verify::{InferPlanView, StepRole};
+        let g = kitchen_sink();
+        let compiled = Compiler::new().compile(&g);
+        let plan = compiled.inference_plan(9);
+        let view: &dyn InferPlanView = &plan;
+        assert_eq!(view.step_count(), plan.steps());
+        assert_eq!(view.input_len(), plan.input_len());
+        assert_eq!(view.output_len(), plan.output_len());
+        assert_eq!(view.act_max(), ACT_MAX);
+        let mut gemms = 0;
+        for i in 0..view.step_count() {
+            let s = view.step(i);
+            assert_eq!(s.index, i);
+            if let StepRole::Gemm(f) = s.role {
+                gemms += 1;
+                // The view recomputes the policy shift from k rather
+                // than echoing the stored shift; on a clean plan they
+                // agree.
+                assert_eq!(f.shift, f.policy_shift);
+                assert_eq!(f.policy_shift, gemm_shift(f.k));
+                // Column aggregates are bounded by the weight range.
+                assert!(f.col_pos_max <= (f.k as i64) * WGT_MAX as i64);
+                assert!(f.col_neg_min >= -(f.k as i64) * WGT_MAX as i64);
+            }
+        }
+        assert!(gemms >= 3, "kitchen sink stages conv, dw, fc: {gemms}");
+    }
+
+    #[test]
+    fn mutations_apply_and_restamp_checksum() {
+        let g = kitchen_sink();
+        let compiled = Compiler::new().compile(&g);
+        for m in [
+            PlanMutation::SwapSlots,
+            PlanMutation::ShrinkSlot,
+            PlanMutation::BumpShift,
+        ] {
+            let mut plan = compiled.inference_plan(3);
+            let pristine = plan.checksum;
+            assert!(plan.mutate_for_test(m), "{m:?} found no site");
+            assert_ne!(plan.checksum, pristine, "{m:?} must alter the plan");
+            // The stamp is re-computed after corruption: the runtime's
+            // integrity gate cannot catch these — only the analyzer.
+            assert_eq!(plan.checksum, plan.integrity_checksum(), "{m:?}");
         }
     }
 

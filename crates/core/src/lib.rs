@@ -65,6 +65,7 @@ pub mod runtime;
 pub mod serve;
 pub use admit::{admit, admit_with, AdmissionError, AdmissionLimits};
 pub use error::{Gcd2Error, InferError};
+pub use gcd2_analyze::{Analysis, Diagnostic, GemmRange, LintCode, RangeReport, Severity, Verdict};
 pub use infer::{ExecOptions, InferArena, InferReport, InferencePlan, OpTiming};
 pub use runtime::{execute_on_dsp, execute_reference, execute_reference_naive};
 pub use serve::{InferServer, InferTicket, ServerStats};
@@ -604,6 +605,17 @@ impl CompiledModel {
             .with_program(&self.lowered.program)
             .with_resource(self.resource.clone());
         gcd2_verify::Verifier::with_default_passes().run(&cx)
+    }
+
+    /// Runs the `gcd2-analyze` abstract interpreter and arena soundness
+    /// checker over an inference plan built from this model: proves
+    /// per-GEMM accumulator bounds and slot-aliasing safety, or returns
+    /// the diagnostics that refute them. Debug builds of
+    /// [`CompiledModel::inference_plan`] run this automatically; call it
+    /// directly to inspect the [`gcd2_analyze::RangeReport`] or to lint
+    /// release-built plans.
+    pub fn analyze_plan(&self, plan: &InferencePlan) -> gcd2_analyze::Analysis {
+        gcd2_analyze::analyze_plan(&self.graph, plan)
     }
 
     /// The kernel family chosen for a node.

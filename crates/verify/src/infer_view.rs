@@ -1,0 +1,108 @@
+//! A structural view of compiled inference plans for plan-level passes.
+//!
+//! The inference runtime lives *above* this crate (`gcd2::infer`), so
+//! the verifier cannot name `InferencePlan` directly without a
+//! dependency cycle. Instead the runtime implements [`InferPlanView`] —
+//! a flattened, plain-data projection of the plan's step schedule, slot
+//! arena, and per-GEMM quantization facts — and hands it to passes
+//! through [`crate::PlanView::Inference`]. Analysis crates
+//! (`gcd2-analyze`) consume the same view, keeping the dependency graph
+//! acyclic: `core → analyze → verify`.
+//!
+//! The view is deliberately *derived data only*: per-GEMM weight-column
+//! sums and the policy shift are recomputed from the plan's materialized
+//! weights and dimensions on every call, never copied from the fields
+//! under scrutiny, so a corrupted stored field cannot vouch for itself.
+
+use std::fmt;
+
+/// Role of one step in the schedule, as far as plan-level static
+/// analysis is concerned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepRole {
+    /// Materializes the model input into its slot (clamped into the
+    /// activation range).
+    Input,
+    /// Materializes a constant (zero) tensor.
+    Constant,
+    /// A staged GEMM with materialized weights.
+    Gemm(GemmFacts),
+    /// Value-preserving step (ReLU/Reshape/Transpose) that may alias its
+    /// input slot in place when the input dies with it.
+    Passthrough,
+    /// Any other compute step (elementwise, pooling, normalization…).
+    Compute,
+}
+
+/// Static facts about one GEMM step, derived from its materialized
+/// weights and resolved dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GemmFacts {
+    /// Activation rows.
+    pub m: usize,
+    /// Reduction depth.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// The requantization shift folded into the step at build time.
+    pub shift: u8,
+    /// The shift the runtime's depth-`k` requantization policy
+    /// prescribes, recomputed from `k` (not copied from the stored
+    /// step): a corrupted stored shift shows up as
+    /// `shift != policy_shift`.
+    pub policy_shift: u8,
+    /// Whether the output scatter leaves positions unwritten, i.e. the
+    /// output tensor contains zeros beyond the GEMM result
+    /// (ConvTranspose-style upsampling scatter).
+    pub zero_fill: bool,
+    /// `max_j Σ_i max(w_ij, 0)` — the largest per-column sum of positive
+    /// weights. Multiplied by the activation ceiling this bounds every
+    /// partial accumulator sum from above, for any summation order or
+    /// zero-padded subset of rows.
+    pub col_pos_max: i64,
+    /// `min_j Σ_i min(w_ij, 0)` — the most negative per-column sum of
+    /// negative weights; the matching lower partial-sum bound.
+    pub col_neg_min: i64,
+}
+
+/// One step of the schedule, flattened to plain data. The step index
+/// equals the graph node id (plan schedules are one step per node, in
+/// dense id order), so passes can walk the graph and the plan in
+/// lockstep.
+#[derive(Debug, Clone)]
+pub struct InferStep {
+    /// Schedule position == dense graph node id.
+    pub index: usize,
+    /// The node's name.
+    pub name: String,
+    /// The operator description.
+    pub op: String,
+    /// Arena slot of each operand, in graph-input order.
+    pub in_slots: Vec<usize>,
+    /// Arena slot the result is written to.
+    pub out_slot: usize,
+    /// Result element count.
+    pub out_len: usize,
+    /// What the step computes.
+    pub role: StepRole,
+}
+
+/// The projection of a compiled inference plan that plan-level passes
+/// inspect through [`crate::PlanView::Inference`].
+pub trait InferPlanView: fmt::Debug {
+    /// Number of schedule steps (one per graph node).
+    fn step_count(&self) -> usize;
+    /// The flattened view of step `index` (< [`Self::step_count`]).
+    fn step(&self, index: usize) -> InferStep;
+    /// High-water byte size of every arena slot.
+    fn slot_sizes(&self) -> Vec<usize>;
+    /// Expected model-input element count.
+    fn input_len(&self) -> usize;
+    /// Model-output element count.
+    fn output_len(&self) -> usize;
+    /// Arena slot holding the model output after execution.
+    fn output_slot(&self) -> usize;
+    /// Ceiling of the quantized activation range (the runtime's
+    /// `ACT_MAX`); every stored activation value is in `0..=act_max`.
+    fn act_max(&self) -> u8;
+}

@@ -41,12 +41,14 @@
 pub mod dataflow;
 pub mod diag;
 pub mod graph;
+pub mod infer_view;
 pub mod packet;
 pub mod plan;
 
 pub use dataflow::RegisterDataflow;
 pub use diag::{Diagnostic, Report, Severity};
 pub use graph::{infer_shape_checked, GraphInvariants};
+pub use infer_view::{GemmFacts, InferPlanView, InferStep, StepRole};
 pub use packet::PacketLegality;
 pub use plan::PlanLegality;
 
@@ -63,6 +65,10 @@ pub enum PlanView<'a> {
     Candidates(&'a PlanSet),
     /// The single chosen plan per node, indexed by `NodeId`.
     Chosen(&'a [ExecutionPlan]),
+    /// A compiled inference plan, seen through the flattened
+    /// [`InferPlanView`] projection. Lowering passes ignore it; the
+    /// `gcd2-analyze` passes consume it.
+    Inference(&'a dyn InferPlanView),
 }
 
 /// The artifacts one verifier run inspects. Passes skip checks whose

@@ -61,6 +61,9 @@ impl Pass for PlanLegality {
                     }
                 }
             }
+            // Inference plans have no Table II layouts; the gcd2-analyze
+            // passes own their invariants.
+            PlanView::Inference(_) => return,
         }
 
         if let Some(assignment) = cx.assignment {
@@ -188,6 +191,7 @@ fn check_assignment_cost(
                 }
             }
             PlanView::Chosen(chosen) => chosen[node.id.0],
+            PlanView::Inference(_) => return,
         };
         resolved.push(plan);
     }

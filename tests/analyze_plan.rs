@@ -1,0 +1,102 @@
+//! The static plan analyzer's soundness guarantee, exercised end to
+//! end: every catalog model compiles to an inference plan that
+//! `gcd2-analyze` proves overflow-free and arena-sound with **zero**
+//! diagnostics, and the exported [`RangeReport`] carries usable
+//! per-GEMM accumulator-width proofs.
+//!
+//! The fast subset runs on every `cargo test`; the full ten-model
+//! catalog rides behind `--ignored`.
+
+use gcd2_repro::analyze::{LintCode, Verdict};
+use gcd2_repro::compiler::Compiler;
+use gcd2_repro::models::ModelId;
+
+const SEED: u64 = 0xC0DE;
+
+/// Compiles one model, builds its plan, and asserts the analyzer
+/// proves it clean. Returns the proven max accumulator width.
+fn assert_clean(id: ModelId) -> u8 {
+    let compiled = Compiler::new().compile(&id.build());
+    let plan = compiled
+        .try_inference_plan(SEED)
+        .unwrap_or_else(|e| panic!("{id:?}: plan construction failed: {e}"));
+    let analysis = compiled.analyze_plan(&plan);
+    assert_eq!(
+        analysis.verdict(),
+        Verdict::Clean,
+        "{id:?} must analyze clean:\n{analysis}"
+    );
+    assert!(
+        analysis.is_clean(),
+        "{id:?}: zero diagnostics (no warnings either): {:?}",
+        analysis.diagnostics
+    );
+    // The overflow proof is not vacuous: every GEMM got an interval,
+    // and each fits the i32 kernel accumulator.
+    assert!(
+        !analysis.ranges.gemms().is_empty(),
+        "{id:?} stages at least one GEMM"
+    );
+    assert!(analysis.ranges.all_fit_i32(), "{id:?} overflow-free");
+    for g in analysis.ranges.gemms() {
+        assert!(
+            (8..=32).contains(&g.safe_acc_bits),
+            "{id:?} {}: proven width {} out of the plausible ladder",
+            g.name,
+            g.safe_acc_bits
+        );
+        assert!(
+            g.acc.lo <= g.acc.hi && g.out.lo >= 0 && g.out.hi <= 15,
+            "{id:?} {}: acc {} out {}",
+            g.name,
+            g.acc,
+            g.out
+        );
+    }
+    analysis.ranges.max_acc_bits()
+}
+
+#[test]
+fn fast_subset_analyzes_clean_with_proven_widths() {
+    // Mixed coverage: depthwise CNN, transformer, multi-branch
+    // detector. All three quantization-narrow models prove their
+    // accumulators fit 16 bits — strictly tighter than the i32 the
+    // kernels provision — which is the fact a future SIMD lowering
+    // would consult to pick a narrower multiply-accumulate.
+    for id in [
+        ModelId::MobileNetV3,
+        ModelId::TinyBert,
+        ModelId::EfficientDetD0,
+    ] {
+        assert_eq!(assert_clean(id), 16, "{id:?} proven max width");
+    }
+}
+
+#[test]
+fn analyzer_is_wired_into_debug_plan_construction() {
+    // In debug builds `try_build` runs the analyzer and refuses
+    // unsound plans, so a successful build IS a clean verdict; this
+    // pins that the hook actually runs (a plan built here and analyzed
+    // again reports the same thing).
+    let compiled = Compiler::new().compile(&ModelId::MobileNetV3.build());
+    let plan = compiled.try_inference_plan(SEED).expect("clean build");
+    let analysis = compiled.analyze_plan(&plan);
+    assert_eq!(analysis.verdict(), Verdict::Clean);
+    assert!(analysis.of_code(LintCode::AccOverflow).is_empty());
+}
+
+#[test]
+#[ignore = "full catalog takes minutes; run with --ignored"]
+fn full_catalog_analyzes_clean() {
+    let mut widths = Vec::new();
+    for id in ModelId::ALL {
+        widths.push((id, assert_clean(id)));
+    }
+    // ResNet-50's 7×7 stem convolution reduces over k = 147 at full
+    // weight magnitude, pushing its proven accumulator past 16 bits;
+    // every other catalog model stays within 16.
+    for (id, w) in widths {
+        let expect = if id == ModelId::ResNet50 { 32 } else { 16 };
+        assert_eq!(w, expect, "{id:?} proven max width");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property test of the analyzer's false-positive rate: ANY random
+//! small graph the compiler accepts must yield an inference plan the
+//! static analyzer proves clean. The builder and the analyzer are
+//! independent implementations of the same arena and requantization
+//! contracts — a divergence on a random DAG is a bug in one of them.
+
+use gcd2_repro::analyze::Verdict;
+use gcd2_repro::cgraph::{Activation, Graph, NodeId, OpKind, TShape};
+use gcd2_repro::compiler::Compiler;
+use proptest::prelude::*;
+
+/// A random DAG mixing convs, activations, pooling, residuals, and the
+/// host elementwise ops — the same trunk-with-residuals shape the
+/// compiler fuzz suite uses, extended with the ops whose transfer
+/// functions the analyzer models (Mul/Div/Softmax/LayerNorm).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        proptest::collection::vec((0u8..9, any::<bool>()), 2..12),
+        8usize..32,
+    )
+        .prop_map(|(ops, ch)| {
+            let mut g = Graph::new();
+            let mut cur = g.input("x", TShape::nchw(1, ch, 10, 10));
+            let mut same_shape: Vec<NodeId> = Vec::new();
+            for (i, (kind, residual)) in ops.into_iter().enumerate() {
+                cur = match kind {
+                    0 => g.add(
+                        OpKind::Conv2d {
+                            out_channels: ch,
+                            kernel: (3, 3),
+                            stride: (1, 1),
+                            padding: (1, 1),
+                        },
+                        &[cur],
+                        format!("conv{i}"),
+                    ),
+                    1 => g.add(
+                        OpKind::DepthwiseConv2d {
+                            kernel: (3, 3),
+                            stride: (1, 1),
+                            padding: (1, 1),
+                        },
+                        &[cur],
+                        format!("dw{i}"),
+                    ),
+                    2 => g.add(OpKind::Act(Activation::Relu), &[cur], format!("act{i}")),
+                    3 => g.add(OpKind::Act(Activation::HardSwish), &[cur], format!("hs{i}")),
+                    4 => {
+                        if residual && !same_shape.is_empty() {
+                            let other = same_shape[same_shape.len() / 2];
+                            g.add(OpKind::Add, &[cur, other], format!("add{i}"))
+                        } else {
+                            g.add(OpKind::Mul, &[cur, cur], format!("mul{i}"))
+                        }
+                    }
+                    5 => g.add(OpKind::Div, &[cur, cur], format!("div{i}")),
+                    6 => g.add(OpKind::Pow, &[cur], format!("pow{i}")),
+                    7 => g.add(OpKind::LayerNorm, &[cur], format!("ln{i}")),
+                    _ => g.add(OpKind::Softmax, &[cur], format!("sm{i}")),
+                };
+                same_shape.push(cur);
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Zero false positives: whatever plan the builder emits for a
+    /// random accepted graph, the analyzer proves it sound — no
+    /// accumulator overflow, no arena aliasing violation, not even a
+    /// warning.
+    #[test]
+    fn random_plans_analyze_clean(g in arb_graph()) {
+        let compiled = Compiler::new().compile(&g);
+        // Debug builds already run the analyzer inside try_build and
+        // refuse unsound plans; analyzing again pins the verdict in
+        // release test profiles too.
+        let plan = match compiled.try_inference_plan(0xF00D) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("plan build failed: {e}"))),
+        };
+        let analysis = compiled.analyze_plan(&plan);
+        prop_assert_eq!(analysis.verdict(), Verdict::Clean, "{}", analysis);
+        prop_assert!(analysis.is_clean(), "warnings are false positives too: {:?}", analysis.diagnostics);
+        prop_assert!(analysis.ranges.all_fit_i32());
+        // Every GEMM-like graph operator earned an accumulator proof.
+        let gemm_nodes = compiled.graph.nodes().iter().filter(|n| n.kind.is_gemm_like()).count();
+        prop_assert_eq!(analysis.ranges.gemms().len(), gemm_nodes);
+    }
+}
