@@ -12,6 +12,12 @@ GCD2_THREADS=1 cargo test --workspace -q
 echo "==> cargo test --workspace (default parallelism)"
 cargo test --workspace -q
 
+echo "==> kernel suite on the scalar oracle (GCD2_FORCE_SCALAR=1)"
+GCD2_FORCE_SCALAR=1 cargo test -q -p gcd2-kernels
+
+echo "==> kernel suite on the auto-detected SIMD tier"
+cargo test -q -p gcd2-kernels
+
 echo "==> compile-time bench smoke (BENCH_compile.json, bit-identical check)"
 cargo run --release -q -p gcd2-bench --bin compile_time -- --smoke
 

@@ -12,9 +12,16 @@
 //!   (`gcd2::execute_reference`): isolates what the plan's schedule,
 //!   slot arena, and staged weights add beyond the fast GEMM alone;
 //! * `plan_ms` — one inference through the precompiled
-//!   [`gcd2::InferencePlan`] with a reused arena;
+//!   [`gcd2::InferencePlan`] with a reused arena, on the auto-detected
+//!   GEMM kernel tier (the `isa` field records which);
+//! * `plan_scalar_ms` — the same plan with the GEMM dispatcher pinned to
+//!   the scalar oracle ([`gcd2_kernels::force_isa`]), so the JSON keeps
+//!   a per-ISA scalar-vs-SIMD pair and `simd_speedup` their ratio;
 //! * `batch_ms[n]` — a whole input batch fanned across `n` worker
 //!   threads via `InferencePlan::execute_batch`.
+//!
+//! `gemm_gflops` is the effective GEMM arithmetic rate of the best
+//! single-shot plan run (2 ops per MAC).
 //!
 //! Every path must produce bit-identical outputs (the plan against the
 //! interpreter per input, and every thread count against one thread);
@@ -28,6 +35,7 @@
 //! `batch` field records what was actually run.
 
 use gcd2::{execute_reference, execute_reference_naive, Compiler};
+use gcd2_kernels::{detected_isa, force_isa, KernelIsa};
 use gcd2_models::ModelId;
 use std::time::Instant;
 
@@ -50,7 +58,17 @@ struct ModelResult {
     /// super-heavy models where it is skipped.
     baseline_naive_ms: Option<f64>,
     interp_ms: f64,
+    /// The GEMM kernel tier the auto-detected runs dispatched to.
+    isa: &'static str,
     plan_ms: f64,
+    /// Single-shot plan latency with the dispatcher pinned to the scalar
+    /// oracle — the per-ISA counterpart of `plan_ms`.
+    plan_scalar_ms: f64,
+    /// `plan_scalar_ms / plan_ms`: what the SIMD tier buys end to end.
+    simd_speedup: f64,
+    /// Effective GEMM arithmetic rate of the best auto-detected
+    /// single-shot run, at 2 ops per MAC.
+    gemm_gflops: f64,
     batch_ms: Vec<(usize, f64)>,
     /// Batch throughput at the widest sweep point vs the pre-plan
     /// single-shot baseline running the same inputs one at a time
@@ -108,7 +126,8 @@ fn bench_model(id: ModelId, iters: usize) -> ModelResult {
         ms
     });
 
-    // Single-inference plan latency with a reused arena.
+    // Single-inference plan latency with a reused arena, on the
+    // auto-detected kernel tier.
     let mut arena = plan.new_arena();
     let mut out = Vec::new();
     let plan_ms = (0..iters)
@@ -119,6 +138,21 @@ fn bench_model(id: ModelId, iters: usize) -> ModelResult {
         })
         .fold(f64::INFINITY, f64::min);
     bit_identical &= out == references[0];
+
+    // Same plan with the dispatcher pinned to the scalar oracle: the
+    // per-ISA pair for the JSON, and one more bit-identity check (every
+    // tier must produce the same bytes).
+    force_isa(Some(KernelIsa::Scalar));
+    let mut scalar_out = Vec::new();
+    let plan_scalar_ms = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            plan.execute_into(&inputs[0], &mut arena, &mut scalar_out);
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min);
+    force_isa(None);
+    bit_identical &= scalar_out == references[0];
 
     // Batched execution across the thread sweep; every count must match
     // the interpreter references exactly.
@@ -141,7 +175,11 @@ fn bench_model(id: ModelId, iters: usize) -> ModelResult {
         plan_build_ms,
         baseline_naive_ms,
         interp_ms,
+        isa: detected_isa().name(),
         plan_ms,
+        plan_scalar_ms,
+        simd_speedup: plan_scalar_ms / plan_ms,
+        gemm_gflops: plan.gemm_macs() as f64 * 2.0 / (plan_ms / 1e3) / 1e9,
         batch_ms,
         speedup_vs_baseline: baseline_naive_ms.unwrap_or(interp_ms) * batch as f64 / widest,
         speedup_vs_interp: interp_ms * batch as f64 / widest,
@@ -162,7 +200,9 @@ fn model_json(r: &ModelResult) -> String {
     format!(
         "    {{\n      \"model\": \"{}\",\n      \"ops\": {},\n      \"gemm_macs\": {},\n      \
          \"batch\": {},\n      \"bit_identical\": {},\n      \"plan_build_ms\": {:.3},\n      \
-         \"baseline_naive_ms\": {},\n      \"interp_ms\": {:.3},\n      \"plan_ms\": {:.3},\n      \
+         \"baseline_naive_ms\": {},\n      \"interp_ms\": {:.3},\n      \"isa\": \"{}\",\n      \
+         \"plan_ms\": {:.3},\n      \"plan_scalar_ms\": {:.3},\n      \
+         \"simd_speedup\": {:.3},\n      \"gemm_gflops\": {:.3},\n      \
          \"batch_ms\": {{{}}},\n      \"speedup_vs_baseline\": {:.3},\n      \
          \"speedup_vs_interp\": {:.3},\n      \"infer_per_s\": {:.3}\n    }}",
         r.name,
@@ -173,7 +213,11 @@ fn model_json(r: &ModelResult) -> String {
         r.plan_build_ms,
         baseline,
         r.interp_ms,
+        r.isa,
         r.plan_ms,
+        r.plan_scalar_ms,
+        r.simd_speedup,
+        r.gemm_gflops,
         batches.join(", "),
         r.speedup_vs_baseline,
         r.speedup_vs_interp,
@@ -191,15 +235,18 @@ fn main() {
     };
 
     println!("# Inference throughput: compiled plan + batched execution vs interpreter\n");
+    println!("kernel isa: {}\n", detected_isa().name());
     println!(
-        "{:<18} {:>5} {:>8} {:>11} {:>10} {:>10} {:>10} {:>8} {:>9} {:>6}",
+        "{:<18} {:>5} {:>8} {:>11} {:>10} {:>10} {:>10} {:>8} {:>10} {:>8} {:>9} {:>6}",
         "model",
         "ops",
         "GMACs",
         "baseline ms",
         "interp ms",
+        "scalar ms",
         "plan ms",
-        "batch ms",
+        "simd x",
+        "GFLOP/s",
         "inf/s",
         "speedup",
         "ident"
@@ -209,7 +256,7 @@ fn main() {
     for id in models {
         let r = bench_model(id, iters);
         println!(
-            "{:<18} {:>5} {:>8.2} {:>11} {:>10.2} {:>10.2} {:>10.2} {:>8.1} {:>8.2}x {:>6}",
+            "{:<18} {:>5} {:>8.2} {:>11} {:>10.2} {:>10.2} {:>10.2} {:>7.2}x {:>10.2} {:>8.1} {:>8.2}x {:>6}",
             r.name,
             r.ops,
             r.gemm_macs as f64 / 1e9,
@@ -217,8 +264,10 @@ fn main() {
                 .map(|ms| format!("{ms:.2}"))
                 .unwrap_or_else(|| "-".to_string()),
             r.interp_ms,
+            r.plan_scalar_ms,
             r.plan_ms,
-            r.batch_ms.last().map(|&(_, ms)| ms).unwrap_or(f64::NAN),
+            r.simd_speedup,
+            r.gemm_gflops,
             r.infer_per_s,
             r.speedup_vs_baseline,
             if r.bit_identical { "yes" } else { "NO" },

@@ -363,6 +363,24 @@ fn main() -> ExitCode {
             println!("    prep       : {:>10.2?}", report.prep);
             println!("    gemm       : {:>10.2?}", report.gemm);
             println!("    elementwise: {:>10.2?}", report.elementwise);
+            if !report.kernel_isa.is_empty() {
+                println!("  kernel isa   : {}", report.kernel_isa);
+            }
+            if !report.gemm_kernels.is_empty() {
+                println!("  gemm kernels :");
+                for gk in &report.gemm_kernels {
+                    println!(
+                        "    {:<24} {:>5}x{:<5}x{:<5} mb={:<4} kb={:<5} {}",
+                        truncate(&gk.name, 24),
+                        gk.m,
+                        gk.k,
+                        gk.n,
+                        gk.mb,
+                        gk.kb,
+                        if gk.tuned { "tuned" } else { "default" }
+                    );
+                }
+            }
             println!(
                 "  bit-identical: {}",
                 if out == reference { "true" } else { "FALSE" }

@@ -43,7 +43,8 @@
 
 use gcd2_cgraph::{Activation, NodeId, OpKind};
 use gcd2_kernels::{
-    dwconv_direct_into, hostops, im2col_rm_into, try_matmul_blocked_into, GemmScratch,
+    conv2d_direct_chw_into, dwconv_direct_into, gemm_kernel_summary, hostops, im2col_rm_into,
+    try_matmul_threaded_into, warm_gemm_tiles, ScratchPool, TUNE_MIN_MACS,
 };
 use gcd2_tensor::MatrixI8;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -109,6 +110,27 @@ struct GemmStep {
     n: usize,
     shift: u8,
     scatter: Scatter,
+}
+
+/// Below this output-channel count an im2col conv runs the direct
+/// sliding-window kernel instead of staging + GEMM + scatter: the
+/// staging matrix is `c·kh·kw / n` times larger than the output, and no
+/// GEMM column strip can engage that narrow anyway.
+const DIRECT_CONV_MAX_N: usize = 16;
+
+impl GemmStep {
+    /// Whether this step takes the direct-conv path
+    /// ([`gcd2_kernels::conv2d_direct_chw_into`], bit-identical to the
+    /// staged path). Consulted by the executor, the autotune warm pass,
+    /// and the report, which must agree on which steps reach the GEMM
+    /// band kernels. Requires the plain CHW scatter covering exactly the
+    /// GEMM rows (ConvTranspose upsampling scatters have `m < spatial`
+    /// and stay on the staged path).
+    fn runs_direct_conv(&self) -> bool {
+        matches!(self.prep, GemmPrep::Im2col { .. })
+            && self.n < DIRECT_CONV_MAX_N
+            && matches!(self.scatter, Scatter::Chw { spatial } if spatial == self.m)
+    }
 }
 
 /// The computation a step performs (dims resolved at build time).
@@ -194,7 +216,7 @@ pub struct InferArena {
     slots: Vec<Vec<u8>>,
     stage_a: Vec<u8>,
     gemm_out: Vec<u8>,
-    scratch: GemmScratch,
+    scratch: ScratchPool,
     stamp: Option<u64>,
 }
 
@@ -208,6 +230,15 @@ pub struct ExecOptions {
     /// corrupted plan surfaces as [`InferError::IntegrityViolation`]
     /// instead of silently wrong outputs.
     pub paranoid: bool,
+    /// Intra-op thread budget: how many threads one GEMM may fan out
+    /// over ([`gcd2_kernels::try_matmul_threaded_into`]). `None` means
+    /// "decide for me": single-shot execution uses the machine's
+    /// parallelism ([`gcd2_par::default_threads`], i.e. `GCD2_THREADS`
+    /// or the core count), while batch execution and [`crate::serve::
+    /// InferServer`] divide that by their own worker fan-out so the two
+    /// parallelism levels don't oversubscribe the machine. Output bytes
+    /// are identical for every budget.
+    pub intra_op_threads: Option<usize>,
 }
 
 /// Incremental FNV-1a (64-bit), the checksum primitive of plan
@@ -252,6 +283,39 @@ pub struct InferReport {
     pub total: Duration,
     /// Per-operator wall clock, in schedule order.
     pub per_op: Vec<OpTiming>,
+    /// The instruction set the GEMM micro-kernels dispatched to
+    /// (`"scalar"`, `"avx2"`, `"avx512vnni"`, `"amx-int8"`, or
+    /// `"neon"`; empty when the run had no GEMM step).
+    pub kernel_isa: &'static str,
+    /// Kernel choice and (auto)tuned tile sizes for every matmul-backed
+    /// GEMM step, in schedule order. Depthwise steps never reach the
+    /// GEMM dispatcher and do not appear.
+    pub gemm_kernels: Vec<GemmKernelInfo>,
+}
+
+/// How one GEMM step was executed in a timed run: its shape, the tile
+/// sizes the dispatcher resolved, and whether those tiles came from the
+/// per-shape autotuner cache (`tuned`) or are the static defaults.
+#[derive(Debug, Clone)]
+pub struct GemmKernelInfo {
+    /// The graph node this GEMM executes.
+    pub node: NodeId,
+    /// The node's name.
+    pub name: String,
+    /// GEMM rows (output pixels / tokens).
+    pub m: usize,
+    /// Reduction depth.
+    pub k: usize,
+    /// GEMM columns (output channels).
+    pub n: usize,
+    /// Row-block tile the kernel ran with.
+    pub mb: usize,
+    /// Reduction-block tile the kernel ran with.
+    pub kb: usize,
+    /// True when the tiles came from the autotuner cache; false means
+    /// the static defaults (shape below the tuning threshold, tuning
+    /// disabled, or the probe was skipped).
+    pub tuned: bool,
 }
 
 /// One operator's share of a timed execution.
@@ -718,6 +782,29 @@ impl InferencePlan {
         };
         plan.checksum = plan.integrity_checksum();
 
+        // Warm the per-shape tile autotuner for every matmul-backed GEMM
+        // heavy enough to qualify (the same `TUNE_MIN_MACS` threshold the
+        // dispatcher applies), so steady-state execution never pays the
+        // probe sweep. Best-effort by design: the probe only populates a
+        // memo cache, so an injected fault here (the chaos suites panic
+        // inside `cache.lookup`/`autotune.cache`) must not fail the
+        // build — execution falls back to probing lazily or to default
+        // tiles.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for step in &plan.steps {
+                if let StepKind::Gemm(g) = &step.kind {
+                    if matches!(g.prep, GemmPrep::Depthwise { .. }) || g.runs_direct_conv() {
+                        continue;
+                    }
+                    let n = g.weights.cols();
+                    let macs = g.m as u64 * g.k as u64 * n as u64;
+                    if macs >= TUNE_MIN_MACS {
+                        warm_gemm_tiles(g.m, g.k, n, &g.weights, g.shift);
+                    }
+                }
+            }
+        }));
+
         // Debug builds run the static plan analyzer (gcd2-analyze) over
         // every freshly built plan, so an allocator or shift-folding
         // defect surfaces here as a structured error instead of as wrong
@@ -843,7 +930,7 @@ impl InferencePlan {
                 .collect(),
             stage_a: Vec::new(),
             gemm_out: Vec::new(),
-            scratch: GemmScratch::default(),
+            scratch: ScratchPool::new(),
             stamp: Some(self.checksum),
         }
     }
@@ -1030,6 +1117,17 @@ impl InferencePlan {
         opts: &ExecOptions,
     ) -> Vec<Result<Vec<u8>, InferError>> {
         let arenas: Mutex<Vec<InferArena>> = Mutex::new(Vec::new());
+        // Split the machine between batch workers and each item's
+        // intra-op GEMM bands unless the caller already budgeted: with
+        // `threads` items in flight, each gets its share of the cores so
+        // the two parallelism levels don't oversubscribe. Outputs are
+        // bit-identical for any split.
+        let mut opts = *opts;
+        if opts.intra_op_threads.is_none() {
+            let share = gcd2_par::default_threads() / threads.max(1);
+            opts.intra_op_threads = Some(share.max(1));
+        }
+        let opts = &opts;
         gcd2_par::par_map_isolated(threads, inputs, |_, input| {
             let _ = gcd2_faults::fire("infer.batch");
             // Pooled arenas are interchangeable scratch buffers, so a
@@ -1081,6 +1179,13 @@ impl InferencePlan {
         if opts.paranoid {
             self.verify_integrity()?;
         }
+        // Intra-op fan-out for each GEMM. `None` means "use the whole
+        // machine"; batch/serving callers pass an explicit share so
+        // inter-request workers and band workers don't multiply.
+        let intra = opts
+            .intra_op_threads
+            .unwrap_or_else(gcd2_par::default_threads)
+            .max(1);
         let started = Instant::now();
         for step in &self.steps {
             if let Some(deadline) = opts.deadline {
@@ -1098,7 +1203,7 @@ impl InferencePlan {
                 // restore it before propagating a step error so the
                 // arena stays structurally sound.
                 let mut out = std::mem::take(&mut arena.slots[step.out_slot]);
-                let stepped = run_step(step, input, arena, &mut out, report.is_some());
+                let stepped = run_step(step, input, arena, &mut out, report.is_some(), intra);
                 arena.slots[step.out_slot] = out;
                 prep = stepped?;
             }
@@ -1109,6 +1214,26 @@ impl InferencePlan {
                     r.gemm += d.saturating_sub(prep);
                 } else {
                     r.elementwise += d;
+                }
+                if let StepKind::Gemm(g) = &step.kind {
+                    // Depthwise and narrow-conv steps run direct
+                    // kernels, never the GEMM dispatcher — no tile
+                    // plan to report.
+                    if !matches!(g.prep, GemmPrep::Depthwise { .. }) && !g.runs_direct_conv() {
+                        let n = g.weights.cols();
+                        let (isa, tiles, tuned) = gemm_kernel_summary(g.m, g.k, n);
+                        r.kernel_isa = isa.name();
+                        r.gemm_kernels.push(GemmKernelInfo {
+                            node: step.node,
+                            name: step.name.clone(),
+                            m: g.m,
+                            k: g.k,
+                            n,
+                            mb: tiles.mb,
+                            kb: tiles.kb,
+                            tuned,
+                        });
+                    }
                 }
                 r.per_op.push(OpTiming {
                     node: step.node,
@@ -1346,6 +1471,7 @@ fn run_step(
     arena: &mut InferArena,
     out: &mut Vec<u8>,
     timed: bool,
+    intra: usize,
 ) -> Result<Duration, InferError> {
     if matches!(step.kind, StepKind::Gemm(_)) {
         let _ = gcd2_faults::fire("infer.prep");
@@ -1381,8 +1507,35 @@ fn run_step(
                     kernel,
                     stride,
                     padding,
+                } if g.runs_direct_conv() => {
+                    conv2d_direct_chw_into(
+                        x,
+                        *c,
+                        *h,
+                        *w,
+                        *kernel,
+                        *stride,
+                        *padding,
+                        g.weights.as_slice(),
+                        g.n,
+                        g.shift,
+                        ACT_MAX,
+                        step.out_len,
+                        out,
+                    );
+                    return Ok(Duration::ZERO);
+                }
+                GemmPrep::Im2col {
+                    c,
+                    h,
+                    w,
+                    kernel,
+                    stride,
+                    padding,
                 } => {
-                    stage_a.clear();
+                    // No clear(): im2col fully overwrites the buffer, and
+                    // zero-filling a multi-GB staging matrix per call is a
+                    // measurable memset tax on the megapixel models.
                     stage_a.resize(g.m * g.k, 0);
                     im2col_rm_into(x, *c, *h, *w, *kernel, *stride, *padding, stage_a);
                     stage_a
@@ -1423,12 +1576,11 @@ fn run_step(
                 }
             };
             let prep = t0.map(|t| t.elapsed()).unwrap_or_default();
-            try_matmul_blocked_into(a, g.m, g.k, &g.weights, g.shift, scratch, gemm_out).map_err(
-                |e| InferError::Dispatch {
+            try_matmul_threaded_into(a, g.m, g.k, &g.weights, g.shift, scratch, intra, gemm_out)
+                .map_err(|e| InferError::Dispatch {
                     node: step.node.0,
                     message: e.to_string(),
-                },
-            )?;
+                })?;
             out.clear();
             out.resize(step.out_len, 0);
             match g.scatter {

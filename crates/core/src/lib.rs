@@ -66,7 +66,7 @@ pub mod serve;
 pub use admit::{admit, admit_with, AdmissionError, AdmissionLimits};
 pub use error::{Gcd2Error, InferError};
 pub use gcd2_analyze::{Analysis, Diagnostic, GemmRange, LintCode, RangeReport, Severity, Verdict};
-pub use infer::{ExecOptions, InferArena, InferReport, InferencePlan, OpTiming};
+pub use infer::{ExecOptions, GemmKernelInfo, InferArena, InferReport, InferencePlan, OpTiming};
 pub use runtime::{execute_on_dsp, execute_reference, execute_reference_naive};
 pub use serve::{InferServer, InferTicket, ServerStats};
 

@@ -97,8 +97,16 @@ impl InferServer {
         plan: InferencePlan,
         workers: usize,
         capacity: usize,
-        opts: ExecOptions,
+        mut opts: ExecOptions,
     ) -> InferServer {
+        // Unless the caller budgeted intra-op threads explicitly, give
+        // each worker an equal share of the machine so request-level and
+        // GEMM band-level parallelism don't oversubscribe. Outputs are
+        // bit-identical for any budget.
+        if opts.intra_op_threads.is_none() {
+            let share = gcd2_par::default_threads() / workers.max(1);
+            opts.intra_op_threads = Some(share.max(1));
+        }
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),

@@ -1,0 +1,244 @@
+//! Per-shape tile-size autotuning for the blocked GEMM.
+//!
+//! The blocked kernels take two tile parameters: `mb` (activation rows
+//! per accumulator block) and `kb` (reduction rows per cache-resident
+//! weight segment). The best pair depends on the GEMM shape and the
+//! kernel ISA — a 4608-deep fully-connected layer wants a deeper `kb`
+//! than a 27-deep first conv — so instead of the historical hardcoded
+//! `MB=32 / KB=256`, the dispatcher asks this module for a
+//! [`TilePlan`] per `(m, k, n, isa)`.
+//!
+//! Resolution policy, in order:
+//!
+//! 1. the `autotune.cache` fault point fires (chaos suites inject a
+//!    poisoned-entry fault here): a corrupted cache entry falls back to
+//!    [`TilePlan::DEFAULT`] — never a panic, and since every tile plan
+//!    produces bit-identical output, the fallback is invisible except
+//!    in speed;
+//! 2. shapes below [`TUNE_MIN_MACS`] or with `GCD2_AUTOTUNE=0` use the
+//!    defaults (tiny GEMMs finish before a probe would);
+//! 3. a sharded-cache hit returns the memoized plan;
+//! 4. otherwise the dispatcher's probe closure times each candidate on
+//!    a truncated row range ([`probe_rows`]) and the fastest plan is
+//!    memoized (first writer wins on races; all plans are bit-exact, so
+//!    a lost race only affects which *speed* is cached).
+//!
+//! Tile choice is timing-based and therefore nondeterministic across
+//! runs; output bytes are not — wrapping i32 accumulation makes every
+//! block schedule produce identical results (the determinism gates in
+//! CI rely on this).
+
+use crate::dispatch::KernelIsa;
+use gcd2_par::{CacheStats, ShardedMap};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Blocking parameters for one GEMM dispatch: `mb` activation rows per
+/// accumulator block, `kb` reduction rows per weight segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TilePlan {
+    /// Activation rows per block (accumulator tile height).
+    pub mb: usize,
+    /// Reduction (weight) rows per cache-resident segment.
+    pub kb: usize,
+}
+
+impl TilePlan {
+    /// The historical fixed blocking, used whenever tuning is off,
+    /// not yet warmed, or faulted out.
+    pub const DEFAULT: TilePlan = TilePlan {
+        mb: crate::tiled::MB,
+        kb: crate::tiled::KB,
+    };
+}
+
+impl Default for TilePlan {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// Row-block candidates searched per shape.
+const MB_CANDIDATES: [usize; 4] = [16, 32, 64, 128];
+/// Reduction-segment candidates searched per shape.
+const KB_CANDIDATES: [usize; 3] = [128, 256, 1024];
+
+/// Shapes below this many MACs (`m·k·n`) are not worth probing: the
+/// GEMM completes faster than a candidate sweep.
+pub const TUNE_MIN_MACS: u64 = 1 << 25;
+
+/// Per-candidate probe budget in MACs; bounds how much work one cold
+/// shape spends tuning (the probe runs on a truncated row range).
+const PROBE_MAC_BUDGET: u64 = 1 << 25;
+/// Hard cap on probe rows regardless of budget.
+const PROBE_ROWS_CAP: usize = 1024;
+/// Probe floor: two blocks of the largest `mb` candidate, so the sweep
+/// can actually observe every row blocking it ranks — probing fewer
+/// rows than one block makes all `mb` candidates time identically and
+/// the pick degenerate to noise.
+const PROBE_ROWS_MIN: usize = 256;
+
+/// Rows of the real activation matrix a candidate probe runs over:
+/// enough to exercise the blocking, truncated so deep shapes don't pay
+/// a full GEMM per candidate.
+pub(crate) fn probe_rows(m: usize, k: usize, n: usize) -> usize {
+    let per_row = (k * n).max(1) as u64;
+    let budget =
+        (PROBE_MAC_BUDGET / per_row).clamp(PROBE_ROWS_MIN as u64, PROBE_ROWS_CAP as u64) as usize;
+    m.min(budget)
+}
+
+type TuneKey = (usize, usize, usize, u8);
+
+fn cache() -> &'static ShardedMap<TuneKey, TilePlan> {
+    static CACHE: OnceLock<ShardedMap<TuneKey, TilePlan>> = OnceLock::new();
+    CACHE.get_or_init(ShardedMap::new)
+}
+
+/// Whether tuning is enabled for this process (`GCD2_AUTOTUNE=0`
+/// disables it; resolved once).
+pub fn autotune_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("GCD2_AUTOTUNE").map_or(true, |v| v != "0"))
+}
+
+/// The memoized plan for a shape, if that shape has been tuned in this
+/// process — a pure lookup (no fault point, no probing) for reports.
+pub fn cached_tiles(m: usize, k: usize, n: usize, isa: KernelIsa) -> Option<TilePlan> {
+    cache().get(&(m, k, n, isa as u8))
+}
+
+/// Hit/miss counters of the tuner cache.
+pub fn tuner_cache_stats() -> CacheStats {
+    cache().stats()
+}
+
+/// Candidate plans for a shape: the cross product of the `mb`/`kb`
+/// tables, clamped to the shape (a `kb` deeper than `k` degenerates to
+/// `k`) and deduplicated, with the default plan always included.
+fn candidates(m: usize, k: usize) -> Vec<TilePlan> {
+    let mut out = vec![TilePlan::DEFAULT];
+    for &mb in &MB_CANDIDATES {
+        for &kb in &KB_CANDIDATES {
+            let t = TilePlan {
+                mb: mb.min(m.max(1)),
+                kb: kb.min(k.next_multiple_of(2).max(2)),
+            };
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+/// Resolves the tile plan for one GEMM dispatch. `probe` times one
+/// candidate over the truncated probe range and is only invoked on a
+/// cache miss above the tuning threshold. Returns the plan plus whether
+/// it came from tuning (cache hit or fresh probe) rather than defaults.
+pub(crate) fn resolve_tiles(
+    m: usize,
+    k: usize,
+    n: usize,
+    isa: KernelIsa,
+    probe: &mut dyn FnMut(TilePlan) -> Duration,
+) -> (TilePlan, bool) {
+    // Fire first so chaos scenarios targeting the tuner cache always
+    // reach the point, whatever the shape. A corrupted entry means the
+    // memo cannot be trusted: fall back to the default plan (bit-exact,
+    // merely untuned) instead of panicking or erroring.
+    if matches!(
+        gcd2_faults::fire("autotune.cache"),
+        gcd2_faults::Injection::CorruptCache
+    ) {
+        return (TilePlan::DEFAULT, false);
+    }
+    if !autotune_enabled()
+        || (m as u64).saturating_mul(k as u64).saturating_mul(n as u64) < TUNE_MIN_MACS
+    {
+        return (TilePlan::DEFAULT, false);
+    }
+    let key = (m, k, n, isa as u8);
+    if let Some(t) = cache().get(&key) {
+        return (t, true);
+    }
+    let mut best = TilePlan::DEFAULT;
+    let mut best_t = Duration::MAX;
+    for cand in candidates(m, k) {
+        let took = probe(cand);
+        if took < best_t {
+            best_t = took;
+            best = cand;
+        }
+    }
+    cache().insert(key, best);
+    (best, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_include_default_and_dedup() {
+        let c = candidates(1000, 2048);
+        assert!(c.contains(&TilePlan::DEFAULT));
+        let mut seen = std::collections::HashSet::new();
+        for t in &c {
+            assert!(seen.insert(*t), "duplicate candidate {t:?}");
+            assert!(t.mb >= 1 && t.kb >= 2);
+        }
+        // Small shapes clamp: no candidate exceeds the shape.
+        for t in candidates(8, 10) {
+            assert!(t.mb <= 32, "mb {} for m=8 (default may exceed m)", t.mb);
+        }
+    }
+
+    #[test]
+    fn probe_rows_respects_budget() {
+        // Tiny per-row cost: capped by the row cap, not the budget.
+        assert_eq!(probe_rows(10_000, 16, 16), PROBE_ROWS_CAP);
+        // Huge per-row cost: budget dominates but never below the floor
+        // (two blocks of the largest mb candidate).
+        assert_eq!(probe_rows(10_000, 4608, 4608), PROBE_ROWS_MIN);
+        // Fewer rows than budget: use them all.
+        assert_eq!(probe_rows(5, 64, 64), 5);
+    }
+
+    #[test]
+    fn small_shapes_resolve_to_default_without_probing() {
+        let mut calls = 0;
+        let (t, tuned) = resolve_tiles(4, 4, 4, KernelIsa::Scalar, &mut |_| {
+            calls += 1;
+            Duration::ZERO
+        });
+        assert_eq!(t, TilePlan::DEFAULT);
+        assert!(!tuned);
+        assert_eq!(calls, 0, "below-threshold shape must not probe");
+    }
+
+    #[test]
+    fn resolution_memoizes_first_probe() {
+        // Unique shape for this test; above threshold.
+        let (m, k, n) = (4096, 1024, 64);
+        let mut calls = 0;
+        let (t1, tuned1) = resolve_tiles(m, k, n, KernelIsa::Scalar, &mut |cand| {
+            calls += 1;
+            // Deterministic "timing": prefer mb=64/kb=1024.
+            Duration::from_micros((200 - cand.mb.min(64) - cand.kb / 16) as u64)
+        });
+        assert!(tuned1);
+        assert!(calls > 1, "cold shape must sweep candidates");
+        assert_eq!(t1, TilePlan { mb: 64, kb: 1024 });
+        let before = calls;
+        let (t2, tuned2) = resolve_tiles(m, k, n, KernelIsa::Scalar, &mut |_| {
+            calls += 1;
+            Duration::ZERO
+        });
+        assert!(tuned2);
+        assert_eq!(t2, t1, "memoized plan must be returned");
+        assert_eq!(calls, before, "warm shape must not probe");
+        assert_eq!(cached_tiles(m, k, n, KernelIsa::Scalar), Some(t1));
+        assert_eq!(cached_tiles(m, k, n, KernelIsa::Avx2), None);
+    }
+}

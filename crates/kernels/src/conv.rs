@@ -129,6 +129,18 @@ pub fn im2col_chw(
 /// overwritten (padding taps become 0). Contiguous kernel-row spans are
 /// copied as slices, so this is the fast path for repeated execution.
 ///
+/// Output pixels are processed in L1-sized chunks (see
+/// [`IM2COL_WINDOW_BYTES`]) with the `(channel, dy)` sweep *outside*
+/// the per-pixel copy: for each source
+/// row the chunk reads a short contiguous segment that stays in L1 while
+/// the chunk's write window stays in L2, instead of hopping across every
+/// channel plane per output pixel. For megapixel activations with many
+/// channels this turns the staging pass from cache-miss-bound to
+/// copy-bound. The bytes written are identical to the naive nest: a
+/// chunk whose taps are all in range is fully overwritten by the copies;
+/// any chunk touching padding is pre-zeroed and then partially written,
+/// exactly like the old global `fill(0)` + partial-copy scheme.
+///
 /// # Panics
 /// Panics if `input.len() != c * h * w` or `out` has the wrong length.
 #[allow(clippy::too_many_arguments)]
@@ -148,29 +160,122 @@ pub fn im2col_rm_into(
     let out_w = (w + 2 * padding.1 - kw) / stride.1 + 1;
     let k = c * kh * kw;
     assert_eq!(out.len(), out_h * out_w * k, "im2col buffer size mismatch");
-    out.fill(0);
+    // Chunk width scales inversely with k so the write window stays
+    // cache-resident even for very wide patch rows (e.g. 32·9·9 =
+    // 2592). When a whole output row fits in a few windows' worth of
+    // bytes, take it in one chunk: each chunk re-walks every source row
+    // of the `(channel, dy)` sweep, so fewer, wider chunks amortize
+    // that setup better than strict window adherence.
+    let ox_block = if out_w * k <= 3 * IM2COL_WINDOW_BYTES {
+        out_w.max(1)
+    } else {
+        (IM2COL_WINDOW_BYTES / k.max(1)).clamp(4, 256)
+    };
     for oy in 0..out_h {
-        for ox in 0..out_w {
-            let base = (oy * out_w + ox) * k;
-            // The dx span with in-range x: x = ox*stride - pad + dx.
-            let x0 = (ox * stride.1) as isize - padding.1 as isize;
-            let dx_lo = (-x0).max(0) as usize;
-            let dx_hi = ((w as isize - x0).max(0) as usize).min(kw);
+        let y0 = (oy * stride.0) as isize - padding.0 as isize;
+        // Every dy tap lands in [0, h) for this output row?
+        let dy_full = y0 >= 0 && (y0 as usize) + kh <= h;
+        let mut oxb = 0usize;
+        while oxb < out_w {
+            let oxe = (oxb + ox_block).min(out_w);
+            // Every dx tap in range for every pixel of the chunk?
+            // x is monotone in ox, so checking the chunk ends suffices.
+            let x_first = (oxb * stride.1) as isize - padding.1 as isize;
+            let x_last = ((oxe - 1) * stride.1) as isize - padding.1 as isize;
+            let interior = dy_full && x_first >= 0 && (x_last as usize) + kw <= w;
+            let win = &mut out[(oy * out_w + oxb) * k..(oy * out_w + oxe) * k];
+            if !interior {
+                win.fill(0);
+            }
             for ch in 0..c {
+                let plane = &input[ch * h * w..(ch + 1) * h * w];
                 for dy in 0..kh {
-                    let y = ((oy * stride.0 + dy) as isize) - padding.0 as isize;
-                    if y < 0 || y as usize >= h || dx_lo >= dx_hi {
+                    let y = y0 + dy as isize;
+                    if y < 0 || y as usize >= h {
                         continue;
                     }
-                    let src = ch * h * w + y as usize * w + (x0 + dx_lo as isize) as usize;
-                    let dst = base + ch * kh * kw + dy * kw;
-                    out[dst + dx_lo..dst + dx_hi]
-                        .copy_from_slice(&input[src..src + (dx_hi - dx_lo)]);
+                    let srow = &plane[y as usize * w..(y as usize + 1) * w];
+                    let dbase = ch * kh * kw + dy * kw;
+                    if interior {
+                        if kw < 8 && dbase + 8 <= k {
+                            // Narrow taps (3×3 convs copy 3 bytes at a
+                            // time) dominate staging cost, so widen each
+                            // copy to one overlapping 8-byte store: the
+                            // bytes past `kw` land in slots of *later*
+                            // `(ch, dy)` passes, which overwrite them
+                            // (the sweep ascends and, interior ⇒
+                            // `dy_full`, never skips a pass). The last
+                            // slots of a pixel row (`dbase + 8 > k`) and
+                            // right-edge sources keep the exact copy.
+                            // The 8-byte span ends where x0 + 8 > w;
+                            // x0 is monotone in ox, so hoist that bound
+                            // (and the index arithmetic) out of the loop
+                            // — the fast span is one load/store and two
+                            // pointer bumps per pixel.
+                            let fast_end = if w + padding.1 >= 8 {
+                                ((w + padding.1 - 8) / stride.1 + 1).clamp(oxb, oxe)
+                            } else {
+                                oxb
+                            };
+                            // SAFETY: interior ⇒ oxb·s - pad >= 0; ox <
+                            // fast_end ⇒ x0 + 8 <= w keeps each
+                            // unaligned u64 read inside srow; dst + 8 <=
+                            // i·k + k <= win.len() keeps each store in
+                            // its pixel's row.
+                            unsafe {
+                                let mut src = srow.as_ptr().add(oxb * stride.1 - padding.1);
+                                let mut dst = win.as_mut_ptr().add(dbase);
+                                for _ in oxb..fast_end {
+                                    (dst as *mut u64)
+                                        .write_unaligned((src as *const u64).read_unaligned());
+                                    src = src.add(stride.1);
+                                    dst = dst.add(k);
+                                }
+                            }
+                            for (i, ox) in (fast_end..oxe).enumerate() {
+                                let x0 = ox * stride.1 - padding.1;
+                                let dst = (fast_end - oxb + i) * k + dbase;
+                                win[dst..dst + kw].copy_from_slice(&srow[x0..x0 + kw]);
+                            }
+                        } else {
+                            for (i, ox) in (oxb..oxe).enumerate() {
+                                let x0 = ox * stride.1 - padding.1;
+                                let dst = i * k + dbase;
+                                win[dst..dst + kw].copy_from_slice(&srow[x0..x0 + kw]);
+                            }
+                        }
+                    } else {
+                        for (i, ox) in (oxb..oxe).enumerate() {
+                            let x0 = (ox * stride.1) as isize - padding.1 as isize;
+                            let dx_lo = (-x0).max(0) as usize;
+                            let dx_hi = ((w as isize - x0).max(0) as usize).min(kw);
+                            if dx_lo >= dx_hi {
+                                continue;
+                            }
+                            let src = (x0 + dx_lo as isize) as usize;
+                            let dst = i * k + dbase;
+                            win[dst + dx_lo..dst + dx_hi]
+                                .copy_from_slice(&srow[src..src + (dx_hi - dx_lo)]);
+                        }
+                    }
                 }
             }
+            oxb = oxe;
         }
     }
 }
+
+/// Write-window budget for one [`im2col_rm_into`] chunk
+/// (`chunk × c·kh·kw` bytes): the `(channel, dy)` sweep revisits the
+/// window `c·kh` times per chunk, so the window must stay cache-
+/// resident; but each pass also touches every source row once, so
+/// narrower chunks multiply the per-row setup and TLB cost. Each pass
+/// strides the window by `k`, touching one cache line per pixel, so the
+/// window must fit L1d for the stores to stay hits — 32 KiB (below the
+/// common 48 KiB L1d, 14–56 pixels for the model zoo's widest patch
+/// rows) measured decisively faster than 64 KiB once the interior copy
+/// loop was reduced to pointer bumps.
+const IM2COL_WINDOW_BYTES: usize = 32 * 1024;
 
 /// Direct depthwise convolution with one shared `kh·kw` filter column —
 /// the runtime's block-diagonal depthwise GEMM collapsed back into a
@@ -233,6 +338,641 @@ pub fn dwconv_direct_into(
                 out[r] = ((acc >> shift).clamp(0, 255) as u8).min(act_max);
                 r += 1;
             }
+        }
+    }
+}
+
+/// Direct CHW convolution for narrow output-channel counts — the
+/// runtime's im2col staging + narrow GEMM + CHW scatter collapsed into
+/// one sliding-window pass. For a handful of output channels the im2col
+/// matrix is enormously wider than the output (`c·kh·kw` vs `n` bytes
+/// per pixel), so skipping the staging matrix entirely removes the
+/// dominant memory traffic of layers like a 3-channel image-synthesis
+/// head.
+///
+/// Bit-identical to the staged path: every output is
+/// `clamp((Σ_taps in-range input·weight) >> shift, 0, 255).min(act_max)`
+/// with wrapping i32 accumulation (order-independent), padding taps
+/// contribute zero exactly like im2col's zero fill, and the CHW write
+/// order matches the executor's scatter. `weights` is the `c·kh·kw × n`
+/// row-major GEMM weight matrix ([`conv_weights_as_gemm`]). `out` is
+/// resized to `out_len` and truncated to it, mirroring the scatter.
+///
+/// Interior pixels of each output row take a vectorized path when the
+/// horizontal stride is 1 (AVX-512: 16 pixels per step, AVX2: 8),
+/// honoring the same runtime ISA dispatch as the GEMM kernels
+/// (`GCD2_FORCE_SCALAR` forces the scalar loop). Other ISAs and border
+/// pixels run the scalar loop.
+///
+/// # Panics
+/// Panics if `input.len() != c * h * w` or
+/// `weights.len() != c * kh * kw * n`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_direct_chw_into(
+    input: &[u8],
+    c: usize,
+    h: usize,
+    w: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+    weights: &[i8],
+    n: usize,
+    shift: u8,
+    act_max: u8,
+    out_len: usize,
+    out: &mut Vec<u8>,
+) {
+    assert_eq!(input.len(), c * h * w, "input size mismatch");
+    let (kh, kw) = kernel;
+    let k = c * kh * kw;
+    assert_eq!(weights.len(), k * n, "weight size mismatch");
+    let out_h = (h + 2 * padding.0 - kh) / stride.0 + 1;
+    let out_w = (w + 2 * padding.1 - kw) / stride.1 + 1;
+    let spatial = out_h * out_w;
+    out.clear();
+    out.resize(out_len, 0);
+    let lanes = direct_conv_lanes();
+    // Interior ox range where every horizontal tap is in bounds (unit
+    // horizontal stride only — the vector path loads contiguous pixels).
+    let (lo, hi) = if stride.1 == 1 {
+        (
+            padding.1.min(out_w),
+            (w + padding.1 + 1).saturating_sub(kw).min(out_w),
+        )
+    } else {
+        (0, 0)
+    };
+    // Multi-channel mode: when every output plane fits the slot and the
+    // AVX-512 tier is active, sweep the taps once per group of up to 4
+    // channels so the pixel loads are shared (and, with VBMI+VNNI, fused
+    // four taps at a time). Falls back to the per-channel path below for
+    // truncated slots, narrow tiers, and non-unit horizontal strides.
+    #[cfg(target_arch = "x86_64")]
+    if lanes == 16 && hi > lo && n * spatial <= out_len {
+        direct_conv_mc(
+            input, c, h, w, kernel, stride, padding, weights, n, shift, act_max, out, out_h, out_w,
+            lo, hi,
+        );
+        return;
+    }
+    let mut wj = vec![0i8; k];
+    for j in 0..n {
+        let plane = j * spatial;
+        if plane >= out_len {
+            break;
+        }
+        // Column j of the GEMM weights, contiguous per tap.
+        for (t, dst) in wj.iter_mut().enumerate() {
+            *dst = weights[t * n + j];
+        }
+        let full = plane + spatial <= out_len;
+        for oy in 0..out_h {
+            let row = plane + oy * out_w;
+            let mut ox = 0usize;
+            while ox < out_w {
+                if full && lanes != 0 && ox >= lo && ox + 4 * lanes <= hi {
+                    // Wide step: 4 vector groups per tap sweep — the tap
+                    // loop itself (bounds checks, weight fetches) costs
+                    // as much as the arithmetic, so amortize it.
+                    // SAFETY: the interior range guarantees every lane's
+                    // horizontal taps are in [0, w), the vector ISA was
+                    // runtime-detected, and the destination row slice
+                    // holds exactly 4·lanes bytes.
+                    unsafe {
+                        direct_conv_vec::<4>(
+                            input,
+                            c,
+                            h,
+                            w,
+                            kh,
+                            kw,
+                            stride.0,
+                            padding.0,
+                            oy,
+                            ox - padding.1,
+                            &wj,
+                            shift,
+                            act_max,
+                            &mut out[row + ox..row + ox + 4 * lanes],
+                        );
+                    }
+                    ox += 4 * lanes;
+                } else if full && lanes != 0 && ox >= lo && ox + lanes <= hi {
+                    // SAFETY: the interior range guarantees every lane's
+                    // horizontal taps are in [0, w), the vector ISA was
+                    // runtime-detected, and the destination row slice
+                    // holds exactly `lanes` bytes.
+                    unsafe {
+                        direct_conv_vec::<1>(
+                            input,
+                            c,
+                            h,
+                            w,
+                            kh,
+                            kw,
+                            stride.0,
+                            padding.0,
+                            oy,
+                            ox - padding.1,
+                            &wj,
+                            shift,
+                            act_max,
+                            &mut out[row + ox..row + ox + lanes],
+                        );
+                    }
+                    ox += lanes;
+                } else {
+                    let v = direct_conv_px(
+                        input, c, h, w, kh, kw, stride, padding, &wj, oy, ox, shift, act_max,
+                    );
+                    if let Some(slot) = out.get_mut(row + ox) {
+                        *slot = v;
+                    }
+                    ox += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Scalar single-pixel path of [`conv2d_direct_chw_into`]: borders,
+/// vector remainders, non-unit horizontal strides, and the scalar ISA.
+#[allow(clippy::too_many_arguments)]
+fn direct_conv_px(
+    input: &[u8],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: (usize, usize),
+    padding: (usize, usize),
+    wj: &[i8],
+    oy: usize,
+    ox: usize,
+    shift: u8,
+    act_max: u8,
+) -> u8 {
+    let mut sum = 0i32;
+    let x0 = (ox * stride.1) as isize - padding.1 as isize;
+    for ch in 0..c {
+        let plane = &input[ch * h * w..(ch + 1) * h * w];
+        let wch = &wj[ch * kh * kw..(ch + 1) * kh * kw];
+        for dy in 0..kh {
+            let y = (oy * stride.0 + dy) as isize - padding.0 as isize;
+            if y < 0 || y as usize >= h {
+                continue;
+            }
+            let srow = &plane[y as usize * w..(y as usize + 1) * w];
+            let wrow = &wch[dy * kw..(dy + 1) * kw];
+            for (dx, &wv) in wrow.iter().enumerate() {
+                let x = x0 + dx as isize;
+                if x < 0 || x as usize >= w {
+                    continue;
+                }
+                let av = srow[x as usize];
+                if av != 0 {
+                    sum = sum.wrapping_add(av as i32 * wv as i32);
+                }
+            }
+        }
+    }
+    ((sum >> shift).clamp(0, 255) as u8).min(act_max)
+}
+
+/// Vector lane width of the direct-conv interior path for the active
+/// ISA (0 = no vector path; the scalar loop handles everything).
+#[cfg(target_arch = "x86_64")]
+fn direct_conv_lanes() -> usize {
+    match crate::dispatch::detected_isa() {
+        // The AMX tier implies AVX-512F, which is all the interior
+        // kernel needs.
+        crate::dispatch::KernelIsa::Avx512Vnni | crate::dispatch::KernelIsa::AmxInt8 => 16,
+        crate::dispatch::KernelIsa::Avx2 => 8,
+        _ => 0,
+    }
+}
+
+/// Non-x86 hosts (including NEON) currently run the scalar loop.
+#[cfg(not(target_arch = "x86_64"))]
+fn direct_conv_lanes() -> usize {
+    0
+}
+
+/// Dispatches one interior vector step (`G` groups of
+/// [`direct_conv_lanes`] pixels) to the active ISA's kernel.
+///
+/// # Safety
+/// Same contract as [`crate::simd::x86::conv_interior_avx512`] /
+/// [`crate::simd::x86::conv_interior_avx2`]; only callable when
+/// `dst.len() == G ·` [`direct_conv_lanes`].
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn direct_conv_vec<const G: usize>(
+    input: &[u8],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    sy: usize,
+    py: usize,
+    oy: usize,
+    x0: usize,
+    wj: &[i8],
+    shift: u8,
+    act_max: u8,
+    dst: &mut [u8],
+) {
+    match crate::dispatch::detected_isa() {
+        crate::dispatch::KernelIsa::Avx512Vnni | crate::dispatch::KernelIsa::AmxInt8 => {
+            // SAFETY: ISA detected at runtime; caller upholds the
+            // interior-range and G·16-byte-destination contract.
+            unsafe {
+                crate::simd::x86::conv_interior_avx512::<G>(
+                    input, c, h, w, kh, kw, sy, py, oy, x0, wj, shift, act_max, dst,
+                )
+            }
+        }
+        crate::dispatch::KernelIsa::Avx2 => {
+            // SAFETY: ISA detected at runtime; caller upholds the
+            // interior-range and G·8-byte-destination contract.
+            unsafe {
+                crate::simd::x86::conv_interior_avx2::<G>(
+                    input, c, h, w, kh, kw, sy, py, oy, x0, wj, shift, act_max, dst,
+                )
+            }
+        }
+        _ => unreachable!("direct_conv_vec called without a vector ISA"),
+    }
+}
+
+/// Stub so the call site needs no `cfg`; unreachable because
+/// [`direct_conv_lanes`] returns 0 off x86.
+#[cfg(not(target_arch = "x86_64"))]
+#[allow(clippy::too_many_arguments)]
+unsafe fn direct_conv_vec<const G: usize>(
+    _input: &[u8],
+    _c: usize,
+    _h: usize,
+    _w: usize,
+    _kh: usize,
+    _kw: usize,
+    _sy: usize,
+    _py: usize,
+    _oy: usize,
+    _x0: usize,
+    _wj: &[i8],
+    _shift: u8,
+    _act_max: u8,
+    _dst: &mut [u8],
+) {
+    unreachable!("no vector direct-conv path on this architecture")
+}
+
+/// Multi-channel direct-conv driver: one interior sweep per group of up
+/// to 4 output channels, sharing every pixel load across the group (see
+/// [`crate::simd::x86::conv_interior_mc_avx512`]). On VBMI+VNNI hosts
+/// the interior additionally runs the quad-tap `vpdpbusd` kernel, whose
+/// wider 32-byte fragment loads need their own right-edge bound — pixels
+/// past it drop to the plain multiply kernel, and the strips outside
+/// `[lo, hi)` plus vector remainders run the scalar-oracle loop
+/// per channel. Caller guarantees the AVX-512 tier, `hi > lo`, and
+/// `n·out_h·out_w <= out.len()`.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn direct_conv_mc(
+    input: &[u8],
+    c: usize,
+    h: usize,
+    w: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+    weights: &[i8],
+    n: usize,
+    shift: u8,
+    act_max: u8,
+    out: &mut [u8],
+    out_h: usize,
+    out_w: usize,
+    lo: usize,
+    hi: usize,
+) {
+    let (kh, kw) = kernel;
+    let k = c * kh * kw;
+    let spatial = out_h * out_w;
+    let nq = kw.div_ceil(4);
+    // Weight columns, channel-major taps (what the kernels and the
+    // scalar loop index), then the zero-padded 4-tap quads for VNNI.
+    let mut wcols = vec![0i8; n * k];
+    for j in 0..n {
+        for (t, dst) in wcols[j * k..(j + 1) * k].iter_mut().enumerate() {
+            *dst = weights[t * n + j];
+        }
+    }
+    let quad = quad_conv_available();
+    let mut wquads = vec![0i32; if quad { n * c * kh * nq } else { 0 }];
+    if quad {
+        for j in 0..n {
+            for ch in 0..c {
+                for dy in 0..kh {
+                    for q in 0..nq {
+                        let mut b = [0u8; 4];
+                        for (t, byte) in b.iter_mut().enumerate() {
+                            let dx = 4 * q + t;
+                            if dx < kw {
+                                *byte = wcols[j * k + (ch * kh + dy) * kw + dx] as u8;
+                            }
+                        }
+                        wquads[((j * c + ch) * kh + dy) * nq + q] = i32::from_le_bytes(b);
+                    }
+                }
+            }
+        }
+    }
+    for j0 in (0..n).step_by(4) {
+        let g = (n - j0).min(4);
+        let wc = &wcols[j0 * k..(j0 + g) * k];
+        let wq = &wquads[if quad { j0 * c * kh * nq } else { 0 }..if quad {
+            (j0 + g) * c * kh * nq
+        } else {
+            0
+        }];
+        for oy in 0..out_h {
+            let dbase = oy * out_w;
+            let mut ox = lo;
+            while ox + 64 <= hi {
+                let x0 = ox - padding.1;
+                // SAFETY: interior range ⇒ every horizontal tap (and, on
+                // the quad path, every 32-byte fragment, by the explicit
+                // bound) is inside the source row; n·spatial <= out.len()
+                // covers the 4·16-byte stores of each of the g planes.
+                unsafe {
+                    if quad && x0 + 4 * (nq - 1) + 48 + 32 <= w {
+                        mc_vnni_dyn::<4>(
+                            g,
+                            input,
+                            c,
+                            h,
+                            w,
+                            kh,
+                            kw,
+                            stride.0,
+                            padding.0,
+                            oy,
+                            x0,
+                            wq,
+                            shift,
+                            act_max,
+                            out,
+                            j0 * spatial + dbase + ox,
+                            spatial,
+                        );
+                    } else {
+                        mc_mullo_dyn::<4>(
+                            g,
+                            input,
+                            c,
+                            h,
+                            w,
+                            kh,
+                            kw,
+                            stride.0,
+                            padding.0,
+                            oy,
+                            x0,
+                            wc,
+                            shift,
+                            act_max,
+                            out,
+                            j0 * spatial + dbase + ox,
+                            spatial,
+                        );
+                    }
+                }
+                ox += 64;
+            }
+            while ox + 16 <= hi {
+                let x0 = ox - padding.1;
+                // SAFETY: same contracts with a single 16-pixel group.
+                unsafe {
+                    if quad && x0 + 4 * (nq - 1) + 32 <= w {
+                        mc_vnni_dyn::<1>(
+                            g,
+                            input,
+                            c,
+                            h,
+                            w,
+                            kh,
+                            kw,
+                            stride.0,
+                            padding.0,
+                            oy,
+                            x0,
+                            wq,
+                            shift,
+                            act_max,
+                            out,
+                            j0 * spatial + dbase + ox,
+                            spatial,
+                        );
+                    } else {
+                        mc_mullo_dyn::<1>(
+                            g,
+                            input,
+                            c,
+                            h,
+                            w,
+                            kh,
+                            kw,
+                            stride.0,
+                            padding.0,
+                            oy,
+                            x0,
+                            wc,
+                            shift,
+                            act_max,
+                            out,
+                            j0 * spatial + dbase + ox,
+                            spatial,
+                        );
+                    }
+                }
+                ox += 16;
+            }
+            if ox < hi && hi >= lo + 16 {
+                // Overlap step: the outputs are a pure function of the
+                // inputs, so recomputing the last 16 interior pixels at
+                // hi-16 (rewriting up to 15 already-stored bytes with
+                // the same values) is idempotent — and far cheaper than
+                // finishing the ragged tail in the scalar tap loop.
+                let oxl = hi - 16;
+                let x0 = oxl - padding.1;
+                // SAFETY: oxl >= lo and oxl + 16 <= hi: the same
+                // interior and store contracts as the loop above.
+                unsafe {
+                    if quad && x0 + 4 * (nq - 1) + 32 <= w {
+                        mc_vnni_dyn::<1>(
+                            g,
+                            input,
+                            c,
+                            h,
+                            w,
+                            kh,
+                            kw,
+                            stride.0,
+                            padding.0,
+                            oy,
+                            x0,
+                            wq,
+                            shift,
+                            act_max,
+                            out,
+                            j0 * spatial + dbase + oxl,
+                            spatial,
+                        );
+                    } else {
+                        mc_mullo_dyn::<1>(
+                            g,
+                            input,
+                            c,
+                            h,
+                            w,
+                            kh,
+                            kw,
+                            stride.0,
+                            padding.0,
+                            oy,
+                            x0,
+                            wc,
+                            shift,
+                            act_max,
+                            out,
+                            j0 * spatial + dbase + oxl,
+                            spatial,
+                        );
+                    }
+                }
+                ox = hi;
+            }
+            for j in 0..g {
+                let wj = &wcols[(j0 + j) * k..(j0 + j + 1) * k];
+                let rowbase = (j0 + j) * spatial + dbase;
+                for oxs in (0..lo).chain(ox..out_w) {
+                    out[rowbase + oxs] = direct_conv_px(
+                        input, c, h, w, kh, kw, stride, padding, wj, oy, oxs, shift, act_max,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Whether the quad-tap direct-conv kernel can run: the sliding-window
+/// shuffle needs AVX-512VBMI and the fused dot product AVX-512VNNI
+/// (detected once; the caller already established the AVX-512 tier).
+#[cfg(target_arch = "x86_64")]
+fn quad_conv_available() -> bool {
+    use std::sync::OnceLock;
+    static QUAD: OnceLock<bool> = OnceLock::new();
+    *QUAD.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx512vbmi")
+            && std::arch::is_x86_feature_detected!("avx512vnni")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+    })
+}
+
+/// Monomorphization ladder for the runtime channel-group width (1–4)
+/// of the plain multi-channel kernel.
+///
+/// # Safety
+/// Same contract as [`crate::simd::x86::conv_interior_mc_avx512`] with
+/// `N = g`; `g` must be in `1..=4`.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mc_mullo_dyn<const G: usize>(
+    g: usize,
+    input: &[u8],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    sy: usize,
+    py: usize,
+    oy: usize,
+    x0: usize,
+    wcols: &[i8],
+    shift: u8,
+    act_max: u8,
+    out: &mut [u8],
+    dst0: usize,
+    plane: usize,
+) {
+    use crate::simd::x86::conv_interior_mc_avx512 as f;
+    // SAFETY: contract forwarded from the caller for the matching N.
+    unsafe {
+        match g {
+            1 => f::<1, G>(
+                input, c, h, w, kh, kw, sy, py, oy, x0, wcols, shift, act_max, out, dst0, plane,
+            ),
+            2 => f::<2, G>(
+                input, c, h, w, kh, kw, sy, py, oy, x0, wcols, shift, act_max, out, dst0, plane,
+            ),
+            3 => f::<3, G>(
+                input, c, h, w, kh, kw, sy, py, oy, x0, wcols, shift, act_max, out, dst0, plane,
+            ),
+            _ => f::<4, G>(
+                input, c, h, w, kh, kw, sy, py, oy, x0, wcols, shift, act_max, out, dst0, plane,
+            ),
+        }
+    }
+}
+
+/// Monomorphization ladder for the quad-tap VNNI kernel.
+///
+/// # Safety
+/// Same contract as [`crate::simd::x86::conv_interior_mc_vnni`] with
+/// `N = g`; `g` must be in `1..=4`.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mc_vnni_dyn<const G: usize>(
+    g: usize,
+    input: &[u8],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    sy: usize,
+    py: usize,
+    oy: usize,
+    x0: usize,
+    wquads: &[i32],
+    shift: u8,
+    act_max: u8,
+    out: &mut [u8],
+    dst0: usize,
+    plane: usize,
+) {
+    use crate::simd::x86::conv_interior_mc_vnni as f;
+    // SAFETY: contract forwarded from the caller for the matching N.
+    unsafe {
+        match g {
+            1 => f::<1, G>(
+                input, c, h, w, kh, kw, sy, py, oy, x0, wquads, shift, act_max, out, dst0, plane,
+            ),
+            2 => f::<2, G>(
+                input, c, h, w, kh, kw, sy, py, oy, x0, wquads, shift, act_max, out, dst0, plane,
+            ),
+            3 => f::<3, G>(
+                input, c, h, w, kh, kw, sy, py, oy, x0, wquads, shift, act_max, out, dst0, plane,
+            ),
+            _ => f::<4, G>(
+                input, c, h, w, kh, kw, sy, py, oy, x0, wquads, shift, act_max, out, dst0, plane,
+            ),
         }
     }
 }
@@ -366,6 +1106,81 @@ mod tests {
             let mut buf = vec![0xAA; m.rows() * m.cols()];
             im2col_rm_into(&input, c, h, w_dim, kernel, stride, padding, &mut buf);
             assert_eq!(buf, m.as_bytes(), "c={c} h={h} w={w_dim} k={kernel:?}");
+        }
+    }
+
+    #[test]
+    fn direct_conv_matches_staged_narrow_gemm() {
+        // The narrow-output direct path must be bit-identical to the
+        // im2col + GEMM + CHW-scatter pipeline it replaces, on whatever
+        // ISA dispatch selects (widths ≥ 16+kw exercise the vector
+        // interior; stride-2 and zero-padding rows exercise the scalar
+        // borders).
+        for &(c, h, w_dim, n, kernel, stride, padding) in &[
+            (2usize, 10usize, 40usize, 3usize, (3, 3), (1, 1), (1, 1)),
+            (3, 12, 37, 1, (5, 5), (1, 1), (2, 2)),
+            (1, 9, 24, 5, (3, 3), (2, 2), (1, 1)),
+            (2, 7, 21, 15, (3, 3), (1, 1), (0, 0)),
+            // Wide rows: the 64-pixel interior sweep, the quad-tap path
+            // where its fragment bound allows (x0 + 84 <= w) and the
+            // plain kernel past it, plus scalar right-edge remainders.
+            (3, 9, 140, 3, (7, 7), (1, 1), (3, 3)),
+            // Six channels split into a 4-group and a 2-group.
+            (2, 8, 100, 6, (3, 3), (1, 1), (1, 1)),
+        ] {
+            let (kh, kw) = kernel;
+            let k = c * kh * kw;
+            let shift = 4u8;
+            let act_max = 15u8;
+            let input: Vec<u8> = (0..c * h * w_dim).map(|i| ((i * 7) % 16) as u8).collect();
+            let wd: Vec<i8> = (0..k * n).map(|i| ((i % 5) as i8) - 2).collect();
+            let a = im2col_chw(
+                &input,
+                c,
+                h,
+                w_dim,
+                kernel,
+                stride,
+                padding,
+                Layout::RowMajor,
+            );
+            let wm = MatrixI8::from_fn(k, n, |kk, j| wd[kk * n + j]);
+            let gemm = crate::reference::matmul_ref(&a, &wm, shift);
+            let out_h = (h + 2 * padding.0 - kh) / stride.0 + 1;
+            let out_w = (w_dim + 2 * padding.1 - kw) / stride.1 + 1;
+            let spatial = out_h * out_w;
+            let mut expect = vec![0u8; n * spatial];
+            for o in 0..spatial {
+                for j in 0..n {
+                    expect[j * spatial + o] = gemm[o][j].min(act_max);
+                }
+            }
+            let mut got = Vec::new();
+            conv2d_direct_chw_into(
+                &input,
+                c,
+                h,
+                w_dim,
+                kernel,
+                stride,
+                padding,
+                &wd,
+                n,
+                shift,
+                act_max,
+                n * spatial,
+                &mut got,
+            );
+            assert_eq!(got, expect, "c={c} h={h} w={w_dim} n={n}");
+
+            // Truncated out_len mirrors the scatter's resize semantics.
+            let cut = n * spatial - spatial / 2 - 1;
+            let mut short = Vec::new();
+            conv2d_direct_chw_into(
+                &input, c, h, w_dim, kernel, stride, padding, &wd, n, shift, act_max, cut,
+                &mut short,
+            );
+            assert_eq!(short.as_slice(), &expect[..cut], "truncated n={n}");
         }
     }
 

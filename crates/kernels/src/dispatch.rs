@@ -1,0 +1,663 @@
+//! Runtime kernel selection for the blocked GEMM.
+//!
+//! The host never knows at compile time which SIMD tier it will run on,
+//! so the GEMM entry points route through a **one-time-resolved dispatch
+//! table**: the first dispatch probes the CPU (`is_x86_feature_detected!`
+//! on x86-64; NEON is baseline on aarch64), picks the best available
+//! [`KernelIsa`], and memoizes a [`KernelTable`] of function pointers.
+//! Every subsequent GEMM is an indirect call — no per-call feature
+//! sniffing.
+//!
+//! Overrides, in precedence order:
+//!
+//! * [`force_isa`] — a process-wide runtime override used by benches and
+//!   tests to compare tiers within one process. Forcing an ISA the CPU
+//!   does not support degrades to scalar (never UB).
+//! * `GCD2_FORCE_SCALAR=1` — environment pin consulted during the
+//!   one-time detection; CI uses it to run the whole suite against the
+//!   scalar oracle.
+//!
+//! Every kernel in the table computes bit-identical bytes (see
+//! [`crate::simd`] for the argument), so switching ISAs — or racing a
+//! switch mid-run — can never change results, only speed.
+//!
+//! Intra-op parallelism: [`try_matmul_threaded_into`] splits the output
+//! rows into contiguous bands and maps them over [`gcd2_par::par_map`]
+//! with per-band scratch from a [`ScratchPool`]. Bands write disjoint
+//! output slices and share the read-only packed weight panel, so the
+//! result is bit-identical for every thread count.
+
+use crate::autotune::{self, TilePlan};
+use crate::simd;
+use crate::tiled::{validate_dispatch, GemmDispatchError, GemmScratch};
+use gcd2_tensor::MatrixI8;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Kernel instruction-set tiers, from the always-available oracle up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum KernelIsa {
+    /// The scalar blocked loop — the bit-exactness oracle.
+    Scalar = 0,
+    /// AVX2 `vpmaddwd` micro-kernel (x86-64, runtime-detected).
+    Avx2 = 1,
+    /// NEON `vmlal` kernel (aarch64 baseline).
+    Neon = 2,
+    /// AVX-512 VNNI `vpdpbusd` micro-kernel (x86-64, runtime-detected).
+    Avx512Vnni = 3,
+    /// AMX-INT8 `tdpbusd` tile kernel (x86-64, runtime-detected and
+    /// kernel-permission-gated; VNNI strips finish the tile tails).
+    AmxInt8 = 4,
+}
+
+impl KernelIsa {
+    /// Stable lowercase name, used in reports, benches, and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelIsa::Scalar => "scalar",
+            KernelIsa::Avx2 => "avx2",
+            KernelIsa::Neon => "neon",
+            KernelIsa::Avx512Vnni => "avx512vnni",
+            KernelIsa::AmxInt8 => "amx-int8",
+        }
+    }
+
+    /// Whether the running CPU can execute this tier.
+    pub fn supported(self) -> bool {
+        match self {
+            KernelIsa::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelIsa::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            KernelIsa::Avx512Vnni => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512vnni")
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelIsa::AmxInt8 => crate::amx::amx_available(),
+            #[cfg(target_arch = "aarch64")]
+            KernelIsa::Neon => true,
+            #[allow(unreachable_patterns)] // tiers of other architectures
+            _ => false,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<KernelIsa> {
+        match v {
+            0 => Some(KernelIsa::Scalar),
+            1 => Some(KernelIsa::Avx2),
+            2 => Some(KernelIsa::Neon),
+            3 => Some(KernelIsa::Avx512Vnni),
+            4 => Some(KernelIsa::AmxInt8),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelIsa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Operand bundle every band kernel receives: the full GEMM, with the
+/// band row range passed separately.
+#[derive(Clone, Copy)]
+pub(crate) struct BandArgs<'a> {
+    pub a: &'a [u8],
+    pub k: usize,
+    pub n: usize,
+    pub wd: &'a [i8],
+    pub shift: u8,
+    pub tiles: TilePlan,
+}
+
+/// Which packed weight panel a kernel consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PanelKind {
+    /// No packing (scalar, NEON — they read `wd` directly).
+    None,
+    /// Pair-interleaved i16 panel ([`simd::pack_pairs_i16`], AVX2).
+    Pairs,
+    /// Quad-interleaved i8 panel ([`simd::pack_quads_i8`], VNNI).
+    Quads,
+}
+
+/// A band kernel: computes output rows `[r0, r1)` into `out_band`
+/// (`(r1-r0) × n` bytes), using `acc` as its i32 scratch and whichever
+/// packed panel its table row's [`PanelKind`] selects (the other panel
+/// argument is empty and ignored).
+///
+/// # Safety
+/// The function may use ISA extensions; callers must obtain it from a
+/// [`KernelTable`] whose `isa.supported()` held at resolution time, and
+/// uphold the operand contract documented on each kernel.
+pub(crate) type BandFn =
+    unsafe fn(&BandArgs<'_>, &[i16], &[i8], &mut Vec<i32>, usize, usize, &mut [u8]);
+
+/// One resolved dispatch-table row.
+pub(crate) struct KernelTable {
+    pub isa: KernelIsa,
+    pub band: BandFn,
+    pub panel: PanelKind,
+}
+
+impl KernelTable {
+    /// Populates the panel this kernel needs (and clears the other, so
+    /// stale panels from a previous dispatch can never be consumed).
+    fn pack(&self, wd: &[i8], k: usize, n: usize, scratch: &mut GemmScratch) {
+        match self.panel {
+            PanelKind::None => {
+                scratch.panel.clear();
+                scratch.panel8.clear();
+            }
+            PanelKind::Pairs => {
+                simd::pack_pairs_i16(wd, k, n, &mut scratch.panel);
+                scratch.panel8.clear();
+            }
+            PanelKind::Quads => {
+                simd::pack_quads_i8(wd, k, n, &mut scratch.panel8);
+                scratch.panel.clear();
+            }
+        }
+    }
+}
+
+/// Adapter giving the scalar oracle the band-kernel ABI.
+///
+/// # Safety
+/// Not actually unsafe — entirely safe code — but must match [`BandFn`].
+unsafe fn scalar_entry(
+    args: &BandArgs<'_>,
+    _panel: &[i16],
+    _quads: &[i8],
+    acc: &mut Vec<i32>,
+    r0: usize,
+    r1: usize,
+    out: &mut [u8],
+) {
+    crate::tiled::scalar_band(
+        args.a, args.k, args.n, args.wd, args.shift, args.tiles, acc, r0, r1, out,
+    );
+}
+
+static SCALAR_TABLE: KernelTable = KernelTable {
+    isa: KernelIsa::Scalar,
+    band: scalar_entry,
+    panel: PanelKind::None,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2_TABLE: KernelTable = KernelTable {
+    isa: KernelIsa::Avx2,
+    band: simd::x86::band_avx2,
+    panel: PanelKind::Pairs,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX512VNNI_TABLE: KernelTable = KernelTable {
+    isa: KernelIsa::Avx512Vnni,
+    band: simd::x86::band_avx512vnni,
+    panel: PanelKind::Quads,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AMX_TABLE: KernelTable = KernelTable {
+    isa: KernelIsa::AmxInt8,
+    band: crate::amx::band_amx,
+    panel: PanelKind::Quads,
+};
+
+#[cfg(target_arch = "aarch64")]
+static NEON_TABLE: KernelTable = KernelTable {
+    isa: KernelIsa::Neon,
+    band: simd::arm::band_neon,
+    panel: PanelKind::None,
+};
+
+pub(crate) fn table_for(isa: KernelIsa) -> &'static KernelTable {
+    match isa {
+        KernelIsa::Scalar => &SCALAR_TABLE,
+        #[cfg(target_arch = "x86_64")]
+        KernelIsa::Avx2 => &AVX2_TABLE,
+        #[cfg(target_arch = "x86_64")]
+        KernelIsa::Avx512Vnni => &AVX512VNNI_TABLE,
+        #[cfg(target_arch = "x86_64")]
+        KernelIsa::AmxInt8 => &AMX_TABLE,
+        #[cfg(target_arch = "aarch64")]
+        KernelIsa::Neon => &NEON_TABLE,
+        #[allow(unreachable_patterns)] // cross-arch variants degrade to the oracle
+        _ => &SCALAR_TABLE,
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn best_available() -> KernelIsa {
+    if KernelIsa::AmxInt8.supported() {
+        KernelIsa::AmxInt8
+    } else if KernelIsa::Avx512Vnni.supported() {
+        KernelIsa::Avx512Vnni
+    } else if KernelIsa::Avx2.supported() {
+        KernelIsa::Avx2
+    } else {
+        KernelIsa::Scalar
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+fn best_available() -> KernelIsa {
+    KernelIsa::Neon
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn best_available() -> KernelIsa {
+    KernelIsa::Scalar
+}
+
+/// The ISA the one-time detection resolved for this process: the best
+/// supported tier, unless `GCD2_FORCE_SCALAR` pins the oracle.
+pub fn detected_isa() -> KernelIsa {
+    static DETECTED: OnceLock<KernelIsa> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        let forced_scalar =
+            std::env::var("GCD2_FORCE_SCALAR").is_ok_and(|v| !v.is_empty() && v != "0");
+        if forced_scalar {
+            KernelIsa::Scalar
+        } else {
+            best_available()
+        }
+    })
+}
+
+/// `u8::MAX` = no override; otherwise a `KernelIsa` discriminant.
+static FORCED: AtomicU8 = AtomicU8::new(u8::MAX);
+
+/// Process-wide runtime ISA override for benches and tests (pass `None`
+/// to return to auto-detection). Forcing a tier the CPU cannot run
+/// degrades to scalar. Safe to flip at any time: all tiers produce
+/// bit-identical output, so in-flight GEMMs are unaffected semantically.
+pub fn force_isa(isa: Option<KernelIsa>) {
+    FORCED.store(isa.map_or(u8::MAX, |i| i as u8), Ordering::SeqCst);
+}
+
+/// The ISA the next GEMM dispatch will use ([`force_isa`] override,
+/// else the one-time detection).
+pub fn active_isa() -> KernelIsa {
+    active_table().isa
+}
+
+pub(crate) fn active_table() -> &'static KernelTable {
+    let forced = FORCED.load(Ordering::Relaxed);
+    if forced != u8::MAX {
+        let isa = KernelIsa::from_u8(forced)
+            .filter(|i| i.supported())
+            .unwrap_or(KernelIsa::Scalar);
+        return table_for(isa);
+    }
+    static ACTIVE: OnceLock<&'static KernelTable> = OnceLock::new();
+    ACTIVE.get_or_init(|| table_for(detected_isa()))
+}
+
+/// A checkout/restore pool of [`GemmScratch`] buffers shared by intra-op
+/// band workers (and arena owners), so steady-state parallel GEMMs
+/// allocate nothing. A poisoned pool lock degrades to fresh scratch —
+/// never a panic.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    inner: Mutex<Vec<GemmScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool; buffers are created on demand and returned on
+    /// restore.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn checkout(&self) -> GemmScratch {
+        match self.inner.lock() {
+            Ok(mut pool) => pool.pop().unwrap_or_default(),
+            Err(_) => GemmScratch::default(),
+        }
+    }
+
+    pub(crate) fn restore(&self, scratch: GemmScratch) {
+        if let Ok(mut pool) = self.inner.lock() {
+            pool.push(scratch);
+        }
+    }
+
+    /// Number of idle buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.inner.lock().map(|p| p.len()).unwrap_or(0)
+    }
+}
+
+/// Resolves tiles for a dispatch, probing candidates with the real
+/// operands on a cache miss (see [`crate::autotune`]).
+#[allow(clippy::too_many_arguments)] // full operand set of one dispatch
+fn resolve_with_probe(
+    table: &'static KernelTable,
+    a: &[u8],
+    m: usize,
+    k: usize,
+    n: usize,
+    wd: &[i8],
+    shift: u8,
+    panel: &[i16],
+    quads: &[i8],
+    acc: &mut Vec<i32>,
+) -> (TilePlan, bool) {
+    let rows = autotune::probe_rows(m, k, n);
+    autotune::resolve_tiles(m, k, n, table.isa, &mut |cand| {
+        let args = BandArgs {
+            a,
+            k,
+            n,
+            wd,
+            shift,
+            tiles: cand,
+        };
+        let mut tmp = vec![0u8; rows * n];
+        let start = Instant::now();
+        // SAFETY: `table` resolution verified ISA support; probe rows
+        // are a prefix of the real operands, so the operand contract
+        // (rows*k activations, k×n weights, panels packed from wd) holds.
+        unsafe { (table.band)(&args, panel, quads, acc, 0, rows, &mut tmp) };
+        start.elapsed()
+    })
+}
+
+/// Single-threaded blocked GEMM through the dispatch table; backend of
+/// [`crate::tiled::try_matmul_blocked_into`]. Operands are
+/// pre-validated by the caller.
+pub(crate) fn run_single(
+    a: &[u8],
+    m: usize,
+    k: usize,
+    w: &MatrixI8,
+    shift: u8,
+    scratch: &mut GemmScratch,
+    out: &mut Vec<u8>,
+) {
+    let n = w.cols();
+    out.clear();
+    out.resize(m * n, 0);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let wd = w.as_slice();
+    let table = active_table();
+    table.pack(wd, k, n, scratch);
+    let GemmScratch { acc, panel, panel8 } = scratch;
+    let (tiles, _) = resolve_with_probe(table, a, m, k, n, wd, shift, panel, panel8, acc);
+    let args = BandArgs {
+        a,
+        k,
+        n,
+        wd,
+        shift,
+        tiles,
+    };
+    // SAFETY: table resolution verified ISA support; validate_dispatch
+    // established a.len() == m*k and w.rows() == k, out was resized to
+    // m*n, and the panels are the pack image of wd for this table row.
+    unsafe { (table.band)(&args, panel, panel8, acc, 0, m, out) };
+}
+
+/// Intra-op parallel blocked GEMM: output rows are split into up to
+/// `threads` contiguous bands mapped over [`gcd2_par::par_map`], each
+/// band running the dispatched kernel with its own pooled scratch over
+/// a disjoint output slice. Bit-identical for every `threads` value
+/// (wrapping i32 accumulation is order-free and bands don't overlap).
+///
+/// `threads` is the intra-op budget — callers that already parallelize
+/// across requests (batching, serving) pass their per-request share so
+/// the machine is not oversubscribed.
+///
+/// # Errors
+/// Returns [`GemmDispatchError`] (before writing to `out`) if the
+/// operand shapes are mutually inconsistent or the shift is out of
+/// range.
+#[allow(clippy::too_many_arguments)] // the GEMM operand contract + budget
+pub fn try_matmul_threaded_into(
+    a: &[u8],
+    m: usize,
+    k: usize,
+    w: &MatrixI8,
+    shift: u8,
+    pool: &ScratchPool,
+    threads: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), GemmDispatchError> {
+    let _ = gcd2_faults::fire("infer.gemm");
+    validate_dispatch(a, m, k, w, shift)?;
+    let n = w.cols();
+    out.clear();
+    out.resize(m * n, 0);
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    let wd = w.as_slice();
+    let table = active_table();
+
+    let mut lead = pool.checkout();
+    {
+        table.pack(wd, k, n, &mut lead);
+        let GemmScratch { acc, panel, panel8 } = &mut lead;
+        let (tiles, _) = resolve_with_probe(table, a, m, k, n, wd, shift, panel, panel8, acc);
+        let args = BandArgs {
+            a,
+            k,
+            n,
+            wd,
+            shift,
+            tiles,
+        };
+        // Don't cut bands smaller than a row block: a band per tile row
+        // maximizes parallelism without degenerate slivers.
+        let bands = threads.max(1).min(m.div_ceil(tiles.mb.max(1))).min(m);
+        if bands <= 1 {
+            // SAFETY: same contract as the single-threaded path.
+            unsafe { (table.band)(&args, panel, panel8, acc, 0, m, out) };
+        } else {
+            let chunk = m.div_ceil(bands);
+            let panel_ro: &[i16] = panel;
+            let quads_ro: &[i8] = panel8;
+            let jobs: Vec<Mutex<&mut [u8]>> = out.chunks_mut(chunk * n).map(Mutex::new).collect();
+            gcd2_par::par_map(bands, &jobs, |i, slot| {
+                let r0 = i * chunk;
+                let r1 = ((i + 1) * chunk).min(m);
+                let mut band_scratch = pool.checkout();
+                let mut guard = match slot.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                // SAFETY: band rows [r0, r1) are in range, the chunked
+                // slice is exactly (r1-r0)*n bytes, the shared panels
+                // are read-only, and the table's ISA was verified.
+                unsafe {
+                    (table.band)(
+                        &args,
+                        panel_ro,
+                        quads_ro,
+                        &mut band_scratch.acc,
+                        r0,
+                        r1,
+                        &mut guard,
+                    )
+                };
+                pool.restore(band_scratch);
+            });
+        }
+    }
+    pool.restore(lead);
+    Ok(())
+}
+
+/// Pre-resolves the tile plan for a GEMM shape using synthetic
+/// activations, so the first real request doesn't pay the probe sweep.
+/// Called at `InferencePlan` build time for every GEMM step above the
+/// tuning threshold; below it (or with tuning disabled) this is a no-op.
+pub fn warm_gemm_tiles(m: usize, k: usize, n: usize, w: &MatrixI8, shift: u8) {
+    if m == 0 || n == 0 || k == 0 || w.rows() != k || w.cols() != n || shift >= 32 {
+        return;
+    }
+    let table = active_table();
+    let rows = autotune::probe_rows(m, k, n);
+    // Synthetic activations in the quantized range with a realistic
+    // sprinkle of zeros (the kernels zero-skip, so an all-dense or
+    // all-zero probe would mis-rank candidates).
+    let a: Vec<u8> = (0..rows * k)
+        .map(|i| {
+            let v = (i.wrapping_mul(2654435761) >> 7) % 19;
+            if v >= 16 {
+                0
+            } else {
+                v as u8
+            }
+        })
+        .collect();
+    let wd = w.as_slice();
+    let mut scratch = GemmScratch::default();
+    table.pack(wd, k, n, &mut scratch);
+    let GemmScratch { acc, panel, panel8 } = &mut scratch;
+    // Key by the *real* m; the probe itself only ever runs `rows` rows.
+    let _ = resolve_with_probe(table, &a, m, k, n, wd, shift, panel, panel8, acc);
+}
+
+/// What the dispatcher would use for a GEMM shape right now, for
+/// reports: `(isa, tiles, tuned)`. Pure lookup — never probes.
+pub fn gemm_kernel_summary(m: usize, k: usize, n: usize) -> (KernelIsa, TilePlan, bool) {
+    let isa = active_isa();
+    match autotune::cached_tiles(m, k, n, isa) {
+        Some(t) => (isa, t, true),
+        None => (isa, TilePlan::DEFAULT, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcd2_tensor::{Layout, MatrixI8, MatrixU8};
+
+    fn operands(m: usize, k: usize, n: usize) -> (MatrixU8, MatrixI8) {
+        let a = MatrixU8::from_fn(m, k, Layout::RowMajor, |r, c| {
+            let v = ((r * 31 + c * 7) % 21) as u8;
+            if v >= 16 {
+                0
+            } else {
+                v
+            }
+        });
+        let w = MatrixI8::from_fn(k, n, |r, c| (((r * 13 + c * 5) % 5) as i8) - 2);
+        (a, w)
+    }
+
+    #[test]
+    fn every_supported_isa_matches_the_oracle() {
+        let (m, k, n) = (37, 61, 29);
+        let (a, w) = operands(m, k, n);
+        let mut scratch = GemmScratch::default();
+        let mut oracle = Vec::new();
+        force_isa(Some(KernelIsa::Scalar));
+        run_single(a.as_bytes(), m, k, &w, 3, &mut scratch, &mut oracle);
+        for isa in [
+            KernelIsa::Avx2,
+            KernelIsa::Neon,
+            KernelIsa::Avx512Vnni,
+            KernelIsa::AmxInt8,
+        ] {
+            force_isa(Some(isa));
+            let mut got = Vec::new();
+            run_single(a.as_bytes(), m, k, &w, 3, &mut scratch, &mut got);
+            assert_eq!(got, oracle, "forced {isa} (may degrade to scalar)");
+        }
+        force_isa(None);
+        let mut auto = Vec::new();
+        run_single(a.as_bytes(), m, k, &w, 3, &mut scratch, &mut auto);
+        assert_eq!(auto, oracle, "auto-detected ISA");
+    }
+
+    #[test]
+    fn threaded_is_bit_identical_to_single_for_every_thread_count() {
+        let (m, k, n) = (130, 47, 19);
+        let (a, w) = operands(m, k, n);
+        let mut scratch = GemmScratch::default();
+        let mut single = Vec::new();
+        run_single(a.as_bytes(), m, k, &w, 2, &mut scratch, &mut single);
+        let pool = ScratchPool::new();
+        for threads in [1, 2, 3, 4, 7] {
+            let mut got = Vec::new();
+            try_matmul_threaded_into(a.as_bytes(), m, k, &w, 2, &pool, threads, &mut got)
+                .expect("valid operands");
+            assert_eq!(got, single, "threads={threads}");
+        }
+        assert!(pool.pooled() >= 1, "band scratch returns to the pool");
+    }
+
+    #[test]
+    fn forcing_unsupported_isa_degrades_to_scalar() {
+        force_isa(Some(KernelIsa::Neon));
+        #[cfg(not(target_arch = "aarch64"))]
+        assert_eq!(active_isa(), KernelIsa::Scalar);
+        #[cfg(target_arch = "aarch64")]
+        assert_eq!(active_isa(), KernelIsa::Neon);
+        force_isa(None);
+        assert!(active_isa().supported());
+    }
+
+    /// Diagnostic, not a gate: sweeps the candidate tile grid over a
+    /// full-size GEMM on the active ISA and prints GMAC/s per plan.
+    /// Run with `cargo test --release -p gcd2-kernels -- --ignored
+    /// tile_sweep --nocapture` when re-tuning the candidate tables.
+    #[test]
+    #[ignore = "perf diagnostic; run manually in release mode"]
+    fn tile_sweep_diagnostic() {
+        let (m, k, n) = (16384, 2304, 256);
+        let (a, w) = operands(m, k, n);
+        let wd = w.as_slice();
+        let table = active_table();
+        let mut scratch = GemmScratch::default();
+        table.pack(wd, k, n, &mut scratch);
+        let GemmScratch { acc, panel, panel8 } = &mut scratch;
+        let mut out = vec![0u8; m * n];
+        for &mb in &[16usize, 32, 64, 128, 256] {
+            for &kb in &[128usize, 256, 512, 1024, 2304] {
+                let args = BandArgs {
+                    a: a.as_bytes(),
+                    k,
+                    n,
+                    wd,
+                    shift: 6,
+                    tiles: TilePlan { mb, kb },
+                };
+                let t0 = Instant::now();
+                // SAFETY: active table's ISA was runtime-verified and
+                // the operands match the band contract.
+                unsafe { (table.band)(&args, panel, panel8, acc, 0, m, &mut out) };
+                let dt = t0.elapsed().as_secs_f64();
+                let gmacs = (m * k * n) as f64 / dt / 1e9;
+                println!(
+                    "{:>10} mb={mb:<4} kb={kb:<5} {gmacs:8.1} GMAC/s",
+                    table.isa.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn summary_reports_cached_tiles_after_warm() {
+        // Unique above-threshold shape so the warm call really tunes.
+        let (m, k, n) = (2048, 640, 48);
+        let w = MatrixI8::from_fn(k, n, |r, c| (((r + c) % 5) as i8) - 2);
+        warm_gemm_tiles(m, k, n, &w, 4);
+        if autotune::autotune_enabled() {
+            let (isa, _tiles, tuned) = gemm_kernel_summary(m, k, n);
+            assert_eq!(isa, active_isa());
+            assert!(tuned, "warmed shape must report tuned tiles");
+        }
+    }
+}

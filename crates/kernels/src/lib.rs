@@ -23,24 +23,36 @@
 //! ```
 
 // Runtime-facing crate: recoverable failures must flow through Result,
-// same robustness gate as gcd2 core (see DESIGN.md §6d).
+// same robustness gate as gcd2 core (see DESIGN.md §6d). The SIMD
+// kernels additionally require every unsafe block to justify itself.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(clippy::undocumented_unsafe_blocks)]
 
+#[cfg(target_arch = "x86_64")]
+pub mod amx;
+pub mod autotune;
 pub mod conv;
 pub mod cost;
+pub mod dispatch;
 pub mod elementwise;
 pub mod hostops;
 pub mod instr;
 pub mod matmul;
 pub mod reference;
+pub mod simd;
 pub mod tiled;
 pub mod unroll;
 
+pub use autotune::{autotune_enabled, cached_tiles, tuner_cache_stats, TilePlan, TUNE_MIN_MACS};
 pub use conv::{
-    conv_ref_chw, conv_weights_as_gemm, depthwise_vtmpy_blocks, dwconv_direct_into, im2col_chw,
-    im2col_overhead_cycles, im2col_rm_into,
+    conv2d_direct_chw_into, conv_ref_chw, conv_weights_as_gemm, depthwise_vtmpy_blocks,
+    dwconv_direct_into, im2col_chw, im2col_overhead_cycles, im2col_rm_into,
 };
 pub use cost::{CostCache, CostModel, KERNEL_DISPATCH_CYCLES};
+pub use dispatch::{
+    active_isa, detected_isa, force_isa, gemm_kernel_summary, try_matmul_threaded_into,
+    warm_gemm_tiles, KernelIsa, ScratchPool,
+};
 pub use elementwise::{elementwise_blocks, EwKind};
 pub use instr::SimdInstr;
 pub use matmul::{functional_program, gemm_loops, output_matrix_len, timing_blocks, GemmLoops};

@@ -1,0 +1,1135 @@
+//! Vectorized int8→i32 GEMM band kernels.
+//!
+//! Each kernel computes the same function as the scalar oracle
+//! ([`crate::tiled`]): `out[r][j] = clamp((Σ_kk a[r][kk] · w[kk][j]) >>
+//! shift, 0, 255)` with i32 **wrapping** accumulation. Wrapping addition
+//! is associative and commutative, so any accumulation order — register
+//! tiles, pair-summed `madd`, widened NEON lanes — produces bytes
+//! identical to the scalar loop. That bit-exactness is the contract: the
+//! proptest gate in `tests/simd_identity.rs` compares every path against
+//! the oracle, and `gcd2-analyze`'s accumulator-width proofs transfer
+//! unchanged.
+//!
+//! Why `_mm256_madd_epi16` is exact here: activations are `u8` (≤ 255)
+//! and weights `i8`, both widened to i16 lanes, so every lane product has
+//! magnitude ≤ 255·128 = 32640 and each madd pair-sum ≤ 65280 — far
+//! inside i32. The saturating corner of `vpmaddwd` (both lanes −32768)
+//! is unreachable. The byte-wise `maddubs` instruction was rejected
+//! because its i16 pair-sum *does* saturate for general u8×i8 input.
+//!
+//! Zero-skip: the scalar oracle skips `a == 0` elements (im2col zero
+//! padding makes them common). Skipping a zero activation only omits
+//! adding 0 — so each kernel is free to skip, or not, at whatever
+//! granularity profits: the AVX2 kernel skips zero *pairs*, the VNNI
+//! wide kernel never skips (see [`x86::micro512`] for why the branch
+//! loses), and the VNNI narrow kernel skips whole 64-byte blocks.
+//! All choices produce identical bytes.
+
+use crate::autotune::TilePlan;
+use crate::dispatch::BandArgs;
+
+/// Pack a `k × n` row-major i8 weight matrix into the pair-interleaved
+/// i16 panel the AVX2 kernel consumes: consecutive weight rows `2p` and
+/// `2p+1` are zipped column-wise, so one 256-bit load yields 8 columns
+/// worth of `(w[2p][j], w[2p+1][j])` i16 pairs ready for `madd` against
+/// a broadcast activation pair. An odd trailing row is padded with a
+/// zero partner (zero contributes nothing to the pair-sum).
+///
+/// Packing happens once per GEMM call (cost `O(k·n)`, amortized over
+/// `m` rows) and the panel is shared read-only by all intra-op bands.
+pub(crate) fn pack_pairs_i16(wd: &[i8], k: usize, n: usize, panel: &mut Vec<i16>) {
+    let pairs = k.div_ceil(2);
+    panel.clear();
+    panel.resize(pairs * 2 * n, 0);
+    for p in 0..pairs {
+        let row0 = &wd[2 * p * n..(2 * p + 1) * n];
+        let dst = &mut panel[p * 2 * n..(p + 1) * 2 * n];
+        if 2 * p + 1 < k {
+            let row1 = &wd[(2 * p + 1) * n..(2 * p + 2) * n];
+            for j in 0..n {
+                dst[2 * j] = row0[j] as i16;
+                dst[2 * j + 1] = row1[j] as i16;
+            }
+        } else {
+            for j in 0..n {
+                dst[2 * j] = row0[j] as i16;
+            }
+        }
+    }
+}
+
+/// Pack a `k × n` row-major i8 weight matrix into the quad-interleaved
+/// i8 panel the AVX-512 VNNI kernel consumes: four consecutive weight
+/// rows are zipped column-wise so each i32 lane of a 512-bit load holds
+/// the `(w[4q][j] .. w[4q+3][j])` bytes `vpdpbusd` dots against four
+/// broadcast activation bytes. Trailing rows pad with zero (a zero
+/// weight byte contributes nothing whatever activation byte it meets,
+/// so the activation padding bytes never matter).
+pub(crate) fn pack_quads_i8(wd: &[i8], k: usize, n: usize, panel: &mut Vec<i8>) {
+    let quads = k.div_ceil(4);
+    panel.clear();
+    panel.resize(quads * 4 * n, 0);
+    for q in 0..quads {
+        let dst = &mut panel[q * 4 * n..(q + 1) * 4 * n];
+        for t in 0..4 {
+            let kk = 4 * q + t;
+            if kk >= k {
+                break;
+            }
+            let row = &wd[kk * n..(kk + 1) * n];
+            for j in 0..n {
+                dst[4 * j + t] = row[j];
+            }
+        }
+    }
+}
+
+/// Requantize an i32 accumulator band to output bytes — shared epilogue
+/// of every band kernel, identical to the scalar oracle's epilogue.
+pub(crate) fn requantize(acc: &[i32], shift: u8, out: &mut [u8]) {
+    for (dst, &v) in out.iter_mut().zip(acc.iter()) {
+        *dst = (v >> shift).clamp(0, 255) as u8;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    #![allow(clippy::too_many_arguments)]
+
+    use super::{requantize, BandArgs, TilePlan};
+    use core::arch::x86_64::*;
+
+    /// AVX2 band kernel over rows `[r0, r1)` of the output.
+    ///
+    /// Loop nest: `mb` row blocks outermost with a cache-hot `mb × n`
+    /// i32 accumulator (requantized per block), `kb`-sized pair segments
+    /// of the packed panel inside, then register-tiled micro-kernels —
+    /// 4 rows × 16 columns held in 8 ymm accumulators, one `madd` +
+    /// `add` per (row-pair, 8 columns). Keeping the accumulator block-
+    /// local matters for huge-`m` conv GEMMs: a band-wide accumulator
+    /// would be re-streamed from memory once per reduction segment.
+    /// Bands narrower than one ymm of columns delegate to the scalar
+    /// oracle (bit-identical; the strips cannot engage).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available, `panel` is the
+    /// [`super::pack_pairs_i16`] image of `args.wd` for (`args.k`,
+    /// `args.n`), `r1 <= m`, and `out_band.len() == (r1 - r0) * n`.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn band_avx2(
+        args: &BandArgs<'_>,
+        panel: &[i16],
+        _quads: &[i8],
+        acc_buf: &mut Vec<i32>,
+        r0: usize,
+        r1: usize,
+        out_band: &mut [u8],
+    ) {
+        let BandArgs {
+            a,
+            k,
+            n,
+            wd,
+            shift,
+            tiles,
+        } = *args;
+        let TilePlan { mb, kb } = tiles;
+        if n < 8 {
+            // No vector strip fits: every column would take the scalar
+            // tail. The oracle's plain nest is strictly faster there.
+            return crate::tiled::scalar_band(a, k, n, wd, shift, tiles, acc_buf, r0, r1, out_band);
+        }
+        let rows = r1 - r0;
+        debug_assert!(r1 * k <= a.len());
+        debug_assert_eq!(panel.len(), k.div_ceil(2) * 2 * n);
+        debug_assert_eq!(out_band.len(), rows * n);
+
+        let pairs = k.div_ceil(2);
+        let full_pairs = k / 2;
+        let kb_pairs = (kb / 2).max(1);
+        let mb = mb.max(4);
+        acc_buf.clear();
+        acc_buf.resize(mb.min(rows) * n, 0);
+
+        let mut rb = 0usize;
+        while rb < rows {
+            let mrows = mb.min(rows - rb);
+            let acc = &mut acc_buf[..mrows * n];
+            acc.fill(0);
+            let mut p0 = 0usize;
+            while p0 < pairs {
+                let p1 = (p0 + kb_pairs).min(pairs);
+                let mut r = 0usize;
+                while r + 4 <= mrows {
+                    // SAFETY: rows r0+rb+r .. +4 are < r1 <= m and the
+                    // acc offset r * n stays inside the mrows*n block.
+                    unsafe {
+                        strips::<4>(
+                            a,
+                            k,
+                            n,
+                            wd,
+                            panel,
+                            acc,
+                            r0 + rb + r,
+                            r * n,
+                            p0,
+                            p1,
+                            full_pairs,
+                        );
+                    }
+                    r += 4;
+                }
+                while r < mrows {
+                    // SAFETY: single row r0+rb+r < r1 <= m, acc offset in range.
+                    unsafe {
+                        strips::<1>(
+                            a,
+                            k,
+                            n,
+                            wd,
+                            panel,
+                            acc,
+                            r0 + rb + r,
+                            r * n,
+                            p0,
+                            p1,
+                            full_pairs,
+                        );
+                    }
+                    r += 1;
+                }
+                p0 = p1;
+            }
+            requantize(acc, shift, &mut out_band[rb * n..(rb + mrows) * n]);
+            rb += mrows;
+        }
+    }
+
+    /// Column-strip driver for an `R`-row group: 16-wide register tiles,
+    /// then one 8-wide tile, then a scalar tail for `n % 8` columns.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2, rows `row_abs .. row_abs + R` exist in
+    /// `a`, `acc_off + (R-1)*n + n <= acc.len()`, and `panel` covers
+    /// pair range `[p0, p1)` at width `n`.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn strips<const R: usize>(
+        a: &[u8],
+        k: usize,
+        n: usize,
+        wd: &[i8],
+        panel: &[i16],
+        acc: &mut [i32],
+        row_abs: usize,
+        acc_off: usize,
+        p0: usize,
+        p1: usize,
+        full_pairs: usize,
+    ) {
+        let mut j = 0usize;
+        while j + 16 <= n {
+            // SAFETY: j + 16 <= n keeps both ymm column loads in range.
+            unsafe {
+                micro::<R, 2>(a, k, n, panel, acc, row_abs, acc_off, j, p0, p1, full_pairs);
+            }
+            j += 16;
+        }
+        if j + 8 <= n {
+            // SAFETY: j + 8 <= n keeps the single ymm column load in range.
+            unsafe {
+                micro::<R, 1>(a, k, n, panel, acc, row_abs, acc_off, j, p0, p1, full_pairs);
+            }
+            j += 8;
+        }
+        if j < n {
+            tail_cols_range::<R>(
+                a,
+                k,
+                n,
+                wd,
+                acc,
+                row_abs,
+                acc_off,
+                j,
+                2 * p0,
+                (2 * p1).min(k),
+            );
+        }
+    }
+
+    /// Register-tiled micro-kernel: `R` rows × `W` ymm columns (8 i32
+    /// lanes each). Accumulators are loaded from / stored back to the
+    /// band buffer so pair segments can be split across calls.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2, `(row_abs + R) * k <= a.len()`,
+    /// `acc_off + (R-1)*n + j + 8*W <= acc.len()`, and
+    /// `(p1-1)*2n + 2j + 16*W <= panel.len()`.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn micro<const R: usize, const W: usize>(
+        a: &[u8],
+        k: usize,
+        n: usize,
+        panel: &[i16],
+        acc: &mut [i32],
+        row_abs: usize,
+        acc_off: usize,
+        j: usize,
+        p0: usize,
+        p1: usize,
+        full_pairs: usize,
+    ) {
+        let mut cc = [[_mm256_setzero_si256(); W]; R];
+        for (r, row) in cc.iter_mut().enumerate() {
+            for (w, lane) in row.iter_mut().enumerate() {
+                // SAFETY: per caller contract the 8-lane i32 window at
+                // acc_off + r*n + j + 8w is inside `acc`.
+                *lane = unsafe {
+                    _mm256_loadu_si256(
+                        acc.as_ptr().add(acc_off + r * n + j + 8 * w) as *const __m256i
+                    )
+                };
+            }
+        }
+        for p in p0..p1 {
+            let wbase = p * 2 * n + 2 * j;
+            let mut wv = [_mm256_setzero_si256(); W];
+            for (w, lane) in wv.iter_mut().enumerate() {
+                // SAFETY: per caller contract the 16-lane i16 window at
+                // wbase + 16w is inside `panel`.
+                *lane = unsafe {
+                    _mm256_loadu_si256(panel.as_ptr().add(wbase + 16 * w) as *const __m256i)
+                };
+            }
+            let half = p >= full_pairs;
+            for (r, row) in cc.iter_mut().enumerate() {
+                let base = (row_abs + r) * k + 2 * p;
+                // SAFETY: base < (row_abs + R) * k <= a.len(); the +1
+                // partner is only read for full pairs (2p + 1 < k).
+                let a0 = unsafe { *a.get_unchecked(base) } as u32;
+                let a1 = if half {
+                    0
+                } else {
+                    // SAFETY: full pair ⇒ base + 1 < (row_abs + R) * k.
+                    unsafe { *a.get_unchecked(base + 1) as u32 }
+                };
+                let bits = a0 | (a1 << 16);
+                if bits == 0 {
+                    continue; // zero activation pair contributes nothing
+                }
+                let av = _mm256_set1_epi32(bits as i32);
+                for (w, lane) in row.iter_mut().enumerate() {
+                    *lane = _mm256_add_epi32(*lane, _mm256_madd_epi16(wv[w], av));
+                }
+            }
+        }
+        for (r, row) in cc.iter().enumerate() {
+            for (w, lane) in row.iter().enumerate() {
+                // SAFETY: same window as the load above.
+                unsafe {
+                    _mm256_storeu_si256(
+                        acc.as_mut_ptr().add(acc_off + r * n + j + 8 * w) as *mut __m256i,
+                        *lane,
+                    );
+                }
+            }
+        }
+    }
+
+    /// AVX-512 VNNI band kernel: same loop nest as [`band_avx2`] —
+    /// `mb` row blocks outermost with a cache-hot `mb × n` accumulator,
+    /// reduction segments inside — but in the quad (4-row) reduction
+    /// domain over a quad-interleaved i8 panel: one `vpdpbusd` performs
+    /// 64 u8×i8 MACs. Exactness: each lane sums four products of
+    /// magnitude ≤ 255·128 (≤ 130560 total, far inside i32) and plain
+    /// `vpdpbusd` accumulates modularly (the saturating variant is
+    /// `vpdpbusds`, which we do not use), so the bytes match the
+    /// wrapping scalar oracle for any schedule. Bands narrower than one
+    /// zmm of columns delegate to the scalar oracle (bit-identical).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX-512F + AVX-512VNNI are available, `quads`
+    /// is the [`super::pack_quads_i8`] image of `args.wd`, `r1 <= m`,
+    /// and `out_band.len() == (r1 - r0) * n`.
+    #[target_feature(enable = "avx512f,avx512vnni")]
+    pub(crate) unsafe fn band_avx512vnni(
+        args: &BandArgs<'_>,
+        _panel: &[i16],
+        quads: &[i8],
+        acc_buf: &mut Vec<i32>,
+        r0: usize,
+        r1: usize,
+        out_band: &mut [u8],
+    ) {
+        let BandArgs {
+            a,
+            k,
+            n,
+            wd,
+            shift,
+            tiles,
+        } = *args;
+        let TilePlan { mb, kb } = tiles;
+        if n < 16 {
+            // No zmm column strip fits. Instead of falling back to the
+            // scalar oracle, dot along the reduction dimension — for the
+            // skinny conv outputs (e.g. a 3-channel final layer) this is
+            // the difference between scalar and full VNNI throughput.
+            // SAFETY: same CPU features and slice contracts as this fn.
+            return unsafe { band_vnni_narrow(a, k, n, wd, shift, r0, r1, out_band) };
+        }
+        let rows = r1 - r0;
+        debug_assert!(r1 * k <= a.len());
+        debug_assert_eq!(quads.len(), k.div_ceil(4) * 4 * n);
+        debug_assert_eq!(out_band.len(), rows * n);
+
+        let nquads = k.div_ceil(4);
+        let full_quads = k / 4;
+        let kb_quads = (kb / 4).max(1);
+        let mb = mb.max(4);
+        acc_buf.clear();
+        acc_buf.resize(mb.min(rows) * n, 0);
+
+        let mut rb = 0usize;
+        while rb < rows {
+            let mrows = mb.min(rows - rb);
+            let acc = &mut acc_buf[..mrows * n];
+            acc.fill(0);
+            let mut q0 = 0usize;
+            while q0 < nquads {
+                let q1 = (q0 + kb_quads).min(nquads);
+                let mut r = 0usize;
+                while r + 4 <= mrows {
+                    // SAFETY: rows r0+rb+r .. +4 are < r1 <= m and the
+                    // acc offset r * n stays inside the mrows*n block.
+                    unsafe {
+                        strips512::<4>(
+                            a,
+                            k,
+                            n,
+                            wd,
+                            quads,
+                            acc,
+                            r0 + rb + r,
+                            r * n,
+                            q0,
+                            q1,
+                            full_quads,
+                        );
+                    }
+                    r += 4;
+                }
+                while r < mrows {
+                    // SAFETY: single row r0+rb+r < r1 <= m, acc offset in range.
+                    unsafe {
+                        strips512::<1>(
+                            a,
+                            k,
+                            n,
+                            wd,
+                            quads,
+                            acc,
+                            r0 + rb + r,
+                            r * n,
+                            q0,
+                            q1,
+                            full_quads,
+                        );
+                    }
+                    r += 1;
+                }
+                q0 = q1;
+            }
+            requantize(acc, shift, &mut out_band[rb * n..(rb + mrows) * n]);
+            rb += mrows;
+        }
+    }
+
+    /// Column-strip driver for an `R`-row group in the VNNI kernel:
+    /// 64-wide (4-zmm) register tiles while they fit, then 32- and
+    /// 16-wide tiles, then the shared scalar tail for `n % 16` columns.
+    /// The widest tile is what amortizes the per-quad activation
+    /// broadcast over enough `vpdpbusd`s to approach port throughput.
+    ///
+    /// # Safety
+    /// Same contract as [`strips`], with `quads` covering quad range
+    /// `[q0, q1)` at width `n` and AVX-512F + VNNI available.
+    #[target_feature(enable = "avx512f,avx512vnni")]
+    #[inline]
+    pub(crate) unsafe fn strips512<const R: usize>(
+        a: &[u8],
+        k: usize,
+        n: usize,
+        wd: &[i8],
+        quads: &[i8],
+        acc: &mut [i32],
+        row_abs: usize,
+        acc_off: usize,
+        q0: usize,
+        q1: usize,
+        full_quads: usize,
+    ) {
+        let mut j = 0usize;
+        while j + 64 <= n {
+            // SAFETY: j + 64 <= n keeps all four zmm column windows in range.
+            unsafe {
+                micro512::<R, 4>(a, k, n, quads, acc, row_abs, acc_off, j, q0, q1, full_quads);
+            }
+            j += 64;
+        }
+        if j + 32 <= n {
+            // SAFETY: j + 32 <= n keeps both zmm column windows in range.
+            unsafe {
+                micro512::<R, 2>(a, k, n, quads, acc, row_abs, acc_off, j, q0, q1, full_quads);
+            }
+            j += 32;
+        }
+        if j + 16 <= n {
+            // SAFETY: j + 16 <= n keeps the single zmm column window in range.
+            unsafe {
+                micro512::<R, 1>(a, k, n, quads, acc, row_abs, acc_off, j, q0, q1, full_quads);
+            }
+            j += 16;
+        }
+        if j < n {
+            tail_cols_range::<R>(
+                a,
+                k,
+                n,
+                wd,
+                acc,
+                row_abs,
+                acc_off,
+                j,
+                4 * q0,
+                (4 * q1).min(k),
+            );
+        }
+    }
+
+    /// Narrow-band VNNI kernel for `n < 16`: no zmm column strip fits,
+    /// so vectorize along the *reduction* dimension instead. Weights are
+    /// repacked column-major (one contiguous `k`-long byte column per
+    /// output channel, truncated to whole 64-byte blocks), each output
+    /// is dotted with `vpdpbusd` into 16 i32 lanes, and the lanes are
+    /// horizontally reduced with modular `vpaddd` steps. Wrapping i32
+    /// addition is associative and commutative, so the partitioned
+    /// lane sums reduce to exactly the scalar oracle's single wrapping
+    /// accumulator; the `k % 64` tail runs the oracle's element loop.
+    /// All-zero activation blocks are skipped (im2col padding), which
+    /// only omits adding zero.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX-512F + AVX-512VNNI are available,
+    /// `r1 * k <= a.len()`, `wd.len() == k * n`, and
+    /// `out_band.len() == (r1 - r0) * n`.
+    #[target_feature(enable = "avx512f,avx512vnni")]
+    unsafe fn band_vnni_narrow(
+        a: &[u8],
+        k: usize,
+        n: usize,
+        wd: &[i8],
+        shift: u8,
+        r0: usize,
+        r1: usize,
+        out_band: &mut [u8],
+    ) {
+        let klen = (k / 64) * 64;
+        // One small column-major repack per band call (≤ 16·k bytes),
+        // amortized over every row of the band.
+        let mut cols = vec![0i8; n * klen];
+        for kk in 0..klen {
+            for j in 0..n {
+                cols[j * klen + kk] = wd[kk * n + j];
+            }
+        }
+        let zero = _mm512_setzero_si512();
+        for r in r0..r1 {
+            let arow = &a[r * k..(r + 1) * k];
+            let orow = &mut out_band[(r - r0) * n..(r - r0 + 1) * n];
+            for (j, dst) in orow.iter_mut().enumerate() {
+                let col = &cols[j * klen..(j + 1) * klen];
+                let mut accv = zero;
+                let mut b = 0usize;
+                while b < klen {
+                    // SAFETY: b + 64 <= klen <= arow.len() and the same
+                    // window is inside this column's repacked bytes.
+                    unsafe {
+                        let av = _mm512_loadu_si512(arow.as_ptr().add(b) as *const _);
+                        if _mm512_cmpeq_epi32_mask(av, zero) != 0xffff {
+                            let wv = _mm512_loadu_si512(col.as_ptr().add(b) as *const _);
+                            accv = _mm512_dpbusd_epi32(accv, av, wv);
+                        }
+                    }
+                    b += 64;
+                }
+                let mut sum = _mm512_reduce_add_epi32(accv);
+                for kk in klen..k {
+                    let av = arow[kk];
+                    if av != 0 {
+                        sum = sum.wrapping_add(av as i32 * wd[kk * n + j] as i32);
+                    }
+                }
+                *dst = (sum >> shift).clamp(0, 255) as u8;
+            }
+        }
+    }
+
+    /// Composes the four activation bytes of quad `q` for one row as the
+    /// little-endian u32 `vpdpbusd` expects (byte t = row `4q + t`),
+    /// zero-padding a partial final quad. Zero bytes meet zero-padded
+    /// weight bytes, so padding never contributes.
+    ///
+    /// # Safety
+    /// Caller must ensure `row * k + 4q < a.len()` and, for full quads,
+    /// `row * k + 4q + 4 <= a.len()`.
+    #[inline(always)]
+    unsafe fn a_quad(a: &[u8], row: usize, k: usize, q: usize, full_quads: usize) -> u32 {
+        let base = row * k + 4 * q;
+        if q < full_quads {
+            // SAFETY: full quad ⇒ base + 4 <= (row + 1) * k <= a.len();
+            // unaligned little-endian load matches the panel byte order.
+            unsafe { (a.as_ptr().add(base) as *const u32).read_unaligned() }
+        } else {
+            let mut bits = 0u32;
+            for t in 0..(k - 4 * q) {
+                // SAFETY: base + t < row * k + k <= a.len().
+                bits |= (unsafe { *a.get_unchecked(base + t) } as u32) << (8 * t);
+            }
+            bits
+        }
+    }
+
+    /// VNNI register-tiled micro-kernel: `R` rows × `W` zmm columns
+    /// (16 i32 lanes each), one `vpdpbusd` per (row, quad, zmm).
+    ///
+    /// Unlike the AVX2 kernel, there is **no** per-quad zero-skip here:
+    /// a quad is all-zero too rarely mid-tensor (four consecutive
+    /// reduction values must vanish together) to pay for a data-
+    /// dependent branch per (row, quad) — the mispredicts cost more
+    /// than the skipped `vpdpbusd`s, and the branch forces the
+    /// activation through a GPR instead of a straight memory broadcast.
+    /// Accumulating an explicit zero is bit-identical (adds 0).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX-512F + VNNI, `(row_abs + R) * k <=
+    /// a.len()`, `acc_off + (R-1)*n + j + 16*W <= acc.len()`, and
+    /// `(q1-1)*4n + 4j + 64*W <= quads.len()`.
+    #[target_feature(enable = "avx512f,avx512vnni")]
+    #[inline]
+    unsafe fn micro512<const R: usize, const W: usize>(
+        a: &[u8],
+        k: usize,
+        n: usize,
+        quads: &[i8],
+        acc: &mut [i32],
+        row_abs: usize,
+        acc_off: usize,
+        j: usize,
+        q0: usize,
+        q1: usize,
+        full_quads: usize,
+    ) {
+        let mut cc = [[_mm512_setzero_si512(); W]; R];
+        for (r, row) in cc.iter_mut().enumerate() {
+            for (w, lane) in row.iter_mut().enumerate() {
+                // SAFETY: per caller contract the 16-lane i32 window at
+                // acc_off + r*n + j + 16w is inside `acc`.
+                *lane = unsafe {
+                    _mm512_loadu_si512(acc.as_ptr().add(acc_off + r * n + j + 16 * w) as *const _)
+                };
+            }
+        }
+        for q in q0..q1 {
+            let wbase = q * 4 * n + 4 * j;
+            let mut wv = [_mm512_setzero_si512(); W];
+            for (w, lane) in wv.iter_mut().enumerate() {
+                // SAFETY: per caller contract the 64-byte window at
+                // wbase + 64w is inside `quads`.
+                *lane =
+                    unsafe { _mm512_loadu_si512(quads.as_ptr().add(wbase + 64 * w) as *const _) };
+            }
+            for (r, row) in cc.iter_mut().enumerate() {
+                // SAFETY: row_abs + r < row_abs + R, in range per contract.
+                let bits = unsafe { a_quad(a, row_abs + r, k, q, full_quads) };
+                let av = _mm512_set1_epi32(bits as i32);
+                for (w, lane) in row.iter_mut().enumerate() {
+                    *lane = _mm512_dpbusd_epi32(*lane, av, wv[w]);
+                }
+            }
+        }
+        for (r, row) in cc.iter().enumerate() {
+            for (w, lane) in row.iter().enumerate() {
+                // SAFETY: same window as the load above.
+                unsafe {
+                    _mm512_storeu_si512(
+                        acc.as_mut_ptr().add(acc_off + r * n + j + 16 * w) as *mut _,
+                        *lane,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Vectorized interior step of the direct CHW convolution: computes
+    /// `W × 16` horizontally-consecutive output pixels of one output row
+    /// for one output channel. Pixels live in i32 lanes of `W` zmm
+    /// accumulators; each in-range tap contributes
+    /// `cvtepu8_epi32(load16) * broadcast(weight)` per group with
+    /// modular `vpmulld`/`vpaddd` — bit-identical to the scalar sum by
+    /// wrapping associativity — and the epilogue applies the same
+    /// `(v >> shift).clamp(0, 255).min(act_max)` (the 255 bound is
+    /// subsumed by `act_max ≤ 255`). Zero weights are skipped (omits
+    /// adding zero). `W > 1` exists because the tap loop (up to
+    /// `c·kh·kw` iterations of bounds checks and weight fetches) costs
+    /// as much as the arithmetic — more pixels per sweep amortize it.
+    /// Only needs AVX-512F, but dispatch only selects it on the
+    /// AVX-512-capable tiers.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX-512F is available, `dst.len() == 16·W`,
+    /// `wj.len() == c·kh·kw`, `input.len() == c·h·w`, and that every
+    /// horizontal tap is in bounds: `x0 + kw - 1 + 16·W <= w` (interior
+    /// pixels of a unit-stride row, `x0` = leftmost tap of lane 0).
+    #[target_feature(enable = "avx512f")]
+    pub(crate) unsafe fn conv_interior_avx512<const W: usize>(
+        input: &[u8],
+        c: usize,
+        h: usize,
+        w: usize,
+        kh: usize,
+        kw: usize,
+        sy: usize,
+        py: usize,
+        oy: usize,
+        x0: usize,
+        wj: &[i8],
+        shift: u8,
+        act_max: u8,
+        dst: &mut [u8],
+    ) {
+        let mut acc = [_mm512_setzero_si512(); W];
+        for ch in 0..c {
+            let plane = &input[ch * h * w..(ch + 1) * h * w];
+            let wch = &wj[ch * kh * kw..(ch + 1) * kh * kw];
+            for dy in 0..kh {
+                let y = (oy * sy + dy) as isize - py as isize;
+                if y < 0 || y as usize >= h {
+                    continue;
+                }
+                let srow = &plane[y as usize * w..(y as usize + 1) * w];
+                for (dx, &wv) in wch[dy * kw..(dy + 1) * kw].iter().enumerate() {
+                    if wv == 0 {
+                        continue; // zero weight contributes nothing
+                    }
+                    let wb = _mm512_set1_epi32(wv as i32);
+                    for (wi, lane) in acc.iter_mut().enumerate() {
+                        // SAFETY: interior contract ⇒ x0 + dx + 16·W <= w.
+                        let px = unsafe {
+                            _mm_loadu_si128(srow.as_ptr().add(x0 + dx + 16 * wi) as *const __m128i)
+                        };
+                        let xi = _mm512_cvtepu8_epi32(px);
+                        *lane = _mm512_add_epi32(*lane, _mm512_mullo_epi32(xi, wb));
+                    }
+                }
+            }
+        }
+        for (wi, lane) in acc.iter().enumerate() {
+            let shifted = _mm512_srav_epi32(*lane, _mm512_set1_epi32(shift as i32));
+            let clamped = _mm512_min_epi32(
+                _mm512_max_epi32(shifted, _mm512_setzero_si512()),
+                _mm512_set1_epi32(act_max as i32),
+            );
+            // SAFETY: dst.len() == 16·W per contract.
+            unsafe {
+                _mm_storeu_si128(
+                    dst.as_mut_ptr().add(16 * wi) as *mut __m128i,
+                    _mm512_cvtepi32_epi8(clamped),
+                );
+            }
+        }
+    }
+
+    /// `W × 8`-pixel AVX2 variant of [`conv_interior_avx512`] — same tap
+    /// loop with ymm i32 lanes; the narrowing store goes through a small
+    /// stack array (AVX2 has no direct i32→u8 down-convert).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available, `dst.len() == 8·W`, and the
+    /// same slice and interior contracts with `x0 + kw - 1 + 8·W <= w`.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn conv_interior_avx2<const W: usize>(
+        input: &[u8],
+        c: usize,
+        h: usize,
+        w: usize,
+        kh: usize,
+        kw: usize,
+        sy: usize,
+        py: usize,
+        oy: usize,
+        x0: usize,
+        wj: &[i8],
+        shift: u8,
+        act_max: u8,
+        dst: &mut [u8],
+    ) {
+        let mut acc = [_mm256_setzero_si256(); W];
+        for ch in 0..c {
+            let plane = &input[ch * h * w..(ch + 1) * h * w];
+            let wch = &wj[ch * kh * kw..(ch + 1) * kh * kw];
+            for dy in 0..kh {
+                let y = (oy * sy + dy) as isize - py as isize;
+                if y < 0 || y as usize >= h {
+                    continue;
+                }
+                let srow = &plane[y as usize * w..(y as usize + 1) * w];
+                for (dx, &wv) in wch[dy * kw..(dy + 1) * kw].iter().enumerate() {
+                    if wv == 0 {
+                        continue; // zero weight contributes nothing
+                    }
+                    let wb = _mm256_set1_epi32(wv as i32);
+                    for (wi, lane) in acc.iter_mut().enumerate() {
+                        // SAFETY: interior contract ⇒ x0 + dx + 8·W <= w.
+                        let px = unsafe {
+                            _mm_loadl_epi64(srow.as_ptr().add(x0 + dx + 8 * wi) as *const __m128i)
+                        };
+                        let xi = _mm256_cvtepu8_epi32(px);
+                        *lane = _mm256_add_epi32(*lane, _mm256_mullo_epi32(xi, wb));
+                    }
+                }
+            }
+        }
+        for (wi, lane) in acc.iter().enumerate() {
+            let shifted = _mm256_srav_epi32(*lane, _mm256_set1_epi32(shift as i32));
+            let mut lanes = [0i32; 8];
+            // SAFETY: `lanes` is exactly one ymm wide.
+            unsafe { _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, shifted) };
+            for (d, &v) in dst[8 * wi..8 * wi + 8].iter_mut().zip(lanes.iter()) {
+                *d = (v.clamp(0, 255) as u8).min(act_max);
+            }
+        }
+    }
+
+    /// Multi-channel (`N` output channels) variant of
+    /// [`conv_interior_avx512`]: one tap sweep loads each pixel vector
+    /// once and feeds all `N` channel accumulators, so the loads and the
+    /// tap-loop overhead (the bulk of a narrow head's cost) are paid
+    /// once instead of `N` times. `wcols` holds the `N` weight columns
+    /// back to back (channel-major, `N × c·kh·kw`); channel `j`'s pixels
+    /// land at `out[dst0 + j·plane ..]` — byte-for-byte what `N` calls
+    /// of the single-channel kernel would produce (same wrapping sums,
+    /// same zero-weight skips, which add nothing either way).
+    ///
+    /// # Safety
+    /// [`conv_interior_avx512`]'s slice and interior contracts
+    /// (`x0 + kw - 1 + 16·W <= w`), plus `wcols.len() == N·c·kh·kw` and
+    /// `dst0 + (N-1)·plane + 16·W <= out.len()`.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) unsafe fn conv_interior_mc_avx512<const N: usize, const W: usize>(
+        input: &[u8],
+        c: usize,
+        h: usize,
+        w: usize,
+        kh: usize,
+        kw: usize,
+        sy: usize,
+        py: usize,
+        oy: usize,
+        x0: usize,
+        wcols: &[i8],
+        shift: u8,
+        act_max: u8,
+        out: &mut [u8],
+        dst0: usize,
+        plane: usize,
+    ) {
+        let k = c * kh * kw;
+        let mut acc = [[_mm512_setzero_si512(); W]; N];
+        for ch in 0..c {
+            let splane = &input[ch * h * w..(ch + 1) * h * w];
+            for dy in 0..kh {
+                let y = (oy * sy + dy) as isize - py as isize;
+                if y < 0 || y as usize >= h {
+                    continue;
+                }
+                let srow = &splane[y as usize * w..(y as usize + 1) * w];
+                let tbase = (ch * kh + dy) * kw;
+                for dx in 0..kw {
+                    let mut ws = [0i8; N];
+                    let mut any = false;
+                    for (j, wv) in ws.iter_mut().enumerate() {
+                        *wv = wcols[j * k + tbase + dx];
+                        any |= *wv != 0;
+                    }
+                    if !any {
+                        continue; // zero weights contribute nothing
+                    }
+                    let mut px = [_mm512_setzero_si512(); W];
+                    for (wi, lane) in px.iter_mut().enumerate() {
+                        // SAFETY: interior contract ⇒ x0 + dx + 16·W <= w.
+                        let v = unsafe {
+                            _mm_loadu_si128(srow.as_ptr().add(x0 + dx + 16 * wi) as *const __m128i)
+                        };
+                        *lane = _mm512_cvtepu8_epi32(v);
+                    }
+                    for (j, accj) in acc.iter_mut().enumerate() {
+                        if ws[j] == 0 {
+                            continue;
+                        }
+                        let wb = _mm512_set1_epi32(ws[j] as i32);
+                        for (wi, lane) in accj.iter_mut().enumerate() {
+                            *lane = _mm512_add_epi32(*lane, _mm512_mullo_epi32(px[wi], wb));
+                        }
+                    }
+                }
+            }
+        }
+        for (j, accj) in acc.iter().enumerate() {
+            for (wi, lane) in accj.iter().enumerate() {
+                let shifted = _mm512_srav_epi32(*lane, _mm512_set1_epi32(shift as i32));
+                let clamped = _mm512_min_epi32(
+                    _mm512_max_epi32(shifted, _mm512_setzero_si512()),
+                    _mm512_set1_epi32(act_max as i32),
+                );
+                // SAFETY: dst0 + (N-1)·plane + 16·W <= out.len() per contract.
+                unsafe {
+                    _mm_storeu_si128(
+                        out.as_mut_ptr().add(dst0 + j * plane + 16 * wi) as *mut __m128i,
+                        _mm512_cvtepi32_epi8(clamped),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Quad-tap VNNI variant of [`conv_interior_mc_avx512`]: each run of
+    /// four horizontal taps collapses into one `vpdpbusd` per channel. A
+    /// 32-byte row fragment is expanded by `vpermb` into sliding 4-byte
+    /// windows (dword lane `i` = `srow[b+i .. b+i+4]`), so one load and
+    /// one shuffle replace four widened multiply-adds; the matching
+    /// 4-weight quads (zero-padded past `kw`, so the extra bytes
+    /// multiply by zero) arrive premixed in `wquads`, laid out
+    /// `[(j·c + ch)·kh + dy]·nq + q` with `nq = ⌈kw/4⌉`. `vpdpbusd`
+    /// accumulates the exact 4-tap dot product with wrapping dword adds
+    /// (products fit i16, the 4-way sum is exact), so outputs stay
+    /// bit-identical to the scalar order.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX-512VBMI and AVX-512VNNI are available,
+    /// `wquads.len() == N·c·kh·nq`, the dst contract of
+    /// [`conv_interior_mc_avx512`], and that every 32-byte fragment load
+    /// is in bounds: `x0 + 4·(nq-1) + 16·(W-1) + 32 <= w`.
+    #[target_feature(enable = "avx512f,avx512bw,avx512vbmi,avx512vnni")]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) unsafe fn conv_interior_mc_vnni<const N: usize, const W: usize>(
+        input: &[u8],
+        c: usize,
+        h: usize,
+        w: usize,
+        kh: usize,
+        kw: usize,
+        sy: usize,
+        py: usize,
+        oy: usize,
+        x0: usize,
+        wquads: &[i32],
+        shift: u8,
+        act_max: u8,
+        out: &mut [u8],
+        dst0: usize,
+        plane: usize,
+    ) {
+        let nq = kw.div_ceil(4);
+        // Sliding-window shuffle: result byte 4i+t = source byte i+t, so
+        // dword lane i holds the 4-byte window starting i bytes in. All
+        // indices are < 32, hitting the low half of the broadcast pair.
+        let mut idx = [0u8; 64];
+        for (r, b) in idx.iter_mut().enumerate() {
+            *b = (r / 4 + r % 4) as u8;
+        }
+        // SAFETY: `idx` is exactly one zmm wide.
+        let idx = unsafe { _mm512_loadu_si512(idx.as_ptr() as *const _) };
+        let mut acc = [[_mm512_setzero_si512(); W]; N];
+        for ch in 0..c {
+            let splane = &input[ch * h * w..(ch + 1) * h * w];
+            for dy in 0..kh {
+                let y = (oy * sy + dy) as isize - py as isize;
+                if y < 0 || y as usize >= h {
+                    continue;
+                }
+                let srow = &splane[y as usize * w..(y as usize + 1) * w];
+                for q in 0..nq {
+                    let mut ws = [0i32; N];
+                    let mut any = false;
+                    for (j, wv) in ws.iter_mut().enumerate() {
+                        *wv = wquads[((j * c + ch) * kh + dy) * nq + q];
+                        any |= *wv != 0;
+                    }
+                    if !any {
+                        continue; // zero quads contribute nothing
+                    }
+                    let mut px = [_mm512_setzero_si512(); W];
+                    for (wi, lane) in px.iter_mut().enumerate() {
+                        // SAFETY: fragment contract ⇒ x0 + 4q + 16·wi + 32 <= w.
+                        let frag = unsafe {
+                            _mm256_loadu_si256(
+                                srow.as_ptr().add(x0 + 4 * q + 16 * wi) as *const __m256i
+                            )
+                        };
+                        *lane = _mm512_permutexvar_epi8(idx, _mm512_broadcast_i64x4(frag));
+                    }
+                    for (j, accj) in acc.iter_mut().enumerate() {
+                        if ws[j] == 0 {
+                            continue;
+                        }
+                        let wq = _mm512_set1_epi32(ws[j]);
+                        for (wi, lane) in accj.iter_mut().enumerate() {
+                            *lane = _mm512_dpbusd_epi32(*lane, px[wi], wq);
+                        }
+                    }
+                }
+            }
+        }
+        for (j, accj) in acc.iter().enumerate() {
+            for (wi, lane) in accj.iter().enumerate() {
+                let shifted = _mm512_srav_epi32(*lane, _mm512_set1_epi32(shift as i32));
+                let clamped = _mm512_min_epi32(
+                    _mm512_max_epi32(shifted, _mm512_setzero_si512()),
+                    _mm512_set1_epi32(act_max as i32),
+                );
+                // SAFETY: dst0 + (N-1)·plane + 16·W <= out.len() per contract.
+                unsafe {
+                    _mm_storeu_si128(
+                        out.as_mut_ptr().add(dst0 + j * plane + 16 * wi) as *mut __m128i,
+                        _mm512_cvtepi32_epi8(clamped),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Scalar tail for the trailing columns of an `R`-row group over the
+    /// reduction range `[kk0, kk1)` — same element math as the scalar
+    /// oracle (safe code, no SIMD). Shared by the AVX2 and VNNI strips.
+    fn tail_cols_range<const R: usize>(
+        a: &[u8],
+        k: usize,
+        n: usize,
+        wd: &[i8],
+        acc: &mut [i32],
+        row_abs: usize,
+        acc_off: usize,
+        j0: usize,
+        kk0: usize,
+        kk1: usize,
+    ) {
+        for r in 0..R {
+            let arow = &a[(row_abs + r) * k..(row_abs + r) * k + k];
+            let accrow = &mut acc[acc_off + r * n..acc_off + r * n + n];
+            for kk in kk0..kk1 {
+                let av = arow[kk];
+                if av == 0 {
+                    continue;
+                }
+                let av = av as i32;
+                let wrow = &wd[kk * n..(kk + 1) * n];
+                for j in j0..n {
+                    accrow[j] = accrow[j].wrapping_add(av * wrow[j] as i32);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod arm {
+    use super::{requantize, BandArgs, TilePlan};
+    use core::arch::aarch64::*;
+
+    /// NEON band kernel over rows `[r0, r1)`: the scalar blocked loop
+    /// with the inner column sweep vectorized 8 wide — weight rows are
+    /// widened i8→i16 with `vmovl_s8` and accumulated into i32 lanes
+    /// with `vmlal_s16` (modular, matching `wrapping_add`). Activation
+    /// zero-skip is kept per element, exactly like the oracle.
+    ///
+    /// # Safety
+    /// Caller must ensure NEON is available (always true on aarch64),
+    /// `r1 * k <= a.len()`, `wd.len() == k * n`, and
+    /// `out_band.len() == (r1 - r0) * n`.
+    #[target_feature(enable = "neon")]
+    pub(crate) unsafe fn band_neon(
+        args: &BandArgs<'_>,
+        _panel: &[i16],
+        _quads: &[i8],
+        acc_buf: &mut Vec<i32>,
+        r0: usize,
+        r1: usize,
+        out_band: &mut [u8],
+    ) {
+        let BandArgs {
+            a,
+            k,
+            n,
+            wd,
+            shift,
+            tiles: TilePlan { mb, kb },
+        } = *args;
+        let rows = r1 - r0;
+        let (mb, kb_rows) = (mb.max(1), kb.max(1));
+        acc_buf.clear();
+        acc_buf.resize(mb.min(rows) * n, 0);
+
+        let mut rb = 0usize;
+        while rb < rows {
+            let mrows = mb.min(rows - rb);
+            acc_buf[..mrows * n].fill(0);
+            let mut kb0 = 0usize;
+            while kb0 < k {
+                let krows = kb_rows.min(k - kb0);
+                for r in 0..mrows {
+                    let arow = &a[(r0 + rb + r) * k + kb0..(r0 + rb + r) * k + kb0 + krows];
+                    let acc_base = r * n;
+                    for (kk, &av) in arow.iter().enumerate() {
+                        if av == 0 {
+                            continue; // zero contributes nothing
+                        }
+                        let av4 = vdup_n_s16(av as i16);
+                        let wrow_base = (kb0 + kk) * n;
+                        let mut j = 0usize;
+                        while j + 8 <= n {
+                            // SAFETY: j + 8 <= n keeps the weight and
+                            // accumulator windows inside their rows.
+                            unsafe {
+                                let w16 = vmovl_s8(vld1_s8(wd.as_ptr().add(wrow_base + j)));
+                                let accp = acc_buf.as_mut_ptr().add(acc_base + j);
+                                let lo = vmlal_s16(vld1q_s32(accp), vget_low_s16(w16), av4);
+                                let hi = vmlal_s16(vld1q_s32(accp.add(4)), vget_high_s16(w16), av4);
+                                vst1q_s32(accp, lo);
+                                vst1q_s32(accp.add(4), hi);
+                            }
+                            j += 8;
+                        }
+                        let av = av as i32;
+                        while j < n {
+                            let dst = &mut acc_buf[acc_base + j];
+                            *dst = dst.wrapping_add(av * wd[wrow_base + j] as i32);
+                            j += 1;
+                        }
+                    }
+                }
+                kb0 += krows;
+            }
+            requantize(
+                &acc_buf[..mrows * n],
+                shift,
+                &mut out_band[rb * n..(rb + mrows) * n],
+            );
+            rb += mrows;
+        }
+    }
+}

@@ -3,33 +3,52 @@
 //! [`matmul_ref`](crate::reference::matmul_ref) is the gold scalar
 //! reference: a naive triple loop with per-element layout-offset
 //! arithmetic, kept deliberately simple. This module provides the
-//! production host kernel the inference runtime actually executes:
-//! the same `clamp((Σ_k a·w) >> shift, 0, 255)` math, restructured for
-//! throughput and kept **bit-exact** against the reference (i32
-//! accumulation is order-independent, so tiling cannot change results).
+//! **scalar oracle** the production host kernel is property-tested
+//! against: the same `clamp((Σ_k a·w) >> shift, 0, 255)` math,
+//! restructured for throughput and kept **bit-exact** against the
+//! reference (i32 accumulation wraps, and wrapping addition is
+//! associative and commutative, so no tiling or reordering can change
+//! results).
 //!
 //! Three structural changes over the naive loop:
 //!
 //! * **i·k·j loop order** — the inner loop runs over contiguous weight
 //!   rows instead of striding down weight columns, so it autovectorizes;
-//! * **cache blocking** — row blocks of [`MB`] activations reuse each
-//!   [`KB`]-row weight tile while it is hot in cache;
+//! * **cache blocking** — row blocks of `mb` activations reuse each
+//!   `kb`-row weight tile while it is hot in cache (defaults [`MB`] and
+//!   [`KB`], overridable per shape by the autotuner —
+//!   [`crate::autotune`]);
 //! * **flat slices** — operands are raw row-major slices; no per-element
 //!   layout-offset calls in the hot loop.
+//!
+//! The public entry points ([`matmul_blocked_into`] /
+//! [`try_matmul_blocked_into`] / [`try_matmul_threaded_into`]) dispatch
+//! to the vectorized micro-kernels in [`crate::simd`] when the host CPU
+//! supports them (see [`crate::dispatch`]); the scalar path here is the
+//! semantic definition every SIMD path must match bit for bit.
 
+use crate::autotune::TilePlan;
 use gcd2_tensor::{Layout, MatrixI8, MatrixU8};
+use std::cell::RefCell;
 
-/// Activation rows processed per block (accumulator tile: `MB × n` i32).
+/// Default activation rows processed per block (accumulator tile:
+/// `MB × n` i32) when the autotuner has no better plan for the shape.
 pub const MB: usize = 32;
-/// Weight rows (reduction depth) per block; `KB × n` weight bytes stay
-/// cache-resident while a row block streams over them.
+/// Default weight rows (reduction depth) per block; `KB × n` weight
+/// bytes stay cache-resident while a row block streams over them.
 pub const KB: usize = 256;
 
-/// Scratch buffers for [`matmul_blocked_into`], reusable across calls so
-/// steady-state GEMMs allocate nothing.
+/// Scratch buffers for the blocked GEMM entry points, reusable across
+/// calls so steady-state GEMMs allocate nothing: the i32 accumulator
+/// tile plus the packed weight panels the SIMD kernels consume (the
+/// pair-interleaved i16 panel for AVX2 `madd`, the quad-interleaved i8
+/// panel for AVX-512 VNNI `dpbusd` — only the active kernel's panel is
+/// ever populated).
 #[derive(Debug, Default, Clone)]
 pub struct GemmScratch {
-    acc: Vec<i32>,
+    pub(crate) acc: Vec<i32>,
+    pub(crate) panel: Vec<i16>,
+    pub(crate) panel8: Vec<i8>,
 }
 
 /// A GEMM dispatch rejected before touching any memory: the operands the
@@ -68,12 +87,92 @@ impl std::fmt::Display for GemmDispatchError {
 
 impl std::error::Error for GemmDispatchError {}
 
+/// Shared operand validation of every blocked-GEMM entry point.
+pub(crate) fn validate_dispatch(
+    a: &[u8],
+    m: usize,
+    k: usize,
+    w: &MatrixI8,
+    shift: u8,
+) -> Result<(), GemmDispatchError> {
+    if a.len() != m * k {
+        return Err(GemmDispatchError::ActivationSize {
+            expected: m * k,
+            got: a.len(),
+        });
+    }
+    if w.rows() != k {
+        return Err(GemmDispatchError::WeightRows {
+            expected: k,
+            got: w.rows(),
+        });
+    }
+    if shift >= 32 {
+        return Err(GemmDispatchError::ShiftRange { shift });
+    }
+    Ok(())
+}
+
+/// The scalar oracle over one row band `[r0, r1)`: the original blocked
+/// i·k·j loop with zero-skip, writing the band's requantized bytes into
+/// `out_band` (`(r1 - r0) × n`, row-major). Every SIMD band kernel is
+/// property-tested bit-identical against this.
+#[allow(clippy::too_many_arguments)] // the band-kernel operand contract
+pub(crate) fn scalar_band(
+    a: &[u8],
+    k: usize,
+    n: usize,
+    wd: &[i8],
+    shift: u8,
+    tiles: TilePlan,
+    acc_buf: &mut Vec<i32>,
+    r0: usize,
+    r1: usize,
+    out_band: &mut [u8],
+) {
+    let (mb_rows, kb_rows) = (tiles.mb.max(1), tiles.kb.max(1));
+    acc_buf.clear();
+    acc_buf.resize(mb_rows.min(r1 - r0) * n, 0);
+
+    let mut mb = r0;
+    while mb < r1 {
+        let mrows = mb_rows.min(r1 - mb);
+        let acc = &mut acc_buf[..mrows * n];
+        acc.fill(0);
+        let mut kb = 0;
+        while kb < k {
+            let krows = kb_rows.min(k - kb);
+            for r in 0..mrows {
+                let arow = &a[(mb + r) * k + kb..(mb + r) * k + kb + krows];
+                let accrow = &mut acc[r * n..(r + 1) * n];
+                for (kk, &av) in arow.iter().enumerate() {
+                    if av == 0 {
+                        continue; // zero contributes nothing (im2col padding)
+                    }
+                    let av = av as i32;
+                    let wrow = &wd[(kb + kk) * n..(kb + kk + 1) * n];
+                    for (dst, &wv) in accrow.iter_mut().zip(wrow) {
+                        *dst = dst.wrapping_add(av * wv as i32);
+                    }
+                }
+            }
+            kb += krows;
+        }
+        let orows = &mut out_band[(mb - r0) * n..(mb - r0 + mrows) * n];
+        for (dst, &acc) in orows.iter_mut().zip(acc.iter()) {
+            *dst = (acc >> shift).clamp(0, 255) as u8;
+        }
+        mb += mrows;
+    }
+}
+
 /// Cache-blocked quantized matmul into a caller-provided output buffer:
 /// `out[r*n + c] = clamp((Σ_k a[r*k + kk] · w[kk][c]) >> shift, 0, 255)`.
 ///
 /// `a` is the `m × k` activation matrix as flat row-major bytes; `w` is
 /// the `k × n` weight matrix. `out` is cleared and resized to `m × n`.
-/// Bit-exact against [`crate::reference::matmul_ref`].
+/// Bit-exact against [`crate::reference::matmul_ref`]; executed by the
+/// fastest kernel the host supports (see [`crate::dispatch`]).
 ///
 /// # Panics
 /// Panics if `a.len() != m * k`, `w.rows() != k`, or `shift >= 32`
@@ -96,7 +195,8 @@ pub fn matmul_blocked_into(
 /// [`matmul_blocked_into`] with validated dispatch: operand shape
 /// mismatches come back as a [`GemmDispatchError`] instead of a panic.
 /// This is the entry point the fault-tolerant inference runtime uses;
-/// it hosts the `infer.gemm` fault point.
+/// it hosts the `infer.gemm` fault point. Runs single-threaded (see
+/// [`try_matmul_threaded_into`] for the intra-op parallel form).
 ///
 /// # Errors
 /// Returns an error (before writing to `out`) if the operand shapes are
@@ -111,65 +211,19 @@ pub fn try_matmul_blocked_into(
     out: &mut Vec<u8>,
 ) -> Result<(), GemmDispatchError> {
     let _ = gcd2_faults::fire("infer.gemm");
-    if a.len() != m * k {
-        return Err(GemmDispatchError::ActivationSize {
-            expected: m * k,
-            got: a.len(),
-        });
-    }
-    if w.rows() != k {
-        return Err(GemmDispatchError::WeightRows {
-            expected: k,
-            got: w.rows(),
-        });
-    }
-    if shift >= 32 {
-        return Err(GemmDispatchError::ShiftRange { shift });
-    }
-    let n = w.cols();
-    let wd = w.as_slice();
-    out.clear();
-    out.resize(m * n, 0);
-    scratch.acc.clear();
-    scratch.acc.resize(MB * n, 0);
-
-    let mut mb = 0;
-    while mb < m {
-        let mrows = MB.min(m - mb);
-        let acc = &mut scratch.acc[..mrows * n];
-        acc.fill(0);
-        let mut kb = 0;
-        while kb < k {
-            let krows = KB.min(k - kb);
-            for r in 0..mrows {
-                let arow = &a[(mb + r) * k + kb..(mb + r) * k + kb + krows];
-                let accrow = &mut acc[r * n..(r + 1) * n];
-                for (kk, &av) in arow.iter().enumerate() {
-                    if av == 0 {
-                        continue; // zero contributes nothing (im2col padding)
-                    }
-                    let av = av as i32;
-                    let wrow = &wd[(kb + kk) * n..(kb + kk + 1) * n];
-                    for (dst, &wv) in accrow.iter_mut().zip(wrow) {
-                        *dst += av * wv as i32;
-                    }
-                }
-            }
-            kb += krows;
-        }
-        let orows = &mut out[mb * n..(mb + mrows) * n];
-        for (dst, &acc) in orows.iter_mut().zip(acc.iter()) {
-            *dst = (acc >> shift).clamp(0, 255) as u8;
-        }
-        mb += mrows;
-    }
+    validate_dispatch(a, m, k, w, shift)?;
+    crate::dispatch::run_single(a, m, k, w, shift, scratch, out);
     Ok(())
 }
 
 /// [`matmul_blocked_into`] with matrix operands: the drop-in host GEMM.
 /// `a` may be in any layout (non-row-major operands are converted first);
-/// the result is row-major.
+/// the result is row-major. Scratch buffers are reused from a
+/// thread-local, so repeated calls allocate nothing in steady state.
 pub fn matmul_host(a: &MatrixU8, w: &MatrixI8, shift: u8) -> MatrixU8 {
+    thread_local! {
+        static SCRATCH: RefCell<GemmScratch> = RefCell::new(GemmScratch::default());
+    }
     let (m, k, n) = (a.rows(), a.cols(), w.cols());
     let rm;
     let bytes = if a.layout() == Layout::RowMajor {
@@ -179,7 +233,9 @@ pub fn matmul_host(a: &MatrixU8, w: &MatrixI8, shift: u8) -> MatrixU8 {
         rm.as_bytes()
     };
     let mut out = Vec::new();
-    matmul_blocked_into(bytes, m, k, w, shift, &mut GemmScratch::default(), &mut out);
+    SCRATCH.with(|scratch| {
+        matmul_blocked_into(bytes, m, k, w, shift, &mut scratch.borrow_mut(), &mut out);
+    });
     MatrixU8::from_raw(m, n, Layout::RowMajor, out)
 }
 

@@ -1,0 +1,212 @@
+//! Bit-identity gate for the GEMM kernel stack.
+//!
+//! Contract: for every operand shape, every requant shift, and every
+//! activation zero-density, all three of
+//!
+//! * the naive gold reference (`matmul_ref`),
+//! * the scalar blocked oracle (`force_isa(Scalar)`),
+//! * the auto-detected SIMD kernel (and the intra-op threaded driver at
+//!   every thread count)
+//!
+//! produce **identical bytes**. Wrapping i32 accumulation makes this a
+//! theorem about the implementation, and this suite is the check that
+//! keeps it true as kernels evolve. Under `GCD2_FORCE_SCALAR=1` (CI runs
+//! the suite both ways) the "SIMD" side degrades to the oracle and the
+//! gate still has to hold.
+
+use gcd2_kernels::{
+    force_isa, matmul_ref, try_matmul_blocked_into, try_matmul_threaded_into, GemmScratch,
+    KernelIsa, ScratchPool,
+};
+use gcd2_tensor::{Layout, MatrixI8, MatrixU8};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+/// `force_isa` is process-global; tests that flip it serialize here so
+/// the harness's parallel test threads can't observe each other's
+/// overrides mid-case.
+static FORCE_LOCK: Mutex<()> = Mutex::new(());
+
+fn force_guard() -> MutexGuard<'static, ()> {
+    match FORCE_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn reference_bytes(a: &MatrixU8, w: &MatrixI8, shift: u8) -> Vec<u8> {
+    matmul_ref(a, w, shift).into_iter().flatten().collect()
+}
+
+fn run_isa(
+    isa: Option<KernelIsa>,
+    a: &MatrixU8,
+    m: usize,
+    k: usize,
+    w: &MatrixI8,
+    shift: u8,
+) -> Vec<u8> {
+    force_isa(isa);
+    let mut scratch = GemmScratch::default();
+    let mut out = Vec::new();
+    try_matmul_blocked_into(a.as_bytes(), m, k, w, shift, &mut scratch, &mut out)
+        .expect("valid operands");
+    force_isa(None);
+    out
+}
+
+/// One full identity check: reference == scalar == auto == threaded(t)
+/// for several thread counts.
+fn assert_identity(a: &MatrixU8, w: &MatrixI8, shift: u8) {
+    let (m, k) = (a.rows(), a.cols());
+    let _guard = force_guard();
+    let want = reference_bytes(a, w, shift);
+    let scalar = run_isa(Some(KernelIsa::Scalar), a, m, k, w, shift);
+    assert_eq!(scalar, want, "scalar oracle vs reference ({m},{k})");
+    let auto = run_isa(None, a, m, k, w, shift);
+    assert_eq!(auto, scalar, "auto ISA vs oracle ({m},{k})");
+    let pool = ScratchPool::new();
+    for threads in [1, 2, 5] {
+        let mut out = Vec::new();
+        try_matmul_threaded_into(a.as_bytes(), m, k, w, shift, &pool, threads, &mut out)
+            .expect("valid operands");
+        assert_eq!(out, scalar, "threaded({threads}) vs oracle ({m},{k})");
+    }
+}
+
+fn activations(m: usize, k: usize, zero_pct: u8, seed: u64) -> MatrixU8 {
+    MatrixU8::from_fn(m, k, Layout::RowMajor, |r, c| {
+        let mut h = (r as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((c as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(seed);
+        h ^= h >> 31;
+        if (h % 100) < zero_pct as u64 {
+            0
+        } else {
+            ((h >> 8) % 256) as u8
+        }
+    })
+}
+
+fn weights(k: usize, n: usize, seed: u64) -> MatrixI8 {
+    MatrixI8::from_fn(k, n, |r, c| {
+        let mut h = (r as u64)
+            .wrapping_mul(0xD605_1F2D_21A9_5A8D)
+            .wrapping_add((c as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+            .wrapping_add(seed);
+        h ^= h >> 29;
+        ((h % 17) as i8) - 8
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random shapes, shifts, and zero densities: the full-stack
+    /// identity over arbitrary (including remainder-heavy) tiles.
+    #[test]
+    fn simd_equals_scalar_equals_reference(
+        m in 1usize..=80,
+        k in 1usize..=160,
+        n in 1usize..=48,
+        shift in 0u8..=7,
+        zero_pct in 0u8..=100,
+        seed in any::<u64>(),
+    ) {
+        let a = activations(m, k, zero_pct, seed);
+        let w = weights(k, n, seed ^ 0xABCD);
+        assert_identity(&a, &w, shift);
+    }
+}
+
+/// Shapes pinned to the register-tile and block boundaries: K-remainder
+/// (odd k exercises the half-pair path), M-remainder (rows % 4), and
+/// N-remainder (cols % 16 / % 8) edge tiles, plus exact-fit controls.
+#[test]
+fn edge_tiles_are_bit_identical() {
+    let cases: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 2, 16),   // single row, exact pair, exact strip
+        (2, 3, 8),    // odd k: half-pair tail
+        (3, 255, 17), // m % 4 == 3, odd k, n % 16 == 1
+        (4, 256, 16), // exact everything
+        (5, 257, 24), // m % 4 == 1, k % 256 == 1, n % 16 == 8
+        (7, 31, 9),   // n % 8 == 1 scalar column tail
+        (8, 512, 31),
+        (33, 64, 15), // m % 32 == 1 block remainder
+        (65, 129, 33),
+        (130, 1024, 7), // k spans multiple default KB segments
+    ];
+    for &(m, k, n) in cases {
+        for shift in [0u8, 4] {
+            let a = activations(m, k, 35, (m * 1000 + k) as u64);
+            let w = weights(k, n, n as u64);
+            assert_identity(&a, &w, shift);
+        }
+    }
+}
+
+/// All-zero activations exercise the zero-skip path end to end; the
+/// requant of an untouched accumulator must still be well-defined.
+#[test]
+fn all_zero_activations_match() {
+    let a = activations(20, 40, 100, 1);
+    let w = weights(40, 20, 2);
+    assert_identity(&a, &w, 3);
+}
+
+/// The intra-op threaded driver is deterministic across thread budgets
+/// on a shape large enough to actually split into bands.
+#[test]
+fn threaded_band_split_is_deterministic() {
+    let (m, k, n) = (203, 96, 24);
+    let a = activations(m, k, 30, 7);
+    let w = weights(k, n, 8);
+    let pool = ScratchPool::new();
+    let mut first = Vec::new();
+    try_matmul_threaded_into(a.as_bytes(), m, k, &w, 2, &pool, 1, &mut first)
+        .expect("valid operands");
+    for threads in [2, 3, 4, 8, 16] {
+        let mut out = Vec::new();
+        try_matmul_threaded_into(a.as_bytes(), m, k, &w, 2, &pool, threads, &mut out)
+            .expect("valid operands");
+        assert_eq!(out, first, "threads={threads}");
+    }
+    assert_eq!(reference_bytes(&a, &w, 2), first);
+}
+
+/// Throughput probe (run explicitly with `--ignored --release`): prints
+/// scalar vs auto GMAC/s on an fst-sized GEMM so kernel regressions are
+/// easy to spot by hand. Not a correctness gate.
+#[test]
+#[ignore]
+fn perf_probe() {
+    let (m, k, n) = (2048, 1152, 128);
+    let a = activations(m, k, 40, 42);
+    let w = weights(k, n, 43);
+    let macs = (m * k * n) as f64;
+    let _guard = force_guard();
+    for isa in [Some(KernelIsa::Scalar), None] {
+        force_isa(isa);
+        let mut scratch = GemmScratch::default();
+        let mut out = Vec::new();
+        // warm (includes autotune probe)
+        try_matmul_blocked_into(a.as_bytes(), m, k, &w, 5, &mut scratch, &mut out)
+            .expect("valid operands");
+        let reps = 3;
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            try_matmul_blocked_into(a.as_bytes(), m, k, &w, 5, &mut scratch, &mut out)
+                .expect("valid operands");
+        }
+        let secs = start.elapsed().as_secs_f64() / reps as f64;
+        println!(
+            "isa={:<6} {:>8.2} ms  {:>6.2} GMAC/s",
+            gcd2_kernels::active_isa().name(),
+            secs * 1e3,
+            macs / secs / 1e9
+        );
+    }
+    force_isa(None);
+}
