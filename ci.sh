@@ -41,6 +41,13 @@ echo "==> runtime chaos suite (fault injection, two fixed fault seeds)"
 GCD2_RT_CHAOS_SEED=2024 cargo test -q --features fault-injection --test runtime_chaos
 GCD2_RT_CHAOS_SEED=7 cargo test -q --features fault-injection --test runtime_chaos
 
+echo "==> gateway chaos suite (fault injection, two fixed fault seeds)"
+GCD2_GW_CHAOS_SEED=2024 cargo test -q --features fault-injection --test gateway_chaos
+GCD2_GW_CHAOS_SEED=7 cargo test -q --features fault-injection --test gateway_chaos
+
+echo "==> serving-gateway bench smoke (BENCH_serve.json, bit-identical check)"
+cargo run --release -q -p gcd2-bench --bin serve_throughput -- --smoke
+
 echo "==> clippy unwrap/expect deny gate (gcd2 + gcd2-globalopt + gcd2-kernels + gcd2-analyze lib paths)"
 cargo clippy -q -p gcd2 -p gcd2-globalopt -p gcd2-kernels -p gcd2-analyze --lib -- -D warnings
 

@@ -228,8 +228,26 @@ fn model_json(r: &ModelResult) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
+    // Positional args select models by catalog name (diagnostic runs);
+    // such filtered runs still overwrite BENCH_infer.json, so regenerate
+    // with a full run before committing the artifact.
+    let named: Vec<ModelId> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| {
+            ModelId::ALL
+                .into_iter()
+                .find(|id| id.reference().name.eq_ignore_ascii_case(a))
+                .unwrap_or_else(|| {
+                    eprintln!("unknown model: {a}");
+                    std::process::exit(2);
+                })
+        })
+        .collect();
     let (models, iters): (Vec<ModelId>, usize) = if smoke {
         (vec![ModelId::MobileNetV3], 1)
+    } else if !named.is_empty() {
+        (named, 3)
     } else {
         (ModelId::ALL.to_vec(), 3)
     };

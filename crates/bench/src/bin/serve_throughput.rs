@@ -1,0 +1,313 @@
+//! Gateway-throughput benchmark: what dynamic batching buys batch-1
+//! callers.
+//!
+//! For each GEMM-heavy catalog model, drives the same closed-loop
+//! stream of independent single-input requests through an
+//! [`gcd2::InferServer`] gateway twice at **equal worker count**:
+//!
+//! * `off` — `max_batch = 1`, `max_wait = 0`: the gateway degenerates
+//!   to a plain worker pool, every request executes single-shot;
+//! * `on` — `max_batch = 16`, `max_wait = 2ms`: queued requests for
+//!   the model coalesce into stacked-GEMM batches.
+//!
+//! `batch_speedup` is the answered-requests-per-second ratio on/off.
+//! The honest caveat, measured and documented in DESIGN.md §6f: on a
+//! single-core host the only batching win is pack/launch amortization
+//! of the stacked GEMM, which tops out well below the multi-worker
+//! figure — ratios near 1.0 here are expected, not a bug. The number
+//! this benchmark gates is **bit-identity**: every gateway output must
+//! equal `InferencePlan::execute` on the same input, in both modes,
+//! and the process exits non-zero if any byte diverges.
+//!
+//! Per mode the JSON also records the gateway's own telemetry: batches
+//! dispatched, the largest coalesced batch, and the p50/p99 bucket
+//! bounds for queue wait and batch execution from [`gcd2::ModelStats`].
+//! Results go to `BENCH_serve.json`; `--smoke` runs one small model
+//! with a short stream (for CI).
+
+use gcd2::{Compiler, ExecOptions, GatewayConfig, InferError, InferServer, ModelStats};
+use gcd2_models::ModelId;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0xC0DE;
+/// Batching-on knobs: how many requests one batch may coalesce, and how
+/// long the dispatcher may hold a batch open waiting for more.
+const MAX_BATCH: usize = 16;
+const MAX_WAIT: Duration = Duration::from_millis(2);
+/// Bound on requests in flight per client loop: deep enough to keep the
+/// batcher fed, small enough to model a real caller population.
+const PIPELINE: usize = 32;
+/// Requests per model per mode; transformer-sized models get the short
+/// stream so the full run stays tractable.
+const REQUESTS: usize = 48;
+const HEAVY_REQUESTS: usize = 16;
+const HEAVY_MACS: u64 = 3_000_000_000;
+
+/// The GEMM-dominated slice of the catalog: the two transformers plus
+/// the two light CNNs whose im2col convs stack well.
+const SERVE_MODELS: [ModelId; 4] = [
+    ModelId::MobileNetV3,
+    ModelId::EfficientNetB0,
+    ModelId::TinyBert,
+    ModelId::Conformer,
+];
+
+struct ModeResult {
+    wall_ms: f64,
+    inf_per_s: f64,
+    batches: u64,
+    largest_batch: u64,
+    queue_p50_us: u128,
+    queue_p99_us: u128,
+    exec_p50_us: u128,
+    exec_p99_us: u128,
+}
+
+struct ModelResult {
+    name: String,
+    ops: usize,
+    gemm_macs: u64,
+    requests: usize,
+    workers: usize,
+    bit_identical: bool,
+    off: ModeResult,
+    on: ModeResult,
+    batch_speedup: f64,
+}
+
+fn deterministic_input(len: usize, variant: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i * 7 + 13 * (variant + 1)) % 16) as u8)
+        .collect()
+}
+
+/// Closed-loop client: submit the whole stream with at most `PIPELINE`
+/// outstanding tickets, retiring in submission order, then drain.
+/// Returns the wall-clock for all answers plus the outputs in order.
+fn drive(
+    server: &InferServer,
+    model: &str,
+    inputs: &[Vec<u8>],
+) -> (Duration, Vec<Vec<u8>>, ModelStats) {
+    let mut pending = VecDeque::new();
+    let mut outputs = Vec::with_capacity(inputs.len());
+    let t0 = Instant::now();
+    for input in inputs {
+        loop {
+            match server.submit_to(model, input.clone(), 0) {
+                Ok(ticket) => {
+                    pending.push_back(ticket);
+                    break;
+                }
+                Err(InferError::QueueFull { .. }) => {
+                    // Backpressure: retire the oldest in-flight request,
+                    // freeing a queue slot, then retry.
+                    let ticket = pending
+                        .pop_front()
+                        .expect("queue full implies in-flight work");
+                    outputs.push(ticket.wait().expect("served"));
+                }
+                Err(e) => panic!("gateway refused a request: {e}"),
+            }
+        }
+        while pending.len() >= PIPELINE {
+            let ticket = pending.pop_front().expect("pipeline bound implies pending");
+            outputs.push(ticket.wait().expect("served"));
+        }
+    }
+    for ticket in pending {
+        outputs.push(ticket.wait().expect("served"));
+    }
+    let wall = t0.elapsed();
+    let stats = server.model_stats(model).expect("model registered");
+    (wall, outputs, stats)
+}
+
+fn run_mode(
+    plan: &gcd2::InferencePlan,
+    name: &str,
+    inputs: &[Vec<u8>],
+    expected: &[Vec<u8>],
+    workers: usize,
+    (max_batch, max_wait): (usize, Duration),
+    bit_identical: &mut bool,
+) -> ModeResult {
+    let server = InferServer::gateway(GatewayConfig {
+        workers,
+        capacity: (2 * workers * max_batch).max(PIPELINE),
+        max_batch,
+        max_wait,
+        opts: ExecOptions::default(),
+    });
+    server.register(name, plan.clone()).expect("register");
+    let (wall, outputs, stats) = drive(&server, name, inputs);
+    server.shutdown();
+    *bit_identical &= outputs == expected;
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    ModeResult {
+        wall_ms,
+        inf_per_s: inputs.len() as f64 / wall.as_secs_f64(),
+        batches: stats.batches,
+        largest_batch: stats.max_batch_observed,
+        queue_p50_us: stats.queue_wait.p50.as_micros(),
+        queue_p99_us: stats.queue_wait.p99.as_micros(),
+        exec_p50_us: stats.execute.p50.as_micros(),
+        exec_p99_us: stats.execute.p99.as_micros(),
+    }
+}
+
+fn bench_model(id: ModelId, workers: usize, smoke: bool) -> ModelResult {
+    let graph = id.build();
+    let name = id.reference().name.to_lowercase();
+    let plan = Compiler::new().compile(&graph).inference_plan(SEED);
+
+    let requests = if smoke {
+        12
+    } else if plan.gemm_macs() > HEAVY_MACS {
+        HEAVY_REQUESTS
+    } else {
+        REQUESTS
+    };
+    let inputs: Vec<Vec<u8>> = (0..requests)
+        .map(|v| deterministic_input(plan.input_len(), v))
+        .collect();
+    // Single-shot references double as the bit-identity oracle and the
+    // warm-up (weights staged, autotuner cache hot for both modes).
+    let expected: Vec<Vec<u8>> = inputs.iter().map(|i| plan.execute(i)).collect();
+
+    let mut bit_identical = true;
+    let off = run_mode(
+        &plan,
+        &name,
+        &inputs,
+        &expected,
+        workers,
+        (1, Duration::ZERO),
+        &mut bit_identical,
+    );
+    let on = run_mode(
+        &plan,
+        &name,
+        &inputs,
+        &expected,
+        workers,
+        (MAX_BATCH, MAX_WAIT),
+        &mut bit_identical,
+    );
+
+    ModelResult {
+        name,
+        ops: graph.op_count(),
+        gemm_macs: plan.gemm_macs(),
+        requests,
+        workers,
+        bit_identical,
+        batch_speedup: on.inf_per_s / off.inf_per_s,
+        off,
+        on,
+    }
+}
+
+fn mode_json(m: &ModeResult) -> String {
+    format!(
+        "{{\"wall_ms\": {:.3}, \"inf_per_s\": {:.2}, \"batches\": {}, \
+         \"largest_batch\": {}, \"queue_p50_us\": {}, \"queue_p99_us\": {}, \
+         \"exec_p50_us\": {}, \"exec_p99_us\": {}}}",
+        m.wall_ms,
+        m.inf_per_s,
+        m.batches,
+        m.largest_batch,
+        m.queue_p50_us,
+        m.queue_p99_us,
+        m.exec_p50_us,
+        m.exec_p99_us,
+    )
+}
+
+fn model_json(r: &ModelResult) -> String {
+    format!(
+        "    {{\n      \"model\": \"{}\",\n      \"ops\": {},\n      \"gemm_macs\": {},\n      \
+         \"requests\": {},\n      \"workers\": {},\n      \"bit_identical\": {},\n      \
+         \"batching_off\": {},\n      \"batching_on\": {},\n      \"batch_speedup\": {:.3}\n    }}",
+        r.name,
+        r.ops,
+        r.gemm_macs,
+        r.requests,
+        r.workers,
+        r.bit_identical,
+        mode_json(&r.off),
+        mode_json(&r.on),
+        r.batch_speedup,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
+    let models: Vec<ModelId> = if smoke {
+        vec![ModelId::MobileNetV3]
+    } else {
+        SERVE_MODELS.to_vec()
+    };
+    let workers = gcd2_par::default_threads().max(1);
+
+    println!("# Serving-gateway throughput: dynamic batching on vs off, equal workers\n");
+    println!(
+        "workers: {workers}, pipeline: {PIPELINE} in flight, on = max_batch {MAX_BATCH} / \
+         max_wait {MAX_WAIT:?}, off = max_batch 1\n"
+    );
+    println!(
+        "{:<18} {:>5} {:>8} {:>5} {:>10} {:>10} {:>8} {:>8} {:>12} {:>12} {:>8} {:>6}",
+        "model",
+        "reqs",
+        "GMACs",
+        "wrk",
+        "off inf/s",
+        "on inf/s",
+        "speedup",
+        "batches",
+        "queue p99",
+        "exec p99",
+        "largest",
+        "ident"
+    );
+
+    let mut results = Vec::new();
+    for id in models {
+        let r = bench_model(id, workers, smoke);
+        println!(
+            "{:<18} {:>5} {:>8.2} {:>5} {:>10.1} {:>10.1} {:>7.2}x {:>8} {:>10}µs {:>10}µs {:>8} {:>6}",
+            r.name,
+            r.requests,
+            r.gemm_macs as f64 / 1e9,
+            r.workers,
+            r.off.inf_per_s,
+            r.on.inf_per_s,
+            r.batch_speedup,
+            r.on.batches,
+            r.on.queue_p99_us,
+            r.on.exec_p99_us,
+            r.on.largest_batch,
+            if r.bit_identical { "yes" } else { "NO" },
+        );
+        results.push(r);
+    }
+
+    let rows: Vec<String> = results.iter().map(model_json).collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve_throughput\",\n  \"baseline\": \"same gateway, same worker \
+         count, max_batch = 1 (every request single-shot)\",\n  \"seed\": {SEED},\n  \
+         \"workers\": {workers},\n  \"pipeline\": {PIPELINE},\n  \"max_batch\": {MAX_BATCH},\n  \
+         \"max_wait_us\": {},\n  \"models\": [\n{}\n  ]\n}}\n",
+        MAX_WAIT.as_micros(),
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+
+    if results.iter().any(|r| !r.bit_identical) {
+        eprintln!("ERROR: a gateway output diverged from InferencePlan::execute");
+        std::process::exit(1);
+    }
+}

@@ -36,9 +36,17 @@ fn usage() -> ExitCode {
                        bit-identity against the interpreter\n\
            --batch B   run a B-input batch through the plan on the\n\
                        compiler's worker threads and report throughput\n\
-           --serve N   smoke the bounded-queue inference server with N\n\
-                       requests, verifying bit-identity and reporting\n\
-                       throughput and backpressure rejections\n\
+           --serve N   smoke the dynamic-batching serving gateway with\n\
+                       N requests, verifying bit-identity and reporting\n\
+                       throughput, batching, latency percentiles, and\n\
+                       backpressure rejections\n\
+           --max-batch B     gateway: most requests coalesced into one\n\
+                             batch (default 8; 1 disables batching)\n\
+           --max-wait-us U   gateway: longest a worker holds an\n\
+                             underfull batch open, in µs (default 1000)\n\
+           --serve-models M1,M2  register extra catalog models and\n\
+                             spread the --serve traffic round-robin\n\
+                             across all of them\n\
            --analyze   run the static plan analyzer (gcd2-analyze):\n\
                        prove per-GEMM accumulator bounds and arena\n\
                        soundness, print the proven ranges, exit 1 on\n\
@@ -111,6 +119,9 @@ fn main() -> ExitCode {
     let mut infer_iters = 0usize;
     let mut batch = 0usize;
     let mut serve = 0usize;
+    let mut max_batch = 8usize;
+    let mut max_wait_us = 1000u64;
+    let mut serve_models: Vec<ModelId> = Vec::new();
     let mut asm_blocks = 0usize;
     let mut export: Option<String> = None;
     let mut i = 1;
@@ -178,6 +189,33 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 serve = n.max(1);
+            }
+            "--max-batch" => {
+                i += 1;
+                let Some(v) = args.get(i) else { return usage() };
+                let Ok(n) = v.parse::<usize>() else {
+                    return usage();
+                };
+                max_batch = n.max(1);
+            }
+            "--max-wait-us" => {
+                i += 1;
+                let Some(v) = args.get(i) else { return usage() };
+                let Ok(n) = v.parse::<u64>() else {
+                    return usage();
+                };
+                max_wait_us = n;
+            }
+            "--serve-models" => {
+                i += 1;
+                let Some(v) = args.get(i) else { return usage() };
+                for name in v.split(',').filter(|s| !s.is_empty()) {
+                    let Some(id) = parse_model(name) else {
+                        eprintln!("unknown model '{name}' in --serve-models (try --list)");
+                        return ExitCode::from(2);
+                    };
+                    serve_models.push(id);
+                }
             }
             "--analyze" => analyze = true,
             "--ops" => show_ops = true,
@@ -435,18 +473,39 @@ fn main() -> ExitCode {
 
         if serve > 0 {
             let workers = compiler.threads().max(1);
-            let capacity = 2 * workers;
-            let server = gcd2::InferServer::start(
-                plan.clone(),
+            let capacity = (2 * workers * max_batch).max(4);
+            let server = gcd2::InferServer::gateway(gcd2::GatewayConfig {
                 workers,
                 capacity,
-                gcd2::ExecOptions::default(),
-            );
-            let inputs: Vec<Vec<u8>> = (0..serve)
+                max_batch,
+                max_wait: std::time::Duration::from_micros(max_wait_us),
+                opts: gcd2::ExecOptions::default(),
+            });
+            // The registry: the compiled model, plus any --serve-models
+            // catalog extras, with --serve traffic spread round-robin.
+            let mut models: Vec<(String, gcd2::InferencePlan)> =
+                vec![(model_name.to_lowercase(), plan.clone())];
+            for id in &serve_models {
+                let name = id.reference().name.to_lowercase();
+                if models.iter().any(|(n, _)| n == &name) {
+                    continue;
+                }
+                let extra = Compiler::new().compile(&id.build()).inference_plan(SEED);
+                models.push((name, extra));
+            }
+            for (name, p) in &models {
+                if let Err(e) = server.register(name, p.clone()) {
+                    eprintln!("failed to register {name}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+            let requests: Vec<(usize, Vec<u8>)> = (0..serve)
                 .map(|r| {
-                    (0..plan.input_len())
+                    let which = r % models.len();
+                    let input = (0..models[which].1.input_len())
                         .map(|i| ((i * 11 + 5 * (r + 1)) % 16) as u8)
-                        .collect()
+                        .collect();
+                    (which, input)
                 })
                 .collect();
             let t0 = std::time::Instant::now();
@@ -454,9 +513,9 @@ fn main() -> ExitCode {
                 std::collections::VecDeque::new();
             let mut outputs: Vec<Option<Vec<u8>>> = vec![None; serve];
             let mut failures = 0usize;
-            for (r, input) in inputs.iter().enumerate() {
+            for (r, (which, input)) in requests.iter().enumerate() {
                 loop {
-                    match server.submit(input.clone()) {
+                    match server.submit_to(&models[*which].0, input.clone(), 0) {
                         Ok(ticket) => {
                             pending.push_back((r, ticket));
                             break;
@@ -485,24 +544,51 @@ fn main() -> ExitCode {
                 }
             }
             let wall = t0.elapsed();
+            let model_stats = server.all_model_stats();
             let stats = server.shutdown();
             let mut divergent = 0usize;
-            for (input, out) in inputs.iter().zip(&outputs) {
-                if out.as_deref() != Some(plan.execute(input).as_slice()) {
+            for ((which, input), out) in requests.iter().zip(&outputs) {
+                if out.as_deref() != Some(models[*which].1.execute(input).as_slice()) {
                     divergent += 1;
                 }
             }
             println!(
-                "  serve {serve} via {workers} worker{} (queue {capacity}): {:.2?} \
-                 ({:.1} inf/s)",
+                "  serve {serve} across {} model{} via {workers} worker{} \
+                 (queue {capacity}, max-batch {max_batch}, max-wait {max_wait_us}µs): \
+                 {:.2?} ({:.1} inf/s)",
+                models.len(),
+                if models.len() == 1 { "" } else { "s" },
                 if workers == 1 { "" } else { "s" },
                 wall,
                 serve as f64 / wall.as_secs_f64()
             );
             println!(
-                "  accepted {} / rejected {} (backpressure) / completed {} / failed {}",
-                stats.accepted, stats.rejected, stats.completed, stats.failed
+                "  accepted {} / rejected {} (backpressure) / completed {} / failed {} \
+                 / {} batches (largest coalesced {})",
+                stats.accepted,
+                stats.rejected,
+                stats.completed,
+                stats.failed,
+                stats.batches,
+                model_stats
+                    .iter()
+                    .map(|m| m.max_batch_observed)
+                    .max()
+                    .unwrap_or(0)
             );
+            for m in &model_stats {
+                println!(
+                    "    {:<18} {:>5} reqs in {:>4} batches | queue p50 {:>8.2?} p99 {:>8.2?} \
+                     | exec p50 {:>8.2?} p99 {:>8.2?}",
+                    truncate(&m.model, 18),
+                    m.completed + m.failed,
+                    m.batches,
+                    m.queue_wait.p50,
+                    m.queue_wait.p99,
+                    m.execute.p50,
+                    m.execute.p99
+                );
+            }
             println!(
                 "  bit-identical: {}",
                 if divergent == 0 && failures == 0 {

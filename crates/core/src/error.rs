@@ -178,6 +178,28 @@ pub enum InferError {
         /// The server's configured queue capacity.
         capacity: usize,
     },
+    /// The request was load-shed: its model's queue was full and this
+    /// request held (one of) the lowest priorities in contention, so the
+    /// gateway dropped it to protect higher-priority traffic. Unlike
+    /// [`InferError::QueueFull`], a shed can evict an *already accepted*
+    /// request, resolving its ticket with this error.
+    Shed {
+        /// Priority of the shed request (higher values are served
+        /// first; lowest is shed first).
+        priority: u8,
+        /// The model queue's configured capacity.
+        capacity: usize,
+    },
+    /// The gateway is draining: shutdown has begun, already-accepted
+    /// requests are still being completed, but new submissions are
+    /// refused.
+    Draining,
+    /// The request named a model the gateway's registry does not
+    /// currently hold.
+    UnknownModel {
+        /// The model name as submitted.
+        model: String,
+    },
     /// The server has been shut down (or its workers all died); the
     /// request cannot be served.
     ServerStopped,
@@ -223,6 +245,16 @@ impl fmt::Display for InferError {
             InferError::Worker(e) => write!(f, "batch worker failed: {e}"),
             InferError::QueueFull { capacity } => {
                 write!(f, "serving queue full ({capacity} slots); retry later")
+            }
+            InferError::Shed { priority, capacity } => write!(
+                f,
+                "request shed at priority {priority} (queue of {capacity} full of higher-priority work)"
+            ),
+            InferError::Draining => {
+                write!(f, "gateway is draining; new submissions are refused")
+            }
+            InferError::UnknownModel { model } => {
+                write!(f, "no model {model:?} in the gateway registry")
             }
             InferError::ServerStopped => write!(f, "inference server is stopped"),
             InferError::Internal { message } => {

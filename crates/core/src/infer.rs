@@ -131,7 +131,29 @@ impl GemmStep {
             && self.n < DIRECT_CONV_MAX_N
             && matches!(self.scatter, Scatter::Chw { spatial } if spatial == self.m)
     }
+
+    /// Whether the batched executor may row-stack this step across
+    /// items into one GEMM dispatch. Only steps that actually reach the
+    /// GEMM band kernels qualify (depthwise and narrow-head convs run
+    /// per-item direct kernels with nothing to amortize), and only
+    /// small/medium row counts: the win comes from splitting the
+    /// per-dispatch weight-panel packing (`O(k·n)`) and tile-tail cost
+    /// across the batch, and that cost is already a rounding error once
+    /// one item brings [`STACK_MAX_M`]+ rows of its own. Stacking never
+    /// changes bytes — each output row depends only on its own
+    /// activation row — so this is purely a speed policy.
+    fn stackable(&self) -> bool {
+        self.m <= STACK_MAX_M
+            && !matches!(self.prep, GemmPrep::Depthwise { .. })
+            && !self.runs_direct_conv()
+    }
 }
+
+/// Row-count ceiling for batch stacking (see [`GemmStep::stackable`]).
+/// Measured on the dominant catalog shapes: per-item GEMMs up to a few
+/// hundred rows win 1.3–9× from stacking, while ≥1k-row GEMMs are
+/// compute-bound and stacking only bloats the staging working set.
+const STACK_MAX_M: usize = 512;
 
 /// The computation a step performs (dims resolved at build time).
 #[derive(Debug, Clone)]
@@ -218,6 +240,80 @@ pub struct InferArena {
     gemm_out: Vec<u8>,
     scratch: ScratchPool,
     stamp: Option<u64>,
+}
+
+/// A shared, long-lived pool of execution buffers for one plan: the
+/// serving gateway's batch entry ([`InferencePlan::
+/// try_execute_batch_pooled`]) checks per-item arenas and the batch
+/// staging buffers out of it, so a warm server allocates nothing per
+/// batch. Unlike the transient pool inside
+/// [`InferencePlan::try_execute_batch_with`], this one survives across
+/// calls — the whole point for a gateway that executes thousands of
+/// small batches.
+///
+/// Arenas are stamped per plan as usual; an arena from a different plan
+/// that slips into the pool (registry swap reusing a pool) is detected
+/// by the stamp and silently replaced by a fresh one rather than
+/// misexecuting.
+#[derive(Debug, Default)]
+pub struct ArenaPool {
+    arenas: Mutex<Vec<InferArena>>,
+    stage: Mutex<Vec<BatchStage>>,
+    scratch: ScratchPool,
+}
+
+/// Reusable staging for one in-flight stacked batch: the row-stacked
+/// activation matrix and the stacked GEMM output.
+#[derive(Debug, Default)]
+struct BatchStage {
+    a: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl ArenaPool {
+    /// An empty pool; buffers are created lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many idle arenas the pool currently holds (diagnostics).
+    pub fn idle_arenas(&self) -> usize {
+        self.arenas
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    fn take_arenas(&self, count: usize) -> Vec<InferArena> {
+        let mut pooled = self.arenas.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(pooled.pop().unwrap_or_default());
+        }
+        out
+    }
+
+    fn put_arenas(&self, arenas: Vec<InferArena>) {
+        self.arenas
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend(arenas);
+    }
+
+    fn take_stage(&self) -> BatchStage {
+        self.stage
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put_stage(&self, stage: BatchStage) {
+        self.stage
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(stage);
+    }
 }
 
 /// Per-execution options for the fallible entry points.
@@ -1158,6 +1254,209 @@ impl InferencePlan {
         .collect()
     }
 
+    /// The serving gateway's batch entry: executes `inputs` in lockstep
+    /// over buffers checked out of a long-lived [`ArenaPool`],
+    /// **row-stacking** qualifying GEMM steps across the batch into one
+    /// dispatch (see [`GemmStep::stackable`]). Coalescing `B` requests
+    /// turns `B` small GEMM calls into one `B·m`-row call, so the
+    /// per-dispatch weight-panel packing and tile tails are paid once
+    /// per batch instead of once per request — the mechanism behind the
+    /// gateway's batch-1 throughput win. Everything that is per-item by
+    /// nature (staging, depthwise/direct kernels, elementwise steps)
+    /// runs per item through the exact single-shot step code.
+    ///
+    /// Outputs are **bit-identical** to single-shot execution for every
+    /// batch size: each GEMM output row depends only on its own
+    /// activation row, and all other steps literally run the single-shot
+    /// code. Failures are per-item where attributable (bad input shape);
+    /// a panic mid-batch resolves *every* item of this batch with
+    /// [`InferError::Worker`] — one batch is the isolation unit, the
+    /// server and other batches are unaffected.
+    pub fn try_execute_batch_pooled(
+        &self,
+        inputs: &[Vec<u8>],
+        pool: &ArenaPool,
+        opts: &ExecOptions,
+    ) -> Vec<Result<Vec<u8>, InferError>> {
+        let b = inputs.len();
+        catch_unwind(AssertUnwindSafe(|| {
+            self.run_batch_pooled(inputs, pool, opts)
+        }))
+        .unwrap_or_else(|p| {
+            let message = gcd2_par::panic_message(p.as_ref());
+            (0..b)
+                .map(|index| {
+                    Err(InferError::Worker(gcd2_par::WorkerPanic {
+                        index,
+                        message: message.clone(),
+                    }))
+                })
+                .collect()
+        })
+    }
+
+    /// [`InferencePlan::try_execute_batch_pooled`] body; deliberately
+    /// not panic-guarded (the public wrapper is). Hosts the
+    /// `infer.batch` fault point once per batch.
+    fn run_batch_pooled(
+        &self,
+        inputs: &[Vec<u8>],
+        pool: &ArenaPool,
+        opts: &ExecOptions,
+    ) -> Vec<Result<Vec<u8>, InferError>> {
+        let b = inputs.len();
+        if b == 0 {
+            return Vec::new();
+        }
+        let _ = gcd2_faults::fire("infer.batch");
+        if opts.paranoid {
+            if let Err(e) = self.verify_integrity() {
+                return (0..b).map(|_| Err(e.clone())).collect();
+            }
+        }
+        let mut failed: Vec<Option<InferError>> = (0..b).map(|_| None).collect();
+        for (i, input) in inputs.iter().enumerate() {
+            if input.len() != self.input_len {
+                failed[i] = Some(InferError::InputShape {
+                    expected: self.input_len,
+                    got: input.len(),
+                });
+            }
+        }
+        let intra = opts
+            .intra_op_threads
+            .unwrap_or_else(gcd2_par::default_threads)
+            .max(1);
+        let mut arenas = pool.take_arenas(b);
+        for arena in &mut arenas {
+            if self.adopt_arena(arena).is_err() {
+                // Stamped by another plan (pool crossed a registry
+                // swap): the buffers are the wrong shape, start fresh.
+                *arena = InferArena::default();
+                if let Err(e) = self.adopt_arena(arena) {
+                    pool.put_arenas(arenas);
+                    return (0..b).map(|_| Err(e.clone())).collect();
+                }
+            }
+        }
+        let mut stage = pool.take_stage();
+        let started = Instant::now();
+        'steps: for step in &self.steps {
+            if let Some(deadline) = opts.deadline {
+                let elapsed = started.elapsed();
+                if elapsed > deadline {
+                    for slot in failed.iter_mut().filter(|f| f.is_none()) {
+                        *slot = Some(InferError::DeadlineExceeded { elapsed, deadline });
+                    }
+                    break 'steps;
+                }
+            }
+            let live: Vec<usize> = (0..b).filter(|&i| failed[i].is_none()).collect();
+            if live.is_empty() {
+                break 'steps;
+            }
+            match &step.kind {
+                StepKind::Gemm(g) if live.len() >= 2 && g.stackable() => {
+                    let _ = gcd2_faults::fire("infer.prep");
+                    let (m, k, n) = (g.m, g.k, g.n);
+                    stage.a.resize(live.len() * m * k, 0);
+                    for (seg, &i) in live.iter().enumerate() {
+                        let dst = &mut stage.a[seg * m * k..(seg + 1) * m * k];
+                        let x = arenas[i].slots[step.in_slots[0]].as_slice();
+                        match &g.prep {
+                            GemmPrep::Direct => dst.copy_from_slice(&x[..m * k]),
+                            GemmPrep::Im2col {
+                                c,
+                                h,
+                                w,
+                                kernel,
+                                stride,
+                                padding,
+                            } => im2col_rm_into(x, *c, *h, *w, *kernel, *stride, *padding, dst),
+                            GemmPrep::Transposed { c, m } => {
+                                for cc in 0..*c {
+                                    for (r, &v) in x[cc * m..(cc + 1) * m].iter().enumerate() {
+                                        dst[r * c + cc] = v;
+                                    }
+                                }
+                            }
+                            // Unreachable: stackable() excludes depthwise.
+                            GemmPrep::Depthwise { .. } => {
+                                unreachable!("depthwise is never stacked")
+                            }
+                        }
+                    }
+                    let rows = live.len() * m;
+                    if let Err(e) = try_matmul_threaded_into(
+                        &stage.a[..rows * k],
+                        rows,
+                        k,
+                        &g.weights,
+                        g.shift,
+                        &pool.scratch,
+                        intra,
+                        &mut stage.out,
+                    ) {
+                        // Shape/weight disagreement is item-independent:
+                        // every item of this step fails the same way.
+                        for &i in &live {
+                            failed[i] = Some(InferError::Dispatch {
+                                node: step.node.0,
+                                message: e.to_string(),
+                            });
+                        }
+                        continue 'steps;
+                    }
+                    for (seg, &i) in live.iter().enumerate() {
+                        let src = &stage.out[seg * m * n..(seg + 1) * m * n];
+                        let out = &mut arenas[i].slots[step.out_slot];
+                        out.clear();
+                        out.resize(step.out_len, 0);
+                        match g.scatter {
+                            Scatter::Chw { spatial } => {
+                                for o in 0..m.min(spatial) {
+                                    for ch in 0..n {
+                                        out[ch * spatial + o] = src[o * n + ch].min(ACT_MAX);
+                                    }
+                                }
+                            }
+                            Scatter::DwRows | Scatter::RowMajor => {
+                                for (d, &s) in out.iter_mut().zip(src.iter()) {
+                                    *d = s.min(ACT_MAX);
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let aliased = matches!(step.kind, StepKind::Passthrough)
+                        && step.in_slots.first() == Some(&step.out_slot);
+                    for &i in &live {
+                        if aliased {
+                            continue;
+                        }
+                        let mut out = std::mem::take(&mut arenas[i].slots[step.out_slot]);
+                        let stepped =
+                            run_step(step, &inputs[i], &mut arenas[i], &mut out, false, intra);
+                        arenas[i].slots[step.out_slot] = out;
+                        if let Err(e) = stepped {
+                            failed[i] = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+        let results = (0..b)
+            .map(|i| match failed[i].take() {
+                Some(e) => Err(e),
+                None => Ok(arenas[i].slots[self.output_slot].clone()),
+            })
+            .collect();
+        pool.put_stage(stage);
+        pool.put_arenas(arenas);
+        results
+    }
+
     /// The shared execution core: validates, then streams the schedule.
     /// Deliberately **not** panic-guarded — single-shot entry points add
     /// `catch_unwind`, while batch items let panics reach the per-item
@@ -1733,6 +2032,45 @@ mod tests {
         for (input, out) in inputs.iter().zip(&serial) {
             assert_eq!(out, &execute_reference(&compiled, input, 42));
         }
+    }
+
+    #[test]
+    fn pooled_stacked_batch_is_bit_identical_to_single_shot() {
+        let g = kitchen_sink();
+        let compiled = Compiler::new().compile(&g);
+        let plan = compiled.inference_plan(3);
+        let pool = ArenaPool::new();
+        let inputs: Vec<Vec<u8>> = (0..5)
+            .map(|s| (0..4 * 144).map(|i| ((i * 7 + s * 3) % 16) as u8).collect())
+            .collect();
+        // Twice: the second round runs on warm pooled arenas.
+        for round in 0..2 {
+            let got = plan.try_execute_batch_pooled(&inputs, &pool, &ExecOptions::default());
+            for (input, r) in inputs.iter().zip(got) {
+                assert_eq!(
+                    r.as_deref().map(<[u8]>::to_vec),
+                    Ok(plan.execute(input)),
+                    "stacked round {round} diverged from single-shot"
+                );
+            }
+        }
+        assert!(pool.idle_arenas() >= 5, "arenas must return to the pool");
+        // A bad-shape item fails alone; siblings stay bit-identical.
+        let mut mixed = inputs.clone();
+        mixed[2] = vec![0; 3];
+        let got = plan.try_execute_batch_pooled(&mixed, &pool, &ExecOptions::default());
+        assert!(matches!(got[2], Err(InferError::InputShape { .. })));
+        for (i, r) in got.into_iter().enumerate() {
+            if i != 2 {
+                assert_eq!(r, Ok(plan.execute(&mixed[i])), "item {i}");
+            }
+        }
+        // An arena stamped by a different plan that slips into the pool
+        // is replaced, not misexecuted.
+        let other = compiled.inference_plan(4);
+        pool.put_arenas(vec![other.new_arena()]);
+        let got = plan.try_execute_batch_pooled(&inputs[..1], &pool, &ExecOptions::default());
+        assert_eq!(got[0], Ok(plan.execute(&inputs[0])));
     }
 
     #[test]

@@ -66,9 +66,14 @@ pub mod serve;
 pub use admit::{admit, admit_with, AdmissionError, AdmissionLimits};
 pub use error::{Gcd2Error, InferError};
 pub use gcd2_analyze::{Analysis, Diagnostic, GemmRange, LintCode, RangeReport, Severity, Verdict};
-pub use infer::{ExecOptions, GemmKernelInfo, InferArena, InferReport, InferencePlan, OpTiming};
+pub use infer::{
+    ArenaPool, ExecOptions, GemmKernelInfo, InferArena, InferReport, InferencePlan, OpTiming,
+};
 pub use runtime::{execute_on_dsp, execute_reference, execute_reference_naive};
-pub use serve::{InferServer, InferTicket, ServerStats};
+pub use serve::{
+    GatewayConfig, InferServer, InferTicket, LatencyHistogram, LatencySummary, ModelStats,
+    ServerStats, DEFAULT_MODEL,
+};
 
 /// Layout/instruction selection strategies (Figure 10's competitors).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -38,6 +38,8 @@
 //! | `infer.elementwise`| host elementwise/pool/shape step dispatch        |
 //! | `infer.batch`      | batch-worker item startup (`gcd2::infer`)        |
 //! | `autotune.cache`   | GEMM tile-tuner memo lookup (`gcd2-kernels`)     |
+//! | `serve.batch`      | gateway batch execution (`gcd2::serve`)          |
+//! | `serve.registry`   | gateway model register/swap (`gcd2::serve`)      |
 
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
@@ -63,8 +65,14 @@ pub const RUNTIME_POINTS: [&str; 6] = [
     "autotune.cache",
 ];
 
+/// The serving-gateway fault points ([`FaultPlan::from_seed_gateway`]).
+/// Kept out of [`RUNTIME_POINTS`] so the runtime chaos gate's fixed
+/// seeds keep producing the same plans they did before the gateway
+/// existed.
+pub const GATEWAY_POINTS: [&str; 2] = ["serve.batch", "serve.registry"];
+
 /// Every canonical fault-point name, for plan builders and tests.
-pub const POINTS: [&str; 11] = [
+pub const POINTS: [&str; 13] = [
     "cost.eval",
     "cache.lookup",
     "pack.vliw",
@@ -76,6 +84,8 @@ pub const POINTS: [&str; 11] = [
     "infer.elementwise",
     "infer.batch",
     "autotune.cache",
+    "serve.batch",
+    "serve.registry",
 ];
 
 /// What an armed fault does when it fires.
@@ -191,6 +201,37 @@ impl FaultPlan {
                 },
             };
             let trigger = 1 + next() % 64;
+            plan = if next().is_multiple_of(4) {
+                plan.sticky(point, kind, trigger)
+            } else {
+                plan.once(point, kind, trigger)
+            };
+        }
+        plan
+    }
+
+    /// [`FaultPlan::from_seed_runtime`] for the serving gateway: 1–3
+    /// faults over [`GATEWAY_POINTS`] *plus* the runtime points (a
+    /// gateway sits on top of the runtime, so its chaos sweeps should
+    /// cross both layers), panics or short delays, occasionally sticky.
+    pub fn from_seed_gateway(seed: u64) -> Self {
+        let mut next = splitmix64(seed ^ 0x47_41_54_45_57_41_59);
+        let mut plan = FaultPlan::new();
+        let count = 1 + (next() % 3) as usize;
+        for _ in 0..count {
+            let pick = (next() % (GATEWAY_POINTS.len() + RUNTIME_POINTS.len()) as u64) as usize;
+            let point = if pick < GATEWAY_POINTS.len() {
+                GATEWAY_POINTS[pick]
+            } else {
+                RUNTIME_POINTS[pick - GATEWAY_POINTS.len()]
+            };
+            let kind = match next() % 3 {
+                0 | 1 => FaultKind::Panic,
+                _ => FaultKind::Delay {
+                    millis: 1 + next() % 3,
+                },
+            };
+            let trigger = 1 + next() % 16;
             plan = if next().is_multiple_of(4) {
                 plan.sticky(point, kind, trigger)
             } else {
@@ -383,10 +424,48 @@ mod tests {
 
     #[test]
     fn point_sets_partition_cleanly() {
-        assert_eq!(COMPILE_POINTS.len() + RUNTIME_POINTS.len(), POINTS.len());
-        for p in COMPILE_POINTS.iter().chain(RUNTIME_POINTS.iter()) {
+        assert_eq!(
+            COMPILE_POINTS.len() + RUNTIME_POINTS.len() + GATEWAY_POINTS.len(),
+            POINTS.len()
+        );
+        for p in COMPILE_POINTS
+            .iter()
+            .chain(RUNTIME_POINTS.iter())
+            .chain(GATEWAY_POINTS.iter())
+        {
             assert!(POINTS.contains(p));
         }
+    }
+
+    #[test]
+    fn gateway_seeded_plans_are_reproducible_and_scoped() {
+        for seed in [0u64, 7, 2024, u64::MAX] {
+            assert_eq!(
+                FaultPlan::from_seed_gateway(seed),
+                FaultPlan::from_seed_gateway(seed)
+            );
+            let plan = FaultPlan::from_seed_gateway(seed);
+            assert!(!plan.faults().is_empty() && plan.faults().len() <= 3);
+            for f in plan.faults() {
+                assert!(
+                    GATEWAY_POINTS.contains(&f.point.as_str())
+                        || RUNTIME_POINTS.contains(&f.point.as_str()),
+                    "gateway sweeps cross the gateway and runtime layers only"
+                );
+                assert!(
+                    !matches!(f.kind, FaultKind::CorruptCache),
+                    "seeded gateway sweeps stay on crash/latency faults"
+                );
+            }
+        }
+        // At least one seed in a small range reaches a gateway-layer
+        // point, or the sweep would never exercise the new code.
+        assert!((0..32).any(|s| {
+            FaultPlan::from_seed_gateway(s)
+                .faults()
+                .iter()
+                .any(|f| GATEWAY_POINTS.contains(&f.point.as_str()))
+        }));
     }
 
     #[test]

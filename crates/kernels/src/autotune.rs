@@ -8,20 +8,32 @@
 //! `MB=32 / KB=256`, the dispatcher asks this module for a
 //! [`TilePlan`] per `(m, k, n, isa)`.
 //!
+//! The tuner also ranks the **kernel tier itself**, not just its tiles:
+//! vector tiers pay an O(k·n) weight-panel pack per dispatch, and for
+//! skinny activations (single-token FC layers, squeeze-excite
+//! bottlenecks — `m` of 1 to a few dozen) that pack costs more than the
+//! whole scalar GEMM. So a [`KernelChoice`] pairs tiles with an ISA,
+//! the candidate sweep on pack-paying tiers includes the scalar oracle
+//! (for `m ≤` [`SCALAR_CANDIDATE_MAX_M`], where it has a chance), and
+//! below-threshold skinny shapes (`m ≤` [`SCALAR_SMALL_M`]) fall back
+//! to scalar statically. All tiers are bit-identical, so the choice
+//! only ever changes speed.
+//!
 //! Resolution policy, in order:
 //!
 //! 1. the `autotune.cache` fault point fires (chaos suites inject a
 //!    poisoned-entry fault here): a corrupted cache entry falls back to
-//!    [`TilePlan::DEFAULT`] — never a panic, and since every tile plan
+//!    the untuned default — never a panic, and since every choice
 //!    produces bit-identical output, the fallback is invisible except
 //!    in speed;
 //! 2. shapes below [`TUNE_MIN_MACS`] or with `GCD2_AUTOTUNE=0` use the
-//!    defaults (tiny GEMMs finish before a probe would);
-//! 3. a sharded-cache hit returns the memoized plan;
+//!    defaults (tiny GEMMs finish before a probe would), except that
+//!    pack-paying tiers hand `m ≤` [`SCALAR_SMALL_M`] shapes to scalar;
+//! 3. a sharded-cache hit returns the memoized choice;
 //! 4. otherwise the dispatcher's probe closure times each candidate on
-//!    a truncated row range ([`probe_rows`]) and the fastest plan is
-//!    memoized (first writer wins on races; all plans are bit-exact, so
-//!    a lost race only affects which *speed* is cached).
+//!    a truncated row range ([`probe_rows`]) and the fastest choice is
+//!    memoized (first writer wins on races; all choices are bit-exact,
+//!    so a lost race only affects which *speed* is cached).
 //!
 //! Tile choice is timing-based and therefore nondeterministic across
 //! runs; output bytes are not — wrapping i32 accumulation makes every
@@ -58,10 +70,42 @@ impl Default for TilePlan {
     }
 }
 
+/// One resolved dispatch decision: which kernel tier runs the GEMM and
+/// with what blocking. The tiers are bit-identical, so this is purely a
+/// speed choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelChoice {
+    /// The tier that should execute this shape.
+    pub isa: KernelIsa,
+    /// Its blocking parameters.
+    pub tiles: TilePlan,
+}
+
+impl KernelChoice {
+    fn untuned(isa: KernelIsa) -> KernelChoice {
+        KernelChoice {
+            isa,
+            tiles: TilePlan::DEFAULT,
+        }
+    }
+}
+
 /// Row-block candidates searched per shape.
 const MB_CANDIDATES: [usize; 4] = [16, 32, 64, 128];
 /// Reduction-segment candidates searched per shape.
 const KB_CANDIDATES: [usize; 3] = [128, 256, 1024];
+
+/// Above this many activation rows the per-dispatch weight pack is
+/// amortized enough that scalar can never win; the sweep skips the
+/// scalar probe (which would be slow precisely where it is pointless).
+pub const SCALAR_CANDIDATE_MAX_M: usize = 128;
+
+/// Skinny-shape static fallback: at `m ≤ 2` a pack-paying vector tier
+/// loses to the packless scalar oracle on every shape we measured
+/// (the pack reads `k·n` weights; the whole scalar GEMM reads them
+/// once, without the strided interleave), so below-threshold dispatches
+/// this narrow go straight to scalar without probing.
+pub const SCALAR_SMALL_M: usize = 2;
 
 /// Shapes below this many MACs (`m·k·n`) are not worth probing: the
 /// GEMM completes faster than a candidate sweep.
@@ -90,8 +134,8 @@ pub(crate) fn probe_rows(m: usize, k: usize, n: usize) -> usize {
 
 type TuneKey = (usize, usize, usize, u8);
 
-fn cache() -> &'static ShardedMap<TuneKey, TilePlan> {
-    static CACHE: OnceLock<ShardedMap<TuneKey, TilePlan>> = OnceLock::new();
+fn cache() -> &'static ShardedMap<TuneKey, KernelChoice> {
+    static CACHE: OnceLock<ShardedMap<TuneKey, KernelChoice>> = OnceLock::new();
     CACHE.get_or_init(ShardedMap::new)
 }
 
@@ -102,9 +146,11 @@ pub fn autotune_enabled() -> bool {
     *ENABLED.get_or_init(|| std::env::var("GCD2_AUTOTUNE").map_or(true, |v| v != "0"))
 }
 
-/// The memoized plan for a shape, if that shape has been tuned in this
-/// process — a pure lookup (no fault point, no probing) for reports.
-pub fn cached_tiles(m: usize, k: usize, n: usize, isa: KernelIsa) -> Option<TilePlan> {
+/// The memoized choice for a shape (keyed by the *dispatching* tier,
+/// which may have ceded to scalar), if that shape has been tuned in
+/// this process — a pure lookup (no fault point, no probing) for
+/// reports.
+pub fn cached_choice(m: usize, k: usize, n: usize, isa: KernelIsa) -> Option<KernelChoice> {
     cache().get(&(m, k, n, isa as u8))
 }
 
@@ -132,42 +178,66 @@ fn candidates(m: usize, k: usize) -> Vec<TilePlan> {
     out
 }
 
-/// Resolves the tile plan for one GEMM dispatch. `probe` times one
-/// candidate over the truncated probe range and is only invoked on a
-/// cache miss above the tuning threshold. Returns the plan plus whether
-/// it came from tuning (cache hit or fresh probe) rather than defaults.
-pub(crate) fn resolve_tiles(
+/// The choice a shape gets when it is not (or cannot be) probed:
+/// the dispatching tier with default tiles — except that pack-paying
+/// tiers hand off skinny activations (`m ≤` [`SCALAR_SMALL_M`]) to the
+/// packless scalar oracle, the statically known winner there.
+pub(crate) fn static_choice(m: usize, isa: KernelIsa, pays_pack: bool) -> KernelChoice {
+    if pays_pack && m <= SCALAR_SMALL_M {
+        KernelChoice::untuned(KernelIsa::Scalar)
+    } else {
+        KernelChoice::untuned(isa)
+    }
+}
+
+/// Resolves the kernel choice (tier + tiles) for one GEMM dispatch on
+/// the dispatching tier `isa` (`pays_pack`: whether that tier packs a
+/// weight panel per dispatch). `probe` times one candidate over the
+/// truncated probe range and is only invoked on a cache miss above the
+/// tuning threshold; candidates are the tile grid on `isa` plus — for
+/// pack-paying tiers on shapes up to [`SCALAR_CANDIDATE_MAX_M`] rows —
+/// the scalar oracle. Returns the choice plus whether it came from
+/// tuning (cache hit or fresh probe) rather than statics.
+pub(crate) fn resolve_kernel(
     m: usize,
     k: usize,
     n: usize,
     isa: KernelIsa,
-    probe: &mut dyn FnMut(TilePlan) -> Duration,
-) -> (TilePlan, bool) {
+    pays_pack: bool,
+    probe: &mut dyn FnMut(KernelChoice) -> Duration,
+) -> (KernelChoice, bool) {
     // Fire first so chaos scenarios targeting the tuner cache always
     // reach the point, whatever the shape. A corrupted entry means the
-    // memo cannot be trusted: fall back to the default plan (bit-exact,
+    // memo cannot be trusted: fall back to the static choice (bit-exact,
     // merely untuned) instead of panicking or erroring.
     if matches!(
         gcd2_faults::fire("autotune.cache"),
         gcd2_faults::Injection::CorruptCache
     ) {
-        return (TilePlan::DEFAULT, false);
+        return (static_choice(m, isa, pays_pack), false);
     }
     if !autotune_enabled()
         || (m as u64).saturating_mul(k as u64).saturating_mul(n as u64) < TUNE_MIN_MACS
     {
-        return (TilePlan::DEFAULT, false);
+        return (static_choice(m, isa, pays_pack), false);
     }
     let key = (m, k, n, isa as u8);
-    if let Some(t) = cache().get(&key) {
-        return (t, true);
+    if let Some(c) = cache().get(&key) {
+        return (c, true);
     }
-    let mut best = TilePlan::DEFAULT;
+    let mut best = KernelChoice::untuned(isa);
     let mut best_t = Duration::MAX;
-    for cand in candidates(m, k) {
+    for tiles in candidates(m, k) {
+        let cand = KernelChoice { isa, tiles };
         let took = probe(cand);
         if took < best_t {
             best_t = took;
+            best = cand;
+        }
+    }
+    if pays_pack && isa != KernelIsa::Scalar && m <= SCALAR_CANDIDATE_MAX_M {
+        let cand = KernelChoice::untuned(KernelIsa::Scalar);
+        if probe(cand) < best_t {
             best = cand;
         }
     }
@@ -208,13 +278,35 @@ mod tests {
     #[test]
     fn small_shapes_resolve_to_default_without_probing() {
         let mut calls = 0;
-        let (t, tuned) = resolve_tiles(4, 4, 4, KernelIsa::Scalar, &mut |_| {
+        let (c, tuned) = resolve_kernel(4, 4, 4, KernelIsa::Scalar, false, &mut |_| {
             calls += 1;
             Duration::ZERO
         });
-        assert_eq!(t, TilePlan::DEFAULT);
+        assert_eq!(c, KernelChoice::untuned(KernelIsa::Scalar));
         assert!(!tuned);
         assert_eq!(calls, 0, "below-threshold shape must not probe");
+    }
+
+    #[test]
+    fn skinny_shapes_on_packing_tiers_fall_back_to_scalar_statically() {
+        let mut calls = 0;
+        let (c, tuned) = resolve_kernel(1, 1280, 1000, KernelIsa::Avx2, true, &mut |_| {
+            calls += 1;
+            Duration::ZERO
+        });
+        assert_eq!(c.isa, KernelIsa::Scalar, "m=1 must dodge the pack");
+        assert!(!tuned);
+        assert_eq!(calls, 0);
+        // A packless tier (NEON/scalar) keeps its own kernel.
+        let (c, _) = resolve_kernel(1, 1280, 1000, KernelIsa::Neon, false, &mut |_| {
+            Duration::ZERO
+        });
+        assert_eq!(c.isa, KernelIsa::Neon);
+        // Wider-than-skinny shapes stay on the vector tier.
+        let (c, _) = resolve_kernel(16, 1280, 1000, KernelIsa::Avx2, true, &mut |_| {
+            Duration::ZERO
+        });
+        assert_eq!(c.isa, KernelIsa::Avx2);
     }
 
     #[test]
@@ -222,23 +314,61 @@ mod tests {
         // Unique shape for this test; above threshold.
         let (m, k, n) = (4096, 1024, 64);
         let mut calls = 0;
-        let (t1, tuned1) = resolve_tiles(m, k, n, KernelIsa::Scalar, &mut |cand| {
+        let (c1, tuned1) = resolve_kernel(m, k, n, KernelIsa::Scalar, false, &mut |cand| {
             calls += 1;
             // Deterministic "timing": prefer mb=64/kb=1024.
-            Duration::from_micros((200 - cand.mb.min(64) - cand.kb / 16) as u64)
+            Duration::from_micros((200 - cand.tiles.mb.min(64) - cand.tiles.kb / 16) as u64)
         });
         assert!(tuned1);
         assert!(calls > 1, "cold shape must sweep candidates");
-        assert_eq!(t1, TilePlan { mb: 64, kb: 1024 });
+        assert_eq!(c1.isa, KernelIsa::Scalar);
+        assert_eq!(c1.tiles, TilePlan { mb: 64, kb: 1024 });
         let before = calls;
-        let (t2, tuned2) = resolve_tiles(m, k, n, KernelIsa::Scalar, &mut |_| {
+        let (c2, tuned2) = resolve_kernel(m, k, n, KernelIsa::Scalar, false, &mut |_| {
             calls += 1;
             Duration::ZERO
         });
         assert!(tuned2);
-        assert_eq!(t2, t1, "memoized plan must be returned");
+        assert_eq!(c2, c1, "memoized choice must be returned");
         assert_eq!(calls, before, "warm shape must not probe");
-        assert_eq!(cached_tiles(m, k, n, KernelIsa::Scalar), Some(t1));
-        assert_eq!(cached_tiles(m, k, n, KernelIsa::Avx2), None);
+        assert_eq!(cached_choice(m, k, n, KernelIsa::Scalar), Some(c1));
+        assert_eq!(cached_choice(m, k, n, KernelIsa::Avx2), None);
+    }
+
+    #[test]
+    fn sweep_probes_scalar_on_packing_tiers_and_picks_it_when_it_wins() {
+        // Above threshold but narrow enough for the scalar candidate.
+        let (m, k, n) = (64, 2048, 512);
+        let mut scalar_probed = false;
+        let (c, tuned) = resolve_kernel(m, k, n, KernelIsa::Avx2, true, &mut |cand| {
+            if cand.isa == KernelIsa::Scalar {
+                scalar_probed = true;
+                Duration::from_micros(1)
+            } else {
+                Duration::from_micros(100)
+            }
+        });
+        assert!(tuned);
+        assert!(scalar_probed, "pack-paying tier must rank scalar");
+        assert_eq!(c.isa, KernelIsa::Scalar, "faster scalar probe must win");
+        assert_eq!(
+            cached_choice(m, k, n, KernelIsa::Avx2).map(|c| c.isa),
+            Some(KernelIsa::Scalar),
+            "handoff is memoized under the dispatching tier's key"
+        );
+        // Wide shapes skip the scalar probe entirely.
+        let (m2, k2, n2) = (4096, 2048, 512);
+        let mut scalar_probed_wide = false;
+        let (c, _) = resolve_kernel(m2, k2, n2, KernelIsa::Avx2, true, &mut |cand| {
+            if cand.isa == KernelIsa::Scalar {
+                scalar_probed_wide = true;
+            }
+            Duration::from_micros(100)
+        });
+        assert!(
+            !scalar_probed_wide,
+            "m > {SCALAR_CANDIDATE_MAX_M} must not probe scalar"
+        );
+        assert_eq!(c.isa, KernelIsa::Avx2);
     }
 }

@@ -33,7 +33,7 @@ use crate::tiled::{validate_dispatch, GemmDispatchError, GemmScratch};
 use gcd2_tensor::MatrixI8;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Kernel instruction-set tiers, from the always-available oracle up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -335,39 +335,86 @@ impl ScratchPool {
     }
 }
 
-/// Resolves tiles for a dispatch, probing candidates with the real
-/// operands on a cache miss (see [`crate::autotune`]).
+/// Resolves the kernel (tier + tiles) for a dispatch, probing
+/// candidates with the real operands on a cache miss (see
+/// [`crate::autotune`]), and leaves `scratch` holding exactly the
+/// panels the returned table needs. Returns the table to execute with
+/// and its tile plan — possibly the scalar oracle when the active
+/// tier's per-dispatch weight pack costs more than it buys (skinny
+/// activations), in which case no pack is paid at all.
 #[allow(clippy::too_many_arguments)] // full operand set of one dispatch
-fn resolve_with_probe(
-    table: &'static KernelTable,
+fn resolve_and_pack(
+    active: &'static KernelTable,
     a: &[u8],
     m: usize,
     k: usize,
     n: usize,
     wd: &[i8],
     shift: u8,
-    panel: &[i16],
-    quads: &[i8],
-    acc: &mut Vec<i32>,
-) -> (TilePlan, bool) {
+    scratch: &mut GemmScratch,
+) -> (&'static KernelTable, TilePlan) {
     let rows = autotune::probe_rows(m, k, n);
-    autotune::resolve_tiles(m, k, n, table.isa, &mut |cand| {
-        let args = BandArgs {
-            a,
-            k,
-            n,
-            wd,
-            shift,
-            tiles: cand,
-        };
-        let mut tmp = vec![0u8; rows * n];
-        let start = Instant::now();
-        // SAFETY: `table` resolution verified ISA support; probe rows
-        // are a prefix of the real operands, so the operand contract
-        // (rows*k activations, k×n weights, panels packed from wd) holds.
-        unsafe { (table.band)(&args, panel, quads, acc, 0, rows, &mut tmp) };
-        start.elapsed()
-    })
+    // Panels are packed lazily, only when a probe (or the final winner)
+    // actually consumes them — the whole point of a scalar handoff is
+    // skipping the O(k·n) pack. The pack IS part of each candidate's
+    // score, though: the thread-local scratch is shared by every GEMM
+    // of a plan, so in steady state a pack-paying tier repacks on every
+    // call. Each tier's measured pack cost, scaled by the `rows / m`
+    // fraction the probe runs over, is charged to its candidates —
+    // otherwise the sweep systematically prefers vector tiers on
+    // exactly the mid-size shapes where the repack decides the race.
+    let mut packed_for: Option<KernelIsa> = None;
+    let mut pack_costs: Vec<(KernelIsa, Duration)> = Vec::new();
+    let (choice, _tuned) = autotune::resolve_kernel(
+        m,
+        k,
+        n,
+        active.isa,
+        active.panel != PanelKind::None,
+        &mut |cand| {
+            let table = table_for(cand.isa);
+            let pack_cost = match pack_costs.iter().find(|(isa, _)| *isa == cand.isa) {
+                Some(&(_, d)) => {
+                    if packed_for != Some(cand.isa) {
+                        table.pack(wd, k, n, scratch);
+                        packed_for = Some(cand.isa);
+                    }
+                    d
+                }
+                None => {
+                    let start = Instant::now();
+                    table.pack(wd, k, n, scratch);
+                    let d = start.elapsed();
+                    packed_for = Some(cand.isa);
+                    pack_costs.push((cand.isa, d));
+                    d
+                }
+            };
+            let GemmScratch { acc, panel, panel8 } = &mut *scratch;
+            let args = BandArgs {
+                a,
+                k,
+                n,
+                wd,
+                shift,
+                tiles: cand.tiles,
+            };
+            let mut tmp = vec![0u8; rows * n];
+            let start = Instant::now();
+            // SAFETY: every candidate tier was runtime-verified at table
+            // resolution (scalar needs no features); probe rows are a
+            // prefix of the real operands, so the operand contract
+            // (rows*k activations, k×n weights, panels freshly packed
+            // from wd for this tier) holds.
+            unsafe { (table.band)(&args, panel, panel8, acc, 0, rows, &mut tmp) };
+            start.elapsed() + pack_cost.mul_f64(rows as f64 / m.max(1) as f64)
+        },
+    );
+    let exec = table_for(choice.isa);
+    if packed_for != Some(choice.isa) {
+        exec.pack(wd, k, n, scratch);
+    }
+    (exec, choice.tiles)
 }
 
 /// Single-threaded blocked GEMM through the dispatch table; backend of
@@ -389,10 +436,8 @@ pub(crate) fn run_single(
         return;
     }
     let wd = w.as_slice();
-    let table = active_table();
-    table.pack(wd, k, n, scratch);
+    let (table, tiles) = resolve_and_pack(active_table(), a, m, k, n, wd, shift, scratch);
     let GemmScratch { acc, panel, panel8 } = scratch;
-    let (tiles, _) = resolve_with_probe(table, a, m, k, n, wd, shift, panel, panel8, acc);
     let args = BandArgs {
         a,
         k,
@@ -403,7 +448,8 @@ pub(crate) fn run_single(
     };
     // SAFETY: table resolution verified ISA support; validate_dispatch
     // established a.len() == m*k and w.rows() == k, out was resized to
-    // m*n, and the panels are the pack image of wd for this table row.
+    // m*n, and resolve_and_pack left the panels as the pack image of wd
+    // for this table row.
     unsafe { (table.band)(&args, panel, panel8, acc, 0, m, out) };
 }
 
@@ -441,13 +487,11 @@ pub fn try_matmul_threaded_into(
         return Ok(());
     }
     let wd = w.as_slice();
-    let table = active_table();
 
     let mut lead = pool.checkout();
     {
-        table.pack(wd, k, n, &mut lead);
+        let (table, tiles) = resolve_and_pack(active_table(), a, m, k, n, wd, shift, &mut lead);
         let GemmScratch { acc, panel, panel8 } = &mut lead;
-        let (tiles, _) = resolve_with_probe(table, a, m, k, n, wd, shift, panel, panel8, acc);
         let args = BandArgs {
             a,
             k,
@@ -505,7 +549,6 @@ pub fn warm_gemm_tiles(m: usize, k: usize, n: usize, w: &MatrixI8, shift: u8) {
     if m == 0 || n == 0 || k == 0 || w.rows() != k || w.cols() != n || shift >= 32 {
         return;
     }
-    let table = active_table();
     let rows = autotune::probe_rows(m, k, n);
     // Synthetic activations in the quantized range with a realistic
     // sprinkle of zeros (the kernels zero-skip, so an all-dense or
@@ -522,19 +565,22 @@ pub fn warm_gemm_tiles(m: usize, k: usize, n: usize, w: &MatrixI8, shift: u8) {
         .collect();
     let wd = w.as_slice();
     let mut scratch = GemmScratch::default();
-    table.pack(wd, k, n, &mut scratch);
-    let GemmScratch { acc, panel, panel8 } = &mut scratch;
     // Key by the *real* m; the probe itself only ever runs `rows` rows.
-    let _ = resolve_with_probe(table, &a, m, k, n, wd, shift, panel, panel8, acc);
+    let _ = resolve_and_pack(active_table(), &a, m, k, n, wd, shift, &mut scratch);
 }
 
 /// What the dispatcher would use for a GEMM shape right now, for
-/// reports: `(isa, tiles, tuned)`. Pure lookup — never probes.
+/// reports: `(isa, tiles, tuned)`. The ISA is the **effective** tier —
+/// a tuned or static scalar handoff reports `scalar` even when a vector
+/// tier is active. Pure lookup — never probes.
 pub fn gemm_kernel_summary(m: usize, k: usize, n: usize) -> (KernelIsa, TilePlan, bool) {
-    let isa = active_isa();
-    match autotune::cached_tiles(m, k, n, isa) {
-        Some(t) => (isa, t, true),
-        None => (isa, TilePlan::DEFAULT, false),
+    let active = active_table();
+    match autotune::cached_choice(m, k, n, active.isa) {
+        Some(c) => (c.isa, c.tiles, true),
+        None => {
+            let c = autotune::static_choice(m, active.isa, active.panel != PanelKind::None);
+            (c.isa, c.tiles, false)
+        }
     }
 }
 

@@ -43,7 +43,10 @@ pub mod simd;
 pub mod tiled;
 pub mod unroll;
 
-pub use autotune::{autotune_enabled, cached_tiles, tuner_cache_stats, TilePlan, TUNE_MIN_MACS};
+pub use autotune::{
+    autotune_enabled, cached_choice, tuner_cache_stats, KernelChoice, TilePlan,
+    SCALAR_CANDIDATE_MAX_M, SCALAR_SMALL_M, TUNE_MIN_MACS,
+};
 pub use conv::{
     conv2d_direct_chw_into, conv_ref_chw, conv_weights_as_gemm, depthwise_vtmpy_blocks,
     dwconv_direct_into, im2col_chw, im2col_overhead_cycles, im2col_rm_into,
