@@ -45,11 +45,19 @@ echo "==> gateway chaos suite (fault injection, two fixed fault seeds)"
 GCD2_GW_CHAOS_SEED=2024 cargo test -q --features fault-injection --test gateway_chaos
 GCD2_GW_CHAOS_SEED=7 cargo test -q --features fault-injection --test gateway_chaos
 
-echo "==> serving-gateway bench smoke (BENCH_serve.json, bit-identical check)"
+echo "==> artifact chaos suite (fault injection, two fixed fault seeds)"
+GCD2_ART_CHAOS_SEED=2024 cargo test -q --features fault-injection --test artifact_chaos
+GCD2_ART_CHAOS_SEED=7 cargo test -q --features fault-injection --test artifact_chaos
+
+echo "==> artifact round-trip + hostile-corpus suites"
+cargo test -q --test artifact_roundtrip
+cargo test -q --test artifact_hostile
+
+echo "==> serving-gateway bench smoke (BENCH_serve.json, bit-identical + multi-worker check)"
 cargo run --release -q -p gcd2-bench --bin serve_throughput -- --smoke
 
-echo "==> clippy unwrap/expect deny gate (gcd2 + gcd2-globalopt + gcd2-kernels + gcd2-analyze lib paths)"
-cargo clippy -q -p gcd2 -p gcd2-globalopt -p gcd2-kernels -p gcd2-analyze --lib -- -D warnings
+echo "==> clippy unwrap/expect deny gate (gcd2 + gcd2-globalopt + gcd2-kernels + gcd2-analyze + gcd2-artifact lib paths)"
+cargo clippy -q -p gcd2 -p gcd2-globalopt -p gcd2-kernels -p gcd2-analyze -p gcd2-artifact --lib -- -D warnings
 
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -q -- -D warnings

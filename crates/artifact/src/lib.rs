@@ -1,0 +1,1032 @@
+//! # gcd2-artifact — versioned plan artifacts and the on-disk cache
+//!
+//! The container layer of the AOT artifact store: a versioned,
+//! self-describing binary envelope for compiled-plan payloads, plus a
+//! content-addressed on-disk cache with crash-safe writes. The *payload*
+//! codec (how an `InferencePlan` becomes section bytes) lives in
+//! `gcd2::artifact`; this crate knows nothing about plans — only about
+//! sections, checksums, bounds, and files — so the container can be
+//! fuzzed and reasoned about in isolation.
+//!
+//! ## Wire layout
+//!
+//! ```text
+//! magic[8] = "GCD2ART\0"
+//! version  u32 LE          (FORMAT_VERSION; skew is a structured error)
+//! count    u32 LE          (section count, capped)
+//! table    count × { id u32, offset u64, len u64, checksum u64 }
+//! payloads concatenated, in table order, contiguous
+//! chain    u64 LE          (FNV-1a over the table, bound to the plan
+//!                           integrity checksum — see verify_chain)
+//! ```
+//!
+//! Every offset and length in the table is validated against the file
+//! size and the running cursor **before** any payload is touched, all
+//! payload sizes are capped, and the crate forbids `unsafe` outright —
+//! a hostile artifact can only ever produce an [`ArtifactError`].
+//!
+//! ## Integrity model
+//!
+//! * per-section FNV-1a checksums catch bit flips inside a payload;
+//! * the trailing **chain** checksum hashes the whole section table and
+//!   then the plan's own PR-5 integrity checksum (the `bind` value), so
+//!   a valid table spliced onto a different plan, or a reordered table,
+//!   fails [`Artifact::verify_chain`];
+//! * none of this is cryptographic — it detects corruption, not a
+//!   deliberate forger, which is why loaders re-run plan integrity and
+//!   the arena-soundness analyzer on every decoded plan.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(clippy::undocumented_unsafe_blocks)]
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+/// The artifact file magic, first eight bytes of every artifact.
+pub const MAGIC: [u8; 8] = *b"GCD2ART\0";
+
+/// Container format version. Bumped on any incompatible layout change;
+/// readers refuse other versions with [`ArtifactError::VersionSkew`]
+/// (the cache key includes the version, so skewed files are simply
+/// never hit).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Hard cap on sections per artifact: far above the handful the plan
+/// codec emits, low enough that a forged count cannot drive a large
+/// allocation.
+pub const MAX_SECTIONS: usize = 64;
+
+/// Hard cap on a single section payload (and therefore on any length a
+/// decoder allocates from).
+pub const MAX_SECTION_BYTES: u64 = 1 << 30;
+
+/// Bytes of fixed header before the section table.
+const HEADER_BYTES: usize = 8 + 4 + 4;
+/// Bytes per section-table entry: id + offset + len + checksum.
+const TABLE_ENTRY_BYTES: usize = 4 + 8 + 8 + 8;
+
+/// Why an artifact could not be decoded, verified, or moved through the
+/// cache. The decode paths produce only the first six variants; `Io` is
+/// reserved for the on-disk cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The first eight bytes are not the artifact magic: not an
+    /// artifact at all (or one truncated into its magic).
+    BadMagic,
+    /// The artifact was written by a different format version.
+    VersionSkew {
+        /// Version stamped in the file.
+        found: u32,
+        /// Version this reader supports.
+        supported: u32,
+    },
+    /// The file ends before a declared structure does.
+    Truncated {
+        /// Byte offset at which the read was attempted.
+        offset: usize,
+        /// Bytes the structure still needed.
+        need: usize,
+    },
+    /// A section's payload no longer hashes to its table checksum.
+    SectionChecksum {
+        /// The section id.
+        section: u32,
+        /// Checksum declared in the table.
+        expected: u64,
+        /// Checksum of the payload as read.
+        got: u64,
+    },
+    /// A declared count, offset, or length escapes its validated range.
+    Bounds {
+        /// Which field was out of range.
+        what: &'static str,
+        /// The declared value.
+        value: u64,
+        /// The cap or expected value it violated.
+        limit: u64,
+    },
+    /// The chain checksum does not match: the section table and the
+    /// plan integrity checksum it binds no longer agree with the
+    /// trailer (tampered table, spliced payload, or a stale trailer).
+    IntegrityMismatch {
+        /// Chain checksum stored in the trailer.
+        expected: u64,
+        /// Chain checksum recomputed from the table and bind value.
+        got: u64,
+    },
+    /// A cache filesystem operation failed (never produced by decode).
+    Io {
+        /// The operation that failed (`read`, `write`, `rename`, ...).
+        op: &'static str,
+        /// The OS error, rendered.
+        message: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::BadMagic => write!(f, "not a gcd2 artifact (bad magic)"),
+            ArtifactError::VersionSkew { found, supported } => write!(
+                f,
+                "artifact format version {found} (this build reads {supported})"
+            ),
+            ArtifactError::Truncated { offset, need } => {
+                write!(f, "artifact truncated at byte {offset} ({need} more needed)")
+            }
+            ArtifactError::SectionChecksum {
+                section,
+                expected,
+                got,
+            } => write!(
+                f,
+                "section {section} checksum mismatch: table says {expected:#018x}, payload hashes to {got:#018x}"
+            ),
+            ArtifactError::Bounds { what, value, limit } => {
+                write!(f, "artifact {what} = {value} violates bound {limit}")
+            }
+            ArtifactError::IntegrityMismatch { expected, got } => write!(
+                f,
+                "artifact chain checksum mismatch: trailer {expected:#018x}, recomputed {got:#018x}"
+            ),
+            ArtifactError::Io { op, message } => {
+                write!(f, "artifact cache {op} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// Incremental FNV-1a (64-bit): the checksum primitive of the artifact
+/// container, matching the plan-integrity hash in `gcd2::infer`. Not
+/// cryptographic — it detects corruption, not adversaries.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+        self
+    }
+
+    /// Folds a little-endian `u64` into the hash.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a of a byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.bytes(bytes);
+    h.finish()
+}
+
+/// A growing little-endian byte buffer for payload encoders.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty buffer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes (no length prefix).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a `u32` length prefix followed by the bytes.
+    pub fn len_bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.bytes(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.len_bytes(v.as_bytes());
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A bounds-checked little-endian cursor over untrusted bytes: every
+/// read validates the remaining length first and every length-prefixed
+/// read validates the declared length against a caller cap *before*
+/// allocating, so a hostile payload can only produce
+/// [`ArtifactError::Truncated`] / [`ArtifactError::Bounds`].
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor has consumed the whole buffer.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Borrows the next `n` bytes, advancing the cursor.
+    ///
+    /// # Errors
+    /// [`ArtifactError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        if self.remaining() < n {
+            return Err(ArtifactError::Truncated {
+                offset: self.pos,
+                need: n - self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// [`ArtifactError::Truncated`] at end of buffer.
+    pub fn u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`ArtifactError::Truncated`] if fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, ArtifactError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`ArtifactError::Truncated`] if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, ArtifactError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a `u64` and validates it as a count/length/index against
+    /// `limit` (inclusive), naming `what` in the error.
+    ///
+    /// # Errors
+    /// [`ArtifactError::Bounds`] if the value exceeds `limit`;
+    /// [`ArtifactError::Truncated`] if the field itself is cut off.
+    pub fn u64_capped(&mut self, what: &'static str, limit: u64) -> Result<u64, ArtifactError> {
+        let v = self.u64()?;
+        if v > limit {
+            return Err(ArtifactError::Bounds {
+                what,
+                value: v,
+                limit,
+            });
+        }
+        Ok(v)
+    }
+
+    /// Reads a `u32`-length-prefixed byte run, capping the declared
+    /// length at `limit` before touching the payload.
+    ///
+    /// # Errors
+    /// [`ArtifactError::Bounds`] for an oversized declared length,
+    /// [`ArtifactError::Truncated`] if the run is cut off.
+    pub fn len_bytes(&mut self, what: &'static str, limit: u64) -> Result<&'a [u8], ArtifactError> {
+        let len = self.u32()? as u64;
+        if len > limit {
+            return Err(ArtifactError::Bounds {
+                what,
+                value: len,
+                limit,
+            });
+        }
+        self.take(len as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string (lossy: invalid UTF-8 in a
+    /// checksum-valid artifact is forgery; the string is diagnostic
+    /// only, so it is replaced rather than erroring).
+    ///
+    /// # Errors
+    /// As [`ByteReader::len_bytes`].
+    pub fn str(&mut self, what: &'static str, limit: u64) -> Result<String, ArtifactError> {
+        Ok(String::from_utf8_lossy(self.len_bytes(what, limit)?).into_owned())
+    }
+}
+
+/// One decoded section: id plus its verified payload.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Section id (the plan codec assigns meanings).
+    pub id: u32,
+    /// The payload bytes, already checksum-verified.
+    pub bytes: Vec<u8>,
+}
+
+/// Builds an artifact: sections in, a checksummed container out.
+#[derive(Debug, Default)]
+pub struct ArtifactWriter {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl ArtifactWriter {
+    /// An empty artifact under construction.
+    pub fn new() -> ArtifactWriter {
+        ArtifactWriter::default()
+    }
+
+    /// Appends a section. Order is preserved and hashed into the chain.
+    pub fn section(&mut self, id: u32, bytes: Vec<u8>) {
+        self.sections.push((id, bytes));
+    }
+
+    /// Serializes the container, binding the chain checksum to `bind`
+    /// (the plan's integrity checksum). Hosts the `artifact.encode`
+    /// fault point.
+    ///
+    /// # Errors
+    /// [`ArtifactError::Bounds`] if a section exceeds
+    /// [`MAX_SECTION_BYTES`] or there are more than [`MAX_SECTIONS`].
+    pub fn finish(self, bind: u64) -> Result<Vec<u8>, ArtifactError> {
+        let _ = gcd2_faults::fire("artifact.encode");
+        if self.sections.len() > MAX_SECTIONS {
+            return Err(ArtifactError::Bounds {
+                what: "section count",
+                value: self.sections.len() as u64,
+                limit: MAX_SECTIONS as u64,
+            });
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        let mut offset = (HEADER_BYTES + TABLE_ENTRY_BYTES * self.sections.len()) as u64;
+        let mut chain = Fnv64::new();
+        chain.u64(FORMAT_VERSION as u64);
+        chain.u64(self.sections.len() as u64);
+        for (id, bytes) in &self.sections {
+            if bytes.len() as u64 > MAX_SECTION_BYTES {
+                return Err(ArtifactError::Bounds {
+                    what: "section length",
+                    value: bytes.len() as u64,
+                    limit: MAX_SECTION_BYTES,
+                });
+            }
+            let checksum = fnv64(bytes);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            out.extend_from_slice(&checksum.to_le_bytes());
+            chain.u64(*id as u64);
+            chain.u64(offset);
+            chain.u64(bytes.len() as u64);
+            chain.u64(checksum);
+            offset += bytes.len() as u64;
+        }
+        for (_, bytes) in &self.sections {
+            out.extend_from_slice(bytes);
+        }
+        chain.u64(bind);
+        out.extend_from_slice(&chain.finish().to_le_bytes());
+        Ok(out)
+    }
+}
+
+/// A decoded artifact container: verified sections plus the stored
+/// chain checksum, still awaiting [`Artifact::verify_chain`] against
+/// the plan integrity checksum the payload declares.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// The format version stamped in the header (always
+    /// [`FORMAT_VERSION`] after a successful decode).
+    pub version: u32,
+    /// The sections, in table order, payloads checksum-verified.
+    pub sections: Vec<Section>,
+    /// The chain checksum stored in the trailer.
+    pub stored_chain: u64,
+    /// The chain recomputed over the table (before binding).
+    table_chain: Fnv64,
+}
+
+impl Artifact {
+    /// Decodes and verifies the container: magic, version, table
+    /// bounds, contiguity, and every per-section checksum. No payload
+    /// byte is interpreted beyond hashing. Hosts the `artifact.decode`
+    /// fault point.
+    ///
+    /// # Errors
+    /// Every container defect maps to one [`ArtifactError`] variant:
+    /// wrong magic → `BadMagic`, other version → `VersionSkew`, short
+    /// file → `Truncated`, forged counts/offsets/lengths → `Bounds`,
+    /// flipped payload or table checksum → `SectionChecksum`.
+    pub fn decode(buf: &[u8]) -> Result<Artifact, ArtifactError> {
+        let _ = gcd2_faults::fire("artifact.decode");
+        let mut r = ByteReader::new(buf);
+        if r.take(8)? != MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(ArtifactError::VersionSkew {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let count = r.u32()? as usize;
+        if count > MAX_SECTIONS {
+            return Err(ArtifactError::Bounds {
+                what: "section count",
+                value: count as u64,
+                limit: MAX_SECTIONS as u64,
+            });
+        }
+        let mut chain = Fnv64::new();
+        chain.u64(version as u64);
+        chain.u64(count as u64);
+        let mut table = Vec::with_capacity(count);
+        let mut expected_offset = (HEADER_BYTES + TABLE_ENTRY_BYTES * count) as u64;
+        for _ in 0..count {
+            let id = r.u32()?;
+            let offset = r.u64()?;
+            let len = r.u64()?;
+            let checksum = r.u64()?;
+            if offset != expected_offset {
+                return Err(ArtifactError::Bounds {
+                    what: "section offset",
+                    value: offset,
+                    limit: expected_offset,
+                });
+            }
+            if len > MAX_SECTION_BYTES {
+                return Err(ArtifactError::Bounds {
+                    what: "section length",
+                    value: len,
+                    limit: MAX_SECTION_BYTES,
+                });
+            }
+            chain.u64(id as u64);
+            chain.u64(offset);
+            chain.u64(len);
+            chain.u64(checksum);
+            table.push((id, len, checksum));
+            expected_offset += len;
+        }
+        // The trailer must still fit after the last payload.
+        if (expected_offset as usize).checked_add(8).is_none()
+            || expected_offset as usize + 8 > buf.len()
+        {
+            return Err(ArtifactError::Truncated {
+                offset: buf.len(),
+                need: expected_offset as usize + 8 - buf.len(),
+            });
+        }
+        if expected_offset as usize + 8 < buf.len() {
+            return Err(ArtifactError::Bounds {
+                what: "trailing bytes",
+                value: buf.len() as u64,
+                limit: expected_offset + 8,
+            });
+        }
+        let mut sections = Vec::with_capacity(count);
+        for (id, len, checksum) in table {
+            let bytes = r.take(len as usize)?;
+            let got = fnv64(bytes);
+            if got != checksum {
+                return Err(ArtifactError::SectionChecksum {
+                    section: id,
+                    expected: checksum,
+                    got,
+                });
+            }
+            sections.push(Section {
+                id,
+                bytes: bytes.to_vec(),
+            });
+        }
+        let stored_chain = r.u64()?;
+        Ok(Artifact {
+            version,
+            sections,
+            stored_chain,
+            table_chain: chain,
+        })
+    }
+
+    /// The payload of the first section with `id`, if present.
+    pub fn section(&self, id: u32) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.bytes.as_slice())
+    }
+
+    /// Verifies the chain checksum against `bind` (the plan integrity
+    /// checksum the payload declares): catches a tampered trailer, a
+    /// spliced table, or a payload transplanted onto another plan.
+    ///
+    /// # Errors
+    /// [`ArtifactError::IntegrityMismatch`] on disagreement.
+    pub fn verify_chain(&self, bind: u64) -> Result<(), ArtifactError> {
+        let mut chain = self.table_chain.clone();
+        chain.u64(bind);
+        let got = chain.finish();
+        if got != self.stored_chain {
+            return Err(ArtifactError::IntegrityMismatch {
+                expected: self.stored_chain,
+                got,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// How long an orphaned temp file or lock may sit in the cache
+/// directory before garbage collection reclaims it: long enough that a
+/// live writer is never raced, short enough that a crashed writer does
+/// not wedge the key forever.
+pub const STALE_TEMP_AGE: Duration = Duration::from_secs(3600);
+
+const TEMP_PREFIX: &str = ".tmp.";
+const LOCK_SUFFIX: &str = ".lock";
+const ARTIFACT_SUFFIX: &str = ".gcd2art";
+
+/// A content-addressed artifact cache directory with crash-safe writes.
+///
+/// * **Addressing** — keys are hex FNV-1a digests of the inputs that
+///   determine the artifact bytes (graph text, compiler options,
+///   format version, seed); see [`ArtifactCache::content_key`].
+/// * **Crash safety** — [`ArtifactCache::store`] writes a temp file in
+///   the cache directory, fsyncs it, atomically renames it over the
+///   final name, then fsyncs the directory. A crash at any point leaves
+///   either the old state or the new state, never a torn final file;
+///   orphaned temps are swept by [`ArtifactCache::gc_stale_temps`].
+/// * **Duplicate-work avoidance** — [`ArtifactCache::try_lock`] takes a
+///   per-key advisory lock file so concurrent processes compiling the
+///   same key can elect one builder; losers poll for the winner's
+///   artifact instead of recompiling.
+#[derive(Debug, Clone)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+}
+
+/// A held per-key advisory lock; dropped (or crashed past
+/// [`STALE_TEMP_AGE`]) it releases the key.
+#[derive(Debug)]
+pub struct CacheLock {
+    path: PathBuf,
+}
+
+impl Drop for CacheLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+fn io_err(op: &'static str, e: std::io::Error) -> ArtifactError {
+    ArtifactError::Io {
+        op,
+        message: e.to_string(),
+    }
+}
+
+impl ArtifactCache {
+    /// Opens (creating if needed) the cache directory and sweeps temp
+    /// files older than [`STALE_TEMP_AGE`].
+    ///
+    /// # Errors
+    /// [`ArtifactError::Io`] if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ArtifactCache, ArtifactError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create-dir", e))?;
+        let cache = ArtifactCache { dir };
+        let _ = cache.gc_stale_temps(STALE_TEMP_AGE);
+        Ok(cache)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Derives the content-address for an artifact from the byte strings
+    /// that determine it. Each part is length-framed before hashing so
+    /// part boundaries cannot alias (`["ab","c"]` ≠ `["a","bc"]`).
+    pub fn content_key(parts: &[&[u8]]) -> String {
+        let mut h = Fnv64::new();
+        for part in parts {
+            h.u64(part.len() as u64);
+            h.bytes(part);
+        }
+        format!("{:016x}", h.finish())
+    }
+
+    /// The final on-disk path for `key`.
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}{ARTIFACT_SUFFIX}"))
+    }
+
+    /// Reads the artifact stored under `key`. A missing file is
+    /// `Ok(None)` (a cache miss, not an error). Hosts the `artifact.io`
+    /// fault point.
+    ///
+    /// # Errors
+    /// [`ArtifactError::Io`] for any filesystem failure other than
+    /// not-found.
+    pub fn load(&self, key: &str) -> Result<Option<Vec<u8>>, ArtifactError> {
+        let _ = gcd2_faults::fire("artifact.io");
+        match fs::read(self.path_for(key)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err("read", e)),
+        }
+    }
+
+    /// Stores `bytes` under `key` crash-safely: temp file + fsync +
+    /// atomic rename + directory fsync. Returns the final path. Hosts
+    /// the `artifact.io` fault point.
+    ///
+    /// # Errors
+    /// [`ArtifactError::Io`] on any filesystem failure; the final path
+    /// is never left torn.
+    pub fn store(&self, key: &str, bytes: &[u8]) -> Result<PathBuf, ArtifactError> {
+        let _ = gcd2_faults::fire("artifact.io");
+        let final_path = self.path_for(key);
+        let tmp_path = self
+            .dir
+            .join(format!("{TEMP_PREFIX}{key}.{}", std::process::id()));
+        {
+            let mut tmp = fs::File::create(&tmp_path).map_err(|e| io_err("create-temp", e))?;
+            tmp.write_all(bytes).map_err(|e| io_err("write", e))?;
+            tmp.sync_all().map_err(|e| io_err("fsync", e))?;
+        }
+        if let Err(e) = fs::rename(&tmp_path, &final_path) {
+            let _ = fs::remove_file(&tmp_path);
+            return Err(io_err("rename", e));
+        }
+        // Persist the rename itself; without this a crash can lose the
+        // directory entry even though the data blocks are on disk.
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(final_path)
+    }
+
+    /// Removes the artifact stored under `key`; returns whether one
+    /// existed.
+    ///
+    /// # Errors
+    /// [`ArtifactError::Io`] for failures other than not-found.
+    pub fn evict(&self, key: &str) -> Result<bool, ArtifactError> {
+        match fs::remove_file(self.path_for(key)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(io_err("remove", e)),
+        }
+    }
+
+    /// Tries to take the per-key advisory build lock. `None` means
+    /// another live process holds it (a lock older than
+    /// [`STALE_TEMP_AGE`] is presumed crashed and is stolen).
+    pub fn try_lock(&self, key: &str) -> Option<CacheLock> {
+        let path = self.dir.join(format!("{key}{LOCK_SUFFIX}"));
+        for _ in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "{}", std::process::id());
+                    return Some(CacheLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if file_older_than(&path, STALE_TEMP_AGE) {
+                        let _ = fs::remove_file(&path);
+                        continue; // retry the create_new race once
+                    }
+                    return None;
+                }
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+
+    /// Sweeps temp and lock files older than `max_age` (a crashed
+    /// writer's leavings). Returns how many were removed.
+    ///
+    /// # Errors
+    /// [`ArtifactError::Io`] if the directory cannot be listed.
+    pub fn gc_stale_temps(&self, max_age: Duration) -> Result<usize, ArtifactError> {
+        let entries = fs::read_dir(&self.dir).map_err(|e| io_err("read-dir", e))?;
+        let mut removed = 0;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let is_temp = name.starts_with(TEMP_PREFIX) || name.ends_with(LOCK_SUFFIX);
+            if is_temp
+                && file_older_than(&entry.path(), max_age)
+                && fs::remove_file(entry.path()).is_ok()
+            {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Whether the file's mtime is at least `age` in the past (unreadable
+/// metadata counts as stale: the file is junk either way).
+fn file_older_than(path: &Path, age: Duration) -> bool {
+    let Ok(meta) = fs::metadata(path) else {
+        return false;
+    };
+    let Ok(mtime) = meta.modified() else {
+        return true;
+    };
+    match SystemTime::now().duration_since(mtime) {
+        Ok(elapsed) => elapsed >= age,
+        Err(_) => false, // mtime in the future: a live writer's clock skew
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = ArtifactWriter::new();
+        w.section(1, b"meta-bytes".to_vec());
+        w.section(2, vec![7u8; 300]);
+        w.section(3, Vec::new());
+        w.finish(0xBEEF).unwrap()
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let bytes = sample();
+        let art = Artifact::decode(&bytes).unwrap();
+        assert_eq!(art.version, FORMAT_VERSION);
+        assert_eq!(art.sections.len(), 3);
+        assert_eq!(art.section(1), Some(&b"meta-bytes"[..]));
+        assert_eq!(art.section(2).unwrap().len(), 300);
+        assert_eq!(art.section(3), Some(&[][..]));
+        assert_eq!(art.section(9), None);
+        art.verify_chain(0xBEEF).unwrap();
+        assert!(matches!(
+            art.verify_chain(0xDEAD),
+            Err(ArtifactError::IntegrityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = sample();
+        for i in 0..bytes.len() {
+            for bit in [1u8, 0x80] {
+                let mut evil = bytes.clone();
+                evil[i] ^= bit;
+                let structured = match Artifact::decode(&evil) {
+                    Err(_) => true,
+                    // A flip that survives container decode must still
+                    // be caught by the chain bind.
+                    Ok(art) => art.verify_chain(0xBEEF).is_err(),
+                };
+                assert!(structured, "flip at byte {i} bit {bit:#x} went undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_structured() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            let err = match Artifact::decode(&bytes[..cut]) {
+                Err(e) => e,
+                Ok(art) => {
+                    panic!("truncated to {cut} bytes decoded: {art:?}");
+                }
+            };
+            assert!(
+                matches!(
+                    err,
+                    ArtifactError::BadMagic
+                        | ArtifactError::Truncated { .. }
+                        | ArtifactError::Bounds { .. }
+                ),
+                "cut {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_headers_hit_exact_variants() {
+        let bytes = sample();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            Artifact::decode(&bad_magic),
+            Err(ArtifactError::BadMagic)
+        ));
+
+        let mut skew = bytes.clone();
+        skew[8] = 99;
+        assert!(matches!(
+            Artifact::decode(&skew),
+            Err(ArtifactError::VersionSkew {
+                found: 99,
+                supported: FORMAT_VERSION,
+            })
+        ));
+
+        let mut oversized = bytes.clone();
+        // Section 1 declared length lives at header + 4 (id) + 8 (offset).
+        let len_at = HEADER_BYTES + 4 + 8;
+        oversized[len_at..len_at + 8].copy_from_slice(&(MAX_SECTION_BYTES + 1).to_le_bytes());
+        assert!(matches!(
+            Artifact::decode(&oversized),
+            Err(ArtifactError::Bounds {
+                what: "section length",
+                ..
+            })
+        ));
+
+        let mut many = bytes.clone();
+        many[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Artifact::decode(&many),
+            Err(ArtifactError::Bounds {
+                what: "section count",
+                ..
+            })
+        ));
+
+        let mut flipped_payload = bytes.clone();
+        let payload_at = HEADER_BYTES + 3 * TABLE_ENTRY_BYTES;
+        flipped_payload[payload_at] ^= 0xFF;
+        assert!(matches!(
+            Artifact::decode(&flipped_payload),
+            Err(ArtifactError::SectionChecksum { section: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn zero_section_artifact_is_valid_but_bindable() {
+        let w = ArtifactWriter::new();
+        let bytes = w.finish(7).unwrap();
+        let art = Artifact::decode(&bytes).unwrap();
+        assert!(art.sections.is_empty());
+        art.verify_chain(7).unwrap();
+        assert!(art.verify_chain(8).is_err());
+    }
+
+    #[test]
+    fn reader_caps_reject_before_allocation() {
+        let mut w = ByteWriter::new();
+        w.u32(u32::MAX); // declared length far beyond the buffer
+        let buf = w.finish();
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(
+            r.len_bytes("name", 4096),
+            Err(ArtifactError::Bounds { what: "name", .. })
+        ));
+        let mut r2 = ByteReader::new(&buf);
+        assert!(matches!(
+            r2.u64_capped("count", 10),
+            Err(ArtifactError::Truncated { .. }) | Err(ArtifactError::Bounds { .. })
+        ));
+    }
+
+    #[test]
+    fn content_key_frames_parts() {
+        let a = ArtifactCache::content_key(&[b"ab", b"c"]);
+        let b = ArtifactCache::content_key(&[b"a", b"bc"]);
+        assert_ne!(a, b);
+        assert_eq!(a, ArtifactCache::content_key(&[b"ab", b"c"]));
+    }
+
+    fn temp_cache(tag: &str) -> ArtifactCache {
+        let dir =
+            std::env::temp_dir().join(format!("gcd2-artifact-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ArtifactCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn cache_store_load_evict() {
+        let cache = temp_cache("sle");
+        let key = ArtifactCache::content_key(&[b"graph", b"opts"]);
+        assert_eq!(cache.load(&key).unwrap(), None);
+        let bytes = sample();
+        cache.store(&key, &bytes).unwrap();
+        assert_eq!(cache.load(&key).unwrap(), Some(bytes));
+        assert!(cache.evict(&key).unwrap());
+        assert!(!cache.evict(&key).unwrap());
+        assert_eq!(cache.load(&key).unwrap(), None);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stale_temps_are_collected_fresh_ones_kept() {
+        let cache = temp_cache("gc");
+        let orphan = cache.dir().join(format!("{TEMP_PREFIX}dead.1234"));
+        fs::write(&orphan, b"torn").unwrap();
+        // Age zero: everything qualifies as stale.
+        assert_eq!(cache.gc_stale_temps(Duration::ZERO).unwrap(), 1);
+        assert!(!orphan.exists());
+        fs::write(&orphan, b"torn").unwrap();
+        // A fresh temp under a long age is a live writer's: kept.
+        assert_eq!(cache.gc_stale_temps(STALE_TEMP_AGE).unwrap(), 0);
+        assert!(orphan.exists());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn advisory_lock_excludes_and_releases() {
+        let cache = temp_cache("lock");
+        let lock = cache.try_lock("k").unwrap();
+        assert!(cache.try_lock("k").is_none(), "second take must fail");
+        assert!(cache.try_lock("other").is_some(), "keys are independent");
+        drop(lock);
+        assert!(cache.try_lock("k").is_some(), "drop releases");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

@@ -26,6 +26,8 @@ use gcd2_par::CacheStats;
 use std::time::Instant;
 
 const THREAD_COUNTS: [usize; 2] = [2, 4];
+/// Seed for the AOT-artifact cold-start comparison plans.
+const SEED: u64 = 0xC0DE;
 
 struct ModelResult {
     name: String,
@@ -37,6 +39,13 @@ struct ModelResult {
     threads_ms: Vec<(usize, f64)>,
     speedup_at_4: f64,
     thread_scaling_at_4: f64,
+    /// Full cold start without an artifact: compile + plan lowering.
+    compile_plan_ms: f64,
+    /// Cold start from a serialized artifact: decode + verify.
+    artifact_load_ms: f64,
+    /// `artifact_load_ms` must beat `compile_plan_ms` — the whole point
+    /// of the AOT store — and the decoded plan must hash identically.
+    artifact_wins: bool,
     cost_cache: CacheStats,
     cost_cache_warm: CacheStats,
     pack_memo: CacheStats,
@@ -107,6 +116,34 @@ fn bench_model(id: ModelId, iters: usize) -> ModelResult {
         threads_ms.push((n, time_compile(&compiler, &graph, iters)));
     }
 
+    // AOT cold-start comparison: recompile-from-text vs decode-from-
+    // artifact, both yielding a ready-to-execute plan.
+    let compiler = Compiler::new();
+    let compiled = compiler.compile(&graph);
+    let plan = compiled.inference_plan(SEED);
+    let bytes = gcd2::artifact::encode(&compiled, &plan, &name).expect("encode artifact");
+    let compile_plan_ms = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            let c = compiler.compile(&graph);
+            let p = c.inference_plan(SEED);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(p.checksum());
+            ms
+        })
+        .fold(f64::INFINITY, f64::min);
+    let mut artifact_wins = true;
+    let artifact_load_ms = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            let loaded = gcd2::artifact::decode(&bytes).expect("decode artifact");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            artifact_wins &= loaded.plan.checksum() == plan.checksum();
+            ms
+        })
+        .fold(f64::INFINITY, f64::min);
+    artifact_wins &= artifact_load_ms < compile_plan_ms;
+
     let at4 = threads_ms
         .iter()
         .find(|(n, _)| *n == 4)
@@ -122,6 +159,9 @@ fn bench_model(id: ModelId, iters: usize) -> ModelResult {
         threads_ms,
         speedup_at_4: baseline_serial_ms / at4,
         thread_scaling_at_4: serial_ms / at4,
+        compile_plan_ms,
+        artifact_load_ms,
+        artifact_wins,
         cost_cache,
         cost_cache_warm,
         pack_memo,
@@ -148,6 +188,8 @@ fn model_json(r: &ModelResult) -> String {
          \"bit_identical\": {},\n      \"baseline_serial_ms\": {:.3},\n      \
          \"serial_ms\": {:.3},\n      \"threads_ms\": {{{}}},\n      \
          \"speedup_at_4_vs_baseline\": {:.3},\n      \"thread_scaling_at_4\": {:.3},\n      \
+         \"compile_plan_ms\": {:.3},\n      \"artifact_load_ms\": {:.3},\n      \
+         \"artifact_wins\": {},\n      \
          \"cost_cache\": {},\n      \"cost_cache_warm\": {},\n      \"pack_memo\": {}\n    }}",
         r.name,
         r.ops,
@@ -158,6 +200,9 @@ fn model_json(r: &ModelResult) -> String {
         threads.join(", "),
         r.speedup_at_4,
         r.thread_scaling_at_4,
+        r.compile_plan_ms,
+        r.artifact_load_ms,
+        r.artifact_wins,
         cache_json(&r.cost_cache),
         cache_json(&r.cost_cache_warm),
         cache_json(&r.pack_memo),
@@ -175,8 +220,17 @@ fn main() {
 
     println!("# Compile-time: parallel pipeline + sharded caches vs seed-equivalent serial\n");
     println!(
-        "{:<18} {:>5} {:>12} {:>10} {:>10} {:>10} {:>9} {:>6}",
-        "model", "ops", "baseline ms", "serial ms", "2t ms", "4t ms", "speedup", "ident"
+        "{:<18} {:>5} {:>12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>9} {:>6}",
+        "model",
+        "ops",
+        "baseline ms",
+        "serial ms",
+        "2t ms",
+        "4t ms",
+        "speedup",
+        "replan ms",
+        "load ms",
+        "ident"
     );
 
     let mut results = Vec::new();
@@ -190,7 +244,7 @@ fn main() {
                 .unwrap_or(f64::NAN)
         };
         println!(
-            "{:<18} {:>5} {:>12.2} {:>10.2} {:>10.2} {:>10.2} {:>8.2}x {:>6}",
+            "{:<18} {:>5} {:>12.2} {:>10.2} {:>10.2} {:>10.2} {:>8.2}x {:>10.2} {:>9.2} {:>6}",
             r.name,
             r.ops,
             r.baseline_serial_ms,
@@ -198,7 +252,13 @@ fn main() {
             ms_at(2),
             ms_at(4),
             r.speedup_at_4,
-            if r.bit_identical { "yes" } else { "NO" },
+            r.compile_plan_ms,
+            r.artifact_load_ms,
+            if r.bit_identical && r.artifact_wins {
+                "yes"
+            } else {
+                "NO"
+            },
         );
         results.push(r);
     }
@@ -215,6 +275,10 @@ fn main() {
 
     if results.iter().any(|r| !r.bit_identical) {
         eprintln!("ERROR: some configuration diverged from the serial reference output");
+        std::process::exit(1);
+    }
+    if results.iter().any(|r| !r.artifact_wins) {
+        eprintln!("ERROR: artifact load failed to beat recompile (or decoded non-identically)");
         std::process::exit(1);
     }
 }

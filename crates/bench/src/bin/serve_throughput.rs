@@ -22,8 +22,13 @@
 //! Per mode the JSON also records the gateway's own telemetry: batches
 //! dispatched, the largest coalesced batch, and the p50/p99 bucket
 //! bounds for queue wait and batch execution from [`gcd2::ModelStats`].
-//! Results go to `BENCH_serve.json`; `--smoke` runs one small model
-//! with a short stream (for CI).
+//!
+//! Worker counts are chosen from the host: with ≥4 cores each model is
+//! benched at 2 and 4 workers, with ≥2 cores at 2 workers, and only a
+//! single-core host falls back to the 1-worker regime — so the recorded
+//! ratios reflect real multi-worker contention whenever the machine can
+//! express it. Results go to `BENCH_serve.json`; `--smoke` runs one
+//! small model with a short stream (for CI).
 
 use gcd2::{Compiler, ExecOptions, GatewayConfig, InferError, InferServer, ModelStats};
 use gcd2_models::ModelId;
@@ -242,6 +247,25 @@ fn model_json(r: &ModelResult) -> String {
     )
 }
 
+/// The worker counts worth measuring on this host: multi-worker regimes
+/// whenever the core count allows it, the 1-worker regime only as a
+/// last resort. Detected cores are capped by `gcd2_par::default_threads`
+/// so `GCD2_THREADS`-style pinning still constrains the bench.
+fn worker_counts() -> (usize, Vec<usize>) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(gcd2_par::default_threads().max(1));
+    let counts = if cores >= 4 {
+        vec![2, 4]
+    } else if cores >= 2 {
+        vec![2]
+    } else {
+        vec![1]
+    };
+    (cores, counts)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
@@ -250,12 +274,12 @@ fn main() {
     } else {
         SERVE_MODELS.to_vec()
     };
-    let workers = gcd2_par::default_threads().max(1);
+    let (cores, counts) = worker_counts();
 
     println!("# Serving-gateway throughput: dynamic batching on vs off, equal workers\n");
     println!(
-        "workers: {workers}, pipeline: {PIPELINE} in flight, on = max_batch {MAX_BATCH} / \
-         max_wait {MAX_WAIT:?}, off = max_batch 1\n"
+        "cores: {cores}, worker counts: {counts:?}, pipeline: {PIPELINE} in flight, \
+         on = max_batch {MAX_BATCH} / max_wait {MAX_WAIT:?}, off = max_batch 1\n"
     );
     println!(
         "{:<18} {:>5} {:>8} {:>5} {:>10} {:>10} {:>8} {:>8} {:>12} {:>12} {:>8} {:>6}",
@@ -275,31 +299,35 @@ fn main() {
 
     let mut results = Vec::new();
     for id in models {
-        let r = bench_model(id, workers, smoke);
-        println!(
-            "{:<18} {:>5} {:>8.2} {:>5} {:>10.1} {:>10.1} {:>7.2}x {:>8} {:>10}µs {:>10}µs {:>8} {:>6}",
-            r.name,
-            r.requests,
-            r.gemm_macs as f64 / 1e9,
-            r.workers,
-            r.off.inf_per_s,
-            r.on.inf_per_s,
-            r.batch_speedup,
-            r.on.batches,
-            r.on.queue_p99_us,
-            r.on.exec_p99_us,
-            r.on.largest_batch,
-            if r.bit_identical { "yes" } else { "NO" },
-        );
-        results.push(r);
+        for &workers in &counts {
+            let r = bench_model(id, workers, smoke);
+            println!(
+                "{:<18} {:>5} {:>8.2} {:>5} {:>10.1} {:>10.1} {:>7.2}x {:>8} {:>10}µs {:>10}µs {:>8} {:>6}",
+                r.name,
+                r.requests,
+                r.gemm_macs as f64 / 1e9,
+                r.workers,
+                r.off.inf_per_s,
+                r.on.inf_per_s,
+                r.batch_speedup,
+                r.on.batches,
+                r.on.queue_p99_us,
+                r.on.exec_p99_us,
+                r.on.largest_batch,
+                if r.bit_identical { "yes" } else { "NO" },
+            );
+            results.push(r);
+        }
     }
 
     let rows: Vec<String> = results.iter().map(model_json).collect();
+    let counts_json: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
     let json = format!(
         "{{\n  \"benchmark\": \"serve_throughput\",\n  \"baseline\": \"same gateway, same worker \
          count, max_batch = 1 (every request single-shot)\",\n  \"seed\": {SEED},\n  \
-         \"workers\": {workers},\n  \"pipeline\": {PIPELINE},\n  \"max_batch\": {MAX_BATCH},\n  \
-         \"max_wait_us\": {},\n  \"models\": [\n{}\n  ]\n}}\n",
+         \"cores\": {cores},\n  \"worker_counts\": [{}],\n  \"pipeline\": {PIPELINE},\n  \
+         \"max_batch\": {MAX_BATCH},\n  \"max_wait_us\": {},\n  \"models\": [\n{}\n  ]\n}}\n",
+        counts_json.join(", "),
         MAX_WAIT.as_micros(),
         rows.join(",\n")
     );

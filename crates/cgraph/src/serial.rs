@@ -13,18 +13,26 @@ use crate::shape::TShape;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-/// A serialization/parse failure.
+/// A serialization/parse failure, located down to the byte.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseGraphError {
     /// 1-based line number.
     pub line: usize,
+    /// Byte offset of the offending token from the start of the input
+    /// text (the start of the line's content when no single token is to
+    /// blame), so tooling can point straight at the defect.
+    pub offset: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseGraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "line {} (byte {}): {}",
+            self.line, self.offset, self.message
+        )
     }
 }
 
@@ -216,14 +224,24 @@ fn parse_kind(tokens: &[&str]) -> Result<OpKind, String> {
     })
 }
 
+/// The byte offset of `tok` within `text`. `tok` must be a subslice of
+/// `text` (every token the parser handles is — `trim`,
+/// `split_whitespace`, and `split_once` all return subslices), which
+/// makes this plain pointer arithmetic on guaranteed-in-bounds
+/// addresses, no `unsafe` involved.
+fn offset_of(text: &str, tok: &str) -> usize {
+    (tok.as_ptr() as usize).saturating_sub(text.as_ptr() as usize)
+}
+
 /// Parses the textual form back into a graph (shapes are re-inferred and
 /// must match what the serializer recorded).
 ///
 /// The text is treated as untrusted: every structural defect — bad
 /// syntax, unknown mnemonics, duplicate or dangling names, operators
 /// whose shapes do not validate — is reported as a [`ParseGraphError`]
-/// with its line number. No input text panics this function; graph
-/// construction goes through [`Graph::try_add`].
+/// carrying its line number and the byte offset of the offending token.
+/// No input text panics this function; graph construction goes through
+/// [`Graph::try_add`].
 pub fn from_text(text: &str) -> Result<Graph, ParseGraphError> {
     let mut graph = Graph::new();
     let mut by_name: HashMap<String, NodeId> = HashMap::new();
@@ -231,10 +249,14 @@ pub fn from_text(text: &str) -> Result<Graph, ParseGraphError> {
         let _ = gcd2_faults::fire("parse.line");
         let line = raw.trim();
         let lineno = idx + 1;
-        let err = |message: String| ParseGraphError {
+        // Errors with no more precise culprit point at the start of the
+        // line's content; `err_at` pins one to a specific token.
+        let err_at = |message: String, tok: &str| ParseGraphError {
             line: lineno,
+            offset: offset_of(text, tok),
             message,
         };
+        let err = |message: String| err_at(message, line);
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
@@ -243,7 +265,7 @@ pub fn from_text(text: &str) -> Result<Graph, ParseGraphError> {
                        id: NodeId|
          -> Result<(), ParseGraphError> {
             if by_name.insert(name.to_string(), id).is_some() {
-                return Err(err(format!("duplicate node name '{name}'")));
+                return Err(err_at(format!("duplicate node name '{name}'"), name));
             }
             Ok(())
         };
@@ -251,13 +273,15 @@ pub fn from_text(text: &str) -> Result<Graph, ParseGraphError> {
             let (name, shape) = rest
                 .split_once(' ')
                 .ok_or_else(|| err("bad input line".into()))?;
-            let id = graph.input(name, parse_shape(shape.trim()).map_err(err)?);
+            let shape = shape.trim();
+            let id = graph.input(name, parse_shape(shape).map_err(|m| err_at(m, shape))?);
             declare(&mut by_name, name, id)?;
         } else if let Some(rest) = line.strip_prefix("const ") {
             let (name, shape) = rest
                 .split_once(' ')
                 .ok_or_else(|| err("bad const line".into()))?;
-            let id = graph.constant(name, parse_shape(shape.trim()).map_err(err)?);
+            let shape = shape.trim();
+            let id = graph.constant(name, parse_shape(shape).map_err(|m| err_at(m, shape))?);
             declare(&mut by_name, name, id)?;
         } else if let Some(rest) = line.strip_prefix("op ") {
             let (decl, deps) = rest
@@ -266,7 +290,10 @@ pub fn from_text(text: &str) -> Result<Graph, ParseGraphError> {
             let mut tokens = decl.split_whitespace();
             let name = tokens.next().ok_or_else(|| err("missing op name".into()))?;
             let kind_tokens: Vec<&str> = tokens.collect();
-            let kind = parse_kind(&kind_tokens).map_err(err)?;
+            // Kind-parse failures are attributed to the mnemonic token
+            // (the first after the name) when one exists.
+            let kind_tok = kind_tokens.first().copied().unwrap_or(line);
+            let kind = parse_kind(&kind_tokens).map_err(|m| err_at(m, kind_tok))?;
             let inputs: Result<Vec<NodeId>, ParseGraphError> = deps
                 .split(',')
                 .map(str::trim)
@@ -275,12 +302,12 @@ pub fn from_text(text: &str) -> Result<Graph, ParseGraphError> {
                     by_name
                         .get(n)
                         .copied()
-                        .ok_or_else(|| err(format!("unknown input '{n}'")))
+                        .ok_or_else(|| err_at(format!("unknown input '{n}'"), n))
                 })
                 .collect();
             let id = graph
                 .try_add(kind, &inputs?, name)
-                .map_err(|e| err(e.to_string()))?;
+                .map_err(|e| err_at(e.to_string(), name))?;
             declare(&mut by_name, name, id)?;
         } else {
             return Err(err(format!("unrecognized line '{line}'")));
@@ -329,6 +356,48 @@ op pool maxpool k=2x2 s=2x2 <- sum
         let err = from_text("input x [4]\nop x add <- x, x").unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.message.contains("duplicate"));
+    }
+
+    /// The malformed-text corpus: every rejection pinpoints the
+    /// offending token by byte offset, not just by line.
+    #[test]
+    fn errors_carry_byte_offsets() {
+        // Unknown dependency: offset of the first `ghost`.
+        let text = "op a add <- ghost, ghost";
+        let err = from_text(text).unwrap_err();
+        assert_eq!((err.line, err.offset), (1, 12));
+        assert_eq!(&text[err.offset..err.offset + 5], "ghost");
+
+        // Unknown mnemonic on line 2: offset of `warp` in the full text.
+        let text = "input x [4]\nop y warp <- x";
+        let err = from_text(text).unwrap_err();
+        assert_eq!((err.line, err.offset), (2, 17));
+        assert_eq!(&text[err.offset..err.offset + 4], "warp");
+
+        // Duplicate declaration: offset of the *second* `x`.
+        let text = "input x [4]\ninput x [8]";
+        let err = from_text(text).unwrap_err();
+        assert_eq!((err.line, err.offset), (2, 18));
+
+        // Malformed shape token.
+        let text = "input x [4x]";
+        let err = from_text(text).unwrap_err();
+        assert_eq!((err.line, err.offset), (1, 8));
+        assert_eq!(&text[err.offset..], "[4x]");
+
+        // Unrecognized line: offset of its first non-blank byte.
+        let text = "input x [4]\n   junk line";
+        let err = from_text(text).unwrap_err();
+        assert_eq!((err.line, err.offset), (2, 15));
+
+        // Shape-inference rejection is attributed to the op name.
+        let text = "input x [1x3x4x4]\nop c conv2d out=8 k=9x9 s=1x1 p=0x0 <- x";
+        let err = from_text(text).unwrap_err();
+        assert_eq!((err.line, err.offset), (2, 21));
+        assert_eq!(&text[err.offset..err.offset + 1], "c");
+
+        // The Display form carries both coordinates.
+        assert!(err.to_string().starts_with("line 2 (byte 21):"), "{err}");
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! gcd2c ./rn50.gcg                  # compile a graph from a text file
 //! gcd2c tinybert --analyze          # static plan analysis, per-GEMM ranges
 //! gcd2c --analyze                   # analyze every catalog model
+//! gcd2c wdsr-b --emit wdsr.gcd2art  # compile AOT, save the plan artifact
+//! gcd2c --load wdsr.gcd2art         # load + verify + smoke the artifact
+//! gcd2c wdsr-b --cache-dir ~/.cache/gcd2 # warm-startable compile
 //! gcd2c --list
 //! ```
 
@@ -56,6 +59,15 @@ fn usage() -> ExitCode {
            --profile   print the hottest operators by cycle share\n\
            --asm N     dump the first N scheduled blocks as assembly\n\
            --export F  write the model graph as text to file F\n\
+           --emit F    compile ahead of time and write the versioned,\n\
+                       checksummed plan artifact to file F\n\
+           --load F    (as the only mode argument) load a plan artifact,\n\
+                       re-verify every checksum plus arena soundness,\n\
+                       and smoke-execute it; exit 1 with a structured\n\
+                       error on any corruption, skew, or forgery\n\
+           --cache-dir D  content-addressed artifact cache: load the\n\
+                       plan from D when a valid artifact exists, else\n\
+                       compile and store it crash-safely\n\
            --compare   compile under every selection strategy\n\
            --list      list available models"
     );
@@ -85,6 +97,12 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("--analyze") {
         return analyze_catalog();
+    }
+    if args.first().map(String::as_str) == Some("--load") {
+        let Some(path) = args.get(1) else {
+            return usage();
+        };
+        return load_artifact(path);
     }
     let Some(model_name) = args.first() else {
         return usage();
@@ -124,6 +142,8 @@ fn main() -> ExitCode {
     let mut serve_models: Vec<ModelId> = Vec::new();
     let mut asm_blocks = 0usize;
     let mut export: Option<String> = None;
+    let mut emit: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -230,6 +250,16 @@ fn main() -> ExitCode {
                 let Some(v) = args.get(i) else { return usage() };
                 export = Some(v.clone());
             }
+            "--emit" => {
+                i += 1;
+                let Some(v) = args.get(i) else { return usage() };
+                emit = Some(v.clone());
+            }
+            "--cache-dir" => {
+                i += 1;
+                let Some(v) = args.get(i) else { return usage() };
+                cache_dir = Some(v.clone());
+            }
             "--compare" => compare = true,
             _ => return usage(),
         }
@@ -250,6 +280,38 @@ fn main() -> ExitCode {
         }
         println!("exported graph to {path}");
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(dir) = &cache_dir {
+        const SEED: u64 = 0xC0DE;
+        let cache = match gcd2::ArtifactCache::open(dir) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot open artifact cache {dir}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let text = gcd2_cgraph::to_text(&graph);
+        match gcd2::load_or_compile(&compiler, &text, SEED, &cache, model_name) {
+            Ok(cold) => {
+                println!(
+                    "cold start   : {} in {:.2?} (key {})",
+                    match cold.source {
+                        gcd2::ColdStartSource::ArtifactCache => "loaded from artifact cache",
+                        gcd2::ColdStartSource::Compiled => "compiled + stored",
+                    },
+                    cold.elapsed,
+                    cold.key
+                );
+                for f in &cold.fallbacks {
+                    println!("  degraded at {}: {}", f.stage, f.detail);
+                }
+            }
+            Err(e) => {
+                eprintln!("cold start failed: {e}");
+                return ExitCode::from(1);
+            }
+        }
     }
 
     if compare {
@@ -321,6 +383,34 @@ fn main() -> ExitCode {
         "  transforms   : {:.2} % of cycles",
         100.0 * compiled.lowered.transform_cycles() as f64 / compiled.cycles() as f64
     );
+
+    if let Some(path) = emit {
+        const SEED: u64 = 0xC0DE;
+        let plan = match compiled.try_inference_plan(SEED) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("plan construction failed: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let bytes = match gcd2::artifact::encode(&compiled, &plan, model_name) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("artifact encode failed: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        println!(
+            "emitted {path}: {} bytes, integrity {:#018x}",
+            bytes.len(),
+            plan.checksum()
+        );
+        return ExitCode::SUCCESS;
+    }
 
     if analyze {
         const SEED: u64 = 0xC0DE;
@@ -698,6 +788,69 @@ fn analyze_catalog() -> ExitCode {
         return ExitCode::from(1);
     }
     println!("all {} catalog models analyze clean", ModelId::ALL.len());
+    ExitCode::SUCCESS
+}
+
+/// `gcd2c --load FILE`: the cold-start consumer side. Re-verifies the
+/// artifact end to end (container checksums, chain binding, plan
+/// integrity re-hash, graph re-admission, arena-soundness analysis) and
+/// smoke-executes the loaded plan. Any corruption, version skew, or
+/// forgery exits 1 with the structured rejection — never a panic.
+fn load_artifact(path: &str) -> ExitCode {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let t0 = std::time::Instant::now();
+    let loaded = match gcd2::artifact::decode(&bytes) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("artifact rejected: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let decode_wall = t0.elapsed();
+    let analysis = gcd2_analyze::analyze_plan(&loaded.graph, &loaded.plan);
+    println!(
+        "loaded {:?} from {path} in {:.2?}: {} steps, {} slots, {:.1} KiB weights, \
+         {:.3} GMACs, {} tune hints — analyzer {}",
+        loaded.label,
+        decode_wall,
+        loaded.plan.steps(),
+        loaded.plan.slot_count(),
+        loaded.plan.weight_bytes() as f64 / 1024.0,
+        loaded.plan.gemm_macs() as f64 / 1e9,
+        loaded.tune_hints_applied,
+        analysis.verdict()
+    );
+    println!(
+        "  integrity   : {:#018x} (verified)",
+        loaded.plan.checksum()
+    );
+    println!(
+        "  compile stat: {} cycles, {} packets, {} stalls",
+        loaded.stats.cycles, loaded.stats.packets, loaded.stats.stall_cycles
+    );
+    if analysis.verdict() == gcd2::Verdict::Unsound {
+        eprintln!("artifact rejected: plan fails arena-soundness analysis");
+        for d in &analysis.diagnostics {
+            eprintln!("    {d}");
+        }
+        return ExitCode::from(1);
+    }
+    let input: Vec<u8> = (0..loaded.plan.input_len())
+        .map(|i| (i * 7 + 13) as u8 % 16)
+        .collect();
+    let t0 = std::time::Instant::now();
+    let out = loaded.plan.execute(&input);
+    println!(
+        "  smoke run   : {} output bytes in {:.2?}",
+        out.len(),
+        t0.elapsed()
+    );
     ExitCode::SUCCESS
 }
 

@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use gcd2_artifact::ArtifactError;
 use gcd2_cgraph::{GraphBuildError, ParseGraphError};
 use gcd2_codegen::LowerError;
 use gcd2_par::WorkerPanic;
@@ -43,6 +44,10 @@ pub enum Gcd2Error {
     /// Building an [`crate::InferencePlan`] from the compiled model was
     /// rejected by the runtime's own validation.
     Infer(InferError),
+    /// A serialized plan artifact was rejected: container corruption,
+    /// version skew, a bounds violation in a declared length, or an
+    /// integrity-checksum mismatch ([`crate::artifact::decode`]).
+    Artifact(ArtifactError),
 }
 
 impl fmt::Display for Gcd2Error {
@@ -57,6 +62,7 @@ impl fmt::Display for Gcd2Error {
                 write!(f, "internal compiler error (caught panic): {message}")
             }
             Gcd2Error::Infer(e) => write!(f, "inference plan rejected: {e}"),
+            Gcd2Error::Artifact(e) => write!(f, "plan artifact rejected: {e}"),
         }
     }
 }
@@ -71,7 +77,14 @@ impl std::error::Error for Gcd2Error {
             Gcd2Error::Lower(e) => Some(e),
             Gcd2Error::Internal { .. } => None,
             Gcd2Error::Infer(e) => Some(e),
+            Gcd2Error::Artifact(e) => Some(e),
         }
+    }
+}
+
+impl From<ArtifactError> for Gcd2Error {
+    fn from(e: ArtifactError) -> Self {
+        Gcd2Error::Artifact(e)
     }
 }
 
@@ -216,6 +229,11 @@ pub enum InferError {
         /// The analyzer's diagnostics, rendered.
         detail: String,
     },
+    /// A plan artifact handed to the gateway
+    /// ([`crate::InferServer::register_from_artifact`]) was rejected
+    /// before admission: corruption, version skew, bounds violation, or
+    /// integrity mismatch.
+    Artifact(ArtifactError),
 }
 
 impl fmt::Display for InferError {
@@ -263,6 +281,7 @@ impl fmt::Display for InferError {
             InferError::Unsound { detail } => {
                 write!(f, "plan failed static analysis: {detail}")
             }
+            InferError::Artifact(e) => write!(f, "plan artifact rejected: {e}"),
         }
     }
 }
@@ -271,8 +290,15 @@ impl std::error::Error for InferError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             InferError::Worker(e) => Some(e),
+            InferError::Artifact(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ArtifactError> for InferError {
+    fn from(e: ArtifactError) -> Self {
+        InferError::Artifact(e)
     }
 }
 

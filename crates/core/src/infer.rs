@@ -57,7 +57,7 @@ use crate::CompiledModel;
 
 /// How a GEMM step stages its activation matrix from the input slot.
 #[derive(Debug, Clone)]
-enum GemmPrep {
+pub(crate) enum GemmPrep {
     /// The input tensor already is the row-major `m × k` matrix
     /// (MatMul/BatchMatMul) — consumed zero-copy.
     Direct,
@@ -89,7 +89,7 @@ enum GemmPrep {
 /// How the `m × n` GEMM result scatters into the output tensor (the
 /// plan-time image of the interpreter's `gemm_output_to_tensor`).
 #[derive(Debug, Clone, Copy)]
-enum Scatter {
+pub(crate) enum Scatter {
     /// `out[ch·spatial + o] = result[o][ch]` for `o < min(m, spatial)`;
     /// untouched positions stay zero (ConvTranspose upsampling).
     Chw { spatial: usize },
@@ -102,14 +102,14 @@ enum Scatter {
 /// One precompiled GEMM: staged operands, materialized weights, folded
 /// requantization shift.
 #[derive(Debug, Clone)]
-struct GemmStep {
-    prep: GemmPrep,
-    weights: MatrixI8,
-    m: usize,
-    k: usize,
-    n: usize,
-    shift: u8,
-    scatter: Scatter,
+pub(crate) struct GemmStep {
+    pub(crate) prep: GemmPrep,
+    pub(crate) weights: MatrixI8,
+    pub(crate) m: usize,
+    pub(crate) k: usize,
+    pub(crate) n: usize,
+    pub(crate) shift: u8,
+    pub(crate) scatter: Scatter,
 }
 
 /// Below this output-channel count an im2col conv runs the direct
@@ -126,7 +126,7 @@ impl GemmStep {
     /// band kernels. Requires the plain CHW scatter covering exactly the
     /// GEMM rows (ConvTranspose upsampling scatters have `m < spatial`
     /// and stay on the staged path).
-    fn runs_direct_conv(&self) -> bool {
+    pub(crate) fn runs_direct_conv(&self) -> bool {
         matches!(self.prep, GemmPrep::Im2col { .. })
             && self.n < DIRECT_CONV_MAX_N
             && matches!(self.scatter, Scatter::Chw { spatial } if spatial == self.m)
@@ -157,7 +157,7 @@ const STACK_MAX_M: usize = 512;
 
 /// The computation a step performs (dims resolved at build time).
 #[derive(Debug, Clone)]
-enum StepKind {
+pub(crate) enum StepKind {
     Input,
     Constant,
     Gemm(Box<GemmStep>),
@@ -197,32 +197,32 @@ enum StepKind {
 }
 
 #[derive(Debug, Clone)]
-struct Step {
-    node: NodeId,
-    name: String,
-    op: String,
-    kind: StepKind,
-    in_slots: Vec<usize>,
-    out_slot: usize,
-    out_len: usize,
+pub(crate) struct Step {
+    pub(crate) node: NodeId,
+    pub(crate) name: String,
+    pub(crate) op: String,
+    pub(crate) kind: StepKind,
+    pub(crate) in_slots: Vec<usize>,
+    pub(crate) out_slot: usize,
+    pub(crate) out_len: usize,
 }
 
 /// A compiled execution schedule over a dense activation-slot arena.
 /// Built once via [`CompiledModel::inference_plan`]; executed many times.
 #[derive(Debug, Clone)]
 pub struct InferencePlan {
-    steps: Vec<Step>,
-    slot_sizes: Vec<usize>,
-    input_len: usize,
-    output_len: usize,
-    output_slot: usize,
-    seed: u64,
-    weight_bytes: usize,
-    gemm_macs: u64,
+    pub(crate) steps: Vec<Step>,
+    pub(crate) slot_sizes: Vec<usize>,
+    pub(crate) input_len: usize,
+    pub(crate) output_len: usize,
+    pub(crate) output_slot: usize,
+    pub(crate) seed: u64,
+    pub(crate) weight_bytes: usize,
+    pub(crate) gemm_macs: u64,
     /// FNV-1a over the step schedule and materialized weights, computed
     /// once at build; [`InferencePlan::verify_integrity`] re-derives and
     /// compares it.
-    checksum: u64,
+    pub(crate) checksum: u64,
 }
 
 /// Reusable per-worker execution buffers: the activation slots plus the
@@ -923,7 +923,7 @@ impl InferencePlan {
     /// slots, op strings, per-kind parameters) and every materialized
     /// weight byte. Equal to [`InferencePlan::checksum`] unless the plan
     /// has been corrupted since build.
-    fn integrity_checksum(&self) -> u64 {
+    pub(crate) fn integrity_checksum(&self) -> u64 {
         let mut h = Fnv::new();
         h.u64(self.seed);
         h.usize(self.input_len);

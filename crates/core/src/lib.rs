@@ -59,13 +59,18 @@ pub use gcd2_codegen::{LowerError, PackMode as Packing};
 pub use gcd2_globalopt::{CompileBudget, DegradeEvent, DegradeReason, Rung};
 
 pub mod admit;
+pub mod artifact;
 pub mod error;
 pub mod infer;
 pub mod runtime;
 pub mod serve;
 pub use admit::{admit, admit_with, AdmissionError, AdmissionLimits};
+pub use artifact::{
+    load_or_compile, ArtifactStats, ColdStart, ColdStartFallback, ColdStartSource, LoadedArtifact,
+};
 pub use error::{Gcd2Error, InferError};
 pub use gcd2_analyze::{Analysis, Diagnostic, GemmRange, LintCode, RangeReport, Severity, Verdict};
+pub use gcd2_artifact::{ArtifactCache, ArtifactError};
 pub use infer::{
     ArenaPool, ExecOptions, GemmKernelInfo, InferArena, InferReport, InferencePlan, OpTiming,
 };
@@ -171,6 +176,26 @@ impl Compiler {
     /// The number of compilation worker threads this compiler fans out to.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// A stable fingerprint of every knob that can change compiled
+    /// *output* — the artifact cache folds it into its content address
+    /// so two differently configured compilers never share an entry.
+    /// Knobs that are bit-transparent by contract (thread count, the
+    /// packing memo, the cost cache) are deliberately excluded: they
+    /// change compile speed, never output bytes.
+    pub fn options_key(&self) -> String {
+        format!(
+            "sel={:?};pack={:?};lut={};rw={};fb={};ewf={};res={:?};budget={:?}",
+            self.selection,
+            self.packing,
+            self.lut_ops,
+            self.graph_rewrites,
+            self.framework_boundaries,
+            self.elementwise_fusion,
+            self.resource,
+            self.budget,
+        )
     }
 
     /// Enables/disables the structural packing memo (on by default).

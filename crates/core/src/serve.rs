@@ -448,6 +448,39 @@ impl InferServer {
         Ok(checksum)
     }
 
+    /// Registers a model from serialized artifact bytes
+    /// ([`crate::artifact::encode`]), with the full hostile-input
+    /// gauntlet: the bounds-checked artifact decoder (container
+    /// checksums, chain binding, plan integrity re-hash, graph
+    /// re-admission), then the arena-soundness analyzer, then the same
+    /// [`InferServer::register`] admission every plan gets. The
+    /// analyzer pass is what stops a *forged* artifact — internally
+    /// consistent checksums over a malicious schedule — from admitting
+    /// a plan whose slot aliasing would mis-execute.
+    ///
+    /// # Errors
+    /// [`InferError::Artifact`] for container/decode rejections,
+    /// [`InferError::Internal`] for other decode failures (e.g. the
+    /// embedded graph no longer parses or admits),
+    /// [`InferError::Unsound`] if the analyzer rejects the decoded
+    /// plan, plus every [`InferServer::register`] error.
+    pub fn register_from_artifact(&self, name: &str, bytes: &[u8]) -> Result<u64, InferError> {
+        self.check_accepting()?;
+        let loaded = crate::artifact::decode(bytes).map_err(|e| match e {
+            crate::Gcd2Error::Artifact(a) => InferError::Artifact(a),
+            other => InferError::Internal {
+                message: other.to_string(),
+            },
+        })?;
+        let analysis = gcd2_analyze::analyze_plan(&loaded.graph, &loaded.plan);
+        if analysis.verdict() == gcd2_analyze::Verdict::Unsound {
+            return Err(InferError::Unsound {
+                detail: analysis.to_string(),
+            });
+        }
+        self.register(name, loaded.plan)
+    }
+
     /// Atomically replaces `name`'s plan, **keyed by the integrity
     /// checksum**: the swap only applies if the currently registered
     /// plan still hashes to `expected`, so concurrent operators cannot

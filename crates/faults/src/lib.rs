@@ -40,6 +40,9 @@
 //! | `autotune.cache`   | GEMM tile-tuner memo lookup (`gcd2-kernels`)     |
 //! | `serve.batch`      | gateway batch execution (`gcd2::serve`)          |
 //! | `serve.registry`   | gateway model register/swap (`gcd2::serve`)      |
+//! | `artifact.encode`  | artifact container serialization (`gcd2-artifact`)|
+//! | `artifact.decode`  | artifact container decode (`gcd2-artifact`)      |
+//! | `artifact.io`      | artifact cache load/store (`gcd2-artifact`)      |
 
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
@@ -71,8 +74,14 @@ pub const RUNTIME_POINTS: [&str; 6] = [
 /// existed.
 pub const GATEWAY_POINTS: [&str; 2] = ["serve.batch", "serve.registry"];
 
+/// The AOT-artifact fault points ([`FaultPlan::from_seed_artifact`]):
+/// container encode, container decode, and cache filesystem traffic.
+/// Kept out of the earlier families so their chaos gates' fixed seeds
+/// keep producing the plans they always did.
+pub const ARTIFACT_POINTS: [&str; 3] = ["artifact.encode", "artifact.decode", "artifact.io"];
+
 /// Every canonical fault-point name, for plan builders and tests.
-pub const POINTS: [&str; 13] = [
+pub const POINTS: [&str; 16] = [
     "cost.eval",
     "cache.lookup",
     "pack.vliw",
@@ -86,6 +95,9 @@ pub const POINTS: [&str; 13] = [
     "autotune.cache",
     "serve.batch",
     "serve.registry",
+    "artifact.encode",
+    "artifact.decode",
+    "artifact.io",
 ];
 
 /// What an armed fault does when it fires.
@@ -232,6 +244,33 @@ impl FaultPlan {
                 },
             };
             let trigger = 1 + next() % 16;
+            plan = if next().is_multiple_of(4) {
+                plan.sticky(point, kind, trigger)
+            } else {
+                plan.once(point, kind, trigger)
+            };
+        }
+        plan
+    }
+
+    /// [`FaultPlan::from_seed`] for the AOT artifact store: 1–3 faults
+    /// over [`ARTIFACT_POINTS`], panics or short delays, occasionally
+    /// sticky to model a persistently failing disk. Triggers stay in
+    /// the early hits — one `load_or_compile` touches each point only a
+    /// handful of times.
+    pub fn from_seed_artifact(seed: u64) -> Self {
+        let mut next = splitmix64(seed ^ 0x41_52_54_49_46_41_43);
+        let mut plan = FaultPlan::new();
+        let count = 1 + (next() % 3) as usize;
+        for _ in 0..count {
+            let point = ARTIFACT_POINTS[(next() % ARTIFACT_POINTS.len() as u64) as usize];
+            let kind = match next() % 3 {
+                0 | 1 => FaultKind::Panic,
+                _ => FaultKind::Delay {
+                    millis: 1 + next() % 3,
+                },
+            };
+            let trigger = 1 + next() % 8;
             plan = if next().is_multiple_of(4) {
                 plan.sticky(point, kind, trigger)
             } else {
@@ -425,15 +464,52 @@ mod tests {
     #[test]
     fn point_sets_partition_cleanly() {
         assert_eq!(
-            COMPILE_POINTS.len() + RUNTIME_POINTS.len() + GATEWAY_POINTS.len(),
+            COMPILE_POINTS.len()
+                + RUNTIME_POINTS.len()
+                + GATEWAY_POINTS.len()
+                + ARTIFACT_POINTS.len(),
             POINTS.len()
         );
         for p in COMPILE_POINTS
             .iter()
             .chain(RUNTIME_POINTS.iter())
             .chain(GATEWAY_POINTS.iter())
+            .chain(ARTIFACT_POINTS.iter())
         {
             assert!(POINTS.contains(p));
+        }
+    }
+
+    #[test]
+    fn artifact_seeded_plans_are_reproducible_and_scoped() {
+        for seed in [0u64, 7, 2024, u64::MAX] {
+            assert_eq!(
+                FaultPlan::from_seed_artifact(seed),
+                FaultPlan::from_seed_artifact(seed)
+            );
+            let plan = FaultPlan::from_seed_artifact(seed);
+            assert!(!plan.faults().is_empty() && plan.faults().len() <= 3);
+            for f in plan.faults() {
+                assert!(ARTIFACT_POINTS.contains(&f.point.as_str()));
+                assert!(f.trigger >= 1);
+                assert!(
+                    !matches!(f.kind, FaultKind::CorruptCache),
+                    "seeded artifact sweeps stay on crash/latency faults"
+                );
+            }
+        }
+        // A small seed range must reach every artifact point, or the
+        // sweep would leave part of the store unexercised.
+        for point in ARTIFACT_POINTS {
+            assert!(
+                (0..64).any(|s| {
+                    FaultPlan::from_seed_artifact(s)
+                        .faults()
+                        .iter()
+                        .any(|f| f.point == point)
+                }),
+                "no seed in 0..64 reaches {point}"
+            );
         }
     }
 

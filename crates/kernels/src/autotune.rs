@@ -154,6 +154,43 @@ pub fn cached_choice(m: usize, k: usize, n: usize, isa: KernelIsa) -> Option<Ker
     cache().get(&(m, k, n, isa as u8))
 }
 
+/// Tile-plan ceilings a seeded hint must respect; anything beyond the
+/// candidate tables (with headroom for future tables) is rejected as
+/// implausible rather than installed.
+const SEED_MB_MAX: usize = 4096;
+const SEED_KB_MAX: usize = 1 << 20;
+
+/// Installs an externally recorded dispatch decision (e.g. the TUNE
+/// section of a loaded plan artifact) into this process's tuner memo.
+///
+/// Hints are **advisory and validated**: both tiers must be executable
+/// on this CPU, the blocking must be sane, and a shape that was already
+/// probed locally keeps its measured choice (first writer wins — local
+/// timings beat another machine's). Tile choices never change output
+/// bytes, only speed, so a stale or mis-tuned hint is a performance
+/// hazard at worst. Returns whether the hint was installed.
+pub fn seed_choice(
+    m: usize,
+    k: usize,
+    n: usize,
+    dispatch_isa: KernelIsa,
+    choice: KernelChoice,
+) -> bool {
+    if !autotune_enabled() || !dispatch_isa.supported() || !choice.isa.supported() {
+        return false;
+    }
+    let TilePlan { mb, kb } = choice.tiles;
+    if mb == 0 || kb == 0 || mb > SEED_MB_MAX || kb > SEED_KB_MAX {
+        return false;
+    }
+    let key = (m, k, n, dispatch_isa as u8);
+    if cache().get(&key).is_some() {
+        return false;
+    }
+    cache().insert(key, choice);
+    true
+}
+
 /// Hit/miss counters of the tuner cache.
 pub fn tuner_cache_stats() -> CacheStats {
     cache().stats()

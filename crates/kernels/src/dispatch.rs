@@ -84,7 +84,10 @@ impl KernelIsa {
         }
     }
 
-    fn from_u8(v: u8) -> Option<KernelIsa> {
+    /// The tier for a stable `repr(u8)` tag (the inverse of `self as
+    /// u8`), used when tags cross a serialization boundary — e.g. the
+    /// TUNE section of a plan artifact. Unknown tags return `None`.
+    pub fn from_tag(v: u8) -> Option<KernelIsa> {
         match v {
             0 => Some(KernelIsa::Scalar),
             1 => Some(KernelIsa::Avx2),
@@ -291,7 +294,7 @@ pub fn active_isa() -> KernelIsa {
 pub(crate) fn active_table() -> &'static KernelTable {
     let forced = FORCED.load(Ordering::Relaxed);
     if forced != u8::MAX {
-        let isa = KernelIsa::from_u8(forced)
+        let isa = KernelIsa::from_tag(forced)
             .filter(|i| i.supported())
             .unwrap_or(KernelIsa::Scalar);
         return table_for(isa);

@@ -44,7 +44,7 @@ pub mod tiled;
 pub mod unroll;
 
 pub use autotune::{
-    autotune_enabled, cached_choice, tuner_cache_stats, KernelChoice, TilePlan,
+    autotune_enabled, cached_choice, seed_choice, tuner_cache_stats, KernelChoice, TilePlan,
     SCALAR_CANDIDATE_MAX_M, SCALAR_SMALL_M, TUNE_MIN_MACS,
 };
 pub use conv::{

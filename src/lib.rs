@@ -1,6 +1,7 @@
 //! Facade crate: re-exports every GCD2 sub-crate for examples and integration tests.
 pub use gcd2 as compiler;
 pub use gcd2_analyze as analyze;
+pub use gcd2_artifact as artifact;
 pub use gcd2_baselines as baselines;
 pub use gcd2_bench as bench;
 pub use gcd2_cgraph as cgraph;

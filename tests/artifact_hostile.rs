@@ -1,0 +1,211 @@
+//! Checked-in hostile-artifact corpus: every file under
+//! `tests/data/hostile/` is a deliberately damaged variant of the
+//! golden artifact, and `MANIFEST.txt` pins the exact
+//! [`ArtifactError`] variant each one must be rejected with. No
+//! hostile input may panic, allocate unboundedly, or decode to a plan.
+//!
+//! Regenerate (after an intentional format change) with
+//! `GCD2_REGEN_HOSTILE=1 cargo test --test artifact_hostile` — the
+//! corpus derives deterministically from `tests/data/golden.gcd2art`.
+
+use gcd2_repro::artifact::{Artifact, ArtifactError};
+use gcd2_repro::compiler::artifact::decode;
+use gcd2_repro::compiler::Gcd2Error;
+
+const GOLDEN_PATH: &str = "tests/data/golden.gcd2art";
+const HOSTILE_DIR: &str = "tests/data/hostile";
+const MANIFEST: &str = "tests/data/hostile/MANIFEST.txt";
+
+const HEADER_BYTES: usize = 16;
+const TABLE_ENTRY_BYTES: usize = 28;
+
+/// The manifest key for an error variant (payload-independent).
+fn variant_name(e: &ArtifactError) -> &'static str {
+    match e {
+        ArtifactError::BadMagic => "BadMagic",
+        ArtifactError::VersionSkew { .. } => "VersionSkew",
+        ArtifactError::Truncated { .. } => "Truncated",
+        ArtifactError::SectionChecksum { .. } => "SectionChecksum",
+        ArtifactError::Bounds { .. } => "Bounds",
+        ArtifactError::IntegrityMismatch { .. } => "IntegrityMismatch",
+        ArtifactError::Io { .. } => "Io",
+    }
+}
+
+/// Builds the corpus from the golden artifact: each entry is
+/// (filename, damaged bytes).
+fn build_corpus(golden: &[u8]) -> Vec<(String, Vec<u8>)> {
+    let art = Artifact::decode(golden).expect("golden must decode");
+    let count = art.sections.len();
+    let payload_start = HEADER_BYTES + count * TABLE_ENTRY_BYTES;
+
+    let mut corpus: Vec<(String, Vec<u8>)> = Vec::new();
+    let mut push = |name: &str, bytes: Vec<u8>| corpus.push((name.to_string(), bytes));
+
+    // Magic and version damage.
+    let mut b = golden.to_vec();
+    b[0] ^= 0xFF;
+    push("bad_magic.gcd2art", b);
+
+    let mut b = golden.to_vec();
+    b[8..12].copy_from_slice(&99u32.to_le_bytes());
+    push("version_skew.gcd2art", b);
+
+    // Truncation at every section boundary (and mid-table).
+    push(
+        "truncated_header.gcd2art",
+        golden[..HEADER_BYTES - 3].to_vec(),
+    );
+    push(
+        "truncated_table.gcd2art",
+        golden[..HEADER_BYTES + TABLE_ENTRY_BYTES / 2].to_vec(),
+    );
+    let mut cut = payload_start;
+    for (i, sec) in art.sections.iter().enumerate() {
+        cut += sec.bytes.len();
+        // Cutting exactly at the final section's end removes only the
+        // chain trailer; every cut is still a Truncated rejection.
+        push(
+            &format!("truncated_after_sec{i}.gcd2art"),
+            golden[..cut].to_vec(),
+        );
+    }
+
+    // One flipped byte in a stored section checksum (table entry of
+    // section 1, checksum field at entry offset 20).
+    let mut b = golden.to_vec();
+    b[HEADER_BYTES + TABLE_ENTRY_BYTES + 20] ^= 0x10;
+    push("flipped_table_checksum.gcd2art", b);
+
+    // One flipped byte in each section's payload.
+    let mut off = payload_start;
+    for (i, sec) in art.sections.iter().enumerate() {
+        if !sec.bytes.is_empty() {
+            let mut b = golden.to_vec();
+            b[off + sec.bytes.len() / 2] ^= 0x04;
+            push(&format!("flipped_payload_sec{i}.gcd2art"), b);
+        }
+        off += sec.bytes.len();
+    }
+
+    // A declared section length far beyond the buffer (len field at
+    // entry offset 12) — must be refused before any allocation.
+    let mut b = golden.to_vec();
+    let len_at = HEADER_BYTES + 12;
+    b[len_at..len_at + 8].copy_from_slice(&(1u64 << 40).to_le_bytes());
+    push("oversized_len.gcd2art", b);
+
+    // A structurally valid container with zero sections: the plan
+    // decoder must reject it for the missing META section.
+    let mut b = Vec::new();
+    b.extend_from_slice(&golden[..8]);
+    b.extend_from_slice(&1u32.to_le_bytes()); // FORMAT_VERSION
+    b.extend_from_slice(&0u32.to_le_bytes()); // count = 0
+                                              // Chain over (version=1, count=0, bind=0) — wrong bind for any
+                                              // plan, but rejected earlier at the missing-section check.
+    let chain = {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &x in bytes {
+                h ^= x as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(&1u32.to_le_bytes());
+        eat(&0u32.to_le_bytes());
+        eat(&0u64.to_le_bytes());
+        h
+    };
+    b.extend_from_slice(&chain.to_le_bytes());
+    push("zero_sections.gcd2art", b);
+
+    // A flipped byte in the chain trailer: every section checksum still
+    // passes, so this must be caught by the chain↔plan binding.
+    let mut b = golden.to_vec();
+    let n = b.len();
+    b[n - 4] ^= 0x80;
+    push("flipped_chain.gcd2art", b);
+
+    // Trailing junk after the chain trailer.
+    let mut b = golden.to_vec();
+    b.extend_from_slice(b"JUNK");
+    push("trailing_junk.gcd2art", b);
+
+    // An empty file and a lone magic prefix.
+    push("empty.gcd2art", Vec::new());
+    push("magic_only.gcd2art", golden[..8].to_vec());
+
+    corpus
+}
+
+fn expected_variant(bytes: &[u8]) -> &'static str {
+    match decode(bytes) {
+        Ok(_) => panic!("hostile artifact decoded successfully"),
+        Err(Gcd2Error::Artifact(e)) => variant_name(&e),
+        Err(other) => panic!("hostile artifact failed outside the artifact taxonomy: {other}"),
+    }
+}
+
+#[test]
+fn hostile_corpus_is_rejected_with_pinned_variants() {
+    let golden = std::fs::read(GOLDEN_PATH).expect(
+        "missing tests/data/golden.gcd2art; run the roundtrip suite with GCD2_REGEN_GOLDEN=1",
+    );
+
+    if std::env::var("GCD2_REGEN_HOSTILE").is_ok() {
+        std::fs::create_dir_all(HOSTILE_DIR).expect("hostile dir");
+        let corpus = build_corpus(&golden);
+        let mut manifest = String::new();
+        for (name, bytes) in &corpus {
+            std::fs::write(format!("{HOSTILE_DIR}/{name}"), bytes).expect("write hostile");
+            manifest.push_str(&format!("{name}\t{}\n", expected_variant(bytes)));
+        }
+        std::fs::write(MANIFEST, manifest).expect("write manifest");
+    }
+
+    let manifest = std::fs::read_to_string(MANIFEST)
+        .expect("missing hostile MANIFEST.txt; regenerate with GCD2_REGEN_HOSTILE=1");
+    let mut checked = 0;
+    for line in manifest.lines() {
+        let (name, want) = line.split_once('\t').expect("manifest line");
+        let bytes = std::fs::read(format!("{HOSTILE_DIR}/{name}"))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let got = expected_variant(&bytes);
+        assert_eq!(got, want, "{name}: expected {want}, got {got}");
+        checked += 1;
+    }
+    assert!(
+        checked >= 12,
+        "hostile corpus suspiciously small: {checked} files"
+    );
+
+    // The corpus construction itself must stay in sync with the golden
+    // artifact: rebuilding it in memory yields the same rejections.
+    for (name, bytes) in build_corpus(&golden) {
+        let _ = name;
+        let _ = expected_variant(&bytes); // panics if any variant decodes
+    }
+}
+
+/// Exhaustive single-byte-flip sweep over the full golden artifact at
+/// the *plan* decode level: every flip of every byte is either rejected
+/// with a structured error or (never observed, but permitted by the
+/// checksum design at ~2⁻⁶⁴) decodes to a plan whose integrity checksum
+/// still matches — no panic, no silent wrong answer.
+#[test]
+fn every_byte_flip_of_golden_is_structured() {
+    let golden = std::fs::read(GOLDEN_PATH).expect("golden");
+    for i in 0..golden.len() {
+        let mut b = golden.clone();
+        b[i] ^= 0x01;
+        match decode(&b) {
+            Err(_) => {}
+            Ok(loaded) => {
+                loaded
+                    .plan
+                    .verify_integrity()
+                    .unwrap_or_else(|e| panic!("flip at byte {i} decoded inconsistently: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! AOT artifact round-trip guarantees: encode→decode is bit-faithful
+//! (same integrity checksum, same execute output bytes) for every
+//! catalog model and for arbitrary generated graphs; the on-disk cache
+//! degrades, never aborts; and a pinned golden artifact pins the wire
+//! format against silent drift.
+
+use gcd2_repro::cgraph::{to_text, Activation, Graph, NodeId, OpKind, TShape};
+use gcd2_repro::compiler::artifact::{decode, encode, load_or_compile, ColdStartSource};
+use gcd2_repro::compiler::{ArtifactCache, Compiler, Gcd2Error};
+use gcd2_repro::models::ModelId;
+use proptest::prelude::*;
+
+const SEED: u64 = 0xA07_1FAC;
+
+fn sample_input(len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 7 + 3) % 16) as u8).collect()
+}
+
+fn temp_cache(tag: &str) -> ArtifactCache {
+    let dir = std::env::temp_dir().join(format!("gcd2-roundtrip-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    ArtifactCache::open(dir).expect("temp cache dir")
+}
+
+/// Every catalog model round-trips emit→load bit-identically: the
+/// decoded plan carries the same integrity checksum and produces the
+/// same output bytes as the plan that was serialized.
+#[test]
+fn catalog_models_round_trip_bit_identically() {
+    for id in ModelId::ALL {
+        let graph = id.build();
+        let compiled = Compiler::new().compile(&graph);
+        let plan = compiled.inference_plan(SEED);
+        let bytes = encode(&compiled, &plan, &id.to_string()).expect("encode");
+        let loaded = decode(&bytes).unwrap_or_else(|e| panic!("{id}: decode failed: {e}"));
+
+        assert_eq!(
+            loaded.plan.checksum(),
+            plan.checksum(),
+            "{id}: checksum drift"
+        );
+        assert_eq!(loaded.label, id.to_string());
+        assert_eq!(loaded.seed, SEED);
+        assert_eq!(
+            loaded.stats.cycles,
+            compiled.stats().cycles,
+            "{id}: stats drift"
+        );
+
+        let input = sample_input(plan.input_len());
+        assert_eq!(
+            loaded.plan.execute(&input),
+            plan.execute(&input),
+            "{id}: loaded plan output differs"
+        );
+    }
+}
+
+/// Re-encoding a decoded artifact reproduces the original bytes
+/// whenever the tuner memo is unchanged between the two encodes — the
+/// codec adds or loses nothing. (Run on a below-tune-threshold model so
+/// the TUNE section is deterministically empty.)
+#[test]
+fn reencode_of_decoded_artifact_is_byte_identical() {
+    let graph = golden_graph();
+    let compiled = Compiler::new().compile(&graph);
+    let plan = compiled.inference_plan(SEED);
+    let bytes = encode(&compiled, &plan, "golden").expect("encode");
+    let loaded = decode(&bytes).expect("decode");
+    let again = encode(&compiled, &loaded.plan, "golden").expect("re-encode");
+    assert_eq!(bytes, again);
+}
+
+/// Arbitrary small graphs (same generator family as the compiler fuzz
+/// suite) round-trip with identical checksums and output bytes.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        proptest::collection::vec((0u8..6, any::<bool>()), 2..8),
+        16usize..40,
+    )
+        .prop_map(|(ops, ch)| {
+            let mut g = Graph::new();
+            let mut cur = g.input("x", TShape::nchw(1, ch, 14, 14));
+            let mut same_shape: Vec<NodeId> = Vec::new();
+            for (i, (kind, residual)) in ops.into_iter().enumerate() {
+                cur = match kind {
+                    0 => g.add(
+                        OpKind::Conv2d {
+                            out_channels: ch,
+                            kernel: (3, 3),
+                            stride: (1, 1),
+                            padding: (1, 1),
+                        },
+                        &[cur],
+                        format!("conv{i}"),
+                    ),
+                    1 => g.add(
+                        OpKind::Conv2d {
+                            out_channels: ch,
+                            kernel: (1, 1),
+                            stride: (1, 1),
+                            padding: (0, 0),
+                        },
+                        &[cur],
+                        format!("pw{i}"),
+                    ),
+                    2 => g.add(
+                        OpKind::DepthwiseConv2d {
+                            kernel: (3, 3),
+                            stride: (1, 1),
+                            padding: (1, 1),
+                        },
+                        &[cur],
+                        format!("dw{i}"),
+                    ),
+                    3 => g.add(OpKind::Act(Activation::Relu), &[cur], format!("act{i}")),
+                    4 => g.add(OpKind::Act(Activation::HardSwish), &[cur], format!("hs{i}")),
+                    _ => {
+                        if residual && !same_shape.is_empty() {
+                            let other = same_shape[same_shape.len() / 2];
+                            g.add(OpKind::Add, &[cur, other], format!("add{i}"))
+                        } else {
+                            g.add(OpKind::Add, &[cur, cur], format!("self_add{i}"))
+                        }
+                    }
+                };
+                same_shape.push(cur);
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn arbitrary_plans_round_trip(graph in arb_graph()) {
+        let compiled = Compiler::new().compile(&graph);
+        let plan = compiled.inference_plan(SEED);
+        let bytes = encode(&compiled, &plan, "fuzz").expect("encode");
+        let loaded = decode(&bytes).expect("decode");
+        prop_assert_eq!(loaded.plan.checksum(), plan.checksum());
+        let input = sample_input(plan.input_len());
+        prop_assert_eq!(loaded.plan.execute(&input), plan.execute(&input));
+    }
+}
+
+/// The pinned golden model: small enough that every GEMM sits far below
+/// the autotune threshold, so the TUNE section is deterministically
+/// empty and the emitted bytes are stable across machines, thread
+/// counts, and process history.
+fn golden_graph() -> Graph {
+    let mut g = Graph::new();
+    let x = g.input("x", TShape::nchw(1, 5, 6, 6));
+    let c1 = g.add(
+        OpKind::Conv2d {
+            out_channels: 5,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        },
+        &[x],
+        "c1",
+    );
+    let a1 = g.add(OpKind::Act(Activation::Relu), &[c1], "a1");
+    let d1 = g.add(
+        OpKind::DepthwiseConv2d {
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        },
+        &[a1],
+        "d1",
+    );
+    g.add(OpKind::Add, &[d1, a1], "res");
+    g
+}
+
+const GOLDEN_PATH: &str = "tests/data/golden.gcd2art";
+
+/// Format-drift tripwire: the golden model must emit byte-for-byte the
+/// checked-in artifact. Any codec change that shifts the wire format —
+/// intentional or not — trips this; intentional changes regenerate with
+/// `GCD2_REGEN_GOLDEN=1 cargo test --test artifact_roundtrip` and bump
+/// the container format version.
+#[test]
+fn golden_artifact_is_byte_stable() {
+    let graph = golden_graph();
+    let compiled = Compiler::new().compile(&graph);
+    let plan = compiled.inference_plan(SEED);
+    let bytes = encode(&compiled, &plan, "golden").expect("encode");
+
+    if std::env::var("GCD2_REGEN_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &bytes).expect("write golden");
+    }
+    let pinned = std::fs::read(GOLDEN_PATH)
+        .expect("missing tests/data/golden.gcd2art; regenerate with GCD2_REGEN_GOLDEN=1");
+    assert_eq!(
+        bytes, pinned,
+        "artifact wire format drifted from the pinned golden"
+    );
+
+    // And the pinned file itself loads and executes like a fresh compile.
+    let loaded = decode(&pinned).expect("golden decode");
+    assert_eq!(loaded.plan.checksum(), plan.checksum());
+    let input = sample_input(plan.input_len());
+    assert_eq!(loaded.plan.execute(&input), plan.execute(&input));
+}
+
+/// `load_or_compile` cold→warm: the first call compiles and stores, the
+/// second loads the artifact and yields a bit-identical plan.
+#[test]
+fn load_or_compile_warm_start_is_bit_identical() {
+    let cache = temp_cache("warm");
+    let graph = golden_graph();
+    let text = to_text(&graph);
+    let compiler = Compiler::new();
+
+    let cold = load_or_compile(&compiler, &text, SEED, &cache, "golden").expect("cold");
+    assert_eq!(cold.source, ColdStartSource::Compiled);
+    assert!(cold.fallbacks.is_empty(), "{:?}", cold.fallbacks);
+
+    let warm = load_or_compile(&compiler, &text, SEED, &cache, "golden").expect("warm");
+    assert_eq!(warm.source, ColdStartSource::ArtifactCache);
+    assert!(warm.fallbacks.is_empty(), "{:?}", warm.fallbacks);
+    assert_eq!(warm.plan.checksum(), cold.plan.checksum());
+    let input = sample_input(cold.plan.input_len());
+    assert_eq!(warm.plan.execute(&input), cold.plan.execute(&input));
+}
+
+/// A corrupted cache entry degrades to a recorded fallback compile —
+/// never an error, never a wrong plan — and the rebuild heals the cache.
+#[test]
+fn corrupted_cache_entry_degrades_to_compile_and_heals() {
+    let cache = temp_cache("heal");
+    let graph = golden_graph();
+    let text = to_text(&graph);
+    let compiler = Compiler::new();
+
+    let cold = load_or_compile(&compiler, &text, SEED, &cache, "golden").expect("cold");
+    let path = cache.path_for(&cold.key);
+    let mut bytes = std::fs::read(&path).expect("stored artifact");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("corrupt");
+
+    let healed = load_or_compile(&compiler, &text, SEED, &cache, "golden").expect("degrade");
+    assert_eq!(healed.source, ColdStartSource::Compiled);
+    assert_eq!(
+        healed.fallbacks.iter().map(|f| f.stage).collect::<Vec<_>>(),
+        vec!["decode"],
+        "{:?}",
+        healed.fallbacks
+    );
+    assert_eq!(healed.plan.checksum(), cold.plan.checksum());
+
+    // The rebuild re-stored a valid artifact: next start is warm again.
+    let warm = load_or_compile(&compiler, &text, SEED, &cache, "golden").expect("warm");
+    assert_eq!(warm.source, ColdStartSource::ArtifactCache);
+}
+
+/// Unparsable graph text fails compilation with a structured parse
+/// error even when the cache directory is present — the cache never
+/// masks a compile failure.
+#[test]
+fn load_or_compile_surfaces_parse_errors() {
+    let cache = temp_cache("parse");
+    let err = load_or_compile(&Compiler::new(), "not a graph\n", SEED, &cache, "bad")
+        .expect_err("must fail");
+    assert!(matches!(err, Gcd2Error::Parse(_)), "{err}");
+}
+
+/// A forged artifact that passes every checksum still cannot register
+/// an aliasing-unsound plan: the gateway re-runs the arena-soundness
+/// analyzer on decode. (Integrity checksums bind content, not safety.)
+#[test]
+fn gateway_registers_from_artifact_and_reverifies() {
+    use gcd2_repro::compiler::{GatewayConfig, InferServer};
+
+    let graph = golden_graph();
+    let compiled = Compiler::new().compile(&graph);
+    let plan = compiled.inference_plan(SEED);
+    let bytes = encode(&compiled, &plan, "golden").expect("encode");
+
+    let server = InferServer::gateway(GatewayConfig::default());
+    let checksum = server
+        .register_from_artifact("golden", &bytes)
+        .expect("admit");
+    assert_eq!(checksum, plan.checksum());
+
+    // Corrupt bytes are rejected with a structured artifact error.
+    let mut bad = bytes.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x01;
+    let err = server
+        .register_from_artifact("golden2", &bad)
+        .expect_err("must reject");
+    assert!(
+        matches!(err, gcd2_repro::compiler::InferError::Artifact(_)),
+        "{err}"
+    );
+}
