@@ -45,6 +45,13 @@ echo "==> gateway chaos suite (fault injection, two fixed fault seeds)"
 GCD2_GW_CHAOS_SEED=2024 cargo test -q --features fault-injection --test gateway_chaos
 GCD2_GW_CHAOS_SEED=7 cargo test -q --features fault-injection --test gateway_chaos
 
+echo "==> supervisor chaos suite (fault injection, two fixed fault seeds)"
+GCD2_SUP_CHAOS_SEED=2024 cargo test -q --features fault-injection --test supervisor_chaos
+GCD2_SUP_CHAOS_SEED=7 cargo test -q --features fault-injection --test supervisor_chaos
+
+echo "==> circuit-breaker property suite (reference-model equivalence)"
+cargo test -q --test breaker_property
+
 echo "==> artifact chaos suite (fault injection, two fixed fault seeds)"
 GCD2_ART_CHAOS_SEED=2024 cargo test -q --features fault-injection --test artifact_chaos
 GCD2_ART_CHAOS_SEED=7 cargo test -q --features fault-injection --test artifact_chaos

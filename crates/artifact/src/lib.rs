@@ -763,8 +763,27 @@ impl ArtifactCache {
 
     /// Tries to take the per-key advisory build lock. `None` means
     /// another live process holds it (a lock older than
-    /// [`STALE_TEMP_AGE`] is presumed crashed and is stolen).
+    /// [`STALE_TEMP_AGE`] is presumed crashed and is reclaimed).
     pub fn try_lock(&self, key: &str) -> Option<CacheLock> {
+        self.try_lock_with_age(key, STALE_TEMP_AGE)
+    }
+
+    /// [`ArtifactCache::try_lock`] with an explicit staleness age —
+    /// chaos tests shorten it to exercise crashed-holder reclamation
+    /// without hour-long sleeps.
+    ///
+    /// Reclamation is a two-step atomic takeover. A stale lock is never
+    /// deleted in place: the contender `rename`s it to a per-process
+    /// steal name first, so exactly one of any number of concurrent
+    /// contenders wins the rename (the losers' renames fail and they
+    /// fall back to the `create_new` race). Because `rename` preserves
+    /// the mtime, the winner re-checks staleness *after* the rename —
+    /// if the file at the lock path had been released and re-created by
+    /// a live holder between the check and the steal, the yanked lock
+    /// is fresh, and it is renamed straight back. The old
+    /// check-then-delete protocol could delete a fresh lock a faster
+    /// contender had just created, electing two builders.
+    pub fn try_lock_with_age(&self, key: &str, stale_age: Duration) -> Option<CacheLock> {
         let path = self.dir.join(format!("{key}{LOCK_SUFFIX}"));
         for _ in 0..2 {
             match fs::OpenOptions::new()
@@ -777,10 +796,28 @@ impl ArtifactCache {
                     return Some(CacheLock { path });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    if file_older_than(&path, STALE_TEMP_AGE) {
-                        let _ = fs::remove_file(&path);
-                        continue; // retry the create_new race once
+                    if !file_older_than(&path, stale_age) {
+                        return None;
                     }
+                    let steal = self
+                        .dir
+                        .join(format!("{TEMP_PREFIX}{key}.{}.steal", std::process::id()));
+                    if fs::rename(&path, &steal).is_err() {
+                        // Lost the steal race (or the holder released
+                        // meanwhile): compete in create_new once more.
+                        continue;
+                    }
+                    if file_older_than(&steal, stale_age) {
+                        // Confirmed crashed holder: discard its lock
+                        // (ours alone — the steal name is per-process)
+                        // and race for the now-free key.
+                        let _ = fs::remove_file(&steal);
+                        continue;
+                    }
+                    // The lock we yanked is fresh — it was re-acquired
+                    // between the staleness check and the rename. Put
+                    // it back and report the key as held.
+                    let _ = fs::rename(&steal, &path);
                     return None;
                 }
                 Err(_) => return None,

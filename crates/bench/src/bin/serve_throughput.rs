@@ -67,6 +67,33 @@ struct ModeResult {
     queue_p99_us: u128,
     exec_p50_us: u128,
     exec_p99_us: u128,
+    supervision: SupervisionCounters,
+}
+
+/// The self-healing layer's event counters for one gateway run. The
+/// bench runs without fault injection, so every field must stay zero —
+/// a nonzero count means the supervisor intervened in healthy traffic
+/// (spurious hang verdicts, breaker trips, phantom retries) and the
+/// throughput numbers above are not measuring what they claim.
+#[derive(Default)]
+struct SupervisionCounters {
+    hung: u64,
+    workers_replaced: u64,
+    retries: u64,
+    demotions: u64,
+    breaker_rejected: u64,
+    abandoned: u64,
+}
+
+impl SupervisionCounters {
+    fn total(&self) -> u64 {
+        self.hung
+            + self.workers_replaced
+            + self.retries
+            + self.demotions
+            + self.breaker_rejected
+            + self.abandoned
+    }
 }
 
 struct ModelResult {
@@ -144,10 +171,11 @@ fn run_mode(
         max_batch,
         max_wait,
         opts: ExecOptions::default(),
+        ..GatewayConfig::default()
     });
     server.register(name, plan.clone()).expect("register");
     let (wall, outputs, stats) = drive(&server, name, inputs);
-    server.shutdown();
+    let totals = server.shutdown();
     *bit_identical &= outputs == expected;
     let wall_ms = wall.as_secs_f64() * 1e3;
     ModeResult {
@@ -159,6 +187,14 @@ fn run_mode(
         queue_p99_us: stats.queue_wait.p99.as_micros(),
         exec_p50_us: stats.execute.p50.as_micros(),
         exec_p99_us: stats.execute.p99.as_micros(),
+        supervision: SupervisionCounters {
+            hung: totals.hung,
+            workers_replaced: totals.workers_replaced,
+            retries: totals.retries,
+            demotions: totals.demotions,
+            breaker_rejected: totals.breaker_rejected,
+            abandoned: totals.abandoned,
+        },
     }
 }
 
@@ -218,7 +254,9 @@ fn mode_json(m: &ModeResult) -> String {
     format!(
         "{{\"wall_ms\": {:.3}, \"inf_per_s\": {:.2}, \"batches\": {}, \
          \"largest_batch\": {}, \"queue_p50_us\": {}, \"queue_p99_us\": {}, \
-         \"exec_p50_us\": {}, \"exec_p99_us\": {}}}",
+         \"exec_p50_us\": {}, \"exec_p99_us\": {}, \"hung\": {}, \
+         \"workers_replaced\": {}, \"retries\": {}, \"demotions\": {}, \
+         \"breaker_rejected\": {}, \"abandoned\": {}}}",
         m.wall_ms,
         m.inf_per_s,
         m.batches,
@@ -227,6 +265,12 @@ fn mode_json(m: &ModeResult) -> String {
         m.queue_p99_us,
         m.exec_p50_us,
         m.exec_p99_us,
+        m.supervision.hung,
+        m.supervision.workers_replaced,
+        m.supervision.retries,
+        m.supervision.demotions,
+        m.supervision.breaker_rejected,
+        m.supervision.abandoned,
     )
 }
 
@@ -338,4 +382,16 @@ fn main() {
         eprintln!("ERROR: a gateway output diverged from InferencePlan::execute");
         std::process::exit(1);
     }
+    // No faults are armed in this benchmark, so the self-healing layer
+    // must have been invisible: zero hangs, retries, breaker rejections,
+    // demotions, replacements, and abandoned tickets across every run.
+    let spurious: u64 = results
+        .iter()
+        .map(|r| r.off.supervision.total() + r.on.supervision.total())
+        .sum();
+    if spurious != 0 {
+        eprintln!("ERROR: supervisor intervened {spurious} time(s) in a fault-free benchmark run");
+        std::process::exit(1);
+    }
+    println!("supervision clean: zero self-healing events across all fault-free runs");
 }

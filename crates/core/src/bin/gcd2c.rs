@@ -570,6 +570,7 @@ fn main() -> ExitCode {
                 max_batch,
                 max_wait: std::time::Duration::from_micros(max_wait_us),
                 opts: gcd2::ExecOptions::default(),
+                ..gcd2::GatewayConfig::default()
             });
             // The registry: the compiled model, plus any --serve-models
             // catalog extras, with --serve traffic spread round-robin.
@@ -635,6 +636,7 @@ fn main() -> ExitCode {
             }
             let wall = t0.elapsed();
             let model_stats = server.all_model_stats();
+            let health = server.health();
             let stats = server.shutdown();
             let mut divergent = 0usize;
             for ((which, input), out) in requests.iter().zip(&outputs) {
@@ -678,6 +680,28 @@ fn main() -> ExitCode {
                     m.execute.p50,
                     m.execute.p99
                 );
+            }
+            let wedged = health.workers.iter().filter(|w| w.wedged).count();
+            println!(
+                "  health: {} worker{} ({wedged} wedged, {} replaced) | breakers {} \
+                 | {} hung / {} retries / {} demotions / {} breaker-shed / {} abandoned",
+                health.workers.len(),
+                if health.workers.len() == 1 { "" } else { "s" },
+                health.workers_replaced,
+                health
+                    .breakers
+                    .iter()
+                    .map(|b| format!("{}={}", truncate(&b.model, 12), b.state))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                health.hung,
+                health.retries,
+                health.demotions,
+                health.breaker_rejected,
+                health.abandoned
+            );
+            for (seq, event) in &health.events {
+                println!("    health[{seq}] {event}");
             }
             println!(
                 "  bit-identical: {}",

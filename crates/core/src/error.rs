@@ -185,6 +185,33 @@ pub enum InferError {
     /// A batch worker panicked on this item and the serial retry
     /// panicked again — a persistent per-item fault.
     Worker(WorkerPanic),
+    /// The gateway watchdog declared the worker executing this request
+    /// wedged: its batch exceeded the configured hang deadline, so the
+    /// ticket was answered with this error and a replacement worker was
+    /// spawned. The request may still be computing on the wedged thread,
+    /// but its result will be discarded.
+    Hung {
+        /// The model whose batch hung.
+        model: String,
+        /// How long the batch had been executing when the watchdog
+        /// declared it wedged.
+        elapsed: std::time::Duration,
+        /// The configured hang deadline it exceeded.
+        deadline: std::time::Duration,
+    },
+    /// The model's circuit breaker is Open: its recent error rate
+    /// crossed the configured threshold, so the gateway sheds this
+    /// request *before* queueing it (cheaper than [`InferError::Shed`]
+    /// — no queue slot, no scheduler wakeup, no ticket channel traffic).
+    /// Retry after `retry_after`; by then the breaker will be probing
+    /// HalfOpen.
+    BreakerOpen {
+        /// The model whose breaker is open.
+        model: String,
+        /// Time until the breaker's cooldown elapses and HalfOpen
+        /// probes begin admitting requests.
+        retry_after: std::time::Duration,
+    },
     /// The serving queue was full; the request was rejected for
     /// backpressure and can be retried.
     QueueFull {
@@ -261,6 +288,18 @@ impl fmt::Display for InferError {
                 "execution abandoned after {elapsed:?} (deadline {deadline:?})"
             ),
             InferError::Worker(e) => write!(f, "batch worker failed: {e}"),
+            InferError::Hung {
+                model,
+                elapsed,
+                deadline,
+            } => write!(
+                f,
+                "worker hung on model {model:?}: batch ran {elapsed:?} past its {deadline:?} hang deadline; worker replaced"
+            ),
+            InferError::BreakerOpen { model, retry_after } => write!(
+                f,
+                "circuit breaker open for model {model:?}; retry in {retry_after:?}"
+            ),
             InferError::QueueFull { capacity } => {
                 write!(f, "serving queue full ({capacity} slots); retry later")
             }

@@ -335,6 +335,14 @@ pub struct ExecOptions {
     /// parallelism levels don't oversubscribe the machine. Output bytes
     /// are identical for every budget.
     pub intra_op_threads: Option<usize>,
+    /// Pin every GEMM dispatch of this execution to the scalar oracle
+    /// tier ([`gcd2_kernels::pin_scalar`], a thread-scoped pin — other
+    /// executions keep their vector tiers). This is the gateway's
+    /// fault-triggered ISA demotion lever: after repeated
+    /// kernel-attributed faults on a model, its batches run quarantined
+    /// on the always-correct scalar path. All tiers are bit-identical,
+    /// so forcing scalar can never change output bytes — only speed.
+    pub force_scalar: bool,
 }
 
 /// Incremental FNV-1a (64-bit), the checksum primitive of plan
@@ -1309,6 +1317,11 @@ impl InferencePlan {
             return Vec::new();
         }
         let _ = gcd2_faults::fire("infer.batch");
+        // The pin is thread-local and every GEMM table in this body is
+        // resolved on the calling thread (band fan-out receives the
+        // already-resolved table), so the guard quarantines exactly
+        // this batch.
+        let _scalar_pin = opts.force_scalar.then(gcd2_kernels::pin_scalar);
         if opts.paranoid {
             if let Err(e) = self.verify_integrity() {
                 return (0..b).map(|_| Err(e.clone())).collect();
@@ -1475,6 +1488,9 @@ impl InferencePlan {
             });
         }
         self.adopt_arena(arena)?;
+        // Thread-scoped ISA demotion (see `ExecOptions::force_scalar`);
+        // dropped when this execution returns.
+        let _scalar_pin = opts.force_scalar.then(gcd2_kernels::pin_scalar);
         if opts.paranoid {
             self.verify_integrity()?;
         }

@@ -64,6 +64,7 @@ pub mod error;
 pub mod infer;
 pub mod runtime;
 pub mod serve;
+pub mod supervise;
 pub use admit::{admit, admit_with, AdmissionError, AdmissionLimits};
 pub use artifact::{
     load_or_compile, ArtifactStats, ColdStart, ColdStartFallback, ColdStartSource, LoadedArtifact,
@@ -76,8 +77,12 @@ pub use infer::{
 };
 pub use runtime::{execute_on_dsp, execute_reference, execute_reference_naive};
 pub use serve::{
-    GatewayConfig, InferServer, InferTicket, LatencyHistogram, LatencySummary, ModelStats,
-    ServerStats, DEFAULT_MODEL,
+    BreakerHealth, GatewayConfig, GatewayHealth, InferServer, InferTicket, LatencyHistogram,
+    LatencySummary, ModelStats, ServerStats, WorkerHealth, DEFAULT_MODEL,
+};
+pub use supervise::{
+    counts_as_fault, kernel_attributed, retry_backoff, Admission, BreakerConfig, BreakerState,
+    CircuitBreaker, HealthEvent, HealthLog, SupervisorConfig,
 };
 
 /// Layout/instruction selection strategies (Figure 10's competitors).

@@ -35,10 +35,41 @@
 //! *that batch* with a structured error, and the worker lives on.
 //! `gcd2c --serve` smokes this end to end against the single-shot
 //! path, and the `serve_throughput` bench measures the batching win.
+//!
+//! On top of that sits the **self-healing supervision layer**
+//! (DESIGN.md §6h), four cooperating mechanisms built from the pure
+//! state machines in [`crate::supervise`]:
+//!
+//! * a **watchdog thread**: workers stamp a heartbeat before every
+//!   batch dispatch; a batch that overruns
+//!   [`SupervisorConfig::hang_deadline`] gets its worker marked wedged,
+//!   its tickets answered with [`InferError::Hung`], and a replacement
+//!   worker spawned — capacity never shrinks, and a wedged thread is
+//!   *detached*, never joined, so shutdown cannot block on it;
+//! * a **per-model circuit breaker** ([`CircuitBreaker`]): a sliding
+//!   error-rate window drives Closed→Open→HalfOpen; Open sheds at
+//!   submission with [`InferError::BreakerOpen`] (strictly cheaper than
+//!   queueing), HalfOpen admits a bounded number of probes and closes
+//!   only when they succeed;
+//! * **bounded seeded retries**: transient batch failures (panic-caught
+//!   worker faults, injected `infer.*` hits) re-execute up to
+//!   [`SupervisorConfig::retry_budget`] times with deterministic
+//!   SplitMix64 backoff — a retried request's output is bit-identical
+//!   because the batch entry point is deterministic;
+//! * **fault-triggered ISA demotion**: after
+//!   [`SupervisorConfig::demote_after`] kernel-attributed faults, the
+//!   model's batches execute with [`ExecOptions::force_scalar`] (the
+//!   bit-exact scalar oracle tier) until a quarantine elapses, then
+//!   vector tiers are restored.
+//!
+//! Every decision lands in a bounded [`HealthLog`] and the counters of
+//! [`ServerStats`]; [`InferServer::health`] snapshots the whole picture
+//! as a [`GatewayHealth`].
 
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
@@ -46,6 +77,10 @@ use std::time::{Duration, Instant};
 
 use crate::error::InferError;
 use crate::infer::{ArenaPool, ExecOptions, InferencePlan};
+use crate::supervise::{
+    counts_as_fault, kernel_attributed, retry_backoff, Admission, BreakerState, CircuitBreaker,
+    HealthEvent, HealthLog, SupervisorConfig,
+};
 
 /// The model name single-model conveniences ([`InferServer::start`],
 /// [`InferServer::submit`]) use.
@@ -68,6 +103,10 @@ pub struct GatewayConfig {
     /// [`ExecOptions::intra_op_threads`] unset, each worker gets an
     /// equal share of the machine.
     pub opts: ExecOptions,
+    /// Self-healing knobs: watchdog, circuit breakers, retries, ISA
+    /// demotion. The defaults keep supervision invisible on a healthy
+    /// gateway (see [`SupervisorConfig`]).
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for GatewayConfig {
@@ -78,19 +117,71 @@ impl Default for GatewayConfig {
             max_batch: 8,
             max_wait: Duration::from_millis(1),
             opts: ExecOptions::default(),
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
 
+/// The channel a request's result goes back on.
+type ResultSender = Sender<Result<Vec<u8>, InferError>>;
+
 /// One queued request: the input, its shed priority, its enqueue time
-/// (for the queue-wait histogram and batch aging), and the channel its
-/// result goes back on.
+/// (for the queue-wait histogram and batch aging), the channel its
+/// result goes back on, plus its supervision tags — whether the
+/// breaker admitted it as a HalfOpen probe, and the abandonment flag
+/// shared with its [`InferTicket`].
 #[derive(Debug)]
 struct Job {
     input: Vec<u8>,
     priority: u8,
     enqueued: Instant,
-    tx: Sender<Result<Vec<u8>, InferError>>,
+    tx: ResultSender,
+    probe: bool,
+    abandoned: Arc<AtomicBool>,
+}
+
+/// The tickets of one dispatched batch, parked where the watchdog can
+/// reach them. Whoever `take()`s the slot's `Option<InFlight>` owns
+/// answering these tickets and recording their outcomes — the worker on
+/// completion, the watchdog on a hang — so a request is never answered
+/// or counted twice.
+#[derive(Debug)]
+struct InFlight {
+    model: String,
+    dispatched_us: u64,
+    tickets: Vec<(ResultSender, bool)>,
+}
+
+/// One worker thread's supervision state. The heartbeat protocol:
+/// `busy_since_us` is 0 while idle and the dispatch timestamp (clamped
+/// to ≥ 1) while a batch executes; the watchdog wedges a worker whose
+/// stamp has aged past the hang deadline.
+#[derive(Debug)]
+struct WorkerSlot {
+    id: usize,
+    wedged: AtomicBool,
+    busy_since_us: AtomicU64,
+    batches: AtomicU64,
+    inflight: Mutex<Option<InFlight>>,
+}
+
+impl WorkerSlot {
+    fn new(id: usize) -> WorkerSlot {
+        WorkerSlot {
+            id,
+            wedged: AtomicBool::new(false),
+            busy_since_us: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            inflight: Mutex::new(None),
+        }
+    }
+
+    fn take_inflight(&self) -> Option<InFlight> {
+        self.inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
 }
 
 /// Number of log₂ latency buckets: bucket `i` counts durations in
@@ -183,10 +274,21 @@ struct ModelState {
     queue_wait: LatencyHistogram,
     assembly: LatencyHistogram,
     execute: LatencyHistogram,
+    breaker: Mutex<CircuitBreaker>,
+    /// Kernel-attributed faults since the last (re-)promotion; trips
+    /// demotion at [`SupervisorConfig::demote_after`].
+    kernel_faults: AtomicU64,
+    retries: AtomicU64,
+    demotions: AtomicU64,
+    breaker_rejected: AtomicU64,
+    abandoned: AtomicU64,
+    /// 0 = not demoted; otherwise the logical-µs timestamp at which
+    /// quarantine ends and vector tiers are restored.
+    demoted_until_us: AtomicU64,
 }
 
 impl ModelState {
-    fn new(plan: InferencePlan) -> ModelState {
+    fn new(plan: InferencePlan, sup: &SupervisorConfig) -> ModelState {
         ModelState {
             plan: RwLock::new(Arc::new(plan)),
             pool: ArenaPool::new(),
@@ -201,11 +303,32 @@ impl ModelState {
             queue_wait: LatencyHistogram::default(),
             assembly: LatencyHistogram::default(),
             execute: LatencyHistogram::default(),
+            breaker: Mutex::new(CircuitBreaker::new(sup.breaker_config())),
+            kernel_faults: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+            breaker_rejected: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
+            demoted_until_us: AtomicU64::new(0),
         }
     }
 
     fn current_plan(&self) -> Arc<InferencePlan> {
         Arc::clone(&self.plan.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    fn breaker_state(&self) -> BreakerState {
+        self.breaker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .state()
+    }
+
+    fn cancel_admission(&self, probe: bool) {
+        self.breaker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .cancel(probe);
     }
 }
 
@@ -241,6 +364,21 @@ pub struct ModelStats {
     pub assembly: LatencySummary,
     /// Wall-clock of the batch execution, recorded per request.
     pub execute: LatencySummary,
+    /// Retry attempts spent on this model's batches.
+    pub retries: u64,
+    /// Submissions shed by this model's circuit breaker.
+    pub breaker_rejected: u64,
+    /// Accepted requests whose tickets were dropped unsettled before
+    /// dispatch (skipped, not executed).
+    pub abandoned: u64,
+    /// Kernel-attributed faults since the last (re-)promotion.
+    pub kernel_faults: u64,
+    /// Times this model was demoted to the scalar tier.
+    pub demotions: u64,
+    /// Whether the model is currently demoted (scalar-pinned).
+    pub demoted: bool,
+    /// The circuit breaker's current state.
+    pub breaker: BreakerState,
 }
 
 /// Scheduler state: every model's pending queue, under one lock with
@@ -251,7 +389,7 @@ struct SchedState {
     queues: HashMap<String, VecDeque<Job>>,
 }
 
-/// State shared between submitters and workers.
+/// State shared between submitters, workers, and the watchdog.
 #[derive(Debug)]
 struct Shared {
     registry: RwLock<HashMap<String, Arc<ModelState>>>,
@@ -265,6 +403,21 @@ struct Shared {
     max_batch: usize,
     max_wait: Duration,
     opts: ExecOptions,
+    sup: SupervisorConfig,
+    /// Origin of the gateway's logical-µs clock (breaker timestamps,
+    /// heartbeats, quarantine deadlines).
+    epoch: Instant,
+    /// Every worker ever spawned (wedged slots stay, flagged).
+    slots: Mutex<Vec<Arc<WorkerSlot>>>,
+    /// Joinable worker handles; replacements spawned by the watchdog
+    /// are appended here so `stop_and_join` sweeps them too.
+    handles: Mutex<Vec<(Arc<WorkerSlot>, JoinHandle<()>)>>,
+    next_worker: AtomicUsize,
+    /// Set under its mutex to park the watchdog; the condvar makes the
+    /// stop prompt instead of waiting out a scan interval.
+    watchdog_park: Mutex<bool>,
+    watchdog_cv: Condvar,
+    health: HealthLog,
     accepted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
@@ -272,6 +425,14 @@ struct Shared {
     shed: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
+    hung: AtomicU64,
+    workers_replaced: AtomicU64,
+    retries: AtomicU64,
+    retries_exhausted: AtomicU64,
+    demotions: AtomicU64,
+    repromotions: AtomicU64,
+    breaker_rejected: AtomicU64,
+    abandoned: AtomicU64,
 }
 
 impl Shared {
@@ -285,6 +446,12 @@ impl Shared {
             .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .cloned()
+    }
+
+    /// Microseconds since the gateway started — the logical clock every
+    /// supervision timestamp uses.
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
     }
 }
 
@@ -308,12 +475,94 @@ pub struct ServerStats {
     pub batches: u64,
     /// Requests that executed in a batch of two or more.
     pub batched_requests: u64,
+    /// Batches the watchdog declared hung (tickets answered with
+    /// [`InferError::Hung`]).
+    pub hung: u64,
+    /// Replacement workers spawned for wedged ones.
+    pub workers_replaced: u64,
+    /// Retry attempts spent across all models.
+    pub retries: u64,
+    /// Batches that failed every attempt of a non-zero retry budget.
+    pub retries_exhausted: u64,
+    /// Models demoted to the scalar tier (lifetime count).
+    pub demotions: u64,
+    /// Demoted models whose quarantine elapsed (vector tiers restored).
+    pub repromotions: u64,
+    /// Submissions shed by a circuit breaker
+    /// ([`InferError::BreakerOpen`]).
+    pub breaker_rejected: u64,
+    /// Accepted requests whose tickets were dropped unsettled before
+    /// dispatch; skipped, not executed, so
+    /// `accepted == completed + failed + shed + abandoned`.
+    pub abandoned: u64,
+}
+
+/// One worker's liveness in a [`GatewayHealth`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerHealth {
+    /// Worker id (monotone; replacements get fresh ids).
+    pub id: usize,
+    /// Declared hung by the watchdog; its thread is detached.
+    pub wedged: bool,
+    /// How long the current batch has been executing, if any.
+    pub busy_for: Option<Duration>,
+    /// Batches this worker has dispatched.
+    pub batches: u64,
+}
+
+/// One model's supervision posture in a [`GatewayHealth`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerHealth {
+    /// Registry name.
+    pub model: String,
+    /// Circuit-breaker state.
+    pub state: BreakerState,
+    /// Whether the model is currently demoted to the scalar tier.
+    pub demoted: bool,
+}
+
+/// A point-in-time picture of the gateway's self-healing machinery:
+/// worker liveness, breaker states, the supervision counters, and the
+/// retained tail of the [`HealthEvent`] ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayHealth {
+    /// Every worker ever spawned, wedged ones included, sorted by id.
+    pub workers: Vec<WorkerHealth>,
+    /// Per-model breaker/demotion posture, sorted by model name.
+    pub breakers: Vec<BreakerHealth>,
+    /// Batches declared hung.
+    pub hung: u64,
+    /// Replacement workers spawned.
+    pub workers_replaced: u64,
+    /// Retry attempts spent.
+    pub retries: u64,
+    /// Batches that exhausted a non-zero retry budget.
+    pub retries_exhausted: u64,
+    /// Demotions to the scalar tier.
+    pub demotions: u64,
+    /// Quarantines elapsed.
+    pub repromotions: u64,
+    /// Submissions shed by a breaker.
+    pub breaker_rejected: u64,
+    /// Accepted requests abandoned before dispatch.
+    pub abandoned: u64,
+    /// The retained `(seq, event)` tail, oldest first; `seq` is global
+    /// and monotone, so gaps between polls are detectable.
+    pub events: Vec<(u64, HealthEvent)>,
 }
 
 /// A pending request's receipt: wait on it for the result.
+///
+/// Dropping a ticket **without settling it** (no [`InferTicket::wait`],
+/// no conclusive [`InferTicket::wait_timeout`]) abandons the request:
+/// if it is still queued at dispatch time the gateway skips executing
+/// it and counts it under [`ServerStats::abandoned`], so a later
+/// [`InferServer::drain`] never over-waits for a caller that gave up.
 #[derive(Debug)]
 pub struct InferTicket {
     rx: Receiver<Result<Vec<u8>, InferError>>,
+    abandoned: Arc<AtomicBool>,
+    settled: Cell<bool>,
 }
 
 impl InferTicket {
@@ -324,13 +573,16 @@ impl InferTicket {
     /// [`InferError::ServerStopped`] if the server shut down before
     /// serving it.
     pub fn wait(self) -> Result<Vec<u8>, InferError> {
-        self.rx.recv().unwrap_or(Err(InferError::ServerStopped))
+        let result = self.rx.recv().unwrap_or(Err(InferError::ServerStopped));
+        self.settled.set(true);
+        result
     }
 
     /// Blocks until the request completes or `timeout` elapses, so a
     /// caller can bound its own wait instead of blocking forever on a
     /// draining server. The request itself is **not** cancelled — a
-    /// later [`InferTicket::wait`] can still pick the result up.
+    /// later [`InferTicket::wait`] can still pick the result up. Only
+    /// dropping the ticket after a timeout abandons the request.
     ///
     /// # Errors
     /// [`InferError::DeadlineExceeded`] when `timeout` elapses first,
@@ -338,22 +590,37 @@ impl InferTicket {
     /// serving the request, or the request's own error.
     pub fn wait_timeout(&self, timeout: Duration) -> Result<Vec<u8>, InferError> {
         match self.rx.recv_timeout(timeout) {
-            Ok(result) => result,
+            Ok(result) => {
+                self.settled.set(true);
+                result
+            }
             Err(RecvTimeoutError::Timeout) => Err(InferError::DeadlineExceeded {
                 elapsed: timeout,
                 deadline: timeout,
             }),
-            Err(RecvTimeoutError::Disconnected) => Err(InferError::ServerStopped),
+            Err(RecvTimeoutError::Disconnected) => {
+                self.settled.set(true);
+                Err(InferError::ServerStopped)
+            }
+        }
+    }
+}
+
+impl Drop for InferTicket {
+    fn drop(&mut self) {
+        if !self.settled.get() {
+            self.abandoned.store(true, Ordering::Release);
         }
     }
 }
 
 /// The dynamic-batching multi-model gateway: `workers` threads
-/// coalescing per-model queues into stacked batch executions.
+/// coalescing per-model queues into stacked batch executions, plus a
+/// watchdog thread supervising their heartbeats.
 #[derive(Debug)]
 pub struct InferServer {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl InferServer {
@@ -378,6 +645,14 @@ impl InferServer {
             max_batch: config.max_batch.max(1),
             max_wait: config.max_wait,
             opts: config.opts,
+            sup: config.supervisor,
+            epoch: Instant::now(),
+            slots: Mutex::new(Vec::new()),
+            handles: Mutex::new(Vec::new()),
+            next_worker: AtomicUsize::new(0),
+            watchdog_park: Mutex::new(false),
+            watchdog_cv: Condvar::new(),
+            health: HealthLog::new(config.supervisor.health_events),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -385,14 +660,26 @@ impl InferServer {
             shed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
+            hung: AtomicU64::new(0),
+            workers_replaced: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            retries_exhausted: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+            repromotions: AtomicU64::new(0),
+            breaker_rejected: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
         });
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
-        InferServer { shared, workers }
+        for _ in 0..config.workers.max(1) {
+            spawn_worker(&shared);
+        }
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || watchdog_loop(&shared))
+        };
+        InferServer {
+            shared,
+            watchdog: Some(watchdog),
+        }
     }
 
     /// Starts `workers` threads serving one `plan` (registered as
@@ -411,12 +698,13 @@ impl InferServer {
             opts,
             ..GatewayConfig::default()
         });
+        let state = ModelState::new(plan, &server.shared.sup);
         server
             .shared
             .registry
             .write()
             .unwrap_or_else(PoisonError::into_inner)
-            .insert(DEFAULT_MODEL.to_string(), Arc::new(ModelState::new(plan)));
+            .insert(DEFAULT_MODEL.to_string(), Arc::new(state));
         server
     }
 
@@ -444,7 +732,10 @@ impl InferServer {
                 message: format!("model {name:?} is already registered; use swap"),
             });
         }
-        registry.insert(name.to_string(), Arc::new(ModelState::new(plan)));
+        registry.insert(
+            name.to_string(),
+            Arc::new(ModelState::new(plan, &self.shared.sup)),
+        );
         Ok(checksum)
     }
 
@@ -539,6 +830,9 @@ impl InferServer {
             sched.queues.remove(name).unwrap_or_default()
         };
         for job in orphans {
+            // An orphan never executed: free its breaker admission so a
+            // probe slot cannot leak.
+            state.cancel_admission(job.probe);
             state.failed.fetch_add(1, Ordering::Relaxed);
             self.shared.failed.fetch_add(1, Ordering::Relaxed);
             let _ = job.tx.send(Err(InferError::UnknownModel {
@@ -575,12 +869,15 @@ impl InferServer {
     ///
     /// # Errors
     /// [`InferError::UnknownModel`] for an unregistered model;
-    /// [`InferError::QueueFull`] when the model's queue is at capacity
-    /// and holds no strictly-lower-priority victim (backpressure —
-    /// retry after draining a ticket); [`InferError::Draining`] once
-    /// shutdown has begun and [`InferError::ServerStopped`] after it
-    /// completes. A queued request may later resolve to
-    /// [`InferError::Shed`] if a higher-priority submission evicts it.
+    /// [`InferError::BreakerOpen`] while the model's circuit breaker is
+    /// shedding (cheaper than queueing — the request never allocates a
+    /// queue slot); [`InferError::QueueFull`] when the model's queue is
+    /// at capacity and holds no strictly-lower-priority victim
+    /// (backpressure — retry after draining a ticket);
+    /// [`InferError::Draining`] once shutdown has begun and
+    /// [`InferError::ServerStopped`] after it completes. A queued
+    /// request may later resolve to [`InferError::Shed`] if a
+    /// higher-priority submission evicts it.
     pub fn submit_to(
         &self,
         model: &str,
@@ -594,12 +891,41 @@ impl InferServer {
             .ok_or_else(|| InferError::UnknownModel {
                 model: model.to_string(),
             })?;
+        // Breaker admission happens before the request touches a queue:
+        // shedding at the front door is the whole point of Open.
+        let probe = {
+            let mut breaker = state.breaker.lock().unwrap_or_else(PoisonError::into_inner);
+            let before = breaker.state();
+            let admission = breaker.admit(self.shared.now_us());
+            let after = breaker.state();
+            drop(breaker);
+            if before == BreakerState::Open && after == BreakerState::HalfOpen {
+                self.shared.health.record(HealthEvent::BreakerHalfOpen {
+                    model: model.to_string(),
+                });
+            }
+            match admission {
+                Admission::Admit => false,
+                Admission::Probe => true,
+                Admission::Reject { retry_after_us } => {
+                    state.breaker_rejected.fetch_add(1, Ordering::Relaxed);
+                    self.shared.breaker_rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(InferError::BreakerOpen {
+                        model: model.to_string(),
+                        retry_after: Duration::from_micros(retry_after_us),
+                    });
+                }
+            }
+        };
         let (tx, rx) = channel();
+        let abandoned = Arc::new(AtomicBool::new(false));
         let job = Job {
             input,
             priority,
             enqueued: Instant::now(),
             tx,
+            probe,
+            abandoned: Arc::clone(&abandoned),
         };
         {
             let mut sched = self.shared.lock_sched();
@@ -617,6 +943,7 @@ impl InferServer {
                 match victim {
                     Some((idx, lowest)) if lowest < priority => {
                         if let Some(evicted) = queue.remove(idx) {
+                            state.cancel_admission(evicted.probe);
                             state.shed.fetch_add(1, Ordering::Relaxed);
                             self.shared.shed.fetch_add(1, Ordering::Relaxed);
                             let _ = evicted.tx.send(Err(InferError::Shed {
@@ -626,6 +953,7 @@ impl InferServer {
                         }
                     }
                     _ => {
+                        state.cancel_admission(probe);
                         state.rejected.fetch_add(1, Ordering::Relaxed);
                         self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                         return Err(InferError::QueueFull {
@@ -639,7 +967,11 @@ impl InferServer {
         state.accepted.fetch_add(1, Ordering::Relaxed);
         self.shared.accepted.fetch_add(1, Ordering::Relaxed);
         self.shared.available.notify_all();
-        Ok(InferTicket { rx })
+        Ok(InferTicket {
+            rx,
+            abandoned,
+            settled: Cell::new(false),
+        })
     }
 
     /// Submit-and-wait convenience for callers without pipelining.
@@ -674,6 +1006,64 @@ impl InferServer {
             shed: s.shed.load(Ordering::Relaxed),
             batches: s.batches.load(Ordering::Relaxed),
             batched_requests: s.batched_requests.load(Ordering::Relaxed),
+            hung: s.hung.load(Ordering::Relaxed),
+            workers_replaced: s.workers_replaced.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            retries_exhausted: s.retries_exhausted.load(Ordering::Relaxed),
+            demotions: s.demotions.load(Ordering::Relaxed),
+            repromotions: s.repromotions.load(Ordering::Relaxed),
+            breaker_rejected: s.breaker_rejected.load(Ordering::Relaxed),
+            abandoned: s.abandoned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A point-in-time [`GatewayHealth`] snapshot: worker liveness,
+    /// breaker states, supervision counters, and the retained
+    /// [`HealthEvent`] tail.
+    pub fn health(&self) -> GatewayHealth {
+        let s = &self.shared;
+        let now = s.now_us();
+        let mut workers: Vec<WorkerHealth> = s
+            .slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|slot| {
+                let busy = slot.busy_since_us.load(Ordering::Acquire);
+                WorkerHealth {
+                    id: slot.id,
+                    wedged: slot.wedged.load(Ordering::Acquire),
+                    busy_for: (busy != 0).then(|| Duration::from_micros(now.saturating_sub(busy))),
+                    batches: slot.batches.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        workers.sort_by_key(|w| w.id);
+        let breakers = self
+            .models()
+            .into_iter()
+            .filter_map(|name| {
+                let state = s.model(&name)?;
+                let until = state.demoted_until_us.load(Ordering::Acquire);
+                Some(BreakerHealth {
+                    model: name,
+                    state: state.breaker_state(),
+                    demoted: until != 0 && now < until,
+                })
+            })
+            .collect();
+        GatewayHealth {
+            workers,
+            breakers,
+            hung: s.hung.load(Ordering::Relaxed),
+            workers_replaced: s.workers_replaced.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            retries_exhausted: s.retries_exhausted.load(Ordering::Relaxed),
+            demotions: s.demotions.load(Ordering::Relaxed),
+            repromotions: s.repromotions.load(Ordering::Relaxed),
+            breaker_rejected: s.breaker_rejected.load(Ordering::Relaxed),
+            abandoned: s.abandoned.load(Ordering::Relaxed),
+            events: s.health.snapshot(),
         }
     }
 
@@ -681,7 +1071,7 @@ impl InferServer {
     /// not registered.
     pub fn model_stats(&self, name: &str) -> Option<ModelStats> {
         let state = self.shared.model(name)?;
-        Some(snapshot_model(name, &state))
+        Some(snapshot_model(&self.shared, name, &state))
     }
 
     /// Every registered model's stats, sorted by name.
@@ -722,9 +1112,63 @@ impl InferServer {
     fn stop_and_join(&mut self) {
         self.shared.draining.store(true, Ordering::Release);
         self.shared.available.notify_all();
-        for handle in self.workers.drain(..) {
-            // Worker bodies are panic-guarded per batch; a join failure
-            // would be an unwind-in-unwind. Nothing to salvage from it.
+        // Poll-join: a wedged worker may be blocked arbitrarily long
+        // inside a hung batch, and the watchdog may spawn replacements
+        // mid-drain. Each pass joins finished workers, *detaches*
+        // wedged ones (their tickets were already answered by the
+        // watchdog; the thread exits on its own when the batch
+        // returns), and keeps waiting on live ones. The watchdog stays
+        // running until every handle is swept so a batch that hangs
+        // during the drain still gets answered and replaced.
+        loop {
+            let pending: Vec<(Arc<WorkerSlot>, JoinHandle<()>)> = {
+                let mut handles = self
+                    .shared
+                    .handles
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                std::mem::take(&mut *handles)
+            };
+            if pending.is_empty() {
+                break;
+            }
+            let mut keep = Vec::new();
+            for (slot, handle) in pending {
+                if slot.wedged.load(Ordering::Acquire) {
+                    drop(handle); // detach: never block shutdown on a hung thread
+                } else if handle.is_finished() {
+                    // Worker bodies are panic-guarded per batch; a join
+                    // failure would be an unwind-in-unwind. Nothing to
+                    // salvage from it.
+                    let _ = handle.join();
+                } else {
+                    keep.push((slot, handle));
+                }
+            }
+            let waiting = !keep.is_empty();
+            self.shared
+                .handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend(keep);
+            if waiting {
+                // Re-notify each pass: closes the (pre-existing) missed
+                // wakeup window between a worker's drain check and its
+                // condvar wait.
+                self.shared.available.notify_all();
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        {
+            let mut park = self
+                .shared
+                .watchdog_park
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *park = true;
+            self.shared.watchdog_cv.notify_all();
+        }
+        if let Some(handle) = self.watchdog.take() {
             let _ = handle.join();
         }
         self.shared.stopped.store(true, Ordering::Release);
@@ -761,7 +1205,8 @@ fn registry_admission(plan: &InferencePlan) -> Result<u64, InferError> {
     Ok(plan.checksum())
 }
 
-fn snapshot_model(name: &str, state: &ModelState) -> ModelStats {
+fn snapshot_model(shared: &Shared, name: &str, state: &ModelState) -> ModelStats {
+    let until = state.demoted_until_us.load(Ordering::Acquire);
     ModelStats {
         model: name.to_string(),
         checksum: state.current_plan().checksum(),
@@ -776,20 +1221,168 @@ fn snapshot_model(name: &str, state: &ModelState) -> ModelStats {
         queue_wait: state.queue_wait.summary(),
         assembly: state.assembly.summary(),
         execute: state.execute.summary(),
+        retries: state.retries.load(Ordering::Relaxed),
+        breaker_rejected: state.breaker_rejected.load(Ordering::Relaxed),
+        abandoned: state.abandoned.load(Ordering::Relaxed),
+        kernel_faults: state.kernel_faults.load(Ordering::Relaxed),
+        demotions: state.demotions.load(Ordering::Relaxed),
+        demoted: until != 0 && shared.now_us() < until,
+        breaker: state.breaker_state(),
     }
+}
+
+/// Spawns one worker thread, registering its slot and handle with the
+/// shared state; returns the new worker's id. Used both at startup and
+/// by the watchdog to replace a wedged worker.
+fn spawn_worker(shared: &Arc<Shared>) -> usize {
+    let id = shared.next_worker.fetch_add(1, Ordering::Relaxed);
+    let slot = Arc::new(WorkerSlot::new(id));
+    shared
+        .slots
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(Arc::clone(&slot));
+    let handle = {
+        let shared = Arc::clone(shared);
+        let slot = Arc::clone(&slot);
+        std::thread::spawn(move || worker_loop(&shared, &slot))
+    };
+    shared
+        .handles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push((slot, handle));
+    id
 }
 
 /// One scheduler worker: pick the model whose oldest request has waited
 /// longest, hold its batch open until it fills or ages out, execute it
 /// as one stacked batch, scatter results to tickets. Runs until drain
 /// is requested **and** every queue is empty, so accepted work is
-/// always answered.
-fn worker_loop(shared: &Shared) {
+/// always answered — or until the watchdog wedges it.
+fn worker_loop(shared: &Shared, slot: &WorkerSlot) {
     loop {
+        if slot.wedged.load(Ordering::Acquire) {
+            // The watchdog declared this worker hung, answered its
+            // tickets, and spawned a replacement; exit quietly.
+            return;
+        }
         let Some((name, jobs)) = next_batch(shared) else {
             return;
         };
-        execute_batch(shared, &name, jobs);
+        execute_batch(shared, slot, &name, jobs);
+    }
+}
+
+/// The watchdog thread: scan worker heartbeats every
+/// [`SupervisorConfig::effective_watchdog_interval`], parked promptly
+/// through its condvar at shutdown.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    let interval = shared.sup.effective_watchdog_interval();
+    let mut park = shared
+        .watchdog_park
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    loop {
+        if *park {
+            return;
+        }
+        let (guard, _) = shared
+            .watchdog_cv
+            .wait_timeout(park, interval)
+            .unwrap_or_else(PoisonError::into_inner);
+        park = guard;
+        if *park {
+            return;
+        }
+        drop(park);
+        watchdog_scan(shared);
+        park = shared
+            .watchdog_park
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// One watchdog pass: wedge every worker whose heartbeat has aged past
+/// the hang deadline, answer its in-flight tickets with
+/// [`InferError::Hung`], and spawn a replacement so capacity never
+/// shrinks. Taking the slot's `InFlight` is the ownership handoff: a
+/// worker that finishes its batch after losing the race finds `None`
+/// and discards its results.
+fn watchdog_scan(shared: &Arc<Shared>) {
+    let deadline_us = u64::try_from(shared.sup.hang_deadline.as_micros()).unwrap_or(u64::MAX);
+    let now = shared.now_us();
+    let slots: Vec<Arc<WorkerSlot>> = shared
+        .slots
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    for slot in slots {
+        if slot.wedged.load(Ordering::Acquire) {
+            continue;
+        }
+        let busy = slot.busy_since_us.load(Ordering::Acquire);
+        if busy == 0 || now.saturating_sub(busy) < deadline_us {
+            continue;
+        }
+        let Some(inflight) = slot.take_inflight() else {
+            // The batch finished between the heartbeat read and here.
+            continue;
+        };
+        slot.wedged.store(true, Ordering::Release);
+        shared.hung.fetch_add(1, Ordering::Relaxed);
+        shared.health.record(HealthEvent::WorkerHung {
+            worker: slot.id,
+            model: inflight.model.clone(),
+            in_flight: inflight.tickets.len(),
+        });
+        let elapsed = Duration::from_micros(now.saturating_sub(inflight.dispatched_us));
+        let state = shared.model(&inflight.model);
+        for (tx, probe) in inflight.tickets {
+            shared.failed.fetch_add(1, Ordering::Relaxed);
+            if let Some(state) = &state {
+                state.failed.fetch_add(1, Ordering::Relaxed);
+                record_outcome(shared, state, &inflight.model, true, probe);
+            }
+            let _ = tx.send(Err(InferError::Hung {
+                model: inflight.model.clone(),
+                elapsed,
+                deadline: shared.sup.hang_deadline,
+            }));
+        }
+        let replacement = spawn_worker(shared);
+        shared.workers_replaced.fetch_add(1, Ordering::Relaxed);
+        shared.health.record(HealthEvent::WorkerReplaced {
+            wedged: slot.id,
+            replacement,
+        });
+    }
+}
+
+/// Feeds one admitted request's outcome to its model's breaker,
+/// logging the Open/Closed transitions the record provokes.
+fn record_outcome(shared: &Shared, state: &ModelState, model: &str, error: bool, probe: bool) {
+    let mut breaker = state.breaker.lock().unwrap_or_else(PoisonError::into_inner);
+    let before = breaker.state();
+    breaker.record(error, probe, shared.now_us());
+    let after = breaker.state();
+    drop(breaker);
+    if before != after {
+        match after {
+            BreakerState::Open => {
+                shared.health.record(HealthEvent::BreakerOpened {
+                    model: model.to_string(),
+                });
+            }
+            BreakerState::Closed => {
+                shared.health.record(HealthEvent::BreakerClosed {
+                    model: model.to_string(),
+                });
+            }
+            // record() never transitions *into* HalfOpen (admit does).
+            BreakerState::HalfOpen => {}
+        }
     }
 }
 
@@ -839,10 +1432,13 @@ fn next_batch(shared: &Shared) -> Option<(String, Vec<Job>)> {
     }
 }
 
-/// Executes one popped batch: records queue-wait/assembly, runs the
-/// stacked batch entry under the `serve.batch` fault point and a panic
-/// guard, records execute time, and answers every ticket.
-fn execute_batch(shared: &Shared, name: &str, jobs: Vec<Job>) {
+/// Executes one popped batch under supervision: skips abandoned
+/// requests, applies ISA demotion, stamps the heartbeat and parks the
+/// tickets where the watchdog can reach them, runs the attempt loop
+/// (the `serve.hang`/`serve.batch`/`serve.retry` fault points and the
+/// panic guard live inside it), then — if the watchdog didn't take the
+/// batch away — records outcomes and answers every ticket.
+fn execute_batch(shared: &Shared, slot: &WorkerSlot, name: &str, jobs: Vec<Job>) {
     let dispatched = Instant::now();
     let Some(state) = shared.model(name) else {
         // Unregistered between enqueue and dispatch (unregister races a
@@ -855,48 +1451,91 @@ fn execute_batch(shared: &Shared, name: &str, jobs: Vec<Job>) {
         }
         return;
     };
-    if let Some(first) = jobs.iter().map(|j| j.enqueued).min() {
+    // A ticket dropped unsettled abandoned its request: skip it (its
+    // breaker admission is cancelled, never recorded) so a drain can't
+    // over-wait executing work nobody will read.
+    let mut live = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if job.abandoned.load(Ordering::Acquire) {
+            state.cancel_admission(job.probe);
+            state.abandoned.fetch_add(1, Ordering::Relaxed);
+            shared.abandoned.fetch_add(1, Ordering::Relaxed);
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    if let Some(first) = live.iter().map(|j| j.enqueued).min() {
         state.assembly.record(dispatched.duration_since(first));
     }
-    let mut inputs = Vec::with_capacity(jobs.len());
-    let mut meta = Vec::with_capacity(jobs.len());
-    for job in jobs {
+    let mut inputs = Vec::with_capacity(live.len());
+    let mut tickets = Vec::with_capacity(live.len());
+    for job in live {
         state
             .queue_wait
             .record(dispatched.duration_since(job.enqueued));
         inputs.push(job.input);
-        meta.push(job.tx);
+        tickets.push((job.tx, job.probe));
     }
-    let plan = state.current_plan();
-    let t0 = Instant::now();
-    let results = catch_unwind(AssertUnwindSafe(|| {
-        let _ = gcd2_faults::fire("serve.batch");
-        plan.try_execute_batch_pooled(&inputs, &state.pool, &shared.opts)
-    }))
-    .unwrap_or_else(|p| {
-        // A panic mid-batch resolves every ticket of this batch with a
-        // structured error; the worker and every other batch live on.
-        let message = gcd2_par::panic_message(p.as_ref());
-        (0..inputs.len())
-            .map(|index| {
-                Err(InferError::Worker(gcd2_par::WorkerPanic {
-                    index,
-                    message: message.clone(),
-                }))
-            })
-            .collect()
-    });
-    let exec = t0.elapsed();
-    let size = meta.len() as u64;
+    let size = tickets.len() as u64;
     state.batches.fetch_add(1, Ordering::Relaxed);
     shared.batches.fetch_add(1, Ordering::Relaxed);
+    slot.batches.fetch_add(1, Ordering::Relaxed);
     state.max_batch_observed.fetch_max(size, Ordering::Relaxed);
     if size >= 2 {
         state.batched_requests.fetch_add(size, Ordering::Relaxed);
         shared.batched_requests.fetch_add(size, Ordering::Relaxed);
     }
-    for (tx, result) in meta.into_iter().zip(results) {
+    let plan = state.current_plan();
+    // ISA demotion: a quarantined model executes on the bit-exact
+    // scalar oracle tier; an elapsed quarantine re-promotes (one worker
+    // wins the CAS and resets the fault count).
+    let mut opts = shared.opts;
+    let until = state.demoted_until_us.load(Ordering::Acquire);
+    if until != 0 {
+        if shared.now_us() < until {
+            opts.force_scalar = true;
+        } else if state
+            .demoted_until_us
+            .compare_exchange(until, 0, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            state.kernel_faults.store(0, Ordering::Relaxed);
+            shared.repromotions.fetch_add(1, Ordering::Relaxed);
+            shared.health.record(HealthEvent::Repromoted {
+                model: name.to_string(),
+            });
+        }
+    }
+    // Heartbeat + ownership handoff point: from here until the worker
+    // takes the InFlight back, the watchdog may claim this batch.
+    let dispatched_us = shared.now_us().max(1);
+    slot.busy_since_us.store(dispatched_us, Ordering::Release);
+    {
+        let mut inflight = slot.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        *inflight = Some(InFlight {
+            model: name.to_string(),
+            dispatched_us,
+            tickets,
+        });
+    }
+    let t0 = Instant::now();
+    let results = run_attempts(shared, &state, name, &plan, &inputs, &opts);
+    let exec = t0.elapsed();
+    let taken = slot.take_inflight();
+    slot.busy_since_us.store(0, Ordering::Release);
+    let Some(inflight) = taken else {
+        // The watchdog declared this batch hung and already answered
+        // (and counted) every ticket; discard the late results. The
+        // wedged flag ends this worker at the top of its loop.
+        return;
+    };
+    for ((tx, probe), result) in inflight.tickets.into_iter().zip(results) {
         state.execute.record(exec);
+        let fault = result.as_ref().err().is_some_and(counts_as_fault);
+        record_outcome(shared, &state, name, fault, probe);
         if result.is_ok() {
             state.completed.fetch_add(1, Ordering::Relaxed);
             shared.completed.fetch_add(1, Ordering::Relaxed);
@@ -906,6 +1545,128 @@ fn execute_batch(shared: &Shared, name: &str, jobs: Vec<Job>) {
         }
         // A caller that dropped its ticket is not an error.
         let _ = tx.send(result);
+    }
+    // Demotion trigger: enough kernel-attributed faults pin the model
+    // to scalar for a quarantine (one worker wins the CAS).
+    let demote_after = shared.sup.demote_after;
+    if demote_after > 0
+        && state.kernel_faults.load(Ordering::Relaxed) >= demote_after
+        && state.demoted_until_us.load(Ordering::Acquire) == 0
+    {
+        let quarantine_us = u64::try_from(shared.sup.quarantine.as_micros()).unwrap_or(u64::MAX);
+        let until = shared.now_us().saturating_add(quarantine_us).max(1);
+        if state
+            .demoted_until_us
+            .compare_exchange(0, until, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            state.demotions.fetch_add(1, Ordering::Relaxed);
+            shared.demotions.fetch_add(1, Ordering::Relaxed);
+            shared.health.record(HealthEvent::Demoted {
+                model: name.to_string(),
+                kernel_faults: state.kernel_faults.load(Ordering::Relaxed),
+            });
+        }
+    }
+}
+
+/// The retry loop of one batch: up to `1 + retry_budget` attempts of
+/// the panic-guarded batch entry point, with deterministic seeded
+/// backoff between attempts. Only transient faults (worker panics,
+/// internal errors) are retried; a clean result — including structured
+/// per-request errors like a bad input shape — ends the loop. Because
+/// the batch entry point is deterministic, a retried success is
+/// bit-identical to an undisturbed first attempt.
+fn run_attempts(
+    shared: &Shared,
+    state: &ModelState,
+    name: &str,
+    plan: &InferencePlan,
+    inputs: &[Vec<u8>],
+    opts: &ExecOptions,
+) -> Vec<Result<Vec<u8>, InferError>> {
+    let worker_errors = |message: &str| -> Vec<Result<Vec<u8>, InferError>> {
+        (0..inputs.len())
+            .map(|index| {
+                Err(InferError::Worker(gcd2_par::WorkerPanic {
+                    index,
+                    message: message.to_string(),
+                }))
+            })
+            .collect()
+    };
+    let attempts_allowed = 1 + shared.sup.retry_budget;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        if attempt > 1 {
+            state.retries.fetch_add(1, Ordering::Relaxed);
+            shared.retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(retry_backoff(
+                shared.sup.retry_seed,
+                attempt - 1,
+                shared.sup.retry_backoff_base,
+            ));
+            // The retry path has its own fault point; an injected panic
+            // here burns the attempt without reaching the runtime.
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| gcd2_faults::fire("serve.retry"))) {
+                let message = gcd2_par::panic_message(p.as_ref());
+                if attempt >= attempts_allowed {
+                    shared.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                    shared.health.record(HealthEvent::RetriesExhausted {
+                        model: name.to_string(),
+                        attempts: attempt,
+                    });
+                    return worker_errors(&message);
+                }
+                continue;
+            }
+        }
+        let results = catch_unwind(AssertUnwindSafe(|| {
+            // `serve.hang` models a wedged worker: a Delay injection
+            // here overruns the hang deadline while the heartbeat is
+            // stamped, which is exactly what the watchdog looks for.
+            let _ = gcd2_faults::fire("serve.hang");
+            let _ = gcd2_faults::fire("serve.batch");
+            plan.try_execute_batch_pooled(inputs, &state.pool, opts)
+        }))
+        .unwrap_or_else(|p| {
+            // A panic mid-batch resolves every ticket of this batch
+            // with a structured error; the worker and every other
+            // batch live on.
+            worker_errors(&gcd2_par::panic_message(p.as_ref()))
+        });
+        if results
+            .iter()
+            .any(|r| r.as_ref().err().is_some_and(kernel_attributed))
+        {
+            state.kernel_faults.fetch_add(1, Ordering::Relaxed);
+        }
+        let transient = results.iter().any(|r| {
+            matches!(
+                r,
+                Err(InferError::Worker(_)) | Err(InferError::Internal { .. })
+            )
+        });
+        if !transient {
+            if attempt > 1 {
+                shared.health.record(HealthEvent::RetrySucceeded {
+                    model: name.to_string(),
+                    attempt: attempt - 1,
+                });
+            }
+            return results;
+        }
+        if attempt >= attempts_allowed {
+            if shared.sup.retry_budget > 0 {
+                shared.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                shared.health.record(HealthEvent::RetriesExhausted {
+                    model: name.to_string(),
+                    attempts: attempt,
+                });
+            }
+            return results;
+        }
     }
 }
 
@@ -1044,6 +1805,7 @@ mod tests {
             max_batch: 8,
             max_wait: Duration::from_millis(5),
             opts: ExecOptions::default(),
+            supervisor: SupervisorConfig::default(),
         });
         server.register("m", plan.clone()).expect("register");
         let inputs: Vec<Vec<u8>> = (0..24)
@@ -1092,6 +1854,7 @@ mod tests {
             max_batch: 64,
             max_wait: Duration::from_secs(5),
             opts: ExecOptions::default(),
+            supervisor: SupervisorConfig::default(),
         });
         server.register("m", plan.clone()).expect("register");
         let input: Vec<u8> = (0..16).map(|i| (i % 16) as u8).collect();
@@ -1127,6 +1890,7 @@ mod tests {
             max_batch: 4,
             max_wait: Duration::from_millis(50),
             opts: ExecOptions::default(),
+            supervisor: SupervisorConfig::default(),
         });
         server.register("m", plan.clone()).expect("register");
         let input: Vec<u8> = (0..16).map(|i| (i % 16) as u8).collect();
@@ -1143,6 +1907,79 @@ mod tests {
         for ticket in tickets {
             assert_eq!(ticket.wait().expect("answered during drain"), expected);
         }
+    }
+
+    #[test]
+    fn abandoned_tickets_settle_accounting_and_skip_execution() {
+        let plan = tiny_plan();
+        // Park the only worker on a long max_wait so submissions queue
+        // up; the drain flush dispatches them all at once.
+        let server = InferServer::gateway(GatewayConfig {
+            workers: 1,
+            max_batch: 64,
+            max_wait: Duration::from_secs(30),
+            ..GatewayConfig::default()
+        });
+        server.register("m", plan.clone()).expect("register");
+        let input: Vec<u8> = (0..16).map(|i| (i % 16) as u8).collect();
+        let kept = server.submit_to("m", input.clone(), 0).expect("admitted");
+        // Dropping a ticket outright abandons its request…
+        drop(server.submit_to("m", input.clone(), 0).expect("admitted"));
+        // …and so does dropping it after an inconclusive wait_timeout.
+        let timed = server.submit_to("m", input.clone(), 0).expect("admitted");
+        assert!(matches!(
+            timed.wait_timeout(Duration::from_millis(5)),
+            Err(InferError::DeadlineExceeded { .. })
+        ));
+        drop(timed);
+        let stats = server.shutdown();
+        assert_eq!(stats.accepted, 3);
+        assert_eq!(stats.abandoned, 2, "{stats:?}");
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(
+            stats.accepted,
+            stats.completed + stats.failed + stats.shed + stats.abandoned,
+            "every accepted request must be accounted exactly once: {stats:?}"
+        );
+        assert_eq!(kept.wait().expect("served"), plan.execute(&input));
+    }
+
+    #[test]
+    fn idle_supervisor_is_invisible_in_health_and_stats() {
+        let plan = tiny_plan();
+        let server = InferServer::start(plan.clone(), 2, 8, ExecOptions::default());
+        let input: Vec<u8> = (0..16).map(|i| (i % 16) as u8).collect();
+        assert_eq!(
+            server.infer(input.clone()).expect("served"),
+            plan.execute(&input)
+        );
+        let health = server.health();
+        assert_eq!(health.workers.len(), 2);
+        assert!(health.workers.iter().all(|w| !w.wedged));
+        assert_eq!(health.breakers.len(), 1);
+        assert_eq!(health.breakers[0].state, BreakerState::Closed);
+        assert!(!health.breakers[0].demoted);
+        assert_eq!(
+            (
+                health.hung,
+                health.workers_replaced,
+                health.retries,
+                health.retries_exhausted,
+                health.demotions,
+                health.repromotions,
+                health.breaker_rejected,
+                health.abandoned,
+            ),
+            (0, 0, 0, 0, 0, 0, 0, 0),
+            "a healthy gateway records no supervision activity"
+        );
+        assert!(health.events.is_empty(), "{:?}", health.events);
+        let ms = server.model_stats(DEFAULT_MODEL).expect("registered");
+        assert_eq!(ms.breaker, BreakerState::Closed);
+        assert!(!ms.demoted);
+        assert_eq!(ms.kernel_faults, 0);
+        server.shutdown();
     }
 
     #[test]

@@ -40,6 +40,8 @@
 //! | `autotune.cache`   | GEMM tile-tuner memo lookup (`gcd2-kernels`)     |
 //! | `serve.batch`      | gateway batch execution (`gcd2::serve`)          |
 //! | `serve.registry`   | gateway model register/swap (`gcd2::serve`)      |
+//! | `serve.hang`       | gateway batch dispatch, pre-execution (a `Delay` models a wedged worker under the watchdog) |
+//! | `serve.retry`      | gateway retry path, before a re-attempt (`gcd2::serve`) |
 //! | `artifact.encode`  | artifact container serialization (`gcd2-artifact`)|
 //! | `artifact.decode`  | artifact container decode (`gcd2-artifact`)      |
 //! | `artifact.io`      | artifact cache load/store (`gcd2-artifact`)      |
@@ -80,8 +82,17 @@ pub const GATEWAY_POINTS: [&str; 2] = ["serve.batch", "serve.registry"];
 /// keep producing the plans they always did.
 pub const ARTIFACT_POINTS: [&str; 3] = ["artifact.encode", "artifact.decode", "artifact.io"];
 
+/// The supervision-layer fault points
+/// ([`FaultPlan::from_seed_supervisor`]): `serve.hang` fires in the
+/// worker right before batch execution (a `Delay` there is how chaos
+/// tests wedge a worker under the watchdog's nose), `serve.retry`
+/// fires before each retry re-attempt. Kept out of [`GATEWAY_POINTS`]
+/// so the PR-8 gateway chaos gate's fixed seeds keep producing the
+/// plans they always did.
+pub const SUPERVISOR_POINTS: [&str; 2] = ["serve.hang", "serve.retry"];
+
 /// Every canonical fault-point name, for plan builders and tests.
-pub const POINTS: [&str; 16] = [
+pub const POINTS: [&str; 18] = [
     "cost.eval",
     "cache.lookup",
     "pack.vliw",
@@ -95,6 +106,8 @@ pub const POINTS: [&str; 16] = [
     "autotune.cache",
     "serve.batch",
     "serve.registry",
+    "serve.hang",
+    "serve.retry",
     "artifact.encode",
     "artifact.decode",
     "artifact.io",
@@ -242,6 +255,55 @@ impl FaultPlan {
                 _ => FaultKind::Delay {
                     millis: 1 + next() % 3,
                 },
+            };
+            let trigger = 1 + next() % 16;
+            plan = if next().is_multiple_of(4) {
+                plan.sticky(point, kind, trigger)
+            } else {
+                plan.once(point, kind, trigger)
+            };
+        }
+        plan
+    }
+
+    /// [`FaultPlan::from_seed_gateway`] for the self-healing
+    /// supervision layer: 1–3 faults over [`SUPERVISOR_POINTS`] *plus*
+    /// the gateway and runtime points (the supervisor wraps both, so
+    /// its storms must cross all three layers). Supervisor points lean
+    /// on `Delay` — a delayed `serve.hang` is a wedged worker for the
+    /// watchdog, and hang-heavy storms are the whole reason the layer
+    /// exists — while the lower layers keep the runtime panic/delay
+    /// mix. Early triggers and occasional stickiness, as elsewhere.
+    pub fn from_seed_supervisor(seed: u64) -> Self {
+        let mut next = splitmix64(seed ^ 0x53_55_50_52_56_53_52);
+        let mut plan = FaultPlan::new();
+        let count = 1 + (next() % 3) as usize;
+        for _ in 0..count {
+            let span = SUPERVISOR_POINTS.len() + GATEWAY_POINTS.len() + RUNTIME_POINTS.len();
+            let pick = (next() % span as u64) as usize;
+            let (point, kind) = if pick < SUPERVISOR_POINTS.len() {
+                let point = SUPERVISOR_POINTS[pick];
+                let kind = match next() % 3 {
+                    0 => FaultKind::Panic,
+                    _ => FaultKind::Delay {
+                        millis: 1 + next() % 3,
+                    },
+                };
+                (point, kind)
+            } else {
+                let pick = pick - SUPERVISOR_POINTS.len();
+                let point = if pick < GATEWAY_POINTS.len() {
+                    GATEWAY_POINTS[pick]
+                } else {
+                    RUNTIME_POINTS[pick - GATEWAY_POINTS.len()]
+                };
+                let kind = match next() % 3 {
+                    0 | 1 => FaultKind::Panic,
+                    _ => FaultKind::Delay {
+                        millis: 1 + next() % 3,
+                    },
+                };
+                (point, kind)
             };
             let trigger = 1 + next() % 16;
             plan = if next().is_multiple_of(4) {
@@ -467,6 +529,7 @@ mod tests {
             COMPILE_POINTS.len()
                 + RUNTIME_POINTS.len()
                 + GATEWAY_POINTS.len()
+                + SUPERVISOR_POINTS.len()
                 + ARTIFACT_POINTS.len(),
             POINTS.len()
         );
@@ -474,9 +537,47 @@ mod tests {
             .iter()
             .chain(RUNTIME_POINTS.iter())
             .chain(GATEWAY_POINTS.iter())
+            .chain(SUPERVISOR_POINTS.iter())
             .chain(ARTIFACT_POINTS.iter())
         {
             assert!(POINTS.contains(p));
+        }
+    }
+
+    #[test]
+    fn supervisor_seeded_plans_are_reproducible_and_scoped() {
+        for seed in [0u64, 7, 2024, u64::MAX] {
+            assert_eq!(
+                FaultPlan::from_seed_supervisor(seed),
+                FaultPlan::from_seed_supervisor(seed)
+            );
+            let plan = FaultPlan::from_seed_supervisor(seed);
+            assert!(!plan.faults().is_empty() && plan.faults().len() <= 3);
+            for f in plan.faults() {
+                assert!(
+                    SUPERVISOR_POINTS.contains(&f.point.as_str())
+                        || GATEWAY_POINTS.contains(&f.point.as_str())
+                        || RUNTIME_POINTS.contains(&f.point.as_str()),
+                    "supervisor sweeps cross supervisor/gateway/runtime layers only"
+                );
+                assert!(
+                    !matches!(f.kind, FaultKind::CorruptCache),
+                    "seeded supervisor sweeps stay on crash/latency faults"
+                );
+            }
+        }
+        // A small seed range must reach the supervision-layer points,
+        // or the sweep would never exercise the new code.
+        for point in SUPERVISOR_POINTS {
+            assert!(
+                (0..64).any(|s| {
+                    FaultPlan::from_seed_supervisor(s)
+                        .faults()
+                        .iter()
+                        .any(|f| f.point == point)
+                }),
+                "no seed in 0..64 reaches {point}"
+            );
         }
     }
 

@@ -26,11 +26,15 @@
 //!    the untuned default — never a panic, and since every choice
 //!    produces bit-identical output, the fallback is invisible except
 //!    in speed;
-//! 2. shapes below [`TUNE_MIN_MACS`] or with `GCD2_AUTOTUNE=0` use the
+//! 2. a live thread-scoped scalar pin ([`crate::dispatch::pin_scalar`],
+//!    the gateway's fault-triggered ISA demotion) serves the memoized
+//!    scalar choice or the static default — a quarantined dispatch
+//!    never pays a probe sweep;
+//! 3. shapes below [`TUNE_MIN_MACS`] or with `GCD2_AUTOTUNE=0` use the
 //!    defaults (tiny GEMMs finish before a probe would), except that
 //!    pack-paying tiers hand `m ≤` [`SCALAR_SMALL_M`] shapes to scalar;
-//! 3. a sharded-cache hit returns the memoized choice;
-//! 4. otherwise the dispatcher's probe closure times each candidate on
+//! 4. a sharded-cache hit returns the memoized choice;
+//! 5. otherwise the dispatcher's probe closure times each candidate on
 //!    a truncated row range ([`probe_rows`]) and the fastest choice is
 //!    memoized (first writer wins on races; all choices are bit-exact,
 //!    so a lost race only affects which *speed* is cached).
@@ -251,6 +255,18 @@ pub(crate) fn resolve_kernel(
         gcd2_faults::fire("autotune.cache"),
         gcd2_faults::Injection::CorruptCache
     ) {
+        return (static_choice(m, isa, pays_pack), false);
+    }
+    // A thread-scoped scalar pin (fault-triggered ISA demotion,
+    // [`crate::dispatch::pin_scalar`]) is a quarantine, not a tuning
+    // regime: don't pay probe sweeps — or memoize their timings — while
+    // demoted. Serve the memoized scalar choice if this shape already
+    // has one, else the static scalar default. Tiles only ever change
+    // speed, never bytes, so the shortcut is invisible in output.
+    if crate::dispatch::scalar_pinned() {
+        if let Some(c) = cache().get(&(m, k, n, KernelIsa::Scalar as u8)) {
+            return (c, true);
+        }
         return (static_choice(m, isa, pays_pack), false);
     }
     if !autotune_enabled()

@@ -285,13 +285,61 @@ pub fn force_isa(isa: Option<KernelIsa>) {
     FORCED.store(isa.map_or(u8::MAX, |i| i as u8), Ordering::SeqCst);
 }
 
-/// The ISA the next GEMM dispatch will use ([`force_isa`] override,
-/// else the one-time detection).
+thread_local! {
+    /// Depth of live [`ScalarPin`] guards on this thread. Non-zero pins
+    /// every dispatch resolved *on this thread* to the scalar oracle.
+    static SCALAR_PINNED: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// RAII guard of a thread-scoped scalar pin (see [`pin_scalar`]).
+/// Deliberately `!Send`: the pin is thread-local, so moving the guard
+/// to another thread would unpin the wrong one.
+#[derive(Debug)]
+pub struct ScalarPin {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ScalarPin {
+    fn drop(&mut self) {
+        SCALAR_PINNED.with(|c| c.set(c.get().saturating_sub(1)));
+    }
+}
+
+/// Pins every GEMM dispatch resolved on the **current thread** to the
+/// scalar oracle tier until the returned guard drops. Nestable, and
+/// composes with (overriding) both [`force_isa`] and autodetection.
+///
+/// This is the gateway's fault-triggered ISA demotion hook: after
+/// repeated kernel-attributed faults on a model, its batches execute
+/// under a pin so a misbehaving SIMD tier is quarantined without
+/// touching process-global state (other models and other threads keep
+/// their vector tiers). Intra-op band fan-out is covered because
+/// [`try_matmul_threaded_into`] resolves its table on the calling
+/// thread before fanning out. Scalar is the bit-exactness oracle, so a
+/// demoted dispatch can never change output bytes — only speed.
+pub fn pin_scalar() -> ScalarPin {
+    SCALAR_PINNED.with(|c| c.set(c.get() + 1));
+    ScalarPin {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Whether a [`pin_scalar`] guard is live on this thread.
+pub fn scalar_pinned() -> bool {
+    SCALAR_PINNED.with(|c| c.get() != 0)
+}
+
+/// The ISA the next GEMM dispatch will use ([`pin_scalar`] on this
+/// thread, else the [`force_isa`] override, else the one-time
+/// detection).
 pub fn active_isa() -> KernelIsa {
     active_table().isa
 }
 
 pub(crate) fn active_table() -> &'static KernelTable {
+    if scalar_pinned() {
+        return &SCALAR_TABLE;
+    }
     let forced = FORCED.load(Ordering::Relaxed);
     if forced != u8::MAX {
         let isa = KernelIsa::from_tag(forced)

@@ -53,8 +53,8 @@ pub use conv::{
 };
 pub use cost::{CostCache, CostModel, KERNEL_DISPATCH_CYCLES};
 pub use dispatch::{
-    active_isa, detected_isa, force_isa, gemm_kernel_summary, try_matmul_threaded_into,
-    warm_gemm_tiles, KernelIsa, ScratchPool,
+    active_isa, detected_isa, force_isa, gemm_kernel_summary, pin_scalar, scalar_pinned,
+    try_matmul_threaded_into, warm_gemm_tiles, KernelIsa, ScalarPin, ScratchPool,
 };
 pub use elementwise::{elementwise_blocks, EwKind};
 pub use instr::SimdInstr;

@@ -338,3 +338,69 @@ fn encode_stays_deterministic_after_fault_storms() {
     let after = encode(&compiled, &plan, "chaos").expect("encode");
     assert_eq!(before, after);
 }
+
+/// Regression: reclaiming a crashed holder's stale build lock must be
+/// atomic. The old protocol was check-then-delete — two waiters could
+/// both observe the stale file, the first reclaim and re-acquire, and
+/// the second's `remove_file` then deleted the first's *fresh* lock,
+/// electing two builders. The rename-based takeover admits exactly one
+/// winner no matter how many contenders race, and never disturbs a
+/// fresh lock.
+#[test]
+fn stale_lock_takeover_elects_exactly_one_winner() {
+    let cache = temp_cache("lock-steal");
+    let stale_age = Duration::from_millis(40);
+
+    // A "crashed" holder: take the lock and leak the guard so the file
+    // stays behind, exactly like a process that died mid-build.
+    let crashed = cache.try_lock("k").expect("first take");
+    std::mem::forget(crashed);
+    assert!(
+        cache.try_lock_with_age("k", stale_age).is_none(),
+        "a young orphan still reads as held"
+    );
+    std::thread::sleep(Duration::from_millis(60));
+
+    // Many simultaneous contenders race to reclaim the stale lock.
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+    let winners: Vec<bool> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = cache.clone();
+                let barrier = std::sync::Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    match cache.try_lock_with_age("k", stale_age) {
+                        Some(lock) => {
+                            // Hold the win long enough that every loser
+                            // finishes its attempt while we own the key;
+                            // a late check-then-delete would fire here.
+                            std::thread::sleep(Duration::from_millis(20));
+                            drop(lock);
+                            true
+                        }
+                        None => false,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("contender thread"))
+            .collect()
+    });
+    let won = winners.iter().filter(|&&w| w).count();
+    assert_eq!(won, 1, "exactly one contender may reclaim: {winners:?}");
+
+    // The winner's drop released the key: a fresh take succeeds, and a
+    // fresh lock is never stolen even by an impatient contender.
+    let fresh = cache
+        .try_lock_with_age("k", stale_age)
+        .expect("released after the winner dropped");
+    assert!(
+        cache.try_lock_with_age("k", stale_age).is_none(),
+        "the reclaimed lock is fresh and must not be stolen"
+    );
+    drop(fresh);
+    assert!(cache.try_lock("k").is_some(), "drop releases as before");
+}

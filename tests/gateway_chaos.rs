@@ -85,6 +85,7 @@ fn mid_batch_panic_isolates_to_that_batchs_tickets() {
         // so the split into [0..4][4..8] is deterministic.
         max_wait: Duration::from_millis(250),
         opts: ExecOptions::default(),
+        ..GatewayConfig::default()
     });
     server.register("m", plan).expect("register");
     let tickets: Vec<_> = ins
@@ -133,6 +134,7 @@ fn registry_swap_under_load_stays_bit_identical() {
         max_batch: 4,
         max_wait: Duration::from_micros(200),
         opts: ExecOptions::default(),
+        ..GatewayConfig::default()
     });
     let sum_a = server.register("m", plan_a.clone()).expect("register");
     std::thread::scope(|scope| {
@@ -199,6 +201,7 @@ fn shed_storm_evicts_lowest_priority_and_answers_everything() {
         // so the storm's shed/reject arithmetic is deterministic.
         max_wait: Duration::from_secs(30),
         opts: ExecOptions::default(),
+        ..GatewayConfig::default()
     });
     server.register("m", plan).expect("register");
     let submit = |prio: u8| server.submit_to("m", ins[0].clone(), prio);
@@ -265,6 +268,7 @@ fn drain_race_answers_every_accepted_ticket() {
         max_batch: 8,
         max_wait: Duration::from_micros(500),
         opts: ExecOptions::default(),
+        ..GatewayConfig::default()
     });
     server.register("m", plan).expect("register");
     let (served, refused) = std::thread::scope(|scope| {
@@ -377,6 +381,7 @@ fn seeded_gateway_fault_plans_terminate_bit_identical_or_structured() {
             max_batch: 4,
             max_wait: Duration::from_micros(500),
             opts: ExecOptions::default(),
+            ..GatewayConfig::default()
         });
         if server.register("m", plan.clone()).is_err() {
             // A registry fault refused admission — structured, done.

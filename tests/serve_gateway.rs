@@ -86,6 +86,7 @@ fn every_batching_configuration_is_bit_identical_to_single_shot() {
             max_batch,
             max_wait,
             opts: ExecOptions::default(),
+            ..GatewayConfig::default()
         });
         server.register("m", plan.clone()).expect("register");
         let tickets: Vec<_> = ins
@@ -116,6 +117,7 @@ fn interleaved_multi_model_traffic_never_cross_contaminates() {
         max_batch: 4,
         max_wait: Duration::from_millis(2),
         opts: ExecOptions::default(),
+        ..GatewayConfig::default()
     });
     server.register("a", plan_a.clone()).expect("register a");
     server.register("b", plan_b.clone()).expect("register b");
